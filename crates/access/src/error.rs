@@ -1,0 +1,137 @@
+//! Errors for the access layer.
+
+use std::fmt;
+
+use accrel_schema::{RelationId, SchemaError};
+
+use crate::method::AccessMethodId;
+
+/// Errors raised by access-method registration, well-formedness checking and
+/// path application.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AccessError {
+    /// An underlying schema error (unknown relation, arity mismatch, ...).
+    Schema(SchemaError),
+    /// An access-method id is out of range.
+    UnknownMethod(AccessMethodId),
+    /// A method name could not be resolved.
+    UnknownMethodName(String),
+    /// A method name was registered twice.
+    DuplicateMethod(String),
+    /// An input position is out of range for the relation's arity.
+    InvalidInputPosition {
+        /// The relation of the method.
+        relation: RelationId,
+        /// The offending position.
+        position: usize,
+    },
+    /// The binding has the wrong number of values for the method.
+    BindingArityMismatch {
+        /// The method being bound.
+        method: AccessMethodId,
+        /// Number of input attributes of the method.
+        expected: usize,
+        /// Number of values supplied.
+        actual: usize,
+    },
+    /// A dependent access used a value not present (with the right domain)
+    /// in the configuration's active domain.
+    NotWellFormed {
+        /// The offending access method.
+        method: AccessMethodId,
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// A response tuple does not match the access binding or has the wrong
+    /// arity.
+    InvalidResponse {
+        /// The offending access method.
+        method: AccessMethodId,
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+impl fmt::Display for AccessError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AccessError::Schema(e) => write!(f, "schema error: {e}"),
+            AccessError::UnknownMethod(id) => write!(f, "unknown access method #{}", id.0),
+            AccessError::UnknownMethodName(n) => write!(f, "unknown access method `{n}`"),
+            AccessError::DuplicateMethod(n) => write!(f, "duplicate access method `{n}`"),
+            AccessError::InvalidInputPosition { relation, position } => {
+                write!(f, "input position {position} out of range for {relation}")
+            }
+            AccessError::BindingArityMismatch {
+                method,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "binding arity mismatch for method #{}: expected {expected}, got {actual}",
+                method.0
+            ),
+            AccessError::NotWellFormed { method, reason } => {
+                write!(f, "access via method #{} is not well-formed: {reason}", method.0)
+            }
+            AccessError::InvalidResponse { method, reason } => {
+                write!(f, "invalid response for method #{}: {reason}", method.0)
+            }
+        }
+    }
+}
+
+impl std::error::Error for AccessError {}
+
+impl From<SchemaError> for AccessError {
+    fn from(e: SchemaError) -> Self {
+        AccessError::Schema(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(AccessError::UnknownMethod(AccessMethodId(3))
+            .to_string()
+            .contains("#3"));
+        assert!(AccessError::UnknownMethodName("f".into())
+            .to_string()
+            .contains("`f`"));
+        assert!(AccessError::DuplicateMethod("f".into())
+            .to_string()
+            .contains("duplicate"));
+        assert!(AccessError::InvalidInputPosition {
+            relation: RelationId(0),
+            position: 9
+        }
+        .to_string()
+        .contains("position 9"));
+        assert!(AccessError::BindingArityMismatch {
+            method: AccessMethodId(1),
+            expected: 2,
+            actual: 0
+        }
+        .to_string()
+        .contains("expected 2"));
+        assert!(AccessError::NotWellFormed {
+            method: AccessMethodId(1),
+            reason: "value missing".into()
+        }
+        .to_string()
+        .contains("value missing"));
+        assert!(AccessError::InvalidResponse {
+            method: AccessMethodId(1),
+            reason: "bad tuple".into()
+        }
+        .to_string()
+        .contains("bad tuple"));
+        let converted: AccessError = SchemaError::UnknownRelation("R".into()).into();
+        assert!(converted.to_string().contains("schema error"));
+        let boxed: Box<dyn std::error::Error> = Box::new(converted);
+        assert!(boxed.to_string().contains("R"));
+    }
+}

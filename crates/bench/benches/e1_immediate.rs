@@ -1,0 +1,35 @@
+//! E1 — Immediate relevance (Table 1, IR column): combined complexity over
+//! query size for CQs/PQs and dependent/independent methods.
+
+use std::time::Duration;
+
+use accrel_bench::fixtures;
+use accrel_core::is_immediately_relevant;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e1_immediate");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(100))
+        .measurement_time(Duration::from_millis(400));
+    for size in [2usize, 4, 6] {
+        for (label, conjunctive, dependent) in [
+            ("cq_independent", true, false),
+            ("pq_independent", false, false),
+            ("cq_dependent", true, true),
+            ("pq_dependent", false, true),
+        ] {
+            let f = fixtures::ir_fixture(size, conjunctive, dependent);
+            group.bench_with_input(BenchmarkId::new(label, size), &f, |b, f| {
+                b.iter(|| {
+                    is_immediately_relevant(&f.query, &f.configuration, &f.access, &f.methods)
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

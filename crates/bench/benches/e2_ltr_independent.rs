@@ -1,0 +1,28 @@
+//! E2 — Long-term relevance with independent accesses (Table 1, ΣP2 rows):
+//! combined complexity over query size for CQs and PQs.
+
+use std::time::Duration;
+
+use accrel_bench::fixtures;
+use accrel_core::ltr_independent::is_ltr_independent;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2_ltr_independent");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(100))
+        .measurement_time(Duration::from_millis(400));
+    for size in [2usize, 3, 4, 5] {
+        for (label, conjunctive) in [("cq", true), ("pq", false)] {
+            let f = fixtures::ltr_independent_fixture(size, conjunctive);
+            group.bench_with_input(BenchmarkId::new(label, size), &f, |b, f| {
+                b.iter(|| is_ltr_independent(&f.query, &f.configuration, &f.access, &f.methods))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

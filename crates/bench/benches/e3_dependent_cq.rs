@@ -1,0 +1,41 @@
+//! E3 — Dependent accesses, conjunctive queries (Table 1, NEXPTIME /
+//! coNEXPTIME row): containment and LTR cost along dependent chains of
+//! growing depth, plus the growth of the Proposition 6.2 tiling encoding.
+
+use std::time::Duration;
+
+use accrel_bench::fixtures;
+use accrel_core::{is_contained, is_long_term_relevant};
+use accrel_workloads::encodings::encode_prop_6_2;
+use accrel_workloads::tiling::checkerboard;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e3_dependent_cq");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(100))
+        .measurement_time(Duration::from_millis(400));
+    for depth in [1usize, 2, 3, 4] {
+        let f = fixtures::chain_containment_fixture(depth, 1);
+        group.bench_with_input(BenchmarkId::new("chain_containment", depth), &f, |b, f| {
+            b.iter(|| is_contained(&f.q1, &f.q2, &f.configuration, &f.methods, &f.budget))
+        });
+        let lf = fixtures::chain_ltr_fixture(depth);
+        group.bench_with_input(BenchmarkId::new("chain_ltr", depth), &lf, |b, f| {
+            b.iter(|| {
+                is_long_term_relevant(&f.query, &f.configuration, &f.access, &f.methods, &f.budget)
+            })
+        });
+    }
+    for width in [2usize, 3, 4] {
+        let p = checkerboard(width);
+        group.bench_with_input(BenchmarkId::new("prop62_encode", width), &p, |b, p| {
+            b.iter(|| encode_prop_6_2(p))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! E4 — Dependent accesses, positive queries (Table 1, 2NEXPTIME /
+//! co2NEXPTIME row): containment cost over the width of the unions on both
+//! sides.
+
+use std::time::Duration;
+
+use accrel_bench::fixtures;
+use accrel_core::is_contained;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e4_dependent_pq");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(100))
+        .measurement_time(Duration::from_millis(400));
+    for width in [1usize, 2, 3, 4, 5] {
+        let f = fixtures::pq_containment_fixture(width);
+        group.bench_with_input(BenchmarkId::new("pq_containment", width), &f, |b, f| {
+            b.iter(|| is_contained(&f.q1, &f.q2, &f.configuration, &f.methods, &f.budget))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! E5 — Data complexity (Propositions 4.1, 4.5, 5.7): fixed query, growing
+//! configuration; runtimes must grow polynomially (close to linearly here).
+
+use std::time::Duration;
+
+use accrel_bench::fixtures;
+use accrel_core::{is_immediately_relevant, ltr_independent::is_ltr_independent};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e5_data_complexity");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(100))
+        .measurement_time(Duration::from_millis(400));
+    for facts in [10usize, 100, 400, 1000] {
+        let f = fixtures::data_complexity_fixture(facts, false);
+        group.bench_with_input(BenchmarkId::new("ir_fixed_query", facts), &f, |b, f| {
+            b.iter(|| is_immediately_relevant(&f.query, &f.configuration, &f.access, &f.methods))
+        });
+    }
+    for facts in [10usize, 50, 100] {
+        let f = fixtures::data_complexity_fixture(facts, false);
+        group.bench_with_input(BenchmarkId::new("ltr_fixed_query", facts), &f, |b, f| {
+            b.iter(|| is_ltr_independent(&f.query, &f.configuration, &f.access, &f.methods))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! E6 — Tractable cases: the Proposition 4.3 single-occurrence fast path
+//! against the general ΣP2 procedure, and binary-relation dependent chains
+//! (Section 6 flavour).
+
+use std::time::Duration;
+
+use accrel_bench::fixtures;
+use accrel_core::ltr_independent::{is_ltr_independent, ltr_single_occurrence};
+use accrel_core::is_long_term_relevant;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e6_tractable_cases");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(100))
+        .measurement_time(Duration::from_millis(400));
+    for facts in [10usize, 100, 1000] {
+        let (cq, f) = fixtures::single_occurrence_fixture(facts);
+        group.bench_with_input(
+            BenchmarkId::new("prop43_fast_path", facts),
+            &(cq.clone(), f.clone()),
+            |b, (cq, f)| {
+                b.iter(|| ltr_single_occurrence(cq, &f.configuration, &f.access, &f.methods))
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("general_sigma2p", facts), &f, |b, f| {
+            b.iter(|| is_ltr_independent(&f.query, &f.configuration, &f.access, &f.methods))
+        });
+    }
+    for depth in [1usize, 2, 3] {
+        let f = fixtures::small_arity_fixture(depth);
+        group.bench_with_input(BenchmarkId::new("binary_chain_ltr", depth), &f, |b, f| {
+            b.iter(|| {
+                is_long_term_relevant(&f.query, &f.configuration, &f.access, &f.methods, &f.budget)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

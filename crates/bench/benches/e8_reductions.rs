@@ -1,0 +1,56 @@
+//! E8 — Reductions (Section 3): cost of deciding long-term relevance
+//! directly versus through the Proposition 3.4 reduction to containment and
+//! the Proposition 3.5 containment-oracle algorithm.
+
+use std::time::Duration;
+
+use accrel_bench::fixtures;
+use accrel_core::{is_contained, is_long_term_relevant, reductions};
+use accrel_query::Query;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e8_reductions");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(100))
+        .measurement_time(Duration::from_millis(400));
+    let (f, pq) = fixtures::reduction_fixture();
+
+    group.bench_function("direct_dependent_ltr", |b| {
+        b.iter(|| {
+            is_long_term_relevant(&f.query, &f.configuration, &f.access, &f.methods, &f.budget)
+        })
+    });
+    group.bench_function("via_prop_3_4_containment", |b| {
+        b.iter(|| {
+            let red =
+                reductions::ltr_to_non_containment(&pq, &f.configuration, &f.access, &f.methods);
+            is_contained(
+                &red.q1,
+                &red.q2,
+                &red.configuration,
+                &red.methods,
+                &f.budget,
+            )
+        })
+    });
+    if let Query::Cq(cq) = fixtures::chain_ltr_fixture(2).query.clone() {
+        let cf = fixtures::chain_ltr_fixture(2);
+        group.bench_function("via_prop_3_5_oracle", |b| {
+            b.iter(|| {
+                reductions::ltr_via_containment_oracle(
+                    &cq,
+                    &cf.configuration,
+                    &cf.access,
+                    &cf.methods,
+                    &cf.budget,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

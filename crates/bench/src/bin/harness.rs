@@ -1,0 +1,23 @@
+//! Experiment harness: runs scaled-down versions of experiments E1–E8 and
+//! prints one markdown table per experiment.
+//!
+//! ```text
+//! cargo run -p accrel-bench --bin harness --release
+//! ```
+//!
+//! The output of this binary is the basis of `EXPERIMENTS.md`.
+
+use accrel_bench::runner;
+
+fn main() {
+    println!("# accrel experiment harness\n");
+    println!(
+        "Reproduction of the complexity landscape of `Determining Relevance of Accesses at \
+         Runtime` (PODS 2011). The paper has no empirical evaluation; these tables demonstrate \
+         the shape of its results (Table 1, the tractable cases, and the engine-level value of \
+         relevance pruning).\n"
+    );
+    for table in runner::run_all() {
+        println!("{}", table.to_markdown());
+    }
+}

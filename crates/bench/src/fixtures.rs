@@ -1,0 +1,392 @@
+//! Workload fixtures shared by the Criterion benches and the harness.
+
+use accrel_access::{binding, Access, AccessMethods, AccessMode};
+use accrel_core::SearchBudget;
+use accrel_query::{ConjunctiveQuery, Query, Term};
+use accrel_schema::{Configuration, Schema, Value};
+use accrel_workloads::random::{
+    generate_configuration, generate_query, generate_workload, Workload, WorkloadSpec,
+};
+use accrel_workloads::scenarios::{chain_scenario, star_scenario};
+use accrel_workloads::tiling::checkerboard;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A relevance-problem instance: everything needed to call the IR / LTR
+/// procedures.
+#[derive(Debug, Clone)]
+pub struct RelevanceFixture {
+    /// The query.
+    pub query: Query,
+    /// The configuration.
+    pub configuration: Configuration,
+    /// The access under scrutiny.
+    pub access: Access,
+    /// The access methods.
+    pub methods: AccessMethods,
+    /// The search budget for dependent procedures.
+    pub budget: SearchBudget,
+}
+
+/// A containment-problem instance.
+#[derive(Debug, Clone)]
+pub struct ContainmentFixture {
+    /// The (candidate) contained query.
+    pub q1: Query,
+    /// The containing query.
+    pub q2: Query,
+    /// The starting configuration.
+    pub configuration: Configuration,
+    /// The access methods.
+    pub methods: AccessMethods,
+    /// The search budget.
+    pub budget: SearchBudget,
+}
+
+fn base_workload(dependent: bool, seed: u64) -> Workload {
+    let spec = WorkloadSpec {
+        relations: 4,
+        arity: 2,
+        domains: 2,
+        constants: 6,
+        dependent_fraction: if dependent { 1.0 } else { 0.0 },
+    };
+    generate_workload(&spec, &mut StdRng::seed_from_u64(seed))
+}
+
+/// E1: an immediate-relevance instance with a query of `atoms` atoms.
+///
+/// `conjunctive` selects CQ vs PQ; `dependent` selects the access-method
+/// mode (the IR procedure itself is mode-agnostic, as in the paper).
+pub fn ir_fixture(atoms: usize, conjunctive: bool, dependent: bool) -> RelevanceFixture {
+    let workload = base_workload(dependent, 11);
+    let mut rng = StdRng::seed_from_u64(atoms as u64 * 31 + u64::from(conjunctive));
+    let query = generate_query(&workload, conjunctive, atoms, 3, &mut rng);
+    let configuration = generate_configuration(&workload, 6, &mut rng);
+    let (method_id, method) = workload.methods.iter().next().expect("workload has methods");
+    let bound_value = configuration
+        .values_of_domain(
+            workload
+                .schema
+                .domain_of(method.relation(), method.input_positions()[0])
+                .expect("method input position is valid"),
+        )
+        .into_iter()
+        .next()
+        .unwrap_or_else(|| workload.constants[0].clone());
+    RelevanceFixture {
+        query,
+        configuration,
+        access: Access::new(method_id, binding([bound_value])),
+        methods: workload.methods,
+        budget: SearchBudget::default(),
+    }
+}
+
+/// E2: a long-term-relevance instance over independent methods with a query
+/// of `atoms` atoms.
+pub fn ltr_independent_fixture(atoms: usize, conjunctive: bool) -> RelevanceFixture {
+    let mut fixture = ir_fixture(atoms, conjunctive, false);
+    fixture.budget = SearchBudget::default();
+    fixture
+}
+
+/// E3/E5/E7 substrate: a chain scenario of the given depth turned into a
+/// dependent LTR instance (is the first hop's access relevant?).
+pub fn chain_ltr_fixture(depth: usize) -> RelevanceFixture {
+    let scenario = chain_scenario(depth);
+    let method = scenario.methods.by_name("HopAcc1").expect("hop 1 exists");
+    RelevanceFixture {
+        query: scenario.query,
+        configuration: scenario.initial_configuration,
+        access: Access::new(method, binding(["seed0"])),
+        methods: scenario.methods,
+        budget: SearchBudget::default(),
+    }
+}
+
+/// E3: containment along a dependent chain — is "the deepest hop is
+/// reachable" contained in "hop `k` is reachable"?
+pub fn chain_containment_fixture(depth: usize, contained_hop: usize) -> ContainmentFixture {
+    let scenario = chain_scenario(depth);
+    let schema = scenario.schema.clone();
+    let deepest = hop_query(&schema, depth, depth);
+    let shallow = hop_query(&schema, depth, contained_hop.clamp(1, depth));
+    ContainmentFixture {
+        q1: deepest,
+        q2: shallow,
+        configuration: scenario.initial_configuration,
+        methods: scenario.methods,
+        budget: SearchBudget::default(),
+    }
+}
+
+/// The Boolean query "∃ a tuple in `Hop{k}`" over a chain schema.
+pub fn hop_query(schema: &std::sync::Arc<Schema>, _depth: usize, k: usize) -> Query {
+    let mut qb = ConjunctiveQuery::builder(schema.clone());
+    let a = qb.var("a");
+    let b = qb.var("b");
+    qb.atom(&format!("Hop{k}"), vec![Term::Var(a), Term::Var(b)])
+        .expect("hop relation exists");
+    qb.build().into()
+}
+
+/// E4: a positive-query containment instance over the Example 3.2 style
+/// schema, with `width` disjuncts on each side.
+pub fn pq_containment_fixture(width: usize) -> ContainmentFixture {
+    let width = width.max(1);
+    let mut sb = Schema::builder();
+    let d = sb.domain("D").unwrap();
+    for i in 0..width {
+        sb.relation(format!("R{i}"), &[("a", d)]).unwrap();
+        sb.relation(format!("S{i}"), &[("a", d)]).unwrap();
+    }
+    let schema = sb.build();
+    let mut mb = AccessMethods::builder(schema.clone());
+    for i in 0..width {
+        mb.add_boolean(format!("RCheck{i}"), &format!("R{i}"), AccessMode::Dependent)
+            .unwrap();
+        mb.add_free(format!("SAll{i}"), &format!("S{i}"), AccessMode::Dependent)
+            .unwrap();
+    }
+    let methods = mb.build();
+    // Q1 = ⋁_i ∃x R_i(x);  Q2 = ⋁_i ∃x S_i(x).  As in Example 3.2, every
+    // R_i value must first come from S_i, so Q1 ⊑ Q2.
+    let mut b1 = accrel_query::PositiveQuery::builder(schema.clone());
+    let x1 = b1.var("x");
+    let f1 = accrel_query::PqFormula::Or(
+        (0..width)
+            .map(|i| b1.atom(&format!("R{i}"), vec![Term::Var(x1)]).unwrap())
+            .collect(),
+    );
+    let q1 = Query::Pq(b1.build(f1));
+    let mut b2 = accrel_query::PositiveQuery::builder(schema.clone());
+    let x2 = b2.var("x");
+    let f2 = accrel_query::PqFormula::Or(
+        (0..width)
+            .map(|i| b2.atom(&format!("S{i}"), vec![Term::Var(x2)]).unwrap())
+            .collect(),
+    );
+    let q2 = Query::Pq(b2.build(f2));
+    ContainmentFixture {
+        q1,
+        q2,
+        configuration: Configuration::empty(schema),
+        methods,
+        budget: SearchBudget::default(),
+    }
+}
+
+/// E5: a fixed three-atom query with a configuration of `facts` facts
+/// (data-complexity experiment).
+pub fn data_complexity_fixture(facts: usize, dependent: bool) -> RelevanceFixture {
+    let workload = base_workload(dependent, 23);
+    let mut rng = StdRng::seed_from_u64(99);
+    // Fixed query: R0(x, y) ∧ R1(y, z) ∧ R2(z, w) — shaped like the bank
+    // chain, constant size.
+    let mut qb = ConjunctiveQuery::builder(workload.schema.clone());
+    let x = qb.var("x");
+    let y = qb.var("y");
+    let z = qb.var("z");
+    let w = qb.var("w");
+    qb.atom("R0", vec![Term::Var(x), Term::Var(y)]).unwrap();
+    qb.atom("R1", vec![Term::Var(y), Term::Var(z)]).unwrap();
+    qb.atom("R2", vec![Term::Var(z), Term::Var(w)]).unwrap();
+    let query: Query = qb.build().into();
+    let configuration = generate_configuration(&workload, facts, &mut rng);
+    let (method_id, method) = workload.methods.iter().next().expect("workload has methods");
+    let bound_value = configuration
+        .values_of_domain(
+            workload
+                .schema
+                .domain_of(method.relation(), method.input_positions()[0])
+                .expect("valid input position"),
+        )
+        .into_iter()
+        .next()
+        .unwrap_or_else(|| workload.constants[0].clone());
+    RelevanceFixture {
+        query,
+        configuration,
+        access: Access::new(method_id, binding([bound_value])),
+        methods: workload.methods,
+        budget: SearchBudget::shallow(),
+    }
+}
+
+/// E6: the single-occurrence tractable case — Example 4.2 shaped query over
+/// a configuration with `facts` R-facts.
+pub fn single_occurrence_fixture(facts: usize) -> (ConjunctiveQuery, RelevanceFixture) {
+    let mut sb = Schema::builder();
+    let d = sb.domain("D").unwrap();
+    sb.relation("R", &[("a", d), ("b", d)]).unwrap();
+    sb.relation("S", &[("a", d), ("b", d)]).unwrap();
+    let schema = sb.build();
+    let mut mb = AccessMethods::builder(schema.clone());
+    let r_acc = mb.add("RAcc", "R", &["b"], AccessMode::Independent).unwrap();
+    mb.add("SAcc", "S", &["a"], AccessMode::Independent).unwrap();
+    let methods = mb.build();
+    let mut conf = Configuration::empty(schema.clone());
+    for i in 0..facts {
+        conf.insert_named("R", [format!("a{i}"), format!("b{}", i % 7)])
+            .unwrap();
+    }
+    let mut qb = ConjunctiveQuery::builder(schema);
+    let x = qb.var("x");
+    let z = qb.var("z");
+    qb.atom("R", vec![Term::Var(x), Term::constant("5")]).unwrap();
+    qb.atom("S", vec![Term::constant("5"), Term::Var(z)]).unwrap();
+    let cq = qb.build();
+    let fixture = RelevanceFixture {
+        query: Query::Cq(cq.clone()),
+        configuration: conf,
+        access: Access::new(r_acc, binding(["5"])),
+        methods,
+        budget: SearchBudget::default(),
+    };
+    (cq, fixture)
+}
+
+/// E6 (small arity): a binary-relation dependent chain for comparing the
+/// general dependent procedure on low-arity inputs.
+pub fn small_arity_fixture(depth: usize) -> RelevanceFixture {
+    chain_ltr_fixture(depth)
+}
+
+/// E7: engine scenarios by name.
+pub fn engine_scenarios() -> Vec<accrel_engine::scenarios::Scenario> {
+    vec![
+        accrel_engine::scenarios::bank_scenario(),
+        chain_scenario(3),
+        star_scenario(4),
+    ]
+}
+
+/// E8: a pair (direct LTR fixture, the Prop. 3.4 reduction inputs) on the
+/// Example 3.2 world.
+pub fn reduction_fixture() -> (RelevanceFixture, accrel_query::PositiveQuery) {
+    let mut sb = Schema::builder();
+    let d = sb.domain("D").unwrap();
+    sb.relation("R", &[("a", d)]).unwrap();
+    sb.relation("S", &[("a", d)]).unwrap();
+    let schema = sb.build();
+    let mut mb = AccessMethods::builder(schema.clone());
+    let r_check = mb.add_boolean("RCheck", "R", AccessMode::Dependent).unwrap();
+    mb.add_free("SAll", "S", AccessMode::Dependent).unwrap();
+    let methods = mb.build();
+    let mut conf = Configuration::empty(schema.clone());
+    conf.insert_named("S", ["v"]).unwrap();
+    let mut b = accrel_query::PositiveQuery::builder(schema);
+    let x = b.var("x");
+    let f = b.atom("R", vec![Term::Var(x)]).unwrap();
+    let pq = b.build(f);
+    let fixture = RelevanceFixture {
+        query: Query::Pq(pq.clone()),
+        configuration: conf,
+        access: Access::new(r_check, binding([Value::sym("v")])),
+        methods,
+        budget: SearchBudget::default(),
+    };
+    (fixture, pq)
+}
+
+/// E3 (encoding growth): tiling encodings of growing width.
+pub fn tiling_encoding(width: usize) -> accrel_workloads::encodings::Prop62Encoding {
+    accrel_workloads::encodings::encode_prop_6_2(&checkerboard(width))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use accrel_core::{is_contained, is_immediately_relevant, is_long_term_relevant};
+
+    #[test]
+    fn ir_fixtures_are_runnable() {
+        for &conjunctive in &[true, false] {
+            for &dependent in &[true, false] {
+                let f = ir_fixture(3, conjunctive, dependent);
+                // The call must terminate; the verdict depends on the seed.
+                let _ = is_immediately_relevant(&f.query, &f.configuration, &f.access, &f.methods);
+            }
+        }
+    }
+
+    #[test]
+    fn ltr_fixtures_are_runnable() {
+        let f = ltr_independent_fixture(3, true);
+        let _ = is_long_term_relevant(&f.query, &f.configuration, &f.access, &f.methods, &f.budget);
+        let f = chain_ltr_fixture(2);
+        assert!(is_long_term_relevant(
+            &f.query,
+            &f.configuration,
+            &f.access,
+            &f.methods,
+            &f.budget
+        ));
+    }
+
+    #[test]
+    fn chain_containment_fixture_behaves_as_expected() {
+        // Reaching the deepest hop implies having reached hop 1.
+        let f = chain_containment_fixture(3, 1);
+        let outcome = is_contained(&f.q1, &f.q2, &f.configuration, &f.methods, &f.budget);
+        assert!(outcome.contained);
+        // The converse fails.
+        let f_rev = ContainmentFixture {
+            q1: f.q2.clone(),
+            q2: f.q1.clone(),
+            ..f
+        };
+        let outcome = is_contained(
+            &f_rev.q1,
+            &f_rev.q2,
+            &f_rev.configuration,
+            &f_rev.methods,
+            &f_rev.budget,
+        );
+        assert!(!outcome.contained);
+    }
+
+    #[test]
+    fn pq_containment_fixture_is_contained() {
+        let f = pq_containment_fixture(2);
+        let outcome = is_contained(&f.q1, &f.q2, &f.configuration, &f.methods, &f.budget);
+        assert!(outcome.contained);
+    }
+
+    #[test]
+    fn data_complexity_fixture_scales_facts_only() {
+        let small = data_complexity_fixture(10, true);
+        let large = data_complexity_fixture(100, true);
+        assert_eq!(small.query.size(), large.query.size());
+        assert!(large.configuration.len() > small.configuration.len());
+    }
+
+    #[test]
+    fn single_occurrence_fixture_matches_proposition_4_3() {
+        let (cq, f) = single_occurrence_fixture(10);
+        let fast =
+            accrel_core::ltr_independent::ltr_single_occurrence(&cq, &f.configuration, &f.access, &f.methods);
+        let general = accrel_core::ltr_independent::is_ltr_independent(
+            &f.query,
+            &f.configuration,
+            &f.access,
+            &f.methods,
+        );
+        assert_eq!(fast, Some(general));
+    }
+
+    #[test]
+    fn scenario_and_encoding_fixtures_exist() {
+        assert_eq!(engine_scenarios().len(), 3);
+        let enc = tiling_encoding(2);
+        assert_eq!(enc.relation_count(), 4);
+        let (fixture, pq) = reduction_fixture();
+        assert_eq!(pq.size(), 1);
+        assert!(fixture.query.is_boolean());
+        let q = hop_query(&chain_scenario(2).schema, 2, 1);
+        assert_eq!(q.size(), 1);
+        let f = small_arity_fixture(2);
+        assert!(f.query.is_boolean());
+    }
+}

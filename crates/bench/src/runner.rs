@@ -1,0 +1,404 @@
+//! Measurement helpers and the experiment implementations used by the
+//! `harness` binary.
+
+use std::time::Instant;
+
+use accrel_core::{
+    is_contained, is_immediately_relevant, is_long_term_relevant, ltr_independent,
+    reductions,
+};
+use accrel_engine::{DeepWebSource, EngineOptions, FederatedEngine, ResponsePolicy};
+use accrel_workloads::encodings::encoding_stats;
+use accrel_workloads::tiling::checkerboard;
+
+use crate::fixtures;
+
+/// One row of an experiment table.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Series label (e.g. "CQ / independent").
+    pub series: String,
+    /// Swept parameter value (e.g. query size).
+    pub parameter: String,
+    /// Metric name (e.g. "median µs", "accesses").
+    pub metric: String,
+    /// Measured value.
+    pub value: f64,
+}
+
+impl Row {
+    /// Creates a row.
+    pub fn new(
+        series: impl Into<String>,
+        parameter: impl ToString,
+        metric: impl Into<String>,
+        value: f64,
+    ) -> Self {
+        Self {
+            series: series.into(),
+            parameter: parameter.to_string(),
+            metric: metric.into(),
+            value,
+        }
+    }
+}
+
+/// A named experiment table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// Experiment id ("E1", ...).
+    pub id: String,
+    /// Title of the experiment.
+    pub title: String,
+    /// The measured rows.
+    pub rows: Vec<Row>,
+}
+
+impl Table {
+    /// Renders the table as GitHub-flavoured markdown.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("### {} — {}\n\n", self.id, self.title));
+        out.push_str("| series | parameter | metric | value |\n|---|---|---|---|\n");
+        for r in &self.rows {
+            out.push_str(&format!(
+                "| {} | {} | {} | {:.3} |\n",
+                r.series, r.parameter, r.metric, r.value
+            ));
+        }
+        out
+    }
+}
+
+/// Times `f` over `repeats` runs and returns the median in microseconds.
+pub fn median_micros<F: FnMut()>(repeats: usize, mut f: F) -> f64 {
+    let repeats = repeats.max(1);
+    let mut samples = Vec::with_capacity(repeats);
+    for _ in 0..repeats {
+        let start = Instant::now();
+        f();
+        samples.push(start.elapsed().as_secs_f64() * 1e6);
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs"));
+    samples[samples.len() / 2]
+}
+
+/// E1 — immediate relevance combined complexity (Table 1, IR column).
+pub fn e1_immediate(sizes: &[usize], repeats: usize) -> Table {
+    let mut rows = Vec::new();
+    for &size in sizes {
+        for (series, conjunctive, dependent) in [
+            ("CQ / independent", true, false),
+            ("PQ / independent", false, false),
+            ("CQ / dependent", true, true),
+            ("PQ / dependent", false, true),
+        ] {
+            let f = fixtures::ir_fixture(size, conjunctive, dependent);
+            let t = median_micros(repeats, || {
+                let _ = is_immediately_relevant(&f.query, &f.configuration, &f.access, &f.methods);
+            });
+            rows.push(Row::new(series, size, "median µs", t));
+        }
+    }
+    Table {
+        id: "E1".to_string(),
+        title: "Immediate relevance vs query size (DP-complete combined complexity)".to_string(),
+        rows,
+    }
+}
+
+/// E2 — long-term relevance with independent accesses (Table 1, ΣP2 rows).
+pub fn e2_ltr_independent(sizes: &[usize], repeats: usize) -> Table {
+    let mut rows = Vec::new();
+    for &size in sizes {
+        for (series, conjunctive) in [("CQ", true), ("PQ", false)] {
+            let f = fixtures::ltr_independent_fixture(size, conjunctive);
+            let t = median_micros(repeats, || {
+                let _ = ltr_independent::is_ltr_independent(
+                    &f.query,
+                    &f.configuration,
+                    &f.access,
+                    &f.methods,
+                );
+            });
+            rows.push(Row::new(series, size, "median µs", t));
+        }
+    }
+    Table {
+        id: "E2".to_string(),
+        title: "Long-term relevance, independent accesses, vs query size (ΣP2)".to_string(),
+        rows,
+    }
+}
+
+/// E3 — dependent accesses, conjunctive queries: chain containment / LTR and
+/// the growth of the Prop. 6.2 tiling encoding.
+pub fn e3_dependent_cq(depths: &[usize], repeats: usize) -> Table {
+    let mut rows = Vec::new();
+    for &depth in depths {
+        let f = fixtures::chain_containment_fixture(depth, 1);
+        let t = median_micros(repeats, || {
+            let _ = is_contained(&f.q1, &f.q2, &f.configuration, &f.methods, &f.budget);
+        });
+        rows.push(Row::new("chain containment", depth, "median µs", t));
+        let lf = fixtures::chain_ltr_fixture(depth);
+        let t = median_micros(repeats, || {
+            let _ = is_long_term_relevant(
+                &lf.query,
+                &lf.configuration,
+                &lf.access,
+                &lf.methods,
+                &lf.budget,
+            );
+        });
+        rows.push(Row::new("chain LTR (dependent)", depth, "median µs", t));
+        let enc = fixtures::tiling_encoding(depth.max(2));
+        let stats = encoding_stats(&checkerboard(depth.max(2)), &enc);
+        rows.push(Row::new(
+            "Prop 6.2 encoding",
+            depth.max(2),
+            "q_wrong disjuncts",
+            stats.wrong_disjuncts as f64,
+        ));
+        rows.push(Row::new(
+            "Prop 6.2 encoding",
+            depth.max(2),
+            "relations",
+            stats.relations as f64,
+        ));
+    }
+    Table {
+        id: "E3".to_string(),
+        title: "Dependent accesses, CQs: containment & LTR cost, tiling-encoding growth"
+            .to_string(),
+        rows,
+    }
+}
+
+/// E4 — dependent accesses, positive queries.
+pub fn e4_dependent_pq(widths: &[usize], repeats: usize) -> Table {
+    let mut rows = Vec::new();
+    for &width in widths {
+        let f = fixtures::pq_containment_fixture(width);
+        let t = median_micros(repeats, || {
+            let _ = is_contained(&f.q1, &f.q2, &f.configuration, &f.methods, &f.budget);
+        });
+        rows.push(Row::new("PQ containment (union width)", width, "median µs", t));
+    }
+    Table {
+        id: "E4".to_string(),
+        title: "Dependent accesses, PQs: containment cost vs union width (one exponential above CQs)".to_string(),
+        rows,
+    }
+}
+
+/// E5 — data complexity: fixed query, growing configuration.
+pub fn e5_data_complexity(sizes: &[usize], repeats: usize) -> Table {
+    let mut rows = Vec::new();
+    for &size in sizes {
+        for (series, dependent) in [("IR (fixed query)", false), ("IR (fixed query, dependent)", true)] {
+            let f = fixtures::data_complexity_fixture(size, dependent);
+            let t = median_micros(repeats, || {
+                let _ = is_immediately_relevant(&f.query, &f.configuration, &f.access, &f.methods);
+            });
+            rows.push(Row::new(series, size, "median µs", t));
+        }
+        let f = fixtures::data_complexity_fixture(size, false);
+        let t = median_micros(repeats, || {
+            let _ = ltr_independent::is_ltr_independent(
+                &f.query,
+                &f.configuration,
+                &f.access,
+                &f.methods,
+            );
+        });
+        rows.push(Row::new("LTR independent (fixed query)", size, "median µs", t));
+    }
+    Table {
+        id: "E5".to_string(),
+        title: "Data complexity: fixed query, configuration size swept (PTIME/AC0 claims)"
+            .to_string(),
+        rows,
+    }
+}
+
+/// E6 — tractable cases: single-occurrence fast path vs the general ΣP2
+/// procedure, and the small-arity chain case.
+pub fn e6_tractable_cases(sizes: &[usize], repeats: usize) -> Table {
+    let mut rows = Vec::new();
+    for &size in sizes {
+        let (cq, f) = fixtures::single_occurrence_fixture(size);
+        let t_fast = median_micros(repeats, || {
+            let _ = ltr_independent::ltr_single_occurrence(
+                &cq,
+                &f.configuration,
+                &f.access,
+                &f.methods,
+            );
+        });
+        rows.push(Row::new("Prop 4.3 fast path", size, "median µs", t_fast));
+        let t_general = median_micros(repeats, || {
+            let _ = ltr_independent::is_ltr_independent(
+                &f.query,
+                &f.configuration,
+                &f.access,
+                &f.methods,
+            );
+        });
+        rows.push(Row::new("general ΣP2 procedure", size, "median µs", t_general));
+    }
+    for &depth in &[1usize, 2, 3] {
+        let f = fixtures::small_arity_fixture(depth);
+        let t = median_micros(repeats, || {
+            let _ = is_long_term_relevant(
+                &f.query,
+                &f.configuration,
+                &f.access,
+                &f.methods,
+                &f.budget,
+            );
+        });
+        rows.push(Row::new("binary-relation chain (Sec. 6)", depth, "median µs", t));
+    }
+    Table {
+        id: "E6".to_string(),
+        title: "Tractable cases: single-occurrence CQs and small arity".to_string(),
+        rows,
+    }
+}
+
+/// E7 — engine ablation: accesses and tuples needed per strategy.
+pub fn e7_engine_ablation() -> Table {
+    let mut rows = Vec::new();
+    for scenario in fixtures::engine_scenarios() {
+        let source = DeepWebSource::new(
+            scenario.instance.clone(),
+            scenario.methods.clone(),
+            ResponsePolicy::Exact,
+        );
+        let options = EngineOptions::default();
+        let reports = FederatedEngine::compare_strategies(
+            &source,
+            &scenario.query,
+            &scenario.initial_configuration,
+            &options,
+        );
+        for report in reports {
+            let series = format!("{} / {}", scenario.name, report.strategy.name());
+            rows.push(Row::new(series.clone(), "-", "accesses", report.accesses_made as f64));
+            rows.push(Row::new(
+                series.clone(),
+                "-",
+                "tuples",
+                report.tuples_retrieved as f64,
+            ));
+            rows.push(Row::new(
+                series,
+                "-",
+                "answered",
+                if report.certain { 1.0 } else { 0.0 },
+            ));
+        }
+    }
+    Table {
+        id: "E7".to_string(),
+        title: "Engine ablation: exhaustive (Li [18]) vs relevance-guided access selection"
+            .to_string(),
+        rows,
+    }
+}
+
+/// E8 — reduction consistency: direct LTR vs the Prop. 3.4 / 3.5 routes.
+pub fn e8_reductions(repeats: usize) -> Table {
+    let mut rows = Vec::new();
+    let (f, pq) = fixtures::reduction_fixture();
+    let direct = median_micros(repeats, || {
+        let _ = is_long_term_relevant(&f.query, &f.configuration, &f.access, &f.methods, &f.budget);
+    });
+    rows.push(Row::new("direct dependent LTR", "-", "median µs", direct));
+    let via_34 = median_micros(repeats, || {
+        let red = reductions::ltr_to_non_containment(&pq, &f.configuration, &f.access, &f.methods);
+        let _ = is_contained(
+            &red.q1,
+            &red.q2,
+            &red.configuration,
+            &red.methods,
+            &f.budget,
+        );
+    });
+    rows.push(Row::new("via Prop 3.4 + containment", "-", "median µs", via_34));
+    // Consistency of the verdicts.
+    let direct_verdict =
+        is_long_term_relevant(&f.query, &f.configuration, &f.access, &f.methods, &f.budget);
+    let red = reductions::ltr_to_non_containment(&pq, &f.configuration, &f.access, &f.methods);
+    let contained = is_contained(
+        &red.q1,
+        &red.q2,
+        &red.configuration,
+        &red.methods,
+        &f.budget,
+    )
+    .contained;
+    rows.push(Row::new(
+        "verdicts agree (1 = yes)",
+        "-",
+        "bool",
+        if direct_verdict == !contained { 1.0 } else { 0.0 },
+    ));
+    Table {
+        id: "E8".to_string(),
+        title: "Relevance ↔ containment reductions: cost and verdict consistency".to_string(),
+        rows,
+    }
+}
+
+/// Runs every experiment at harness scale and returns the tables.
+pub fn run_all() -> Vec<Table> {
+    vec![
+        e1_immediate(&[1, 2, 3, 4, 5, 6], 5),
+        e2_ltr_independent(&[1, 2, 3, 4, 5], 3),
+        e3_dependent_cq(&[1, 2, 3, 4], 3),
+        e4_dependent_pq(&[1, 2, 3, 4], 3),
+        e5_data_complexity(&[10, 50, 100, 200, 400], 3),
+        e6_tractable_cases(&[10, 100, 1000], 5),
+        e7_engine_ablation(),
+        e8_reductions(3),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_and_tables_render() {
+        let table = Table {
+            id: "E0".to_string(),
+            title: "smoke".to_string(),
+            rows: vec![Row::new("s", 1, "m", 2.5)],
+        };
+        let md = table.to_markdown();
+        assert!(md.contains("### E0"));
+        assert!(md.contains("| s | 1 | m | 2.500 |"));
+    }
+
+    #[test]
+    fn median_micros_is_positive() {
+        let t = median_micros(3, || {
+            std::hint::black_box((0..100).sum::<u64>());
+        });
+        assert!(t >= 0.0);
+    }
+
+    #[test]
+    fn small_experiments_run() {
+        let t1 = e1_immediate(&[1, 2], 1);
+        assert_eq!(t1.rows.len(), 8);
+        let t2 = e2_ltr_independent(&[1, 2], 1);
+        assert_eq!(t2.rows.len(), 4);
+        let t5 = e5_data_complexity(&[5, 10], 1);
+        assert_eq!(t5.rows.len(), 6);
+        let t8 = e8_reductions(1);
+        assert!(t8.rows.iter().any(|r| r.metric == "bool" && r.value == 1.0));
+    }
+}

@@ -1,0 +1,397 @@
+//! Immediate relevance (Proposition 4.1).
+//!
+//! An access `(AcM, Bind)` is *immediately relevant* (IR) for a query `Q` in
+//! a configuration `Conf` if some *increasing response* exists: a set of
+//! tuples matching the binding whose addition to `Conf` turns a non-certain
+//! answer of `Q` into a certain one.
+//!
+//! The decision procedure follows the paper's DP algorithm: the query must
+//! not already be certain (a coNP check), and there must exist a valuation
+//! of the query variables witnessing satisfaction where every subgoal is
+//! either matched by the configuration or "chargeable to the access"
+//! (same relation and input places mapped to the binding) — an NP check.
+//! The procedure is the same for dependent and independent methods since
+//! only a single access is considered.
+
+use std::collections::HashMap;
+
+use accrel_access::{Access, AccessMethods};
+use accrel_query::{certain, ConjunctiveQuery, Query, Term, Valuation, VarId};
+use accrel_schema::{Configuration, FreshSupply, Tuple, Value};
+
+use crate::reductions;
+
+/// A witness that an access is immediately relevant: the increasing response
+/// and the valuation under which the query becomes certain.
+#[derive(Debug, Clone)]
+pub struct IrWitness {
+    /// Tuples the access would have to return (an increasing response).
+    pub response: Vec<Tuple>,
+    /// The satisfying assignment of query variables (fresh values stand for
+    /// "any value not yet in the configuration").
+    pub valuation: HashMap<VarId, Value>,
+}
+
+/// Decides immediate relevance of `access` for `query` at `conf`.
+///
+/// Non-Boolean queries are handled through the Proposition 2.2 reduction:
+/// the access is IR for `Q(x̄)` iff it is IR for some Boolean instantiation
+/// of the head over the configuration's constants plus fresh ones.
+pub fn is_immediately_relevant(
+    query: &Query,
+    conf: &Configuration,
+    access: &Access,
+    methods: &AccessMethods,
+) -> bool {
+    immediate_relevance_witness(query, conf, access, methods).is_some()
+}
+
+/// Like [`is_immediately_relevant`] but returns the witness.
+pub fn immediate_relevance_witness(
+    query: &Query,
+    conf: &Configuration,
+    access: &Access,
+    methods: &AccessMethods,
+) -> Option<IrWitness> {
+    if !query.is_boolean() {
+        // Proposition 2.2: reduce arity-k relevance to Boolean relevance.
+        for instance in reductions::boolean_instances(query, conf) {
+            if let Some(w) = immediate_relevance_witness(&instance, conf, access, methods) {
+                return Some(w);
+            }
+        }
+        return None;
+    }
+    if access.check_arity(methods).is_err() {
+        return None;
+    }
+    // If the query is already certain no response can increase the certain
+    // answers.
+    if certain::is_certain(query, conf) {
+        return None;
+    }
+    let method = methods.get(access.method()).ok()?;
+    for disjunct in query.to_ucq() {
+        if let Some(witness) = disjunct_witness(&disjunct, conf, access, method.relation(), method.input_positions()) {
+            return Some(witness);
+        }
+    }
+    None
+}
+
+/// Searches for a satisfying valuation of one disjunct in which every atom
+/// is either matched by the configuration or charged to the access.
+fn disjunct_witness(
+    disjunct: &ConjunctiveQuery,
+    conf: &Configuration,
+    access: &Access,
+    access_relation: accrel_schema::RelationId,
+    input_positions: &[usize],
+) -> Option<IrWitness> {
+    #[derive(Clone, Copy, PartialEq)]
+    enum Choice {
+        Conf,
+        Access,
+    }
+
+    fn go(
+        atoms: &[accrel_query::Atom],
+        idx: usize,
+        conf: &Configuration,
+        access: &Access,
+        access_relation: accrel_schema::RelationId,
+        input_positions: &[usize],
+        valuation: &Valuation,
+        choices: &mut Vec<Choice>,
+    ) -> Option<(Valuation, Vec<Choice>)> {
+        let Some(atom) = atoms.get(idx) else {
+            return Some((valuation.clone(), choices.clone()));
+        };
+        // Option A: the subgoal is already witnessed by the configuration.
+        for tuple in conf.store().tuples(atom.relation()) {
+            if let Some(extended) = valuation.unify_atom(atom, tuple) {
+                choices.push(Choice::Conf);
+                if let Some(done) = go(
+                    atoms,
+                    idx + 1,
+                    conf,
+                    access,
+                    access_relation,
+                    input_positions,
+                    &extended,
+                    choices,
+                ) {
+                    return Some(done);
+                }
+                choices.pop();
+            }
+        }
+        // Option B: the subgoal is charged to the access: same relation and
+        // input places mapped onto the binding (output places are free).
+        if atom.relation() == access_relation {
+            let mut extended = valuation.clone();
+            let mut ok = true;
+            for (k, &pos) in input_positions.iter().enumerate() {
+                let Some(bound) = access.binding().get(k) else {
+                    ok = false;
+                    break;
+                };
+                match atom.term_at(pos) {
+                    Some(Term::Const(c)) => {
+                        if c != bound {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    Some(Term::Var(v)) => match extended.get(*v) {
+                        Some(existing) if existing != bound => {
+                            ok = false;
+                            break;
+                        }
+                        Some(_) => {}
+                        None => extended.bind(*v, bound.clone()),
+                    },
+                    None => {
+                        ok = false;
+                        break;
+                    }
+                }
+            }
+            if ok {
+                choices.push(Choice::Access);
+                if let Some(done) = go(
+                    atoms,
+                    idx + 1,
+                    conf,
+                    access,
+                    access_relation,
+                    input_positions,
+                    &extended,
+                    choices,
+                ) {
+                    return Some(done);
+                }
+                choices.pop();
+            }
+        }
+        None
+    }
+
+    let mut choices = Vec::new();
+    let (valuation, choices) = go(
+        disjunct.atoms(),
+        0,
+        conf,
+        access,
+        access_relation,
+        input_positions,
+        &Valuation::new(),
+        &mut choices,
+    )?;
+
+    // Ground the witness: unbound variables get distinct fresh values, and
+    // the atoms charged to the access become the increasing response.
+    let mut fresh = FreshSupply::above(conf.all_values().iter());
+    let mut full: HashMap<VarId, Value> = valuation.as_map().clone();
+    for v in disjunct.variables() {
+        full.entry(v).or_insert_with(|| fresh.next_value());
+    }
+    let mut response = Vec::new();
+    for (atom, choice) in disjunct.atoms().iter().zip(choices.iter()) {
+        if *choice == Choice::Access {
+            let grounded = atom.substitute(&full);
+            if let Some(t) = grounded.to_tuple() {
+                if !response.contains(&t) {
+                    response.push(t);
+                }
+            }
+        }
+    }
+    // At least one subgoal must actually be charged to the access, otherwise
+    // the query would already be certain (contradicting the caller's check);
+    // guard anyway.
+    if response.is_empty() {
+        return None;
+    }
+    Some(IrWitness {
+        response,
+        valuation: full,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use accrel_access::{binding, AccessMode};
+    use accrel_query::{ConjunctiveQuery, PositiveQuery, Term};
+    use accrel_schema::Schema;
+    use std::sync::Arc;
+
+    /// Schema and accesses of the running example in the proof of
+    /// Proposition 4.1: Q = ∃x∃y R(x,y) ∧ S(x) ∧ S(y) ∧ T(y), access S(0)?.
+    fn setup() -> (Arc<Schema>, AccessMethods, Query) {
+        let mut b = Schema::builder();
+        let d = b.domain("D").unwrap();
+        b.relation("R", &[("a", d), ("b", d)]).unwrap();
+        b.relation("S", &[("a", d)]).unwrap();
+        b.relation("T", &[("a", d)]).unwrap();
+        let schema = b.build();
+        let mut mb = AccessMethods::builder(schema.clone());
+        mb.add_boolean("SCheck", "S", AccessMode::Independent).unwrap();
+        let methods = mb.build();
+        let mut qb = ConjunctiveQuery::builder(schema.clone());
+        let x = qb.var("x");
+        let y = qb.var("y");
+        qb.atom("R", vec![Term::Var(x), Term::Var(y)]).unwrap();
+        qb.atom("S", vec![Term::Var(x)]).unwrap();
+        qb.atom("S", vec![Term::Var(y)]).unwrap();
+        qb.atom("T", vec![Term::Var(y)]).unwrap();
+        let q: Query = qb.build().into();
+        (schema, methods, q)
+    }
+
+    #[test]
+    fn access_completing_a_join_is_immediately_relevant() {
+        let (schema, methods, q) = setup();
+        let s_check = methods.by_name("SCheck").unwrap();
+        let mut conf = Configuration::empty(schema);
+        // R(0, 7), S(7), T(7) hold; only S(0) is missing.
+        conf.insert_named("R", ["0", "7"]).unwrap();
+        conf.insert_named("S", ["7"]).unwrap();
+        conf.insert_named("T", ["7"]).unwrap();
+        let access = Access::new(s_check, binding(["0"]));
+        assert!(is_immediately_relevant(&q, &conf, &access, &methods));
+        let w = immediate_relevance_witness(&q, &conf, &access, &methods).unwrap();
+        assert_eq!(w.response, vec![accrel_schema::tuple(["0"])]);
+    }
+
+    #[test]
+    fn access_is_not_ir_when_nothing_joins_with_the_binding() {
+        let (schema, methods, q) = setup();
+        let s_check = methods.by_name("SCheck").unwrap();
+        let mut conf = Configuration::empty(schema);
+        // Nothing connects 0 to the rest of the query: the single access
+        // S(0)? cannot by itself complete R, S(y), T(y).
+        conf.insert_named("S", ["7"]).unwrap();
+        conf.insert_named("T", ["7"]).unwrap();
+        let access = Access::new(s_check, binding(["0"]));
+        assert!(!is_immediately_relevant(&q, &conf, &access, &methods));
+    }
+
+    #[test]
+    fn access_is_not_ir_when_query_is_already_certain() {
+        let (schema, methods, q) = setup();
+        let s_check = methods.by_name("SCheck").unwrap();
+        let mut conf = Configuration::empty(schema);
+        conf.insert_named("R", ["0", "7"]).unwrap();
+        conf.insert_named("S", ["0"]).unwrap();
+        conf.insert_named("S", ["7"]).unwrap();
+        conf.insert_named("T", ["7"]).unwrap();
+        let access = Access::new(s_check, binding(["0"]));
+        assert!(!is_immediately_relevant(&q, &conf, &access, &methods));
+    }
+
+    #[test]
+    fn single_access_can_witness_several_subgoals_of_the_same_relation() {
+        // Q = S(x) ∧ S(y) with an access S(0)?: both subgoals can be charged
+        // to the same access (x = y = 0).
+        let (schema, methods, _) = setup();
+        let s_check = methods.by_name("SCheck").unwrap();
+        let mut qb = ConjunctiveQuery::builder(schema.clone());
+        let x = qb.var("x");
+        let y = qb.var("y");
+        qb.atom("S", vec![Term::Var(x)]).unwrap();
+        qb.atom("S", vec![Term::Var(y)]).unwrap();
+        let q: Query = qb.build().into();
+        let conf = Configuration::empty(schema);
+        let access = Access::new(s_check, binding(["0"]));
+        assert!(is_immediately_relevant(&q, &conf, &access, &methods));
+        let w = immediate_relevance_witness(&q, &conf, &access, &methods).unwrap();
+        assert_eq!(w.response.len(), 1);
+    }
+
+    #[test]
+    fn access_to_a_relation_not_in_the_query_is_never_ir() {
+        let (schema, _, q) = setup();
+        let mut mb = AccessMethods::builder(schema.clone());
+        // A Boolean access on a relation U unrelated to the query.
+        let mut b2 = Schema::builder();
+        let d = b2.domain("D").unwrap();
+        b2.relation("R", &[("a", d), ("b", d)]).unwrap();
+        b2.relation("S", &[("a", d)]).unwrap();
+        b2.relation("T", &[("a", d)]).unwrap();
+        drop(b2);
+        let t_check = mb
+            .add_boolean("TCheck", "T", AccessMode::Independent)
+            .unwrap();
+        let methods = mb.build();
+        let mut conf = Configuration::empty(schema);
+        conf.insert_named("T", ["7"]).unwrap();
+        // T(9)? can not complete the query on its own (R and S missing).
+        let access = Access::new(t_check, binding(["9"]));
+        assert!(!is_immediately_relevant(&q, &conf, &access, &methods));
+    }
+
+    #[test]
+    fn positive_queries_use_their_disjuncts() {
+        // Q = S(0) ∨ T(0): the access S(0)? is IR in the empty configuration.
+        let (schema, methods, _) = setup();
+        let s_check = methods.by_name("SCheck").unwrap();
+        let b = PositiveQuery::builder(schema.clone());
+        let s0 = b.atom("S", vec![Term::constant("0")]).unwrap();
+        let t0 = b.atom("T", vec![Term::constant("0")]).unwrap();
+        let q: Query = b.build(s0.or(t0)).into();
+        let conf = Configuration::empty(schema);
+        let access = Access::new(s_check, binding(["0"]));
+        assert!(is_immediately_relevant(&q, &conf, &access, &methods));
+        // A binding that mismatches both disjuncts' constants is not IR.
+        let access = Access::new(s_check, binding(["1"]));
+        assert!(!is_immediately_relevant(&q, &conf, &access, &methods));
+    }
+
+    #[test]
+    fn non_boolean_queries_reduce_to_boolean_instances() {
+        // Q(x) :- S(x) ∧ T(x).  With T(5) known, the access S(5)? makes 5 a
+        // new certain answer, so it is IR; with nothing known it is not,
+        // because no single head instantiation becomes certain.
+        let (schema, methods, _) = setup();
+        let s_check = methods.by_name("SCheck").unwrap();
+        let mut qb = ConjunctiveQuery::builder(schema.clone());
+        let x = qb.var("x");
+        qb.atom("S", vec![Term::Var(x)]).unwrap();
+        qb.atom("T", vec![Term::Var(x)]).unwrap();
+        qb.free(&[x]);
+        let q: Query = qb.build().into();
+        let mut conf = Configuration::empty(schema.clone());
+        conf.insert_named("T", ["5"]).unwrap();
+        let access = Access::new(s_check, binding(["5"]));
+        assert!(is_immediately_relevant(&q, &conf, &access, &methods));
+        let empty = Configuration::empty(schema);
+        assert!(!is_immediately_relevant(&q, &empty, &access, &methods));
+    }
+
+    #[test]
+    fn wrong_binding_arity_is_rejected() {
+        let (schema, methods, q) = setup();
+        let s_check = methods.by_name("SCheck").unwrap();
+        let conf = Configuration::empty(schema);
+        let access = Access::new(s_check, binding(["0", "1"]));
+        assert!(!is_immediately_relevant(&q, &conf, &access, &methods));
+    }
+
+    #[test]
+    fn dp_hardness_shape_known_not_certain_becomes_np_shape() {
+        // When the query is known not to be certain, IR is just the NP
+        // check: exercise a case where the access alone satisfies the query.
+        let (schema, methods, _) = setup();
+        let s_check = methods.by_name("SCheck").unwrap();
+        let mut qb = ConjunctiveQuery::builder(schema.clone());
+        qb.atom("S", vec![Term::constant("0")]).unwrap();
+        let q: Query = qb.build().into();
+        let conf = Configuration::empty(schema);
+        let access = Access::new(s_check, binding(["0"]));
+        let w = immediate_relevance_witness(&q, &conf, &access, &methods).unwrap();
+        assert_eq!(w.response, vec![accrel_schema::tuple(["0"])]);
+        assert!(w.valuation.is_empty());
+    }
+}

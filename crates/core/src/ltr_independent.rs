@@ -1,0 +1,437 @@
+//! Long-term relevance with independent access methods (Section 4).
+//!
+//! With independent accesses any value may be guessed, so a witness path can
+//! be pruned to accesses that directly return the subgoals of the query,
+//! each at most once (observation (ii) of Section 4). The general decision
+//! procedure is therefore a ΣP2-style guess-and-check:
+//!
+//! * guess a disjunct and a valuation of its variables into the
+//!   configuration constants and fresh nulls;
+//! * split its subgoals into *configuration-witnessed*, *first-access-
+//!   witnessed* (compatible with the given binding) and *later-access-
+//!   witnessed* (their relation has some access method);
+//! * accept iff the query is **false** on the configuration extended with
+//!   the later-access facts only — that extension is exactly what the
+//!   truncated path (the path without the initial access) produces.
+//!
+//! The module also implements the polynomial connected-component test of
+//! Proposition 4.3 for conjunctive queries in which the accessed relation
+//! occurs exactly once ([`ltr_single_occurrence`]); it agrees with the
+//! general procedure whenever its preconditions hold and is benchmarked
+//! against it in experiment E6.
+
+use std::collections::HashMap;
+
+use accrel_access::{Access, AccessMethods};
+use accrel_query::{certain, ConjunctiveQuery, Query, Term, VarId};
+use accrel_schema::{Configuration, FreshSupply, RelationId, Value};
+
+use crate::reductions;
+use crate::search;
+
+/// Decides long-term relevance of `access` for `query` at `conf` assuming
+/// every access method in `methods` is independent.
+///
+/// Non-Boolean queries are routed through the Proposition 2.2 reduction.
+pub fn is_ltr_independent(
+    query: &Query,
+    conf: &Configuration,
+    access: &Access,
+    methods: &AccessMethods,
+) -> bool {
+    if !query.is_boolean() {
+        return reductions::boolean_instances(query, conf)
+            .iter()
+            .any(|q| is_ltr_independent(q, conf, access, methods));
+    }
+    if access.check_arity(methods).is_err() {
+        return false;
+    }
+    // If the query is already certain, no path can change its (Boolean)
+    // certain answer.
+    if certain::is_certain(query, conf) {
+        return false;
+    }
+    let Ok(method) = methods.get(access.method()) else {
+        return false;
+    };
+    let access_relation = method.relation();
+    let input_positions = method.input_positions().to_vec();
+
+    for disjunct in query.to_ucq() {
+        if disjunct_has_witness(
+            query,
+            &disjunct,
+            conf,
+            access,
+            access_relation,
+            &input_positions,
+            methods,
+        ) {
+            return true;
+        }
+    }
+    false
+}
+
+fn disjunct_has_witness(
+    query: &Query,
+    disjunct: &ConjunctiveQuery,
+    conf: &Configuration,
+    access: &Access,
+    access_relation: RelationId,
+    input_positions: &[usize],
+    methods: &AccessMethods,
+) -> bool {
+    let mut fresh = FreshSupply::above(conf.all_values().iter());
+    // The binding constants are candidate values even when they do not occur
+    // in the configuration (independent accesses may guess them).
+    let schema = methods.schema();
+    let extra: Vec<(Value, accrel_schema::DomainId)> = input_positions
+        .iter()
+        .enumerate()
+        .filter_map(|(k, &pos)| {
+            Some((
+                access.binding().get(k)?.clone(),
+                schema.domain_of(access_relation, pos).ok()?,
+            ))
+        })
+        .collect();
+    let valuations =
+        search::enumerate_valuations(disjunct, conf, &extra, &mut fresh, usize::MAX);
+    'next_valuation: for h in valuations {
+        let mut later_facts = Vec::new();
+        for atom in disjunct.atoms() {
+            let grounded = atom.substitute(&h);
+            let Some(tuple) = grounded.to_tuple() else {
+                continue 'next_valuation;
+            };
+            let conf_covered = conf.contains(atom.relation(), &tuple);
+            let first_covered = atom.relation() == access_relation
+                && tuple.matches_binding(input_positions, access.binding().values());
+            let later_covered = methods.has_method(atom.relation());
+            if conf_covered || first_covered {
+                continue;
+            }
+            if !later_covered {
+                continue 'next_valuation;
+            }
+            later_facts.push((atom.relation(), tuple));
+        }
+        // The truncated path yields exactly Conf plus the later-access
+        // facts; the witness is valid iff the query is still false there.
+        let truncated = search::extend_configuration(conf, &later_facts);
+        if !certain::is_certain(query, &truncated) {
+            return true;
+        }
+    }
+    false
+}
+
+/// The Proposition 4.3 polynomial test for Boolean conjunctive queries where
+/// the accessed relation occurs exactly once.
+///
+/// Returns `None` when the preconditions do not hold (the accessed relation
+/// occurs zero or several times, or some query relation other than the
+/// accessed one has no access method — the proposition implicitly assumes
+/// every relation is accessible).
+pub fn ltr_single_occurrence(
+    query: &ConjunctiveQuery,
+    conf: &Configuration,
+    access: &Access,
+    methods: &AccessMethods,
+) -> Option<bool> {
+    if !query.is_boolean() {
+        return None;
+    }
+    let method = methods.get(access.method()).ok()?;
+    let access_relation = method.relation();
+    if query.occurrences_of(access_relation) != 1 {
+        return None;
+    }
+    if !query
+        .relations()
+        .iter()
+        .all(|r| methods.has_method(*r))
+    {
+        return None;
+    }
+    // The unique partial mapping h substituting the binding into the
+    // accessed subgoal; `None` result (conflict) means not LTR.
+    let subgoal_index = query
+        .atoms()
+        .iter()
+        .position(|a| a.relation() == access_relation)?;
+    let subgoal = &query.atoms()[subgoal_index];
+    let mut mapping: HashMap<VarId, Value> = HashMap::new();
+    for (k, &pos) in method.input_positions().iter().enumerate() {
+        let bound = access.binding().get(k)?;
+        match subgoal.term_at(pos) {
+            Some(Term::Const(c)) => {
+                if c != bound {
+                    return Some(false);
+                }
+            }
+            Some(Term::Var(v)) => match mapping.get(v) {
+                Some(existing) if existing != bound => return Some(false),
+                _ => {
+                    mapping.insert(*v, bound.clone());
+                }
+            },
+            None => return Some(false),
+        }
+    }
+    let qh = query.substitute(&mapping);
+    // Components of the subgoal graph of Qh; drop those already satisfied in
+    // Conf; the access is LTR iff the accessed subgoal survives.
+    for component in qh.connected_components() {
+        if !component.contains(&subgoal_index) {
+            continue;
+        }
+        let sub_query = qh.restrict_to_atoms(&component);
+        let satisfied = certain::is_certain_cq(&sub_query, conf);
+        return Some(!satisfied);
+    }
+    Some(false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use accrel_access::{binding, AccessMode};
+    use accrel_query::{PositiveQuery, Term};
+    use accrel_schema::Schema;
+    use std::sync::Arc;
+
+    /// Schema with a binary R and a binary S, every relation independently
+    /// accessible (inputs on the second / first attribute respectively).
+    fn setup() -> (Arc<Schema>, AccessMethods) {
+        let mut b = Schema::builder();
+        let d = b.domain("D").unwrap();
+        b.relation("R", &[("a", d), ("b", d)]).unwrap();
+        b.relation("S", &[("a", d), ("b", d)]).unwrap();
+        let schema = b.build();
+        let mut mb = AccessMethods::builder(schema.clone());
+        mb.add("RAcc", "R", &["b"], AccessMode::Independent).unwrap();
+        mb.add("SAcc", "S", &["a"], AccessMode::Independent).unwrap();
+        (schema, mb.build())
+    }
+
+    fn example_4_2_query(schema: Arc<Schema>) -> Query {
+        // Q = R(x, 5) ∧ S(5, z)
+        let mut qb = ConjunctiveQuery::builder(schema);
+        let x = qb.var("x");
+        let z = qb.var("z");
+        qb.atom("R", vec![Term::Var(x), Term::constant("5")]).unwrap();
+        qb.atom("S", vec![Term::constant("5"), Term::Var(z)]).unwrap();
+        qb.build().into()
+    }
+
+    #[test]
+    fn example_4_2_not_relevant_when_witness_is_replaceable() {
+        // Conf = {R(3,5)}: any x returned by R(?,5) can be replaced by 3, so
+        // the access is not LTR.
+        let (schema, methods) = setup();
+        let q = example_4_2_query(schema.clone());
+        let r_acc = methods.by_name("RAcc").unwrap();
+        let mut conf = Configuration::empty(schema);
+        conf.insert_named("R", ["3", "5"]).unwrap();
+        let access = Access::new(r_acc, binding(["5"]));
+        assert!(!is_ltr_independent(&q, &conf, &access, &methods));
+    }
+
+    #[test]
+    fn example_4_2_relevant_when_no_witness_exists_yet() {
+        // Conf = {R(3,6)}: R(?,5) is long-term relevant.
+        let (schema, methods) = setup();
+        let q = example_4_2_query(schema.clone());
+        let r_acc = methods.by_name("RAcc").unwrap();
+        let mut conf = Configuration::empty(schema);
+        conf.insert_named("R", ["3", "6"]).unwrap();
+        let access = Access::new(r_acc, binding(["5"]));
+        assert!(is_ltr_independent(&q, &conf, &access, &methods));
+    }
+
+    #[test]
+    fn example_4_4_repeated_relation_is_not_relevant() {
+        // Q = R(x, y) ∧ R(x, 5), empty configuration, access R(?, 3):
+        // Q is equivalent to ∃x R(x,5), which the access can never witness.
+        let (schema, methods) = setup();
+        let mut qb = ConjunctiveQuery::builder(schema.clone());
+        let x = qb.var("x");
+        let y = qb.var("y");
+        qb.atom("R", vec![Term::Var(x), Term::Var(y)]).unwrap();
+        qb.atom("R", vec![Term::Var(x), Term::constant("5")]).unwrap();
+        let q: Query = qb.build().into();
+        let r_acc = methods.by_name("RAcc").unwrap();
+        let conf = Configuration::empty(schema);
+        let access = Access::new(r_acc, binding(["3"]));
+        assert!(!is_ltr_independent(&q, &conf, &access, &methods));
+        // The same access with binding 5 is relevant: it can witness both
+        // subgoals at once.
+        let access5 = Access::new(r_acc, binding(["5"]));
+        assert!(is_ltr_independent(&q, &conf, &access5, &methods));
+    }
+
+    #[test]
+    fn certain_queries_have_no_relevant_accesses() {
+        let (schema, methods) = setup();
+        let q = example_4_2_query(schema.clone());
+        let r_acc = methods.by_name("RAcc").unwrap();
+        let mut conf = Configuration::empty(schema);
+        conf.insert_named("R", ["3", "5"]).unwrap();
+        conf.insert_named("S", ["5", "9"]).unwrap();
+        let access = Access::new(r_acc, binding(["5"]));
+        assert!(!is_ltr_independent(&q, &conf, &access, &methods));
+    }
+
+    #[test]
+    fn relation_without_any_method_blocks_relevance() {
+        // Same as Example 4.2 but S has no access method and no S-facts are
+        // known: the query can never become true, so nothing is relevant.
+        let (schema, _) = setup();
+        let mut mb = AccessMethods::builder(schema.clone());
+        mb.add("RAcc", "R", &["b"], AccessMode::Independent).unwrap();
+        let methods = mb.build();
+        let q = example_4_2_query(schema.clone());
+        let r_acc = methods.by_name("RAcc").unwrap();
+        let mut conf = Configuration::empty(schema);
+        conf.insert_named("R", ["3", "6"]).unwrap();
+        let access = Access::new(r_acc, binding(["5"]));
+        assert!(!is_ltr_independent(&q, &conf, &access, &methods));
+    }
+
+    #[test]
+    fn positive_query_disjuncts_are_considered_independently() {
+        // Q = R(x,5) ∨ S(0,z). The access R(?,5) is relevant in the empty
+        // configuration through the first disjunct.
+        let (schema, methods) = setup();
+        let mut b = PositiveQuery::builder(schema.clone());
+        let x = b.var("x");
+        let z = b.var("z");
+        let rx = b
+            .atom("R", vec![Term::Var(x), Term::constant("5")])
+            .unwrap();
+        let sz = b
+            .atom("S", vec![Term::constant("0"), Term::Var(z)])
+            .unwrap();
+        let q: Query = b.build(rx.or(sz)).into();
+        let r_acc = methods.by_name("RAcc").unwrap();
+        let conf = Configuration::empty(schema);
+        let access = Access::new(r_acc, binding(["5"]));
+        assert!(is_ltr_independent(&q, &conf, &access, &methods));
+        // With binding 3 the first disjunct is incompatible and the second
+        // disjunct does not involve R at all: not relevant.
+        let access3 = Access::new(r_acc, binding(["3"]));
+        assert!(!is_ltr_independent(&q, &conf, &access3, &methods));
+    }
+
+    #[test]
+    fn non_boolean_queries_go_through_the_arity_reduction() {
+        // Q(x) :- R(x, 5) ∧ S(5, x): with an empty configuration the access
+        // R(?,5) is LTR (a fresh answer can appear); once an answer is
+        // certain for the only join value around, it still is LTR because a
+        // *new* answer could appear.
+        let (schema, methods) = setup();
+        let mut qb = ConjunctiveQuery::builder(schema.clone());
+        let x = qb.var("x");
+        qb.atom("R", vec![Term::Var(x), Term::constant("5")]).unwrap();
+        qb.atom("S", vec![Term::constant("5"), Term::Var(x)]).unwrap();
+        qb.free(&[x]);
+        let q: Query = qb.build().into();
+        let r_acc = methods.by_name("RAcc").unwrap();
+        let conf = Configuration::empty(schema);
+        let access = Access::new(r_acc, binding(["5"]));
+        assert!(is_ltr_independent(&q, &conf, &access, &methods));
+    }
+
+    #[test]
+    fn single_occurrence_test_matches_the_paper_examples() {
+        let (schema, methods) = setup();
+        let r_acc = methods.by_name("RAcc").unwrap();
+        // Example 4.2 (single occurrence of R): both configurations.
+        let q = match example_4_2_query(schema.clone()) {
+            Query::Cq(cq) => cq,
+            _ => unreachable!(),
+        };
+        let mut conf_sat = Configuration::empty(schema.clone());
+        conf_sat.insert_named("R", ["3", "5"]).unwrap();
+        let access = Access::new(r_acc, binding(["5"]));
+        assert_eq!(
+            ltr_single_occurrence(&q, &conf_sat, &access, &methods),
+            Some(false)
+        );
+        let mut conf_unsat = Configuration::empty(schema.clone());
+        conf_unsat.insert_named("R", ["3", "6"]).unwrap();
+        assert_eq!(
+            ltr_single_occurrence(&q, &conf_unsat, &access, &methods),
+            Some(true)
+        );
+        // Binding conflict with the subgoal constant: never relevant.
+        let mut qb = ConjunctiveQuery::builder(schema.clone());
+        let x = qb.var("x");
+        qb.atom("R", vec![Term::Var(x), Term::constant("7")]).unwrap();
+        let q7 = qb.build();
+        assert_eq!(
+            ltr_single_occurrence(&q7, &conf_unsat, &access, &methods),
+            Some(false)
+        );
+        // Repeated relation: not applicable.
+        let mut qb = ConjunctiveQuery::builder(schema.clone());
+        let x = qb.var("x");
+        let y = qb.var("y");
+        qb.atom("R", vec![Term::Var(x), Term::Var(y)]).unwrap();
+        qb.atom("R", vec![Term::Var(y), Term::Var(x)]).unwrap();
+        let q_rep = qb.build();
+        assert_eq!(
+            ltr_single_occurrence(&q_rep, &conf_unsat, &access, &methods),
+            None
+        );
+        let _ = schema;
+    }
+
+    #[test]
+    fn single_occurrence_agrees_with_the_general_procedure() {
+        let (schema, methods) = setup();
+        let r_acc = methods.by_name("RAcc").unwrap();
+        let q = example_4_2_query(schema.clone());
+        let cq = match &q {
+            Query::Cq(cq) => cq.clone(),
+            _ => unreachable!(),
+        };
+        let bindings = ["3", "5", "6", "7"];
+        let mut confs = Vec::new();
+        confs.push(Configuration::empty(schema.clone()));
+        let mut c1 = Configuration::empty(schema.clone());
+        c1.insert_named("R", ["3", "5"]).unwrap();
+        confs.push(c1);
+        let mut c2 = Configuration::empty(schema.clone());
+        c2.insert_named("R", ["3", "6"]).unwrap();
+        c2.insert_named("S", ["5", "1"]).unwrap();
+        confs.push(c2);
+        for conf in &confs {
+            for b in bindings {
+                let access = Access::new(r_acc, binding([b]));
+                let fast = ltr_single_occurrence(&cq, conf, &access, &methods);
+                let general = is_ltr_independent(&q, conf, &access, &methods);
+                assert_eq!(fast, Some(general), "binding {b} conf {conf}");
+            }
+        }
+    }
+
+    #[test]
+    fn single_occurrence_requires_all_relations_accessible() {
+        let (schema, _) = setup();
+        let mut mb = AccessMethods::builder(schema.clone());
+        mb.add("RAcc", "R", &["b"], AccessMode::Independent).unwrap();
+        let methods = mb.build();
+        let q = match example_4_2_query(schema.clone()) {
+            Query::Cq(cq) => cq,
+            _ => unreachable!(),
+        };
+        let r_acc = methods.by_name("RAcc").unwrap();
+        let conf = Configuration::empty(schema);
+        let access = Access::new(r_acc, binding(["5"]));
+        assert_eq!(ltr_single_occurrence(&q, &conf, &access, &methods), None);
+    }
+}

@@ -1,0 +1,824 @@
+//! Shared witness-search machinery: valuation enumeration and
+//! producibility planning ("crayfish chase" supporting chains).
+//!
+//! Both containment under access limitations and dependent long-term
+//! relevance look for a *witness*: a homomorphic image of (a disjunct of)
+//! the witnessed query made of facts that can be produced by a well-formed
+//! access path, possibly together with auxiliary *value-generator* facts
+//! whose only purpose is to make an input value of the right abstract domain
+//! accessible. This module provides:
+//!
+//! * [`enumerate_valuations`] — candidate assignments of a disjunct's
+//!   variables to configuration constants, caller-supplied extra values, or
+//!   shared fresh nulls (restricted-growth enumeration so that null sharing
+//!   patterns are covered exactly once);
+//! * [`plan_production`] — given a set of needed facts and a set of already
+//!   accessible `(value, domain)` pairs, find an ordering, an access-method
+//!   assignment and auxiliary generator chains that produce all of them by
+//!   well-formed accesses, within a [`SearchBudget`].
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use accrel_access::{Access, AccessMethodId, AccessMethods, AccessMode, AccessPath, Binding, Response};
+use accrel_query::{ConjunctiveQuery, VarId};
+use accrel_schema::{Configuration, DomainId, FreshSupply, RelationId, Tuple, Value};
+
+use crate::budget::SearchBudget;
+
+/// A value made available to the valuation enumeration beyond the
+/// configuration's active domain (e.g. the outputs of the initial access in
+/// the dependent-LTR search), together with the abstract domain it carries.
+pub(crate) type ExtraValue = (Value, DomainId);
+
+/// Enumerates candidate valuations of `cq`'s variables.
+///
+/// Every variable may map to:
+/// * a constant of the configuration's active domain carrying the variable's
+///   inferred abstract domain;
+/// * one of `extra` whose domain matches;
+/// * a fresh null, possibly shared with other variables of the same domain
+///   (sharing patterns are enumerated canonically: the i-th variable of a
+///   domain may reuse any null already introduced for that domain or open a
+///   new one).
+///
+/// At most `limit` valuations are produced. Fresh nulls are drawn from
+/// `fresh` so they are globally distinct from any other null in play.
+pub(crate) fn enumerate_valuations(
+    cq: &ConjunctiveQuery,
+    conf: &Configuration,
+    extra: &[ExtraValue],
+    fresh: &mut FreshSupply,
+    limit: usize,
+) -> Vec<HashMap<VarId, Value>> {
+    let mut vars: Vec<VarId> = cq.variables().into_iter().collect();
+    vars.sort();
+    if vars.is_empty() {
+        return vec![HashMap::new()];
+    }
+    let var_domains = cq.infer_var_domains().unwrap_or_default();
+
+    // Candidate constants per variable.
+    let adom = conf.active_domain();
+    let mut constant_candidates: Vec<Vec<Value>> = Vec::with_capacity(vars.len());
+    for v in &vars {
+        let dom = var_domains.get(v).copied();
+        let mut candidates: Vec<Value> = match dom {
+            Some(d) => adom
+                .iter()
+                .filter(|(_, vd)| *vd == d)
+                .map(|(val, _)| val.clone())
+                .collect(),
+            None => adom.iter().map(|(val, _)| val.clone()).collect(),
+        };
+        for (val, vd) in extra {
+            let matches = match dom {
+                Some(d) => *vd == d,
+                None => true,
+            };
+            if matches && !candidates.contains(val) {
+                candidates.push(val.clone());
+            }
+        }
+        candidates.sort();
+        candidates.dedup();
+        constant_candidates.push(candidates);
+    }
+
+    // Fresh-null slots are allocated lazily per (domain, slot index).
+    let mut slot_values: HashMap<(Option<DomainId>, usize), Value> = HashMap::new();
+    let mut out: Vec<HashMap<VarId, Value>> = Vec::new();
+
+    // Depth-first enumeration with restricted-growth fresh-slot indices.
+    fn go(
+        idx: usize,
+        vars: &[VarId],
+        var_domains: &HashMap<VarId, DomainId>,
+        constant_candidates: &[Vec<Value>],
+        used_slots: &mut HashMap<Option<DomainId>, usize>,
+        slot_values: &mut HashMap<(Option<DomainId>, usize), Value>,
+        fresh: &mut FreshSupply,
+        current: &mut HashMap<VarId, Value>,
+        out: &mut Vec<HashMap<VarId, Value>>,
+        limit: usize,
+    ) {
+        if out.len() >= limit {
+            return;
+        }
+        if idx == vars.len() {
+            out.push(current.clone());
+            return;
+        }
+        let v = vars[idx];
+        let dom = var_domains.get(&v).copied();
+        // Constant choices.
+        for c in &constant_candidates[idx] {
+            if out.len() >= limit {
+                return;
+            }
+            current.insert(v, c.clone());
+            go(
+                idx + 1,
+                vars,
+                var_domains,
+                constant_candidates,
+                used_slots,
+                slot_values,
+                fresh,
+                current,
+                out,
+                limit,
+            );
+        }
+        // Fresh-null choices: reuse any already-open slot of this domain or
+        // open the next one (restricted growth keeps patterns canonical).
+        let open = *used_slots.get(&dom).unwrap_or(&0);
+        for slot in 0..=open {
+            if out.len() >= limit {
+                return;
+            }
+            let value = slot_values
+                .entry((dom, slot))
+                .or_insert_with(|| fresh.next_value())
+                .clone();
+            current.insert(v, value);
+            let bumped = slot == open;
+            if bumped {
+                used_slots.insert(dom, open + 1);
+            }
+            go(
+                idx + 1,
+                vars,
+                var_domains,
+                constant_candidates,
+                used_slots,
+                slot_values,
+                fresh,
+                current,
+                out,
+                limit,
+            );
+            if bumped {
+                used_slots.insert(dom, open);
+            }
+        }
+        current.remove(&v);
+    }
+
+    let mut used_slots: HashMap<Option<DomainId>, usize> = HashMap::new();
+    let mut current = HashMap::new();
+    go(
+        0,
+        &vars,
+        &var_domains,
+        &constant_candidates,
+        &mut used_slots,
+        &mut slot_values,
+        fresh,
+        &mut current,
+        &mut out,
+        limit,
+    );
+    out
+}
+
+/// A fact scheduled for production by a witness path, with the access method
+/// chosen for it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct PlannedFact {
+    /// The relation of the fact.
+    pub relation: RelationId,
+    /// The tuple of the fact.
+    pub tuple: Tuple,
+    /// The access method used to produce it.
+    pub method: AccessMethodId,
+}
+
+/// The result of producibility planning: facts in production order
+/// (auxiliary generator facts interleaved where needed).
+#[derive(Debug, Clone, Default)]
+pub(crate) struct FactPlan {
+    /// All produced facts, in order.
+    pub ordered: Vec<PlannedFact>,
+    /// How many of them are auxiliary generator facts (not part of the
+    /// query image).
+    pub aux_count: usize,
+}
+
+impl FactPlan {
+    /// Converts the plan into an access path (each fact produced by one
+    /// access returning exactly that fact).
+    pub fn to_path(&self, methods: &AccessMethods) -> AccessPath {
+        let mut path = AccessPath::new();
+        for f in &self.ordered {
+            let m = match methods.get(f.method) {
+                Ok(m) => m,
+                Err(_) => continue,
+            };
+            let binding: Binding = m
+                .input_positions()
+                .iter()
+                .filter_map(|&p| f.tuple.get(p).cloned())
+                .collect::<Vec<Value>>()
+                .into_iter()
+                .collect();
+            path.push(
+                Access::new(f.method, binding),
+                Response::new(vec![f.tuple.clone()]),
+            );
+        }
+        path
+    }
+
+    /// The facts of the plan as `(relation, tuple)` pairs.
+    pub fn facts(&self) -> Vec<(RelationId, Tuple)> {
+        self.ordered
+            .iter()
+            .map(|f| (f.relation, f.tuple.clone()))
+            .collect()
+    }
+}
+
+/// Is every input position of `method` satisfiable from `accessible` for the
+/// concrete `tuple`? Independent methods are always satisfiable.
+fn inputs_accessible(
+    method_id: AccessMethodId,
+    tuple: &Tuple,
+    methods: &AccessMethods,
+    accessible: &HashSet<(Value, DomainId)>,
+) -> bool {
+    let Ok(m) = methods.get(method_id) else {
+        return false;
+    };
+    if m.mode() == AccessMode::Independent {
+        return true;
+    }
+    let schema = methods.schema();
+    m.input_positions().iter().all(|&p| {
+        let Some(v) = tuple.get(p) else { return false };
+        let Ok(d) = schema.domain_of(m.relation(), p) else {
+            return false;
+        };
+        accessible.contains(&(v.clone(), d))
+    })
+}
+
+/// The missing `(value, domain)` pairs preventing `method` from producing
+/// `tuple` given `accessible`.
+fn missing_inputs(
+    method_id: AccessMethodId,
+    tuple: &Tuple,
+    methods: &AccessMethods,
+    accessible: &HashSet<(Value, DomainId)>,
+) -> Vec<(Value, DomainId)> {
+    let Ok(m) = methods.get(method_id) else {
+        return vec![(Value::fresh(u64::MAX), DomainId(u32::MAX))];
+    };
+    if m.mode() == AccessMode::Independent {
+        return Vec::new();
+    }
+    let schema = methods.schema();
+    let mut out = Vec::new();
+    for &p in m.input_positions() {
+        let Some(v) = tuple.get(p) else { continue };
+        let Ok(d) = schema.domain_of(m.relation(), p) else {
+            continue;
+        };
+        if !accessible.contains(&(v.clone(), d)) {
+            out.push((v.clone(), d));
+        }
+    }
+    out
+}
+
+/// Adds every `(value, domain)` pair of a fact to the accessible set.
+fn absorb_fact(
+    relation: RelationId,
+    tuple: &Tuple,
+    methods: &AccessMethods,
+    accessible: &mut HashSet<(Value, DomainId)>,
+) {
+    let schema = methods.schema();
+    let Ok(rel) = schema.relation(relation) else {
+        return;
+    };
+    for (p, v) in tuple.iter().enumerate() {
+        if p < rel.arity() {
+            accessible.insert((v.clone(), rel.domain_at(p)));
+        }
+    }
+}
+
+/// A generator chain: a sequence of access methods whose last element has an
+/// output position of the target domain, and whose inputs become accessible
+/// as the chain unfolds.
+#[derive(Debug, Clone)]
+struct GeneratorChain {
+    methods: Vec<AccessMethodId>,
+}
+
+/// Finds up to `max_alternatives` generator chains (shortest first) that can
+/// produce a value of `target` starting from the domains represented in
+/// `accessible`.
+fn find_generator_chains(
+    target: DomainId,
+    accessible: &HashSet<(Value, DomainId)>,
+    methods: &AccessMethods,
+    budget: &SearchBudget,
+) -> Vec<GeneratorChain> {
+    let schema = methods.schema();
+    let base_domains: HashSet<DomainId> = accessible.iter().map(|(_, d)| *d).collect();
+    // Breadth-first search over (reachable-domain set, chain) states;
+    // the state space is tiny (domains are few), so we simply keep a queue
+    // of chains and avoid revisiting identical reachable-domain sets more
+    // than a few times.
+    let mut chains: Vec<GeneratorChain> = Vec::new();
+    let mut queue: VecDeque<(HashSet<DomainId>, Vec<AccessMethodId>)> = VecDeque::new();
+    queue.push_back((base_domains.clone(), Vec::new()));
+    let mut expansions = 0usize;
+    while let Some((domains, chain)) = queue.pop_front() {
+        if chains.len() >= budget.max_chain_alternatives {
+            break;
+        }
+        if chain.len() >= budget.max_chain_length {
+            continue;
+        }
+        expansions += 1;
+        if expansions > 10_000 {
+            break;
+        }
+        for (id, m) in methods.iter() {
+            let usable = m.mode() == AccessMode::Independent
+                || m.input_positions().iter().all(|&p| {
+                    schema
+                        .domain_of(m.relation(), p)
+                        .map(|d| domains.contains(&d))
+                        .unwrap_or(false)
+                });
+            if !usable {
+                continue;
+            }
+            let outputs = m.output_positions(schema);
+            if outputs.is_empty() {
+                continue;
+            }
+            let out_domains: Vec<DomainId> = outputs
+                .iter()
+                .filter_map(|&p| schema.domain_of(m.relation(), p).ok())
+                .collect();
+            let mut next_chain = chain.clone();
+            next_chain.push(id);
+            if out_domains.contains(&target) {
+                chains.push(GeneratorChain {
+                    methods: next_chain.clone(),
+                });
+                if chains.len() >= budget.max_chain_alternatives {
+                    break;
+                }
+                continue;
+            }
+            let mut next_domains = domains.clone();
+            let mut grew = false;
+            for d in out_domains {
+                grew |= next_domains.insert(d);
+            }
+            if grew {
+                queue.push_back((next_domains, next_chain));
+            }
+        }
+    }
+    chains
+}
+
+/// Materialises a generator chain so that its final fact carries `needed`
+/// (a value of domain `target`) at an output position. Returns the chain's
+/// facts in production order, or `None` if some input value cannot be
+/// chosen.
+fn materialise_chain(
+    chain: &GeneratorChain,
+    needed: &Value,
+    target: DomainId,
+    accessible: &HashSet<(Value, DomainId)>,
+    methods: &AccessMethods,
+    fresh: &mut FreshSupply,
+) -> Option<Vec<PlannedFact>> {
+    let schema = methods.schema();
+    let mut pool = accessible.clone();
+    let mut out = Vec::new();
+    for (i, &mid) in chain.methods.iter().enumerate() {
+        let m = methods.get(mid).ok()?;
+        let rel = schema.relation(m.relation()).ok()?;
+        let is_last = i + 1 == chain.methods.len();
+        let mut values: Vec<Value> = Vec::with_capacity(rel.arity());
+        let mut placed_needed = false;
+        for p in 0..rel.arity() {
+            let d = rel.domain_at(p);
+            if m.input_positions().contains(&p) {
+                if m.mode() == AccessMode::Independent {
+                    // Free guess: reuse an accessible value if there is one,
+                    // otherwise invent a junk value.
+                    let candidate = pool
+                        .iter()
+                        .filter(|(_, pd)| *pd == d)
+                        .map(|(v, _)| v.clone())
+                        .min();
+                    values.push(candidate.unwrap_or_else(|| fresh.next_value()));
+                } else {
+                    let candidate = pool
+                        .iter()
+                        .filter(|(_, pd)| *pd == d)
+                        .map(|(v, _)| v.clone())
+                        .min()?;
+                    values.push(candidate);
+                }
+            } else {
+                // Output position.
+                if is_last && d == target && !placed_needed {
+                    values.push(needed.clone());
+                    placed_needed = true;
+                } else {
+                    values.push(fresh.next_value());
+                }
+            }
+        }
+        if is_last && !placed_needed {
+            return None;
+        }
+        let tuple = Tuple::new(values);
+        for (p, v) in tuple.iter().enumerate() {
+            pool.insert((v.clone(), rel.domain_at(p)));
+        }
+        out.push(PlannedFact {
+            relation: m.relation(),
+            tuple,
+            method: mid,
+        });
+    }
+    Some(out)
+}
+
+/// Plans the production of `needed` facts starting from the accessible pairs
+/// in `base`.
+///
+/// `alternative` selects which generator-chain combination to try when a
+/// value has several possible supporting chains (callers iterate over
+/// alternatives when the first plan accidentally satisfies the containing
+/// query). Returns `None` when some fact cannot be produced within the
+/// budget.
+pub(crate) fn plan_production(
+    needed: &[(RelationId, Tuple)],
+    base: &HashSet<(Value, DomainId)>,
+    methods: &AccessMethods,
+    budget: &SearchBudget,
+    fresh: &mut FreshSupply,
+    alternative: usize,
+) -> Option<FactPlan> {
+    let mut accessible = base.clone();
+    let mut remaining: Vec<(RelationId, Tuple)> = needed.to_vec();
+    let mut plan = FactPlan::default();
+
+    while !remaining.is_empty() {
+        // First, place every fact that is directly producible.
+        let mut progressed = true;
+        while progressed {
+            progressed = false;
+            let mut i = 0;
+            while i < remaining.len() {
+                let (rel, tuple) = remaining[i].clone();
+                let method = methods
+                    .methods_for(rel)
+                    .iter()
+                    .copied()
+                    .find(|&mid| inputs_accessible(mid, &tuple, methods, &accessible));
+                if let Some(mid) = method {
+                    absorb_fact(rel, &tuple, methods, &mut accessible);
+                    plan.ordered.push(PlannedFact {
+                        relation: rel,
+                        tuple,
+                        method: mid,
+                    });
+                    remaining.remove(i);
+                    progressed = true;
+                } else {
+                    i += 1;
+                }
+            }
+        }
+        if remaining.is_empty() {
+            break;
+        }
+        // Stuck: pick the remaining fact with the fewest missing inputs and
+        // generate the missing values via auxiliary chains.
+        let mut best: Option<(usize, AccessMethodId, Vec<(Value, DomainId)>)> = None;
+        for (i, (rel, tuple)) in remaining.iter().enumerate() {
+            for &mid in methods.methods_for(*rel) {
+                let missing = missing_inputs(mid, tuple, methods, &accessible);
+                // A fact on a relation without methods never gets here
+                // (methods_for is empty), handled below.
+                let better = match &best {
+                    None => true,
+                    Some((_, _, best_missing)) => missing.len() < best_missing.len(),
+                };
+                if better {
+                    best = Some((i, mid, missing));
+                }
+            }
+            if methods.methods_for(*rel).is_empty() {
+                // Fact on a relation without access methods can never be
+                // produced.
+                return None;
+            }
+        }
+        let (idx, mid, missing) = best?;
+        if missing.is_empty() {
+            // Should have been placed in the direct phase; guard against
+            // infinite loops.
+            return None;
+        }
+        for (value, domain) in missing {
+            let chains = find_generator_chains(domain, &accessible, methods, budget);
+            if chains.is_empty() {
+                return None;
+            }
+            let chain = &chains[alternative % chains.len()];
+            let aux =
+                materialise_chain(chain, &value, domain, &accessible, methods, fresh)?;
+            if plan.aux_count + aux.len() > budget.max_aux_facts {
+                return None;
+            }
+            for f in aux {
+                absorb_fact(f.relation, &f.tuple, methods, &mut accessible);
+                plan.aux_count += 1;
+                plan.ordered.push(f);
+            }
+        }
+        // Now the chosen fact must be producible; place it.
+        let (rel, tuple) = remaining[idx].clone();
+        if !inputs_accessible(mid, &tuple, methods, &accessible) {
+            return None;
+        }
+        absorb_fact(rel, &tuple, methods, &mut accessible);
+        plan.ordered.push(PlannedFact {
+            relation: rel,
+            tuple,
+            method: mid,
+        });
+        remaining.remove(idx);
+    }
+    Some(plan)
+}
+
+/// Convenience: turn a list of `(relation, tuple)` facts into a configuration
+/// extension of `conf` (ignoring facts that fail arity checks, which cannot
+/// happen for facts built from validated queries).
+pub(crate) fn extend_configuration(
+    conf: &Configuration,
+    facts: &[(RelationId, Tuple)],
+) -> Configuration {
+    let mut next = conf.clone();
+    for (rel, t) in facts {
+        let _ = next.insert(*rel, t.clone());
+    }
+    next
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use accrel_access::AccessMode;
+    use accrel_query::Term;
+    use accrel_schema::{tuple, Schema};
+    use std::sync::Arc;
+
+    fn two_domain_setup() -> (Arc<Schema>, AccessMethods) {
+        let mut b = Schema::builder();
+        let d = b.domain("D").unwrap();
+        let e = b.domain("E").unwrap();
+        // R(d, e) with dependent access on the first position,
+        // S(e) with a free access, T(e, d) with dependent access on e.
+        b.relation("R", &[("a", d), ("b", e)]).unwrap();
+        b.relation("S", &[("a", e)]).unwrap();
+        b.relation("T", &[("a", e), ("b", d)]).unwrap();
+        let schema = b.build();
+        let mut mb = AccessMethods::builder(schema.clone());
+        mb.add("RAcc", "R", &["a"], AccessMode::Dependent).unwrap();
+        mb.add_free("SAcc", "S", AccessMode::Independent).unwrap();
+        mb.add("TAcc", "T", &["a"], AccessMode::Dependent).unwrap();
+        (schema, mb.build())
+    }
+
+    #[test]
+    fn valuation_enumeration_covers_constants_and_shared_nulls() {
+        let (schema, _) = two_domain_setup();
+        let mut qb = ConjunctiveQuery::builder(schema.clone());
+        let x = qb.var("x");
+        let y = qb.var("y");
+        qb.atom("R", vec![Term::Var(x), Term::Var(y)]).unwrap();
+        let q = qb.build();
+        let mut conf = Configuration::empty(schema);
+        conf.insert_named("R", ["c", "e1"]).unwrap();
+        let mut fresh = FreshSupply::new();
+        let vals = enumerate_valuations(&q, &conf, &[], &mut fresh, 1000);
+        // x (domain D): {c, fresh}; y (domain E): {e1, fresh}: 4 candidates.
+        assert_eq!(vals.len(), 4);
+        assert!(vals
+            .iter()
+            .any(|m| m[&x] == Value::sym("c") && m[&y] == Value::sym("e1")));
+        assert!(vals.iter().any(|m| m[&x].is_fresh() && m[&y].is_fresh()));
+        // Different domains never share a null.
+        for m in &vals {
+            if m[&x].is_fresh() && m[&y].is_fresh() {
+                assert_ne!(m[&x], m[&y]);
+            }
+        }
+    }
+
+    #[test]
+    fn valuation_enumeration_shares_nulls_within_a_domain() {
+        let (schema, _) = two_domain_setup();
+        let mut qb = ConjunctiveQuery::builder(schema.clone());
+        let x = qb.var("x");
+        let y = qb.var("y");
+        // Both variables of domain E.
+        qb.atom("S", vec![Term::Var(x)]).unwrap();
+        qb.atom("S", vec![Term::Var(y)]).unwrap();
+        let q = qb.build();
+        let conf = Configuration::empty(schema);
+        let mut fresh = FreshSupply::new();
+        let vals = enumerate_valuations(&q, &conf, &[], &mut fresh, 1000);
+        // x: fresh slot 0; y: reuse slot 0 or open slot 1 → 2 valuations.
+        assert_eq!(vals.len(), 2);
+        assert!(vals.iter().any(|m| m[&x] == m[&y]));
+        assert!(vals.iter().any(|m| m[&x] != m[&y]));
+    }
+
+    #[test]
+    fn valuation_enumeration_uses_extra_values_and_respects_limit() {
+        let (schema, _) = two_domain_setup();
+        let e = schema.domain_by_name("E").unwrap();
+        let d = schema.domain_by_name("D").unwrap();
+        let mut qb = ConjunctiveQuery::builder(schema.clone());
+        let x = qb.var("x");
+        qb.atom("S", vec![Term::Var(x)]).unwrap();
+        let q = qb.build();
+        let conf = Configuration::empty(schema);
+        let mut fresh = FreshSupply::new();
+        // Extra value of the right domain is offered; wrong-domain one is not.
+        let vals = enumerate_valuations(
+            &q,
+            &conf,
+            &[(Value::sym("seen"), e), (Value::sym("wrong"), d)],
+            &mut fresh,
+            1000,
+        );
+        assert_eq!(vals.len(), 2);
+        assert!(vals.iter().any(|m| m[&x] == Value::sym("seen")));
+        assert!(!vals.iter().any(|m| m[&x] == Value::sym("wrong")));
+        let limited = enumerate_valuations(&q, &conf, &[], &mut fresh, 1);
+        assert_eq!(limited.len(), 1);
+    }
+
+    #[test]
+    fn plan_production_orders_dependent_facts() {
+        // Need R(c, v) and T(v, w): R first (input c accessible), whose
+        // output v then unlocks T.
+        let (schema, methods) = two_domain_setup();
+        let r = schema.relation_by_name("R").unwrap();
+        let t = schema.relation_by_name("T").unwrap();
+        let d = schema.domain_by_name("D").unwrap();
+        let mut base = HashSet::new();
+        base.insert((Value::sym("c"), d));
+        let v = Value::fresh(100);
+        let w = Value::fresh(101);
+        let needed = vec![
+            (t, Tuple::new(vec![v.clone(), w.clone()])),
+            (r, Tuple::new(vec![Value::sym("c"), v.clone()])),
+        ];
+        let mut fresh = FreshSupply::new();
+        let plan = plan_production(
+            &needed,
+            &base,
+            &methods,
+            &SearchBudget::default(),
+            &mut fresh,
+            0,
+        )
+        .expect("plan should exist");
+        assert_eq!(plan.ordered.len(), 2);
+        assert_eq!(plan.aux_count, 0);
+        assert_eq!(plan.ordered[0].relation, r);
+        assert_eq!(plan.ordered[1].relation, t);
+        // The plan converts to a well-formed access path from a
+        // configuration that exposes c in domain D.
+        let mut conf = Configuration::empty(schema);
+        conf.insert_named("R", ["c", "seed"]).unwrap();
+        let path = plan.to_path(&methods);
+        assert_eq!(path.len(), 2);
+        assert!(path.is_well_formed_at(&conf, &methods));
+    }
+
+    #[test]
+    fn plan_production_inserts_generator_chains() {
+        // Need T(v, w) alone: v (domain E) is not accessible, but the free
+        // access on S can generate it.
+        let (schema, methods) = two_domain_setup();
+        let t = schema.relation_by_name("T").unwrap();
+        let base = HashSet::new();
+        let v = Value::fresh(100);
+        let w = Value::fresh(101);
+        let needed = vec![(t, Tuple::new(vec![v.clone(), w]))];
+        let mut fresh = FreshSupply::new();
+        let plan = plan_production(
+            &needed,
+            &base,
+            &methods,
+            &SearchBudget::default(),
+            &mut fresh,
+            0,
+        )
+        .expect("plan should exist");
+        assert_eq!(plan.aux_count, 1);
+        assert_eq!(plan.ordered.len(), 2);
+        // The auxiliary fact is an S-fact carrying v.
+        let s = schema.relation_by_name("S").unwrap();
+        assert_eq!(plan.ordered[0].relation, s);
+        assert_eq!(plan.ordered[0].tuple.get(0), Some(&v));
+        let path = plan.to_path(&methods);
+        let conf = Configuration::empty(schema);
+        assert!(path.is_well_formed_at(&conf, &methods));
+    }
+
+    #[test]
+    fn plan_production_fails_without_any_route() {
+        // Remove the free S access: a T-fact with a fresh E-input can no
+        // longer be produced.
+        let (schema, _) = two_domain_setup();
+        let mut mb = AccessMethods::builder(schema.clone());
+        mb.add("TAcc", "T", &["a"], AccessMode::Dependent).unwrap();
+        let methods = mb.build();
+        let t = schema.relation_by_name("T").unwrap();
+        let needed = vec![(t, Tuple::new(vec![Value::fresh(0), Value::fresh(1)]))];
+        let mut fresh = FreshSupply::above([Value::fresh(1)].iter());
+        let plan = plan_production(
+            &needed,
+            &HashSet::new(),
+            &methods,
+            &SearchBudget::default(),
+            &mut fresh,
+            0,
+        );
+        assert!(plan.is_none());
+    }
+
+    #[test]
+    fn plan_production_fails_on_relations_without_methods() {
+        let (schema, _) = two_domain_setup();
+        // Only R has a method; an S fact is not producible.
+        let mut mb = AccessMethods::builder(schema.clone());
+        mb.add("RAcc", "R", &["a"], AccessMode::Dependent).unwrap();
+        let methods = mb.build();
+        let s = schema.relation_by_name("S").unwrap();
+        let needed = vec![(s, tuple(["x"]))];
+        let mut fresh = FreshSupply::new();
+        assert!(plan_production(
+            &needed,
+            &HashSet::new(),
+            &methods,
+            &SearchBudget::default(),
+            &mut fresh,
+            0
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn extend_configuration_adds_facts() {
+        let (schema, _) = two_domain_setup();
+        let s = schema.relation_by_name("S").unwrap();
+        let conf = Configuration::empty(schema);
+        let bigger = extend_configuration(&conf, &[(s, tuple(["x"]))]);
+        assert_eq!(bigger.len(), 1);
+        assert_eq!(conf.len(), 0);
+    }
+
+    #[test]
+    fn generator_chains_respect_budget_and_target_domain() {
+        let (schema, methods) = two_domain_setup();
+        let e = schema.domain_by_name("E").unwrap();
+        let d = schema.domain_by_name("D").unwrap();
+        let chains = find_generator_chains(e, &HashSet::new(), &methods, &SearchBudget::default());
+        assert!(!chains.is_empty());
+        // Domain D is only produced by T's output, which needs an E input —
+        // reachable through S then T.
+        let chains_d =
+            find_generator_chains(d, &HashSet::new(), &methods, &SearchBudget::default());
+        assert!(!chains_d.is_empty());
+        assert!(chains_d.iter().any(|c| c.methods.len() == 2));
+        // With a tiny budget nothing of length 2 can be found.
+        let tight = SearchBudget {
+            max_chain_length: 1,
+            ..SearchBudget::default()
+        };
+        let chains_tight = find_generator_chains(d, &HashSet::new(), &methods, &tight);
+        assert!(chains_tight.is_empty());
+    }
+}

@@ -1,0 +1,403 @@
+//! The relevance-guided federated query engine.
+
+use std::collections::HashSet;
+
+use accrel_access::enumerate::{well_formed_accesses, EnumerationOptions};
+use accrel_access::{apply_access, Access};
+use accrel_core::{is_immediately_relevant, is_long_term_relevant, SearchBudget};
+use accrel_query::{certain, Query};
+use accrel_schema::{Configuration, Tuple, Value};
+
+use crate::source::DeepWebSource;
+
+/// Access-selection strategies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Strategy {
+    /// Execute every well-formed access that has not been made yet — the
+    /// exhaustive dynamic evaluation of Li \[18\], with no relevance check.
+    Exhaustive,
+    /// Execute only accesses that are immediately relevant for the query.
+    IrGuided,
+    /// Execute only accesses that are long-term relevant for the query.
+    LtrGuided,
+    /// Prefer immediately relevant accesses; when none exists, execute a
+    /// long-term relevant one.
+    Hybrid,
+}
+
+impl Strategy {
+    /// All strategies, in presentation order.
+    pub fn all() -> [Strategy; 4] {
+        [
+            Strategy::Exhaustive,
+            Strategy::IrGuided,
+            Strategy::LtrGuided,
+            Strategy::Hybrid,
+        ]
+    }
+
+    /// Human-readable name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Strategy::Exhaustive => "exhaustive",
+            Strategy::IrGuided => "ir-guided",
+            Strategy::LtrGuided => "ltr-guided",
+            Strategy::Hybrid => "hybrid",
+        }
+    }
+}
+
+/// Options controlling an engine run.
+#[derive(Debug, Clone)]
+pub struct EngineOptions {
+    /// Maximum number of accesses the engine may execute before giving up.
+    pub max_accesses: usize,
+    /// Extra values independent accesses may guess (e.g. query constants).
+    pub guessable_values: Vec<Value>,
+    /// Budget for the long-term-relevance checks.
+    pub budget: SearchBudget,
+    /// Stop as soon as the query is certain (for Boolean queries) — when
+    /// `false` the engine keeps going until no candidate access remains,
+    /// which is useful for non-Boolean queries where more answers may
+    /// appear.
+    pub stop_when_certain: bool,
+}
+
+impl Default for EngineOptions {
+    fn default() -> Self {
+        Self {
+            max_accesses: 10_000,
+            guessable_values: Vec::new(),
+            budget: SearchBudget::default(),
+            stop_when_certain: true,
+        }
+    }
+}
+
+/// The outcome of an engine run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// The strategy that produced this report.
+    pub strategy: Strategy,
+    /// Whether the (Boolean) query was certain when the run stopped.
+    pub certain: bool,
+    /// The certain answers at the end of the run (the empty tuple for a
+    /// certain Boolean query).
+    pub answers: Vec<Tuple>,
+    /// Number of accesses executed.
+    pub accesses_made: usize,
+    /// Number of candidate accesses that the relevance check rejected.
+    pub accesses_skipped: usize,
+    /// Total number of tuples retrieved from the source.
+    pub tuples_retrieved: usize,
+    /// Number of engine rounds (each round re-enumerates candidates).
+    pub rounds: usize,
+    /// The final configuration.
+    pub final_configuration: Configuration,
+}
+
+/// A federated query engine answering one query against one simulated
+/// deep-Web source.
+#[derive(Debug)]
+pub struct FederatedEngine<'a> {
+    source: &'a DeepWebSource,
+    query: Query,
+    strategy: Strategy,
+    options: EngineOptions,
+}
+
+impl<'a> FederatedEngine<'a> {
+    /// Creates an engine for `query` over `source` using `strategy`.
+    pub fn new(source: &'a DeepWebSource, query: Query, strategy: Strategy) -> Self {
+        Self {
+            source,
+            query,
+            strategy,
+            options: EngineOptions::default(),
+        }
+    }
+
+    /// Replaces the run options.
+    pub fn with_options(mut self, options: EngineOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Runs the engine from `initial` until the query is certain, no
+    /// candidate access remains, or the access limit is hit.
+    pub fn run(&self, initial: &Configuration) -> RunReport {
+        let methods = self.source.methods();
+        let mut conf = initial.clone();
+        let mut made: HashSet<Access> = HashSet::new();
+        let mut accesses_made = 0usize;
+        let mut accesses_skipped = 0usize;
+        let mut tuples_retrieved = 0usize;
+        let mut rounds = 0usize;
+
+        let enum_options = EnumerationOptions {
+            guessable_values: self.guessable_pool(initial),
+            max_accesses: usize::MAX,
+        };
+
+        loop {
+            rounds += 1;
+            if self.options.stop_when_certain
+                && self.query.is_boolean()
+                && certain::is_certain(&self.query, &conf)
+            {
+                break;
+            }
+            if accesses_made >= self.options.max_accesses {
+                break;
+            }
+            // Candidate accesses: well-formed, not yet executed.
+            let candidates: Vec<Access> = well_formed_accesses(&conf, methods, &enum_options)
+                .into_iter()
+                .filter(|a| !made.contains(a))
+                .collect();
+            if candidates.is_empty() {
+                break;
+            }
+            let selected = self.select(&candidates, &conf, &mut accesses_skipped);
+            let Some(access) = selected else {
+                break;
+            };
+            made.insert(access.clone());
+            let Ok(response) = self.source.call(&access) else {
+                continue;
+            };
+            tuples_retrieved += response.len();
+            accesses_made += 1;
+            if let Ok(next) = apply_access(&conf, &access, &response, methods) {
+                conf = next;
+            }
+        }
+
+        RunReport {
+            strategy: self.strategy,
+            certain: certain::is_certain(&self.query, &conf),
+            answers: certain::certain_answers(&self.query, &conf),
+            accesses_made,
+            accesses_skipped,
+            tuples_retrieved,
+            rounds,
+            final_configuration: conf,
+        }
+    }
+
+    /// Runs every strategy on the same initial configuration and returns the
+    /// reports (resetting the source statistics between runs).
+    pub fn compare_strategies(
+        source: &'a DeepWebSource,
+        query: &Query,
+        initial: &Configuration,
+        options: &EngineOptions,
+    ) -> Vec<RunReport> {
+        Strategy::all()
+            .into_iter()
+            .map(|strategy| {
+                source.reset_stats();
+                FederatedEngine::new(source, query.clone(), strategy)
+                    .with_options(options.clone())
+                    .run(initial)
+            })
+            .collect()
+    }
+
+    /// The pool of guessable values for independent accesses: caller-provided
+    /// values plus the query constants (which the paper assumes are known).
+    fn guessable_pool(&self, initial: &Configuration) -> Vec<Value> {
+        let mut pool = self.options.guessable_values.clone();
+        for c in self.query.constants() {
+            if !pool.contains(&c) {
+                pool.push(c);
+            }
+        }
+        for v in initial.all_values() {
+            if !pool.contains(&v) {
+                pool.push(v);
+            }
+        }
+        pool.sort();
+        pool
+    }
+
+    /// Picks the next access to execute according to the strategy.
+    fn select(
+        &self,
+        candidates: &[Access],
+        conf: &Configuration,
+        accesses_skipped: &mut usize,
+    ) -> Option<Access> {
+        let methods = self.source.methods();
+        match self.strategy {
+            Strategy::Exhaustive => candidates.first().cloned(),
+            Strategy::IrGuided => {
+                for a in candidates {
+                    if is_immediately_relevant(&self.query, conf, a, methods) {
+                        return Some(a.clone());
+                    }
+                    *accesses_skipped += 1;
+                }
+                None
+            }
+            Strategy::LtrGuided => {
+                for a in candidates {
+                    if is_long_term_relevant(&self.query, conf, a, methods, &self.options.budget) {
+                        return Some(a.clone());
+                    }
+                    *accesses_skipped += 1;
+                }
+                None
+            }
+            Strategy::Hybrid => {
+                for a in candidates {
+                    if is_immediately_relevant(&self.query, conf, a, methods) {
+                        return Some(a.clone());
+                    }
+                }
+                for a in candidates {
+                    if is_long_term_relevant(&self.query, conf, a, methods, &self.options.budget) {
+                        return Some(a.clone());
+                    }
+                    *accesses_skipped += 1;
+                }
+                None
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenarios;
+    use crate::source::ResponsePolicy;
+
+    #[test]
+    fn exhaustive_engine_answers_the_bank_query() {
+        let scenario = scenarios::bank_scenario();
+        let source = DeepWebSource::new(
+            scenario.instance.clone(),
+            scenario.methods.clone(),
+            ResponsePolicy::Exact,
+        );
+        let engine = FederatedEngine::new(&source, scenario.query.clone(), Strategy::Exhaustive);
+        let report = engine.run(&scenario.initial_configuration);
+        assert!(report.certain);
+        assert!(report.accesses_made > 0);
+        assert_eq!(report.strategy, Strategy::Exhaustive);
+        assert!(!report.final_configuration.is_empty());
+    }
+
+    #[test]
+    fn relevance_guided_strategies_make_fewer_accesses() {
+        let scenario = scenarios::bank_scenario();
+        let source = DeepWebSource::new(
+            scenario.instance.clone(),
+            scenario.methods.clone(),
+            ResponsePolicy::Exact,
+        );
+        let options = EngineOptions::default();
+        let reports = FederatedEngine::compare_strategies(
+            &source,
+            &scenario.query,
+            &scenario.initial_configuration,
+            &options,
+        );
+        let exhaustive = reports
+            .iter()
+            .find(|r| r.strategy == Strategy::Exhaustive)
+            .unwrap();
+        let hybrid = reports
+            .iter()
+            .find(|r| r.strategy == Strategy::Hybrid)
+            .unwrap();
+        let ltr = reports
+            .iter()
+            .find(|r| r.strategy == Strategy::LtrGuided)
+            .unwrap();
+        // Every strategy that terminates with an answer must agree on it.
+        assert!(exhaustive.certain);
+        assert!(hybrid.certain);
+        assert!(ltr.certain);
+        // Relevance-guided runs never make more accesses than the
+        // exhaustive baseline on this scenario.
+        assert!(hybrid.accesses_made <= exhaustive.accesses_made);
+        assert!(ltr.accesses_made <= exhaustive.accesses_made);
+    }
+
+    #[test]
+    fn engine_respects_access_limit() {
+        let scenario = scenarios::bank_scenario();
+        let source = DeepWebSource::new(
+            scenario.instance.clone(),
+            scenario.methods.clone(),
+            ResponsePolicy::Exact,
+        );
+        let options = EngineOptions {
+            max_accesses: 1,
+            ..EngineOptions::default()
+        };
+        let engine = FederatedEngine::new(&source, scenario.query.clone(), Strategy::Exhaustive)
+            .with_options(options);
+        let report = engine.run(&scenario.initial_configuration);
+        assert_eq!(report.accesses_made, 1);
+        assert!(!report.certain);
+    }
+
+    #[test]
+    fn ir_guided_engine_stops_when_nothing_is_immediately_relevant() {
+        // In the bank scenario nothing is immediately relevant at the start
+        // (the query needs facts from several relations), so the IR-guided
+        // engine stops early without answering — illustrating why long-term
+        // relevance is the right notion for multi-step plans.
+        let scenario = scenarios::bank_scenario();
+        let source = DeepWebSource::new(
+            scenario.instance.clone(),
+            scenario.methods.clone(),
+            ResponsePolicy::Exact,
+        );
+        let engine = FederatedEngine::new(&source, scenario.query.clone(), Strategy::IrGuided);
+        let report = engine.run(&scenario.initial_configuration);
+        assert!(!report.certain);
+        assert_eq!(report.accesses_made, 0);
+        assert!(report.accesses_skipped > 0);
+    }
+
+    #[test]
+    fn sound_but_incomplete_sources_still_yield_sound_answers() {
+        let scenario = scenarios::bank_scenario();
+        let source = DeepWebSource::new(
+            scenario.instance.clone(),
+            scenario.methods.clone(),
+            ResponsePolicy::SoundSample {
+                probability: 0.7,
+                seed: 7,
+            },
+        );
+        let engine = FederatedEngine::new(&source, scenario.query.clone(), Strategy::Exhaustive);
+        let report = engine.run(&scenario.initial_configuration);
+        // Whatever was learnt is consistent with the hidden instance.
+        assert!(source
+            .hidden_instance()
+            .is_consistent(&report.final_configuration));
+        // If the engine declared the query certain, it really is true in the
+        // hidden instance.
+        if report.certain {
+            assert!(certain::is_certain(
+                &scenario.query,
+                &source.hidden_instance().full_configuration()
+            ));
+        }
+    }
+
+    #[test]
+    fn strategy_names_and_listing() {
+        assert_eq!(Strategy::all().len(), 4);
+        assert_eq!(Strategy::Exhaustive.name(), "exhaustive");
+        assert_eq!(Strategy::IrGuided.name(), "ir-guided");
+        assert_eq!(Strategy::LtrGuided.name(), "ltr-guided");
+        assert_eq!(Strategy::Hybrid.name(), "hybrid");
+    }
+}

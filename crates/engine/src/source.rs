@@ -1,0 +1,207 @@
+//! Simulated deep-Web sources.
+
+use std::cell::RefCell;
+
+use accrel_access::{Access, AccessMethods, Response};
+use accrel_schema::Instance;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// How a source answers accesses.
+///
+/// The paper only assumes accesses are *sound* (any subset of the matching
+/// tuples may come back, possibly a different one each time); `Exact`
+/// models the classical assumption of Li & Chang / Calì & Martinenghi,
+/// while the other policies exercise the weaker contract.
+#[derive(Debug, Clone)]
+pub enum ResponsePolicy {
+    /// Return every matching tuple (`I(Bind, R)`).
+    Exact,
+    /// Return each matching tuple independently with the given probability
+    /// (deterministic per seed).
+    SoundSample {
+        /// Probability of including each matching tuple.
+        probability: f64,
+        /// RNG seed, so runs are reproducible.
+        seed: u64,
+    },
+    /// Return at most the first `k` matching tuples (in sorted order).
+    FirstK(
+        /// Maximum number of tuples returned per access.
+        usize,
+    ),
+}
+
+/// Cumulative statistics about the calls made to a source.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SourceStats {
+    /// Number of accesses executed.
+    pub calls: usize,
+    /// Total number of tuples returned across all calls.
+    pub tuples_returned: usize,
+}
+
+/// A deep-Web source: a hidden instance exposed only through access methods.
+///
+/// The engine never reads the instance directly; it can only learn about it
+/// by making accesses, exactly as in the paper's model.
+#[derive(Debug)]
+pub struct DeepWebSource {
+    instance: Instance,
+    methods: AccessMethods,
+    policy: ResponsePolicy,
+    stats: RefCell<SourceStats>,
+    rng: RefCell<StdRng>,
+}
+
+impl DeepWebSource {
+    /// Creates a source over `instance` with the given access methods and
+    /// response policy.
+    pub fn new(instance: Instance, methods: AccessMethods, policy: ResponsePolicy) -> Self {
+        let seed = match &policy {
+            ResponsePolicy::SoundSample { seed, .. } => *seed,
+            _ => 0,
+        };
+        Self {
+            instance,
+            methods,
+            policy,
+            stats: RefCell::new(SourceStats::default()),
+            rng: RefCell::new(StdRng::seed_from_u64(seed)),
+        }
+    }
+
+    /// The access methods exposed by this source.
+    pub fn methods(&self) -> &AccessMethods {
+        &self.methods
+    }
+
+    /// The hidden instance (exposed for tests and ground-truth checks only).
+    pub fn hidden_instance(&self) -> &Instance {
+        &self.instance
+    }
+
+    /// Statistics on the calls made so far.
+    pub fn stats(&self) -> SourceStats {
+        self.stats.borrow().clone()
+    }
+
+    /// Resets the call statistics.
+    pub fn reset_stats(&self) {
+        *self.stats.borrow_mut() = SourceStats::default();
+    }
+
+    /// Executes an access and returns its (sound) response.
+    ///
+    /// The caller is responsible for only submitting accesses that are
+    /// well-formed for its configuration; the source itself does not know
+    /// the caller's configuration.
+    pub fn call(&self, access: &Access) -> accrel_access::Result<Response> {
+        let exact = Response::exact(access, &self.methods, &self.instance)?;
+        let mut tuples: Vec<_> = exact.tuples().to_vec();
+        tuples.sort();
+        let selected = match &self.policy {
+            ResponsePolicy::Exact => tuples,
+            ResponsePolicy::FirstK(k) => {
+                tuples.truncate(*k);
+                tuples
+            }
+            ResponsePolicy::SoundSample { probability, .. } => {
+                let mut rng = self.rng.borrow_mut();
+                let mut kept: Vec<_> = tuples
+                    .iter()
+                    .filter(|_| rng.gen::<f64>() < *probability)
+                    .cloned()
+                    .collect();
+                // Sound responses may also come back in any order.
+                kept.shuffle(&mut *rng);
+                kept
+            }
+        };
+        let mut stats = self.stats.borrow_mut();
+        stats.calls += 1;
+        stats.tuples_returned += selected.len();
+        Ok(Response::new(selected))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use accrel_access::{binding, AccessMode};
+    use accrel_schema::Schema;
+
+    fn setup(policy: ResponsePolicy) -> (DeepWebSource, Access) {
+        let mut b = Schema::builder();
+        let d = b.domain("D").unwrap();
+        b.relation("R", &[("a", d), ("b", d)]).unwrap();
+        let schema = b.build();
+        let mut mb = AccessMethods::builder(schema.clone());
+        let acc = mb.add("RAcc", "R", &["a"], AccessMode::Dependent).unwrap();
+        let methods = mb.build();
+        let mut inst = Instance::new(schema);
+        for i in 0..10 {
+            inst.insert_named("R", ["k".to_string(), format!("v{i}")]).unwrap();
+        }
+        inst.insert_named("R", ["other", "w"]).unwrap();
+        let source = DeepWebSource::new(inst, methods, policy);
+        (source, Access::new(acc, binding(["k"])))
+    }
+
+    #[test]
+    fn exact_policy_returns_all_matching_tuples() {
+        let (source, access) = setup(ResponsePolicy::Exact);
+        let resp = source.call(&access).unwrap();
+        assert_eq!(resp.len(), 10);
+        assert_eq!(source.stats().calls, 1);
+        assert_eq!(source.stats().tuples_returned, 10);
+        assert_eq!(source.hidden_instance().len(), 11);
+        source.reset_stats();
+        assert_eq!(source.stats(), SourceStats::default());
+    }
+
+    #[test]
+    fn first_k_policy_truncates() {
+        let (source, access) = setup(ResponsePolicy::FirstK(3));
+        let resp = source.call(&access).unwrap();
+        assert_eq!(resp.len(), 3);
+        // Every returned tuple is sound.
+        assert!(resp
+            .validate_against(&access, source.methods(), source.hidden_instance())
+            .is_ok());
+    }
+
+    #[test]
+    fn sound_sample_policy_returns_a_sound_subset_deterministically() {
+        let (source, access) = setup(ResponsePolicy::SoundSample {
+            probability: 0.5,
+            seed: 42,
+        });
+        let first = source.call(&access).unwrap();
+        assert!(first.len() <= 10);
+        assert!(first
+            .validate_against(&access, source.methods(), source.hidden_instance())
+            .is_ok());
+        // A fresh source with the same seed gives the same first response.
+        let (source2, access2) = setup(ResponsePolicy::SoundSample {
+            probability: 0.5,
+            seed: 42,
+        });
+        let repeat = source2.call(&access2).unwrap();
+        let mut a: Vec<_> = first.tuples().to_vec();
+        let mut b: Vec<_> = repeat.tuples().to_vec();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn calls_accumulate_statistics() {
+        let (source, access) = setup(ResponsePolicy::Exact);
+        source.call(&access).unwrap();
+        source.call(&access).unwrap();
+        assert_eq!(source.stats().calls, 2);
+        assert_eq!(source.stats().tuples_returned, 20);
+    }
+}

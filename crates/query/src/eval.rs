@@ -1,0 +1,379 @@
+//! Query evaluation by homomorphism search.
+//!
+//! Evaluation of a conjunctive query over a fact store is a backtracking
+//! join: atoms are processed in order, and for each atom every tuple of the
+//! corresponding relation consistent with the current partial valuation is
+//! tried. This is the textbook NP procedure; data complexity is polynomial
+//! (AC0) for a fixed query, which experiment E5 of the benchmark harness
+//! demonstrates empirically.
+
+use std::collections::HashMap;
+
+use accrel_schema::{FactStore, Tuple, Value};
+
+use crate::atom::{Atom, Term, VarId};
+use crate::cq::ConjunctiveQuery;
+use crate::pq::PositiveQuery;
+
+/// A (partial) assignment of query variables to values.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Valuation {
+    map: HashMap<VarId, Value>,
+}
+
+impl Valuation {
+    /// The empty valuation.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a valuation from pairs.
+    pub fn from_pairs<I: IntoIterator<Item = (VarId, Value)>>(pairs: I) -> Self {
+        Self {
+            map: pairs.into_iter().collect(),
+        }
+    }
+
+    /// Looks a variable up.
+    pub fn get(&self, v: VarId) -> Option<&Value> {
+        self.map.get(&v)
+    }
+
+    /// Binds a variable (overwriting any previous binding).
+    pub fn bind(&mut self, v: VarId, value: Value) {
+        self.map.insert(v, value);
+    }
+
+    /// Whether the variable is bound.
+    pub fn is_bound(&self, v: VarId) -> bool {
+        self.map.contains_key(&v)
+    }
+
+    /// Number of bound variables.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether no variable is bound.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Iterates over the bindings.
+    pub fn iter(&self) -> impl Iterator<Item = (&VarId, &Value)> {
+        self.map.iter()
+    }
+
+    /// Exposes the underlying map (e.g. for [`Atom::substitute`]).
+    pub fn as_map(&self) -> &HashMap<VarId, Value> {
+        &self.map
+    }
+
+    /// Consumes the valuation into its map.
+    pub fn into_map(self) -> HashMap<VarId, Value> {
+        self.map
+    }
+
+    /// The image of a term under the valuation, if determined.
+    pub fn apply(&self, term: &Term) -> Option<Value> {
+        match term {
+            Term::Const(c) => Some(c.clone()),
+            Term::Var(v) => self.map.get(v).cloned(),
+        }
+    }
+
+    /// The tuple of values assigned to `vars`, if all are bound.
+    pub fn project(&self, vars: &[VarId]) -> Option<Tuple> {
+        let mut out = Vec::with_capacity(vars.len());
+        for v in vars {
+            out.push(self.map.get(v)?.clone());
+        }
+        Some(Tuple::new(out))
+    }
+
+    /// Attempts to extend the valuation so that `atom` maps onto `tuple`.
+    /// Returns the extended valuation, or `None` on mismatch.
+    pub fn unify_atom(&self, atom: &Atom, tuple: &Tuple) -> Option<Valuation> {
+        if atom.arity() != tuple.arity() {
+            return None;
+        }
+        let mut next = self.clone();
+        for (term, value) in atom.terms().iter().zip(tuple.iter()) {
+            match term {
+                Term::Const(c) => {
+                    if c != value {
+                        return None;
+                    }
+                }
+                Term::Var(v) => match next.map.get(v) {
+                    Some(existing) if existing != value => return None,
+                    Some(_) => {}
+                    None => {
+                        next.map.insert(*v, value.clone());
+                    }
+                },
+            }
+        }
+        Some(next)
+    }
+}
+
+impl FromIterator<(VarId, Value)> for Valuation {
+    fn from_iter<T: IntoIterator<Item = (VarId, Value)>>(iter: T) -> Self {
+        Valuation::from_pairs(iter)
+    }
+}
+
+/// Finds one homomorphism extending `partial` that maps every atom of
+/// `atoms` into `store`. Returns `None` when no such homomorphism exists.
+pub fn find_homomorphism(
+    atoms: &[Atom],
+    store: &FactStore,
+    partial: &Valuation,
+) -> Option<Valuation> {
+    fn go(atoms: &[Atom], idx: usize, store: &FactStore, current: &Valuation) -> Option<Valuation> {
+        let Some(atom) = atoms.get(idx) else {
+            return Some(current.clone());
+        };
+        for tuple in store.tuples(atom.relation()) {
+            if let Some(extended) = current.unify_atom(atom, tuple) {
+                if let Some(done) = go(atoms, idx + 1, store, &extended) {
+                    return Some(done);
+                }
+            }
+        }
+        None
+    }
+    go(atoms, 0, store, partial)
+}
+
+/// Enumerates homomorphisms of `atoms` into `store` extending `partial`,
+/// stopping after `limit` results (use `usize::MAX` for all).
+pub fn all_homomorphisms(
+    atoms: &[Atom],
+    store: &FactStore,
+    partial: &Valuation,
+    limit: usize,
+) -> Vec<Valuation> {
+    let mut out = Vec::new();
+    fn go(
+        atoms: &[Atom],
+        idx: usize,
+        store: &FactStore,
+        current: &Valuation,
+        out: &mut Vec<Valuation>,
+        limit: usize,
+    ) {
+        if out.len() >= limit {
+            return;
+        }
+        let Some(atom) = atoms.get(idx) else {
+            out.push(current.clone());
+            return;
+        };
+        for tuple in store.tuples(atom.relation()) {
+            if out.len() >= limit {
+                return;
+            }
+            if let Some(extended) = current.unify_atom(atom, tuple) {
+                go(atoms, idx + 1, store, &extended, out, limit);
+            }
+        }
+    }
+    go(atoms, 0, store, partial, &mut out, limit);
+    out
+}
+
+/// Evaluates a Boolean conjunctive query over a fact store.
+///
+/// For non-Boolean queries this still returns "is the existential closure
+/// true"; use [`answers_cq`] for output tuples.
+pub fn holds_cq(query: &ConjunctiveQuery, store: &FactStore) -> bool {
+    find_homomorphism(query.atoms(), store, &Valuation::new()).is_some()
+}
+
+/// Evaluates a Boolean positive query over a fact store (via its UCQ form).
+pub fn holds_pq(query: &PositiveQuery, store: &FactStore) -> bool {
+    query.to_ucq().iter().any(|cq| holds_cq(cq, store))
+}
+
+/// Computes the answer tuples of a (possibly non-Boolean) conjunctive query.
+pub fn answers_cq(query: &ConjunctiveQuery, store: &FactStore) -> Vec<Tuple> {
+    let mut out: Vec<Tuple> = all_homomorphisms(query.atoms(), store, &Valuation::new(), usize::MAX)
+        .into_iter()
+        .filter_map(|h| h.project(query.free_vars()))
+        .collect();
+    out.sort();
+    out.dedup();
+    out
+}
+
+/// Computes the answer tuples of a positive query (union of its disjuncts'
+/// answers).
+pub fn answers_pq(query: &PositiveQuery, store: &FactStore) -> Vec<Tuple> {
+    let mut out: Vec<Tuple> = query
+        .to_ucq()
+        .iter()
+        .flat_map(|cq| answers_cq(cq, store))
+        .collect();
+    out.sort();
+    out.dedup();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use accrel_schema::{tuple, Schema};
+    use std::sync::Arc;
+
+    fn setup() -> (Arc<Schema>, FactStore) {
+        let mut b = Schema::builder();
+        let d = b.domain("D").unwrap();
+        b.relation("R", &[("a", d), ("b", d)]).unwrap();
+        b.relation("S", &[("a", d)]).unwrap();
+        let schema = b.build();
+        let mut store = FactStore::new(schema.clone());
+        store.insert_named("R", ["1", "2"]).unwrap();
+        store.insert_named("R", ["2", "3"]).unwrap();
+        store.insert_named("R", ["3", "3"]).unwrap();
+        store.insert_named("S", ["2"]).unwrap();
+        (schema, store)
+    }
+
+    #[test]
+    fn valuation_basics() {
+        let mut v = Valuation::new();
+        assert!(v.is_empty());
+        v.bind(VarId(0), Value::sym("a"));
+        assert!(v.is_bound(VarId(0)));
+        assert_eq!(v.get(VarId(0)), Some(&Value::sym("a")));
+        assert_eq!(v.len(), 1);
+        assert_eq!(v.apply(&Term::Var(VarId(0))), Some(Value::sym("a")));
+        assert_eq!(v.apply(&Term::Var(VarId(1))), None);
+        assert_eq!(v.apply(&Term::constant("k")), Some(Value::sym("k")));
+        assert_eq!(v.project(&[VarId(0)]), Some(tuple(["a"])));
+        assert_eq!(v.project(&[VarId(0), VarId(1)]), None);
+        assert_eq!(v.iter().count(), 1);
+        let v2: Valuation = vec![(VarId(3), Value::int(1))].into_iter().collect();
+        assert_eq!(v2.as_map().len(), 1);
+        assert_eq!(v2.into_map().len(), 1);
+    }
+
+    #[test]
+    fn unify_atom_respects_constants_and_repeats() {
+        let (schema, _) = setup();
+        let r = schema.relation_by_name("R").unwrap();
+        let atom = Atom::new(r, vec![Term::Var(VarId(0)), Term::Var(VarId(0))]);
+        let v = Valuation::new();
+        assert!(v.unify_atom(&atom, &tuple(["3", "3"])).is_some());
+        assert!(v.unify_atom(&atom, &tuple(["1", "2"])).is_none());
+        let atom_c = Atom::new(r, vec![Term::constant("1"), Term::Var(VarId(1))]);
+        assert!(v.unify_atom(&atom_c, &tuple(["1", "2"])).is_some());
+        assert!(v.unify_atom(&atom_c, &tuple(["2", "3"])).is_none());
+        // arity mismatch
+        assert!(v.unify_atom(&atom_c, &tuple(["1"])).is_none());
+        // conflicting prior binding
+        let bound = Valuation::from_pairs([(VarId(1), Value::sym("9"))]);
+        assert!(bound.unify_atom(&atom_c, &tuple(["1", "2"])).is_none());
+    }
+
+    #[test]
+    fn path_query_evaluation() {
+        let (schema, store) = setup();
+        let mut qb = ConjunctiveQuery::builder(schema);
+        let x = qb.var("x");
+        let y = qb.var("y");
+        let z = qb.var("z");
+        qb.atom("R", vec![Term::Var(x), Term::Var(y)]).unwrap();
+        qb.atom("R", vec![Term::Var(y), Term::Var(z)]).unwrap();
+        qb.atom("S", vec![Term::Var(y)]).unwrap();
+        let q = qb.build();
+        // R(1,2), R(2,3), S(2): the path through y=2 works.
+        assert!(holds_cq(&q, &store));
+    }
+
+    #[test]
+    fn unsatisfied_query() {
+        let (schema, store) = setup();
+        let mut qb = ConjunctiveQuery::builder(schema);
+        let x = qb.var("x");
+        qb.atom("S", vec![Term::Var(x)]).unwrap();
+        qb.atom("R", vec![Term::constant("9"), Term::Var(x)]).unwrap();
+        let q = qb.build();
+        assert!(!holds_cq(&q, &store));
+    }
+
+    #[test]
+    fn answers_with_free_variables() {
+        let (schema, store) = setup();
+        let mut qb = ConjunctiveQuery::builder(schema);
+        let x = qb.var("x");
+        let y = qb.var("y");
+        qb.atom("R", vec![Term::Var(x), Term::Var(y)]).unwrap();
+        qb.free(&[x]);
+        let q = qb.build();
+        let answers = answers_cq(&q, &store);
+        assert_eq!(answers, vec![tuple(["1"]), tuple(["2"]), tuple(["3"])]);
+    }
+
+    #[test]
+    fn all_homomorphisms_respects_limit() {
+        let (schema, store) = setup();
+        let r = schema.relation_by_name("R").unwrap();
+        let atom = Atom::new(r, vec![Term::Var(VarId(0)), Term::Var(VarId(1))]);
+        let all = all_homomorphisms(&[atom.clone()], &store, &Valuation::new(), usize::MAX);
+        assert_eq!(all.len(), 3);
+        let limited = all_homomorphisms(&[atom], &store, &Valuation::new(), 2);
+        assert_eq!(limited.len(), 2);
+    }
+
+    #[test]
+    fn empty_query_is_always_true() {
+        let (schema, store) = setup();
+        let q = ConjunctiveQuery::new(schema, vec![], vec![], vec![]);
+        assert!(holds_cq(&q, &store));
+        assert_eq!(answers_cq(&q, &store), vec![Tuple::empty()]);
+    }
+
+    #[test]
+    fn positive_query_evaluation() {
+        let (schema, store) = setup();
+        let mut b = PositiveQuery::builder(schema);
+        let x = b.var("x");
+        // S(x) ∧ (R(x, 9) ∨ R(9, x)) — false; S(x) ∨ R(9, x) — true.
+        let sx = b.atom("S", vec![Term::Var(x)]).unwrap();
+        let r1 = b.atom("R", vec![Term::Var(x), Term::constant("9")]).unwrap();
+        let r2 = b.atom("R", vec![Term::constant("9"), Term::Var(x)]).unwrap();
+        let q_false = b.clone().build(sx.clone().and(r1.clone().or(r2.clone())));
+        assert!(!holds_pq(&q_false, &store));
+        let q_true = b.build(sx.or(r2));
+        assert!(holds_pq(&q_true, &store));
+    }
+
+    #[test]
+    fn positive_query_answers() {
+        let (schema, store) = setup();
+        let mut b = PositiveQuery::builder(schema);
+        let x = b.var("x");
+        let sx = b.atom("S", vec![Term::Var(x)]).unwrap();
+        let rx = b.atom("R", vec![Term::Var(x), Term::constant("3")]).unwrap();
+        b.free(&[x]);
+        let q = b.build(sx.or(rx));
+        let ans = answers_pq(&q, &store);
+        assert_eq!(ans, vec![tuple(["2"]), tuple(["3"])]);
+    }
+
+    #[test]
+    fn partial_valuation_seeds_search() {
+        let (schema, store) = setup();
+        let r = schema.relation_by_name("R").unwrap();
+        let atom = Atom::new(r, vec![Term::Var(VarId(0)), Term::Var(VarId(1))]);
+        let seed = Valuation::from_pairs([(VarId(0), Value::sym("2"))]);
+        let hom = find_homomorphism(&[atom], &store, &seed).unwrap();
+        assert_eq!(hom.get(VarId(1)), Some(&Value::sym("3")));
+        let bad_seed = Valuation::from_pairs([(VarId(0), Value::sym("99"))]);
+        let r_atom = Atom::new(r, vec![Term::Var(VarId(0)), Term::Var(VarId(1))]);
+        assert!(find_homomorphism(&[r_atom], &store, &bad_seed).is_none());
+    }
+}

@@ -1,0 +1,40 @@
+//! # accrel-query
+//!
+//! Query languages and classical query reasoning for the `accrel` workspace:
+//!
+//! * [`ConjunctiveQuery`] (CQs) — conjunctions of relational atoms with
+//!   optional free variables;
+//! * [`PositiveQuery`] (PQs) — positive existential queries: arbitrary
+//!   nestings of ∧ and ∨ over atoms (no negation, no universal quantifier);
+//! * [`Query`] — a unified wrapper over both, normalisable to a union of
+//!   conjunctive queries (UCQ) via [`Query::to_ucq`];
+//! * evaluation by homomorphism search over a
+//!   [`accrel_schema::FactStore`] ([`eval`]);
+//! * certain answers over configurations ([`certain`]) — for monotone
+//!   queries a Boolean query is certain at `Conf` iff it holds in `Conf`
+//!   itself, which is the form used throughout the paper;
+//! * classical query containment ([`containment`]) via canonical databases
+//!   ([`canonical`]), used both directly and as the degenerate case of
+//!   containment under access limitations (all accesses free).
+//!
+//! Complexity reminders from the paper (Section 2): CQ/PQ evaluation is
+//! NP-complete in combined complexity and AC0 in data complexity; classical
+//! containment is NP-complete for CQs and ΠP2-complete for PQs.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod atom;
+pub mod canonical;
+pub mod certain;
+pub mod containment;
+mod cq;
+pub mod eval;
+mod pq;
+mod query;
+
+pub use atom::{Atom, Term, VarId};
+pub use cq::{ConjunctiveQuery, CqBuilder};
+pub use eval::Valuation;
+pub use pq::{PositiveQuery, PqBuilder, PqFormula};
+pub use query::Query;

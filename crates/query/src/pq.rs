@@ -1,0 +1,556 @@
+//! Positive (existential) queries: ∧/∨ combinations of atoms.
+
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+use std::sync::Arc;
+
+use accrel_schema::{RelationId, Schema, SchemaError, Value};
+
+use crate::atom::{Atom, Term, VarId};
+use crate::cq::ConjunctiveQuery;
+
+/// A positive-query formula: atoms combined with conjunction and disjunction
+/// (no negation, no universal quantification).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PqFormula {
+    /// A relational atom.
+    Atom(Atom),
+    /// Conjunction of sub-formulas (empty conjunction is `true`).
+    And(Vec<PqFormula>),
+    /// Disjunction of sub-formulas (empty disjunction is `false`).
+    Or(Vec<PqFormula>),
+}
+
+impl PqFormula {
+    /// The constant `true` formula.
+    pub fn truth() -> Self {
+        PqFormula::And(Vec::new())
+    }
+
+    /// The constant `false` formula.
+    pub fn falsity() -> Self {
+        PqFormula::Or(Vec::new())
+    }
+
+    /// All atoms occurring in the formula.
+    pub fn atoms(&self) -> Vec<&Atom> {
+        let mut out = Vec::new();
+        self.collect_atoms(&mut out);
+        out
+    }
+
+    fn collect_atoms<'a>(&'a self, out: &mut Vec<&'a Atom>) {
+        match self {
+            PqFormula::Atom(a) => out.push(a),
+            PqFormula::And(fs) | PqFormula::Or(fs) => {
+                for f in fs {
+                    f.collect_atoms(out);
+                }
+            }
+        }
+    }
+
+    /// All variables occurring in the formula.
+    pub fn variables(&self) -> HashSet<VarId> {
+        self.atoms().iter().flat_map(|a| a.variables()).collect()
+    }
+
+    /// All constants occurring in the formula.
+    pub fn constants(&self) -> HashSet<Value> {
+        self.atoms().iter().flat_map(|a| a.constants()).collect()
+    }
+
+    /// The relations mentioned by the formula.
+    pub fn relations(&self) -> HashSet<RelationId> {
+        self.atoms().iter().map(|a| a.relation()).collect()
+    }
+
+    /// Number of atom occurrences.
+    pub fn size(&self) -> usize {
+        self.atoms().len()
+    }
+
+    /// Applies a partial substitution of variables by constants.
+    pub fn substitute(&self, mapping: &HashMap<VarId, Value>) -> PqFormula {
+        match self {
+            PqFormula::Atom(a) => PqFormula::Atom(a.substitute(mapping)),
+            PqFormula::And(fs) => {
+                PqFormula::And(fs.iter().map(|f| f.substitute(mapping)).collect())
+            }
+            PqFormula::Or(fs) => {
+                PqFormula::Or(fs.iter().map(|f| f.substitute(mapping)).collect())
+            }
+        }
+    }
+
+    /// Converts the formula to disjunctive normal form: a list of conjuncts,
+    /// each a list of atoms. The blow-up is exponential in the nesting of
+    /// ∨ under ∧, which mirrors the complexity gap between CQs and PQs in
+    /// the paper.
+    pub fn to_dnf(&self) -> Vec<Vec<Atom>> {
+        match self {
+            PqFormula::Atom(a) => vec![vec![a.clone()]],
+            PqFormula::Or(fs) => fs.iter().flat_map(|f| f.to_dnf()).collect(),
+            PqFormula::And(fs) => {
+                let mut acc: Vec<Vec<Atom>> = vec![Vec::new()];
+                for f in fs {
+                    let branches = f.to_dnf();
+                    let mut next = Vec::with_capacity(acc.len() * branches.len().max(1));
+                    for prefix in &acc {
+                        for branch in &branches {
+                            let mut combined = prefix.clone();
+                            combined.extend(branch.iter().cloned());
+                            next.push(combined);
+                        }
+                    }
+                    acc = next;
+                }
+                acc
+            }
+        }
+    }
+
+    /// Builds the conjunction of two formulas, flattening nested `And`s.
+    pub fn and(self, other: PqFormula) -> PqFormula {
+        match (self, other) {
+            (PqFormula::And(mut a), PqFormula::And(b)) => {
+                a.extend(b);
+                PqFormula::And(a)
+            }
+            (PqFormula::And(mut a), o) => {
+                a.push(o);
+                PqFormula::And(a)
+            }
+            (s, PqFormula::And(mut b)) => {
+                b.insert(0, s);
+                PqFormula::And(b)
+            }
+            (s, o) => PqFormula::And(vec![s, o]),
+        }
+    }
+
+    /// Builds the disjunction of two formulas, flattening nested `Or`s.
+    pub fn or(self, other: PqFormula) -> PqFormula {
+        match (self, other) {
+            (PqFormula::Or(mut a), PqFormula::Or(b)) => {
+                a.extend(b);
+                PqFormula::Or(a)
+            }
+            (PqFormula::Or(mut a), o) => {
+                a.push(o);
+                PqFormula::Or(a)
+            }
+            (s, PqFormula::Or(mut b)) => {
+                b.insert(0, s);
+                PqFormula::Or(b)
+            }
+            (s, o) => PqFormula::Or(vec![s, o]),
+        }
+    }
+}
+
+/// A positive existential query: a [`PqFormula`] plus free variables and a
+/// variable-name table, over a schema.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PositiveQuery {
+    schema: Arc<Schema>,
+    formula: PqFormula,
+    free_vars: Vec<VarId>,
+    var_names: Vec<String>,
+}
+
+impl PositiveQuery {
+    /// Creates a positive query from raw parts. Prefer [`PqBuilder`].
+    pub fn new(
+        schema: Arc<Schema>,
+        formula: PqFormula,
+        free_vars: Vec<VarId>,
+        var_names: Vec<String>,
+    ) -> Self {
+        Self {
+            schema,
+            formula,
+            free_vars,
+            var_names,
+        }
+    }
+
+    /// Starts building a positive query.
+    pub fn builder(schema: Arc<Schema>) -> PqBuilder {
+        PqBuilder::new(schema)
+    }
+
+    /// Wraps a conjunctive query as a positive query.
+    pub fn from_cq(cq: &ConjunctiveQuery) -> Self {
+        Self {
+            schema: cq.schema().clone(),
+            formula: PqFormula::And(cq.atoms().iter().cloned().map(PqFormula::Atom).collect()),
+            free_vars: cq.free_vars().to_vec(),
+            var_names: cq.var_names().to_vec(),
+        }
+    }
+
+    /// The schema the query ranges over.
+    pub fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    /// The underlying formula.
+    pub fn formula(&self) -> &PqFormula {
+        &self.formula
+    }
+
+    /// The free (output) variables.
+    pub fn free_vars(&self) -> &[VarId] {
+        &self.free_vars
+    }
+
+    /// Variable names indexed by [`VarId`].
+    pub fn var_names(&self) -> &[String] {
+        &self.var_names
+    }
+
+    /// `true` when the query has no free variables.
+    pub fn is_boolean(&self) -> bool {
+        self.free_vars.is_empty()
+    }
+
+    /// Number of atom occurrences.
+    pub fn size(&self) -> usize {
+        self.formula.size()
+    }
+
+    /// The relations mentioned by the query.
+    pub fn relations(&self) -> HashSet<RelationId> {
+        self.formula.relations()
+    }
+
+    /// All constants occurring in the query.
+    pub fn constants(&self) -> HashSet<Value> {
+        self.formula.constants()
+    }
+
+    /// Converts the query to a union of conjunctive queries, sharing this
+    /// query's variable names and free variables.
+    pub fn to_ucq(&self) -> Vec<ConjunctiveQuery> {
+        self.formula
+            .to_dnf()
+            .into_iter()
+            .map(|atoms| {
+                ConjunctiveQuery::new(
+                    self.schema.clone(),
+                    atoms,
+                    self.free_vars.clone(),
+                    self.var_names.clone(),
+                )
+            })
+            .collect()
+    }
+
+    /// Validates every disjunct against the schema.
+    pub fn validate(&self) -> Result<(), SchemaError> {
+        for cq in self.to_ucq() {
+            cq.validate()?;
+        }
+        Ok(())
+    }
+
+    /// Applies a partial substitution of variables by constants.
+    pub fn substitute(&self, mapping: &HashMap<VarId, Value>) -> PositiveQuery {
+        PositiveQuery {
+            schema: self.schema.clone(),
+            formula: self.formula.substitute(mapping),
+            free_vars: self
+                .free_vars
+                .iter()
+                .copied()
+                .filter(|v| !mapping.contains_key(v))
+                .collect(),
+            var_names: self.var_names.clone(),
+        }
+    }
+
+    fn fmt_formula(
+        &self,
+        f: &PqFormula,
+        out: &mut String,
+    ) {
+        match f {
+            PqFormula::Atom(a) => out.push_str(&a.display_with(&self.schema, &self.var_names)),
+            PqFormula::And(fs) => {
+                if fs.is_empty() {
+                    out.push_str("true");
+                    return;
+                }
+                out.push('(');
+                for (i, sub) in fs.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(" ∧ ");
+                    }
+                    self.fmt_formula(sub, out);
+                }
+                out.push(')');
+            }
+            PqFormula::Or(fs) => {
+                if fs.is_empty() {
+                    out.push_str("false");
+                    return;
+                }
+                out.push('(');
+                for (i, sub) in fs.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(" ∨ ");
+                    }
+                    self.fmt_formula(sub, out);
+                }
+                out.push(')');
+            }
+        }
+    }
+}
+
+impl fmt::Display for PositiveQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut body = String::new();
+        self.fmt_formula(&self.formula, &mut body);
+        if self.free_vars.is_empty() {
+            write!(f, "Q() :- {body}")
+        } else {
+            let head: Vec<String> = self
+                .free_vars
+                .iter()
+                .map(|v| {
+                    self.var_names
+                        .get(v.index())
+                        .cloned()
+                        .unwrap_or_else(|| v.to_string())
+                })
+                .collect();
+            write!(f, "Q({}) :- {body}", head.join(", "))
+        }
+    }
+}
+
+/// Builder for [`PositiveQuery`] with named variables.
+#[derive(Debug, Clone)]
+pub struct PqBuilder {
+    schema: Arc<Schema>,
+    free_vars: Vec<VarId>,
+    var_names: Vec<String>,
+    by_name: HashMap<String, VarId>,
+}
+
+impl PqBuilder {
+    /// Creates a builder over `schema`.
+    pub fn new(schema: Arc<Schema>) -> Self {
+        Self {
+            schema,
+            free_vars: Vec::new(),
+            var_names: Vec::new(),
+            by_name: HashMap::new(),
+        }
+    }
+
+    /// Declares (or retrieves) a variable by name.
+    pub fn var(&mut self, name: impl Into<String>) -> VarId {
+        let name = name.into();
+        if let Some(&v) = self.by_name.get(&name) {
+            return v;
+        }
+        let v = VarId(self.var_names.len() as u32);
+        self.by_name.insert(name.clone(), v);
+        self.var_names.push(name);
+        v
+    }
+
+    /// Marks variables as free (output) variables.
+    pub fn free(&mut self, vars: &[VarId]) -> &mut Self {
+        self.free_vars = vars.to_vec();
+        self
+    }
+
+    /// Creates an atom formula over the relation called `relation`.
+    pub fn atom(
+        &self,
+        relation: &str,
+        terms: Vec<Term>,
+    ) -> Result<PqFormula, SchemaError> {
+        let rel = self.schema.relation_by_name(relation)?;
+        Ok(PqFormula::Atom(Atom::new(rel, terms)))
+    }
+
+    /// Creates an atom formula over a relation id.
+    pub fn atom_id(&self, relation: RelationId, terms: Vec<Term>) -> PqFormula {
+        PqFormula::Atom(Atom::new(relation, terms))
+    }
+
+    /// Finalises the query with the given formula.
+    pub fn build(self, formula: PqFormula) -> PositiveQuery {
+        PositiveQuery {
+            schema: self.schema,
+            formula,
+            free_vars: self.free_vars,
+            var_names: self.var_names,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> Arc<Schema> {
+        let mut b = Schema::builder();
+        let d = b.domain("D").unwrap();
+        b.relation("R", &[("a", d)]).unwrap();
+        b.relation("S", &[("a", d)]).unwrap();
+        b.relation("T", &[("a", d), ("b", d)]).unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn example_3_2_queries() {
+        // Q1 = ∃x R(x), Q2 = ∃x S(x) from Example 3.2.
+        let s = schema();
+        let mut b = PositiveQuery::builder(s.clone());
+        let x = b.var("x");
+        let f = b.atom("R", vec![Term::Var(x)]).unwrap();
+        let q1 = b.build(f);
+        assert!(q1.is_boolean());
+        assert_eq!(q1.size(), 1);
+        assert_eq!(q1.to_ucq().len(), 1);
+        assert!(q1.validate().is_ok());
+        assert_eq!(q1.to_string(), "Q() :- R(x)");
+    }
+
+    #[test]
+    fn dnf_distributes_and_over_or() {
+        // (R(x) ∨ S(x)) ∧ (R(y) ∨ S(y)) has 4 disjuncts.
+        let s = schema();
+        let mut b = PositiveQuery::builder(s);
+        let x = b.var("x");
+        let y = b.var("y");
+        let rx = b.atom("R", vec![Term::Var(x)]).unwrap();
+        let sx = b.atom("S", vec![Term::Var(x)]).unwrap();
+        let ry = b.atom("R", vec![Term::Var(y)]).unwrap();
+        let sy = b.atom("S", vec![Term::Var(y)]).unwrap();
+        let formula = rx.or(sx).and(ry.or(sy));
+        let q = b.build(formula);
+        let ucq = q.to_ucq();
+        assert_eq!(ucq.len(), 4);
+        for d in &ucq {
+            assert_eq!(d.atoms().len(), 2);
+        }
+        assert_eq!(q.size(), 4);
+        assert_eq!(q.relations().len(), 2);
+    }
+
+    #[test]
+    fn truth_and_falsity() {
+        let s = schema();
+        let b = PositiveQuery::builder(s.clone());
+        let q_true = b.build(PqFormula::truth());
+        assert_eq!(q_true.to_ucq().len(), 1);
+        assert!(q_true.to_ucq()[0].atoms().is_empty());
+        assert_eq!(q_true.to_string(), "Q() :- true");
+        let b = PositiveQuery::builder(s);
+        let q_false = b.build(PqFormula::falsity());
+        assert!(q_false.to_ucq().is_empty());
+        assert_eq!(q_false.to_string(), "Q() :- false");
+    }
+
+    #[test]
+    fn substitution_propagates_through_connectives() {
+        let s = schema();
+        let mut b = PositiveQuery::builder(s);
+        let x = b.var("x");
+        let rx = b.atom("R", vec![Term::Var(x)]).unwrap();
+        let sx = b.atom("S", vec![Term::Var(x)]).unwrap();
+        b.free(&[x]);
+        let q = b.build(rx.or(sx));
+        assert!(!q.is_boolean());
+        let mut m = HashMap::new();
+        m.insert(x, Value::sym("v"));
+        let ground = q.substitute(&m);
+        assert!(ground.is_boolean());
+        assert!(ground.constants().contains(&Value::sym("v")));
+        assert!(ground.formula().variables().is_empty());
+    }
+
+    #[test]
+    fn from_cq_round_trip() {
+        let s = schema();
+        let mut cqb = ConjunctiveQuery::builder(s);
+        let x = cqb.var("x");
+        let y = cqb.var("y");
+        cqb.atom("T", vec![Term::Var(x), Term::Var(y)]).unwrap();
+        cqb.atom("R", vec![Term::Var(x)]).unwrap();
+        let cq = cqb.build();
+        let pq = PositiveQuery::from_cq(&cq);
+        let back = pq.to_ucq();
+        assert_eq!(back.len(), 1);
+        assert_eq!(back[0].atoms(), cq.atoms());
+        assert_eq!(pq.size(), 2);
+    }
+
+    #[test]
+    fn flattening_of_connectives() {
+        let s = schema();
+        let b = PqBuilder::new(s.clone());
+        let r = s.relation_by_name("R").unwrap();
+        let a1 = b.atom_id(r, vec![Term::constant("1")]);
+        let a2 = b.atom_id(r, vec![Term::constant("2")]);
+        let a3 = b.atom_id(r, vec![Term::constant("3")]);
+        let and = a1.clone().and(a2.clone()).and(a3.clone());
+        match &and {
+            PqFormula::And(fs) => assert_eq!(fs.len(), 3),
+            _ => panic!("expected flattened And"),
+        }
+        let or = a1.clone().or(a2).or(a3);
+        match &or {
+            PqFormula::Or(fs) => assert_eq!(fs.len(), 3),
+            _ => panic!("expected flattened Or"),
+        }
+        let mixed = PqFormula::truth().and(a1.clone());
+        match mixed {
+            PqFormula::And(fs) => assert_eq!(fs.len(), 1),
+            _ => panic!("expected And"),
+        }
+        let mixed_or = PqFormula::falsity().or(a1);
+        match mixed_or {
+            PqFormula::Or(fs) => assert_eq!(fs.len(), 1),
+            _ => panic!("expected Or"),
+        }
+    }
+
+    #[test]
+    fn display_nested_formula() {
+        let s = schema();
+        let mut b = PositiveQuery::builder(s);
+        let x = b.var("x");
+        let rx = b.atom("R", vec![Term::Var(x)]).unwrap();
+        let sx = b.atom("S", vec![Term::Var(x)]).unwrap();
+        let tx = b.atom("T", vec![Term::Var(x), Term::constant("c")]).unwrap();
+        let q = b.build(rx.or(sx).and(tx));
+        let shown = q.to_string();
+        assert!(shown.contains("∨"));
+        assert!(shown.contains("∧"));
+        assert!(shown.contains("T(x, c)"));
+    }
+
+    #[test]
+    fn validation_detects_bad_arity_in_some_disjunct() {
+        let s = schema();
+        let r = s.relation_by_name("T").unwrap();
+        let bad = PositiveQuery::new(
+            s,
+            PqFormula::Or(vec![PqFormula::Atom(Atom::new(
+                r,
+                vec![Term::constant("only-one")],
+            ))]),
+            vec![],
+            vec![],
+        );
+        assert!(bad.validate().is_err());
+    }
+}

@@ -1,0 +1,76 @@
+//! Abstract domains typing relation attributes.
+
+use std::fmt;
+
+/// Identifier of an abstract domain within a [`super::Schema`].
+///
+/// Following the paper (and Li & Chang / Calì & Martinenghi), every attribute
+/// of every relation is typed with an *abstract domain* chosen from a
+/// countable set. Two attributes may share the same domain; in the dependent
+/// access model an input value must have been seen *in the appropriate
+/// domain* before it can be used in a binding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DomainId(pub u32);
+
+impl DomainId {
+    /// Returns the raw index of this domain.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for DomainId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "dom#{}", self.0)
+    }
+}
+
+/// An abstract domain: a named, countably infinite (unless stated otherwise)
+/// set of possible values.
+///
+/// Domains carry no extension of their own; they only serve as types
+/// constraining which configuration constants may be used as inputs to
+/// dependent accesses and which variables may be unified in queries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Domain {
+    name: String,
+}
+
+impl Domain {
+    /// Creates a domain with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self { name: name.into() }
+    }
+
+    /// The name of the domain.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+impl fmt::Display for Domain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn domain_ids_compare_by_index() {
+        assert_eq!(DomainId(3), DomainId(3));
+        assert_ne!(DomainId(3), DomainId(4));
+        assert!(DomainId(1) < DomainId(2));
+        assert_eq!(DomainId(5).index(), 5);
+    }
+
+    #[test]
+    fn domain_has_a_name() {
+        let d = Domain::new("EmpId");
+        assert_eq!(d.name(), "EmpId");
+        assert_eq!(d.to_string(), "EmpId");
+        assert_eq!(DomainId(2).to_string(), "dom#2");
+    }
+}

@@ -1,0 +1,115 @@
+//! Error type for schema-level operations.
+
+use std::fmt;
+
+use crate::domain::DomainId;
+use crate::relation::RelationId;
+
+/// Errors raised by schema, instance and configuration operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SchemaError {
+    /// A relation name was declared twice in a schema builder.
+    DuplicateRelation(String),
+    /// A domain name was declared twice in a schema builder.
+    DuplicateDomain(String),
+    /// A relation name could not be resolved.
+    UnknownRelation(String),
+    /// A domain name could not be resolved.
+    UnknownDomain(String),
+    /// A relation id is out of range for the schema.
+    InvalidRelationId(RelationId),
+    /// A domain id is out of range for the schema.
+    InvalidDomainId(DomainId),
+    /// A tuple's arity does not match the relation it is inserted into.
+    ArityMismatch {
+        /// The relation being populated.
+        relation: RelationId,
+        /// The relation's declared arity.
+        expected: usize,
+        /// The arity of the offending tuple.
+        actual: usize,
+    },
+    /// An attribute position is out of range for a relation.
+    InvalidPosition {
+        /// The relation.
+        relation: RelationId,
+        /// The offending position.
+        position: usize,
+    },
+}
+
+impl fmt::Display for SchemaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchemaError::DuplicateRelation(n) => write!(f, "duplicate relation `{n}`"),
+            SchemaError::DuplicateDomain(n) => write!(f, "duplicate domain `{n}`"),
+            SchemaError::UnknownRelation(n) => write!(f, "unknown relation `{n}`"),
+            SchemaError::UnknownDomain(n) => write!(f, "unknown domain `{n}`"),
+            SchemaError::InvalidRelationId(id) => write!(f, "invalid relation id {id}"),
+            SchemaError::InvalidDomainId(id) => write!(f, "invalid domain id {id}"),
+            SchemaError::ArityMismatch {
+                relation,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "arity mismatch for {relation}: expected {expected}, got {actual}"
+            ),
+            SchemaError::InvalidPosition { relation, position } => {
+                write!(f, "position {position} out of range for {relation}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SchemaError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_render_human_readable_messages() {
+        assert_eq!(
+            SchemaError::DuplicateRelation("R".into()).to_string(),
+            "duplicate relation `R`"
+        );
+        assert_eq!(
+            SchemaError::UnknownDomain("D".into()).to_string(),
+            "unknown domain `D`"
+        );
+        let e = SchemaError::ArityMismatch {
+            relation: RelationId(1),
+            expected: 2,
+            actual: 3,
+        };
+        assert_eq!(e.to_string(), "arity mismatch for rel#1: expected 2, got 3");
+        let e = SchemaError::InvalidPosition {
+            relation: RelationId(0),
+            position: 5,
+        };
+        assert_eq!(e.to_string(), "position 5 out of range for rel#0");
+        assert_eq!(
+            SchemaError::InvalidRelationId(RelationId(9)).to_string(),
+            "invalid relation id rel#9"
+        );
+        assert_eq!(
+            SchemaError::InvalidDomainId(DomainId(9)).to_string(),
+            "invalid domain id dom#9"
+        );
+        assert_eq!(
+            SchemaError::DuplicateDomain("B".into()).to_string(),
+            "duplicate domain `B`"
+        );
+        assert_eq!(
+            SchemaError::UnknownRelation("R".into()).to_string(),
+            "unknown relation `R`"
+        );
+    }
+
+    #[test]
+    fn error_implements_std_error() {
+        let e: Box<dyn std::error::Error> = Box::new(SchemaError::UnknownRelation("X".into()));
+        assert!(e.to_string().contains("X"));
+    }
+}

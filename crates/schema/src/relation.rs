@@ -1,0 +1,161 @@
+//! Relations and attributes.
+
+use std::fmt;
+
+use crate::domain::DomainId;
+
+/// Identifier of a relation within a [`super::Schema`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RelationId(pub u32);
+
+impl RelationId {
+    /// Returns the raw index of this relation.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for RelationId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rel#{}", self.0)
+    }
+}
+
+/// A named, domain-typed attribute (column) of a relation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Attribute {
+    name: String,
+    domain: DomainId,
+}
+
+impl Attribute {
+    /// Creates an attribute with the given name and abstract domain.
+    pub fn new(name: impl Into<String>, domain: DomainId) -> Self {
+        Self {
+            name: name.into(),
+            domain,
+        }
+    }
+
+    /// The attribute's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The abstract domain typing this attribute.
+    pub fn domain(&self) -> DomainId {
+        self.domain
+    }
+}
+
+/// A relation (table) of the schema: a name plus an ordered list of typed
+/// attributes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Relation {
+    name: String,
+    attributes: Vec<Attribute>,
+}
+
+impl Relation {
+    /// Creates a relation from a name and attribute list.
+    pub fn new(name: impl Into<String>, attributes: Vec<Attribute>) -> Self {
+        Self {
+            name: name.into(),
+            attributes,
+        }
+    }
+
+    /// The relation's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The ordered attributes of the relation.
+    pub fn attributes(&self) -> &[Attribute] {
+        &self.attributes
+    }
+
+    /// The arity (number of attributes) of the relation.
+    pub fn arity(&self) -> usize {
+        self.attributes.len()
+    }
+
+    /// The abstract domain of the attribute at `position`.
+    ///
+    /// # Panics
+    /// Panics if `position >= arity()`.
+    pub fn domain_at(&self, position: usize) -> DomainId {
+        self.attributes[position].domain()
+    }
+
+    /// Looks up an attribute position by name.
+    pub fn attribute_position(&self, name: &str) -> Option<usize> {
+        self.attributes.iter().position(|a| a.name() == name)
+    }
+
+    /// The domains of all attributes, in positional order.
+    pub fn domains(&self) -> Vec<DomainId> {
+        self.attributes.iter().map(Attribute::domain).collect()
+    }
+}
+
+impl fmt::Display for Relation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.name)?;
+        for (i, a) in self.attributes.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}", a.name())?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn employee() -> Relation {
+        Relation::new(
+            "Employee",
+            vec![
+                Attribute::new("EmpId", DomainId(0)),
+                Attribute::new("Title", DomainId(1)),
+                Attribute::new("OffId", DomainId(2)),
+            ],
+        )
+    }
+
+    #[test]
+    fn relation_reports_arity_and_domains() {
+        let r = employee();
+        assert_eq!(r.arity(), 3);
+        assert_eq!(r.domain_at(0), DomainId(0));
+        assert_eq!(r.domain_at(2), DomainId(2));
+        assert_eq!(r.domains(), vec![DomainId(0), DomainId(1), DomainId(2)]);
+    }
+
+    #[test]
+    fn attribute_lookup_by_name() {
+        let r = employee();
+        assert_eq!(r.attribute_position("Title"), Some(1));
+        assert_eq!(r.attribute_position("Missing"), None);
+        assert_eq!(r.attributes()[1].name(), "Title");
+        assert_eq!(r.attributes()[1].domain(), DomainId(1));
+    }
+
+    #[test]
+    fn relation_display_lists_attributes() {
+        let r = employee();
+        assert_eq!(r.to_string(), "Employee(EmpId, Title, OffId)");
+        assert_eq!(r.name(), "Employee");
+    }
+
+    #[test]
+    fn relation_ids_are_ordered() {
+        assert!(RelationId(0) < RelationId(1));
+        assert_eq!(RelationId(4).index(), 4);
+        assert_eq!(RelationId(4).to_string(), "rel#4");
+    }
+}

@@ -1,0 +1,384 @@
+//! The shared fact-store representation used by instances and configurations.
+
+use std::collections::{BTreeMap, HashSet};
+use std::fmt;
+use std::sync::Arc;
+
+use crate::domain::DomainId;
+use crate::error::SchemaError;
+use crate::relation::RelationId;
+use crate::schema::Schema;
+use crate::tuple::Tuple;
+use crate::value::Value;
+use crate::Result;
+
+/// A ground fact: a relation together with a tuple of values.
+pub type Fact = (RelationId, Tuple);
+
+/// A set of ground facts over a schema, organised per relation.
+///
+/// `FactStore` is the common substrate behind both [`crate::Instance`] (the
+/// full, virtual database) and [`crate::Configuration`] (the facts learnt so
+/// far). It enforces arity consistency on insertion and offers the lookups
+/// the decision procedures need: membership, per-relation scans,
+/// binding-compatible scans and active-domain computation.
+#[derive(Clone)]
+pub struct FactStore {
+    schema: Arc<Schema>,
+    relations: Vec<HashSet<Tuple>>,
+}
+
+impl FactStore {
+    /// Creates an empty store over `schema`.
+    pub fn new(schema: Arc<Schema>) -> Self {
+        let relations = vec![HashSet::new(); schema.relation_count()];
+        Self { schema, relations }
+    }
+
+    /// The schema this store ranges over.
+    pub fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    /// Inserts a fact, checking relation id and arity.
+    ///
+    /// Returns `Ok(true)` if the fact was new, `Ok(false)` if it was already
+    /// present.
+    pub fn insert(&mut self, relation: RelationId, t: Tuple) -> Result<bool> {
+        let arity = self.schema.arity(relation)?;
+        if t.arity() != arity {
+            return Err(SchemaError::ArityMismatch {
+                relation,
+                expected: arity,
+                actual: t.arity(),
+            });
+        }
+        Ok(self.relations[relation.index()].insert(t))
+    }
+
+    /// Inserts a fact given by relation name and anything convertible to
+    /// values. Convenience for tests and examples.
+    pub fn insert_named<V: Into<Value>, I: IntoIterator<Item = V>>(
+        &mut self,
+        relation: &str,
+        values: I,
+    ) -> Result<bool> {
+        let rel = self.schema.relation_by_name(relation)?;
+        self.insert(
+            rel,
+            Tuple::new(values.into_iter().map(Into::into).collect()),
+        )
+    }
+
+    /// Removes a fact; returns whether it was present.
+    pub fn remove(&mut self, relation: RelationId, t: &Tuple) -> bool {
+        self.relations
+            .get_mut(relation.index())
+            .map(|s| s.remove(t))
+            .unwrap_or(false)
+    }
+
+    /// Membership test.
+    pub fn contains(&self, relation: RelationId, t: &Tuple) -> bool {
+        self.relations
+            .get(relation.index())
+            .map(|s| s.contains(t))
+            .unwrap_or(false)
+    }
+
+    /// Membership test for a [`Fact`].
+    pub fn contains_fact(&self, fact: &Fact) -> bool {
+        self.contains(fact.0, &fact.1)
+    }
+
+    /// All tuples of one relation.
+    pub fn tuples(&self, relation: RelationId) -> impl Iterator<Item = &Tuple> {
+        self.relations
+            .get(relation.index())
+            .into_iter()
+            .flat_map(|s| s.iter())
+    }
+
+    /// Number of tuples in one relation.
+    pub fn relation_len(&self, relation: RelationId) -> usize {
+        self.relations
+            .get(relation.index())
+            .map(HashSet::len)
+            .unwrap_or(0)
+    }
+
+    /// Total number of facts in the store.
+    pub fn len(&self) -> usize {
+        self.relations.iter().map(HashSet::len).sum()
+    }
+
+    /// Whether the store holds no facts.
+    pub fn is_empty(&self) -> bool {
+        self.relations.iter().all(HashSet::is_empty)
+    }
+
+    /// Iterates over every fact in the store.
+    pub fn facts(&self) -> impl Iterator<Item = Fact> + '_ {
+        self.relations.iter().enumerate().flat_map(|(i, set)| {
+            set.iter()
+                .map(move |t| (RelationId(i as u32), t.clone()))
+        })
+    }
+
+    /// The tuples of `relation` whose projection onto `positions` equals
+    /// `binding` — the paper's `I(Bind, S)`.
+    pub fn matching(
+        &self,
+        relation: RelationId,
+        positions: &[usize],
+        binding: &[Value],
+    ) -> Vec<Tuple> {
+        self.tuples(relation)
+            .filter(|t| t.matches_binding(positions, binding))
+            .cloned()
+            .collect()
+    }
+
+    /// Returns `true` if every fact of `self` is also in `other`.
+    pub fn is_subset_of(&self, other: &FactStore) -> bool {
+        self.relations.iter().enumerate().all(|(i, set)| {
+            set.iter()
+                .all(|t| other.contains(RelationId(i as u32), t))
+        })
+    }
+
+    /// Adds every fact of `other` into `self`.
+    pub fn extend_from(&mut self, other: &FactStore) {
+        for (i, set) in other.relations.iter().enumerate() {
+            if let Some(mine) = self.relations.get_mut(i) {
+                mine.extend(set.iter().cloned());
+            }
+        }
+    }
+
+    /// Adds a collection of facts, checking each one.
+    pub fn extend_facts<I: IntoIterator<Item = Fact>>(&mut self, facts: I) -> Result<()> {
+        for (rel, t) in facts {
+            self.insert(rel, t)?;
+        }
+        Ok(())
+    }
+
+    /// The active domain of the store: the set of `(value, domain)` pairs
+    /// appearing in any fact, each value paired with the abstract domain of
+    /// the attribute position it appears in (`Adom(Conf)` in the paper).
+    pub fn active_domain(&self) -> HashSet<(Value, DomainId)> {
+        let mut out = HashSet::new();
+        for (i, set) in self.relations.iter().enumerate() {
+            let rel = match self.schema.relation(RelationId(i as u32)) {
+                Ok(r) => r,
+                Err(_) => continue,
+            };
+            for t in set {
+                for (pos, v) in t.iter().enumerate() {
+                    out.insert((v.clone(), rel.domain_at(pos)));
+                }
+            }
+        }
+        out
+    }
+
+    /// The values of the active domain restricted to one abstract domain,
+    /// sorted for deterministic iteration.
+    pub fn values_of_domain(&self, domain: DomainId) -> Vec<Value> {
+        let mut vals: Vec<Value> = self
+            .active_domain()
+            .into_iter()
+            .filter(|(_, d)| *d == domain)
+            .map(|(v, _)| v)
+            .collect();
+        vals.sort();
+        vals.dedup();
+        vals
+    }
+
+    /// All values appearing anywhere in the store (regardless of domain),
+    /// sorted and deduplicated.
+    pub fn all_values(&self) -> Vec<Value> {
+        let mut vals: Vec<Value> = self
+            .relations
+            .iter()
+            .flat_map(|s| s.iter())
+            .flat_map(|t| t.iter().cloned())
+            .collect();
+        vals.sort();
+        vals.dedup();
+        vals
+    }
+
+    /// Deterministic, sorted dump of all facts — used by `Display`, snapshot
+    /// tests and hashing of configurations during searches.
+    pub fn sorted_facts(&self) -> Vec<Fact> {
+        let mut facts: Vec<Fact> = self.facts().collect();
+        facts.sort();
+        facts
+    }
+}
+
+impl fmt::Debug for FactStore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut map = BTreeMap::new();
+        for (rel, t) in self.sorted_facts() {
+            let name = self
+                .schema
+                .relation(rel)
+                .map(|r| r.name().to_string())
+                .unwrap_or_else(|_| rel.to_string());
+            map.entry(name).or_insert_with(Vec::new).push(t);
+        }
+        f.debug_map().entries(map.iter()).finish()
+    }
+}
+
+impl fmt::Display for FactStore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (rel, t) in self.sorted_facts() {
+            let name = self
+                .schema
+                .relation(rel)
+                .map(|r| r.name().to_string())
+                .unwrap_or_else(|_| rel.to_string());
+            writeln!(f, "{name}{t}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple::tuple;
+
+    fn small_schema() -> Arc<Schema> {
+        let mut b = Schema::builder();
+        let d = b.domain("D").unwrap();
+        let e = b.domain("E").unwrap();
+        b.relation("R", &[("a", d), ("b", e)]).unwrap();
+        b.relation("S", &[("a", e)]).unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn insert_contains_and_len() {
+        let schema = small_schema();
+        let r = schema.relation_by_name("R").unwrap();
+        let mut store = FactStore::new(schema.clone());
+        assert!(store.is_empty());
+        assert!(store.insert(r, tuple(["x", "y"])).unwrap());
+        assert!(!store.insert(r, tuple(["x", "y"])).unwrap());
+        assert!(store.contains(r, &tuple(["x", "y"])));
+        assert!(!store.contains(r, &tuple(["x", "z"])));
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.relation_len(r), 1);
+        assert!(!store.is_empty());
+    }
+
+    #[test]
+    fn arity_mismatch_is_rejected() {
+        let schema = small_schema();
+        let r = schema.relation_by_name("R").unwrap();
+        let mut store = FactStore::new(schema);
+        assert!(matches!(
+            store.insert(r, tuple(["only-one"])),
+            Err(SchemaError::ArityMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn insert_named_resolves_relations() {
+        let schema = small_schema();
+        let mut store = FactStore::new(schema.clone());
+        store.insert_named("S", ["v"]).unwrap();
+        let s = schema.relation_by_name("S").unwrap();
+        assert!(store.contains(s, &tuple(["v"])));
+        assert!(store.insert_named("Nope", ["v"]).is_err());
+    }
+
+    #[test]
+    fn matching_respects_binding_positions() {
+        let schema = small_schema();
+        let r = schema.relation_by_name("R").unwrap();
+        let mut store = FactStore::new(schema);
+        store.insert(r, tuple(["a", "1"])).unwrap();
+        store.insert(r, tuple(["a", "2"])).unwrap();
+        store.insert(r, tuple(["b", "1"])).unwrap();
+        let hits = store.matching(r, &[0], &[Value::sym("a")]);
+        assert_eq!(hits.len(), 2);
+        let hits = store.matching(r, &[0, 1], &[Value::sym("b"), Value::sym("1")]);
+        assert_eq!(hits, vec![tuple(["b", "1"])]);
+        let hits = store.matching(r, &[1], &[Value::sym("9")]);
+        assert!(hits.is_empty());
+    }
+
+    #[test]
+    fn active_domain_tracks_positional_domains() {
+        let schema = small_schema();
+        let d = schema.domain_by_name("D").unwrap();
+        let e = schema.domain_by_name("E").unwrap();
+        let mut store = FactStore::new(schema);
+        store.insert_named("R", ["x", "y"]).unwrap();
+        store.insert_named("S", ["y"]).unwrap();
+        let adom = store.active_domain();
+        assert!(adom.contains(&(Value::sym("x"), d)));
+        assert!(adom.contains(&(Value::sym("y"), e)));
+        // "x" never appears in an E position
+        assert!(!adom.contains(&(Value::sym("x"), e)));
+        assert_eq!(store.values_of_domain(e), vec![Value::sym("y")]);
+        assert_eq!(store.values_of_domain(d), vec![Value::sym("x")]);
+        assert_eq!(store.all_values(), vec![Value::sym("x"), Value::sym("y")]);
+    }
+
+    #[test]
+    fn subset_and_extend() {
+        let schema = small_schema();
+        let mut a = FactStore::new(schema.clone());
+        let mut b = FactStore::new(schema.clone());
+        a.insert_named("R", ["x", "y"]).unwrap();
+        b.insert_named("R", ["x", "y"]).unwrap();
+        b.insert_named("S", ["y"]).unwrap();
+        assert!(a.is_subset_of(&b));
+        assert!(!b.is_subset_of(&a));
+        a.extend_from(&b);
+        assert!(b.is_subset_of(&a));
+        let r = schema.relation_by_name("R").unwrap();
+        let mut c = FactStore::new(schema);
+        c.extend_facts(vec![(r, tuple(["p", "q"]))]).unwrap();
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn remove_and_facts_iteration() {
+        let schema = small_schema();
+        let r = schema.relation_by_name("R").unwrap();
+        let mut store = FactStore::new(schema);
+        store.insert(r, tuple(["a", "b"])).unwrap();
+        store.insert_named("S", ["c"]).unwrap();
+        assert_eq!(store.facts().count(), 2);
+        assert!(store.contains_fact(&(r, tuple(["a", "b"]))));
+        assert!(store.remove(r, &tuple(["a", "b"])));
+        assert!(!store.remove(r, &tuple(["a", "b"])));
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn sorted_facts_and_display_are_deterministic() {
+        let schema = small_schema();
+        let mut store = FactStore::new(schema);
+        store.insert_named("R", ["b", "2"]).unwrap();
+        store.insert_named("R", ["a", "1"]).unwrap();
+        store.insert_named("S", ["z"]).unwrap();
+        let facts = store.sorted_facts();
+        assert_eq!(facts.len(), 3);
+        assert!(facts[0].1 <= facts[1].1 || facts[0].0 < facts[1].0);
+        let text = store.to_string();
+        assert!(text.contains("R(a, 1)"));
+        assert!(text.contains("S(z)"));
+        let dbg = format!("{store:?}");
+        assert!(dbg.contains("\"R\""));
+    }
+}

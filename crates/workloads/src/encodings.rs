@@ -1,0 +1,467 @@
+//! Executable encodings of the paper's hardness constructions.
+//!
+//! [`encode_prop_6_2`] implements the Proposition 6.2 reduction from tiling
+//! a width-`n` corridor to query containment under access limitations with
+//! relations of arity ≤ 2 (PSPACE-hardness). For a tiling problem `P` it
+//! produces:
+//!
+//! * a schema with one binary relation `C_{t,j}` per tile type `t` and
+//!   column `j`, each with a single dependent access method on its first
+//!   attribute (the previous cell's identifier);
+//! * a starting configuration containing the initial row;
+//! * the disjunctive query `q_wrong` ("something is wrong with the tiling":
+//!   non-unique tiles, bad column/row progression, horizontal or vertical
+//!   violations) and the conjunctive query `q_final` asserting the final
+//!   row.
+//!
+//! The reduction's guarantee is: **the corridor is tileable iff `q_final`
+//! is *not* contained in `q_wrong`** under the access limitations, starting
+//! from the initial-row configuration — a non-containment witness is
+//! exactly an access path spelling out a correct tiling, cell by cell.
+//!
+//! The exponential-corridor construction of Theorem 5.1 shares its Boolean
+//! machinery ([`boolean_gadget_facts`] provides the `And`/`Or`/`Eq` truth
+//! tables used there); the full 2^n × 2^n encoding is intentionally not
+//! instantiated here because even its smallest instances are outside what
+//! any complete decision procedure can explore — it is a lower-bound
+//! device, which experiment E3 documents by measuring how the *encoding*
+//! itself grows.
+
+use std::collections::HashSet;
+use std::sync::Arc;
+
+use accrel_access::{AccessMethods, AccessMode};
+use accrel_query::{Atom, ConjunctiveQuery, PositiveQuery, PqFormula, Query, Term, VarId};
+use accrel_schema::{Configuration, Fact, RelationId, Schema, Tuple, Value};
+
+use crate::tiling::TilingProblem;
+
+/// The output of the Proposition 6.2 encoding.
+#[derive(Debug, Clone)]
+pub struct Prop62Encoding {
+    /// The generated schema.
+    pub schema: Arc<Schema>,
+    /// One dependent access method per `C_{t,j}` relation.
+    pub methods: AccessMethods,
+    /// The starting configuration (the initial row).
+    pub configuration: Configuration,
+    /// The disjunctive query describing tiling violations.
+    pub q_wrong: Query,
+    /// The conjunctive query asserting the final row.
+    pub q_final: Query,
+    /// The relation id of `C_{t,j}` for tile `t` and column `j`.
+    pub cell_relations: Vec<Vec<RelationId>>,
+}
+
+impl Prop62Encoding {
+    /// Number of relations in the encoding.
+    pub fn relation_count(&self) -> usize {
+        self.schema.relation_count()
+    }
+
+    /// Total number of atoms across both queries.
+    pub fn query_size(&self) -> usize {
+        self.q_wrong.size() + self.q_final.size()
+    }
+}
+
+/// Encodes a tiling problem per Proposition 6.2.
+pub fn encode_prop_6_2(problem: &TilingProblem) -> Prop62Encoding {
+    let r = problem.tile_count;
+    let n = problem.width;
+
+    // Schema: one binary relation per (tile, column), all over one domain.
+    let mut sb = Schema::builder();
+    let d = sb.domain("Cell").unwrap();
+    let mut cell_relations: Vec<Vec<RelationId>> = Vec::with_capacity(r);
+    for t in 0..r {
+        let mut per_column = Vec::with_capacity(n);
+        for j in 0..n {
+            let rel = sb
+                .relation(format!("C_{t}_{j}"), &[("prev", d), ("cur", d)])
+                .expect("relation names are unique");
+            per_column.push(rel);
+        }
+        cell_relations.push(per_column);
+    }
+    let schema = sb.build();
+
+    // One dependent access method per relation, keyed by the previous cell.
+    let mut mb = AccessMethods::builder(schema.clone());
+    for (t, row) in cell_relations.iter().enumerate() {
+        for (j, &rel) in row.iter().enumerate() {
+            mb.add_positions(format!("acc_{t}_{j}"), rel, vec![0], AccessMode::Dependent)
+                .expect("method names are unique");
+        }
+    }
+    let methods = mb.build();
+
+    // Initial configuration: the initial row as a chain c0 → c1 → ... → cn.
+    let mut configuration = Configuration::empty(schema.clone());
+    for (j, &tile) in problem.initial_row.iter().enumerate() {
+        let rel = cell_relations[tile][j];
+        configuration
+            .insert(
+                rel,
+                Tuple::new(vec![cell_constant(j), cell_constant(j + 1)]),
+            )
+            .expect("initial facts are binary");
+    }
+
+    // q_final: the final row C_{f1,0}(y0,y1) ∧ ... ∧ C_{fn,n-1}(y_{n-1},y_n).
+    let mut final_vars = Vec::new();
+    let mut final_names = Vec::new();
+    for j in 0..=n {
+        final_vars.push(VarId(j as u32));
+        final_names.push(format!("y{j}"));
+    }
+    let mut final_atoms = Vec::with_capacity(n);
+    for (j, &tile) in problem.final_row.iter().enumerate() {
+        final_atoms.push(Atom::new(
+            cell_relations[tile][j],
+            vec![Term::Var(final_vars[j]), Term::Var(final_vars[j + 1])],
+        ));
+    }
+    let q_final = Query::Cq(ConjunctiveQuery::new(
+        schema.clone(),
+        final_atoms,
+        Vec::new(),
+        final_names,
+    ));
+
+    // q_wrong: the union of all violation patterns.
+    let q_wrong = Query::Pq(build_q_wrong(&schema, problem, &cell_relations));
+
+    Prop62Encoding {
+        schema,
+        methods,
+        configuration,
+        q_wrong,
+        q_final,
+        cell_relations,
+    }
+}
+
+/// The constant naming the `j`-th boundary of the initial row.
+pub fn cell_constant(j: usize) -> Value {
+    Value::sym(format!("c{j}"))
+}
+
+fn build_q_wrong(
+    schema: &Arc<Schema>,
+    problem: &TilingProblem,
+    cells: &[Vec<RelationId>],
+) -> PositiveQuery {
+    let r = problem.tile_count;
+    let n = problem.width;
+    // Variable pool shared by all disjuncts (each disjunct uses a prefix).
+    let var_names: Vec<String> = (0..8).map(|i| format!("w{i}")).collect();
+    let v = |i: u32| Term::Var(VarId(i));
+
+    let mut disjuncts: Vec<PqFormula> = Vec::new();
+
+    // Non-unique tile: two cells share their predecessor or their identity.
+    for i in 0..r {
+        for k in 0..n {
+            for i2 in 0..r {
+                for k2 in 0..n {
+                    if i == i2 && k == k2 {
+                        continue;
+                    }
+                    disjuncts.push(PqFormula::And(vec![
+                        PqFormula::Atom(Atom::new(cells[i][k], vec![v(0), v(1)])),
+                        PqFormula::Atom(Atom::new(cells[i2][k2], vec![v(0), v(2)])),
+                    ]));
+                    disjuncts.push(PqFormula::And(vec![
+                        PqFormula::Atom(Atom::new(cells[i][k], vec![v(0), v(1)])),
+                        PqFormula::Atom(Atom::new(cells[i2][k2], vec![v(3), v(1)])),
+                    ]));
+                }
+            }
+        }
+    }
+
+    // Bad column-to-column progression: a cell in column m (< n-1) followed
+    // by a cell in a column other than m+1.
+    for i in 0..r {
+        for k in 0..r {
+            for m in 0..n.saturating_sub(1) {
+                for m2 in 0..n {
+                    if m2 == m + 1 {
+                        continue;
+                    }
+                    disjuncts.push(PqFormula::And(vec![
+                        PqFormula::Atom(Atom::new(cells[i][m], vec![v(0), v(1)])),
+                        PqFormula::Atom(Atom::new(cells[k][m2], vec![v(1), v(2)])),
+                    ]));
+                }
+            }
+        }
+    }
+
+    // Bad row-to-row progression: a cell in the last column followed by a
+    // cell in a column other than the first.
+    for i in 0..r {
+        for k in 0..r {
+            for m2 in 1..n {
+                disjuncts.push(PqFormula::And(vec![
+                    PqFormula::Atom(Atom::new(cells[i][n - 1], vec![v(0), v(1)])),
+                    PqFormula::Atom(Atom::new(cells[k][m2], vec![v(1), v(2)])),
+                ]));
+            }
+        }
+    }
+
+    // Horizontal constraint violations: adjacent columns with a forbidden
+    // tile pair.
+    for m in 0..n.saturating_sub(1) {
+        for i in 0..r {
+            for j in 0..r {
+                if problem.horizontal.contains(&(i, j)) {
+                    continue;
+                }
+                disjuncts.push(PqFormula::And(vec![
+                    PqFormula::Atom(Atom::new(cells[i][m], vec![v(0), v(1)])),
+                    PqFormula::Atom(Atom::new(cells[j][m + 1], vec![v(1), v(2)])),
+                ]));
+            }
+        }
+    }
+
+    // Vertical constraint violations: a cell in column m and the cell n
+    // steps later (same column, next row) with a forbidden pair. The
+    // in-between cells are existentially chained.
+    for m in 0..n {
+        for i in 0..r {
+            for j in 0..r {
+                if problem.vertical.contains(&(i, j)) {
+                    continue;
+                }
+                // Chain of n cells between the two endpoints.
+                let mut atoms: Vec<PqFormula> = Vec::new();
+                atoms.push(PqFormula::Atom(Atom::new(cells[i][m], vec![v(0), v(1)])));
+                let mut chain_disjuncts: Vec<PqFormula> = vec![PqFormula::truth()];
+                // Every combination of intermediate tiles is allowed; rather
+                // than enumerate them all (exponential), use the union over
+                // per-step choices, which the DNF expansion handles: each
+                // intermediate step is a disjunction over tile types.
+                let mut current_var = 1u32;
+                for step in 1..n {
+                    let column = (m + step) % n;
+                    let step_choices: Vec<PqFormula> = (0..r)
+                        .map(|t| {
+                            PqFormula::Atom(Atom::new(
+                                cells[t][column],
+                                vec![v(current_var), v(current_var + 1)],
+                            ))
+                        })
+                        .collect();
+                    chain_disjuncts = chain_disjuncts
+                        .into_iter()
+                        .map(|prefix| prefix.and(PqFormula::Or(step_choices.clone())))
+                        .collect();
+                    current_var += 1;
+                }
+                atoms.push(PqFormula::And(chain_disjuncts));
+                atoms.push(PqFormula::Atom(Atom::new(
+                    cells[j][m],
+                    vec![v(current_var), v(current_var + 1)],
+                )));
+                disjuncts.push(PqFormula::And(atoms));
+            }
+        }
+    }
+
+    PositiveQuery::new(
+        schema.clone(),
+        PqFormula::Or(disjuncts),
+        Vec::new(),
+        var_names,
+    )
+}
+
+/// The Boolean-gadget facts shared with the Theorem 5.1 construction: the
+/// truth tables of `And`, `Or` and `Eq` over `{0, 1}`, expressed as facts of
+/// ternary relations of the given ids.
+pub fn boolean_gadget_facts(and: RelationId, or: RelationId, eq: RelationId) -> Vec<Fact> {
+    let b = |x: i64| Value::int(x);
+    let mut out = Vec::new();
+    for (x, y) in [(0, 0), (0, 1), (1, 0), (1, 1)] {
+        out.push((and, Tuple::new(vec![b(x), b(y), b(x & y)])));
+        out.push((or, Tuple::new(vec![b(x), b(y), b(x | y)])));
+        out.push((eq, Tuple::new(vec![b(x), b(y), b(i64::from(x == y))])));
+    }
+    out
+}
+
+/// Summary statistics of an encoding, used by experiment E3 to report how
+/// the reduction grows with the tiling parameters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EncodingStats {
+    /// Corridor width.
+    pub width: usize,
+    /// Number of tile types.
+    pub tiles: usize,
+    /// Relations in the generated schema.
+    pub relations: usize,
+    /// Access methods generated.
+    pub methods: usize,
+    /// Facts in the starting configuration.
+    pub configuration_facts: usize,
+    /// Atom occurrences across both queries.
+    pub query_atoms: usize,
+    /// Number of disjuncts of `q_wrong` after DNF expansion.
+    pub wrong_disjuncts: usize,
+}
+
+/// Computes the statistics of an encoding.
+pub fn encoding_stats(problem: &TilingProblem, enc: &Prop62Encoding) -> EncodingStats {
+    EncodingStats {
+        width: problem.width,
+        tiles: problem.tile_count,
+        relations: enc.relation_count(),
+        methods: enc.methods.len(),
+        configuration_facts: enc.configuration.len(),
+        query_atoms: enc.query_size(),
+        wrong_disjuncts: enc.q_wrong.to_ucq().len(),
+    }
+}
+
+/// The set of relation names used by an encoding (handy for tests).
+pub fn relation_names(enc: &Prop62Encoding) -> HashSet<String> {
+    enc.schema
+        .relations()
+        .iter()
+        .map(|r| r.name().to_string())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tiling::{checkerboard, frozen_checkerboard};
+    use accrel_core::SearchBudget;
+    use accrel_query::certain;
+
+    #[test]
+    fn encoding_structure_matches_the_construction() {
+        let p = checkerboard(2);
+        let enc = encode_prop_6_2(&p);
+        // 2 tiles × 2 columns binary relations.
+        assert_eq!(enc.relation_count(), 4);
+        assert_eq!(enc.methods.len(), 4);
+        assert_eq!(enc.configuration.len(), 2);
+        assert!(enc.q_final.is_boolean());
+        assert!(enc.q_wrong.is_boolean());
+        assert!(enc.q_final.validate().is_ok());
+        assert!(enc.q_wrong.validate().is_ok());
+        let names = relation_names(&enc);
+        assert!(names.contains("C_0_0"));
+        assert!(names.contains("C_1_1"));
+        let stats = encoding_stats(&p, &enc);
+        assert_eq!(stats.relations, 4);
+        assert_eq!(stats.width, 2);
+        assert_eq!(stats.tiles, 2);
+        assert!(stats.wrong_disjuncts > 0);
+        assert!(stats.query_atoms > stats.width);
+    }
+
+    #[test]
+    fn initial_row_satisfies_neither_query() {
+        // The initial configuration is a correct partial tiling: it must not
+        // trigger q_wrong, and it is not the final row.
+        let p = checkerboard(2);
+        let enc = encode_prop_6_2(&p);
+        assert!(!certain::is_certain(&enc.q_wrong, &enc.configuration));
+        assert!(!certain::is_certain(&enc.q_final, &enc.configuration));
+    }
+
+    #[test]
+    fn a_correct_tiling_path_satisfies_final_but_not_wrong() {
+        // Materialise the solver's tiling as a configuration and check the
+        // two queries — this is the forward direction of the reduction.
+        let p = checkerboard(2);
+        let enc = encode_prop_6_2(&p);
+        let solution = p.solve(4).unwrap();
+        let mut conf = Configuration::empty(enc.schema.clone());
+        let mut next_cell = 0usize;
+        for row in &solution {
+            for (j, &tile) in row.iter().enumerate() {
+                conf.insert(
+                    enc.cell_relations[tile][j],
+                    Tuple::new(vec![
+                        Value::sym(format!("cell{next_cell}")),
+                        Value::sym(format!("cell{}", next_cell + 1)),
+                    ]),
+                )
+                .unwrap();
+                next_cell += 1;
+            }
+        }
+        assert!(certain::is_certain(&enc.q_final, &conf));
+        assert!(!certain::is_certain(&enc.q_wrong, &conf));
+    }
+
+    #[test]
+    fn a_broken_tiling_triggers_q_wrong() {
+        let p = checkerboard(2);
+        let enc = encode_prop_6_2(&p);
+        // Two adjacent cells with the same tile type violate the horizontal
+        // constraint (0,0).
+        let mut conf = enc.configuration.clone();
+        conf.insert(
+            enc.cell_relations[0][0],
+            Tuple::new(vec![Value::sym("x0"), Value::sym("x1")]),
+        )
+        .unwrap();
+        conf.insert(
+            enc.cell_relations[0][1],
+            Tuple::new(vec![Value::sym("x1"), Value::sym("x2")]),
+        )
+        .unwrap();
+        assert!(certain::is_certain(&enc.q_wrong, &conf));
+    }
+
+    #[test]
+    fn boolean_gadget_tables_are_complete() {
+        let mut sb = Schema::builder();
+        let b = sb.domain("B").unwrap();
+        let and = sb.relation("And", &[("x", b), ("y", b), ("z", b)]).unwrap();
+        let or = sb.relation("Or", &[("x", b), ("y", b), ("z", b)]).unwrap();
+        let eq = sb.relation("Eq", &[("x", b), ("y", b), ("z", b)]).unwrap();
+        let schema = sb.build();
+        let facts = boolean_gadget_facts(and, or, eq);
+        assert_eq!(facts.len(), 12);
+        let conf = Configuration::from_facts(schema, facts).unwrap();
+        assert!(conf.contains(and, &accrel_schema::tuple([1i64, 1, 1])));
+        assert!(conf.contains(or, &accrel_schema::tuple([0i64, 1, 1])));
+        assert!(conf.contains(eq, &accrel_schema::tuple([0i64, 0, 1])));
+        assert!(conf.contains(eq, &accrel_schema::tuple([1i64, 0, 0])));
+    }
+
+    #[test]
+    fn unsolvable_problem_yields_containment_on_small_budgets() {
+        // For the frozen checkerboard no tiling exists, so q_final ⊑ q_wrong
+        // must hold; the (sound-for-noncontainment) checker agrees.
+        let p = frozen_checkerboard(2);
+        assert!(!p.solvable(6));
+        let enc = encode_prop_6_2(&p);
+        let outcome = accrel_core::is_contained(
+            &enc.q_final,
+            &enc.q_wrong,
+            &enc.configuration,
+            &enc.methods,
+            &SearchBudget::shallow(),
+        );
+        assert!(outcome.contained);
+    }
+
+    #[test]
+    fn encoding_grows_with_the_corridor_width() {
+        let small = encoding_stats(&checkerboard(2), &encode_prop_6_2(&checkerboard(2)));
+        let large = encoding_stats(&checkerboard(4), &encode_prop_6_2(&checkerboard(4)));
+        assert!(large.relations > small.relations);
+        assert!(large.query_atoms > small.query_atoms);
+        assert!(large.wrong_disjuncts > small.wrong_disjuncts);
+    }
+}

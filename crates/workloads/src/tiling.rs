@@ -1,0 +1,291 @@
+//! Corridor tiling problems.
+//!
+//! Both hardness proofs of the paper (Theorem 5.1 and Proposition 6.2)
+//! reduce from tiling a corridor under horizontal and vertical constraints.
+//! This module provides the combinatorial problem itself, small bundled
+//! instances, and a brute-force solver used as ground truth in tests and in
+//! the experiment harness.
+
+use std::collections::HashSet;
+
+/// A corridor tiling problem.
+///
+/// The corridor has `width` columns and an unbounded number of rows; a
+/// *solution* is a sequence of rows, starting with `initial_row` and ending
+/// with `final_row`, such that horizontally adjacent tiles satisfy the
+/// `horizontal` relation and vertically adjacent tiles satisfy `vertical`.
+/// Tiles are identified by indices `0..tile_count`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TilingProblem {
+    /// Number of tile types.
+    pub tile_count: usize,
+    /// Corridor width (number of columns).
+    pub width: usize,
+    /// Allowed horizontal adjacencies `(left, right)`.
+    pub horizontal: HashSet<(usize, usize)>,
+    /// Allowed vertical adjacencies `(below, above)`.
+    pub vertical: HashSet<(usize, usize)>,
+    /// The first row of the corridor.
+    pub initial_row: Vec<usize>,
+    /// The last row of the corridor.
+    pub final_row: Vec<usize>,
+}
+
+impl TilingProblem {
+    /// Validates basic well-formedness: rows have the right width and only
+    /// mention existing tiles.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.width == 0 {
+            return Err("width must be positive".to_string());
+        }
+        for (name, row) in [("initial", &self.initial_row), ("final", &self.final_row)] {
+            if row.len() != self.width {
+                return Err(format!("{name} row has wrong width"));
+            }
+            if row.iter().any(|&t| t >= self.tile_count) {
+                return Err(format!("{name} row mentions an unknown tile"));
+            }
+        }
+        for &(a, b) in self.horizontal.iter().chain(self.vertical.iter()) {
+            if a >= self.tile_count || b >= self.tile_count {
+                return Err("constraint mentions an unknown tile".to_string());
+            }
+        }
+        Ok(())
+    }
+
+    /// Is `row` internally consistent with the horizontal constraints?
+    pub fn row_ok(&self, row: &[usize]) -> bool {
+        row.windows(2).all(|w| self.horizontal.contains(&(w[0], w[1])))
+    }
+
+    /// Are two vertically adjacent rows consistent?
+    pub fn rows_ok(&self, below: &[usize], above: &[usize]) -> bool {
+        below
+            .iter()
+            .zip(above)
+            .all(|(&b, &a)| self.vertical.contains(&(b, a)))
+    }
+
+    /// Brute-force solver: searches for a corridor of at most `max_rows`
+    /// rows from the initial to the final row. Returns the rows of a
+    /// solution (including both end rows) or `None`.
+    ///
+    /// The search is exponential in the width; it is meant for the small
+    /// instances used in tests and experiments.
+    pub fn solve(&self, max_rows: usize) -> Option<Vec<Vec<usize>>> {
+        if self.validate().is_err() {
+            return None;
+        }
+        if !self.row_ok(&self.initial_row) || !self.row_ok(&self.final_row) {
+            return None;
+        }
+        if self.initial_row == self.final_row {
+            return Some(vec![self.initial_row.clone()]);
+        }
+        // Iterative deepening DFS over rows, avoiding repeated rows on the
+        // current branch (a repeated row can always be cut out).
+        let all_rows = self.enumerate_rows();
+        let mut stack = vec![self.initial_row.clone()];
+        let mut seen: HashSet<Vec<usize>> = HashSet::new();
+        seen.insert(self.initial_row.clone());
+        self.dfs(&all_rows, &mut stack, &mut seen, max_rows)
+    }
+
+    fn dfs(
+        &self,
+        all_rows: &[Vec<usize>],
+        stack: &mut Vec<Vec<usize>>,
+        seen: &mut HashSet<Vec<usize>>,
+        max_rows: usize,
+    ) -> Option<Vec<Vec<usize>>> {
+        let current = stack.last().cloned()?;
+        if stack.len() >= max_rows {
+            return None;
+        }
+        for next in all_rows {
+            if !self.rows_ok(&current, next) || seen.contains(next) {
+                continue;
+            }
+            stack.push(next.clone());
+            seen.insert(next.clone());
+            if *next == self.final_row {
+                return Some(stack.clone());
+            }
+            if let Some(found) = self.dfs(all_rows, stack, seen, max_rows) {
+                return Some(found);
+            }
+            stack.pop();
+            seen.remove(next);
+        }
+        None
+    }
+
+    /// Enumerates every horizontally consistent row.
+    pub fn enumerate_rows(&self) -> Vec<Vec<usize>> {
+        let mut rows: Vec<Vec<usize>> = vec![Vec::new()];
+        for col in 0..self.width {
+            let mut next = Vec::new();
+            for prefix in &rows {
+                for t in 0..self.tile_count {
+                    if col == 0 || self.horizontal.contains(&(prefix[col - 1], t)) {
+                        let mut row = prefix.clone();
+                        row.push(t);
+                        next.push(row);
+                    }
+                }
+            }
+            rows = next;
+        }
+        rows
+    }
+
+    /// `true` when the problem admits a solution within `max_rows` rows.
+    pub fn solvable(&self, max_rows: usize) -> bool {
+        self.solve(max_rows).is_some()
+    }
+}
+
+/// A solvable two-tile "checkerboard" corridor of the given width (even
+/// widths only alternate cleanly; odd widths also work because the
+/// constraints are symmetric).
+pub fn checkerboard(width: usize) -> TilingProblem {
+    // Tiles 0 and 1 must alternate horizontally and vertically.
+    let horizontal: HashSet<(usize, usize)> = [(0, 1), (1, 0)].into_iter().collect();
+    let vertical: HashSet<(usize, usize)> = [(0, 1), (1, 0)].into_iter().collect();
+    let initial_row: Vec<usize> = (0..width).map(|i| i % 2).collect();
+    let final_row: Vec<usize> = (0..width).map(|i| (i + 1) % 2).collect();
+    TilingProblem {
+        tile_count: 2,
+        width,
+        horizontal,
+        vertical,
+        initial_row,
+        final_row,
+    }
+}
+
+/// An unsolvable variant of [`checkerboard`]: the vertical constraints force
+/// the colours to stay fixed between rows, so the flipped final row can
+/// never be reached.
+pub fn frozen_checkerboard(width: usize) -> TilingProblem {
+    let horizontal: HashSet<(usize, usize)> = [(0, 1), (1, 0)].into_iter().collect();
+    let vertical: HashSet<(usize, usize)> = [(0, 0), (1, 1)].into_iter().collect();
+    let initial_row: Vec<usize> = (0..width).map(|i| i % 2).collect();
+    let final_row: Vec<usize> = (0..width).map(|i| (i + 1) % 2).collect();
+    TilingProblem {
+        tile_count: 2,
+        width,
+        horizontal,
+        vertical,
+        initial_row,
+        final_row,
+    }
+}
+
+/// A three-tile problem whose solution needs an intermediate row, useful for
+/// exercising multi-row searches: colours cycle 0 → 1 → 2 → 0 vertically and
+/// rows are monochromatic.
+pub fn cycling_rows(width: usize) -> TilingProblem {
+    let mut horizontal = HashSet::new();
+    for t in 0..3 {
+        horizontal.insert((t, t));
+    }
+    let vertical: HashSet<(usize, usize)> = [(0, 1), (1, 2), (2, 0)].into_iter().collect();
+    TilingProblem {
+        tile_count: 3,
+        width,
+        horizontal,
+        vertical,
+        initial_row: vec![0; width],
+        final_row: vec![2; width],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn checkerboard_is_solvable_in_two_rows() {
+        for width in 1..=4 {
+            let p = checkerboard(width);
+            assert!(p.validate().is_ok());
+            let solution = p.solve(4).expect("checkerboard is solvable");
+            assert_eq!(solution.first().unwrap(), &p.initial_row);
+            assert_eq!(solution.last().unwrap(), &p.final_row);
+            assert_eq!(solution.len(), 2);
+            for row in &solution {
+                assert!(p.row_ok(row));
+            }
+            for pair in solution.windows(2) {
+                assert!(p.rows_ok(&pair[0], &pair[1]));
+            }
+        }
+    }
+
+    #[test]
+    fn frozen_checkerboard_is_unsolvable() {
+        for width in 1..=4 {
+            let p = frozen_checkerboard(width);
+            assert!(p.validate().is_ok());
+            assert!(!p.solvable(8));
+        }
+    }
+
+    #[test]
+    fn cycling_rows_needs_an_intermediate_row() {
+        let p = cycling_rows(3);
+        let solution = p.solve(5).expect("cycle reaches colour 2");
+        assert_eq!(solution.len(), 3);
+        assert_eq!(solution[1], vec![1, 1, 1]);
+        // It cannot be done in fewer rows.
+        assert!(p.solve(2).is_none());
+    }
+
+    #[test]
+    fn validation_catches_malformed_problems() {
+        let mut p = checkerboard(2);
+        p.initial_row = vec![0];
+        assert!(p.validate().is_err());
+        let mut p = checkerboard(2);
+        p.final_row = vec![0, 7];
+        assert!(p.validate().is_err());
+        let mut p = checkerboard(2);
+        p.horizontal.insert((9, 0));
+        assert!(p.validate().is_err());
+        let mut p = checkerboard(2);
+        p.width = 0;
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn row_enumeration_respects_horizontal_constraints() {
+        let p = checkerboard(3);
+        let rows = p.enumerate_rows();
+        // Only two alternating rows exist at width 3.
+        assert_eq!(rows.len(), 2);
+        assert!(rows.contains(&vec![0, 1, 0]));
+        assert!(rows.contains(&vec![1, 0, 1]));
+        let q = cycling_rows(2);
+        assert_eq!(q.enumerate_rows().len(), 3);
+    }
+
+    #[test]
+    fn inconsistent_end_rows_are_rejected_by_the_solver() {
+        let mut p = checkerboard(2);
+        p.initial_row = vec![0, 0];
+        assert!(!p.solvable(4));
+        let mut p = checkerboard(2);
+        p.final_row = vec![1, 1];
+        assert!(!p.solvable(4));
+    }
+
+    #[test]
+    fn trivial_problem_with_equal_end_rows() {
+        let mut p = checkerboard(2);
+        p.final_row = p.initial_row.clone();
+        let solution = p.solve(1).unwrap();
+        assert_eq!(solution.len(), 1);
+    }
+}

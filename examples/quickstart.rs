@@ -1,0 +1,89 @@
+//! Quickstart: model a schema with limited access patterns, ask whether an
+//! access is relevant, and check containment under access limitations.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use accrel::prelude::*;
+
+fn main() {
+    // ------------------------------------------------------------------
+    // 1. A schema with two sources over shared abstract domains.
+    //    S is freely accessible; T requires a key produced by S
+    //    (Example 2.1 of the paper).
+    // ------------------------------------------------------------------
+    let mut b = Schema::builder();
+    let d = b.domain("D").unwrap();
+    let e = b.domain("E").unwrap();
+    b.relation("S", &[("a", d), ("b", e)]).unwrap();
+    b.relation("T", &[("b", e), ("c", d)]).unwrap();
+    let schema = b.build();
+
+    let mut mb = AccessMethods::builder(schema.clone());
+    let s_acc = mb.add_free("SAcc", "S", AccessMode::Dependent).unwrap();
+    let t_acc = mb.add("TAcc", "T", &["b"], AccessMode::Dependent).unwrap();
+    let methods = mb.build();
+
+    // ------------------------------------------------------------------
+    // 2. The Boolean query Q = ∃x,y,z S(x,y) ∧ T(y,z).
+    // ------------------------------------------------------------------
+    let mut qb = ConjunctiveQuery::builder(schema.clone());
+    let (x, y, z) = (qb.var("x"), qb.var("y"), qb.var("z"));
+    qb.atom("S", vec![Term::Var(x), Term::Var(y)]).unwrap();
+    qb.atom("T", vec![Term::Var(y), Term::Var(z)]).unwrap();
+    let query: Query = qb.build().into();
+    println!("query: {query}");
+
+    // ------------------------------------------------------------------
+    // 3. Relevance of accesses at the empty configuration.
+    // ------------------------------------------------------------------
+    let conf = Configuration::empty(schema.clone());
+    let budget = SearchBudget::default();
+    let s_access = Access::new(s_acc, binding(Vec::<&str>::new()));
+
+    println!(
+        "S access immediately relevant? {}",
+        is_immediately_relevant(&query, &conf, &s_access, &methods)
+    );
+    println!(
+        "S access long-term relevant?   {}",
+        is_long_term_relevant(&query, &conf, &s_access, &methods, &budget)
+    );
+
+    // Once the query is certain nothing is relevant any more.
+    let mut done = conf.clone();
+    done.insert_named("S", ["a1", "b1"]).unwrap();
+    done.insert_named("T", ["b1", "c1"]).unwrap();
+    println!(
+        "S access still relevant once the query is certain? {}",
+        is_long_term_relevant(&query, &done, &s_access, &methods, &budget)
+    );
+    let _ = t_acc;
+
+    // ------------------------------------------------------------------
+    // 4. Containment under access limitations (Example 3.2 flavour):
+    //    "∃ a T-fact" is contained in "∃ an S-fact" because the only way to
+    //    reach T is through values produced by S.
+    // ------------------------------------------------------------------
+    let mut q1b = ConjunctiveQuery::builder(schema.clone());
+    let (a, c) = (q1b.var("a"), q1b.var("c"));
+    q1b.atom("T", vec![Term::Var(a), Term::Var(c)]).unwrap();
+    let q_t: Query = q1b.build().into();
+    let mut q2b = ConjunctiveQuery::builder(schema);
+    let (u, v) = (q2b.var("u"), q2b.var("v"));
+    q2b.atom("S", vec![Term::Var(u), Term::Var(v)]).unwrap();
+    let q_s: Query = q2b.build().into();
+
+    let forwards = is_contained(&q_t, &q_s, &conf, &methods, &budget);
+    let backwards = is_contained(&q_s, &q_t, &conf, &methods, &budget);
+    println!("T-query ⊑ S-query under access limitations? {}", forwards.contained);
+    println!("S-query ⊑ T-query under access limitations? {}", backwards.contained);
+    if let Some(witness) = backwards.witness {
+        println!(
+            "  non-containment witness path ({} accesses): {}",
+            witness.path.len(),
+            witness.path.display_with(&methods)
+        );
+    }
+}

@@ -1,0 +1,100 @@
+//! # accrel — Determining Relevance of Accesses at Runtime
+//!
+//! A Rust reproduction of *Benedikt, Gottlob & Senellart, "Determining
+//! Relevance of Accesses at Runtime" (PODS 2011, extended version
+//! arXiv:1104.0553)*: dynamic relevance of accesses for query answering over
+//! data sources with limited access patterns, and query containment under
+//! access limitations.
+//!
+//! This crate is a thin facade re-exporting the workspace members:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`schema`] | `accrel-schema` | values, domains, relations, instances, configurations |
+//! | [`query`] | `accrel-query` | CQs, positive queries, evaluation, certain answers, classical containment |
+//! | [`access`] | `accrel-access` | access methods, bindings, responses, access paths, truncation |
+//! | [`core`] | `accrel-core` | immediate & long-term relevance, containment under access limitations, reductions, critical tuples |
+//! | [`engine`] | `accrel-engine` | simulated deep-Web sources and the relevance-guided federated engine |
+//! | [`workloads`] | `accrel-workloads` | tiling encodings, random generators, synthetic scenarios |
+//!
+//! The [`prelude`] pulls in the names used by the examples and most
+//! downstream code.
+//!
+//! ```
+//! use accrel::prelude::*;
+//!
+//! // Example 2.1 of the paper: Q = S ⋈ T with a dependent access on T.
+//! let mut b = Schema::builder();
+//! let d = b.domain("D").unwrap();
+//! let e = b.domain("E").unwrap();
+//! b.relation("S", &[("a", d), ("b", e)]).unwrap();
+//! b.relation("T", &[("b", e), ("c", d)]).unwrap();
+//! let schema = b.build();
+//!
+//! let mut mb = AccessMethods::builder(schema.clone());
+//! let s_acc = mb.add_free("SAcc", "S", AccessMode::Dependent).unwrap();
+//! mb.add("TAcc", "T", &["b"], AccessMode::Dependent).unwrap();
+//! let methods = mb.build();
+//!
+//! let mut qb = ConjunctiveQuery::builder(schema.clone());
+//! let (x, y, z) = (qb.var("x"), qb.var("y"), qb.var("z"));
+//! qb.atom("S", vec![Term::Var(x), Term::Var(y)]).unwrap();
+//! qb.atom("T", vec![Term::Var(y), Term::Var(z)]).unwrap();
+//! let query: Query = qb.build().into();
+//!
+//! // An access on S is long-term relevant in the empty configuration: the
+//! // values it returns can later be fed into the dependent access on T.
+//! let conf = Configuration::empty(schema);
+//! let access = Access::new(s_acc, binding(Vec::<&str>::new()));
+//! assert!(is_long_term_relevant(&query, &conf, &access, &methods, &SearchBudget::default()));
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use accrel_access as access;
+pub use accrel_core as core;
+pub use accrel_engine as engine;
+pub use accrel_query as query;
+pub use accrel_schema as schema;
+pub use accrel_workloads as workloads;
+
+/// The names used by the examples and most downstream code.
+pub mod prelude {
+    pub use accrel_access::{
+        apply_access, binding, Access, AccessMethods, AccessMode, AccessPath, Binding, Response,
+    };
+    pub use accrel_core::{
+        is_contained, is_immediately_relevant, is_long_term_relevant, SearchBudget,
+    };
+    pub use accrel_engine::{
+        DeepWebSource, EngineOptions, FederatedEngine, ResponsePolicy, Strategy,
+    };
+    pub use accrel_query::{
+        certain, ConjunctiveQuery, PositiveQuery, PqFormula, Query, Term, VarId,
+    };
+    pub use accrel_schema::{
+        tuple, Configuration, Instance, Schema, Tuple, Value,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn facade_reexports_are_usable() {
+        let mut b = Schema::builder();
+        let d = b.domain("D").unwrap();
+        b.relation("R", &[("a", d)]).unwrap();
+        let schema = b.build();
+        let conf = Configuration::empty(schema.clone());
+        assert!(conf.is_empty());
+        let mut qb = ConjunctiveQuery::builder(schema);
+        let x = qb.var("x");
+        qb.atom("R", vec![Term::Var(x)]).unwrap();
+        let q: Query = qb.build().into();
+        assert!(!certain::is_certain(&q, &conf));
+        assert_eq!(SearchBudget::default(), SearchBudget::default());
+    }
+}

@@ -1,0 +1,145 @@
+//! Integration tests replaying the paper's worked examples through the
+//! public facade API.
+
+use accrel::prelude::*;
+
+/// Example 3.2 world: unary R (Boolean dependent access) and S (free
+/// access) over the same domain.
+fn example_3_2() -> (std::sync::Arc<Schema>, AccessMethods, Query, Query) {
+    let mut b = Schema::builder();
+    let d = b.domain("D").unwrap();
+    b.relation("R", &[("a", d)]).unwrap();
+    b.relation("S", &[("a", d)]).unwrap();
+    let schema = b.build();
+    let mut mb = AccessMethods::builder(schema.clone());
+    mb.add_boolean("RCheck", "R", AccessMode::Dependent).unwrap();
+    mb.add_free("SAll", "S", AccessMode::Dependent).unwrap();
+    let methods = mb.build();
+    let mut b1 = ConjunctiveQuery::builder(schema.clone());
+    let x = b1.var("x");
+    b1.atom("R", vec![Term::Var(x)]).unwrap();
+    let q1: Query = b1.build().into();
+    let mut b2 = ConjunctiveQuery::builder(schema.clone());
+    let x = b2.var("x");
+    b2.atom("S", vec![Term::Var(x)]).unwrap();
+    let q2: Query = b2.build().into();
+    (schema, methods, q1, q2)
+}
+
+#[test]
+fn example_2_1_join_query_access_is_long_term_relevant() {
+    let mut b = Schema::builder();
+    let d = b.domain("D").unwrap();
+    let e = b.domain("E").unwrap();
+    b.relation("S", &[("a", d), ("b", e)]).unwrap();
+    b.relation("T", &[("b", e), ("c", d)]).unwrap();
+    let schema = b.build();
+    let mut mb = AccessMethods::builder(schema.clone());
+    let s_acc = mb.add_free("SAcc", "S", AccessMode::Dependent).unwrap();
+    mb.add("TAcc", "T", &["b"], AccessMode::Dependent).unwrap();
+    let methods = mb.build();
+    let mut qb = ConjunctiveQuery::builder(schema.clone());
+    let (x, y, z) = (qb.var("x"), qb.var("y"), qb.var("z"));
+    qb.atom("S", vec![Term::Var(x), Term::Var(y)]).unwrap();
+    qb.atom("T", vec![Term::Var(y), Term::Var(z)]).unwrap();
+    let query: Query = qb.build().into();
+    let conf = Configuration::empty(schema);
+    let access = Access::new(s_acc, binding(Vec::<&str>::new()));
+    // The access on S is long-term relevant but not immediately relevant.
+    assert!(!is_immediately_relevant(&query, &conf, &access, &methods));
+    assert!(is_long_term_relevant(
+        &query,
+        &conf,
+        &access,
+        &methods,
+        &SearchBudget::default()
+    ));
+}
+
+#[test]
+fn example_3_2_containment_under_access_limitations() {
+    let (schema, methods, q_r, q_s) = example_3_2();
+    let conf = Configuration::empty(schema);
+    let budget = SearchBudget::default();
+    // Q1 ⊑_ACS Q2 while classically Q1 ⊄ Q2.
+    assert!(is_contained(&q_r, &q_s, &conf, &methods, &budget).contained);
+    assert!(!is_contained(&q_s, &q_r, &conf, &methods, &budget).contained);
+    assert!(!accrel::query::containment::query_contained_in(&q_r, &q_s));
+}
+
+#[test]
+fn example_4_2_and_4_4_independent_long_term_relevance() {
+    let mut b = Schema::builder();
+    let d = b.domain("D").unwrap();
+    b.relation("R", &[("a", d), ("b", d)]).unwrap();
+    b.relation("S", &[("a", d), ("b", d)]).unwrap();
+    let schema = b.build();
+    let mut mb = AccessMethods::builder(schema.clone());
+    let r_acc = mb.add("RAcc", "R", &["b"], AccessMode::Independent).unwrap();
+    mb.add("SAcc", "S", &["a"], AccessMode::Independent).unwrap();
+    let methods = mb.build();
+    let budget = SearchBudget::default();
+
+    // Example 4.2: Q = R(x,5) ∧ S(5,z).
+    let mut qb = ConjunctiveQuery::builder(schema.clone());
+    let (x, z) = (qb.var("x"), qb.var("z"));
+    qb.atom("R", vec![Term::Var(x), Term::constant("5")]).unwrap();
+    qb.atom("S", vec![Term::constant("5"), Term::Var(z)]).unwrap();
+    let q42: Query = qb.build().into();
+    let access = Access::new(r_acc, binding(["5"]));
+    let mut conf_sat = Configuration::empty(schema.clone());
+    conf_sat.insert_named("R", ["3", "5"]).unwrap();
+    assert!(!is_long_term_relevant(&q42, &conf_sat, &access, &methods, &budget));
+    let mut conf_unsat = Configuration::empty(schema.clone());
+    conf_unsat.insert_named("R", ["3", "6"]).unwrap();
+    assert!(is_long_term_relevant(&q42, &conf_unsat, &access, &methods, &budget));
+
+    // Example 4.4: Q = R(x,y) ∧ R(x,5), empty configuration, access R(?,3).
+    let mut qb = ConjunctiveQuery::builder(schema.clone());
+    let (x, y) = (qb.var("x"), qb.var("y"));
+    qb.atom("R", vec![Term::Var(x), Term::Var(y)]).unwrap();
+    qb.atom("R", vec![Term::Var(x), Term::constant("5")]).unwrap();
+    let q44: Query = qb.build().into();
+    let empty = Configuration::empty(schema);
+    let access3 = Access::new(r_acc, binding(["3"]));
+    assert!(!is_long_term_relevant(&q44, &empty, &access3, &methods, &budget));
+}
+
+#[test]
+fn proposition_2_2_head_instantiation_reduction() {
+    // A unary-output query is relevant iff one of its Boolean
+    // instantiations is — exercised here through the facade.
+    let (schema, methods, _, _) = example_3_2();
+    let mut qb = ConjunctiveQuery::builder(schema.clone());
+    let x = qb.var("x");
+    qb.atom("R", vec![Term::Var(x)]).unwrap();
+    qb.free(&[x]);
+    let open_query: Query = qb.build().into();
+    let r_check = methods.by_name("RCheck").unwrap();
+    let mut conf = Configuration::empty(schema);
+    conf.insert_named("S", ["v"]).unwrap();
+    let access = Access::new(r_check, binding(["v"]));
+    assert!(is_immediately_relevant(&open_query, &conf, &access, &methods));
+    assert!(is_long_term_relevant(
+        &open_query,
+        &conf,
+        &access,
+        &methods,
+        &SearchBudget::default()
+    ));
+}
+
+#[test]
+fn table_1_shape_ir_is_never_weaker_than_ltr_on_these_worlds() {
+    // IR implies LTR (an increasing response is a one-step witness path).
+    let (schema, methods, q_r, _) = example_3_2();
+    let r_check = methods.by_name("RCheck").unwrap();
+    let mut conf = Configuration::empty(schema);
+    conf.insert_named("S", ["v"]).unwrap();
+    let access = Access::new(r_check, binding(["v"]));
+    let ir = is_immediately_relevant(&q_r, &conf, &access, &methods);
+    let ltr = is_long_term_relevant(&q_r, &conf, &access, &methods, &SearchBudget::default());
+    assert!(ir);
+    assert!(ltr);
+    assert!(!ir || ltr, "immediate relevance must imply long-term relevance");
+}

@@ -1,0 +1,143 @@
+//! Property-based integration tests over randomly generated workloads.
+//!
+//! These check cross-crate invariants that the paper either states or
+//! implies:
+//!
+//! * certain answers of monotone queries are monotone under configuration
+//!   growth;
+//! * immediate relevance implies long-term relevance;
+//! * an access to a relation not mentioned in the query is never relevant
+//!   (observation (i) of Section 4);
+//! * containment under access limitations is reflexive and implied by
+//!   classical containment;
+//! * applying an access path never loses facts, and truncations reach a
+//!   sub-configuration of the full path.
+
+use accrel::prelude::*;
+use accrel::workloads::random::{
+    generate_configuration, generate_cq, generate_workload, WorkloadSpec,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn workload_and_query(seed: u64, atoms: usize, facts: usize) -> (accrel::workloads::random::Workload, Query, Configuration) {
+    let spec = WorkloadSpec {
+        relations: 3,
+        arity: 2,
+        domains: 2,
+        constants: 5,
+        dependent_fraction: 0.0,
+    };
+    let mut rng = StdRng::seed_from_u64(seed);
+    let workload = generate_workload(&spec, &mut rng);
+    let query = Query::Cq(generate_cq(&workload, atoms, 3, 0.8, &mut rng));
+    let conf = generate_configuration(&workload, facts, &mut rng);
+    (workload, query, conf)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn certain_answers_are_monotone(seed in 0u64..500, atoms in 1usize..4, facts in 0usize..8) {
+        let (workload, query, conf) = workload_and_query(seed, atoms, facts);
+        let mut rng = StdRng::seed_from_u64(seed + 1);
+        let extra = generate_configuration(&workload, 3, &mut rng);
+        let bigger = conf.union(&extra);
+        if certain::is_certain(&query, &conf) {
+            prop_assert!(certain::is_certain(&query, &bigger));
+        }
+    }
+
+    #[test]
+    fn immediate_relevance_implies_long_term_relevance(seed in 0u64..300, atoms in 1usize..4, facts in 0usize..6) {
+        let (workload, query, conf) = workload_and_query(seed, atoms, facts);
+        let budget = SearchBudget::default();
+        for (id, method) in workload.methods.iter() {
+            // One binding per method, drawn from the constant pool.
+            let values: Vec<Value> = method
+                .input_positions()
+                .iter()
+                .map(|_| workload.constants[(seed as usize) % workload.constants.len()].clone())
+                .collect();
+            let access = Access::new(id, values.into_iter().collect::<Vec<_>>().into_iter().collect());
+            let ir = is_immediately_relevant(&query, &conf, &access, &workload.methods);
+            if ir {
+                prop_assert!(is_long_term_relevant(&query, &conf, &access, &workload.methods, &budget));
+            }
+        }
+    }
+
+    #[test]
+    fn accesses_to_unmentioned_relations_are_irrelevant(seed in 0u64..300, facts in 0usize..6) {
+        let (workload, _, conf) = workload_and_query(seed, 2, facts);
+        // A query that only mentions relation R0.
+        let mut rng = StdRng::seed_from_u64(seed + 7);
+        let mut qb = ConjunctiveQuery::builder(workload.schema.clone());
+        let x = qb.var("x");
+        let y = qb.var("y");
+        qb.atom("R0", vec![Term::Var(x), Term::Var(y)]).unwrap();
+        let query: Query = qb.build().into();
+        let _ = &mut rng;
+        for (id, method) in workload.methods.iter() {
+            if workload.schema.relation(method.relation()).unwrap().name() == "R0" {
+                continue;
+            }
+            // Accessing R1/R2 can never be immediately relevant for a query
+            // about R0 only (observation (i) of Section 4); it can be
+            // long-term relevant only if it is the query relation, so here
+            // it must not be IR.
+            let values: Vec<Value> = method
+                .input_positions()
+                .iter()
+                .map(|_| workload.constants[0].clone())
+                .collect();
+            let access = Access::new(id, values.into_iter().collect::<Vec<_>>().into_iter().collect());
+            prop_assert!(!is_immediately_relevant(&query, &conf, &access, &workload.methods));
+        }
+    }
+
+    #[test]
+    fn containment_is_reflexive_and_respects_classical_containment(seed in 0u64..200, atoms in 1usize..3, facts in 0usize..5) {
+        let (workload, query, conf) = workload_and_query(seed, atoms, facts);
+        let budget = SearchBudget::shallow();
+        let outcome = is_contained(&query, &query, &conf, &workload.methods, &budget);
+        prop_assert!(outcome.contained);
+        // Classical containment (all accesses free) implies containment
+        // under any access limitations.
+        let mut rng = StdRng::seed_from_u64(seed + 13);
+        let other = Query::Cq(generate_cq(&workload, atoms, 2, 0.8, &mut rng));
+        if accrel::query::containment::query_contained_in(&query, &other) {
+            let limited = is_contained(&query, &other, &conf, &workload.methods, &budget);
+            prop_assert!(limited.contained);
+        }
+    }
+
+    #[test]
+    fn access_paths_grow_monotonically_and_truncations_are_subsets(seed in 0u64..200, facts in 1usize..6) {
+        let spec = WorkloadSpec { dependent_fraction: 1.0, ..WorkloadSpec::default() };
+        let mut rng = StdRng::seed_from_u64(seed);
+        let workload = generate_workload(&spec, &mut rng);
+        let instance = accrel::workloads::random::generate_instance(&workload, facts + 4, &mut rng);
+        let conf = generate_configuration(&workload, facts, &mut rng);
+        // Build a short path by enumerating well-formed accesses and taking
+        // exact responses from the instance.
+        let options = accrel::access::enumerate::EnumerationOptions::default();
+        let mut path = AccessPath::new();
+        let mut current = conf.clone();
+        for _ in 0..3 {
+            let candidates = accrel::access::enumerate::well_formed_accesses(&current, &workload.methods, &options);
+            let Some(access) = candidates.first().cloned() else { break };
+            let Ok(response) = Response::exact(&access, &workload.methods, &instance) else { break };
+            let Ok(next) = apply_access(&current, &access, &response, &workload.methods) else { break };
+            path.push(access, response);
+            current = next;
+        }
+        let full = path.apply(&conf, &workload.methods).unwrap_or_else(|_| conf.clone());
+        prop_assert!(conf.is_subset_of(&full));
+        let (_, truncated_conf) = path.truncate(&conf, &workload.methods);
+        prop_assert!(truncated_conf.is_subset_of(&full));
+        prop_assert!(conf.is_subset_of(&truncated_conf));
+    }
+}

@@ -126,11 +126,7 @@ impl Access {
         let schema = methods.schema();
         let adom = conf.active_domain();
         for (i, &pos) in m.input_positions().iter().enumerate() {
-            let value = self
-                .binding
-                .get(i)
-                .expect("arity checked above")
-                .clone();
+            let value = self.binding.get(i).expect("arity checked above").clone();
             let domain = schema.domain_of(m.relation(), pos)?;
             if !adom.contains(&(value.clone(), domain)) {
                 return Err(AccessError::NotWellFormed {
@@ -264,10 +260,7 @@ mod tests {
         let (_, methods) = setup();
         let emp_off = methods.by_name("EmpOffAcc").unwrap();
         let access = Access::new(emp_off, binding(["12345"]));
-        assert_eq!(
-            access.display_with(&methods),
-            "EmpOffAcc: EmpOff(12345, ?)"
-        );
+        assert_eq!(access.display_with(&methods), "EmpOffAcc: EmpOff(12345, ?)");
         assert_eq!(access.to_string(), "acm#0[12345]");
         assert_eq!(access.method(), emp_off);
         assert_eq!(access.binding().len(), 1);

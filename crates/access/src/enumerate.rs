@@ -182,10 +182,7 @@ mod tests {
         // EmpOffAcc: bindings e1, e2.  OfficePair: (o1,e1), (o1,e2).  Free: 1.
         assert_eq!(accesses.len(), 2 + 2 + 1);
         let emp_acc = methods.by_name("EmpOffAcc").unwrap();
-        let emp_accesses: Vec<_> = accesses
-            .iter()
-            .filter(|a| a.method() == emp_acc)
-            .collect();
+        let emp_accesses: Vec<_> = accesses.iter().filter(|a| a.method() == emp_acc).collect();
         assert_eq!(emp_accesses.len(), 2);
         assert!(emp_accesses.contains(&&Access::new(emp_acc, binding(["e1"]))));
         for a in &accesses {

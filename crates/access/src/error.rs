@@ -72,7 +72,11 @@ impl fmt::Display for AccessError {
                 method.0
             ),
             AccessError::NotWellFormed { method, reason } => {
-                write!(f, "access via method #{} is not well-formed: {reason}", method.0)
+                write!(
+                    f,
+                    "access via method #{} is not well-formed: {reason}",
+                    method.0
+                )
             }
             AccessError::InvalidResponse { method, reason } => {
                 write!(f, "invalid response for method #{}: {reason}", method.0)

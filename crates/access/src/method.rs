@@ -131,7 +131,11 @@ impl AccessMethod {
     pub fn input_domains(&self, schema: &Schema) -> Result<Vec<DomainId>> {
         self.input_positions
             .iter()
-            .map(|&p| schema.domain_of(self.relation, p).map_err(AccessError::from))
+            .map(|&p| {
+                schema
+                    .domain_of(self.relation, p)
+                    .map_err(AccessError::from)
+            })
             .collect()
     }
 }
@@ -225,7 +229,9 @@ impl AccessMethods {
 
     /// `true` when every registered method is dependent.
     pub fn all_dependent(&self) -> bool {
-        self.methods.iter().all(|m| m.mode() == AccessMode::Dependent)
+        self.methods
+            .iter()
+            .all(|m| m.mode() == AccessMode::Dependent)
     }
 }
 
@@ -253,7 +259,7 @@ impl AccessMethodsBuilder {
         for attr in input_attributes {
             let pos = rel
                 .attribute_position(attr)
-                .ok_or_else(|| AccessError::InvalidInputPosition {
+                .ok_or(AccessError::InvalidInputPosition {
                     relation: rel_id,
                     position: usize::MAX,
                 })?;
@@ -363,7 +369,8 @@ mod tests {
         .unwrap();
         b.relation("Approval", &[("State", state), ("Offering", offering)])
             .unwrap();
-        b.relation("Manager", &[("Mgr", emp), ("Sub", emp)]).unwrap();
+        b.relation("Manager", &[("Mgr", emp), ("Sub", emp)])
+            .unwrap();
         let schema = b.build();
         // The four Web forms of Section 1.
         let mut mb = AccessMethods::builder(schema.clone());
@@ -373,8 +380,13 @@ mod tests {
             .unwrap();
         mb.add("OfficeInfoAcc", "Office", &["OffId"], AccessMode::Dependent)
             .unwrap();
-        mb.add("StateApprAcc", "Approval", &["State"], AccessMode::Dependent)
-            .unwrap();
+        mb.add(
+            "StateApprAcc",
+            "Approval",
+            &["State"],
+            AccessMode::Dependent,
+        )
+        .unwrap();
         (schema, mb.build())
     }
 
@@ -425,7 +437,11 @@ mod tests {
         assert!(!acs.get(free).unwrap().is_boolean(&schema));
         assert!(acs.get(boolean).unwrap().is_boolean(&schema));
         assert_eq!(acs.get(boolean).unwrap().input_positions(), &[0, 1]);
-        assert!(acs.get(boolean).unwrap().output_positions(&schema).is_empty());
+        assert!(acs
+            .get(boolean)
+            .unwrap()
+            .output_positions(&schema)
+            .is_empty());
         let appr = schema.relation_by_name("Approval").unwrap();
         assert_eq!(acs.methods_for(appr).len(), 2);
         let emp = schema.relation_by_name("Employee").unwrap();

@@ -5,8 +5,8 @@
 use std::time::Duration;
 
 use accrel_bench::fixtures;
-use accrel_core::ltr_independent::{is_ltr_independent, ltr_single_occurrence};
 use accrel_core::is_long_term_relevant;
+use accrel_core::ltr_independent::{is_ltr_independent, ltr_single_occurrence};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench(c: &mut Criterion) {

@@ -6,10 +6,53 @@
 //! ```
 //!
 //! The output of this binary is the basis of `EXPERIMENTS.md`.
+//!
+//! With `--smoke` every experiment fixture runs exactly once (no criterion
+//! statistics) and the tables are additionally written as JSON to
+//! `BENCH_smoke.json` (override with `--out <path>`), so CI can record the
+//! perf trajectory cheaply:
+//!
+//! ```text
+//! cargo run -p accrel-bench --bin harness --release -- --smoke
+//! ```
+
+use std::process::ExitCode;
 
 use accrel_bench::runner;
 
-fn main() {
+fn main() -> ExitCode {
+    let mut smoke = false;
+    let mut out_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => match args.next() {
+                Some(p) => out_path = Some(p),
+                None => {
+                    eprintln!("error: --out requires a path argument");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--help" | "-h" => {
+                println!("usage: harness [--smoke] [--out <path>]");
+                println!();
+                println!("  --smoke       run each experiment fixture once and write JSON");
+                println!("  --out <path>  JSON output path for --smoke (default BENCH_smoke.json)");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("error: unknown argument `{other}` (try --help)");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if out_path.is_some() && !smoke {
+        eprintln!("error: --out only applies to --smoke runs");
+        return ExitCode::FAILURE;
+    }
+    let out_path = out_path.unwrap_or_else(|| String::from("BENCH_smoke.json"));
+
     println!("# accrel experiment harness\n");
     println!(
         "Reproduction of the complexity landscape of `Determining Relevance of Accesses at \
@@ -17,7 +60,23 @@ fn main() {
          the shape of its results (Table 1, the tractable cases, and the engine-level value of \
          relevance pruning).\n"
     );
-    for table in runner::run_all() {
+
+    let tables = if smoke {
+        runner::run_smoke()
+    } else {
+        runner::run_all()
+    };
+    for table in &tables {
         println!("{}", table.to_markdown());
     }
+
+    if smoke {
+        let json = runner::tables_to_json("smoke", &tables);
+        if let Err(e) = std::fs::write(&out_path, json) {
+            eprintln!("error: failed to write {out_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {out_path}");
+    }
+    ExitCode::SUCCESS
 }

@@ -63,7 +63,11 @@ pub fn ir_fixture(atoms: usize, conjunctive: bool, dependent: bool) -> Relevance
     let mut rng = StdRng::seed_from_u64(atoms as u64 * 31 + u64::from(conjunctive));
     let query = generate_query(&workload, conjunctive, atoms, 3, &mut rng);
     let configuration = generate_configuration(&workload, 6, &mut rng);
-    let (method_id, method) = workload.methods.iter().next().expect("workload has methods");
+    let (method_id, method) = workload
+        .methods
+        .iter()
+        .next()
+        .expect("workload has methods");
     let bound_value = configuration
         .values_of_domain(
             workload
@@ -144,8 +148,12 @@ pub fn pq_containment_fixture(width: usize) -> ContainmentFixture {
     let schema = sb.build();
     let mut mb = AccessMethods::builder(schema.clone());
     for i in 0..width {
-        mb.add_boolean(format!("RCheck{i}"), &format!("R{i}"), AccessMode::Dependent)
-            .unwrap();
+        mb.add_boolean(
+            format!("RCheck{i}"),
+            &format!("R{i}"),
+            AccessMode::Dependent,
+        )
+        .unwrap();
         mb.add_free(format!("SAll{i}"), &format!("S{i}"), AccessMode::Dependent)
             .unwrap();
     }
@@ -194,7 +202,11 @@ pub fn data_complexity_fixture(facts: usize, dependent: bool) -> RelevanceFixtur
     qb.atom("R2", vec![Term::Var(z), Term::Var(w)]).unwrap();
     let query: Query = qb.build().into();
     let configuration = generate_configuration(&workload, facts, &mut rng);
-    let (method_id, method) = workload.methods.iter().next().expect("workload has methods");
+    let (method_id, method) = workload
+        .methods
+        .iter()
+        .next()
+        .expect("workload has methods");
     let bound_value = configuration
         .values_of_domain(
             workload
@@ -223,8 +235,11 @@ pub fn single_occurrence_fixture(facts: usize) -> (ConjunctiveQuery, RelevanceFi
     sb.relation("S", &[("a", d), ("b", d)]).unwrap();
     let schema = sb.build();
     let mut mb = AccessMethods::builder(schema.clone());
-    let r_acc = mb.add("RAcc", "R", &["b"], AccessMode::Independent).unwrap();
-    mb.add("SAcc", "S", &["a"], AccessMode::Independent).unwrap();
+    let r_acc = mb
+        .add("RAcc", "R", &["b"], AccessMode::Independent)
+        .unwrap();
+    mb.add("SAcc", "S", &["a"], AccessMode::Independent)
+        .unwrap();
     let methods = mb.build();
     let mut conf = Configuration::empty(schema.clone());
     for i in 0..facts {
@@ -234,8 +249,10 @@ pub fn single_occurrence_fixture(facts: usize) -> (ConjunctiveQuery, RelevanceFi
     let mut qb = ConjunctiveQuery::builder(schema);
     let x = qb.var("x");
     let z = qb.var("z");
-    qb.atom("R", vec![Term::Var(x), Term::constant("5")]).unwrap();
-    qb.atom("S", vec![Term::constant("5"), Term::Var(z)]).unwrap();
+    qb.atom("R", vec![Term::Var(x), Term::constant("5")])
+        .unwrap();
+    qb.atom("S", vec![Term::constant("5"), Term::Var(z)])
+        .unwrap();
     let cq = qb.build();
     let fixture = RelevanceFixture {
         query: Query::Cq(cq.clone()),
@@ -271,7 +288,9 @@ pub fn reduction_fixture() -> (RelevanceFixture, accrel_query::PositiveQuery) {
     sb.relation("S", &[("a", d)]).unwrap();
     let schema = sb.build();
     let mut mb = AccessMethods::builder(schema.clone());
-    let r_check = mb.add_boolean("RCheck", "R", AccessMode::Dependent).unwrap();
+    let r_check = mb
+        .add_boolean("RCheck", "R", AccessMode::Dependent)
+        .unwrap();
     mb.add_free("SAll", "S", AccessMode::Dependent).unwrap();
     let methods = mb.build();
     let mut conf = Configuration::empty(schema.clone());
@@ -365,8 +384,12 @@ mod tests {
     #[test]
     fn single_occurrence_fixture_matches_proposition_4_3() {
         let (cq, f) = single_occurrence_fixture(10);
-        let fast =
-            accrel_core::ltr_independent::ltr_single_occurrence(&cq, &f.configuration, &f.access, &f.methods);
+        let fast = accrel_core::ltr_independent::ltr_single_occurrence(
+            &cq,
+            &f.configuration,
+            &f.access,
+            &f.methods,
+        );
         let general = accrel_core::ltr_independent::is_ltr_independent(
             &f.query,
             &f.configuration,

@@ -4,8 +4,7 @@
 use std::time::Instant;
 
 use accrel_core::{
-    is_contained, is_immediately_relevant, is_long_term_relevant, ltr_independent,
-    reductions,
+    is_contained, is_immediately_relevant, is_long_term_relevant, ltr_independent, reductions,
 };
 use accrel_engine::{DeepWebSource, EngineOptions, FederatedEngine, ResponsePolicy};
 use accrel_workloads::encodings::encoding_stats;
@@ -183,11 +182,18 @@ pub fn e4_dependent_pq(widths: &[usize], repeats: usize) -> Table {
         let t = median_micros(repeats, || {
             let _ = is_contained(&f.q1, &f.q2, &f.configuration, &f.methods, &f.budget);
         });
-        rows.push(Row::new("PQ containment (union width)", width, "median µs", t));
+        rows.push(Row::new(
+            "PQ containment (union width)",
+            width,
+            "median µs",
+            t,
+        ));
     }
     Table {
         id: "E4".to_string(),
-        title: "Dependent accesses, PQs: containment cost vs union width (one exponential above CQs)".to_string(),
+        title:
+            "Dependent accesses, PQs: containment cost vs union width (one exponential above CQs)"
+                .to_string(),
         rows,
     }
 }
@@ -196,7 +202,10 @@ pub fn e4_dependent_pq(widths: &[usize], repeats: usize) -> Table {
 pub fn e5_data_complexity(sizes: &[usize], repeats: usize) -> Table {
     let mut rows = Vec::new();
     for &size in sizes {
-        for (series, dependent) in [("IR (fixed query)", false), ("IR (fixed query, dependent)", true)] {
+        for (series, dependent) in [
+            ("IR (fixed query)", false),
+            ("IR (fixed query, dependent)", true),
+        ] {
             let f = fixtures::data_complexity_fixture(size, dependent);
             let t = median_micros(repeats, || {
                 let _ = is_immediately_relevant(&f.query, &f.configuration, &f.access, &f.methods);
@@ -212,7 +221,12 @@ pub fn e5_data_complexity(sizes: &[usize], repeats: usize) -> Table {
                 &f.methods,
             );
         });
-        rows.push(Row::new("LTR independent (fixed query)", size, "median µs", t));
+        rows.push(Row::new(
+            "LTR independent (fixed query)",
+            size,
+            "median µs",
+            t,
+        ));
     }
     Table {
         id: "E5".to_string(),
@@ -245,20 +259,25 @@ pub fn e6_tractable_cases(sizes: &[usize], repeats: usize) -> Table {
                 &f.methods,
             );
         });
-        rows.push(Row::new("general ΣP2 procedure", size, "median µs", t_general));
+        rows.push(Row::new(
+            "general ΣP2 procedure",
+            size,
+            "median µs",
+            t_general,
+        ));
     }
     for &depth in &[1usize, 2, 3] {
         let f = fixtures::small_arity_fixture(depth);
         let t = median_micros(repeats, || {
-            let _ = is_long_term_relevant(
-                &f.query,
-                &f.configuration,
-                &f.access,
-                &f.methods,
-                &f.budget,
-            );
+            let _ =
+                is_long_term_relevant(&f.query, &f.configuration, &f.access, &f.methods, &f.budget);
         });
-        rows.push(Row::new("binary-relation chain (Sec. 6)", depth, "median µs", t));
+        rows.push(Row::new(
+            "binary-relation chain (Sec. 6)",
+            depth,
+            "median µs",
+            t,
+        ));
     }
     Table {
         id: "E6".to_string(),
@@ -285,7 +304,12 @@ pub fn e7_engine_ablation() -> Table {
         );
         for report in reports {
             let series = format!("{} / {}", scenario.name, report.strategy.name());
-            rows.push(Row::new(series.clone(), "-", "accesses", report.accesses_made as f64));
+            rows.push(Row::new(
+                series.clone(),
+                "-",
+                "accesses",
+                report.accesses_made as f64,
+            ));
             rows.push(Row::new(
                 series.clone(),
                 "-",
@@ -326,7 +350,12 @@ pub fn e8_reductions(repeats: usize) -> Table {
             &f.budget,
         );
     });
-    rows.push(Row::new("via Prop 3.4 + containment", "-", "median µs", via_34));
+    rows.push(Row::new(
+        "via Prop 3.4 + containment",
+        "-",
+        "median µs",
+        via_34,
+    ));
     // Consistency of the verdicts.
     let direct_verdict =
         is_long_term_relevant(&f.query, &f.configuration, &f.access, &f.methods, &f.budget);
@@ -343,7 +372,11 @@ pub fn e8_reductions(repeats: usize) -> Table {
         "verdicts agree (1 = yes)",
         "-",
         "bool",
-        if direct_verdict == !contained { 1.0 } else { 0.0 },
+        if direct_verdict != contained {
+            1.0
+        } else {
+            0.0
+        },
     ));
     Table {
         id: "E8".to_string(),
@@ -364,6 +397,73 @@ pub fn run_all() -> Vec<Table> {
         e7_engine_ablation(),
         e8_reductions(3),
     ]
+}
+
+/// Runs every experiment once at the smallest fixture size — a CI smoke pass
+/// that records the perf trajectory without criterion statistics.
+pub fn run_smoke() -> Vec<Table> {
+    vec![
+        e1_immediate(&[1, 2], 1),
+        e2_ltr_independent(&[1, 2], 1),
+        e3_dependent_cq(&[1, 2], 1),
+        e4_dependent_pq(&[1, 2], 1),
+        e5_data_complexity(&[10, 50], 1),
+        e6_tractable_cases(&[10, 100], 1),
+        e7_engine_ablation(),
+        e8_reductions(1),
+    ]
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders a set of experiment tables as a stable JSON document (the
+/// `BENCH_smoke.json` artefact produced by `harness --smoke`).
+pub fn tables_to_json(mode: &str, tables: &[Table]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"schema_version\": 1,\n");
+    out.push_str(&format!("  \"mode\": \"{}\",\n", json_escape(mode)));
+    out.push_str("  \"tables\": [\n");
+    for (ti, table) in tables.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"id\": \"{}\", \"title\": \"{}\", \"rows\": [\n",
+            json_escape(&table.id),
+            json_escape(&table.title)
+        ));
+        for (ri, row) in table.rows.iter().enumerate() {
+            let row_sep = if ri + 1 == table.rows.len() { "" } else { "," };
+            out.push_str(&format!(
+                "      {{\"series\": \"{}\", \"parameter\": \"{}\", \"metric\": \"{}\", \"value\": {}}}{}\n",
+                json_escape(&row.series),
+                json_escape(&row.parameter),
+                json_escape(&row.metric),
+                if row.value.is_finite() {
+                    format!("{:.3}", row.value)
+                } else {
+                    "null".to_string()
+                },
+                row_sep
+            ));
+        }
+        let table_sep = if ti + 1 == tables.len() { "" } else { "," };
+        out.push_str(&format!("    ]}}{table_sep}\n"));
+    }
+    out.push_str("  ]\n}\n");
+    out
 }
 
 #[cfg(test)]
@@ -388,6 +488,25 @@ mod tests {
             std::hint::black_box((0..100).sum::<u64>());
         });
         assert!(t >= 0.0);
+    }
+
+    #[test]
+    fn tables_render_as_json() {
+        let tables = vec![Table {
+            id: "E0".to_string(),
+            title: "smoke \"quoted\"".to_string(),
+            rows: vec![Row::new("s", 1, "m", 2.5)],
+        }];
+        let json = tables_to_json("smoke", &tables);
+        assert!(json.contains("\"schema_version\": 1"));
+        assert!(json.contains("\"mode\": \"smoke\""));
+        assert!(json.contains("smoke \\\"quoted\\\""));
+        assert!(json.contains("\"value\": 2.500"));
+        // Balanced braces/brackets as a cheap well-formedness check.
+        let opens = json.matches('{').count();
+        let closes = json.matches('}').count();
+        assert_eq!(opens, closes);
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
     }
 
     #[test]

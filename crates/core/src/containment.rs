@@ -93,9 +93,7 @@ pub fn is_contained(
     }
 
     for disjunct in &ucq1 {
-        if let Some(witness) =
-            disjunct_non_containment(disjunct, &ucq2, conf, methods, budget)
-        {
+        if let Some(witness) = disjunct_non_containment(disjunct, &ucq2, conf, methods, budget) {
             return ContainmentOutcome::not_contained(witness);
         }
     }
@@ -123,7 +121,7 @@ fn disjunct_non_containment(
     let mut fresh = FreshSupply::above(
         conf.all_values()
             .iter()
-            .chain(disjunct.constants().iter().collect::<Vec<_>>().into_iter()),
+            .chain(disjunct.constants().iter().collect::<Vec<_>>()),
     );
     let valuations =
         search::enumerate_valuations(disjunct, conf, &[], &mut fresh, budget.max_valuations);
@@ -230,7 +228,8 @@ mod tests {
         b.relation("S", &[("a", d)]).unwrap();
         let schema = b.build();
         let mut mb = AccessMethods::builder(schema.clone());
-        mb.add_boolean("RCheck", "R", AccessMode::Dependent).unwrap();
+        mb.add_boolean("RCheck", "R", AccessMode::Dependent)
+            .unwrap();
         mb.add_free("SAll", "S", AccessMode::Dependent).unwrap();
         let methods = mb.build();
         let mut q1b = ConjunctiveQuery::builder(schema.clone());
@@ -257,8 +256,10 @@ mod tests {
         let outcome = is_contained(&q2, &q1, &conf, &methods, &SearchBudget::default());
         assert!(!outcome.contained);
         let w = outcome.witness.unwrap();
-        assert!(w.path.len() >= 1);
-        assert!(w.path.is_well_formed_at(&Configuration::empty(q1.schema().clone()), &methods));
+        assert!(!w.path.is_empty());
+        assert!(w
+            .path
+            .is_well_formed_at(&Configuration::empty(q1.schema().clone()), &methods));
     }
 
     #[test]
@@ -274,7 +275,13 @@ mod tests {
         let conf = Configuration::empty(schema);
         let outcome = is_contained(&q1, &q2, &conf, &free_methods, &SearchBudget::default());
         assert!(!outcome.contained);
-        assert!(!contained(&q1, &q2, &conf, &free_methods, &SearchBudget::default()));
+        assert!(!contained(
+            &q1,
+            &q2,
+            &conf,
+            &free_methods,
+            &SearchBudget::default()
+        ));
     }
 
     #[test]
@@ -292,8 +299,20 @@ mod tests {
         q2b.atom("S", vec![Term::Var(y)]).unwrap();
         let q_s: Query = q2b.build().into();
         let conf = Configuration::empty(schema);
-        assert!(contained(&q_both, &q_s, &conf, &methods, &SearchBudget::default()));
-        assert!(!contained(&q_s, &q_both, &conf, &methods, &SearchBudget::default()));
+        assert!(contained(
+            &q_both,
+            &q_s,
+            &conf,
+            &methods,
+            &SearchBudget::default()
+        ));
+        assert!(!contained(
+            &q_s,
+            &q_both,
+            &conf,
+            &methods,
+            &SearchBudget::default()
+        ));
     }
 
     #[test]
@@ -314,13 +333,25 @@ mod tests {
         q2b.atom("S", vec![Term::constant("c")]).unwrap();
         let q2: Query = q2b.build().into();
         let empty = Configuration::empty(schema.clone());
-        assert!(contained(&q1, &q2, &empty, &methods, &SearchBudget::default()));
+        assert!(contained(
+            &q1,
+            &q2,
+            &empty,
+            &methods,
+            &SearchBudget::default()
+        ));
         // Now make c accessible without S(c): Conf = {R'(c)}?  The schema
         // has no such relation, instead start from Conf = {S(c)}: Q2 is
         // certain, containment trivially holds.
         let mut conf_s = Configuration::empty(schema.clone());
         conf_s.insert_named("S", ["c"]).unwrap();
-        assert!(contained(&q1, &q2, &conf_s, &methods, &SearchBudget::default()));
+        assert!(contained(
+            &q1,
+            &q2,
+            &conf_s,
+            &methods,
+            &SearchBudget::default()
+        ));
         // Conversely Q2 ⊑ Q1 fails from {S(c)} (it already fails at Conf).
         let outcome = is_contained(&q2, &q1, &conf_s, &methods, &SearchBudget::default());
         assert!(!outcome.contained);
@@ -372,9 +403,21 @@ mod tests {
         let v = q3b.var("v");
         q3b.atom("B", vec![Term::Var(u), Term::Var(v)]).unwrap();
         let q3: Query = q3b.build().into();
-        assert!(contained(&q1, &q3, &conf, &methods, &SearchBudget::default()));
+        assert!(contained(
+            &q1,
+            &q3,
+            &conf,
+            &methods,
+            &SearchBudget::default()
+        ));
         // But not vice versa.
-        assert!(!contained(&q3, &q1, &conf, &methods, &SearchBudget::default()));
+        assert!(!contained(
+            &q3,
+            &q1,
+            &conf,
+            &methods,
+            &SearchBudget::default()
+        ));
     }
 
     #[test]
@@ -396,7 +439,13 @@ mod tests {
         let sx2 = b2.atom("S", vec![Term::Var(x2)]).unwrap();
         let q2: Query = b2.build(sx2).into();
         let conf = Configuration::empty(schema);
-        assert!(contained(&q1, &q2, &conf, &methods, &SearchBudget::default()));
+        assert!(contained(
+            &q1,
+            &q2,
+            &conf,
+            &methods,
+            &SearchBudget::default()
+        ));
         let _ = sx;
     }
 
@@ -420,7 +469,13 @@ mod tests {
         q2b.free(&[x]);
         let q2: Query = q2b.build().into();
         let conf = Configuration::empty(schema);
-        assert!(contained(&q1, &q2, &conf, &methods, &SearchBudget::default()));
+        assert!(contained(
+            &q1,
+            &q2,
+            &conf,
+            &methods,
+            &SearchBudget::default()
+        ));
         let outcome = is_contained(&q2, &q1, &conf, &methods, &SearchBudget::default());
         assert!(!outcome.contained);
         assert_eq!(outcome.witness.unwrap().answer.arity(), 1);

@@ -61,12 +61,28 @@ fn extend_over_domain(
     }
     let v = vars[var_index];
     if valuation.is_bound(v) {
-        return extend_over_domain(query, pinned_atom, relation, t, domain, valuation, var_index + 1);
+        return extend_over_domain(
+            query,
+            pinned_atom,
+            relation,
+            t,
+            domain,
+            valuation,
+            var_index + 1,
+        );
     }
     for value in domain {
         let mut next = valuation.clone();
         next.bind(v, value.clone());
-        if extend_over_domain(query, pinned_atom, relation, t, domain, &next, var_index + 1) {
+        if extend_over_domain(
+            query,
+            pinned_atom,
+            relation,
+            t,
+            domain,
+            &next,
+            var_index + 1,
+        ) {
             return true;
         }
     }
@@ -198,7 +214,8 @@ mod tests {
         let r = s.relation_by_name("R").unwrap();
         let mut qb = ConjunctiveQuery::builder(s);
         let x = qb.var("x");
-        qb.atom("R", vec![Term::Var(x), Term::constant("1")]).unwrap();
+        qb.atom("R", vec![Term::Var(x), Term::constant("1")])
+            .unwrap();
         let q = qb.build();
         let d = domain_values(&["0", "1"]);
         assert!(is_critical(&q, r, &tuple(["0", "1"]), &d));
@@ -219,8 +236,10 @@ mod tests {
         let s = b.build();
         let r = s.relation_by_name("R").unwrap();
         let mut mb = AccessMethods::builder(s.clone());
-        mb.add_boolean("RCheck", "R", AccessMode::Independent).unwrap();
-        mb.add("RAcc", "R", &["a"], AccessMode::Independent).unwrap();
+        mb.add_boolean("RCheck", "R", AccessMode::Independent)
+            .unwrap();
+        mb.add("RAcc", "R", &["a"], AccessMode::Independent)
+            .unwrap();
         let methods = mb.build();
         let r_check = methods.by_name("RCheck").unwrap();
 

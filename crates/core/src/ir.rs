@@ -72,7 +72,13 @@ pub fn immediate_relevance_witness(
     }
     let method = methods.get(access.method()).ok()?;
     for disjunct in query.to_ucq() {
-        if let Some(witness) = disjunct_witness(&disjunct, conf, access, method.relation(), method.input_positions()) {
+        if let Some(witness) = disjunct_witness(
+            &disjunct,
+            conf,
+            access,
+            method.relation(),
+            method.input_positions(),
+        ) {
             return Some(witness);
         }
     }
@@ -94,6 +100,7 @@ fn disjunct_witness(
         Access,
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn go(
         atoms: &[accrel_query::Atom],
         idx: usize,
@@ -237,7 +244,8 @@ mod tests {
         b.relation("T", &[("a", d)]).unwrap();
         let schema = b.build();
         let mut mb = AccessMethods::builder(schema.clone());
-        mb.add_boolean("SCheck", "S", AccessMode::Independent).unwrap();
+        mb.add_boolean("SCheck", "S", AccessMode::Independent)
+            .unwrap();
         let methods = mb.build();
         let mut qb = ConjunctiveQuery::builder(schema.clone());
         let x = qb.var("x");

@@ -117,7 +117,8 @@ mod tests {
         // Fully independent flavour routes through the ΣP2 procedure.
         let mut mb = AccessMethods::builder(schema.clone());
         let s_acc = mb.add_free("SAcc", "S", AccessMode::Independent).unwrap();
-        mb.add("TAcc", "T", &["b"], AccessMode::Independent).unwrap();
+        mb.add("TAcc", "T", &["b"], AccessMode::Independent)
+            .unwrap();
         let methods = mb.build();
         let conf = Configuration::empty(schema);
         let access = Access::new(s_acc, binding(Vec::<&str>::new()));

@@ -74,7 +74,7 @@ pub fn is_ltr_dependent(
     let mut fresh = FreshSupply::above(
         conf.all_values()
             .iter()
-            .chain(query.constants().iter().collect::<Vec<_>>().into_iter()),
+            .chain(query.constants().iter().collect::<Vec<_>>()),
     );
     let generic_tuple = if output_positions.is_empty() {
         None
@@ -149,13 +149,8 @@ fn disjunct_witness(
     fresh: &mut FreshSupply,
 ) -> bool {
     let schema = methods.schema();
-    let valuations = search::enumerate_valuations(
-        disjunct,
-        conf,
-        generic_extra,
-        fresh,
-        budget.max_valuations,
-    );
+    let valuations =
+        search::enumerate_valuations(disjunct, conf, generic_extra, fresh, budget.max_valuations);
 
     'next_valuation: for h in valuations {
         // Partition the disjunct's image.
@@ -393,7 +388,8 @@ mod tests {
         b.relation("W", &[("a", d)]).unwrap();
         let schema = b.build();
         let mut mb = AccessMethods::builder(schema.clone());
-        mb.add_boolean("RCheck", "R", AccessMode::Dependent).unwrap();
+        mb.add_boolean("RCheck", "R", AccessMode::Dependent)
+            .unwrap();
         let methods = mb.build();
         let mut qb = ConjunctiveQuery::builder(schema.clone());
         let x = qb.var("x");
@@ -405,7 +401,13 @@ mod tests {
         let mut conf = Configuration::empty(schema.clone());
         conf.insert_named("W", ["c"]).unwrap();
         let access = Access::new(r_check, binding(["c"]));
-        assert!(is_ltr_dependent(&q, &conf, &access, &methods, &SearchBudget::default()));
+        assert!(is_ltr_dependent(
+            &q,
+            &conf,
+            &access,
+            &methods,
+            &SearchBudget::default()
+        ));
 
         let mut conf_done = conf.clone();
         conf_done.insert_named("R", ["c"]).unwrap();
@@ -442,7 +444,8 @@ mod tests {
         let schema = b.build();
         let mut mb = AccessMethods::builder(schema.clone());
         mb.add_free("EmpAll", "Emp", AccessMode::Dependent).unwrap();
-        mb.add("OffByEmp", "Off", &["e"], AccessMode::Dependent).unwrap();
+        mb.add("OffByEmp", "Off", &["e"], AccessMode::Dependent)
+            .unwrap();
         let methods = mb.build();
         let mut qb = ConjunctiveQuery::builder(schema.clone());
         let e = qb.var("e");
@@ -452,7 +455,13 @@ mod tests {
         let emp_all = methods.by_name("EmpAll").unwrap();
         let conf = Configuration::empty(schema);
         let access = Access::new(emp_all, binding(Vec::<&str>::new()));
-        assert!(is_ltr_dependent(&q, &conf, &access, &methods, &SearchBudget::default()));
+        assert!(is_ltr_dependent(
+            &q,
+            &conf,
+            &access,
+            &methods,
+            &SearchBudget::default()
+        ));
     }
 
     #[test]
@@ -475,7 +484,13 @@ mod tests {
         let s_all = methods.by_name("SAll").unwrap();
         let conf = Configuration::empty(schema);
         let access = Access::new(s_all, binding(Vec::<&str>::new()));
-        assert!(!is_ltr_dependent(&q, &conf, &access, &methods, &SearchBudget::default()));
+        assert!(!is_ltr_dependent(
+            &q,
+            &conf,
+            &access,
+            &methods,
+            &SearchBudget::default()
+        ));
     }
 
     #[test]
@@ -507,7 +522,13 @@ mod tests {
         // A fresh key could expose a T-fact that the already-known key does
         // not have, and the truncated path (without the K access) cannot use
         // that fresh key: the access is LTR.
-        assert!(is_ltr_dependent(&q, &conf, &access, &methods, &SearchBudget::default()));
+        assert!(is_ltr_dependent(
+            &q,
+            &conf,
+            &access,
+            &methods,
+            &SearchBudget::default()
+        ));
     }
 
     #[test]
@@ -524,6 +545,12 @@ mod tests {
         let s_acc = methods.by_name("SAcc").unwrap();
         let conf = Configuration::empty(schema);
         let access = Access::new(s_acc, binding(Vec::<&str>::new()));
-        assert!(is_ltr_dependent(&q, &conf, &access, &methods, &SearchBudget::default()));
+        assert!(is_ltr_dependent(
+            &q,
+            &conf,
+            &access,
+            &methods,
+            &SearchBudget::default()
+        ));
     }
 }

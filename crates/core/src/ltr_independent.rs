@@ -97,8 +97,7 @@ fn disjunct_has_witness(
             ))
         })
         .collect();
-    let valuations =
-        search::enumerate_valuations(disjunct, conf, &extra, &mut fresh, usize::MAX);
+    let valuations = search::enumerate_valuations(disjunct, conf, &extra, &mut fresh, usize::MAX);
     'next_valuation: for h in valuations {
         let mut later_facts = Vec::new();
         for atom in disjunct.atoms() {
@@ -149,11 +148,7 @@ pub fn ltr_single_occurrence(
     if query.occurrences_of(access_relation) != 1 {
         return None;
     }
-    if !query
-        .relations()
-        .iter()
-        .all(|r| methods.has_method(*r))
-    {
+    if !query.relations().iter().all(|r| methods.has_method(*r)) {
         return None;
     }
     // The unique partial mapping h substituting the binding into the
@@ -212,8 +207,10 @@ mod tests {
         b.relation("S", &[("a", d), ("b", d)]).unwrap();
         let schema = b.build();
         let mut mb = AccessMethods::builder(schema.clone());
-        mb.add("RAcc", "R", &["b"], AccessMode::Independent).unwrap();
-        mb.add("SAcc", "S", &["a"], AccessMode::Independent).unwrap();
+        mb.add("RAcc", "R", &["b"], AccessMode::Independent)
+            .unwrap();
+        mb.add("SAcc", "S", &["a"], AccessMode::Independent)
+            .unwrap();
         (schema, mb.build())
     }
 
@@ -222,8 +219,10 @@ mod tests {
         let mut qb = ConjunctiveQuery::builder(schema);
         let x = qb.var("x");
         let z = qb.var("z");
-        qb.atom("R", vec![Term::Var(x), Term::constant("5")]).unwrap();
-        qb.atom("S", vec![Term::constant("5"), Term::Var(z)]).unwrap();
+        qb.atom("R", vec![Term::Var(x), Term::constant("5")])
+            .unwrap();
+        qb.atom("S", vec![Term::constant("5"), Term::Var(z)])
+            .unwrap();
         qb.build().into()
     }
 
@@ -261,7 +260,8 @@ mod tests {
         let x = qb.var("x");
         let y = qb.var("y");
         qb.atom("R", vec![Term::Var(x), Term::Var(y)]).unwrap();
-        qb.atom("R", vec![Term::Var(x), Term::constant("5")]).unwrap();
+        qb.atom("R", vec![Term::Var(x), Term::constant("5")])
+            .unwrap();
         let q: Query = qb.build().into();
         let r_acc = methods.by_name("RAcc").unwrap();
         let conf = Configuration::empty(schema);
@@ -291,7 +291,8 @@ mod tests {
         // known: the query can never become true, so nothing is relevant.
         let (schema, _) = setup();
         let mut mb = AccessMethods::builder(schema.clone());
-        mb.add("RAcc", "R", &["b"], AccessMode::Independent).unwrap();
+        mb.add("RAcc", "R", &["b"], AccessMode::Independent)
+            .unwrap();
         let methods = mb.build();
         let q = example_4_2_query(schema.clone());
         let r_acc = methods.by_name("RAcc").unwrap();
@@ -335,8 +336,10 @@ mod tests {
         let (schema, methods) = setup();
         let mut qb = ConjunctiveQuery::builder(schema.clone());
         let x = qb.var("x");
-        qb.atom("R", vec![Term::Var(x), Term::constant("5")]).unwrap();
-        qb.atom("S", vec![Term::constant("5"), Term::Var(x)]).unwrap();
+        qb.atom("R", vec![Term::Var(x), Term::constant("5")])
+            .unwrap();
+        qb.atom("S", vec![Term::constant("5"), Term::Var(x)])
+            .unwrap();
         qb.free(&[x]);
         let q: Query = qb.build().into();
         let r_acc = methods.by_name("RAcc").unwrap();
@@ -370,7 +373,8 @@ mod tests {
         // Binding conflict with the subgoal constant: never relevant.
         let mut qb = ConjunctiveQuery::builder(schema.clone());
         let x = qb.var("x");
-        qb.atom("R", vec![Term::Var(x), Term::constant("7")]).unwrap();
+        qb.atom("R", vec![Term::Var(x), Term::constant("7")])
+            .unwrap();
         let q7 = qb.build();
         assert_eq!(
             ltr_single_occurrence(&q7, &conf_unsat, &access, &methods),
@@ -423,7 +427,8 @@ mod tests {
     fn single_occurrence_requires_all_relations_accessible() {
         let (schema, _) = setup();
         let mut mb = AccessMethods::builder(schema.clone());
-        mb.add("RAcc", "R", &["b"], AccessMode::Independent).unwrap();
+        mb.add("RAcc", "R", &["b"], AccessMode::Independent)
+            .unwrap();
         let methods = mb.build();
         let q = match example_4_2_query(schema.clone()) {
             Query::Cq(cq) => cq,

@@ -27,9 +27,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use accrel_access::{binding, Access, AccessMethods, AccessMode};
-use accrel_query::{
-    Atom, ConjunctiveQuery, PositiveQuery, PqFormula, Query, Term, VarId,
-};
+use accrel_query::{Atom, ConjunctiveQuery, PositiveQuery, PqFormula, Query, Term, VarId};
 use accrel_schema::{Configuration, DomainId, FreshSupply, Schema, Tuple, Value};
 
 use crate::budget::SearchBudget;
@@ -364,13 +362,7 @@ pub fn ltr_via_containment_oracle(
         }
         kept.sort_unstable();
         let guessed = query.restrict_to_atoms(&kept);
-        let outcome = containment::is_contained(
-            &Query::Cq(guessed),
-            &whole,
-            conf,
-            methods,
-            budget,
-        );
+        let outcome = containment::is_contained(&Query::Cq(guessed), &whole, conf, methods, budget);
         if !outcome.contained {
             return true;
         }
@@ -416,7 +408,9 @@ pub fn extend_schema_with_domain(
     for d in schema.domains() {
         b.domain(d.name()).expect("original domains are unique");
     }
-    let new_dom = b.domain(domain_name).expect("new domain name must be fresh");
+    let new_dom = b
+        .domain(domain_name)
+        .expect("new domain name must be fresh");
     for rel in schema.relations() {
         let attrs: Vec<(&str, DomainId)> = rel
             .attributes()
@@ -476,7 +470,8 @@ mod tests {
         b.relation("S", &[("a", d)]).unwrap();
         let schema = b.build();
         let mut mb = AccessMethods::builder(schema.clone());
-        mb.add_boolean("RCheck", "R", AccessMode::Dependent).unwrap();
+        mb.add_boolean("RCheck", "R", AccessMode::Dependent)
+            .unwrap();
         mb.add_free("SAll", "S", AccessMode::Dependent).unwrap();
         let methods = mb.build();
         let mut b1 = PositiveQuery::builder(schema.clone());
@@ -561,13 +556,7 @@ mod tests {
         let access = Access::new(r_check, binding(["v"]));
         let budget = SearchBudget::default();
 
-        let direct = is_ltr_dependent(
-            &Query::Pq(q1.clone()),
-            &conf,
-            &access,
-            &methods,
-            &budget,
-        );
+        let direct = is_ltr_dependent(&Query::Pq(q1.clone()), &conf, &access, &methods, &budget);
         let reduction = ltr_to_non_containment(&q1, &conf, &access, &methods);
         let oracle = containment::is_contained(
             &reduction.q1,
@@ -674,10 +663,14 @@ mod tests {
         // Configuration where the query is already certain: not relevant.
         let mut conf_done = conf.clone();
         conf_done.insert_named("R", ["v"]).unwrap();
-        let via_oracle =
-            ltr_via_containment_oracle(&q, &conf_done, &access, &methods, &budget);
-        let direct =
-            is_ltr_dependent(&Query::Cq(q.clone()), &conf_done, &access, &methods, &budget);
+        let via_oracle = ltr_via_containment_oracle(&q, &conf_done, &access, &methods, &budget);
+        let direct = is_ltr_dependent(
+            &Query::Cq(q.clone()),
+            &conf_done,
+            &access,
+            &methods,
+            &budget,
+        );
         assert!(!direct);
         assert_eq!(via_oracle, direct);
 

@@ -19,7 +19,9 @@
 
 use std::collections::{HashMap, HashSet, VecDeque};
 
-use accrel_access::{Access, AccessMethodId, AccessMethods, AccessMode, AccessPath, Binding, Response};
+use accrel_access::{
+    Access, AccessMethodId, AccessMethods, AccessMode, AccessPath, Binding, Response,
+};
 use accrel_query::{ConjunctiveQuery, VarId};
 use accrel_schema::{Configuration, DomainId, FreshSupply, RelationId, Tuple, Value};
 
@@ -89,6 +91,7 @@ pub(crate) fn enumerate_valuations(
     let mut out: Vec<HashMap<VarId, Value>> = Vec::new();
 
     // Depth-first enumeration with restricted-growth fresh-slot indices.
+    #[allow(clippy::too_many_arguments)]
     fn go(
         idx: usize,
         vars: &[VarId],
@@ -456,6 +459,10 @@ fn materialise_chain(
     Some(out)
 }
 
+/// The most promising way out of a stuck planning state: (missing-input
+/// count, the method to use, the values still to be generated).
+type BestStuckChoice = (usize, AccessMethodId, Vec<(Value, DomainId)>);
+
 /// Plans the production of `needed` facts starting from the accessible pairs
 /// in `base`.
 ///
@@ -508,7 +515,7 @@ pub(crate) fn plan_production(
         }
         // Stuck: pick the remaining fact with the fewest missing inputs and
         // generate the missing values via auxiliary chains.
-        let mut best: Option<(usize, AccessMethodId, Vec<(Value, DomainId)>)> = None;
+        let mut best: Option<BestStuckChoice> = None;
         for (i, (rel, tuple)) in remaining.iter().enumerate() {
             for &mid in methods.methods_for(*rel) {
                 let missing = missing_inputs(mid, tuple, methods, &accessible);
@@ -540,8 +547,7 @@ pub(crate) fn plan_production(
                 return None;
             }
             let chain = &chains[alternative % chains.len()];
-            let aux =
-                materialise_chain(chain, &value, domain, &accessible, methods, fresh)?;
+            let aux = materialise_chain(chain, &value, domain, &accessible, methods, fresh)?;
             if plan.aux_count + aux.len() > budget.max_aux_facts {
                 return None;
             }

@@ -71,13 +71,15 @@ pub fn bank_scenario() -> Scenario {
     .unwrap();
     b.relation("Approval", &[("State", state), ("Offering", offering)])
         .unwrap();
-    b.relation("Manager", &[("Mgr", emp), ("Sub", emp)]).unwrap();
+    b.relation("Manager", &[("Mgr", emp), ("Sub", emp)])
+        .unwrap();
     // Local knowledge base (fully accessible, no access methods needed):
     // employee ids the engine already knows about, and the states of
     // interest.
     b.relation("KnownEmployee", &[("EmpId", emp)]).unwrap();
     b.relation("KnownState", &[("State", state)]).unwrap();
-    b.relation("KnownOffering", &[("Offering", offering)]).unwrap();
+    b.relation("KnownOffering", &[("Offering", offering)])
+        .unwrap();
     let schema = b.build();
 
     let mut mb = AccessMethods::builder(schema.clone());
@@ -87,8 +89,13 @@ pub fn bank_scenario() -> Scenario {
         .unwrap();
     mb.add("OfficeInfoAcc", "Office", &["OffId"], AccessMode::Dependent)
         .unwrap();
-    mb.add("StateApprAcc", "Approval", &["State"], AccessMode::Dependent)
-        .unwrap();
+    mb.add(
+        "StateApprAcc",
+        "Approval",
+        &["State"],
+        AccessMode::Dependent,
+    )
+    .unwrap();
     let methods = mb.build();
 
     // Hidden instance.
@@ -132,12 +139,22 @@ pub fn bank_scenario() -> Scenario {
         .insert_named("Office", ["off-400", "4 Elm Rd", "Ohio", "555-0400"])
         .unwrap();
     // Approvals.
-    instance.insert_named("Approval", ["Illinois", "30yr"]).unwrap();
-    instance.insert_named("Approval", ["Illinois", "15yr"]).unwrap();
-    instance.insert_named("Approval", ["Texas", "15yr"]).unwrap();
+    instance
+        .insert_named("Approval", ["Illinois", "30yr"])
+        .unwrap();
+    instance
+        .insert_named("Approval", ["Illinois", "15yr"])
+        .unwrap();
+    instance
+        .insert_named("Approval", ["Texas", "15yr"])
+        .unwrap();
     // Management chain: carol manages ada, dan manages bob.
-    instance.insert_named("Manager", ["e-carol", "e-ada"]).unwrap();
-    instance.insert_named("Manager", ["e-dan", "e-bob"]).unwrap();
+    instance
+        .insert_named("Manager", ["e-carol", "e-ada"])
+        .unwrap();
+    instance
+        .insert_named("Manager", ["e-dan", "e-bob"])
+        .unwrap();
     // Local knowledge (also part of the instance so the configuration is
     // consistent with it).
     instance.insert_named("KnownEmployee", ["e-ada"]).unwrap();

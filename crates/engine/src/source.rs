@@ -142,7 +142,8 @@ mod tests {
         let methods = mb.build();
         let mut inst = Instance::new(schema);
         for i in 0..10 {
-            inst.insert_named("R", ["k".to_string(), format!("v{i}")]).unwrap();
+            inst.insert_named("R", ["k".to_string(), format!("v{i}")])
+                .unwrap();
         }
         inst.insert_named("R", ["other", "w"]).unwrap();
         let source = DeepWebSource::new(inst, methods, policy);

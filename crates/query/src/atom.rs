@@ -297,7 +297,10 @@ mod tests {
     #[test]
     fn variable_sharing() {
         let a = Atom::new(RelationId(0), vec![Term::Var(VarId(0))]);
-        let b = Atom::new(RelationId(1), vec![Term::Var(VarId(0)), Term::Var(VarId(2))]);
+        let b = Atom::new(
+            RelationId(1),
+            vec![Term::Var(VarId(0)), Term::Var(VarId(2))],
+        );
         let c = Atom::new(RelationId(1), vec![Term::Var(VarId(3))]);
         assert!(a.shares_variable_with(&b));
         assert!(!a.shares_variable_with(&c));

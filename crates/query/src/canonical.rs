@@ -103,7 +103,8 @@ mod tests {
         let x = qb.var("x");
         let y = qb.var("y");
         qb.atom("R", vec![Term::Var(x), Term::Var(y)]).unwrap();
-        qb.atom("R", vec![Term::Var(y), Term::constant("c")]).unwrap();
+        qb.atom("R", vec![Term::Var(y), Term::constant("c")])
+            .unwrap();
         qb.atom("S", vec![Term::Var(x)]).unwrap();
         let q = qb.build();
         let mut supply = FreshSupply::new();
@@ -139,12 +140,7 @@ mod tests {
     #[test]
     fn head_variable_missing_from_body_still_frozen() {
         let s = schema();
-        let q = ConjunctiveQuery::new(
-            s,
-            vec![],
-            vec![VarId(0)],
-            vec!["x".to_string()],
-        );
+        let q = ConjunctiveQuery::new(s, vec![], vec![VarId(0)], vec!["x".to_string()]);
         let mut supply = FreshSupply::new();
         let canon = freeze(&q, &mut supply);
         assert_eq!(canon.head.arity(), 1);

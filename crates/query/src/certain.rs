@@ -66,7 +66,8 @@ mod tests {
         let s = schema();
         let mut qb = ConjunctiveQuery::builder(s.clone());
         let x = qb.var("x");
-        qb.atom("R", vec![Term::Var(x), Term::constant("5")]).unwrap();
+        qb.atom("R", vec![Term::Var(x), Term::constant("5")])
+            .unwrap();
         qb.atom("S", vec![Term::Var(x)]).unwrap();
         let q: Query = qb.build().into();
 

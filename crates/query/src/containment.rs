@@ -123,7 +123,8 @@ mod tests {
         let s = schema();
         let mut qb = ConjunctiveQuery::builder(s.clone());
         let x = qb.var("x");
-        qb.atom("R", vec![Term::Var(x), Term::constant("5")]).unwrap();
+        qb.atom("R", vec![Term::Var(x), Term::constant("5")])
+            .unwrap();
         let q_const = qb.build();
         let mut qb = ConjunctiveQuery::builder(s);
         let x = qb.var("x");
@@ -178,10 +179,22 @@ mod tests {
         let both = qb.build();
         // both ⊆ union (it implies each disjunct separately, a fortiori the
         // union), union ⊄ both.
-        assert!(query_contained_in(&Query::Cq(both.clone()), &Query::Pq(union.clone())));
-        assert!(!query_contained_in(&Query::Pq(union.clone()), &Query::Cq(both.clone())));
-        assert!(query_equivalent(&Query::Pq(union.clone()), &Query::Pq(union)));
-        assert!(!query_equivalent(&Query::Cq(both.clone()), &Query::Cq(path_query(both.schema().clone(), 1))));
+        assert!(query_contained_in(
+            &Query::Cq(both.clone()),
+            &Query::Pq(union.clone())
+        ));
+        assert!(!query_contained_in(
+            &Query::Pq(union.clone()),
+            &Query::Cq(both.clone())
+        ));
+        assert!(query_equivalent(
+            &Query::Pq(union.clone()),
+            &Query::Pq(union)
+        ));
+        assert!(!query_equivalent(
+            &Query::Cq(both.clone()),
+            &Query::Cq(path_query(both.schema().clone(), 1))
+        ));
     }
 
     #[test]

@@ -370,11 +370,7 @@ impl CqBuilder {
     }
 
     /// Adds an atom over the relation called `relation`.
-    pub fn atom(
-        &mut self,
-        relation: &str,
-        terms: Vec<Term>,
-    ) -> Result<&mut Self, SchemaError> {
+    pub fn atom(&mut self, relation: &str, terms: Vec<Term>) -> Result<&mut Self, SchemaError> {
         let rel = self.schema.relation_by_name(relation)?;
         self.atoms.push(Atom::new(rel, terms));
         Ok(self)
@@ -497,10 +493,7 @@ mod tests {
         assert_eq!(q.atoms().len(), 3);
         assert_eq!(q.var_count(), 6);
         assert_eq!(q.relations().len(), 3);
-        assert_eq!(
-            q.occurrences_of(s.relation_by_name("Employee").unwrap()),
-            1
-        );
+        assert_eq!(q.occurrences_of(s.relation_by_name("Employee").unwrap()), 1);
         assert!(q.constants().contains(&Value::sym("Illinois")));
         assert!(q.validate().is_ok());
         assert_eq!(q.output_arity(), 0);
@@ -567,7 +560,8 @@ mod tests {
         let mut qb = ConjunctiveQuery::builder(s);
         let x = qb.var("x");
         let y = qb.var("y");
-        qb.atom("Approval", vec![Term::Var(x), Term::Var(y)]).unwrap();
+        qb.atom("Approval", vec![Term::Var(x), Term::Var(y)])
+            .unwrap();
         qb.free(&[x]);
         let q = qb.build();
         assert!(!q.is_boolean());
@@ -576,7 +570,9 @@ mod tests {
         m.insert(x, Value::sym("Illinois"));
         let subst = q.substitute(&m);
         assert!(subst.is_boolean());
-        assert!(subst.atoms()[0].constants().contains(&Value::sym("Illinois")));
+        assert!(subst.atoms()[0]
+            .constants()
+            .contains(&Value::sym("Illinois")));
         let closed = q.boolean_closure();
         assert!(closed.is_boolean());
         assert_eq!(closed.atoms().len(), 1);
@@ -589,7 +585,8 @@ mod tests {
         let mut qb = ConjunctiveQuery::builder(s);
         let x = qb.var("x");
         let y = qb.var("y");
-        qb.atom("Approval", vec![Term::Var(x), Term::Var(y)]).unwrap();
+        qb.atom("Approval", vec![Term::Var(x), Term::Var(y)])
+            .unwrap();
         qb.free(&[x]);
         let q = qb.build();
         assert_eq!(q.output_domains().unwrap(), vec![state]);

@@ -199,10 +199,11 @@ pub fn holds_pq(query: &PositiveQuery, store: &FactStore) -> bool {
 
 /// Computes the answer tuples of a (possibly non-Boolean) conjunctive query.
 pub fn answers_cq(query: &ConjunctiveQuery, store: &FactStore) -> Vec<Tuple> {
-    let mut out: Vec<Tuple> = all_homomorphisms(query.atoms(), store, &Valuation::new(), usize::MAX)
-        .into_iter()
-        .filter_map(|h| h.project(query.free_vars()))
-        .collect();
+    let mut out: Vec<Tuple> =
+        all_homomorphisms(query.atoms(), store, &Valuation::new(), usize::MAX)
+            .into_iter()
+            .filter_map(|h| h.project(query.free_vars()))
+            .collect();
     out.sort();
     out.dedup();
     out
@@ -299,7 +300,8 @@ mod tests {
         let mut qb = ConjunctiveQuery::builder(schema);
         let x = qb.var("x");
         qb.atom("S", vec![Term::Var(x)]).unwrap();
-        qb.atom("R", vec![Term::constant("9"), Term::Var(x)]).unwrap();
+        qb.atom("R", vec![Term::constant("9"), Term::Var(x)])
+            .unwrap();
         let q = qb.build();
         assert!(!holds_cq(&q, &store));
     }
@@ -322,7 +324,12 @@ mod tests {
         let (schema, store) = setup();
         let r = schema.relation_by_name("R").unwrap();
         let atom = Atom::new(r, vec![Term::Var(VarId(0)), Term::Var(VarId(1))]);
-        let all = all_homomorphisms(&[atom.clone()], &store, &Valuation::new(), usize::MAX);
+        let all = all_homomorphisms(
+            std::slice::from_ref(&atom),
+            &store,
+            &Valuation::new(),
+            usize::MAX,
+        );
         assert_eq!(all.len(), 3);
         let limited = all_homomorphisms(&[atom], &store, &Valuation::new(), 2);
         assert_eq!(limited.len(), 2);
@@ -343,8 +350,12 @@ mod tests {
         let x = b.var("x");
         // S(x) ∧ (R(x, 9) ∨ R(9, x)) — false; S(x) ∨ R(9, x) — true.
         let sx = b.atom("S", vec![Term::Var(x)]).unwrap();
-        let r1 = b.atom("R", vec![Term::Var(x), Term::constant("9")]).unwrap();
-        let r2 = b.atom("R", vec![Term::constant("9"), Term::Var(x)]).unwrap();
+        let r1 = b
+            .atom("R", vec![Term::Var(x), Term::constant("9")])
+            .unwrap();
+        let r2 = b
+            .atom("R", vec![Term::constant("9"), Term::Var(x)])
+            .unwrap();
         let q_false = b.clone().build(sx.clone().and(r1.clone().or(r2.clone())));
         assert!(!holds_pq(&q_false, &store));
         let q_true = b.build(sx.or(r2));
@@ -357,7 +368,9 @@ mod tests {
         let mut b = PositiveQuery::builder(schema);
         let x = b.var("x");
         let sx = b.atom("S", vec![Term::Var(x)]).unwrap();
-        let rx = b.atom("R", vec![Term::Var(x), Term::constant("3")]).unwrap();
+        let rx = b
+            .atom("R", vec![Term::Var(x), Term::constant("3")])
+            .unwrap();
         b.free(&[x]);
         let q = b.build(sx.or(rx));
         let ans = answers_pq(&q, &store);

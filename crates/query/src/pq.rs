@@ -77,9 +77,7 @@ impl PqFormula {
             PqFormula::And(fs) => {
                 PqFormula::And(fs.iter().map(|f| f.substitute(mapping)).collect())
             }
-            PqFormula::Or(fs) => {
-                PqFormula::Or(fs.iter().map(|f| f.substitute(mapping)).collect())
-            }
+            PqFormula::Or(fs) => PqFormula::Or(fs.iter().map(|f| f.substitute(mapping)).collect()),
         }
     }
 
@@ -270,11 +268,7 @@ impl PositiveQuery {
         }
     }
 
-    fn fmt_formula(
-        &self,
-        f: &PqFormula,
-        out: &mut String,
-    ) {
+    fn fmt_formula(&self, f: &PqFormula, out: &mut String) {
         match f {
             PqFormula::Atom(a) => out.push_str(&a.display_with(&self.schema, &self.var_names)),
             PqFormula::And(fs) => {
@@ -370,11 +364,7 @@ impl PqBuilder {
     }
 
     /// Creates an atom formula over the relation called `relation`.
-    pub fn atom(
-        &self,
-        relation: &str,
-        terms: Vec<Term>,
-    ) -> Result<PqFormula, SchemaError> {
+    pub fn atom(&self, relation: &str, terms: Vec<Term>) -> Result<PqFormula, SchemaError> {
         let rel = self.schema.relation_by_name(relation)?;
         Ok(PqFormula::Atom(Atom::new(rel, terms)))
     }
@@ -530,7 +520,9 @@ mod tests {
         let x = b.var("x");
         let rx = b.atom("R", vec![Term::Var(x)]).unwrap();
         let sx = b.atom("S", vec![Term::Var(x)]).unwrap();
-        let tx = b.atom("T", vec![Term::Var(x), Term::constant("c")]).unwrap();
+        let tx = b
+            .atom("T", vec![Term::Var(x), Term::constant("c")])
+            .unwrap();
         let q = b.build(rx.or(sx).and(tx));
         let shown = q.to_string();
         assert!(shown.contains("∨"));

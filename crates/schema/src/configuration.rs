@@ -39,10 +39,7 @@ impl Configuration {
     }
 
     /// Builds a configuration directly from a list of facts.
-    pub fn from_facts<I: IntoIterator<Item = Fact>>(
-        schema: Arc<Schema>,
-        facts: I,
-    ) -> Result<Self> {
+    pub fn from_facts<I: IntoIterator<Item = Fact>>(schema: Arc<Schema>, facts: I) -> Result<Self> {
         let mut conf = Configuration::empty(schema);
         for (rel, t) in facts {
             conf.insert(rel, t)?;

@@ -115,10 +115,7 @@ impl Instance {
     }
 
     /// Builds an instance directly from a list of facts.
-    pub fn from_facts<I: IntoIterator<Item = Fact>>(
-        schema: Arc<Schema>,
-        facts: I,
-    ) -> Result<Self> {
+    pub fn from_facts<I: IntoIterator<Item = Fact>>(schema: Arc<Schema>, facts: I) -> Result<Self> {
         let mut inst = Instance::new(schema);
         for (rel, t) in facts {
             inst.insert(rel, t)?;
@@ -184,11 +181,8 @@ mod tests {
     fn from_facts_and_matching() {
         let s = schema();
         let r = s.relation_by_name("R").unwrap();
-        let i = Instance::from_facts(
-            s,
-            vec![(r, tuple(["a", "b"])), (r, tuple(["a", "c"]))],
-        )
-        .unwrap();
+        let i =
+            Instance::from_facts(s, vec![(r, tuple(["a", "b"])), (r, tuple(["a", "c"]))]).unwrap();
         assert_eq!(i.matching(r, &[0], &[Value::sym("a")]).len(), 2);
         assert_eq!(i.matching(r, &[1], &[Value::sym("c")]).len(), 1);
         assert_eq!(i.store().len(), 2);

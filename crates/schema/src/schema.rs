@@ -106,7 +106,11 @@ impl Schema {
 
     /// The maximum arity over all relations (0 for an empty schema).
     pub fn max_arity(&self) -> usize {
-        self.relations.iter().map(Relation::arity).max().unwrap_or(0)
+        self.relations
+            .iter()
+            .map(Relation::arity)
+            .max()
+            .unwrap_or(0)
     }
 }
 
@@ -208,8 +212,7 @@ impl SchemaBuilder {
     ) -> Result<RelationId> {
         let attrs: Vec<(String, DomainId)> =
             (0..arity).map(|i| (format!("a{i}"), domain)).collect();
-        let borrowed: Vec<(&str, DomainId)> =
-            attrs.iter().map(|(n, d)| (n.as_str(), *d)).collect();
+        let borrowed: Vec<(&str, DomainId)> = attrs.iter().map(|(n, d)| (n.as_str(), *d)).collect();
         self.relation(name, &borrowed)
     }
 
@@ -225,8 +228,7 @@ impl SchemaBuilder {
             .enumerate()
             .map(|(i, d)| (format!("a{i}"), *d))
             .collect();
-        let borrowed: Vec<(&str, DomainId)> =
-            attrs.iter().map(|(n, d)| (n.as_str(), *d)).collect();
+        let borrowed: Vec<(&str, DomainId)> = attrs.iter().map(|(n, d)| (n.as_str(), *d)).collect();
         self.relation(name, &borrowed)
     }
 
@@ -276,7 +278,8 @@ mod tests {
         .unwrap();
         b.relation("Approval", &[("State", state), ("Offering", offering)])
             .unwrap();
-        b.relation("Manager", &[("Mgr", emp), ("Sub", emp)]).unwrap();
+        b.relation("Manager", &[("Mgr", emp), ("Sub", emp)])
+            .unwrap();
         b.build()
     }
 

@@ -119,10 +119,10 @@ impl FactStore {
 
     /// Iterates over every fact in the store.
     pub fn facts(&self) -> impl Iterator<Item = Fact> + '_ {
-        self.relations.iter().enumerate().flat_map(|(i, set)| {
-            set.iter()
-                .map(move |t| (RelationId(i as u32), t.clone()))
-        })
+        self.relations
+            .iter()
+            .enumerate()
+            .flat_map(|(i, set)| set.iter().map(move |t| (RelationId(i as u32), t.clone())))
     }
 
     /// The tuples of `relation` whose projection onto `positions` equals
@@ -141,10 +141,10 @@ impl FactStore {
 
     /// Returns `true` if every fact of `self` is also in `other`.
     pub fn is_subset_of(&self, other: &FactStore) -> bool {
-        self.relations.iter().enumerate().all(|(i, set)| {
-            set.iter()
-                .all(|t| other.contains(RelationId(i as u32), t))
-        })
+        self.relations
+            .iter()
+            .enumerate()
+            .all(|(i, set)| set.iter().all(|t| other.contains(RelationId(i as u32), t)))
     }
 
     /// Adds every fact of `other` into `self`.

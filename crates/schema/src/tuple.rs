@@ -95,8 +95,8 @@ impl Tuple {
     }
 
     /// Returns a new tuple where every value is replaced through `f`.
-    pub fn map_values(&self, mut f: impl FnMut(&Value) -> Value) -> Tuple {
-        Tuple::new(self.values.iter().map(|v| f(v)).collect())
+    pub fn map_values(&self, f: impl FnMut(&Value) -> Value) -> Tuple {
+        Tuple::new(self.values.iter().map(f).collect())
     }
 }
 

@@ -233,7 +233,7 @@ mod tests {
 
     #[test]
     fn fresh_supply_above_existing_values() {
-        let existing = vec![Value::fresh(3), Value::sym("a"), Value::fresh(7)];
+        let existing = [Value::fresh(3), Value::sym("a"), Value::fresh(7)];
         let mut s = FreshSupply::above(existing.iter());
         assert_eq!(s.next_value(), Value::fresh(8));
     }

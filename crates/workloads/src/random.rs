@@ -298,10 +298,7 @@ mod tests {
             // Domain clashes are possible in principle with round-robin
             // domains and shared variables, so only check arity shape here.
             for atom in cq.atoms() {
-                assert_eq!(
-                    atom.arity(),
-                    w.schema.arity(atom.relation()).unwrap()
-                );
+                assert_eq!(atom.arity(), w.schema.arity(atom.relation()).unwrap());
             }
             let pq = generate_pq(&w, 3, 2, 2, &mut rng(seed + 100));
             assert_eq!(pq.to_ucq().len(), 3);

@@ -64,7 +64,10 @@ pub fn chain_scenario(depth: usize) -> Scenario {
             .unwrap();
         // A decoy branch that dead-ends immediately.
         instance
-            .insert_named(&format!("Hop{i}"), [format!("dead{i}"), format!("deadend{i}")])
+            .insert_named(
+                &format!("Hop{i}"),
+                [format!("dead{i}"), format!("deadend{i}")],
+            )
             .unwrap();
         prev = next;
     }
@@ -131,7 +134,10 @@ pub fn star_scenario(branches: usize) -> Scenario {
         instance.insert_named("Hub", [format!("key{k}")]).unwrap();
         for b in 0..branches {
             instance
-                .insert_named(&format!("Sat{b}"), [format!("key{k}"), format!("val{b}-{k}")])
+                .insert_named(
+                    &format!("Sat{b}"),
+                    [format!("key{k}"), format!("val{b}-{k}")],
+                )
                 .unwrap();
         }
     }
@@ -144,8 +150,11 @@ pub fn star_scenario(branches: usize) -> Scenario {
     let mut qb = ConjunctiveQuery::builder(schema.clone());
     let k = qb.var("k");
     let v = qb.var("v");
-    qb.atom(&format!("Sat{}", branches - 1), vec![Term::Var(k), Term::Var(v)])
-        .unwrap();
+    qb.atom(
+        &format!("Sat{}", branches - 1),
+        vec![Term::Var(k), Term::Var(v)],
+    )
+    .unwrap();
     let query: Query = qb.build().into();
 
     Scenario {
@@ -198,7 +207,8 @@ mod tests {
     #[test]
     fn exhaustive_engine_solves_the_chain() {
         let s = chain_scenario(3);
-        let source = DeepWebSource::new(s.instance.clone(), s.methods.clone(), ResponsePolicy::Exact);
+        let source =
+            DeepWebSource::new(s.instance.clone(), s.methods.clone(), ResponsePolicy::Exact);
         let report = FederatedEngine::new(&source, s.query.clone(), Strategy::Exhaustive)
             .run(&s.initial_configuration);
         assert!(report.certain);
@@ -209,7 +219,8 @@ mod tests {
     #[test]
     fn ltr_guided_engine_skips_the_star_decoys() {
         let s = star_scenario(4);
-        let source = DeepWebSource::new(s.instance.clone(), s.methods.clone(), ResponsePolicy::Exact);
+        let source =
+            DeepWebSource::new(s.instance.clone(), s.methods.clone(), ResponsePolicy::Exact);
         let options = EngineOptions::default();
         let exhaustive = FederatedEngine::new(&source, s.query.clone(), Strategy::Exhaustive)
             .with_options(options.clone())

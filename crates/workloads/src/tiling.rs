@@ -56,7 +56,8 @@ impl TilingProblem {
 
     /// Is `row` internally consistent with the horizontal constraints?
     pub fn row_ok(&self, row: &[usize]) -> bool {
-        row.windows(2).all(|w| self.horizontal.contains(&(w[0], w[1])))
+        row.windows(2)
+            .all(|w| self.horizontal.contains(&(w[0], w[1])))
     }
 
     /// Are two vertically adjacent rows consistent?

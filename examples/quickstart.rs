@@ -77,8 +77,14 @@ fn main() {
 
     let forwards = is_contained(&q_t, &q_s, &conf, &methods, &budget);
     let backwards = is_contained(&q_s, &q_t, &conf, &methods, &budget);
-    println!("T-query ⊑ S-query under access limitations? {}", forwards.contained);
-    println!("S-query ⊑ T-query under access limitations? {}", backwards.contained);
+    println!(
+        "T-query ⊑ S-query under access limitations? {}",
+        forwards.contained
+    );
+    println!(
+        "S-query ⊑ T-query under access limitations? {}",
+        backwards.contained
+    );
     if let Some(witness) = backwards.witness {
         println!(
             "  non-containment witness path ({} accesses): {}",

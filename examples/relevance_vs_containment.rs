@@ -19,7 +19,9 @@ fn main() {
     b.relation("S", &[("a", d)]).unwrap();
     let schema = b.build();
     let mut mb = AccessMethods::builder(schema.clone());
-    let r_check = mb.add_boolean("RCheck", "R", AccessMode::Dependent).unwrap();
+    let r_check = mb
+        .add_boolean("RCheck", "R", AccessMode::Dependent)
+        .unwrap();
     mb.add_free("SAll", "S", AccessMode::Dependent).unwrap();
     let methods = mb.build();
     let budget = SearchBudget::default();
@@ -40,8 +42,20 @@ fn main() {
     // Containment under access limitations (Example 3.2): Q1 ⊑ Q2 holds
     // even though it fails classically, because every R-value must first be
     // produced by the free S access.
-    let fwd = is_contained(&Query::Pq(q1.clone()), &Query::Pq(q2.clone()), &conf, &methods, &budget);
-    let bwd = is_contained(&Query::Pq(q2.clone()), &Query::Pq(q1.clone()), &conf, &methods, &budget);
+    let fwd = is_contained(
+        &Query::Pq(q1.clone()),
+        &Query::Pq(q2.clone()),
+        &conf,
+        &methods,
+        &budget,
+    );
+    let bwd = is_contained(
+        &Query::Pq(q2.clone()),
+        &Query::Pq(q1.clone()),
+        &conf,
+        &methods,
+        &budget,
+    );
     println!("Q1 ⊑ Q2 under access limitations: {}", fwd.contained);
     println!("Q2 ⊑ Q1 under access limitations: {}\n", bwd.contained);
 

@@ -73,9 +73,7 @@ pub mod prelude {
     pub use accrel_query::{
         certain, ConjunctiveQuery, PositiveQuery, PqFormula, Query, Term, VarId,
     };
-    pub use accrel_schema::{
-        tuple, Configuration, Instance, Schema, Tuple, Value,
-    };
+    pub use accrel_schema::{tuple, Configuration, Instance, Schema, Tuple, Value};
 }
 
 #[cfg(test)]

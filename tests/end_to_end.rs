@@ -5,7 +5,10 @@ use accrel::engine::scenarios::{bank_scenario, bank_scenario_negative};
 use accrel::prelude::*;
 use accrel::workloads::scenarios::{chain_scenario, star_scenario};
 
-fn run(scenario: &accrel::engine::scenarios::Scenario, strategy: Strategy) -> accrel::engine::RunReport {
+fn run(
+    scenario: &accrel::engine::scenarios::Scenario,
+    strategy: Strategy,
+) -> accrel::engine::RunReport {
     let source = DeepWebSource::new(
         scenario.instance.clone(),
         scenario.methods.clone(),

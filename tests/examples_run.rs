@@ -1,0 +1,45 @@
+//! Executes each `examples/` binary as a test so the examples can never
+//! silently rot: `cargo test -q` fails if any example stops compiling,
+//! panics, or exits non-zero.
+//!
+//! The examples are run through `cargo run --example`, which shares the
+//! build lock and target directory with the enclosing `cargo test`
+//! invocation (cargo releases the lock while tests execute, so this does not
+//! deadlock).
+
+use std::process::Command;
+
+fn run_example(name: &str) {
+    let output = Command::new(env!("CARGO"))
+        .args(["run", "--quiet", "--example", name])
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .output()
+        .unwrap_or_else(|e| panic!("failed to spawn cargo for example `{name}`: {e}"));
+    assert!(
+        output.status.success(),
+        "example `{name}` failed with {:?}\n--- stdout ---\n{}\n--- stderr ---\n{}",
+        output.status,
+        String::from_utf8_lossy(&output.stdout),
+        String::from_utf8_lossy(&output.stderr)
+    );
+}
+
+#[test]
+fn example_quickstart_runs() {
+    run_example("quickstart");
+}
+
+#[test]
+fn example_bank_federation_runs() {
+    run_example("bank_federation");
+}
+
+#[test]
+fn example_relevance_vs_containment_runs() {
+    run_example("relevance_vs_containment");
+}
+
+#[test]
+fn example_tiling_workloads_runs() {
+    run_example("tiling_workloads");
+}

@@ -12,7 +12,8 @@ fn example_3_2() -> (std::sync::Arc<Schema>, AccessMethods, Query, Query) {
     b.relation("S", &[("a", d)]).unwrap();
     let schema = b.build();
     let mut mb = AccessMethods::builder(schema.clone());
-    mb.add_boolean("RCheck", "R", AccessMode::Dependent).unwrap();
+    mb.add_boolean("RCheck", "R", AccessMode::Dependent)
+        .unwrap();
     mb.add_free("SAll", "S", AccessMode::Dependent).unwrap();
     let methods = mb.build();
     let mut b1 = ConjunctiveQuery::builder(schema.clone());
@@ -75,34 +76,50 @@ fn example_4_2_and_4_4_independent_long_term_relevance() {
     b.relation("S", &[("a", d), ("b", d)]).unwrap();
     let schema = b.build();
     let mut mb = AccessMethods::builder(schema.clone());
-    let r_acc = mb.add("RAcc", "R", &["b"], AccessMode::Independent).unwrap();
-    mb.add("SAcc", "S", &["a"], AccessMode::Independent).unwrap();
+    let r_acc = mb
+        .add("RAcc", "R", &["b"], AccessMode::Independent)
+        .unwrap();
+    mb.add("SAcc", "S", &["a"], AccessMode::Independent)
+        .unwrap();
     let methods = mb.build();
     let budget = SearchBudget::default();
 
     // Example 4.2: Q = R(x,5) ∧ S(5,z).
     let mut qb = ConjunctiveQuery::builder(schema.clone());
     let (x, z) = (qb.var("x"), qb.var("z"));
-    qb.atom("R", vec![Term::Var(x), Term::constant("5")]).unwrap();
-    qb.atom("S", vec![Term::constant("5"), Term::Var(z)]).unwrap();
+    qb.atom("R", vec![Term::Var(x), Term::constant("5")])
+        .unwrap();
+    qb.atom("S", vec![Term::constant("5"), Term::Var(z)])
+        .unwrap();
     let q42: Query = qb.build().into();
     let access = Access::new(r_acc, binding(["5"]));
     let mut conf_sat = Configuration::empty(schema.clone());
     conf_sat.insert_named("R", ["3", "5"]).unwrap();
-    assert!(!is_long_term_relevant(&q42, &conf_sat, &access, &methods, &budget));
+    assert!(!is_long_term_relevant(
+        &q42, &conf_sat, &access, &methods, &budget
+    ));
     let mut conf_unsat = Configuration::empty(schema.clone());
     conf_unsat.insert_named("R", ["3", "6"]).unwrap();
-    assert!(is_long_term_relevant(&q42, &conf_unsat, &access, &methods, &budget));
+    assert!(is_long_term_relevant(
+        &q42,
+        &conf_unsat,
+        &access,
+        &methods,
+        &budget
+    ));
 
     // Example 4.4: Q = R(x,y) ∧ R(x,5), empty configuration, access R(?,3).
     let mut qb = ConjunctiveQuery::builder(schema.clone());
     let (x, y) = (qb.var("x"), qb.var("y"));
     qb.atom("R", vec![Term::Var(x), Term::Var(y)]).unwrap();
-    qb.atom("R", vec![Term::Var(x), Term::constant("5")]).unwrap();
+    qb.atom("R", vec![Term::Var(x), Term::constant("5")])
+        .unwrap();
     let q44: Query = qb.build().into();
     let empty = Configuration::empty(schema);
     let access3 = Access::new(r_acc, binding(["3"]));
-    assert!(!is_long_term_relevant(&q44, &empty, &access3, &methods, &budget));
+    assert!(!is_long_term_relevant(
+        &q44, &empty, &access3, &methods, &budget
+    ));
 }
 
 #[test]
@@ -119,7 +136,12 @@ fn proposition_2_2_head_instantiation_reduction() {
     let mut conf = Configuration::empty(schema);
     conf.insert_named("S", ["v"]).unwrap();
     let access = Access::new(r_check, binding(["v"]));
-    assert!(is_immediately_relevant(&open_query, &conf, &access, &methods));
+    assert!(is_immediately_relevant(
+        &open_query,
+        &conf,
+        &access,
+        &methods
+    ));
     assert!(is_long_term_relevant(
         &open_query,
         &conf,
@@ -141,5 +163,8 @@ fn table_1_shape_ir_is_never_weaker_than_ltr_on_these_worlds() {
     let ltr = is_long_term_relevant(&q_r, &conf, &access, &methods, &SearchBudget::default());
     assert!(ir);
     assert!(ltr);
-    assert!(!ir || ltr, "immediate relevance must imply long-term relevance");
+    assert!(
+        !ir || ltr,
+        "immediate relevance must imply long-term relevance"
+    );
 }

@@ -12,16 +12,20 @@
 //!   classical containment;
 //! * applying an access path never loses facts, and truncations reach a
 //!   sub-configuration of the full path.
+//!
+//! The workloads are drawn from seeded deterministic generators and iterated
+//! over a fixed parameter grid, so failures reproduce exactly (no external
+//! property-testing framework is available offline; the grid plays the role
+//! of proptest's case sampling).
 
 use accrel::prelude::*;
 use accrel::workloads::random::{
-    generate_configuration, generate_cq, generate_workload, WorkloadSpec,
+    generate_configuration, generate_cq, generate_workload, Workload, WorkloadSpec,
 };
-use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-fn workload_and_query(seed: u64, atoms: usize, facts: usize) -> (accrel::workloads::random::Workload, Query, Configuration) {
+fn workload_and_query(seed: u64, atoms: usize, facts: usize) -> (Workload, Query, Configuration) {
     let spec = WorkloadSpec {
         relations: 3,
         arity: 2,
@@ -36,22 +40,34 @@ fn workload_and_query(seed: u64, atoms: usize, facts: usize) -> (accrel::workloa
     (workload, query, conf)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+/// The deterministic case grid shared by the properties below.
+fn cases() -> impl Iterator<Item = (u64, usize, usize)> {
+    (0u64..8).flat_map(|seed| {
+        [(1usize, 0usize), (2, 3), (3, 6)]
+            .into_iter()
+            .map(move |(atoms, facts)| (seed, atoms, facts))
+    })
+}
 
-    #[test]
-    fn certain_answers_are_monotone(seed in 0u64..500, atoms in 1usize..4, facts in 0usize..8) {
+#[test]
+fn certain_answers_are_monotone() {
+    for (seed, atoms, facts) in cases() {
         let (workload, query, conf) = workload_and_query(seed, atoms, facts);
         let mut rng = StdRng::seed_from_u64(seed + 1);
         let extra = generate_configuration(&workload, 3, &mut rng);
         let bigger = conf.union(&extra);
         if certain::is_certain(&query, &conf) {
-            prop_assert!(certain::is_certain(&query, &bigger));
+            assert!(
+                certain::is_certain(&query, &bigger),
+                "monotonicity violated at seed={seed} atoms={atoms} facts={facts}"
+            );
         }
     }
+}
 
-    #[test]
-    fn immediate_relevance_implies_long_term_relevance(seed in 0u64..300, atoms in 1usize..4, facts in 0usize..6) {
+#[test]
+fn immediate_relevance_implies_long_term_relevance() {
+    for (seed, atoms, facts) in cases() {
         let (workload, query, conf) = workload_and_query(seed, atoms, facts);
         let budget = SearchBudget::default();
         for (id, method) in workload.methods.iter() {
@@ -61,25 +77,28 @@ proptest! {
                 .iter()
                 .map(|_| workload.constants[(seed as usize) % workload.constants.len()].clone())
                 .collect();
-            let access = Access::new(id, values.into_iter().collect::<Vec<_>>().into_iter().collect());
+            let access = Access::new(id, values.into_iter().collect());
             let ir = is_immediately_relevant(&query, &conf, &access, &workload.methods);
             if ir {
-                prop_assert!(is_long_term_relevant(&query, &conf, &access, &workload.methods, &budget));
+                assert!(
+                    is_long_term_relevant(&query, &conf, &access, &workload.methods, &budget),
+                    "IR without LTR at seed={seed} atoms={atoms} facts={facts}"
+                );
             }
         }
     }
+}
 
-    #[test]
-    fn accesses_to_unmentioned_relations_are_irrelevant(seed in 0u64..300, facts in 0usize..6) {
+#[test]
+fn accesses_to_unmentioned_relations_are_irrelevant() {
+    for (seed, _, facts) in cases() {
         let (workload, _, conf) = workload_and_query(seed, 2, facts);
         // A query that only mentions relation R0.
-        let mut rng = StdRng::seed_from_u64(seed + 7);
         let mut qb = ConjunctiveQuery::builder(workload.schema.clone());
         let x = qb.var("x");
         let y = qb.var("y");
         qb.atom("R0", vec![Term::Var(x), Term::Var(y)]).unwrap();
         let query: Query = qb.build().into();
-        let _ = &mut rng;
         for (id, method) in workload.methods.iter() {
             if workload.schema.relation(method.relation()).unwrap().name() == "R0" {
                 continue;
@@ -93,30 +112,49 @@ proptest! {
                 .iter()
                 .map(|_| workload.constants[0].clone())
                 .collect();
-            let access = Access::new(id, values.into_iter().collect::<Vec<_>>().into_iter().collect());
-            prop_assert!(!is_immediately_relevant(&query, &conf, &access, &workload.methods));
+            let access = Access::new(id, values.into_iter().collect());
+            assert!(
+                !is_immediately_relevant(&query, &conf, &access, &workload.methods),
+                "unmentioned relation was IR at seed={seed} facts={facts}"
+            );
         }
     }
+}
 
-    #[test]
-    fn containment_is_reflexive_and_respects_classical_containment(seed in 0u64..200, atoms in 1usize..3, facts in 0usize..5) {
+#[test]
+fn containment_is_reflexive_and_respects_classical_containment() {
+    for (seed, atoms, facts) in cases() {
+        let atoms = atoms.min(2);
+        let facts = facts.min(4);
         let (workload, query, conf) = workload_and_query(seed, atoms, facts);
         let budget = SearchBudget::shallow();
         let outcome = is_contained(&query, &query, &conf, &workload.methods, &budget);
-        prop_assert!(outcome.contained);
+        assert!(
+            outcome.contained,
+            "containment not reflexive at seed={seed} atoms={atoms} facts={facts}"
+        );
         // Classical containment (all accesses free) implies containment
         // under any access limitations.
         let mut rng = StdRng::seed_from_u64(seed + 13);
         let other = Query::Cq(generate_cq(&workload, atoms, 2, 0.8, &mut rng));
         if accrel::query::containment::query_contained_in(&query, &other) {
             let limited = is_contained(&query, &other, &conf, &workload.methods, &budget);
-            prop_assert!(limited.contained);
+            assert!(
+                limited.contained,
+                "classical containment not respected at seed={seed} atoms={atoms} facts={facts}"
+            );
         }
     }
+}
 
-    #[test]
-    fn access_paths_grow_monotonically_and_truncations_are_subsets(seed in 0u64..200, facts in 1usize..6) {
-        let spec = WorkloadSpec { dependent_fraction: 1.0, ..WorkloadSpec::default() };
+#[test]
+fn access_paths_grow_monotonically_and_truncations_are_subsets() {
+    for (seed, _, facts) in cases() {
+        let facts = facts.max(1);
+        let spec = WorkloadSpec {
+            dependent_fraction: 1.0,
+            ..WorkloadSpec::default()
+        };
         let mut rng = StdRng::seed_from_u64(seed);
         let workload = generate_workload(&spec, &mut rng);
         let instance = accrel::workloads::random::generate_instance(&workload, facts + 4, &mut rng);
@@ -127,17 +165,35 @@ proptest! {
         let mut path = AccessPath::new();
         let mut current = conf.clone();
         for _ in 0..3 {
-            let candidates = accrel::access::enumerate::well_formed_accesses(&current, &workload.methods, &options);
-            let Some(access) = candidates.first().cloned() else { break };
-            let Ok(response) = Response::exact(&access, &workload.methods, &instance) else { break };
-            let Ok(next) = apply_access(&current, &access, &response, &workload.methods) else { break };
+            let candidates = accrel::access::enumerate::well_formed_accesses(
+                &current,
+                &workload.methods,
+                &options,
+            );
+            let Some(access) = candidates.first().cloned() else {
+                break;
+            };
+            let Ok(response) = Response::exact(&access, &workload.methods, &instance) else {
+                break;
+            };
+            let Ok(next) = apply_access(&current, &access, &response, &workload.methods) else {
+                break;
+            };
             path.push(access, response);
             current = next;
         }
-        let full = path.apply(&conf, &workload.methods).unwrap_or_else(|_| conf.clone());
-        prop_assert!(conf.is_subset_of(&full));
+        let full = path
+            .apply(&conf, &workload.methods)
+            .unwrap_or_else(|_| conf.clone());
+        assert!(conf.is_subset_of(&full), "path lost facts at seed={seed}");
         let (_, truncated_conf) = path.truncate(&conf, &workload.methods);
-        prop_assert!(truncated_conf.is_subset_of(&full));
-        prop_assert!(conf.is_subset_of(&truncated_conf));
+        assert!(
+            truncated_conf.is_subset_of(&full),
+            "truncation escaped the path at seed={seed}"
+        );
+        assert!(
+            conf.is_subset_of(&truncated_conf),
+            "truncation lost base facts at seed={seed}"
+        );
     }
 }

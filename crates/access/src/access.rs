@@ -124,11 +124,10 @@ impl Access {
             return Ok(());
         }
         let schema = methods.schema();
-        let adom = conf.active_domain();
         for (i, &pos) in m.input_positions().iter().enumerate() {
             let value = self.binding.get(i).expect("arity checked above").clone();
             let domain = schema.domain_of(m.relation(), pos)?;
-            if !adom.contains(&(value.clone(), domain)) {
+            if !conf.adom_contains(&value, domain) {
                 return Err(AccessError::NotWellFormed {
                     method: self.method,
                     reason: format!(

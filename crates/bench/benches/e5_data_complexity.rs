@@ -13,13 +13,13 @@ fn bench(c: &mut Criterion) {
         .sample_size(10)
         .warm_up_time(Duration::from_millis(100))
         .measurement_time(Duration::from_millis(400));
-    for facts in [10usize, 100, 400, 1000] {
+    for facts in [10usize, 100, 1_000, 10_000, 100_000] {
         let f = fixtures::data_complexity_fixture(facts, false);
         group.bench_with_input(BenchmarkId::new("ir_fixed_query", facts), &f, |b, f| {
             b.iter(|| is_immediately_relevant(&f.query, &f.configuration, &f.access, &f.methods))
         });
     }
-    for facts in [10usize, 50, 100] {
+    for facts in [10usize, 100, 1_000, 10_000, 100_000] {
         let f = fixtures::data_complexity_fixture(facts, false);
         group.bench_with_input(BenchmarkId::new("ltr_fixed_query", facts), &f, |b, f| {
             b.iter(|| is_ltr_independent(&f.query, &f.configuration, &f.access, &f.methods))

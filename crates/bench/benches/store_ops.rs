@@ -1,0 +1,80 @@
+//! Store micro-benchmarks: raw insert / binding-match / active-domain cost
+//! of the interned, indexed `FactStore` at 10³–10⁵ facts, so the storage
+//! substrate has its own perf trajectory independent of the decision
+//! procedures built on top of it.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use accrel_schema::{FactStore, Schema, Value};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn store_schema() -> Arc<Schema> {
+    let mut b = Schema::builder();
+    let d = b.domain("D").unwrap();
+    let e = b.domain("E").unwrap();
+    b.relation("R", &[("a", d), ("b", e)]).unwrap();
+    b.build()
+}
+
+/// The deterministic fact grid used by every benchmark: `R(a{i}, b{j})`
+/// over a near-square grid holding exactly `facts` tuples.
+fn grid(facts: usize) -> Vec<(Value, Value)> {
+    let side = (facts as f64).sqrt().ceil() as usize + 1;
+    let mut out = Vec::with_capacity(facts);
+    'outer: for i in 0..side {
+        for j in 0..side {
+            if out.len() >= facts {
+                break 'outer;
+            }
+            out.push((Value::sym(format!("a{i}")), Value::sym(format!("b{j}"))));
+        }
+    }
+    out
+}
+
+fn populated(schema: &Arc<Schema>, rows: &[(Value, Value)]) -> FactStore {
+    let mut store = FactStore::new(schema.clone());
+    for (a, b) in rows {
+        store
+            .insert_named("R", [a.clone(), b.clone()])
+            .expect("grid facts are well-typed");
+    }
+    store
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("store_ops");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(50))
+        .measurement_time(Duration::from_millis(300));
+    let schema = store_schema();
+    let r = schema.relation_by_name("R").unwrap();
+    for facts in [1_000usize, 10_000, 100_000] {
+        let rows = grid(facts);
+        group.bench_with_input(BenchmarkId::new("insert", facts), &rows, |b, rows| {
+            b.iter(|| populated(&schema, rows))
+        });
+        let store = populated(&schema, &rows);
+        let probe_a = rows[rows.len() / 2].0.clone();
+        let probe_b = rows[rows.len() / 3].1.clone();
+        group.bench_with_input(BenchmarkId::new("match_first", facts), &store, |b, s| {
+            b.iter(|| black_box(s.matching(r, &[0], std::slice::from_ref(&probe_a))))
+        });
+        group.bench_with_input(BenchmarkId::new("match_both", facts), &store, |b, s| {
+            b.iter(|| black_box(s.matching(r, &[0, 1], &[probe_a.clone(), probe_b.clone()])))
+        });
+        group.bench_with_input(BenchmarkId::new("adom", facts), &store, |b, s| {
+            b.iter(|| black_box(s.active_domain()))
+        });
+        group.bench_with_input(BenchmarkId::new("adom_contains", facts), &store, |b, s| {
+            let d = schema.domain_by_name("D").unwrap();
+            b.iter(|| black_box(s.adom_contains(&probe_a, d)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

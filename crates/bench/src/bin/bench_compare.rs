@@ -1,0 +1,109 @@
+//! Compares two `BENCH_smoke.json` files (baseline vs fresh) and reports
+//! per-row regressions.
+//!
+//! ```text
+//! cargo run -p accrel-bench --bin bench_compare -- BENCH_baseline.json BENCH_smoke.json
+//! ```
+//!
+//! Rows are matched by `(table id, series, parameter, metric)`; rows present
+//! on only one side are ignored (experiments grow over time). Timing rows
+//! (`µs` metrics) whose fresh value exceeds `threshold ×` the baseline are
+//! printed as GitHub `::warning::` annotations. The exit code is always 0
+//! unless `--fail-on-regression` is passed: the CI step is informational, a
+//! single-sample smoke pass is too noisy to gate merges on.
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+use accrel_bench::smoke::{parse_smoke_rows, SmokeRow};
+
+/// Row key: (table id, series, parameter, metric).
+type RowKey = (String, String, String, String);
+
+fn load(path: &str) -> Result<BTreeMap<RowKey, f64>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let rows = parse_smoke_rows(&text).map_err(|e| format!("cannot parse {path}: {e}"))?;
+    Ok(rows
+        .into_iter()
+        .filter_map(|r: SmokeRow| {
+            r.value
+                .map(|v| ((r.table, r.series, r.parameter, r.metric), v))
+        })
+        .collect())
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let mut paths: Vec<String> = Vec::new();
+    let mut threshold = 2.0f64;
+    let mut fail_on_regression = false;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--threshold" => match args.next().and_then(|t| t.parse::<f64>().ok()) {
+                Some(t) if t > 0.0 => threshold = t,
+                _ => {
+                    eprintln!("error: --threshold requires a positive number");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--fail-on-regression" => fail_on_regression = true,
+            "--help" | "-h" => {
+                println!(
+                    "usage: bench_compare [--threshold N] [--fail-on-regression] \
+                     <baseline.json> <fresh.json>"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => paths.push(other.to_string()),
+        }
+    }
+    if paths.len() != 2 {
+        eprintln!("error: expected exactly two JSON paths (baseline, fresh); try --help");
+        return ExitCode::FAILURE;
+    }
+    let (baseline, fresh) = match (load(&paths[0]), load(&paths[1])) {
+        (Ok(b), Ok(f)) => (b, f),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut compared = 0usize;
+    let mut regressions = 0usize;
+    for (key, base_value) in &baseline {
+        let Some(new_value) = fresh.get(key) else {
+            continue;
+        };
+        // Only timing metrics are regression-checked; counters (accesses,
+        // encoding sizes, fact counts) are compared for drift but a change
+        // there is a semantic diff, not a perf regression.
+        if !key.3.contains("µs") {
+            continue;
+        }
+        compared += 1;
+        // Ignore sub-microsecond noise floors.
+        let floor = 1.0f64;
+        if *base_value > floor && *new_value > threshold * base_value {
+            regressions += 1;
+            println!(
+                "::warning title=bench regression::{} / {} / {} / {}: {:.1}µs -> {:.1}µs ({:.2}x)",
+                key.0,
+                key.1,
+                key.2,
+                key.3,
+                base_value,
+                new_value,
+                new_value / base_value
+            );
+        }
+    }
+    println!(
+        "bench_compare: {compared} timing rows compared, {regressions} regression(s) over \
+         {threshold:.1}x"
+    );
+    if fail_on_regression && regressions > 0 {
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -20,3 +20,4 @@
 
 pub mod fixtures;
 pub mod runner;
+pub mod smoke;

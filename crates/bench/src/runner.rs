@@ -214,11 +214,12 @@ pub fn e5_data_complexity(sizes: &[usize], repeats: usize) -> Table {
         }
         let f = fixtures::data_complexity_fixture(size, false);
         let t = median_micros(repeats, || {
-            let _ = ltr_independent::is_ltr_independent(
+            let _ = ltr_independent::is_ltr_independent_budgeted(
                 &f.query,
                 &f.configuration,
                 &f.access,
                 &f.methods,
+                &f.budget,
             );
         });
         rows.push(Row::new(
@@ -226,6 +227,12 @@ pub fn e5_data_complexity(sizes: &[usize], repeats: usize) -> Table {
             size,
             "median µs",
             t,
+        ));
+        rows.push(Row::new(
+            "configuration facts",
+            size,
+            "count",
+            f.configuration.len() as f64,
         ));
     }
     Table {
@@ -392,7 +399,7 @@ pub fn run_all() -> Vec<Table> {
         e2_ltr_independent(&[1, 2, 3, 4, 5], 3),
         e3_dependent_cq(&[1, 2, 3, 4], 3),
         e4_dependent_pq(&[1, 2, 3, 4], 3),
-        e5_data_complexity(&[10, 50, 100, 200, 400], 3),
+        e5_data_complexity(&[10, 100, 1_000, 10_000, 100_000], 3),
         e6_tractable_cases(&[10, 100, 1000], 5),
         e7_engine_ablation(),
         e8_reductions(3),
@@ -407,7 +414,7 @@ pub fn run_smoke() -> Vec<Table> {
         e2_ltr_independent(&[1, 2], 1),
         e3_dependent_cq(&[1, 2], 1),
         e4_dependent_pq(&[1, 2], 1),
-        e5_data_complexity(&[10, 50], 1),
+        e5_data_complexity(&[10, 50, 10_000], 1),
         e6_tractable_cases(&[10, 100], 1),
         e7_engine_ablation(),
         e8_reductions(1),
@@ -516,7 +523,8 @@ mod tests {
         let t2 = e2_ltr_independent(&[1, 2], 1);
         assert_eq!(t2.rows.len(), 4);
         let t5 = e5_data_complexity(&[5, 10], 1);
-        assert_eq!(t5.rows.len(), 6);
+        assert_eq!(t5.rows.len(), 8);
+        assert!(t5.rows.iter().any(|r| r.metric == "count" && r.value > 0.0));
         let t8 = e8_reductions(1);
         assert!(t8.rows.iter().any(|r| r.metric == "bool" && r.value == 1.0));
     }

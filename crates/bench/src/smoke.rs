@@ -1,0 +1,178 @@
+//! A minimal reader for the `BENCH_smoke.json` documents emitted by
+//! [`crate::runner::tables_to_json`].
+//!
+//! The workspace vendors no JSON library (the build image has no crates.io
+//! access), and the document format is produced by this same crate, so the
+//! parser only needs to understand that shape: a `tables` array of objects
+//! with an `id` and a `rows` array of flat `{series, parameter, metric,
+//! value}` objects. It scans for string/number fields rather than
+//! implementing general JSON, and fails loudly on anything that does not
+//! look like a smoke document.
+
+/// One measured row of a smoke document, tagged with its table id.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SmokeRow {
+    /// The experiment table id (e.g. `"E2"`).
+    pub table: String,
+    /// Series label within the table.
+    pub series: String,
+    /// Swept parameter value, as printed.
+    pub parameter: String,
+    /// Metric name (e.g. `"median µs"`).
+    pub metric: String,
+    /// Measured value; `None` when the harness recorded `null`.
+    pub value: Option<f64>,
+}
+
+/// Extracts the JSON string following `"key": "` starting at `from`,
+/// un-escaping the escapes [`crate::runner::tables_to_json`] produces.
+fn string_field(text: &str, key: &str, from: usize) -> Option<(String, usize)> {
+    let marker = format!("\"{key}\": \"");
+    let start = text[from..].find(&marker)? + from + marker.len();
+    let mut out = String::new();
+    let mut chars = text[start..].char_indices();
+    while let Some((i, c)) = chars.next() {
+        match c {
+            '"' => return Some((out, start + i + 1)),
+            '\\' => match chars.next() {
+                Some((_, 'n')) => out.push('\n'),
+                Some((_, 'r')) => out.push('\r'),
+                Some((_, 't')) => out.push('\t'),
+                Some((_, 'u')) => {
+                    // \uXXXX — only control characters are emitted this way.
+                    let mut code = 0u32;
+                    for _ in 0..4 {
+                        let (_, h) = chars.next()?;
+                        code = code * 16 + h.to_digit(16)?;
+                    }
+                    out.push(char::from_u32(code)?);
+                }
+                Some((_, other)) => out.push(other),
+                None => return None,
+            },
+            c => out.push(c),
+        }
+    }
+    None
+}
+
+/// Extracts the number (or `null`) following `"value": ` starting at `from`.
+fn value_field(text: &str, from: usize) -> Option<(Option<f64>, usize)> {
+    let marker = "\"value\": ";
+    let start = text[from..].find(marker)? + from + marker.len();
+    let rest = &text[start..];
+    if let Some(stripped) = rest.strip_prefix("null") {
+        let _ = stripped;
+        return Some((None, start + 4));
+    }
+    let end = rest
+        .find(|c: char| c == ',' || c == '}' || c.is_whitespace())
+        .unwrap_or(rest.len());
+    let parsed: f64 = rest[..end].parse().ok()?;
+    Some((Some(parsed), start + end))
+}
+
+/// Parses every row of a smoke document, in document order.
+pub fn parse_smoke_rows(text: &str) -> Result<Vec<SmokeRow>, String> {
+    if !text.contains("\"schema_version\"") || !text.contains("\"tables\"") {
+        return Err("not a BENCH smoke document (missing schema_version/tables)".to_string());
+    }
+    let mut rows = Vec::new();
+    let mut cursor = 0usize;
+    let mut table = String::new();
+    let mut next_table = string_field(text, "id", cursor);
+    loop {
+        // Position of the next row; tables interleave with their rows, so
+        // enter the next table once its `id` precedes the next `series`.
+        let next_row_at = text[cursor..].find("\"series\"").map(|i| i + cursor);
+        match (next_row_at, &next_table) {
+            (Some(row_at), Some((id, id_end))) if *id_end <= row_at => {
+                table = id.clone();
+                cursor = *id_end;
+                next_table = string_field(text, "id", cursor);
+            }
+            (Some(_), _) => {
+                let (series, after) = string_field(text, "series", cursor)
+                    .ok_or_else(|| "malformed row: series".to_string())?;
+                let (parameter, after) = string_field(text, "parameter", after)
+                    .ok_or_else(|| "malformed row: parameter".to_string())?;
+                let (metric, after) = string_field(text, "metric", after)
+                    .ok_or_else(|| "malformed row: metric".to_string())?;
+                let (value, after) =
+                    value_field(text, after).ok_or_else(|| "malformed row: value".to_string())?;
+                if table.is_empty() {
+                    return Err("row encountered before any table id".to_string());
+                }
+                rows.push(SmokeRow {
+                    table: table.clone(),
+                    series,
+                    parameter,
+                    metric,
+                    value,
+                });
+                cursor = after;
+            }
+            (None, _) => break,
+        }
+    }
+    Ok(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::{tables_to_json, Row, Table};
+
+    fn sample() -> String {
+        tables_to_json(
+            "smoke",
+            &[
+                Table {
+                    id: "E1".to_string(),
+                    title: "one".to_string(),
+                    rows: vec![
+                        Row::new("CQ", 1, "median µs", 12.5),
+                        Row::new("PQ \"q\"", 2, "median µs", f64::NAN),
+                    ],
+                },
+                Table {
+                    id: "E2".to_string(),
+                    title: "two".to_string(),
+                    rows: vec![Row::new("CQ", 1, "count", 3.0)],
+                },
+            ],
+        )
+    }
+
+    #[test]
+    fn round_trips_the_emitter_format() {
+        let rows = parse_smoke_rows(&sample()).unwrap();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].table, "E1");
+        assert_eq!(rows[0].series, "CQ");
+        assert_eq!(rows[0].parameter, "1");
+        assert_eq!(rows[0].metric, "median µs");
+        assert_eq!(rows[0].value, Some(12.5));
+        // NaN is emitted as null and read back as None.
+        assert_eq!(rows[1].series, "PQ \"q\"");
+        assert_eq!(rows[1].value, None);
+        assert_eq!(rows[2].table, "E2");
+        assert_eq!(rows[2].metric, "count");
+    }
+
+    #[test]
+    fn rejects_non_smoke_documents() {
+        assert!(parse_smoke_rows("{}").is_err());
+        assert!(parse_smoke_rows("just text").is_err());
+    }
+
+    #[test]
+    fn parses_real_experiment_output() {
+        let tables = vec![crate::runner::e1_immediate(&[1], 1)];
+        let json = tables_to_json("smoke", &tables);
+        let rows = parse_smoke_rows(&json).unwrap();
+        assert!(!rows.is_empty());
+        assert!(rows.iter().all(|r| r.table == "E1"));
+        assert!(rows.iter().all(|r| r.value.is_some()));
+    }
+}

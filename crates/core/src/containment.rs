@@ -18,7 +18,7 @@
 
 use accrel_access::{AccessMethods, AccessPath};
 use accrel_query::{eval, ConjunctiveQuery, Query, Valuation};
-use accrel_schema::{Configuration, FreshSupply, Tuple, Value};
+use accrel_schema::{Configuration, FreshSupply, RelationId, Tuple, Value};
 
 use crate::budget::SearchBudget;
 use crate::search;
@@ -126,6 +126,9 @@ fn disjunct_non_containment(
     let valuations =
         search::enumerate_valuations(disjunct, conf, &[], &mut fresh, budget.max_valuations);
     let base = conf.active_domain();
+    // Generator chains depend only on domain sets; plan them once per shape
+    // across all valuations of this disjunct.
+    let mut chain_cache = search::ChainCache::new();
 
     for h in valuations {
         // The facts of the disjunct image that are not yet known.
@@ -165,6 +168,7 @@ fn disjunct_non_containment(
                 budget,
                 &mut plan_fresh,
                 alternative,
+                &mut chain_cache,
             ) else {
                 // Lower alternatives failing usually means higher ones fail
                 // too, but generator-chain selection can differ; keep trying
@@ -174,8 +178,11 @@ fn disjunct_non_containment(
                 }
                 continue;
             };
-            let reached = search::extend_configuration(conf, &plan.facts());
-            if !q2_has_answer(ucq2, &reached, &answer) {
+            // Check Q2 on the overlay; the reached configuration is only
+            // materialised when a witness is actually found.
+            let plan_facts = plan.facts();
+            if !q2_has_answer(ucq2, conf, &plan_facts, &answer) {
+                let reached = search::extend_configuration(conf, &plan_facts);
                 let path = plan.to_path(methods);
                 debug_assert!(path.is_well_formed_at(conf, methods));
                 return Some(NonContainmentWitness {
@@ -193,12 +200,17 @@ fn disjunct_non_containment(
     None
 }
 
-/// Does `ucq2` yield `answer` on `store`? For Boolean queries this is plain
-/// satisfaction.
-fn q2_has_answer(ucq2: &[ConjunctiveQuery], conf: &Configuration, answer: &Tuple) -> bool {
+/// Does `ucq2` yield `answer` on `conf` extended with the `extra` facts?
+/// For Boolean queries this is plain satisfaction.
+fn q2_has_answer(
+    ucq2: &[ConjunctiveQuery],
+    conf: &Configuration,
+    extra: &[(RelationId, Tuple)],
+    answer: &Tuple,
+) -> bool {
     ucq2.iter().any(|d| {
         if d.free_vars().is_empty() {
-            eval::holds_cq(d, conf.store())
+            eval::holds_cq_with_extra(d, conf.store(), extra)
         } else {
             let seed = Valuation::from_pairs(
                 d.free_vars()
@@ -206,7 +218,7 @@ fn q2_has_answer(ucq2: &[ConjunctiveQuery], conf: &Configuration, answer: &Tuple
                     .zip(answer.iter())
                     .map(|(v, val)| (*v, val.clone())),
             );
-            eval::find_homomorphism(d.atoms(), conf.store(), &seed).is_some()
+            eval::find_homomorphism_with_extra(d.atoms(), conf.store(), extra, &seed).is_some()
         }
     })
 }

@@ -16,7 +16,7 @@
 use std::collections::HashMap;
 
 use accrel_access::{Access, AccessMethods};
-use accrel_query::{certain, ConjunctiveQuery, Query, Term, Valuation, VarId};
+use accrel_query::{certain, eval, ConjunctiveQuery, Query, Term, Valuation, VarId};
 use accrel_schema::{Configuration, FreshSupply, Tuple, Value};
 
 use crate::reductions;
@@ -114,8 +114,9 @@ fn disjunct_witness(
         let Some(atom) = atoms.get(idx) else {
             return Some((valuation.clone(), choices.clone()));
         };
-        // Option A: the subgoal is already witnessed by the configuration.
-        for tuple in conf.store().tuples(atom.relation()) {
+        // Option A: the subgoal is already witnessed by the configuration
+        // (candidates narrowed through the per-attribute indexes).
+        for tuple in eval::atom_candidates(atom, conf.store(), valuation) {
             if let Some(extended) = valuation.unify_atom(atom, tuple) {
                 choices.push(Choice::Conf);
                 if let Some(done) = go(

@@ -68,7 +68,7 @@ pub fn is_long_term_relevant(
         .iter()
         .all(|m| m.mode() == AccessMode::Independent)
     {
-        ltr_independent::is_ltr_independent(query, conf, access, methods)
+        ltr_independent::is_ltr_independent_budgeted(query, conf, access, methods, budget)
     } else {
         ltr_dependent::is_ltr_dependent(query, conf, access, methods, budget)
     }

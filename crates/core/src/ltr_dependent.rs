@@ -151,6 +151,10 @@ fn disjunct_witness(
     let schema = methods.schema();
     let valuations =
         search::enumerate_valuations(disjunct, conf, generic_extra, fresh, budget.max_valuations);
+    // Adom(Conf) is constant across valuations; compute it once. Chain
+    // discovery is memoised by domain-set across valuations too.
+    let conf_adom = conf.active_domain();
+    let mut chain_cache = search::ChainCache::new();
 
     'next_valuation: for h in valuations {
         // Partition the disjunct's image.
@@ -180,7 +184,7 @@ fn disjunct_witness(
         // Values accessible once the initial access has returned: Adom(Conf)
         // plus every value of the initial response (first facts + generic
         // tuple).
-        let mut base = conf.active_domain();
+        let mut base = conf_adom.clone();
         for (rel, tuple) in &first_facts {
             absorb(&mut base, schema, *rel, tuple);
         }
@@ -190,7 +194,7 @@ fn disjunct_witness(
         // The (value, domain) pairs only the initial response provides.
         let new_pairs: Vec<(Value, DomainId)> = base
             .iter()
-            .filter(|p| !conf.active_domain().contains(p))
+            .filter(|(v, d)| !conf.adom_contains(v, *d))
             .cloned()
             .collect();
 
@@ -203,6 +207,7 @@ fn disjunct_witness(
                 budget,
                 &mut plan_fresh,
                 alternative,
+                &mut chain_cache,
             ) else {
                 if alternative == 0 {
                     break;
@@ -213,7 +218,7 @@ fn disjunct_witness(
             // Witness condition A: the truncation can be made to collapse to
             // Conf by inserting, right after the initial access, an access
             // that consumes a value only the initial response provides.
-            if !new_pairs.is_empty() && break_access_exists(&new_pairs, conf, methods) {
+            if !new_pairs.is_empty() && break_access_exists(&new_pairs, &conf_adom, methods) {
                 // The query is not certain at Conf (checked by the caller),
                 // so the certain answers differ: witness found.
                 return true;
@@ -258,11 +263,11 @@ fn absorb(
 /// collapse to the starting configuration.
 fn break_access_exists(
     new_pairs: &[(Value, DomainId)],
-    conf: &Configuration,
+    conf_adom: &HashSet<(Value, DomainId)>,
     methods: &AccessMethods,
 ) -> bool {
     let schema = methods.schema();
-    let mut pool = conf.active_domain();
+    let mut pool = conf_adom.clone();
     for p in new_pairs {
         pool.insert(p.clone());
     }

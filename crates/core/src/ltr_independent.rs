@@ -3,16 +3,29 @@
 //! With independent accesses any value may be guessed, so a witness path can
 //! be pruned to accesses that directly return the subgoals of the query,
 //! each at most once (observation (ii) of Section 4). The general decision
-//! procedure is therefore a ΣP2-style guess-and-check:
+//! procedure is a ΣP2-style guess-and-check: guess a disjunct and a
+//! valuation of its variables, split its subgoals into
+//! *configuration-witnessed*, *first-access-witnessed* (compatible with the
+//! given binding) and *later-access-witnessed* (their relation has some
+//! access method), and accept iff the query is **false** on the
+//! configuration extended with the later-access facts only — that extension
+//! is exactly what the truncated path (the path without the initial access)
+//! produces.
 //!
-//! * guess a disjunct and a valuation of its variables into the
-//!   configuration constants and fresh nulls;
-//! * split its subgoals into *configuration-witnessed*, *first-access-
-//!   witnessed* (compatible with the given binding) and *later-access-
-//!   witnessed* (their relation has some access method);
-//! * accept iff the query is **false** on the configuration extended with
-//!   the later-access facts only — that extension is exactly what the
-//!   truncated path (the path without the initial access) produces.
+//! Instead of blindly enumerating all `|Adom|^vars` valuations, the guess is
+//! organised as an atom-directed backtracking search: each subgoal either
+//! unifies with a configuration fact (candidates drawn through the store's
+//! per-attribute indexes), is charged to the access (input positions unify
+//! with the binding), or is deferred to later accesses; variables still
+//! unbound after these choices are grounded with *distinct fresh nulls*.
+//! This is complete w.r.t. the naive enumeration: any witness valuation `h`
+//! induces coverage choices reproducible by the search, and replacing the
+//! values of the residually-free variables with fresh nulls preserves the
+//! witness — the null-grounded later-image maps homomorphically into the
+//! constant-grounded one, so if the query is false on the latter it is false
+//! on the former (monotonicity). It is sound because an accepted leaf *is* a
+//! valuation whose later set over-approximates the uncovered subgoals, and
+//! query-falsity on the larger extension implies it on the exact one.
 //!
 //! The module also implements the polynomial connected-component test of
 //! Proposition 4.3 for conjunctive queries in which the accessed relation
@@ -23,14 +36,15 @@
 use std::collections::HashMap;
 
 use accrel_access::{Access, AccessMethods};
-use accrel_query::{certain, ConjunctiveQuery, Query, Term, VarId};
-use accrel_schema::{Configuration, FreshSupply, RelationId, Value};
+use accrel_query::{certain, eval, ConjunctiveQuery, Query, Term, Valuation, VarId};
+use accrel_schema::{Configuration, FreshSupply, RelationId, Tuple, Value};
 
+use crate::budget::SearchBudget;
 use crate::reductions;
-use crate::search;
 
 /// Decides long-term relevance of `access` for `query` at `conf` assuming
-/// every access method in `methods` is independent.
+/// every access method in `methods` is independent, with the default
+/// [`SearchBudget`] bounding the valuation enumeration.
 ///
 /// Non-Boolean queries are routed through the Proposition 2.2 reduction.
 pub fn is_ltr_independent(
@@ -39,10 +53,25 @@ pub fn is_ltr_independent(
     access: &Access,
     methods: &AccessMethods,
 ) -> bool {
+    is_ltr_independent_budgeted(query, conf, access, methods, &SearchBudget::default())
+}
+
+/// [`is_ltr_independent`] with an explicit budget: at most
+/// `budget.max_valuations` candidate valuations are explored per disjunct,
+/// making the procedure sound for "relevant" verdicts and complete relative
+/// to the budget (exactly like the dependent-access search) — which is what
+/// lets the data-complexity sweep run on 10⁴–10⁵-fact configurations.
+pub fn is_ltr_independent_budgeted(
+    query: &Query,
+    conf: &Configuration,
+    access: &Access,
+    methods: &AccessMethods,
+    budget: &SearchBudget,
+) -> bool {
     if !query.is_boolean() {
         return reductions::boolean_instances(query, conf)
             .iter()
-            .any(|q| is_ltr_independent(q, conf, access, methods));
+            .any(|q| is_ltr_independent_budgeted(q, conf, access, methods, budget));
     }
     if access.check_arity(methods).is_err() {
         return false;
@@ -58,15 +87,17 @@ pub fn is_ltr_independent(
     let access_relation = method.relation();
     let input_positions = method.input_positions().to_vec();
 
-    for disjunct in query.to_ucq() {
+    let query_ucq = query.to_ucq();
+    for disjunct in &query_ucq {
         if disjunct_has_witness(
-            query,
-            &disjunct,
+            &query_ucq,
+            disjunct,
             conf,
             access,
             access_relation,
             &input_positions,
             methods,
+            budget,
         ) {
             return true;
         }
@@ -74,57 +105,152 @@ pub fn is_ltr_independent(
     false
 }
 
+#[allow(clippy::too_many_arguments)]
 fn disjunct_has_witness(
-    query: &Query,
+    query_ucq: &[ConjunctiveQuery],
     disjunct: &ConjunctiveQuery,
     conf: &Configuration,
     access: &Access,
     access_relation: RelationId,
     input_positions: &[usize],
     methods: &AccessMethods,
+    budget: &SearchBudget,
 ) -> bool {
-    let mut fresh = FreshSupply::above(conf.all_values().iter());
-    // The binding constants are candidate values even when they do not occur
-    // in the configuration (independent accesses may guess them).
-    let schema = methods.schema();
-    let extra: Vec<(Value, accrel_schema::DomainId)> = input_positions
-        .iter()
-        .enumerate()
-        .filter_map(|(k, &pos)| {
-            Some((
-                access.binding().get(k)?.clone(),
-                schema.domain_of(access_relation, pos).ok()?,
-            ))
-        })
-        .collect();
-    let valuations = search::enumerate_valuations(disjunct, conf, &extra, &mut fresh, usize::MAX);
-    'next_valuation: for h in valuations {
-        let mut later_facts = Vec::new();
-        for atom in disjunct.atoms() {
-            let grounded = atom.substitute(&h);
-            let Some(tuple) = grounded.to_tuple() else {
-                continue 'next_valuation;
+    struct Ctx<'a> {
+        /// The full query in UCQ form, expanded once — the leaf check runs
+        /// per coverage assignment and must not re-expand the DNF each time.
+        query_ucq: &'a [ConjunctiveQuery],
+        disjunct: &'a ConjunctiveQuery,
+        conf: &'a Configuration,
+        access: &'a Access,
+        access_relation: RelationId,
+        input_positions: &'a [usize],
+        methods: &'a AccessMethods,
+        /// Distinct from every configuration value, so the null-grounded
+        /// leaves are genuine "values not yet seen".
+        fresh: FreshSupply,
+    }
+
+    /// A full coverage assignment has been chosen: ground the residually
+    /// free variables with distinct fresh nulls (optimal by monotonicity)
+    /// and test whether the query is false on the truncation's extension.
+    fn leaf(ctx: &Ctx, leaves_left: &mut usize, valuation: &Valuation, later: &[usize]) -> bool {
+        if *leaves_left == 0 {
+            return false;
+        }
+        *leaves_left -= 1;
+        let mut full: HashMap<VarId, Value> = valuation.as_map().clone();
+        let mut fresh = ctx.fresh.clone();
+        for v in ctx.disjunct.variables() {
+            full.entry(v).or_insert_with(|| fresh.next_value());
+        }
+        let mut later_facts: Vec<(RelationId, Tuple)> = Vec::with_capacity(later.len());
+        for &i in later {
+            let atom = &ctx.disjunct.atoms()[i];
+            let Some(tuple) = atom.substitute(&full).to_tuple() else {
+                return false;
             };
-            let conf_covered = conf.contains(atom.relation(), &tuple);
-            let first_covered = atom.relation() == access_relation
-                && tuple.matches_binding(input_positions, access.binding().values());
-            let later_covered = methods.has_method(atom.relation());
-            if conf_covered || first_covered {
-                continue;
-            }
-            if !later_covered {
-                continue 'next_valuation;
-            }
             later_facts.push((atom.relation(), tuple));
         }
         // The truncated path yields exactly Conf plus the later-access
         // facts; the witness is valid iff the query is still false there.
-        let truncated = search::extend_configuration(conf, &later_facts);
-        if !certain::is_certain(query, &truncated) {
-            return true;
-        }
+        // Evaluated as an overlay: no per-leaf configuration clone.
+        !ctx.query_ucq
+            .iter()
+            .any(|d| eval::holds_cq_with_extra(d, ctx.conf.store(), &later_facts))
     }
-    false
+
+    /// Atom-directed search: cover atom `idx` by the configuration (indexed
+    /// candidates), by the initial access (binding unification), or by later
+    /// accesses (deferred).
+    fn go(
+        ctx: &Ctx,
+        leaves_left: &mut usize,
+        idx: usize,
+        valuation: &Valuation,
+        later: &mut Vec<usize>,
+    ) -> bool {
+        if *leaves_left == 0 {
+            return false;
+        }
+        let Some(atom) = ctx.disjunct.atoms().get(idx) else {
+            return leaf(ctx, leaves_left, valuation, later);
+        };
+        // Choice 1: the subgoal is witnessed by a configuration fact.
+        for tuple in eval::atom_candidates(atom, ctx.conf.store(), valuation) {
+            if let Some(extended) = valuation.unify_atom(atom, tuple) {
+                if go(ctx, leaves_left, idx + 1, &extended, later) {
+                    return true;
+                }
+            }
+        }
+        // Choice 2: the subgoal is charged to the initial access — its input
+        // positions unify with the binding (output positions stay free).
+        if atom.relation() == ctx.access_relation {
+            let mut extended = valuation.clone();
+            let mut ok = true;
+            for (k, &pos) in ctx.input_positions.iter().enumerate() {
+                let Some(bound) = ctx.access.binding().get(k) else {
+                    ok = false;
+                    break;
+                };
+                match atom.term_at(pos) {
+                    Some(Term::Const(c)) => {
+                        if c != bound {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    Some(Term::Var(v)) => match extended.get(*v) {
+                        Some(existing) if existing != bound => {
+                            ok = false;
+                            break;
+                        }
+                        Some(_) => {}
+                        None => extended.bind(*v, bound.clone()),
+                    },
+                    None => {
+                        ok = false;
+                        break;
+                    }
+                }
+            }
+            if ok && go(ctx, leaves_left, idx + 1, &extended, later) {
+                return true;
+            }
+        }
+        // Choice 3: the subgoal is deferred to later accesses (possible
+        // whenever its relation is accessible at all).
+        if ctx.methods.has_method(atom.relation()) {
+            later.push(idx);
+            if go(ctx, leaves_left, idx + 1, valuation, later) {
+                return true;
+            }
+            later.pop();
+        }
+        false
+    }
+
+    let ctx = Ctx {
+        query_ucq,
+        disjunct,
+        conf,
+        access,
+        access_relation,
+        input_positions,
+        methods,
+        fresh: FreshSupply::above(conf.all_values().iter()),
+    };
+    // Leaf budget: the search is complete relative to it (same contract as
+    // the valuation cap of the dependent procedures).
+    let mut leaves_left = budget.max_valuations;
+    go(
+        &ctx,
+        &mut leaves_left,
+        0,
+        &Valuation::new(),
+        &mut Vec::new(),
+    )
 }
 
 /// The Proposition 4.3 polynomial test for Boolean conjunctive queries where

@@ -59,32 +59,32 @@ pub(crate) fn enumerate_valuations(
     }
     let var_domains = cq.infer_var_domains().unwrap_or_default();
 
-    // Candidate constants per variable.
-    let adom = conf.active_domain();
-    let mut constant_candidates: Vec<Vec<Value>> = Vec::with_capacity(vars.len());
-    for v in &vars {
-        let dom = var_domains.get(v).copied();
-        let mut candidates: Vec<Value> = match dom {
-            Some(d) => adom
-                .iter()
-                .filter(|(_, vd)| *vd == d)
-                .map(|(val, _)| val.clone())
-                .collect(),
-            None => adom.iter().map(|(val, _)| val.clone()).collect(),
-        };
-        for (val, vd) in extra {
-            let matches = match dom {
-                Some(d) => *vd == d,
-                None => true,
-            };
-            if matches && !candidates.contains(val) {
-                candidates.push(val.clone());
-            }
-        }
-        candidates.sort();
-        candidates.dedup();
-        constant_candidates.push(candidates);
+    // Candidate constants, grouped per domain once (the active domain is
+    // served from the store's maintained cache); variables of the same
+    // domain share the list instead of re-filtering and re-deduplicating it.
+    let mut by_domain: HashMap<DomainId, Vec<Value>> = HashMap::new();
+    let mut untyped: Vec<Value> = Vec::new();
+    for (val, d) in conf.active_domain() {
+        by_domain.entry(d).or_default().push(val.clone());
+        untyped.push(val);
     }
+    for (val, d) in extra {
+        by_domain.entry(*d).or_default().push(val.clone());
+        untyped.push(val.clone());
+    }
+    for list in by_domain.values_mut() {
+        list.sort();
+        list.dedup();
+    }
+    untyped.sort();
+    untyped.dedup();
+    let constant_candidates: Vec<Vec<Value>> = vars
+        .iter()
+        .map(|v| match var_domains.get(v) {
+            Some(d) => by_domain.get(d).cloned().unwrap_or_default(),
+            None => untyped.clone(),
+        })
+        .collect();
 
     // Fresh-null slots are allocated lazily per (domain, slot index).
     let mut slot_values: HashMap<(Option<DomainId>, usize), Value> = HashMap::new();
@@ -319,17 +319,48 @@ struct GeneratorChain {
     methods: Vec<AccessMethodId>,
 }
 
+/// Memo for [`find_generator_chains`]: the viable chains depend only on the
+/// *target domain* and the *set of accessible domains* (never on the
+/// concrete values), so planning is done once per (relation, binding
+/// pattern) shape instead of once per stuck fact. Callers create one cache
+/// per witness search and thread it through every [`plan_production`] call.
+#[derive(Debug, Default)]
+pub(crate) struct ChainCache {
+    map: HashMap<(DomainId, Vec<DomainId>), Vec<GeneratorChain>>,
+}
+
+impl ChainCache {
+    /// Creates an empty cache.
+    pub(crate) fn new() -> Self {
+        Self::default()
+    }
+
+    /// The chains producing `target` from `base_domains`, computed at most
+    /// once per distinct (target, domain-set) key.
+    fn chains(
+        &mut self,
+        target: DomainId,
+        base_domains: &HashSet<DomainId>,
+        methods: &AccessMethods,
+        budget: &SearchBudget,
+    ) -> &[GeneratorChain] {
+        let mut key_domains: Vec<DomainId> = base_domains.iter().copied().collect();
+        key_domains.sort();
+        self.map
+            .entry((target, key_domains))
+            .or_insert_with(|| find_generator_chains(target, base_domains, methods, budget))
+    }
+}
+
 /// Finds up to `max_alternatives` generator chains (shortest first) that can
-/// produce a value of `target` starting from the domains represented in
-/// `accessible`.
+/// produce a value of `target` starting from the domains in `base_domains`.
 fn find_generator_chains(
     target: DomainId,
-    accessible: &HashSet<(Value, DomainId)>,
+    base_domains: &HashSet<DomainId>,
     methods: &AccessMethods,
     budget: &SearchBudget,
 ) -> Vec<GeneratorChain> {
     let schema = methods.schema();
-    let base_domains: HashSet<DomainId> = accessible.iter().map(|(_, d)| *d).collect();
     // Breadth-first search over (reachable-domain set, chain) states;
     // the state space is tiny (domains are few), so we simply keep a queue
     // of chains and avoid revisiting identical reachable-domain sets more
@@ -469,8 +500,9 @@ type BestStuckChoice = (usize, AccessMethodId, Vec<(Value, DomainId)>);
 /// `alternative` selects which generator-chain combination to try when a
 /// value has several possible supporting chains (callers iterate over
 /// alternatives when the first plan accidentally satisfies the containing
-/// query). Returns `None` when some fact cannot be produced within the
-/// budget.
+/// query). Generator-chain discovery is memoised in `chain_cache`, which
+/// callers share across every valuation of the same witness search. Returns
+/// `None` when some fact cannot be produced within the budget.
 pub(crate) fn plan_production(
     needed: &[(RelationId, Tuple)],
     base: &HashSet<(Value, DomainId)>,
@@ -478,6 +510,7 @@ pub(crate) fn plan_production(
     budget: &SearchBudget,
     fresh: &mut FreshSupply,
     alternative: usize,
+    chain_cache: &mut ChainCache,
 ) -> Option<FactPlan> {
     let mut accessible = base.clone();
     let mut remaining: Vec<(RelationId, Tuple)> = needed.to_vec();
@@ -542,12 +575,14 @@ pub(crate) fn plan_production(
             return None;
         }
         for (value, domain) in missing {
-            let chains = find_generator_chains(domain, &accessible, methods, budget);
+            let accessible_domains: HashSet<DomainId> =
+                accessible.iter().map(|(_, d)| *d).collect();
+            let chains = chain_cache.chains(domain, &accessible_domains, methods, budget);
             if chains.is_empty() {
                 return None;
             }
-            let chain = &chains[alternative % chains.len()];
-            let aux = materialise_chain(chain, &value, domain, &accessible, methods, fresh)?;
+            let chain = chains[alternative % chains.len()].clone();
+            let aux = materialise_chain(&chain, &value, domain, &accessible, methods, fresh)?;
             if plan.aux_count + aux.len() > budget.max_aux_facts {
                 return None;
             }
@@ -707,6 +742,7 @@ mod tests {
             &SearchBudget::default(),
             &mut fresh,
             0,
+            &mut ChainCache::new(),
         )
         .expect("plan should exist");
         assert_eq!(plan.ordered.len(), 2);
@@ -740,6 +776,7 @@ mod tests {
             &SearchBudget::default(),
             &mut fresh,
             0,
+            &mut ChainCache::new(),
         )
         .expect("plan should exist");
         assert_eq!(plan.aux_count, 1);
@@ -771,6 +808,7 @@ mod tests {
             &SearchBudget::default(),
             &mut fresh,
             0,
+            &mut ChainCache::new(),
         );
         assert!(plan.is_none());
     }
@@ -791,7 +829,8 @@ mod tests {
             &methods,
             &SearchBudget::default(),
             &mut fresh,
-            0
+            0,
+            &mut ChainCache::new(),
         )
         .is_none());
     }

@@ -1,12 +1,24 @@
 //! The relevance-guided federated query engine.
+//!
+//! [`FederatedEngine::run`] is *incremental*: relevance verdicts are cached
+//! per candidate access together with the set of relations the verdict
+//! inspected, and are invalidated only when a response actually adds facts
+//! to one of those relations. Rounds whose responses were empty (Boolean
+//! probes that missed, exhausted accesses) re-use every verdict from the
+//! previous round instead of re-running the decision procedures. Cache
+//! traffic is reported in [`RunReport::relevance_cache_hits`] /
+//! [`RunReport::relevance_cache_misses`], and
+//! [`RunReport::access_sequence`] records the executed accesses in order so
+//! cached and uncached runs can be compared for equality (the correctness
+//! criterion for the invalidation scheme).
 
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 
 use accrel_access::enumerate::{well_formed_accesses, EnumerationOptions};
 use accrel_access::{apply_access, Access};
 use accrel_core::{is_immediately_relevant, is_long_term_relevant, SearchBudget};
 use accrel_query::{certain, Query};
-use accrel_schema::{Configuration, Tuple, Value};
+use accrel_schema::{Configuration, RelationId, Tuple, Value};
 
 use crate::source::DeepWebSource;
 
@@ -61,6 +73,11 @@ pub struct EngineOptions {
     /// which is useful for non-Boolean queries where more answers may
     /// appear.
     pub stop_when_certain: bool,
+    /// Cache relevance verdicts between rounds, invalidating by the
+    /// relations each verdict inspected. Disable to force every candidate to
+    /// be re-checked every round (the pre-incremental behaviour; the access
+    /// sequences executed must not change).
+    pub use_relevance_cache: bool,
 }
 
 impl Default for EngineOptions {
@@ -70,6 +87,7 @@ impl Default for EngineOptions {
             guessable_values: Vec::new(),
             budget: SearchBudget::default(),
             stop_when_certain: true,
+            use_relevance_cache: true,
         }
     }
 }
@@ -92,8 +110,108 @@ pub struct RunReport {
     pub tuples_retrieved: usize,
     /// Number of engine rounds (each round re-enumerates candidates).
     pub rounds: usize,
+    /// Relevance verdicts answered from the incremental cache.
+    pub relevance_cache_hits: usize,
+    /// Relevance verdicts that had to run a decision procedure.
+    pub relevance_cache_misses: usize,
+    /// The accesses executed, in execution order (for comparing cached and
+    /// uncached runs).
+    pub access_sequence: Vec<Access>,
     /// The final configuration.
     pub final_configuration: Configuration,
+}
+
+/// Which relevance check a cached verdict belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum CheckKind {
+    Immediate,
+    LongTerm,
+}
+
+/// What a cached verdict depends on: the relations whose growth can change
+/// it.
+#[derive(Debug, Clone)]
+enum DepSet {
+    /// The verdict only inspected these relations (Boolean-query immediate
+    /// relevance: the witness search reads tuples of the query's relations
+    /// and nothing else).
+    Relations(HashSet<RelationId>),
+    /// The verdict consulted the whole configuration (long-term relevance
+    /// reads the global active domain; the Proposition 2.2 reduction of
+    /// non-Boolean queries instantiates heads with constants from any
+    /// relation). Invalidated by any growth.
+    All,
+}
+
+impl DepSet {
+    fn touched_by(&self, relation: RelationId) -> bool {
+        match self {
+            DepSet::Relations(set) => set.contains(&relation),
+            DepSet::All => true,
+        }
+    }
+}
+
+/// The incremental relevance-verdict cache of one engine run. One map per
+/// check kind, keyed by the access alone, so cache hits are probed by
+/// reference without cloning the access.
+#[derive(Debug, Default)]
+struct RelevanceCache {
+    immediate: HashMap<Access, (bool, usize)>,
+    long_term: HashMap<Access, (bool, usize)>,
+    /// Dependency sets, interned: 0 = All, 1 = the query's relations.
+    deps: Vec<DepSet>,
+    hits: usize,
+    misses: usize,
+}
+
+impl RelevanceCache {
+    fn new(query_relations: HashSet<RelationId>) -> Self {
+        Self {
+            immediate: HashMap::new(),
+            long_term: HashMap::new(),
+            deps: vec![DepSet::All, DepSet::Relations(query_relations)],
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Looks a verdict up, or computes, records and returns it. The access
+    /// is only cloned when a miss inserts a new entry.
+    fn check(
+        &mut self,
+        kind: CheckKind,
+        access: &Access,
+        dep: usize,
+        run: impl FnOnce() -> bool,
+    ) -> bool {
+        let map = match kind {
+            CheckKind::Immediate => &mut self.immediate,
+            CheckKind::LongTerm => &mut self.long_term,
+        };
+        if let Some(&(verdict, _)) = map.get(access) {
+            self.hits += 1;
+            return verdict;
+        }
+        self.misses += 1;
+        let verdict = run();
+        let map = match kind {
+            CheckKind::Immediate => &mut self.immediate,
+            CheckKind::LongTerm => &mut self.long_term,
+        };
+        map.insert(access.clone(), (verdict, dep));
+        verdict
+    }
+
+    /// Drops every verdict whose dependency set contains `relation` (called
+    /// when a response added at least one fact to that relation).
+    fn invalidate(&mut self, relation: RelationId) {
+        let deps = &self.deps;
+        self.immediate
+            .retain(|_, (_, dep)| !deps[*dep].touched_by(relation));
+        self.long_term
+            .retain(|_, (_, dep)| !deps[*dep].touched_by(relation));
+    }
 }
 
 /// A federated query engine answering one query against one simulated
@@ -123,6 +241,17 @@ impl<'a> FederatedEngine<'a> {
         self
     }
 
+    /// The dependency-set index for immediate-relevance verdicts: Boolean
+    /// queries only ever inspect their own relations; everything else is
+    /// conservatively global.
+    fn ir_dep(&self) -> usize {
+        if self.query.is_boolean() {
+            1
+        } else {
+            0
+        }
+    }
+
     /// Runs the engine from `initial` until the query is certain, no
     /// candidate access remains, or the access limit is hit.
     pub fn run(&self, initial: &Configuration) -> RunReport {
@@ -133,6 +262,14 @@ impl<'a> FederatedEngine<'a> {
         let mut accesses_skipped = 0usize;
         let mut tuples_retrieved = 0usize;
         let mut rounds = 0usize;
+        let mut access_sequence: Vec<Access> = Vec::new();
+        let query_relations: HashSet<RelationId> = self
+            .query
+            .to_ucq()
+            .iter()
+            .flat_map(|d| d.atoms().iter().map(|a| a.relation()))
+            .collect();
+        let mut cache = RelevanceCache::new(query_relations);
 
         let enum_options = EnumerationOptions {
             guessable_values: self.guessable_pool(initial),
@@ -158,7 +295,7 @@ impl<'a> FederatedEngine<'a> {
             if candidates.is_empty() {
                 break;
             }
-            let selected = self.select(&candidates, &conf, &mut accesses_skipped);
+            let selected = self.select(&candidates, &conf, &mut accesses_skipped, &mut cache);
             let Some(access) = selected else {
                 break;
             };
@@ -168,8 +305,17 @@ impl<'a> FederatedEngine<'a> {
             };
             tuples_retrieved += response.len();
             accesses_made += 1;
+            access_sequence.push(access.clone());
+            let before = conf.len();
             if let Ok(next) = apply_access(&conf, &access, &response, methods) {
                 conf = next;
+            }
+            if conf.len() > before {
+                // The response grew exactly one relation (its method's);
+                // drop the verdicts that inspected it.
+                if let Ok(m) = methods.get(access.method()) {
+                    cache.invalidate(m.relation());
+                }
             }
         }
 
@@ -181,6 +327,9 @@ impl<'a> FederatedEngine<'a> {
             accesses_skipped,
             tuples_retrieved,
             rounds,
+            relevance_cache_hits: cache.hits,
+            relevance_cache_misses: cache.misses,
+            access_sequence,
             final_configuration: conf,
         }
     }
@@ -222,19 +371,42 @@ impl<'a> FederatedEngine<'a> {
         pool
     }
 
+    /// Immediate-relevance check, via the cache when enabled.
+    fn check_ir(&self, access: &Access, conf: &Configuration, cache: &mut RelevanceCache) -> bool {
+        let methods = self.source.methods();
+        if !self.options.use_relevance_cache {
+            return is_immediately_relevant(&self.query, conf, access, methods);
+        }
+        cache.check(CheckKind::Immediate, access, self.ir_dep(), || {
+            is_immediately_relevant(&self.query, conf, access, methods)
+        })
+    }
+
+    /// Long-term-relevance check, via the cache when enabled. LTR verdicts
+    /// consult the global active domain, so they depend on every relation.
+    fn check_ltr(&self, access: &Access, conf: &Configuration, cache: &mut RelevanceCache) -> bool {
+        let methods = self.source.methods();
+        if !self.options.use_relevance_cache {
+            return is_long_term_relevant(&self.query, conf, access, methods, &self.options.budget);
+        }
+        cache.check(CheckKind::LongTerm, access, 0, || {
+            is_long_term_relevant(&self.query, conf, access, methods, &self.options.budget)
+        })
+    }
+
     /// Picks the next access to execute according to the strategy.
     fn select(
         &self,
         candidates: &[Access],
         conf: &Configuration,
         accesses_skipped: &mut usize,
+        cache: &mut RelevanceCache,
     ) -> Option<Access> {
-        let methods = self.source.methods();
         match self.strategy {
             Strategy::Exhaustive => candidates.first().cloned(),
             Strategy::IrGuided => {
                 for a in candidates {
-                    if is_immediately_relevant(&self.query, conf, a, methods) {
+                    if self.check_ir(a, conf, cache) {
                         return Some(a.clone());
                     }
                     *accesses_skipped += 1;
@@ -243,7 +415,7 @@ impl<'a> FederatedEngine<'a> {
             }
             Strategy::LtrGuided => {
                 for a in candidates {
-                    if is_long_term_relevant(&self.query, conf, a, methods, &self.options.budget) {
+                    if self.check_ltr(a, conf, cache) {
                         return Some(a.clone());
                     }
                     *accesses_skipped += 1;
@@ -252,12 +424,12 @@ impl<'a> FederatedEngine<'a> {
             }
             Strategy::Hybrid => {
                 for a in candidates {
-                    if is_immediately_relevant(&self.query, conf, a, methods) {
+                    if self.check_ir(a, conf, cache) {
                         return Some(a.clone());
                     }
                 }
                 for a in candidates {
-                    if is_long_term_relevant(&self.query, conf, a, methods, &self.options.budget) {
+                    if self.check_ltr(a, conf, cache) {
                         return Some(a.clone());
                     }
                     *accesses_skipped += 1;
@@ -288,6 +460,7 @@ mod tests {
         assert!(report.accesses_made > 0);
         assert_eq!(report.strategy, Strategy::Exhaustive);
         assert!(!report.final_configuration.is_empty());
+        assert_eq!(report.access_sequence.len(), report.accesses_made);
     }
 
     #[test]
@@ -325,6 +498,76 @@ mod tests {
         // exhaustive baseline on this scenario.
         assert!(hybrid.accesses_made <= exhaustive.accesses_made);
         assert!(ltr.accesses_made <= exhaustive.accesses_made);
+    }
+
+    #[test]
+    fn cached_runs_execute_the_same_access_sequences_as_uncached() {
+        for scenario in [
+            scenarios::bank_scenario(),
+            scenarios::bank_scenario_negative(),
+        ] {
+            let source = DeepWebSource::new(
+                scenario.instance.clone(),
+                scenario.methods.clone(),
+                ResponsePolicy::Exact,
+            );
+            // A shallow budget and a tight access cap keep the *uncached*
+            // runs affordable; the property under test (identical access
+            // sequences) is budget-independent since both sides share it.
+            let cached = EngineOptions {
+                max_accesses: 12,
+                budget: SearchBudget::shallow(),
+                ..EngineOptions::default()
+            };
+            let uncached = EngineOptions {
+                use_relevance_cache: false,
+                ..cached.clone()
+            };
+            let with_cache = FederatedEngine::compare_strategies(
+                &source,
+                &scenario.query,
+                &scenario.initial_configuration,
+                &cached,
+            );
+            let without_cache = FederatedEngine::compare_strategies(
+                &source,
+                &scenario.query,
+                &scenario.initial_configuration,
+                &uncached,
+            );
+            for (c, u) in with_cache.iter().zip(&without_cache) {
+                assert_eq!(c.strategy, u.strategy);
+                assert_eq!(
+                    c.access_sequence,
+                    u.access_sequence,
+                    "cache changed the {} access sequence on {}",
+                    c.strategy.name(),
+                    scenario.name
+                );
+                assert_eq!(c.certain, u.certain);
+                assert_eq!(c.answers, u.answers);
+                // The uncached run never consults the cache.
+                assert_eq!(u.relevance_cache_hits, 0);
+                assert_eq!(u.relevance_cache_misses, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn relevance_cache_reports_traffic_on_guided_runs() {
+        let scenario = scenarios::bank_scenario();
+        let source = DeepWebSource::new(
+            scenario.instance.clone(),
+            scenario.methods.clone(),
+            ResponsePolicy::Exact,
+        );
+        let engine = FederatedEngine::new(&source, scenario.query.clone(), Strategy::Hybrid);
+        let report = engine.run(&scenario.initial_configuration);
+        assert!(report.certain);
+        // Every candidate was checked at least once...
+        assert!(report.relevance_cache_misses > 0);
+        // ...and repeated rounds over unchanged relations hit the cache.
+        assert!(report.relevance_cache_hits > 0);
     }
 
     #[test]

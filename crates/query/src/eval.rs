@@ -1,15 +1,27 @@
 //! Query evaluation by homomorphism search.
 //!
 //! Evaluation of a conjunctive query over a fact store is a backtracking
-//! join: atoms are processed in order, and for each atom every tuple of the
-//! corresponding relation consistent with the current partial valuation is
-//! tried. This is the textbook NP procedure; data complexity is polynomial
-//! (AC0) for a fixed query, which experiment E5 of the benchmark harness
-//! demonstrates empirically.
+//! join: atoms are processed in order, and for each atom the candidate
+//! tuples consistent with the current partial valuation are tried. This is
+//! the textbook NP procedure; data complexity is polynomial (AC0) for a
+//! fixed query, which experiment E5 of the benchmark harness demonstrates
+//! empirically.
+//!
+//! Candidates are drawn through the fact store's per-(relation, attribute)
+//! indexes ([`FactStore::candidates`]): the positions of an atom already
+//! determined by the partial valuation (constants and bound variables)
+//! become index constraints, so joins probe posting lists instead of
+//! scanning whole relations.
+//!
+//! The `_with_extra` variants evaluate over a store *plus* a small slice of
+//! pending facts without materialising the union — the relevance witness
+//! searches use them to test "would the query hold after these accesses"
+//! once per candidate valuation, where cloning the configuration would
+//! dominate the running time.
 
 use std::collections::HashMap;
 
-use accrel_schema::{FactStore, Tuple, Value};
+use accrel_schema::{FactStore, RelationId, Tuple, Value};
 
 use crate::atom::{Atom, Term, VarId};
 use crate::cq::ConjunctiveQuery;
@@ -124,6 +136,52 @@ impl FromIterator<(VarId, Value)> for Valuation {
     }
 }
 
+/// The positions of `atom` whose value is already determined by `current`
+/// (constants and bound variables) — the index constraints for the
+/// candidate scan.
+fn bound_constraints<'a>(atom: &'a Atom, current: &'a Valuation) -> Vec<(usize, &'a Value)> {
+    atom.terms()
+        .iter()
+        .enumerate()
+        .filter_map(|(pos, term)| match term {
+            Term::Const(c) => Some((pos, c)),
+            Term::Var(v) => current.get(*v).map(|val| (pos, val)),
+        })
+        .collect()
+}
+
+/// The candidate tuples for `atom` under `current`: index-backed candidates
+/// from `store` plus any `extra` facts of the atom's relation that agree
+/// with the determined positions.
+fn candidates_with_extra<'a>(
+    atom: &'a Atom,
+    store: &'a FactStore,
+    extra: &'a [(RelationId, Tuple)],
+    current: &'a Valuation,
+) -> Vec<&'a Tuple> {
+    let constraints = bound_constraints(atom, current);
+    let mut out = store.candidates(atom.relation(), &constraints);
+    for (rel, t) in extra {
+        if *rel == atom.relation() && constraints.iter().all(|&(pos, v)| t.get(pos) == Some(v)) {
+            out.push(t);
+        }
+    }
+    out
+}
+
+/// Index-backed candidate tuples for `atom` under the partial valuation
+/// `current`: the atom's determined positions (constants and bound
+/// variables) become index constraints, so only binding-compatible tuples
+/// are enumerated. Repeated-variable consistency within the atom must still
+/// be checked by [`Valuation::unify_atom`].
+pub fn atom_candidates<'a>(
+    atom: &'a Atom,
+    store: &'a FactStore,
+    current: &'a Valuation,
+) -> Vec<&'a Tuple> {
+    candidates_with_extra(atom, store, &[], current)
+}
+
 /// Finds one homomorphism extending `partial` that maps every atom of
 /// `atoms` into `store`. Returns `None` when no such homomorphism exists.
 pub fn find_homomorphism(
@@ -131,20 +189,37 @@ pub fn find_homomorphism(
     store: &FactStore,
     partial: &Valuation,
 ) -> Option<Valuation> {
-    fn go(atoms: &[Atom], idx: usize, store: &FactStore, current: &Valuation) -> Option<Valuation> {
+    find_homomorphism_with_extra(atoms, store, &[], partial)
+}
+
+/// Like [`find_homomorphism`] but over `store` extended with the `extra`
+/// facts (the union is never materialised).
+pub fn find_homomorphism_with_extra(
+    atoms: &[Atom],
+    store: &FactStore,
+    extra: &[(RelationId, Tuple)],
+    partial: &Valuation,
+) -> Option<Valuation> {
+    fn go(
+        atoms: &[Atom],
+        idx: usize,
+        store: &FactStore,
+        extra: &[(RelationId, Tuple)],
+        current: &Valuation,
+    ) -> Option<Valuation> {
         let Some(atom) = atoms.get(idx) else {
             return Some(current.clone());
         };
-        for tuple in store.tuples(atom.relation()) {
+        for tuple in candidates_with_extra(atom, store, extra, current) {
             if let Some(extended) = current.unify_atom(atom, tuple) {
-                if let Some(done) = go(atoms, idx + 1, store, &extended) {
+                if let Some(done) = go(atoms, idx + 1, store, extra, &extended) {
                     return Some(done);
                 }
             }
         }
         None
     }
-    go(atoms, 0, store, partial)
+    go(atoms, 0, store, extra, partial)
 }
 
 /// Enumerates homomorphisms of `atoms` into `store` extending `partial`,
@@ -171,7 +246,7 @@ pub fn all_homomorphisms(
             out.push(current.clone());
             return;
         };
-        for tuple in store.tuples(atom.relation()) {
+        for tuple in candidates_with_extra(atom, store, &[], current) {
             if out.len() >= limit {
                 return;
             }
@@ -192,9 +267,31 @@ pub fn holds_cq(query: &ConjunctiveQuery, store: &FactStore) -> bool {
     find_homomorphism(query.atoms(), store, &Valuation::new()).is_some()
 }
 
+/// Evaluates a Boolean conjunctive query over `store` extended with the
+/// `extra` facts, without materialising the union.
+pub fn holds_cq_with_extra(
+    query: &ConjunctiveQuery,
+    store: &FactStore,
+    extra: &[(RelationId, Tuple)],
+) -> bool {
+    find_homomorphism_with_extra(query.atoms(), store, extra, &Valuation::new()).is_some()
+}
+
 /// Evaluates a Boolean positive query over a fact store (via its UCQ form).
 pub fn holds_pq(query: &PositiveQuery, store: &FactStore) -> bool {
     query.to_ucq().iter().any(|cq| holds_cq(cq, store))
+}
+
+/// Evaluates a Boolean positive query over `store` plus `extra` facts.
+pub fn holds_pq_with_extra(
+    query: &PositiveQuery,
+    store: &FactStore,
+    extra: &[(RelationId, Tuple)],
+) -> bool {
+    query
+        .to_ucq()
+        .iter()
+        .any(|cq| holds_cq_with_extra(cq, store, extra))
 }
 
 /// Computes the answer tuples of a (possibly non-Boolean) conjunctive query.
@@ -375,6 +472,33 @@ mod tests {
         let q = b.build(sx.or(rx));
         let ans = answers_pq(&q, &store);
         assert_eq!(ans, vec![tuple(["2"]), tuple(["3"])]);
+    }
+
+    #[test]
+    fn overlay_evaluation_matches_materialised_union() {
+        let (schema, store) = setup();
+        let r = schema.relation_by_name("R").unwrap();
+        let s = schema.relation_by_name("S").unwrap();
+        let mut qb = ConjunctiveQuery::builder(schema.clone());
+        let x = qb.var("x");
+        let y = qb.var("y");
+        qb.atom("R", vec![Term::Var(x), Term::Var(y)]).unwrap();
+        qb.atom("S", vec![Term::Var(y)]).unwrap();
+        qb.atom("S", vec![Term::Var(x)]).unwrap();
+        let q = qb.build();
+        // Not satisfiable in the base store (S = {2} only).
+        assert!(!holds_cq(&q, &store));
+        // Overlay S(1): R(1,2), S(2), S(1) closes the cycle.
+        let extra = vec![(s, tuple(["1"]))];
+        assert!(holds_cq_with_extra(&q, &store, &extra));
+        // The overlay also offers new join tuples for R.
+        let extra_r = vec![(r, tuple(["2", "2"]))];
+        assert!(holds_cq_with_extra(&q, &store, &extra_r));
+        // Against the materialised union the verdicts agree.
+        let mut merged = store.clone();
+        merged.insert(s, tuple(["1"])).unwrap();
+        assert!(holds_cq(&q, &merged));
+        assert!(!holds_cq_with_extra(&q, &store, &[]));
     }
 
     #[test]

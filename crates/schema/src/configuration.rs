@@ -107,9 +107,16 @@ impl Configuration {
     }
 
     /// The active domain `Adom(Conf)`: all `(constant, domain)` pairs
-    /// appearing in the configuration.
+    /// appearing in the configuration. Served from the store's maintained
+    /// cache.
     pub fn active_domain(&self) -> HashSet<(Value, DomainId)> {
         self.store.active_domain()
+    }
+
+    /// Is `(value, domain)` in the active domain? A pair of hash probes —
+    /// no materialisation of the full active domain.
+    pub fn adom_contains(&self, value: &Value, domain: DomainId) -> bool {
+        self.store.adom_contains(value, domain)
     }
 
     /// Values of the active domain of one abstract domain, sorted.

@@ -21,6 +21,13 @@
 //! Everything is index/arena based (`u32` ids into vectors) rather than
 //! pointer-linked, so the term-graph style structures used by the witness
 //! searches stay borrow-checker friendly.
+//!
+//! The fact store is interned and indexed: values are mapped to dense
+//! [`ValueId`]s by a [`ValueInterner`], tuples are kept columnar per
+//! relation, every (relation, attribute) pair maintains a value → rows
+//! index, and the active domain is a refcount cache maintained on
+//! insert/remove rather than recomputed by scanning. See the
+//! module documentation in `store.rs` for the invariants.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -29,6 +36,7 @@ mod configuration;
 mod domain;
 mod error;
 mod instance;
+mod intern;
 mod relation;
 mod schema;
 mod store;
@@ -39,6 +47,7 @@ pub use configuration::Configuration;
 pub use domain::{Domain, DomainId};
 pub use error::SchemaError;
 pub use instance::Instance;
+pub use intern::{ValueId, ValueInterner};
 pub use relation::{Attribute, Relation, RelationId};
 pub use schema::{Schema, SchemaBuilder};
 pub use store::{Fact, FactStore};

@@ -1,11 +1,39 @@
 //! The shared fact-store representation used by instances and configurations.
+//!
+//! `FactStore` is interned and indexed:
+//!
+//! * every [`Value`] is mapped to a dense [`ValueId`] by a per-store
+//!   [`ValueInterner`]; tuples are stored columnar per relation (one
+//!   `Vec<ValueId>` per attribute), so scans compare `u32`s;
+//! * each relation keeps a `rows_by_key` hash map from the interned row to
+//!   its row index, giving O(1) membership and duplicate detection;
+//! * each (relation, attribute) pair keeps a value → row-ids index powering
+//!   [`FactStore::matching`] and the binding-compatible candidate scans of
+//!   the homomorphism searches ([`FactStore::candidates`]);
+//! * the active domain (`Adom(Conf)` in the paper) is maintained
+//!   incrementally as a reference-counted `(ValueId, DomainId)` map, so
+//!   [`FactStore::active_domain`] never rescans the facts and
+//!   [`FactStore::adom_contains`] is a hash probe.
+//!
+//! Invariants (checked by the property tests in `tests/properties.rs`
+//! against a naive scan oracle):
+//!
+//! * `matching` returns exactly the tuples whose projection on the binding
+//!   positions equals the binding, in a deterministic row order (insertion
+//!   order in the absence of removals; swap-removal moves the last row into
+//!   the removed slot);
+//! * `active_domain` equals the set of `(value, domain)` pairs occurring in
+//!   any fact;
+//! * removal keeps all indexes consistent (rows are swap-removed; posting
+//!   lists are patched in place).
 
-use std::collections::{BTreeMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::fmt;
 use std::sync::Arc;
 
 use crate::domain::DomainId;
 use crate::error::SchemaError;
+use crate::intern::{ValueId, ValueInterner};
 use crate::relation::RelationId;
 use crate::schema::Schema;
 use crate::tuple::Tuple;
@@ -15,29 +43,79 @@ use crate::Result;
 /// A ground fact: a relation together with a tuple of values.
 pub type Fact = (RelationId, Tuple);
 
+/// Columnar storage for one relation: interned columns, materialised tuples,
+/// row membership and per-attribute indexes.
+#[derive(Clone, Debug, Default)]
+struct RelationColumns {
+    /// One column per attribute; `columns[c][r]` is the id at position `c`
+    /// of row `r`.
+    columns: Vec<Vec<ValueId>>,
+    /// Materialised tuples, in row order (for cheap iteration/cloning).
+    tuples: Vec<Tuple>,
+    /// Interned row → row index (membership + duplicate detection).
+    rows_by_key: HashMap<Box<[ValueId]>, usize>,
+    /// Per attribute: value id → indices of rows carrying it there.
+    indexes: Vec<HashMap<ValueId, Vec<usize>>>,
+}
+
+impl RelationColumns {
+    fn with_arity(arity: usize) -> Self {
+        Self {
+            columns: vec![Vec::new(); arity],
+            tuples: Vec::new(),
+            rows_by_key: HashMap::new(),
+            indexes: vec![HashMap::new(); arity],
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.tuples.len()
+    }
+}
+
 /// A set of ground facts over a schema, organised per relation.
 ///
 /// `FactStore` is the common substrate behind both [`crate::Instance`] (the
 /// full, virtual database) and [`crate::Configuration`] (the facts learnt so
 /// far). It enforces arity consistency on insertion and offers the lookups
-/// the decision procedures need: membership, per-relation scans,
-/// binding-compatible scans and active-domain computation.
+/// the decision procedures need: membership, per-relation scans, index-backed
+/// binding-compatible scans and cached active-domain computation.
 #[derive(Clone)]
 pub struct FactStore {
     schema: Arc<Schema>,
-    relations: Vec<HashSet<Tuple>>,
+    interner: ValueInterner,
+    relations: Vec<RelationColumns>,
+    /// Reference-counted active domain: how many attribute occurrences of
+    /// `(value, domain)` the store currently holds.
+    adom: HashMap<(ValueId, DomainId), u32>,
+    len: usize,
 }
 
 impl FactStore {
     /// Creates an empty store over `schema`.
     pub fn new(schema: Arc<Schema>) -> Self {
-        let relations = vec![HashSet::new(); schema.relation_count()];
-        Self { schema, relations }
+        let relations = schema
+            .relations()
+            .iter()
+            .map(|r| RelationColumns::with_arity(r.arity()))
+            .collect();
+        Self {
+            schema,
+            interner: ValueInterner::new(),
+            relations,
+            adom: HashMap::new(),
+            len: 0,
+        }
     }
 
     /// The schema this store ranges over.
     pub fn schema(&self) -> &Arc<Schema> {
         &self.schema
+    }
+
+    /// The store's value interner (read-only).
+    pub fn interner(&self) -> &ValueInterner {
+        &self.interner
     }
 
     /// Inserts a fact, checking relation id and arity.
@@ -53,7 +131,22 @@ impl FactStore {
                 actual: t.arity(),
             });
         }
-        Ok(self.relations[relation.index()].insert(t))
+        let key: Box<[ValueId]> = t.iter().map(|v| self.interner.intern(v)).collect();
+        let rel = self.schema.relation(relation)?;
+        let store = &mut self.relations[relation.index()];
+        if store.rows_by_key.contains_key(&key) {
+            return Ok(false);
+        }
+        let row = store.len();
+        for (c, &id) in key.iter().enumerate() {
+            store.columns[c].push(id);
+            store.indexes[c].entry(id).or_default().push(row);
+            *self.adom.entry((id, rel.domain_at(c))).or_insert(0) += 1;
+        }
+        store.tuples.push(t);
+        store.rows_by_key.insert(key, row);
+        self.len += 1;
+        Ok(true)
     }
 
     /// Inserts a fact given by relation name and anything convertible to
@@ -71,19 +164,84 @@ impl FactStore {
     }
 
     /// Removes a fact; returns whether it was present.
+    ///
+    /// The removed row is swap-removed: the last row takes its index and
+    /// every affected index entry is patched in place.
     pub fn remove(&mut self, relation: RelationId, t: &Tuple) -> bool {
-        self.relations
-            .get_mut(relation.index())
-            .map(|s| s.remove(t))
-            .unwrap_or(false)
+        let Ok(rel) = self.schema.relation(relation) else {
+            return false;
+        };
+        if t.arity() != rel.arity() {
+            return false;
+        }
+        let mut key = Vec::with_capacity(t.arity());
+        for v in t.iter() {
+            match self.interner.lookup(v) {
+                Some(id) => key.push(id),
+                None => return false,
+            }
+        }
+        let store = &mut self.relations[relation.index()];
+        let Some(row) = store.rows_by_key.remove(key.as_slice()) else {
+            return false;
+        };
+        let last = store.len() - 1;
+        // Detach the removed row from its posting lists and the adom counts.
+        for (c, &id) in key.iter().enumerate() {
+            if let Some(list) = store.indexes[c].get_mut(&id) {
+                if let Some(pos) = list.iter().position(|&r| r == row) {
+                    list.swap_remove(pos);
+                }
+                if list.is_empty() {
+                    store.indexes[c].remove(&id);
+                }
+            }
+            let domain = rel.domain_at(c);
+            if let Some(count) = self.adom.get_mut(&(id, domain)) {
+                *count -= 1;
+                if *count == 0 {
+                    self.adom.remove(&(id, domain));
+                }
+            }
+        }
+        // Move the last row into the hole and patch its bookkeeping.
+        if row != last {
+            let moved: Vec<ValueId> = (0..rel.arity()).map(|c| store.columns[c][last]).collect();
+            for (c, &id) in moved.iter().enumerate() {
+                if let Some(list) = store.indexes[c].get_mut(&id) {
+                    if let Some(pos) = list.iter().position(|&r| r == last) {
+                        list[pos] = row;
+                    }
+                }
+            }
+            if let Some(slot) = store.rows_by_key.get_mut(moved.as_slice()) {
+                *slot = row;
+            }
+        }
+        for c in 0..rel.arity() {
+            store.columns[c].swap_remove(row);
+        }
+        store.tuples.swap_remove(row);
+        self.len -= 1;
+        true
     }
 
     /// Membership test.
     pub fn contains(&self, relation: RelationId, t: &Tuple) -> bool {
-        self.relations
-            .get(relation.index())
-            .map(|s| s.contains(t))
-            .unwrap_or(false)
+        let Some(store) = self.relations.get(relation.index()) else {
+            return false;
+        };
+        if t.arity() != store.columns.len() {
+            return false;
+        }
+        let mut key = Vec::with_capacity(t.arity());
+        for v in t.iter() {
+            match self.interner.lookup(v) {
+                Some(id) => key.push(id),
+                None => return false,
+            }
+        }
+        store.rows_by_key.contains_key(key.as_slice())
     }
 
     /// Membership test for a [`Fact`].
@@ -91,67 +249,135 @@ impl FactStore {
         self.contains(fact.0, &fact.1)
     }
 
-    /// All tuples of one relation.
+    /// All tuples of one relation, in row order (insertion order until a
+    /// removal swap-moves the last row into the removed slot).
     pub fn tuples(&self, relation: RelationId) -> impl Iterator<Item = &Tuple> {
         self.relations
             .get(relation.index())
             .into_iter()
-            .flat_map(|s| s.iter())
+            .flat_map(|s| s.tuples.iter())
     }
 
     /// Number of tuples in one relation.
     pub fn relation_len(&self, relation: RelationId) -> usize {
         self.relations
             .get(relation.index())
-            .map(HashSet::len)
+            .map(RelationColumns::len)
             .unwrap_or(0)
     }
 
     /// Total number of facts in the store.
     pub fn len(&self) -> usize {
-        self.relations.iter().map(HashSet::len).sum()
+        self.len
     }
 
     /// Whether the store holds no facts.
     pub fn is_empty(&self) -> bool {
-        self.relations.iter().all(HashSet::is_empty)
+        self.len == 0
     }
 
     /// Iterates over every fact in the store.
     pub fn facts(&self) -> impl Iterator<Item = Fact> + '_ {
-        self.relations
-            .iter()
-            .enumerate()
-            .flat_map(|(i, set)| set.iter().map(move |t| (RelationId(i as u32), t.clone())))
+        self.relations.iter().enumerate().flat_map(|(i, store)| {
+            store
+                .tuples
+                .iter()
+                .map(move |t| (RelationId(i as u32), t.clone()))
+        })
     }
 
     /// The tuples of `relation` whose projection onto `positions` equals
-    /// `binding` — the paper's `I(Bind, S)`.
+    /// `binding` — the paper's `I(Bind, S)`. Index-backed: the scan starts
+    /// from the most selective posting list among the bound positions.
     pub fn matching(
         &self,
         relation: RelationId,
         positions: &[usize],
         binding: &[Value],
     ) -> Vec<Tuple> {
-        self.tuples(relation)
-            .filter(|t| t.matches_binding(positions, binding))
+        if positions.len() != binding.len() {
+            return Vec::new();
+        }
+        let constraints: Vec<(usize, &Value)> =
+            positions.iter().copied().zip(binding.iter()).collect();
+        self.candidates(relation, &constraints)
+            .into_iter()
             .cloned()
             .collect()
     }
 
+    /// References to the tuples of `relation` agreeing with every
+    /// `(position, value)` constraint, in row order. With no constraints this
+    /// is a full scan. This is the entry point the homomorphism searches use
+    /// to avoid linear scans: the most selective per-attribute posting list
+    /// is enumerated and the remaining constraints are checked columnar.
+    pub fn candidates(&self, relation: RelationId, constraints: &[(usize, &Value)]) -> Vec<&Tuple> {
+        let Some(store) = self.relations.get(relation.index()) else {
+            return Vec::new();
+        };
+        let arity = store.columns.len();
+        if constraints.is_empty() {
+            return store.tuples.iter().collect();
+        }
+        // Resolve constraint values; an un-interned value or an out-of-range
+        // position can never match.
+        let mut resolved: Vec<(usize, ValueId)> = Vec::with_capacity(constraints.len());
+        for &(pos, v) in constraints {
+            if pos >= arity {
+                return Vec::new();
+            }
+            match self.interner.lookup(v) {
+                Some(id) => resolved.push((pos, id)),
+                None => return Vec::new(),
+            }
+        }
+        // Most selective posting list first.
+        let mut best: Option<&Vec<usize>> = None;
+        for &(pos, id) in &resolved {
+            match store.indexes[pos].get(&id) {
+                Some(list) => {
+                    if best.map(|b| list.len() < b.len()).unwrap_or(true) {
+                        best = Some(list);
+                    }
+                }
+                None => return Vec::new(),
+            }
+        }
+        let rows = best.expect("at least one constraint");
+        let mut hits: Vec<usize> = rows
+            .iter()
+            .copied()
+            .filter(|&row| {
+                resolved
+                    .iter()
+                    .all(|&(pos, id)| store.columns[pos][row] == id)
+            })
+            .collect();
+        // Posting lists are patched on removal, so row order inside a list
+        // is not sorted; sort for deterministic iteration downstream.
+        hits.sort_unstable();
+        hits.into_iter().map(|row| &store.tuples[row]).collect()
+    }
+
     /// Returns `true` if every fact of `self` is also in `other`.
     pub fn is_subset_of(&self, other: &FactStore) -> bool {
-        self.relations
-            .iter()
-            .enumerate()
-            .all(|(i, set)| set.iter().all(|t| other.contains(RelationId(i as u32), t)))
+        self.relations.iter().enumerate().all(|(i, store)| {
+            store
+                .tuples
+                .iter()
+                .all(|t| other.contains(RelationId(i as u32), t))
+        })
     }
 
     /// Adds every fact of `other` into `self`.
     pub fn extend_from(&mut self, other: &FactStore) {
-        for (i, set) in other.relations.iter().enumerate() {
-            if let Some(mine) = self.relations.get_mut(i) {
-                mine.extend(set.iter().cloned());
+        for (i, store) in other.relations.iter().enumerate() {
+            let rel = RelationId(i as u32);
+            if i >= self.relations.len() {
+                break;
+            }
+            for t in &store.tuples {
+                let _ = self.insert(rel, t.clone());
             }
         }
     }
@@ -167,47 +393,50 @@ impl FactStore {
     /// The active domain of the store: the set of `(value, domain)` pairs
     /// appearing in any fact, each value paired with the abstract domain of
     /// the attribute position it appears in (`Adom(Conf)` in the paper).
+    ///
+    /// Served from the maintained cache — no fact is rescanned.
     pub fn active_domain(&self) -> HashSet<(Value, DomainId)> {
-        let mut out = HashSet::new();
-        for (i, set) in self.relations.iter().enumerate() {
-            let rel = match self.schema.relation(RelationId(i as u32)) {
-                Ok(r) => r,
-                Err(_) => continue,
-            };
-            for t in set {
-                for (pos, v) in t.iter().enumerate() {
-                    out.insert((v.clone(), rel.domain_at(pos)));
-                }
-            }
-        }
-        out
+        self.adom
+            .keys()
+            .map(|&(id, d)| (self.interner.resolve(id).clone(), d))
+            .collect()
+    }
+
+    /// Number of distinct `(value, domain)` pairs in the active domain.
+    pub fn active_domain_len(&self) -> usize {
+        self.adom.len()
+    }
+
+    /// Is `(value, domain)` in the active domain? A pair of hash probes.
+    pub fn adom_contains(&self, value: &Value, domain: DomainId) -> bool {
+        self.interner
+            .lookup(value)
+            .map(|id| self.adom.contains_key(&(id, domain)))
+            .unwrap_or(false)
     }
 
     /// The values of the active domain restricted to one abstract domain,
     /// sorted for deterministic iteration.
     pub fn values_of_domain(&self, domain: DomainId) -> Vec<Value> {
         let mut vals: Vec<Value> = self
-            .active_domain()
-            .into_iter()
+            .adom
+            .keys()
             .filter(|(_, d)| *d == domain)
-            .map(|(v, _)| v)
+            .map(|&(id, _)| self.interner.resolve(id).clone())
             .collect();
         vals.sort();
-        vals.dedup();
         vals
     }
 
     /// All values appearing anywhere in the store (regardless of domain),
     /// sorted and deduplicated.
     pub fn all_values(&self) -> Vec<Value> {
-        let mut vals: Vec<Value> = self
-            .relations
-            .iter()
-            .flat_map(|s| s.iter())
-            .flat_map(|t| t.iter().cloned())
+        let ids: HashSet<ValueId> = self.adom.keys().map(|&(id, _)| id).collect();
+        let mut vals: Vec<Value> = ids
+            .into_iter()
+            .map(|id| self.interner.resolve(id).clone())
             .collect();
         vals.sort();
-        vals.dedup();
         vals
     }
 
@@ -313,6 +542,28 @@ mod tests {
         assert_eq!(hits, vec![tuple(["b", "1"])]);
         let hits = store.matching(r, &[1], &[Value::sym("9")]);
         assert!(hits.is_empty());
+        // Mismatched positions/binding lengths and out-of-range positions
+        // never match (same contract as Tuple::matches_binding).
+        assert!(store.matching(r, &[0], &[]).is_empty());
+        assert!(store.matching(r, &[7], &[Value::sym("a")]).is_empty());
+    }
+
+    #[test]
+    fn candidates_power_partial_scans() {
+        let schema = small_schema();
+        let r = schema.relation_by_name("R").unwrap();
+        let mut store = FactStore::new(schema);
+        store.insert(r, tuple(["a", "1"])).unwrap();
+        store.insert(r, tuple(["a", "2"])).unwrap();
+        store.insert(r, tuple(["b", "1"])).unwrap();
+        assert_eq!(store.candidates(r, &[]).len(), 3);
+        let a = Value::sym("a");
+        let one = Value::sym("1");
+        assert_eq!(store.candidates(r, &[(0, &a)]).len(), 2);
+        assert_eq!(store.candidates(r, &[(0, &a), (1, &one)]).len(), 1);
+        let ghost = Value::sym("ghost");
+        assert!(store.candidates(r, &[(0, &ghost)]).is_empty());
+        assert!(store.candidates(r, &[(9, &a)]).is_empty());
     }
 
     #[test]
@@ -328,9 +579,32 @@ mod tests {
         assert!(adom.contains(&(Value::sym("y"), e)));
         // "x" never appears in an E position
         assert!(!adom.contains(&(Value::sym("x"), e)));
+        assert!(store.adom_contains(&Value::sym("x"), d));
+        assert!(!store.adom_contains(&Value::sym("x"), e));
+        assert!(!store.adom_contains(&Value::sym("zz"), d));
+        assert_eq!(store.active_domain_len(), adom.len());
         assert_eq!(store.values_of_domain(e), vec![Value::sym("y")]);
         assert_eq!(store.values_of_domain(d), vec![Value::sym("x")]);
         assert_eq!(store.all_values(), vec![Value::sym("x"), Value::sym("y")]);
+    }
+
+    #[test]
+    fn active_domain_cache_survives_removal() {
+        let schema = small_schema();
+        let d = schema.domain_by_name("D").unwrap();
+        let e = schema.domain_by_name("E").unwrap();
+        let r = schema.relation_by_name("R").unwrap();
+        let mut store = FactStore::new(schema);
+        store.insert(r, tuple(["x", "y"])).unwrap();
+        store.insert(r, tuple(["x", "z"])).unwrap();
+        // "x" is referenced by two facts; removing one keeps it in Adom.
+        assert!(store.remove(r, &tuple(["x", "y"])));
+        assert!(store.adom_contains(&Value::sym("x"), d));
+        assert!(!store.adom_contains(&Value::sym("y"), e));
+        assert!(store.adom_contains(&Value::sym("z"), e));
+        assert!(store.remove(r, &tuple(["x", "z"])));
+        assert_eq!(store.active_domain_len(), 0);
+        assert!(store.all_values().is_empty());
     }
 
     #[test]
@@ -363,6 +637,37 @@ mod tests {
         assert!(store.remove(r, &tuple(["a", "b"])));
         assert!(!store.remove(r, &tuple(["a", "b"])));
         assert_eq!(store.len(), 1);
+        // Removing with unknown values or wrong arity is a no-op.
+        assert!(!store.remove(r, &tuple(["ghost", "b"])));
+        assert!(!store.remove(r, &tuple(["a"])));
+    }
+
+    #[test]
+    fn remove_swaps_keep_indexes_consistent() {
+        let schema = small_schema();
+        let r = schema.relation_by_name("R").unwrap();
+        let mut store = FactStore::new(schema);
+        store.insert(r, tuple(["a", "1"])).unwrap();
+        store.insert(r, tuple(["b", "1"])).unwrap();
+        store.insert(r, tuple(["c", "2"])).unwrap();
+        // Remove the first row: the last row is swapped into its place and
+        // every lookup must still agree with a naive scan.
+        assert!(store.remove(r, &tuple(["a", "1"])));
+        assert_eq!(store.relation_len(r), 2);
+        assert!(store.contains(r, &tuple(["b", "1"])));
+        assert!(store.contains(r, &tuple(["c", "2"])));
+        assert_eq!(
+            store.matching(r, &[1], &[Value::sym("1")]),
+            vec![tuple(["b", "1"])]
+        );
+        assert_eq!(
+            store.matching(r, &[0], &[Value::sym("c")]),
+            vec![tuple(["c", "2"])]
+        );
+        assert!(store.matching(r, &[0], &[Value::sym("a")]).is_empty());
+        // Reinsertion after removal works and is visible to the indexes.
+        assert!(store.insert(r, tuple(["a", "1"])).unwrap());
+        assert_eq!(store.matching(r, &[1], &[Value::sym("1")]).len(), 2);
     }
 
     #[test]
@@ -380,5 +685,16 @@ mod tests {
         assert!(text.contains("S(z)"));
         let dbg = format!("{store:?}");
         assert!(dbg.contains("\"R\""));
+    }
+
+    #[test]
+    fn interner_is_shared_across_relations() {
+        let schema = small_schema();
+        let mut store = FactStore::new(schema);
+        store.insert_named("R", ["v", "v"]).unwrap();
+        store.insert_named("S", ["v"]).unwrap();
+        // One distinct value, interned once.
+        assert_eq!(store.interner().len(), 1);
+        assert_eq!(store.all_values(), vec![Value::sym("v")]);
     }
 }

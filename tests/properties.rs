@@ -197,3 +197,137 @@ fn access_paths_grow_monotonically_and_truncations_are_subsets() {
         );
     }
 }
+
+/// Naive scan oracle for `FactStore::matching`: filter every tuple of the
+/// relation by `Tuple::matches_binding`.
+fn matching_oracle(
+    store: &accrel::schema::FactStore,
+    relation: accrel::schema::RelationId,
+    positions: &[usize],
+    binding: &[Value],
+) -> Vec<accrel::schema::Tuple> {
+    let mut out: Vec<accrel::schema::Tuple> = store
+        .tuples(relation)
+        .filter(|t| t.matches_binding(positions, binding))
+        .cloned()
+        .collect();
+    out.sort();
+    out
+}
+
+/// Naive scan oracle for `FactStore::active_domain`: rescan every fact.
+fn adom_oracle(
+    store: &accrel::schema::FactStore,
+) -> std::collections::HashSet<(Value, accrel::schema::DomainId)> {
+    let mut out = std::collections::HashSet::new();
+    for (rel, t) in store.facts() {
+        let relation = store.schema().relation(rel).unwrap();
+        for (pos, v) in t.iter().enumerate() {
+            out.insert((v.clone(), relation.domain_at(pos)));
+        }
+    }
+    out
+}
+
+#[test]
+fn indexed_matching_agrees_with_scan_oracle_on_random_configurations() {
+    for (seed, _, facts) in cases() {
+        let (workload, _, conf) = workload_and_query(seed, 1, facts + 4);
+        let store = conf.store();
+        for (rel, relation) in workload.schema.relations_with_ids() {
+            let arity = relation.arity();
+            // Probe every single position and the full-tuple binding, with
+            // values drawn from the pool (both present and absent ones).
+            for value in workload.constants.iter().take(4) {
+                for pos in 0..arity {
+                    let got = {
+                        let mut v = store.matching(rel, &[pos], std::slice::from_ref(value));
+                        v.sort();
+                        v
+                    };
+                    let want = matching_oracle(store, rel, &[pos], std::slice::from_ref(value));
+                    assert_eq!(got, want, "matching mismatch at seed={seed} facts={facts}");
+                }
+            }
+            for t in store.tuples(rel).take(3).cloned().collect::<Vec<_>>() {
+                let positions: Vec<usize> = (0..arity).collect();
+                let mut got = store.matching(rel, &positions, t.values());
+                got.sort();
+                assert_eq!(
+                    got,
+                    matching_oracle(store, rel, &positions, t.values()),
+                    "full-binding mismatch at seed={seed}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn cached_active_domain_agrees_with_scan_oracle_after_inserts_and_removals() {
+    for (seed, _, facts) in cases() {
+        let (workload, _, conf) = workload_and_query(seed, 1, facts + 6);
+        let mut store = conf.store().clone();
+        assert_eq!(store.active_domain(), adom_oracle(&store));
+        // Remove roughly half the facts, in a deterministic order, checking
+        // the maintained cache against the oracle as we go.
+        let victims: Vec<_> = store.facts().step_by(2).collect();
+        for (rel, t) in victims {
+            assert!(store.remove(rel, &t), "removal failed at seed={seed}");
+            assert_eq!(
+                store.active_domain(),
+                adom_oracle(&store),
+                "adom cache diverged after removal at seed={seed}"
+            );
+        }
+        // Reinsert fresh facts; the cache must track them too.
+        let mut rng = StdRng::seed_from_u64(seed + 77);
+        let extra = generate_configuration(&workload, 5, &mut rng);
+        for (rel, t) in extra.facts() {
+            let _ = store.insert(rel, t);
+        }
+        assert_eq!(store.active_domain(), adom_oracle(&store));
+        // values_of_domain is the sorted per-domain projection of the oracle.
+        for d in 0..workload.schema.domain_count() {
+            let d = accrel::schema::DomainId(d as u32);
+            let mut want: Vec<Value> = adom_oracle(&store)
+                .into_iter()
+                .filter(|(_, vd)| *vd == d)
+                .map(|(v, _)| v)
+                .collect();
+            want.sort();
+            assert_eq!(
+                store.values_of_domain(d),
+                want,
+                "domain values at seed={seed}"
+            );
+        }
+    }
+}
+
+#[test]
+fn index_backed_candidates_agree_with_membership_semantics() {
+    for (seed, _, facts) in cases() {
+        let (workload, _, conf) = workload_and_query(seed, 1, facts + 4);
+        let store = conf.store();
+        for (rel, _) in workload.schema.relations_with_ids() {
+            // Unconstrained candidates enumerate exactly the relation.
+            assert_eq!(
+                store.candidates(rel, &[]).len(),
+                store.relation_len(rel),
+                "full scan mismatch at seed={seed}"
+            );
+            // Every stored tuple is found by its own full constraint set and
+            // by contains().
+            for t in store.tuples(rel) {
+                let constraints: Vec<(usize, &Value)> = t.iter().enumerate().collect();
+                let hits = store.candidates(rel, &constraints);
+                assert!(
+                    hits.contains(&t),
+                    "tuple lost by its own constraints at seed={seed}"
+                );
+                assert!(store.contains(rel, t));
+            }
+        }
+    }
+}

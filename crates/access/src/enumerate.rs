@@ -66,6 +66,75 @@ pub fn accesses_for_method(
     out
 }
 
+/// Candidate values for each input position of `m` at `conf`: the active
+/// domain restricted to the position's abstract domain, with the options'
+/// guessable values merged in (sorted) for independent methods. `None` when
+/// a position's domain cannot be resolved. Positions may come back with
+/// empty value lists — callers decide whether that aborts enumeration (full
+/// scan) or is remembered for later (frontier).
+///
+/// Shared between [`well_formed_accesses`] and
+/// [`crate::frontier::AccessFrontier`] so the frontier's emissions stay
+/// value-for-value equivalent to full re-enumeration.
+pub(crate) fn per_position_values(
+    conf: &Configuration,
+    methods: &AccessMethods,
+    m: &crate::method::AccessMethod,
+    options: &EnumerationOptions,
+) -> Option<Vec<Vec<Value>>> {
+    let schema = methods.schema();
+    let mut per_position: Vec<Vec<Value>> = Vec::with_capacity(m.input_positions().len());
+    for &pos in m.input_positions() {
+        let domain = schema.domain_of(m.relation(), pos).ok()?;
+        let mut values = conf.values_of_domain(domain);
+        if m.mode() == AccessMode::Independent {
+            for v in &options.guessable_values {
+                if !values.contains(v) {
+                    values.push(v.clone());
+                }
+            }
+            values.sort();
+        }
+        per_position.push(values);
+    }
+    Some(per_position)
+}
+
+/// Visits every index combination of lists with the given `lengths`, in
+/// lexicographic (odometer) order; `visit` returns `false` to stop early.
+/// Zero lengths yield no combination; an empty `lengths` slice yields the
+/// single empty combination (free accesses).
+///
+/// Shared between [`well_formed_accesses`] and
+/// [`crate::frontier::AccessFrontier`] so both enumerate bindings in the
+/// same deterministic order.
+pub(crate) fn for_each_combination(lengths: &[usize], mut visit: impl FnMut(&[usize]) -> bool) {
+    if lengths.contains(&0) {
+        return;
+    }
+    let mut indices = vec![0usize; lengths.len()];
+    loop {
+        if !visit(&indices) {
+            return;
+        }
+        let mut carry = true;
+        for i in (0..indices.len()).rev() {
+            if !carry {
+                break;
+            }
+            indices[i] += 1;
+            if indices[i] < lengths[i] {
+                carry = false;
+            } else {
+                indices[i] = 0;
+            }
+        }
+        if carry {
+            return;
+        }
+    }
+}
+
 fn enumerate_for_method(
     conf: &Configuration,
     methods: &AccessMethods,
@@ -76,34 +145,16 @@ fn enumerate_for_method(
     let Ok(m) = methods.get(id) else {
         return;
     };
-    let schema = methods.schema();
-    // Candidate values per input position.
-    let mut per_position: Vec<Vec<Value>> = Vec::with_capacity(m.input_positions().len());
-    for &pos in m.input_positions() {
-        let Ok(domain) = schema.domain_of(m.relation(), pos) else {
-            return;
-        };
-        let mut values = conf.values_of_domain(domain);
-        if m.mode() == AccessMode::Independent {
-            for v in &options.guessable_values {
-                if !values.contains(v) {
-                    values.push(v.clone());
-                }
-            }
-            values.sort();
-        }
-        if values.is_empty() {
-            // No candidate value for this position: no access possible
-            // (free accesses have no positions and skip this loop).
-            return;
-        }
-        per_position.push(values);
-    }
-    // Cartesian product of the candidate values.
-    let mut indices = vec![0usize; per_position.len()];
-    loop {
+    let Some(per_position) = per_position_values(conf, methods, m, options) else {
+        return;
+    };
+    // Cartesian product of the candidate values; a position with no
+    // candidate value yields no access (free accesses have no positions and
+    // yield exactly one).
+    let lengths: Vec<usize> = per_position.iter().map(Vec::len).collect();
+    for_each_combination(&lengths, |indices| {
         if out.len() >= options.max_accesses {
-            return;
+            return false;
         }
         let binding: Binding = indices
             .iter()
@@ -113,23 +164,8 @@ fn enumerate_for_method(
             .into_iter()
             .collect();
         out.push(Access::new(id, binding));
-        // Advance the odometer.
-        let mut carry = true;
-        for i in (0..indices.len()).rev() {
-            if !carry {
-                break;
-            }
-            indices[i] += 1;
-            if indices[i] < per_position[i].len() {
-                carry = false;
-            } else {
-                indices[i] = 0;
-            }
-        }
-        if carry {
-            break;
-        }
-    }
+        true
+    });
 }
 
 #[cfg(test)]

@@ -1,0 +1,262 @@
+//! Incremental enumeration of well-formed accesses.
+//!
+//! [`crate::enumerate::well_formed_accesses`] recomputes the full candidate
+//! set from scratch — `O(∏ |Adom restricted to input domain|)` per method —
+//! every time it is called, even when the configuration gained a single
+//! value since the previous call. The federated engine calls it once per
+//! round, so candidate enumeration used to dominate rounds whose responses
+//! were small.
+//!
+//! [`AccessFrontier`] makes enumeration incremental: it remembers, per
+//! method and input position, the values already incorporated, and each
+//! [`AccessFrontier::refresh`] emits exactly the accesses that involve at
+//! least one *newly added* active-domain value (plus, on the first refresh,
+//! the full product). Over a monotonically growing configuration — the only
+//! kind the engine produces, since responses never remove facts — the union
+//! of all emissions equals what `well_formed_accesses` would return at the
+//! latest configuration, with no access ever emitted twice.
+
+use accrel_schema::{Configuration, Value};
+
+use crate::access::{Access, Binding};
+use crate::enumerate::{self, EnumerationOptions};
+use crate::method::{AccessMethodId, AccessMethods};
+
+/// Per-method incremental state: the input values already incorporated.
+#[derive(Debug, Clone)]
+struct MethodFrontier {
+    id: AccessMethodId,
+    /// Values already incorporated, per input position, sorted.
+    seen: Vec<Vec<Value>>,
+    /// Whether the single access of a zero-input method was emitted.
+    emitted_free: bool,
+}
+
+/// Incremental well-formed-access enumerator over a growing configuration.
+///
+/// The frontier assumes the configuration passed to successive
+/// [`AccessFrontier::refresh`] calls only ever *grows* (each call's active
+/// domain is a superset of the previous call's); this is exactly the
+/// monotone successor-configuration semantics of Section 2.
+#[derive(Debug, Clone)]
+pub struct AccessFrontier {
+    options: EnumerationOptions,
+    fronts: Vec<MethodFrontier>,
+    emitted: usize,
+}
+
+impl AccessFrontier {
+    /// Creates a frontier for `methods` under `options`. The same registry
+    /// must be passed to every subsequent [`AccessFrontier::refresh`].
+    pub fn new(methods: &AccessMethods, options: EnumerationOptions) -> Self {
+        let fronts = methods
+            .iter()
+            .map(|(id, m)| MethodFrontier {
+                id,
+                seen: vec![Vec::new(); m.input_positions().len()],
+                emitted_free: false,
+            })
+            .collect();
+        Self {
+            options,
+            fronts,
+            emitted: 0,
+        }
+    }
+
+    /// Total number of accesses emitted so far (bounded by the options'
+    /// `max_accesses`, which the frontier treats as a cumulative cap).
+    pub fn emitted(&self) -> usize {
+        self.emitted
+    }
+
+    /// Emits every well-formed access at `conf` that was not emitted by an
+    /// earlier refresh: for each method, the bindings drawing at least one
+    /// value the frontier had not yet incorporated.
+    ///
+    /// Bindings are produced in a deterministic order (methods in
+    /// registration order, odometer over sorted per-position values).
+    pub fn refresh(&mut self, conf: &Configuration, methods: &AccessMethods) -> Vec<Access> {
+        debug_assert_eq!(
+            self.fronts.len(),
+            methods.len(),
+            "refresh must use the registry the frontier was built for"
+        );
+        let mut out = Vec::new();
+        for front in &mut self.fronts {
+            if self.emitted >= self.options.max_accesses {
+                break;
+            }
+            let Ok(m) = methods.get(front.id) else {
+                continue;
+            };
+            // Zero-input (free) methods: one access, emitted once.
+            if m.input_positions().is_empty() {
+                if !front.emitted_free {
+                    front.emitted_free = true;
+                    out.push(Access::new(front.id, Binding::empty()));
+                    self.emitted += 1;
+                }
+                continue;
+            }
+            // Current candidate values per input position (shared with the
+            // full enumerator, so emissions stay value-for-value
+            // equivalent); `is_new` marks the values the frontier has not
+            // incorporated yet.
+            let Some(current) = enumerate::per_position_values(conf, methods, m, &self.options)
+            else {
+                continue;
+            };
+            let is_new: Vec<Vec<bool>> = current
+                .iter()
+                .zip(&front.seen)
+                .map(|(cur, seen)| cur.iter().map(|v| seen.binary_search(v).is_err()).collect())
+                .collect();
+            let any_new = is_new.iter().any(|flags| flags.iter().any(|&b| b));
+            if any_new {
+                // Odometer over `current` (a position with no value yields
+                // no combination), keeping only bindings with at least one
+                // new coordinate — the old×…×old block was emitted by
+                // earlier refreshes.
+                let id = front.id;
+                let emitted = &mut self.emitted;
+                let max_accesses = self.options.max_accesses;
+                let lengths: Vec<usize> = current.iter().map(Vec::len).collect();
+                enumerate::for_each_combination(&lengths, |indices| {
+                    if *emitted >= max_accesses {
+                        return false;
+                    }
+                    if indices.iter().enumerate().any(|(p, &j)| is_new[p][j]) {
+                        let binding: Binding = indices
+                            .iter()
+                            .enumerate()
+                            .map(|(p, &j)| current[p][j].clone())
+                            .collect::<Vec<Value>>()
+                            .into_iter()
+                            .collect();
+                        out.push(Access::new(id, binding));
+                        *emitted += 1;
+                    }
+                    true
+                });
+            }
+            // Incorporate the current values whether or not bindings were
+            // emitted: a position that is still empty keeps later bindings
+            // emittable because its values will be new when they appear.
+            front.seen = current;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::enumerate::well_formed_accesses;
+    use crate::method::AccessMode;
+    use accrel_schema::Schema;
+    use std::collections::BTreeSet;
+    use std::sync::Arc;
+
+    fn setup() -> (Arc<Schema>, AccessMethods) {
+        let mut b = Schema::builder();
+        let emp = b.domain("EmpId").unwrap();
+        let off = b.domain("OffId").unwrap();
+        b.relation("EmpOff", &[("emp", emp), ("off", off)]).unwrap();
+        b.relation("Office", &[("off", off), ("emp", emp)]).unwrap();
+        let schema = b.build();
+        let mut mb = AccessMethods::builder(schema.clone());
+        mb.add("EmpOffAcc", "EmpOff", &["emp"], AccessMode::Dependent)
+            .unwrap();
+        mb.add(
+            "OfficePair",
+            "Office",
+            &["off", "emp"],
+            AccessMode::Dependent,
+        )
+        .unwrap();
+        mb.add_free("EmpOffAll", "EmpOff", AccessMode::Independent)
+            .unwrap();
+        (schema, mb.build())
+    }
+
+    fn as_set(accesses: &[Access]) -> BTreeSet<Access> {
+        accesses.iter().cloned().collect()
+    }
+
+    #[test]
+    fn first_refresh_matches_full_enumeration() {
+        let (schema, methods) = setup();
+        let mut conf = Configuration::empty(schema);
+        conf.insert_named("EmpOff", ["e1", "o1"]).unwrap();
+        conf.insert_named("EmpOff", ["e2", "o1"]).unwrap();
+        let options = EnumerationOptions::default();
+        let mut frontier = AccessFrontier::new(&methods, options.clone());
+        let emitted = frontier.refresh(&conf, &methods);
+        let full = well_formed_accesses(&conf, &methods, &options);
+        assert_eq!(as_set(&emitted), as_set(&full));
+        assert_eq!(emitted.len(), full.len());
+        // A second refresh over the unchanged configuration emits nothing.
+        assert!(frontier.refresh(&conf, &methods).is_empty());
+    }
+
+    #[test]
+    fn incremental_emissions_track_full_enumeration_without_duplicates() {
+        let (schema, methods) = setup();
+        let options = EnumerationOptions {
+            guessable_values: vec![Value::sym("guess")],
+            max_accesses: usize::MAX,
+        };
+        let mut conf = Configuration::empty(schema);
+        let mut frontier = AccessFrontier::new(&methods, options.clone());
+        let mut union: BTreeSet<Access> = BTreeSet::new();
+        // Grow the configuration step by step; at every step the union of
+        // frontier emissions must equal the full enumeration.
+        let growth: Vec<(&str, [&str; 2])> = vec![
+            ("EmpOff", ["e1", "o1"]),
+            ("Office", ["o2", "e1"]),
+            ("EmpOff", ["e2", "o1"]),
+            ("Office", ["o1", "e3"]),
+        ];
+        for (rel, t) in growth {
+            conf.insert_named(rel, t).unwrap();
+            let emitted = frontier.refresh(&conf, &methods);
+            for a in &emitted {
+                assert!(union.insert(a.clone()), "duplicate emission of {a}");
+                assert!(a.is_well_formed(&conf, &methods));
+            }
+            let full = as_set(&well_formed_accesses(&conf, &methods, &options));
+            assert_eq!(union, full);
+        }
+    }
+
+    #[test]
+    fn free_access_is_emitted_exactly_once() {
+        let (schema, methods) = setup();
+        let conf = Configuration::empty(schema);
+        let mut frontier = AccessFrontier::new(&methods, EnumerationOptions::default());
+        let first = frontier.refresh(&conf, &methods);
+        assert_eq!(first.len(), 1);
+        assert!(first[0].binding().is_empty());
+        assert!(frontier.refresh(&conf, &methods).is_empty());
+        assert_eq!(frontier.emitted(), 1);
+    }
+
+    #[test]
+    fn cumulative_cap_limits_emissions() {
+        let (schema, methods) = setup();
+        let mut conf = Configuration::empty(schema);
+        for i in 0..10 {
+            conf.insert_named("EmpOff", [format!("e{i}"), "o1".to_string()])
+                .unwrap();
+        }
+        let options = EnumerationOptions {
+            guessable_values: Vec::new(),
+            max_accesses: 3,
+        };
+        let mut frontier = AccessFrontier::new(&methods, options);
+        let emitted = frontier.refresh(&conf, &methods);
+        assert_eq!(emitted.len(), 3);
+        assert!(frontier.refresh(&conf, &methods).is_empty());
+    }
+}

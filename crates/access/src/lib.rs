@@ -15,7 +15,9 @@
 //!   successor-configuration semantics, and the *truncation* operation used
 //!   to define long-term relevance;
 //! * enumeration of the well-formed accesses available at a configuration
-//!   ([`enumerate`]), used by the federated engine.
+//!   ([`enumerate`]), and its incremental form ([`frontier::AccessFrontier`])
+//!   that only emits accesses involving newly-added active-domain values —
+//!   the candidate source of the federated engine and the batch scheduler.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -23,12 +25,14 @@
 mod access;
 pub mod enumerate;
 mod error;
+pub mod frontier;
 mod method;
 mod path;
 mod response;
 
 pub use access::{binding, Access, Binding};
 pub use error::AccessError;
+pub use frontier::AccessFrontier;
 pub use method::{AccessMethod, AccessMethodId, AccessMethods, AccessMethodsBuilder, AccessMode};
 pub use path::{AccessPath, PathStep};
 pub use response::{apply_access, Response};

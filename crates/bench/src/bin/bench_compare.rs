@@ -6,30 +6,22 @@
 //! ```
 //!
 //! Rows are matched by `(table id, series, parameter, metric)`; rows present
-//! on only one side are ignored (experiments grow over time). Timing rows
-//! (`µs` metrics) whose fresh value exceeds `threshold ×` the baseline are
-//! printed as GitHub `::warning::` annotations. The exit code is always 0
-//! unless `--fail-on-regression` is passed: the CI step is informational, a
-//! single-sample smoke pass is too noisy to gate merges on.
+//! on only one side are ignored (experiments grow over time, so baselines
+//! predating new tables such as the `F1` federation sweep still compare).
+//! Timing rows (`µs` metrics) whose fresh value exceeds `threshold ×` the
+//! baseline are printed as GitHub `::warning::` annotations. The exit code
+//! is always 0 unless `--fail-on-regression` is passed: the CI step is
+//! informational, a single-sample smoke pass is too noisy to gate merges on.
+//! The comparison rules live in `accrel_bench::compare`.
 
-use std::collections::BTreeMap;
 use std::process::ExitCode;
 
+use accrel_bench::compare::compare_rows;
 use accrel_bench::smoke::{parse_smoke_rows, SmokeRow};
 
-/// Row key: (table id, series, parameter, metric).
-type RowKey = (String, String, String, String);
-
-fn load(path: &str) -> Result<BTreeMap<RowKey, f64>, String> {
+fn load(path: &str) -> Result<Vec<SmokeRow>, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-    let rows = parse_smoke_rows(&text).map_err(|e| format!("cannot parse {path}: {e}"))?;
-    Ok(rows
-        .into_iter()
-        .filter_map(|r: SmokeRow| {
-            r.value
-                .map(|v| ((r.table, r.series, r.parameter, r.metric), v))
-        })
-        .collect())
+    parse_smoke_rows(&text).map_err(|e| format!("cannot parse {path}: {e}"))
 }
 
 fn main() -> ExitCode {
@@ -69,40 +61,25 @@ fn main() -> ExitCode {
         }
     };
 
-    let mut compared = 0usize;
-    let mut regressions = 0usize;
-    for (key, base_value) in &baseline {
-        let Some(new_value) = fresh.get(key) else {
-            continue;
-        };
-        // Only timing metrics are regression-checked; counters (accesses,
-        // encoding sizes, fact counts) are compared for drift but a change
-        // there is a semantic diff, not a perf regression.
-        if !key.3.contains("µs") {
-            continue;
-        }
-        compared += 1;
-        // Ignore sub-microsecond noise floors.
-        let floor = 1.0f64;
-        if *base_value > floor && *new_value > threshold * base_value {
-            regressions += 1;
-            println!(
-                "::warning title=bench regression::{} / {} / {} / {}: {:.1}µs -> {:.1}µs ({:.2}x)",
-                key.0,
-                key.1,
-                key.2,
-                key.3,
-                base_value,
-                new_value,
-                new_value / base_value
-            );
-        }
+    let report = compare_rows(&baseline, &fresh, threshold);
+    for r in &report.regressions {
+        println!(
+            "::warning title=bench regression::{} / {} / {} / {}: {:.1}µs -> {:.1}µs ({:.2}x)",
+            r.key.0,
+            r.key.1,
+            r.key.2,
+            r.key.3,
+            r.baseline,
+            r.fresh,
+            r.ratio()
+        );
     }
     println!(
-        "bench_compare: {compared} timing rows compared, {regressions} regression(s) over \
-         {threshold:.1}x"
+        "bench_compare: {} timing rows compared, {} regression(s) over {threshold:.1}x",
+        report.compared,
+        report.regressions.len()
     );
-    if fail_on_regression && regressions > 0 {
+    if fail_on_regression && !report.regressions.is_empty() {
         return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS

@@ -1,0 +1,158 @@
+//! Baseline-vs-fresh comparison of smoke documents (the logic behind the
+//! `bench_compare` binary, kept in the library so the tolerance rules are
+//! unit-tested).
+//!
+//! Rows are matched by `(table id, series, parameter, metric)`. Rows present
+//! on only one side are ignored — experiments grow over time, so a fresh
+//! document with new tables (e.g. the `F1` federation sweep) still compares
+//! cleanly against a baseline that predates those keys. Only timing metrics
+//! (`µs` in the metric name) are regression-checked; counters are semantic
+//! diffs, not perf regressions.
+
+use std::collections::BTreeMap;
+
+use crate::smoke::SmokeRow;
+
+/// Row key: (table id, series, parameter, metric).
+pub type RowKey = (String, String, String, String);
+
+/// One timing regression over the threshold.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Regression {
+    /// The matched row key.
+    pub key: RowKey,
+    /// Baseline value (µs).
+    pub baseline: f64,
+    /// Fresh value (µs).
+    pub fresh: f64,
+}
+
+impl Regression {
+    /// `fresh / baseline`.
+    pub fn ratio(&self) -> f64 {
+        self.fresh / self.baseline
+    }
+}
+
+/// Outcome of a comparison.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct CompareReport {
+    /// Timing rows present on both sides.
+    pub compared: usize,
+    /// Rows whose fresh value exceeded `threshold ×` the baseline.
+    pub regressions: Vec<Regression>,
+}
+
+fn index(rows: &[SmokeRow]) -> BTreeMap<RowKey, f64> {
+    rows.iter()
+        .filter_map(|r| {
+            r.value.map(|v| {
+                (
+                    (
+                        r.table.clone(),
+                        r.series.clone(),
+                        r.parameter.clone(),
+                        r.metric.clone(),
+                    ),
+                    v,
+                )
+            })
+        })
+        .collect()
+}
+
+/// Compares `fresh` against `baseline`, flagging timing rows that regressed
+/// by more than `threshold ×`. Sub-microsecond baselines are noise floors
+/// and never flagged.
+pub fn compare_rows(baseline: &[SmokeRow], fresh: &[SmokeRow], threshold: f64) -> CompareReport {
+    let baseline = index(baseline);
+    let fresh = index(fresh);
+    let mut report = CompareReport::default();
+    for (key, base_value) in &baseline {
+        let Some(new_value) = fresh.get(key) else {
+            continue;
+        };
+        if !key.3.contains("µs") {
+            continue;
+        }
+        report.compared += 1;
+        let floor = 1.0f64;
+        if *base_value > floor && *new_value > threshold * base_value {
+            report.regressions.push(Regression {
+                key: key.clone(),
+                baseline: *base_value,
+                fresh: *new_value,
+            });
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(table: &str, series: &str, parameter: &str, metric: &str, value: f64) -> SmokeRow {
+        SmokeRow {
+            table: table.to_string(),
+            series: series.to_string(),
+            parameter: parameter.to_string(),
+            metric: metric.to_string(),
+            value: Some(value),
+        }
+    }
+
+    #[test]
+    fn flags_timing_regressions_over_threshold() {
+        let baseline = vec![
+            row("E1", "CQ", "1", "median µs", 10.0),
+            row("E1", "CQ", "2", "median µs", 10.0),
+        ];
+        let fresh = vec![
+            row("E1", "CQ", "1", "median µs", 15.0),
+            row("E1", "CQ", "2", "median µs", 25.0),
+        ];
+        let report = compare_rows(&baseline, &fresh, 2.0);
+        assert_eq!(report.compared, 2);
+        assert_eq!(report.regressions.len(), 1);
+        assert_eq!(report.regressions[0].key.1, "CQ");
+        assert_eq!(report.regressions[0].key.2, "2");
+        assert!((report.regressions[0].ratio() - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tolerates_baselines_predating_new_keys() {
+        // The baseline predates the F1 federation sweep; its rows must be
+        // ignored rather than failing the comparison.
+        let baseline = vec![row("E1", "CQ", "1", "median µs", 10.0)];
+        let fresh = vec![
+            row("E1", "CQ", "1", "median µs", 11.0),
+            row("F1", "E5 federation (exhaustive)", "4", "µs/access", 120.0),
+            row("F1", "E5 federation (exhaustive)", "4", "mean batch", 3.5),
+            row("F1", "IR sweep", "2", "sweep µs", 900.0),
+        ];
+        let report = compare_rows(&baseline, &fresh, 2.0);
+        assert_eq!(report.compared, 1);
+        assert!(report.regressions.is_empty());
+        // And symmetrically: a baseline row the fresh run dropped is skipped.
+        let report = compare_rows(&fresh, &baseline, 2.0);
+        assert_eq!(report.compared, 1);
+    }
+
+    #[test]
+    fn counters_and_noise_floors_are_not_regressions() {
+        let baseline = vec![
+            row("E5", "configuration facts", "10", "count", 10.0),
+            row("E1", "CQ", "1", "median µs", 0.4),
+        ];
+        let fresh = vec![
+            row("E5", "configuration facts", "10", "count", 99.0),
+            row("E1", "CQ", "1", "median µs", 40.0),
+        ];
+        let report = compare_rows(&baseline, &fresh, 2.0);
+        // The count row is not a timing row; the 0.4µs baseline is below the
+        // noise floor.
+        assert_eq!(report.compared, 1);
+        assert!(report.regressions.is_empty());
+    }
+}

@@ -2,10 +2,12 @@
 
 use accrel_access::{binding, Access, AccessMethods, AccessMode};
 use accrel_core::SearchBudget;
+use accrel_federation::{Federation, LatencyModel, SimulatedSource};
 use accrel_query::{ConjunctiveQuery, Query, Term};
 use accrel_schema::{Configuration, Schema, Value};
 use accrel_workloads::random::{
-    generate_configuration, generate_query, generate_workload, Workload, WorkloadSpec,
+    generate_configuration, generate_instance, generate_query, generate_workload, Workload,
+    WorkloadSpec,
 };
 use accrel_workloads::scenarios::{chain_scenario, star_scenario};
 use accrel_workloads::tiling::checkerboard;
@@ -242,6 +244,86 @@ pub fn data_complexity_fixture(facts: usize, dependent: bool) -> RelevanceFixtur
     }
 }
 
+/// F1: a federation over the E5-style workload — the hidden instance split
+/// behind two simulated providers with distinct latency models, a fixed
+/// three-atom chain query, and a small seed configuration.
+#[derive(Debug)]
+pub struct FederationFixture {
+    /// The assembled federation (two latency-modelled sources).
+    pub federation: Federation,
+    /// The fixed three-atom chain query of E5.
+    pub query: Query,
+    /// The seed configuration (a sample of the hidden instance).
+    pub initial: Configuration,
+}
+
+/// Builds the F1 fixture at `facts` hidden facts. `latency_micros` is the
+/// per-round-trip base latency of the simulated providers; pass
+/// `sleep = true` for throughput measurements (the latencies are actually
+/// slept) and `false` for pure-semantics tests.
+pub fn federation_fixture(facts: usize, latency_micros: u64, sleep: bool) -> FederationFixture {
+    let spec = WorkloadSpec {
+        relations: 4,
+        arity: 2,
+        domains: 2,
+        constants: (facts / 8).max(6),
+        dependent_fraction: 1.0,
+    };
+    let workload = generate_workload(&spec, &mut StdRng::seed_from_u64(23));
+    let mut rng = StdRng::seed_from_u64(99);
+    // The hidden instance is bulk-seeded through the generator's batched
+    // `extend_facts` path.
+    let instance = generate_instance(&workload, facts, &mut rng);
+    // Fixed query: R0(x, y) ∧ R1(y, z) ∧ R2(z, w) — the E5 shape.
+    let mut qb = ConjunctiveQuery::builder(workload.schema.clone());
+    let x = qb.var("x");
+    let y = qb.var("y");
+    let z = qb.var("z");
+    let w = qb.var("w");
+    qb.atom("R0", vec![Term::Var(x), Term::Var(y)]).unwrap();
+    qb.atom("R1", vec![Term::Var(y), Term::Var(z)]).unwrap();
+    qb.atom("R2", vec![Term::Var(z), Term::Var(w)]).unwrap();
+    let query: Query = qb.build().into();
+    // Seed configuration: a deterministic sample of the hidden facts, so
+    // dependent accesses are unlockable from the start.
+    let initial = Configuration::from_facts(
+        workload.schema.clone(),
+        instance.facts().take(32.min(facts)),
+    )
+    .expect("sampled facts are well-typed");
+    // Two providers with different latency profiles, splitting the methods.
+    let latency_a = LatencyModel {
+        base_micros: latency_micros,
+        jitter_micros: latency_micros / 2,
+        seed: 7,
+        sleep,
+    };
+    let latency_b = LatencyModel {
+        base_micros: latency_micros * 2,
+        jitter_micros: latency_micros / 2,
+        seed: 11,
+        sleep,
+    };
+    let provider_a =
+        SimulatedSource::exact("provider-a", instance.clone(), workload.methods.clone())
+            .with_latency(latency_a);
+    let provider_b = SimulatedSource::exact("provider-b", instance, workload.methods.clone())
+        .with_latency(latency_b)
+        .with_paging(64);
+    let federation = Federation::builder(workload.methods.clone())
+        .source(provider_a, &["acc0", "acc1"])
+        .expect("provider-a methods exist")
+        .source(provider_b, &["acc2", "acc3"])
+        .expect("provider-b methods exist")
+        .build()
+        .expect("every method routed");
+    FederationFixture {
+        federation,
+        query,
+        initial,
+    }
+}
+
 /// E6: the single-occurrence tractable case — Example 4.2 shaped query over
 /// a configuration with `facts` R-facts.
 pub fn single_occurrence_fixture(facts: usize) -> (ConjunctiveQuery, RelevanceFixture) {
@@ -413,6 +495,38 @@ mod tests {
             &f.methods,
         );
         assert_eq!(fast, Some(general));
+    }
+
+    #[test]
+    fn federation_fixture_is_runnable() {
+        let fixture = federation_fixture(500, 0, false);
+        assert_eq!(fixture.federation.source_count(), 2);
+        assert!(!fixture.initial.is_empty());
+        assert!(fixture.query.is_boolean());
+        // Every method of the workload is routed.
+        for (id, _) in fixture.federation.methods().clone().iter() {
+            assert!(fixture.federation.source_for(id).is_some());
+        }
+        // A capped exhaustive batched run executes and retrieves tuples.
+        let report = accrel_federation::BatchScheduler::new(
+            &fixture.federation,
+            fixture.query.clone(),
+            accrel_engine::Strategy::Exhaustive,
+        )
+        .with_options(accrel_federation::BatchOptions {
+            engine: accrel_engine::EngineOptions {
+                max_accesses: 8,
+                stop_when_certain: false,
+                ..accrel_engine::EngineOptions::default()
+            },
+            batch_size: 4,
+            workers: 2,
+            speculation: accrel_federation::SpeculationMode::CachedOnly,
+        })
+        .run(&fixture.initial);
+        assert_eq!(report.accesses_made, 8);
+        assert!(report.tuples_retrieved > 0);
+        assert!(report.batch_stats.mean_batch() > 1.0);
     }
 
     #[test]

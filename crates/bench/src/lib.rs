@@ -18,6 +18,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod compare;
 pub mod fixtures;
 pub mod runner;
 pub mod smoke;

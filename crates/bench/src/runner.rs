@@ -3,10 +3,14 @@
 
 use std::time::Instant;
 
+use accrel_access::enumerate::{well_formed_accesses, EnumerationOptions};
 use accrel_core::{
     is_contained, is_immediately_relevant, is_long_term_relevant, ltr_independent, reductions,
 };
-use accrel_engine::{DeepWebSource, EngineOptions, FederatedEngine, ResponsePolicy};
+use accrel_engine::{
+    DeepWebSource, EngineOptions, FederatedEngine, RelevanceKind, ResponsePolicy, Strategy,
+};
+use accrel_federation::{parallel_relevance_sweep, BatchOptions, BatchScheduler, SpeculationMode};
 use accrel_workloads::encodings::encoding_stats;
 use accrel_workloads::tiling::checkerboard;
 
@@ -392,6 +396,109 @@ pub fn e8_reductions(repeats: usize) -> Table {
     }
 }
 
+/// F1 — the parallel federation sweep: an exhaustive engine run over the
+/// `facts`-fact E5 federation fixture at every batch size (workers scale
+/// with the batch), plus a parallel immediate-relevance sweep over the
+/// fixture's candidate accesses at every worker count. Latencies are really
+/// slept, so the per-access wall time shows the batching payoff.
+pub fn f1_federation_sweep(
+    facts: usize,
+    max_accesses: usize,
+    batch_sizes: &[usize],
+    sweep_workers: &[usize],
+) -> Table {
+    let mut rows = Vec::new();
+    for &batch_size in batch_sizes {
+        let fixture = fixtures::federation_fixture(facts, 100, true);
+        let options = BatchOptions {
+            engine: EngineOptions {
+                max_accesses,
+                stop_when_certain: false,
+                ..EngineOptions::default()
+            },
+            batch_size,
+            workers: batch_size.min(8),
+            speculation: SpeculationMode::CachedOnly,
+        };
+        let start = Instant::now();
+        let report = BatchScheduler::new(
+            &fixture.federation,
+            fixture.query.clone(),
+            Strategy::Exhaustive,
+        )
+        .with_options(options)
+        .run(&fixture.initial);
+        let wall = start.elapsed().as_secs_f64() * 1e6;
+        let series = "E5 federation (exhaustive)";
+        rows.push(Row::new(
+            series,
+            batch_size,
+            "wall µs/access",
+            wall / report.accesses_made.max(1) as f64,
+        ));
+        rows.push(Row::new(
+            series,
+            batch_size,
+            "mean batch",
+            report.batch_stats.mean_batch(),
+        ));
+        rows.push(Row::new(
+            series,
+            batch_size,
+            "accesses",
+            report.accesses_made as f64,
+        ));
+        rows.push(Row::new(
+            series,
+            batch_size,
+            "source calls",
+            report.source_stats.calls as f64,
+        ));
+    }
+    // Parallel relevance sweep over the candidate accesses of the seed
+    // configuration (latencies are irrelevant here: the sweep runs the IR
+    // decision procedure, not source calls).
+    let fixture = fixtures::federation_fixture(facts, 0, false);
+    let methods = fixture.federation.methods().clone();
+    let candidates = well_formed_accesses(
+        &fixture.initial,
+        &methods,
+        &EnumerationOptions {
+            guessable_values: Vec::new(),
+            max_accesses: 256,
+        },
+    );
+    let budget = accrel_core::SearchBudget::default();
+    for &workers in sweep_workers {
+        let start = Instant::now();
+        let verdicts = parallel_relevance_sweep(
+            &fixture.query,
+            &fixture.initial,
+            &candidates,
+            &methods,
+            RelevanceKind::Immediate,
+            &budget,
+            workers,
+        );
+        let wall = start.elapsed().as_secs_f64() * 1e6;
+        rows.push(Row::new("IR sweep", workers, "sweep µs", wall));
+        rows.push(Row::new(
+            "IR sweep",
+            workers,
+            "checks",
+            verdicts.len() as f64,
+        ));
+    }
+    Table {
+        id: "F1".to_string(),
+        title: format!(
+            "Federation sweep at {facts} facts: batched exhaustive throughput and parallel \
+             relevance checks"
+        ),
+        rows,
+    }
+}
+
 /// Runs every experiment at harness scale and returns the tables.
 pub fn run_all() -> Vec<Table> {
     vec![
@@ -403,6 +510,7 @@ pub fn run_all() -> Vec<Table> {
         e6_tractable_cases(&[10, 100, 1000], 5),
         e7_engine_ablation(),
         e8_reductions(3),
+        f1_federation_sweep(10_000, 96, &[1, 2, 4, 8, 16, 32], &[1, 2, 4, 8]),
     ]
 }
 
@@ -418,6 +526,7 @@ pub fn run_smoke() -> Vec<Table> {
         e6_tractable_cases(&[10, 100], 1),
         e7_engine_ablation(),
         e8_reductions(1),
+        f1_federation_sweep(10_000, 48, &[1, 4, 16], &[1, 2, 4]),
     ]
 }
 
@@ -527,5 +636,34 @@ mod tests {
         assert!(t5.rows.iter().any(|r| r.metric == "count" && r.value > 0.0));
         let t8 = e8_reductions(1);
         assert!(t8.rows.iter().any(|r| r.metric == "bool" && r.value == 1.0));
+    }
+
+    #[test]
+    fn federation_sweep_reports_effective_batching() {
+        // A scaled-down F1 (10³ facts to keep the test quick): batch size 4
+        // must report a mean batch above 1 on the exhaustive run.
+        let table = f1_federation_sweep(1_000, 24, &[1, 4], &[1, 2]);
+        assert_eq!(table.id, "F1");
+        let mean_batch_at = |batch: &str| {
+            table
+                .rows
+                .iter()
+                .find(|r| r.metric == "mean batch" && r.parameter == batch)
+                .map(|r| r.value)
+                .expect("mean batch row present")
+        };
+        assert!((mean_batch_at("1") - 1.0).abs() < 1e-9);
+        assert!(mean_batch_at("4") > 1.0, "batching must be effective");
+        // Sweep rows exist for every worker count, with identical check
+        // counts.
+        let checks: Vec<f64> = table
+            .rows
+            .iter()
+            .filter(|r| r.metric == "checks")
+            .map(|r| r.value)
+            .collect();
+        assert_eq!(checks.len(), 2);
+        assert!(checks[0] > 0.0);
+        assert_eq!(checks[0], checks[1]);
     }
 }

@@ -77,8 +77,8 @@ pub fn is_contained(
     methods: &AccessMethods,
     budget: &SearchBudget,
 ) -> ContainmentOutcome {
-    let ucq1 = q1.to_ucq();
-    let ucq2 = q2.to_ucq();
+    let ucq1 = q1.ucq();
+    let ucq2 = q2.ucq();
     let arity1 = ucq1.first().map(|d| d.free_vars().len()).unwrap_or(0);
     let arity2 = ucq2.first().map(|d| d.free_vars().len()).unwrap_or(arity1);
     assert_eq!(
@@ -92,8 +92,8 @@ pub fn is_contained(
         return ContainmentOutcome::contained();
     }
 
-    for disjunct in &ucq1 {
-        if let Some(witness) = disjunct_non_containment(disjunct, &ucq2, conf, methods, budget) {
+    for disjunct in ucq1 {
+        if let Some(witness) = disjunct_non_containment(disjunct, ucq2, conf, methods, budget) {
             return ContainmentOutcome::not_contained(witness);
         }
     }

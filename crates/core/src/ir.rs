@@ -71,9 +71,9 @@ pub fn immediate_relevance_witness(
         return None;
     }
     let method = methods.get(access.method()).ok()?;
-    for disjunct in query.to_ucq() {
+    for disjunct in query.ucq() {
         if let Some(witness) = disjunct_witness(
-            &disjunct,
+            disjunct,
             conf,
             access,
             method.relation(),

@@ -114,10 +114,10 @@ pub fn is_ltr_dependent(
         }
     }
 
-    for disjunct in query.to_ucq() {
+    for disjunct in query.ucq() {
         if disjunct_witness(
             query,
-            &disjunct,
+            disjunct,
             conf,
             access,
             access_relation,

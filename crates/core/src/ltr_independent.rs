@@ -87,10 +87,10 @@ pub fn is_ltr_independent_budgeted(
     let access_relation = method.relation();
     let input_positions = method.input_positions().to_vec();
 
-    let query_ucq = query.to_ucq();
-    for disjunct in &query_ucq {
+    let query_ucq = query.ucq();
+    for disjunct in query_ucq {
         if disjunct_has_witness(
-            &query_ucq,
+            query_ucq,
             disjunct,
             conf,
             access,

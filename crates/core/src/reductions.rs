@@ -66,8 +66,7 @@ fn boolean_instances_cq(cq: &ConjunctiveQuery, conf: &Configuration) -> Vec<Conj
 }
 
 fn pq_output_domains(pq: &PositiveQuery) -> Option<Vec<DomainId>> {
-    let ucq = pq.to_ucq();
-    ucq.first().and_then(|d| d.output_domains().ok())
+    pq.ucq().first().and_then(|d| d.output_domains().ok())
 }
 
 /// Enumerates the head substitutions of Proposition 2.2.

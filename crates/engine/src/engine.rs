@@ -12,15 +12,17 @@
 //! cached and uncached runs can be compared for equality (the correctness
 //! criterion for the invalidation scheme).
 
-use std::collections::{HashMap, HashSet};
+use std::collections::BTreeSet;
 
-use accrel_access::enumerate::{well_formed_accesses, EnumerationOptions};
+use accrel_access::enumerate::EnumerationOptions;
+use accrel_access::frontier::AccessFrontier;
 use accrel_access::{apply_access, Access};
-use accrel_core::{is_immediately_relevant, is_long_term_relevant, SearchBudget};
+use accrel_core::SearchBudget;
 use accrel_query::{certain, Query};
-use accrel_schema::{Configuration, RelationId, Tuple, Value};
+use accrel_schema::{Configuration, Tuple, Value};
 
-use crate::source::DeepWebSource;
+use crate::relevance::{RelevanceOracle, VerdictRecord};
+use crate::source::{DeepWebSource, SourceStats};
 
 /// Access-selection strategies.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -92,6 +94,35 @@ impl Default for EngineOptions {
     }
 }
 
+/// Statistics about batched execution. Zero for the sequential engine; the
+/// batch scheduler of `accrel-federation` fills them in.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BatchStats {
+    /// Number of batches issued to the sources.
+    pub batches: usize,
+    /// Size of the largest batch.
+    pub max_batch: usize,
+    /// Source calls issued through batches, including speculative prefetches
+    /// whose responses were consumed in later rounds.
+    pub batched_calls: usize,
+    /// Prefetched responses never consumed by the merge loop (speculation
+    /// waste).
+    pub speculative_wasted: usize,
+    /// Worker threads the scheduler was allowed to use per batch.
+    pub workers: usize,
+}
+
+impl BatchStats {
+    /// Mean batch size, or 0.0 when no batch was issued.
+    pub fn mean_batch(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.batched_calls as f64 / self.batches as f64
+        }
+    }
+}
+
 /// The outcome of an engine run.
 #[derive(Debug, Clone)]
 pub struct RunReport {
@@ -117,101 +148,16 @@ pub struct RunReport {
     /// The accesses executed, in execution order (for comparing cached and
     /// uncached runs).
     pub access_sequence: Vec<Access>,
+    /// Every relevance decision-procedure invocation of the run, in order
+    /// (cache re-reads are not recorded; empty when the cache is disabled).
+    pub relevance_verdicts: Vec<VerdictRecord>,
+    /// Source traffic attributable to this run (successful calls, retries,
+    /// ultimate failures, tuples returned).
+    pub source_stats: SourceStats,
+    /// Batched-execution statistics (all zero for the sequential engine).
+    pub batch_stats: BatchStats,
     /// The final configuration.
     pub final_configuration: Configuration,
-}
-
-/// Which relevance check a cached verdict belongs to.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-enum CheckKind {
-    Immediate,
-    LongTerm,
-}
-
-/// What a cached verdict depends on: the relations whose growth can change
-/// it.
-#[derive(Debug, Clone)]
-enum DepSet {
-    /// The verdict only inspected these relations (Boolean-query immediate
-    /// relevance: the witness search reads tuples of the query's relations
-    /// and nothing else).
-    Relations(HashSet<RelationId>),
-    /// The verdict consulted the whole configuration (long-term relevance
-    /// reads the global active domain; the Proposition 2.2 reduction of
-    /// non-Boolean queries instantiates heads with constants from any
-    /// relation). Invalidated by any growth.
-    All,
-}
-
-impl DepSet {
-    fn touched_by(&self, relation: RelationId) -> bool {
-        match self {
-            DepSet::Relations(set) => set.contains(&relation),
-            DepSet::All => true,
-        }
-    }
-}
-
-/// The incremental relevance-verdict cache of one engine run. One map per
-/// check kind, keyed by the access alone, so cache hits are probed by
-/// reference without cloning the access.
-#[derive(Debug, Default)]
-struct RelevanceCache {
-    immediate: HashMap<Access, (bool, usize)>,
-    long_term: HashMap<Access, (bool, usize)>,
-    /// Dependency sets, interned: 0 = All, 1 = the query's relations.
-    deps: Vec<DepSet>,
-    hits: usize,
-    misses: usize,
-}
-
-impl RelevanceCache {
-    fn new(query_relations: HashSet<RelationId>) -> Self {
-        Self {
-            immediate: HashMap::new(),
-            long_term: HashMap::new(),
-            deps: vec![DepSet::All, DepSet::Relations(query_relations)],
-            hits: 0,
-            misses: 0,
-        }
-    }
-
-    /// Looks a verdict up, or computes, records and returns it. The access
-    /// is only cloned when a miss inserts a new entry.
-    fn check(
-        &mut self,
-        kind: CheckKind,
-        access: &Access,
-        dep: usize,
-        run: impl FnOnce() -> bool,
-    ) -> bool {
-        let map = match kind {
-            CheckKind::Immediate => &mut self.immediate,
-            CheckKind::LongTerm => &mut self.long_term,
-        };
-        if let Some(&(verdict, _)) = map.get(access) {
-            self.hits += 1;
-            return verdict;
-        }
-        self.misses += 1;
-        let verdict = run();
-        let map = match kind {
-            CheckKind::Immediate => &mut self.immediate,
-            CheckKind::LongTerm => &mut self.long_term,
-        };
-        map.insert(access.clone(), (verdict, dep));
-        verdict
-    }
-
-    /// Drops every verdict whose dependency set contains `relation` (called
-    /// when a response added at least one fact to that relation).
-    fn invalidate(&mut self, relation: RelationId) {
-        let deps = &self.deps;
-        self.immediate
-            .retain(|_, (_, dep)| !deps[*dep].touched_by(relation));
-        self.long_term
-            .retain(|_, (_, dep)| !deps[*dep].touched_by(relation));
-    }
 }
 
 /// A federated query engine answering one query against one simulated
@@ -241,40 +187,34 @@ impl<'a> FederatedEngine<'a> {
         self
     }
 
-    /// The dependency-set index for immediate-relevance verdicts: Boolean
-    /// queries only ever inspect their own relations; everything else is
-    /// conservatively global.
-    fn ir_dep(&self) -> usize {
-        if self.query.is_boolean() {
-            1
-        } else {
-            0
-        }
-    }
-
     /// Runs the engine from `initial` until the query is certain, no
     /// candidate access remains, or the access limit is hit.
+    ///
+    /// Candidate enumeration is incremental: an [`AccessFrontier`] emits
+    /// only the accesses unlocked by newly-added active-domain values, and
+    /// the engine keeps them in a sorted pending set whose iteration order
+    /// coincides with full re-enumeration, so the executed access sequences
+    /// are byte-for-byte those of the historical re-enumerating loop.
     pub fn run(&self, initial: &Configuration) -> RunReport {
         let methods = self.source.methods();
         let mut conf = initial.clone();
-        let mut made: HashSet<Access> = HashSet::new();
         let mut accesses_made = 0usize;
         let mut accesses_skipped = 0usize;
         let mut tuples_retrieved = 0usize;
         let mut rounds = 0usize;
         let mut access_sequence: Vec<Access> = Vec::new();
-        let query_relations: HashSet<RelationId> = self
-            .query
-            .to_ucq()
-            .iter()
-            .flat_map(|d| d.atoms().iter().map(|a| a.relation()))
-            .collect();
-        let mut cache = RelevanceCache::new(query_relations);
+        let mut oracle = RelevanceOracle::new(&self.query, methods, &self.options);
+        let stats_before = self.source.stats();
 
         let enum_options = EnumerationOptions {
             guessable_values: self.guessable_pool(initial),
             max_accesses: usize::MAX,
         };
+        let mut frontier = AccessFrontier::new(methods, enum_options);
+        // Emitted-but-not-executed accesses, in enumeration order (sorted
+        // (method, binding) order equals the odometer order of full
+        // re-enumeration).
+        let mut pending: BTreeSet<Access> = BTreeSet::new();
 
         loop {
             rounds += 1;
@@ -287,19 +227,18 @@ impl<'a> FederatedEngine<'a> {
             if accesses_made >= self.options.max_accesses {
                 break;
             }
-            // Candidate accesses: well-formed, not yet executed.
-            let candidates: Vec<Access> = well_formed_accesses(&conf, methods, &enum_options)
-                .into_iter()
-                .filter(|a| !made.contains(a))
-                .collect();
-            if candidates.is_empty() {
+            pending.extend(frontier.refresh(&conf, methods));
+            if pending.is_empty() {
                 break;
             }
-            let selected = self.select(&candidates, &conf, &mut accesses_skipped, &mut cache);
+            let selected = {
+                let candidates: Vec<&Access> = pending.iter().collect();
+                oracle.select(self.strategy, &candidates, &conf, &mut accesses_skipped)
+            };
             let Some(access) = selected else {
                 break;
             };
-            made.insert(access.clone());
+            pending.remove(&access);
             let Ok(response) = self.source.call(&access) else {
                 continue;
             };
@@ -314,7 +253,7 @@ impl<'a> FederatedEngine<'a> {
                 // The response grew exactly one relation (its method's);
                 // drop the verdicts that inspected it.
                 if let Ok(m) = methods.get(access.method()) {
-                    cache.invalidate(m.relation());
+                    oracle.invalidate(m.relation());
                 }
             }
         }
@@ -327,9 +266,12 @@ impl<'a> FederatedEngine<'a> {
             accesses_skipped,
             tuples_retrieved,
             rounds,
-            relevance_cache_hits: cache.hits,
-            relevance_cache_misses: cache.misses,
+            relevance_cache_hits: oracle.hits(),
+            relevance_cache_misses: oracle.misses(),
             access_sequence,
+            relevance_verdicts: oracle.take_log(),
+            source_stats: self.source.stats().since(&stats_before),
+            batch_stats: BatchStats::default(),
             final_configuration: conf,
         }
     }
@@ -369,74 +311,6 @@ impl<'a> FederatedEngine<'a> {
         }
         pool.sort();
         pool
-    }
-
-    /// Immediate-relevance check, via the cache when enabled.
-    fn check_ir(&self, access: &Access, conf: &Configuration, cache: &mut RelevanceCache) -> bool {
-        let methods = self.source.methods();
-        if !self.options.use_relevance_cache {
-            return is_immediately_relevant(&self.query, conf, access, methods);
-        }
-        cache.check(CheckKind::Immediate, access, self.ir_dep(), || {
-            is_immediately_relevant(&self.query, conf, access, methods)
-        })
-    }
-
-    /// Long-term-relevance check, via the cache when enabled. LTR verdicts
-    /// consult the global active domain, so they depend on every relation.
-    fn check_ltr(&self, access: &Access, conf: &Configuration, cache: &mut RelevanceCache) -> bool {
-        let methods = self.source.methods();
-        if !self.options.use_relevance_cache {
-            return is_long_term_relevant(&self.query, conf, access, methods, &self.options.budget);
-        }
-        cache.check(CheckKind::LongTerm, access, 0, || {
-            is_long_term_relevant(&self.query, conf, access, methods, &self.options.budget)
-        })
-    }
-
-    /// Picks the next access to execute according to the strategy.
-    fn select(
-        &self,
-        candidates: &[Access],
-        conf: &Configuration,
-        accesses_skipped: &mut usize,
-        cache: &mut RelevanceCache,
-    ) -> Option<Access> {
-        match self.strategy {
-            Strategy::Exhaustive => candidates.first().cloned(),
-            Strategy::IrGuided => {
-                for a in candidates {
-                    if self.check_ir(a, conf, cache) {
-                        return Some(a.clone());
-                    }
-                    *accesses_skipped += 1;
-                }
-                None
-            }
-            Strategy::LtrGuided => {
-                for a in candidates {
-                    if self.check_ltr(a, conf, cache) {
-                        return Some(a.clone());
-                    }
-                    *accesses_skipped += 1;
-                }
-                None
-            }
-            Strategy::Hybrid => {
-                for a in candidates {
-                    if self.check_ir(a, conf, cache) {
-                        return Some(a.clone());
-                    }
-                }
-                for a in candidates {
-                    if self.check_ltr(a, conf, cache) {
-                        return Some(a.clone());
-                    }
-                    *accesses_skipped += 1;
-                }
-                None
-            }
-        }
     }
 }
 

@@ -33,8 +33,10 @@
 #![forbid(unsafe_code)]
 
 mod engine;
+pub mod relevance;
 pub mod scenarios;
 mod source;
 
-pub use engine::{EngineOptions, FederatedEngine, RunReport, Strategy};
+pub use engine::{BatchStats, EngineOptions, FederatedEngine, RunReport, Strategy};
+pub use relevance::{RelevanceKind, RelevanceOracle, VerdictRecord};
 pub use source::{DeepWebSource, ResponsePolicy, SourceStats};

@@ -1,0 +1,296 @@
+//! Shared relevance-verdict machinery.
+//!
+//! [`RelevanceOracle`] bundles the incremental relevance-verdict cache with
+//! the strategy-driven access selection. It is the single implementation of
+//! "which access would the engine execute next, and what did deciding that
+//! cost" used by both the sequential [`crate::FederatedEngine`] and the
+//! batch scheduler of `accrel-federation` — sharing it is what makes the
+//! batched engine's verdicts *provably* the sequential engine's verdicts
+//! rather than merely similar ones.
+//!
+//! Every cache miss (an actual invocation of a decision procedure) is
+//! recorded in an ordered [`VerdictRecord`] log, surfaced through
+//! [`crate::RunReport::relevance_verdicts`]; the scheduler-equivalence tests
+//! compare these logs between sequential and batched runs.
+
+use std::collections::{HashMap, HashSet};
+
+use accrel_access::{Access, AccessMethods};
+use accrel_core::{is_immediately_relevant, is_long_term_relevant, SearchBudget};
+use accrel_query::Query;
+use accrel_schema::{Configuration, RelationId};
+
+use crate::engine::{EngineOptions, Strategy};
+
+/// Which relevance check a verdict belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum RelevanceKind {
+    /// Immediate relevance (Section 4).
+    Immediate,
+    /// Long-term relevance (Sections 4–5).
+    LongTerm,
+}
+
+/// One invocation of a relevance decision procedure: the access that was
+/// checked, which check ran, and its outcome. Cached re-reads are not
+/// recorded — the log is exactly the sequence of procedure invocations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerdictRecord {
+    /// The access whose relevance was decided.
+    pub access: Access,
+    /// Which relevance check ran.
+    pub kind: RelevanceKind,
+    /// The verdict.
+    pub verdict: bool,
+}
+
+/// What a cached verdict depends on: the relations whose growth can change
+/// it.
+#[derive(Debug, Clone)]
+enum DepSet {
+    /// The verdict only inspected these relations (Boolean-query immediate
+    /// relevance: the witness search reads tuples of the query's relations
+    /// and nothing else).
+    Relations(HashSet<RelationId>),
+    /// The verdict consulted the whole configuration (long-term relevance
+    /// reads the global active domain; the Proposition 2.2 reduction of
+    /// non-Boolean queries instantiates heads with constants from any
+    /// relation). Invalidated by any growth.
+    All,
+}
+
+impl DepSet {
+    fn touched_by(&self, relation: RelationId) -> bool {
+        match self {
+            DepSet::Relations(set) => set.contains(&relation),
+            DepSet::All => true,
+        }
+    }
+}
+
+/// The incremental relevance-verdict cache. One map per check kind, keyed by
+/// the access alone, so cache hits are probed by reference without cloning
+/// the access.
+#[derive(Debug, Default, Clone)]
+struct RelevanceCache {
+    immediate: HashMap<Access, (bool, usize)>,
+    long_term: HashMap<Access, (bool, usize)>,
+    /// Dependency sets, interned: 0 = All, 1 = the query's relations.
+    deps: Vec<DepSet>,
+    hits: usize,
+    misses: usize,
+}
+
+impl RelevanceCache {
+    fn new(query_relations: HashSet<RelationId>) -> Self {
+        Self {
+            immediate: HashMap::new(),
+            long_term: HashMap::new(),
+            deps: vec![DepSet::All, DepSet::Relations(query_relations)],
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Drops every verdict whose dependency set contains `relation` (called
+    /// when a response added at least one fact to that relation).
+    fn invalidate(&mut self, relation: RelationId) {
+        let deps = &self.deps;
+        self.immediate
+            .retain(|_, (_, dep)| !deps[*dep].touched_by(relation));
+        self.long_term
+            .retain(|_, (_, dep)| !deps[*dep].touched_by(relation));
+    }
+}
+
+/// The relevance-decision engine of one run: answers "is this access
+/// relevant at this configuration" through the incremental cache, applies
+/// the [`Strategy`] selection rules, and logs every decision-procedure
+/// invocation.
+#[derive(Debug, Clone)]
+pub struct RelevanceOracle<'a> {
+    query: &'a Query,
+    methods: &'a AccessMethods,
+    budget: SearchBudget,
+    use_cache: bool,
+    cache: RelevanceCache,
+    log: Vec<VerdictRecord>,
+    record: bool,
+}
+
+impl<'a> RelevanceOracle<'a> {
+    /// Creates an oracle for `query` over `methods` under the run options.
+    pub fn new(query: &'a Query, methods: &'a AccessMethods, options: &EngineOptions) -> Self {
+        let query_relations: HashSet<RelationId> = query
+            .ucq()
+            .iter()
+            .flat_map(|d| d.atoms().iter().map(|a| a.relation()))
+            .collect();
+        Self {
+            query,
+            methods,
+            budget: options.budget.clone(),
+            use_cache: options.use_relevance_cache,
+            cache: RelevanceCache::new(query_relations),
+            log: Vec::new(),
+            record: true,
+        }
+    }
+
+    /// A scratch copy for speculative look-ahead: shares the cached verdicts
+    /// accumulated so far but records nothing, so predictions leave the
+    /// authoritative verdict log and counters untouched.
+    pub fn scratch(&self) -> RelevanceOracle<'a> {
+        let mut copy = self.clone();
+        copy.record = false;
+        copy.log = Vec::new();
+        copy
+    }
+
+    /// The dependency-set index for immediate-relevance verdicts: Boolean
+    /// queries only ever inspect their own relations; everything else is
+    /// conservatively global.
+    fn ir_dep(&self) -> usize {
+        if self.query.is_boolean() {
+            1
+        } else {
+            0
+        }
+    }
+
+    fn check(&mut self, kind: RelevanceKind, access: &Access, conf: &Configuration) -> bool {
+        let run = |query: &Query,
+                   methods: &AccessMethods,
+                   budget: &SearchBudget,
+                   access: &Access,
+                   conf: &Configuration| match kind {
+            RelevanceKind::Immediate => is_immediately_relevant(query, conf, access, methods),
+            RelevanceKind::LongTerm => is_long_term_relevant(query, conf, access, methods, budget),
+        };
+        if !self.use_cache {
+            return run(self.query, self.methods, &self.budget, access, conf);
+        }
+        let map = match kind {
+            RelevanceKind::Immediate => &self.cache.immediate,
+            RelevanceKind::LongTerm => &self.cache.long_term,
+        };
+        if let Some(&(verdict, _)) = map.get(access) {
+            self.cache.hits += 1;
+            return verdict;
+        }
+        self.cache.misses += 1;
+        let verdict = run(self.query, self.methods, &self.budget, access, conf);
+        let dep = match kind {
+            RelevanceKind::Immediate => self.ir_dep(),
+            RelevanceKind::LongTerm => 0,
+        };
+        let map = match kind {
+            RelevanceKind::Immediate => &mut self.cache.immediate,
+            RelevanceKind::LongTerm => &mut self.cache.long_term,
+        };
+        map.insert(access.clone(), (verdict, dep));
+        if self.record {
+            self.log.push(VerdictRecord {
+                access: access.clone(),
+                kind,
+                verdict,
+            });
+        }
+        verdict
+    }
+
+    /// The cached verdict for `kind` of `access`, if one is present. Never
+    /// runs a decision procedure and never touches the hit/miss counters —
+    /// this is the speculation-safe read the batch scheduler predicts with.
+    pub fn peek(&self, kind: RelevanceKind, access: &Access) -> Option<bool> {
+        if !self.use_cache {
+            return None;
+        }
+        let map = match kind {
+            RelevanceKind::Immediate => &self.cache.immediate,
+            RelevanceKind::LongTerm => &self.cache.long_term,
+        };
+        map.get(access).map(|&(verdict, _)| verdict)
+    }
+
+    /// Immediate-relevance check, via the cache when enabled.
+    pub fn check_ir(&mut self, access: &Access, conf: &Configuration) -> bool {
+        self.check(RelevanceKind::Immediate, access, conf)
+    }
+
+    /// Long-term-relevance check, via the cache when enabled. LTR verdicts
+    /// consult the global active domain, so they depend on every relation.
+    pub fn check_ltr(&mut self, access: &Access, conf: &Configuration) -> bool {
+        self.check(RelevanceKind::LongTerm, access, conf)
+    }
+
+    /// Drops every cached verdict that inspected `relation` (call after a
+    /// response added facts to it).
+    pub fn invalidate(&mut self, relation: RelationId) {
+        if self.use_cache {
+            self.cache.invalidate(relation);
+        }
+    }
+
+    /// Verdicts answered from the cache so far.
+    pub fn hits(&self) -> usize {
+        self.cache.hits
+    }
+
+    /// Verdicts that ran a decision procedure so far.
+    pub fn misses(&self) -> usize {
+        self.cache.misses
+    }
+
+    /// Takes the ordered log of decision-procedure invocations.
+    pub fn take_log(&mut self) -> Vec<VerdictRecord> {
+        std::mem::take(&mut self.log)
+    }
+
+    /// Picks the next access to execute from `candidates` (in candidate
+    /// order) according to `strategy`, counting rejected candidates into
+    /// `skipped` exactly as the sequential engine reports them.
+    pub fn select(
+        &mut self,
+        strategy: Strategy,
+        candidates: &[&Access],
+        conf: &Configuration,
+        skipped: &mut usize,
+    ) -> Option<Access> {
+        match strategy {
+            Strategy::Exhaustive => candidates.first().map(|a| (*a).clone()),
+            Strategy::IrGuided => {
+                for a in candidates {
+                    if self.check_ir(a, conf) {
+                        return Some((*a).clone());
+                    }
+                    *skipped += 1;
+                }
+                None
+            }
+            Strategy::LtrGuided => {
+                for a in candidates {
+                    if self.check_ltr(a, conf) {
+                        return Some((*a).clone());
+                    }
+                    *skipped += 1;
+                }
+                None
+            }
+            Strategy::Hybrid => {
+                for a in candidates {
+                    if self.check_ir(a, conf) {
+                        return Some((*a).clone());
+                    }
+                }
+                for a in candidates {
+                    if self.check_ltr(a, conf) {
+                        return Some((*a).clone());
+                    }
+                    *skipped += 1;
+                }
+                None
+            }
+        }
+    }
+}

@@ -34,12 +34,47 @@ pub enum ResponsePolicy {
 }
 
 /// Cumulative statistics about the calls made to a source.
+///
+/// Successful, retried and ultimately-failed calls are tracked separately:
+/// `calls` counts only the calls that delivered a response, while transient
+/// failures absorbed by a retry loop land in `retries` and calls abandoned
+/// after exhausting their retries land in `failures`. The in-process
+/// [`DeepWebSource`] never fails, so it only ever increments `calls`; the
+/// simulated backends of `accrel-federation` fill in the other two.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct SourceStats {
-    /// Number of accesses executed.
+    /// Number of accesses that delivered a response.
     pub calls: usize,
-    /// Total number of tuples returned across all calls.
+    /// Transient failures that were absorbed by retrying.
+    pub retries: usize,
+    /// Calls that ultimately failed (no response delivered).
+    pub failures: usize,
+    /// Total number of tuples returned across all successful calls.
     pub tuples_returned: usize,
+}
+
+impl SourceStats {
+    /// The traffic accumulated since `earlier` (field-wise difference of two
+    /// snapshots of the same monotone counters).
+    pub fn since(&self, earlier: &SourceStats) -> SourceStats {
+        SourceStats {
+            calls: self.calls.saturating_sub(earlier.calls),
+            retries: self.retries.saturating_sub(earlier.retries),
+            failures: self.failures.saturating_sub(earlier.failures),
+            tuples_returned: self.tuples_returned.saturating_sub(earlier.tuples_returned),
+        }
+    }
+
+    /// Field-wise sum of two stats (for aggregating across the sources of a
+    /// federation).
+    pub fn merged(&self, other: &SourceStats) -> SourceStats {
+        SourceStats {
+            calls: self.calls + other.calls,
+            retries: self.retries + other.retries,
+            failures: self.failures + other.failures,
+            tuples_returned: self.tuples_returned + other.tuples_returned,
+        }
+    }
 }
 
 /// A deep-Web source: a hidden instance exposed only through access methods.

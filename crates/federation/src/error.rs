@@ -1,0 +1,112 @@
+//! Errors of the federation runtime.
+
+use std::fmt;
+
+use accrel_access::AccessError;
+
+/// Why a source call did not deliver a response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SourceError {
+    /// The access layer rejected the call (unknown method, bad binding, …).
+    Access(AccessError),
+    /// A (simulated) transient failure persisted through every allowed
+    /// retry.
+    Unavailable {
+        /// The source that failed.
+        source: String,
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+impl fmt::Display for SourceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SourceError::Access(e) => write!(f, "access error: {e}"),
+            SourceError::Unavailable { source, reason } => {
+                write!(f, "source `{source}` unavailable: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SourceError {}
+
+impl From<AccessError> for SourceError {
+    fn from(e: AccessError) -> Self {
+        SourceError::Access(e)
+    }
+}
+
+/// Errors raised when assembling a [`crate::Federation`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FederationError {
+    /// A method name could not be resolved in the shared registry.
+    UnknownMethod(String),
+    /// A source was registered over a different schema than the federation.
+    SchemaMismatch {
+        /// The offending source.
+        source: String,
+    },
+    /// A method was routed to two different sources.
+    DuplicateRoute {
+        /// The method routed twice.
+        method: String,
+    },
+    /// After building, some methods had no source to serve them.
+    UnroutedMethods(
+        /// The names of the unrouted methods.
+        Vec<String>,
+    ),
+}
+
+impl fmt::Display for FederationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FederationError::UnknownMethod(name) => write!(f, "unknown access method `{name}`"),
+            FederationError::SchemaMismatch { source } => {
+                write!(f, "source `{source}` ranges over a different schema")
+            }
+            FederationError::DuplicateRoute { method } => {
+                write!(f, "method `{method}` routed to more than one source")
+            }
+            FederationError::UnroutedMethods(names) => {
+                write!(f, "methods with no serving source: {}", names.join(", "))
+            }
+        }
+    }
+}
+
+impl std::error::Error for FederationError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use accrel_access::AccessMethodId;
+
+    #[test]
+    fn display_messages() {
+        let e: SourceError = AccessError::UnknownMethod(AccessMethodId(3)).into();
+        assert!(e.to_string().contains("#3"));
+        assert!(SourceError::Unavailable {
+            source: "s".into(),
+            reason: "flaked".into()
+        }
+        .to_string()
+        .contains("flaked"));
+        assert!(FederationError::UnknownMethod("m".into())
+            .to_string()
+            .contains("`m`"));
+        assert!(FederationError::SchemaMismatch { source: "s".into() }
+            .to_string()
+            .contains("schema"));
+        assert!(FederationError::DuplicateRoute { method: "m".into() }
+            .to_string()
+            .contains("more than one"));
+        assert!(
+            FederationError::UnroutedMethods(vec!["a".into(), "b".into()])
+                .to_string()
+                .contains("a, b")
+        );
+    }
+}

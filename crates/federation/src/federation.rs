@@ -1,0 +1,301 @@
+//! The federation registry: which source serves which access method.
+
+use std::sync::Arc;
+
+use accrel_access::{Access, AccessMethodId, AccessMethods, Response};
+use accrel_schema::Schema;
+
+use crate::error::{FederationError, SourceError};
+use crate::source::{BackendStats, Source};
+
+/// A registry of autonomous sources sharing one access-method registry,
+/// with a total routing from methods to sources. This is the "many Web
+/// forms, many providers" layer the paper's federated-engine motivation
+/// assumes: the engine still reasons over a single `ACS`, but each access
+/// is answered by the provider that owns the form.
+pub struct Federation {
+    methods: AccessMethods,
+    sources: Vec<Box<dyn Source>>,
+    /// Method index → source index.
+    route: Vec<usize>,
+}
+
+impl std::fmt::Debug for Federation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Federation")
+            .field("methods", &self.methods.len())
+            .field(
+                "sources",
+                &self.sources.iter().map(|s| s.name()).collect::<Vec<_>>(),
+            )
+            .field("route", &self.route)
+            .finish()
+    }
+}
+
+impl Federation {
+    /// Starts assembling a federation over `methods`.
+    pub fn builder(methods: AccessMethods) -> FederationBuilder {
+        let method_count = methods.len();
+        FederationBuilder {
+            methods,
+            sources: Vec::new(),
+            route: vec![None; method_count],
+        }
+    }
+
+    /// The common case of one source serving every method.
+    pub fn single(source: impl Source + 'static) -> Self {
+        let methods = source.methods().clone();
+        let method_count = methods.len();
+        Federation {
+            methods,
+            sources: vec![Box::new(source)],
+            route: vec![0; method_count],
+        }
+    }
+
+    /// The shared access-method registry.
+    pub fn methods(&self) -> &AccessMethods {
+        &self.methods
+    }
+
+    /// The schema the federation ranges over.
+    pub fn schema(&self) -> &Arc<Schema> {
+        self.methods.schema()
+    }
+
+    /// Number of registered sources.
+    pub fn source_count(&self) -> usize {
+        self.sources.len()
+    }
+
+    /// The source serving `method`.
+    pub fn source_for(&self, method: AccessMethodId) -> Option<&dyn Source> {
+        self.route
+            .get(method.index())
+            .map(|&i| self.sources[i].as_ref())
+    }
+
+    /// Routes an access to its serving source and executes it.
+    pub fn call(&self, access: &Access) -> Result<Response, SourceError> {
+        let source = self
+            .source_for(access.method())
+            .ok_or_else(|| SourceError::Unavailable {
+                source: "<federation>".to_string(),
+                reason: format!("no source serves {}", access.method()),
+            })?;
+        source.call(access)
+    }
+
+    /// Aggregate statistics across every source.
+    pub fn stats(&self) -> BackendStats {
+        self.sources
+            .iter()
+            .fold(BackendStats::default(), |acc, s| acc.merged(&s.stats()))
+    }
+
+    /// Per-source statistics, in registration order.
+    pub fn per_source_stats(&self) -> Vec<(String, BackendStats)> {
+        self.sources
+            .iter()
+            .map(|s| (s.name().to_string(), s.stats()))
+            .collect()
+    }
+
+    /// Resets every source's statistics.
+    pub fn reset_stats(&self) {
+        for s in &self.sources {
+            s.reset_stats();
+        }
+    }
+}
+
+/// Builder for [`Federation`].
+pub struct FederationBuilder {
+    methods: AccessMethods,
+    sources: Vec<Box<dyn Source>>,
+    route: Vec<Option<usize>>,
+}
+
+impl std::fmt::Debug for FederationBuilder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FederationBuilder")
+            .field("methods", &self.methods.len())
+            .field(
+                "sources",
+                &self.sources.iter().map(|s| s.name()).collect::<Vec<_>>(),
+            )
+            .field("route", &self.route)
+            .finish()
+    }
+}
+
+impl FederationBuilder {
+    /// Registers `source` as the server of the named methods. The source
+    /// must range over the same schema instance as the federation.
+    pub fn source(
+        mut self,
+        source: impl Source + 'static,
+        method_names: &[&str],
+    ) -> Result<Self, FederationError> {
+        if !Arc::ptr_eq(source.methods().schema(), self.methods.schema()) {
+            return Err(FederationError::SchemaMismatch {
+                source: source.name().to_string(),
+            });
+        }
+        let index = self.sources.len();
+        for name in method_names {
+            let id = self
+                .methods
+                .by_name(name)
+                .map_err(|_| FederationError::UnknownMethod((*name).to_string()))?;
+            let slot = &mut self.route[id.index()];
+            if slot.is_some() {
+                return Err(FederationError::DuplicateRoute {
+                    method: (*name).to_string(),
+                });
+            }
+            *slot = Some(index);
+        }
+        self.sources.push(Box::new(source));
+        Ok(self)
+    }
+
+    /// Finalises the federation; every method must have a serving source.
+    pub fn build(self) -> Result<Federation, FederationError> {
+        let unrouted: Vec<String> = self
+            .route
+            .iter()
+            .enumerate()
+            .filter(|(_, slot)| slot.is_none())
+            .map(|(i, _)| {
+                self.methods
+                    .get(AccessMethodId(i as u32))
+                    .map(|m| m.name().to_string())
+                    .unwrap_or_else(|_| format!("#{i}"))
+            })
+            .collect();
+        if !unrouted.is_empty() {
+            return Err(FederationError::UnroutedMethods(unrouted));
+        }
+        Ok(Federation {
+            methods: self.methods,
+            sources: self.sources,
+            route: self
+                .route
+                .into_iter()
+                .map(|s| s.expect("checked"))
+                .collect(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::SimulatedSource;
+    use accrel_access::{binding, AccessMode};
+    use accrel_schema::{Instance, Schema};
+
+    fn setup() -> (AccessMethods, Instance) {
+        let mut b = Schema::builder();
+        let d = b.domain("D").unwrap();
+        b.relation("R", &[("a", d), ("b", d)]).unwrap();
+        b.relation("S", &[("a", d)]).unwrap();
+        let schema = b.build();
+        let mut mb = AccessMethods::builder(schema.clone());
+        mb.add("RAcc", "R", &["a"], AccessMode::Dependent).unwrap();
+        mb.add_free("SAll", "S", AccessMode::Dependent).unwrap();
+        let methods = mb.build();
+        let mut inst = Instance::new(schema);
+        inst.insert_named("R", ["k", "v"]).unwrap();
+        inst.insert_named("S", ["k"]).unwrap();
+        (methods, inst)
+    }
+
+    #[test]
+    fn routing_dispatches_to_the_right_source() {
+        let (methods, inst) = setup();
+        let r_source = SimulatedSource::exact("r-provider", inst.clone(), methods.clone());
+        let s_source = SimulatedSource::exact("s-provider", inst, methods.clone());
+        let federation = Federation::builder(methods.clone())
+            .source(r_source, &["RAcc"])
+            .unwrap()
+            .source(s_source, &["SAll"])
+            .unwrap()
+            .build()
+            .unwrap();
+        assert_eq!(federation.source_count(), 2);
+        let r_acc = methods.by_name("RAcc").unwrap();
+        let s_all = methods.by_name("SAll").unwrap();
+        assert_eq!(federation.source_for(r_acc).unwrap().name(), "r-provider");
+        assert_eq!(federation.source_for(s_all).unwrap().name(), "s-provider");
+        let resp = federation
+            .call(&Access::new(s_all, binding(Vec::<&str>::new())))
+            .unwrap();
+        assert_eq!(resp.len(), 1);
+        let per_source = federation.per_source_stats();
+        assert_eq!(per_source[0].1.source.calls, 0);
+        assert_eq!(per_source[1].1.source.calls, 1);
+        assert_eq!(federation.stats().source.calls, 1);
+        federation.reset_stats();
+        assert_eq!(federation.stats().source.calls, 0);
+        assert!(format!("{federation:?}").contains("r-provider"));
+    }
+
+    #[test]
+    fn single_source_federation_serves_everything() {
+        let (methods, inst) = setup();
+        let federation = Federation::single(SimulatedSource::exact("only", inst, methods.clone()));
+        for (id, _) in methods.iter() {
+            assert!(federation.source_for(id).is_some());
+        }
+        assert_eq!(federation.schema().relation_count(), 2);
+    }
+
+    #[test]
+    fn builder_rejects_bad_registrations() {
+        let (methods, inst) = setup();
+        // Unknown method name.
+        let err = Federation::builder(methods.clone())
+            .source(
+                SimulatedSource::exact("s", inst.clone(), methods.clone()),
+                &["Nope"],
+            )
+            .unwrap_err();
+        assert!(matches!(err, FederationError::UnknownMethod(_)));
+        // Duplicate route.
+        let err = Federation::builder(methods.clone())
+            .source(
+                SimulatedSource::exact("a", inst.clone(), methods.clone()),
+                &["RAcc"],
+            )
+            .unwrap()
+            .source(
+                SimulatedSource::exact("b", inst.clone(), methods.clone()),
+                &["RAcc"],
+            )
+            .unwrap_err();
+        assert!(matches!(err, FederationError::DuplicateRoute { .. }));
+        // Unrouted method at build time.
+        let err = Federation::builder(methods.clone())
+            .source(
+                SimulatedSource::exact("a", inst.clone(), methods.clone()),
+                &["RAcc"],
+            )
+            .unwrap()
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, FederationError::UnroutedMethods(_)));
+        // Schema mismatch.
+        let (other_methods, other_inst) = setup();
+        let err = Federation::builder(methods)
+            .source(
+                SimulatedSource::exact("other", other_inst, other_methods),
+                &["RAcc"],
+            )
+            .unwrap_err();
+        assert!(matches!(err, FederationError::SchemaMismatch { .. }));
+    }
+}

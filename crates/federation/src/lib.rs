@@ -1,0 +1,40 @@
+//! # accrel-federation
+//!
+//! The concurrent federation runtime: the execution layer that turns the
+//! paper's "mediator querying many autonomous deep-Web sources" motivation
+//! into a measurable subsystem.
+//!
+//! * [`Source`] — a thread-safe deep-Web source. [`SimulatedSource`]
+//!   composes backend models (per-source [`LatencyModel`] distributions,
+//!   deterministic [`FlakyModel`] transient failures with retry accounting,
+//!   paged responses) over a hidden instance; [`PolicySource`] adapts the
+//!   engine crate's [`accrel_engine::DeepWebSource`] and its response
+//!   policies.
+//! * [`Federation`] — the registry mapping access methods to the sources
+//!   that serve them, with per-source and aggregate [`BackendStats`].
+//! * [`BatchScheduler`] — executes relevance-verified batches of accesses
+//!   concurrently through `std::thread::scope` while reporting exactly the
+//!   sequential engine's `access_sequence`, relevance verdicts, certain
+//!   answers and final configuration (see the [`scheduler`] module docs for
+//!   the determinism invariant).
+//! * [`parallel_relevance_sweep`] — fan-out evaluation of the (pure)
+//!   relevance decision procedures across worker threads.
+//!
+//! Garrison & Lee-style actor simulations motivate the backend models:
+//! heterogeneous latency/failure behaviour makes the runtime measurable
+//! without leaving the deterministic, offline test environment.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod error;
+mod federation;
+pub mod scheduler;
+mod source;
+mod sweep;
+
+pub use error::{FederationError, SourceError};
+pub use federation::{Federation, FederationBuilder};
+pub use scheduler::{BatchOptions, BatchScheduler, SpeculationMode};
+pub use source::{BackendStats, FlakyModel, LatencyModel, PolicySource, SimulatedSource, Source};
+pub use sweep::parallel_relevance_sweep;

@@ -1,0 +1,572 @@
+//! The batch scheduler: sequential semantics, concurrent execution.
+//!
+//! # Determinism invariant
+//!
+//! [`BatchScheduler::run`] executes the *same* round structure as the
+//! sequential [`accrel_engine::FederatedEngine`]: every round it refreshes the incremental
+//! access frontier, asks the shared [`RelevanceOracle`] which access the
+//! strategy would execute next, applies that access's response, and
+//! invalidates cached verdicts by relation — the identical code path, with
+//! identical candidate ordering (the sorted pending set). Concurrency enters
+//! *only* through speculative response prefetching: before calling the
+//! source for the selected access, the scheduler predicts the accesses the
+//! strategy would pick next if every response were empty (from cached
+//! verdicts alone, or — under [`SpeculationMode::Eager`] — via a scratch
+//! copy of the oracle, so predictions never touch the authoritative verdict
+//! log), partitions this relevance-verified batch across
+//! `std::thread::scope` workers, and caches the responses. The merge loop
+//! then consumes cached responses in selection order — deterministically,
+//! regardless of which worker finished first.
+//!
+//! Consequently, for sources whose response to an access is a deterministic
+//! function of the access alone (every [`crate::SimulatedSource`], and
+//! [`crate::PolicySource`] under the `Exact` / `FirstK` policies), a batched
+//! run reports the **same** `access_sequence`, relevance-verdict log,
+//! certain-answer verdict, answers and final configuration as the
+//! sequential engine, for every strategy — only the wall-clock and the
+//! per-source call counts (speculative prefetches) differ. Order-sensitive
+//! policies (`SoundSample` draws from one shared RNG stream) keep soundness
+//! but not byte-equality; the equivalence tests pin the deterministic
+//! policies.
+//!
+//! Mispredicted prefetches are not discarded: a deterministic response
+//! fetched early stays valid, so it is kept in the response cache until the
+//! merge loop selects its access (or the run ends, which is the only way a
+//! prefetch is wasted — reported in [`BatchStats::speculative_wasted`]).
+
+use std::collections::{BTreeSet, HashMap};
+
+use accrel_access::enumerate::EnumerationOptions;
+use accrel_access::frontier::AccessFrontier;
+use accrel_access::{apply_access, Access, Response};
+use accrel_engine::{
+    BatchStats, EngineOptions, RelevanceKind, RelevanceOracle, RunReport, Strategy,
+};
+use accrel_query::{certain, Query};
+use accrel_schema::{Configuration, Value};
+
+use crate::error::SourceError;
+use crate::federation::Federation;
+
+/// How the scheduler predicts the follow-up accesses of a batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpeculationMode {
+    /// Predict only from verdicts already in the relevance cache: free (no
+    /// extra decision-procedure invocations) and never mispredicts while the
+    /// cache stays valid, but guided strategies only form large batches in
+    /// rounds whose verdicts are already warm. Exhaustive batches are always
+    /// full since they need no verdicts.
+    CachedOnly,
+    /// Run the decision procedures speculatively on a scratch copy of the
+    /// oracle (discarded afterwards, so the authoritative verdict log is
+    /// untouched). Buys relevance-verified batches for the guided strategies
+    /// at the price of duplicated checks — worth it exactly when source
+    /// latency dominates check cost.
+    Eager,
+}
+
+/// Options of a batched run.
+#[derive(Debug, Clone)]
+pub struct BatchOptions {
+    /// The sequential engine options (access cap, budget, relevance cache).
+    pub engine: EngineOptions,
+    /// Maximum accesses prefetched per batch (1 disables speculation).
+    pub batch_size: usize,
+    /// Maximum worker threads issuing one batch's source calls.
+    pub workers: usize,
+    /// How follow-up accesses are predicted.
+    pub speculation: SpeculationMode,
+}
+
+impl Default for BatchOptions {
+    fn default() -> Self {
+        Self {
+            engine: EngineOptions::default(),
+            batch_size: 8,
+            workers: 4,
+            speculation: SpeculationMode::CachedOnly,
+        }
+    }
+}
+
+/// A federated engine that executes relevance-verified batches of accesses
+/// concurrently while preserving the sequential engine's semantics (see the
+/// module documentation for the determinism invariant).
+#[derive(Debug)]
+pub struct BatchScheduler<'a> {
+    federation: &'a Federation,
+    query: Query,
+    strategy: Strategy,
+    options: BatchOptions,
+}
+
+impl<'a> BatchScheduler<'a> {
+    /// Creates a scheduler for `query` over `federation` using `strategy`.
+    pub fn new(federation: &'a Federation, query: Query, strategy: Strategy) -> Self {
+        Self {
+            federation,
+            query,
+            strategy,
+            options: BatchOptions::default(),
+        }
+    }
+
+    /// Replaces the run options.
+    pub fn with_options(mut self, options: BatchOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Runs the batched engine from `initial`. The returned report's
+    /// `batch_stats` describe the speculation traffic; everything else
+    /// matches what [`accrel_engine::FederatedEngine::run`] would report against sources
+    /// returning the same responses.
+    pub fn run(&self, initial: &Configuration) -> RunReport {
+        let methods = self.federation.methods();
+        let mut conf = initial.clone();
+        let mut accesses_made = 0usize;
+        let mut accesses_skipped = 0usize;
+        let mut tuples_retrieved = 0usize;
+        let mut rounds = 0usize;
+        let mut access_sequence: Vec<Access> = Vec::new();
+        let mut oracle = RelevanceOracle::new(&self.query, methods, &self.options.engine);
+        let stats_before = self.federation.stats();
+
+        let enum_options = EnumerationOptions {
+            guessable_values: self.guessable_pool(initial),
+            max_accesses: usize::MAX,
+        };
+        let mut frontier = AccessFrontier::new(methods, enum_options);
+        let mut pending: BTreeSet<Access> = BTreeSet::new();
+        let mut prefetched: HashMap<Access, Result<Response, SourceError>> = HashMap::new();
+        let mut batch_stats = BatchStats {
+            workers: self.options.workers.max(1),
+            ..BatchStats::default()
+        };
+
+        loop {
+            rounds += 1;
+            if self.options.engine.stop_when_certain
+                && self.query.is_boolean()
+                && certain::is_certain(&self.query, &conf)
+            {
+                break;
+            }
+            if accesses_made >= self.options.engine.max_accesses {
+                break;
+            }
+            pending.extend(frontier.refresh(&conf, methods));
+            if pending.is_empty() {
+                break;
+            }
+            let selected = {
+                let candidates: Vec<&Access> = pending.iter().collect();
+                oracle.select(self.strategy, &candidates, &conf, &mut accesses_skipped)
+            };
+            let Some(access) = selected else {
+                break;
+            };
+            pending.remove(&access);
+
+            if !prefetched.contains_key(&access) {
+                let allowance = self
+                    .options
+                    .engine
+                    .max_accesses
+                    .saturating_sub(accesses_made)
+                    .max(1);
+                let batch =
+                    self.predict_batch(&access, &conf, &pending, &oracle, &prefetched, allowance);
+                batch_stats.batches += 1;
+                batch_stats.max_batch = batch_stats.max_batch.max(batch.len());
+                batch_stats.batched_calls += batch.len();
+                let responses = fetch_batch(self.federation, &batch, self.options.workers);
+                for (a, r) in batch.into_iter().zip(responses) {
+                    prefetched.insert(a, r);
+                }
+            }
+            let response = prefetched
+                .remove(&access)
+                .expect("selected access was fetched above");
+            let Ok(response) = response else {
+                // Failed calls consume the candidate without a response —
+                // the sequential engine's behaviour.
+                continue;
+            };
+            tuples_retrieved += response.len();
+            accesses_made += 1;
+            access_sequence.push(access.clone());
+            let before = conf.len();
+            if let Ok(next) = apply_access(&conf, &access, &response, methods) {
+                conf = next;
+            }
+            if conf.len() > before {
+                if let Ok(m) = methods.get(access.method()) {
+                    oracle.invalidate(m.relation());
+                }
+            }
+        }
+
+        batch_stats.speculative_wasted = prefetched.len();
+        RunReport {
+            strategy: self.strategy,
+            certain: certain::is_certain(&self.query, &conf),
+            answers: certain::certain_answers(&self.query, &conf),
+            accesses_made,
+            accesses_skipped,
+            tuples_retrieved,
+            rounds,
+            relevance_cache_hits: oracle.hits(),
+            relevance_cache_misses: oracle.misses(),
+            access_sequence,
+            relevance_verdicts: oracle.take_log(),
+            source_stats: self.federation.stats().since(&stats_before).source,
+            batch_stats,
+            final_configuration: conf,
+        }
+    }
+
+    /// Runs every strategy on the same initial configuration (resetting the
+    /// federation's statistics between runs), mirroring
+    /// [`accrel_engine::FederatedEngine::compare_strategies`].
+    pub fn compare_strategies(
+        federation: &'a Federation,
+        query: &Query,
+        initial: &Configuration,
+        options: &BatchOptions,
+    ) -> Vec<RunReport> {
+        Strategy::all()
+            .into_iter()
+            .map(|strategy| {
+                federation.reset_stats();
+                BatchScheduler::new(federation, query.clone(), strategy)
+                    .with_options(options.clone())
+                    .run(initial)
+            })
+            .collect()
+    }
+
+    /// The batch the strategy would execute next if every response were
+    /// empty: the selected access plus up to `batch_size - 1` follow-ups.
+    /// Accesses whose responses are already cached are skipped — their round
+    /// trip is already paid for.
+    fn predict_batch(
+        &self,
+        first: &Access,
+        conf: &Configuration,
+        pending: &BTreeSet<Access>,
+        oracle: &RelevanceOracle<'_>,
+        prefetched: &HashMap<Access, Result<Response, SourceError>>,
+        allowance: usize,
+    ) -> Vec<Access> {
+        let limit = self.options.batch_size.min(allowance).max(1);
+        let mut batch = vec![first.clone()];
+        if limit == 1 {
+            return batch;
+        }
+        match self.options.speculation {
+            SpeculationMode::Eager => {
+                self.predict_eager(&mut batch, conf, pending, oracle, prefetched, limit)
+            }
+            SpeculationMode::CachedOnly => {
+                self.predict_cached(&mut batch, pending, oracle, prefetched, limit)
+            }
+        }
+        batch
+    }
+
+    /// Eager prediction: replay the strategy's selection on a scratch oracle
+    /// (new verdicts computed, then discarded) over the remaining pending
+    /// candidates.
+    fn predict_eager(
+        &self,
+        batch: &mut Vec<Access>,
+        conf: &Configuration,
+        pending: &BTreeSet<Access>,
+        oracle: &RelevanceOracle<'_>,
+        prefetched: &HashMap<Access, Result<Response, SourceError>>,
+        limit: usize,
+    ) {
+        let mut scratch = oracle.scratch();
+        let mut rest = pending.clone();
+        let mut skipped = 0usize;
+        while batch.len() < limit {
+            let next = {
+                let candidates: Vec<&Access> = rest.iter().collect();
+                scratch.select(self.strategy, &candidates, conf, &mut skipped)
+            };
+            let Some(next) = next else {
+                break;
+            };
+            rest.remove(&next);
+            if !prefetched.contains_key(&next) {
+                batch.push(next);
+            }
+        }
+    }
+
+    /// Cache-only prediction: walk the pending candidates in selection order
+    /// using cached verdicts alone, stopping at the first candidate whose
+    /// needed verdict is unknown (the strategy's next pick cannot be
+    /// anticipated past it without running a decision procedure).
+    fn predict_cached(
+        &self,
+        batch: &mut Vec<Access>,
+        pending: &BTreeSet<Access>,
+        oracle: &RelevanceOracle<'_>,
+        prefetched: &HashMap<Access, Result<Response, SourceError>>,
+        limit: usize,
+    ) {
+        let push = |batch: &mut Vec<Access>, a: &Access| {
+            if !prefetched.contains_key(a) && !batch.contains(a) {
+                batch.push(a.clone());
+            }
+        };
+        match self.strategy {
+            Strategy::Exhaustive => {
+                for a in pending {
+                    if batch.len() >= limit {
+                        break;
+                    }
+                    push(batch, a);
+                }
+            }
+            Strategy::IrGuided | Strategy::LtrGuided => {
+                let kind = if self.strategy == Strategy::IrGuided {
+                    RelevanceKind::Immediate
+                } else {
+                    RelevanceKind::LongTerm
+                };
+                for a in pending {
+                    if batch.len() >= limit {
+                        break;
+                    }
+                    match oracle.peek(kind, a) {
+                        Some(true) => push(batch, a),
+                        Some(false) => {}
+                        None => break,
+                    }
+                }
+            }
+            Strategy::Hybrid => {
+                // IR pass: predict successive IR-relevant picks; an unknown
+                // IR verdict blocks everything after it (including the LTR
+                // fallback, which sequentially only runs when every IR
+                // verdict is false).
+                let mut all_ir_known_false = true;
+                for a in pending {
+                    if batch.len() >= limit {
+                        return;
+                    }
+                    match oracle.peek(RelevanceKind::Immediate, a) {
+                        Some(true) => {
+                            all_ir_known_false = false;
+                            push(batch, a);
+                        }
+                        Some(false) => {}
+                        None => return,
+                    }
+                }
+                if !all_ir_known_false {
+                    return;
+                }
+                for a in pending {
+                    if batch.len() >= limit {
+                        break;
+                    }
+                    match oracle.peek(RelevanceKind::LongTerm, a) {
+                        Some(true) => push(batch, a),
+                        Some(false) => {}
+                        None => break,
+                    }
+                }
+            }
+        }
+    }
+
+    /// The pool of guessable values for independent accesses — identical to
+    /// the sequential engine's pool so enumeration agrees.
+    fn guessable_pool(&self, initial: &Configuration) -> Vec<Value> {
+        let mut pool = self.options.engine.guessable_values.clone();
+        for c in self.query.constants() {
+            if !pool.contains(&c) {
+                pool.push(c);
+            }
+        }
+        for v in initial.all_values() {
+            if !pool.contains(&v) {
+                pool.push(v);
+            }
+        }
+        pool.sort();
+        pool
+    }
+}
+
+/// Issues every access of `batch` against the federation across at most
+/// `workers` scoped threads. The result vector is aligned with `batch` —
+/// thread completion order never shows.
+fn fetch_batch(
+    federation: &Federation,
+    batch: &[Access],
+    workers: usize,
+) -> Vec<Result<Response, SourceError>> {
+    crate::sweep::parallel_map(batch, workers, |a| federation.call(a))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::{FlakyModel, LatencyModel, SimulatedSource};
+    use accrel_engine::scenarios::bank_scenario;
+    use accrel_engine::{DeepWebSource, FederatedEngine, ResponsePolicy};
+
+    fn bank_federation() -> (Federation, accrel_engine::scenarios::Scenario) {
+        let scenario = bank_scenario();
+        let federation = Federation::single(SimulatedSource::exact(
+            "bank",
+            scenario.instance.clone(),
+            scenario.methods.clone(),
+        ));
+        (federation, scenario)
+    }
+
+    #[test]
+    fn batched_run_answers_the_bank_query() {
+        let (federation, scenario) = bank_federation();
+        let report = BatchScheduler::new(&federation, scenario.query.clone(), Strategy::Exhaustive)
+            .run(&scenario.initial_configuration);
+        assert!(report.certain);
+        assert!(report.accesses_made > 0);
+        assert!(report.batch_stats.batches > 0);
+        assert!(report.batch_stats.max_batch >= 1);
+        assert_eq!(report.access_sequence.len(), report.accesses_made);
+        // Speculative prefetches may exceed applied accesses, never the
+        // other way round.
+        assert!(report.source_stats.calls >= report.accesses_made);
+    }
+
+    #[test]
+    fn batched_exhaustive_run_matches_sequential_engine_exactly() {
+        let (federation, scenario) = bank_federation();
+        let sequential_source = DeepWebSource::new(
+            scenario.instance.clone(),
+            scenario.methods.clone(),
+            ResponsePolicy::Exact,
+        );
+        for strategy in Strategy::all() {
+            let sequential =
+                FederatedEngine::new(&sequential_source, scenario.query.clone(), strategy)
+                    .run(&scenario.initial_configuration);
+            federation.reset_stats();
+            let batched = BatchScheduler::new(&federation, scenario.query.clone(), strategy)
+                .with_options(BatchOptions {
+                    batch_size: 4,
+                    workers: 3,
+                    ..BatchOptions::default()
+                })
+                .run(&scenario.initial_configuration);
+            assert_eq!(batched.access_sequence, sequential.access_sequence);
+            assert_eq!(batched.certain, sequential.certain);
+            assert_eq!(batched.answers, sequential.answers);
+            assert_eq!(batched.relevance_verdicts, sequential.relevance_verdicts);
+            assert!(batched
+                .final_configuration
+                .same_facts(&sequential.final_configuration));
+        }
+    }
+
+    #[test]
+    fn flaky_and_slow_backends_do_not_change_semantics() {
+        let scenario = bank_scenario();
+        let source =
+            SimulatedSource::exact("bank", scenario.instance.clone(), scenario.methods.clone())
+                .with_latency(LatencyModel::recorded(25))
+                .with_flaky(FlakyModel {
+                    period: 3,
+                    fail_attempts: 1,
+                    retries: 2,
+                })
+                .with_paging(2);
+        let federation = Federation::single(source);
+        let report = BatchScheduler::new(&federation, scenario.query.clone(), Strategy::Hybrid)
+            .run(&scenario.initial_configuration);
+        assert!(report.certain);
+        let stats = federation.stats();
+        assert!(stats.pages_fetched >= stats.source.calls);
+        assert!(stats.simulated_latency_micros > 0);
+        // Flaky retries were absorbed, never surfaced as failures.
+        assert_eq!(stats.source.failures, 0);
+    }
+
+    #[test]
+    fn eager_speculation_preserves_equivalence() {
+        let (federation, scenario) = bank_federation();
+        let engine_options = EngineOptions {
+            max_accesses: 12,
+            budget: accrel_core::SearchBudget::shallow(),
+            ..EngineOptions::default()
+        };
+        let sequential_source = DeepWebSource::new(
+            scenario.instance.clone(),
+            scenario.methods.clone(),
+            ResponsePolicy::Exact,
+        );
+        for strategy in [Strategy::LtrGuided, Strategy::Hybrid] {
+            let sequential =
+                FederatedEngine::new(&sequential_source, scenario.query.clone(), strategy)
+                    .with_options(engine_options.clone())
+                    .run(&scenario.initial_configuration);
+            federation.reset_stats();
+            let batched = BatchScheduler::new(&federation, scenario.query.clone(), strategy)
+                .with_options(BatchOptions {
+                    engine: engine_options.clone(),
+                    batch_size: 3,
+                    workers: 2,
+                    speculation: SpeculationMode::Eager,
+                })
+                .run(&scenario.initial_configuration);
+            assert_eq!(batched.access_sequence, sequential.access_sequence);
+            assert_eq!(batched.relevance_verdicts, sequential.relevance_verdicts);
+            assert_eq!(batched.certain, sequential.certain);
+            assert!(batched
+                .final_configuration
+                .same_facts(&sequential.final_configuration));
+        }
+    }
+
+    #[test]
+    fn batch_size_one_disables_speculation() {
+        let (federation, scenario) = bank_federation();
+        let report = BatchScheduler::new(&federation, scenario.query.clone(), Strategy::Exhaustive)
+            .with_options(BatchOptions {
+                batch_size: 1,
+                workers: 1,
+                ..BatchOptions::default()
+            })
+            .run(&scenario.initial_configuration);
+        assert!(report.certain);
+        assert_eq!(report.batch_stats.batched_calls, report.batch_stats.batches);
+        assert_eq!(report.batch_stats.speculative_wasted, 0);
+        assert_eq!(report.source_stats.calls, report.accesses_made);
+    }
+
+    #[test]
+    fn access_cap_bounds_prefetching_too() {
+        let (federation, scenario) = bank_federation();
+        let report = BatchScheduler::new(&federation, scenario.query.clone(), Strategy::Exhaustive)
+            .with_options(BatchOptions {
+                engine: EngineOptions {
+                    max_accesses: 2,
+                    ..EngineOptions::default()
+                },
+                batch_size: 16,
+                workers: 4,
+                speculation: SpeculationMode::CachedOnly,
+            })
+            .run(&scenario.initial_configuration);
+        assert_eq!(report.accesses_made, 2);
+        // No batch may prefetch past the remaining access allowance.
+        assert!(report.batch_stats.batched_calls <= 2 + report.batch_stats.speculative_wasted);
+    }
+}

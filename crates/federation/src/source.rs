@@ -1,0 +1,515 @@
+//! Pluggable simulated deep-Web backends.
+//!
+//! [`Source`] abstracts the engine-facing contract of a deep-Web source —
+//! "answer this access with a sound response" — behind thread-safe
+//! implementations that the batch scheduler may call concurrently.
+//!
+//! [`SimulatedSource`] composes three backend models over a hidden
+//! [`Instance`]:
+//!
+//! * [`LatencyModel`] — a per-source latency distribution (base + seeded
+//!   deterministic jitter per round trip), optionally realised with real
+//!   `thread::sleep`s so the parallel sweep harness measures genuine
+//!   overlap;
+//! * [`FlakyModel`] — deterministic transient failures with an internal
+//!   retry loop, the retried/failed attempts counted separately from
+//!   successful calls in [`SourceStats`];
+//! * paging — responses delivered in pages of a fixed size, each page a
+//!   simulated round trip.
+//!
+//! All three models affect *cost* (latency, retries, pages), never response
+//! *content*: a `SimulatedSource` always returns the exact matching tuples
+//! in sorted order, which is what lets the batch scheduler promise
+//! sequential-equivalent semantics under concurrency (see
+//! `crate::scheduler`). [`PolicySource`] adapts the single-threaded
+//! [`DeepWebSource`] (with its `ResponsePolicy`, including sound-sampling)
+//! behind a mutex for federations that want the engine crate's policies.
+
+use std::sync::Mutex;
+use std::time::Duration;
+
+use accrel_access::{Access, AccessMethods, Response};
+use accrel_engine::{DeepWebSource, SourceStats};
+use accrel_schema::Instance;
+
+use crate::error::SourceError;
+
+/// A thread-safe deep-Web source: the engine learns about the hidden data
+/// only by calling [`Source::call`].
+pub trait Source: Send + Sync {
+    /// A human-readable source name (used in stats and error messages).
+    fn name(&self) -> &str;
+    /// The access methods this source understands. Sources of one
+    /// federation share a single registry.
+    fn methods(&self) -> &AccessMethods;
+    /// Executes an access and returns its (sound) response, or an error for
+    /// calls the source could not serve.
+    fn call(&self, access: &Access) -> Result<Response, SourceError>;
+    /// Cumulative backend statistics.
+    fn stats(&self) -> BackendStats;
+    /// Resets the statistics (and any per-run simulation counters).
+    fn reset_stats(&self);
+}
+
+/// Backend statistics: the engine-level [`SourceStats`] plus simulation
+/// extras.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BackendStats {
+    /// Successful / retried / failed call accounting.
+    pub source: SourceStats,
+    /// Pages fetched by paged backends (0 for unpaged ones).
+    pub pages_fetched: usize,
+    /// Total simulated latency attributed to this source, in microseconds.
+    pub simulated_latency_micros: u64,
+}
+
+impl BackendStats {
+    /// Field-wise sum (for aggregating across a federation's sources).
+    pub fn merged(&self, other: &BackendStats) -> BackendStats {
+        BackendStats {
+            source: self.source.merged(&other.source),
+            pages_fetched: self.pages_fetched + other.pages_fetched,
+            simulated_latency_micros: self.simulated_latency_micros
+                + other.simulated_latency_micros,
+        }
+    }
+
+    /// The stats accumulated since `earlier`.
+    pub fn since(&self, earlier: &BackendStats) -> BackendStats {
+        BackendStats {
+            source: self.source.since(&earlier.source),
+            pages_fetched: self.pages_fetched.saturating_sub(earlier.pages_fetched),
+            simulated_latency_micros: self
+                .simulated_latency_micros
+                .saturating_sub(earlier.simulated_latency_micros),
+        }
+    }
+}
+
+/// A per-source latency distribution: `base + jitter` microseconds per
+/// simulated round trip, with the jitter drawn deterministically from the
+/// access and the trip index (no shared RNG state, so concurrent calls see
+/// the same latencies regardless of scheduling order).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LatencyModel {
+    /// Fixed cost per round trip, in microseconds.
+    pub base_micros: u64,
+    /// Upper bound (exclusive) of the deterministic per-trip jitter.
+    pub jitter_micros: u64,
+    /// Seed mixed into the jitter hash.
+    pub seed: u64,
+    /// Realise the latency with `thread::sleep` (for throughput harnesses);
+    /// when `false` the latency is only recorded in the stats.
+    pub sleep: bool,
+}
+
+impl LatencyModel {
+    /// A fixed latency of `base_micros` per round trip, recorded but not
+    /// slept.
+    pub fn recorded(base_micros: u64) -> Self {
+        Self {
+            base_micros,
+            jitter_micros: 0,
+            seed: 0,
+            sleep: false,
+        }
+    }
+
+    /// Like [`LatencyModel::recorded`] but realised with real sleeps.
+    pub fn slept(base_micros: u64, jitter_micros: u64) -> Self {
+        Self {
+            base_micros,
+            jitter_micros,
+            seed: 0,
+            sleep: true,
+        }
+    }
+
+    fn trip_micros(&self, access: &Access, trip: u64) -> u64 {
+        if self.jitter_micros == 0 {
+            return self.base_micros;
+        }
+        let h = splitmix(access_hash(access) ^ self.seed ^ trip.wrapping_mul(0x9e37));
+        self.base_micros + h % self.jitter_micros
+    }
+}
+
+/// Deterministic transient failures. An access is *flaky* when its hash
+/// lands in the model's window; a flaky access fails its first
+/// `fail_attempts` attempts of every call, and the source retries up to
+/// `retries` times before giving up. Failures depend only on the access, so
+/// concurrent and sequential executions see the same outcomes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlakyModel {
+    /// One in `period` accesses is flaky (`period = 1` makes every access
+    /// flaky; `0` disables the model).
+    pub period: u64,
+    /// How many attempts of a flaky access fail before one succeeds.
+    pub fail_attempts: usize,
+    /// Transparent retries the source performs per call.
+    pub retries: usize,
+}
+
+impl FlakyModel {
+    fn planned_failures(&self, access: &Access) -> usize {
+        if self.period == 0 {
+            return 0;
+        }
+        if splitmix(access_hash(access)) % self.period == 0 {
+            self.fail_attempts
+        } else {
+            0
+        }
+    }
+}
+
+/// A deterministic 64-bit hash of an access (method id + binding values).
+fn access_hash(access: &Access) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64 ^ u64::from(access.method().0);
+    for v in access.binding().values() {
+        let bytes = v.to_string();
+        for b in bytes.as_bytes() {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h = h.rotate_left(7);
+    }
+    h
+}
+
+fn splitmix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[derive(Debug, Default)]
+struct BackendState {
+    stats: BackendStats,
+}
+
+/// A thread-safe simulated source over a hidden instance, composing the
+/// latency / flaky / paged backend models. Responses are always the exact
+/// matching tuples in sorted order — the models shape cost, not content.
+#[derive(Debug)]
+pub struct SimulatedSource {
+    name: String,
+    instance: Instance,
+    methods: AccessMethods,
+    latency: Option<LatencyModel>,
+    flaky: Option<FlakyModel>,
+    page_size: Option<usize>,
+    state: Mutex<BackendState>,
+}
+
+impl SimulatedSource {
+    /// An exact, instant, reliable source (no backend model attached).
+    pub fn exact(name: impl Into<String>, instance: Instance, methods: AccessMethods) -> Self {
+        Self {
+            name: name.into(),
+            instance,
+            methods,
+            latency: None,
+            flaky: None,
+            page_size: None,
+            state: Mutex::new(BackendState::default()),
+        }
+    }
+
+    /// Attaches a latency model.
+    pub fn with_latency(mut self, latency: LatencyModel) -> Self {
+        self.latency = Some(latency);
+        self
+    }
+
+    /// Attaches a transient-failure model.
+    pub fn with_flaky(mut self, flaky: FlakyModel) -> Self {
+        self.flaky = Some(flaky);
+        self
+    }
+
+    /// Delivers responses in pages of `page_size` tuples (each page one
+    /// simulated round trip).
+    pub fn with_paging(mut self, page_size: usize) -> Self {
+        self.page_size = Some(page_size.max(1));
+        self
+    }
+
+    /// The hidden instance (tests and ground-truth checks only).
+    pub fn hidden_instance(&self) -> &Instance {
+        &self.instance
+    }
+}
+
+impl Source for SimulatedSource {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn methods(&self) -> &AccessMethods {
+        &self.methods
+    }
+
+    fn call(&self, access: &Access) -> Result<Response, SourceError> {
+        let exact =
+            Response::exact(access, &self.methods, &self.instance).map_err(SourceError::Access)?;
+        let mut tuples: Vec<_> = exact.tuples().to_vec();
+        tuples.sort();
+
+        let planned_failures = self
+            .flaky
+            .as_ref()
+            .map(|f| f.planned_failures(access))
+            .unwrap_or(0);
+        let allowed_retries = self.flaky.as_ref().map(|f| f.retries).unwrap_or(0);
+        let succeeds = planned_failures <= allowed_retries;
+        let failed_attempts = planned_failures.min(allowed_retries + 1);
+        // Round trips: every failed attempt is one; the successful attempt
+        // costs one per page.
+        let pages = match self.page_size {
+            Some(page_size) => tuples.len().div_ceil(page_size).max(1),
+            None => 1,
+        };
+        let trips = failed_attempts as u64 + if succeeds { pages as u64 } else { 0 };
+        let mut latency_micros = 0u64;
+        if let Some(latency) = &self.latency {
+            for trip in 0..trips {
+                latency_micros += latency.trip_micros(access, trip);
+            }
+        }
+
+        {
+            let mut state = self.state.lock().expect("source state poisoned");
+            state.stats.simulated_latency_micros += latency_micros;
+            if succeeds {
+                state.stats.source.calls += 1;
+                state.stats.source.retries += failed_attempts;
+                state.stats.source.tuples_returned += tuples.len();
+                if self.page_size.is_some() {
+                    state.stats.pages_fetched += pages;
+                }
+            } else {
+                state.stats.source.retries += allowed_retries;
+                state.stats.source.failures += 1;
+            }
+        }
+        // Sleep outside the state lock so concurrent calls overlap.
+        if latency_micros > 0 && self.latency.as_ref().map(|l| l.sleep).unwrap_or(false) {
+            std::thread::sleep(Duration::from_micros(latency_micros));
+        }
+        if !succeeds {
+            return Err(SourceError::Unavailable {
+                source: self.name.clone(),
+                reason: format!("transient failure persisted through {allowed_retries} retries"),
+            });
+        }
+        Ok(Response::new(tuples))
+    }
+
+    fn stats(&self) -> BackendStats {
+        self.state
+            .lock()
+            .expect("source state poisoned")
+            .stats
+            .clone()
+    }
+
+    fn reset_stats(&self) {
+        let mut state = self.state.lock().expect("source state poisoned");
+        state.stats = BackendStats::default();
+    }
+}
+
+/// Adapts the engine crate's single-threaded [`DeepWebSource`] — and with it
+/// every [`accrel_engine::ResponsePolicy`], including the order-sensitive
+/// sound-sampling one — behind a mutex. Calls serialise on the lock, so this
+/// adapter gains no concurrency; it exists so federations can mix policy
+/// sources with the simulated backends.
+#[derive(Debug)]
+pub struct PolicySource {
+    name: String,
+    methods: AccessMethods,
+    inner: Mutex<DeepWebSource>,
+}
+
+impl PolicySource {
+    /// Wraps `source` under `name`.
+    pub fn new(name: impl Into<String>, source: DeepWebSource) -> Self {
+        Self {
+            name: name.into(),
+            methods: source.methods().clone(),
+            inner: Mutex::new(source),
+        }
+    }
+}
+
+impl Source for PolicySource {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn methods(&self) -> &AccessMethods {
+        &self.methods
+    }
+
+    fn call(&self, access: &Access) -> Result<Response, SourceError> {
+        self.inner
+            .lock()
+            .expect("source poisoned")
+            .call(access)
+            .map_err(SourceError::Access)
+    }
+
+    fn stats(&self) -> BackendStats {
+        BackendStats {
+            source: self.inner.lock().expect("source poisoned").stats(),
+            ..BackendStats::default()
+        }
+    }
+
+    fn reset_stats(&self) {
+        self.inner.lock().expect("source poisoned").reset_stats();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use accrel_access::{binding, AccessMode};
+    use accrel_engine::ResponsePolicy;
+    use accrel_schema::Schema;
+
+    fn setup() -> (Instance, AccessMethods, Access) {
+        let mut b = Schema::builder();
+        let d = b.domain("D").unwrap();
+        b.relation("R", &[("a", d), ("b", d)]).unwrap();
+        let schema = b.build();
+        let mut mb = AccessMethods::builder(schema.clone());
+        let acc = mb.add("RAcc", "R", &["a"], AccessMode::Dependent).unwrap();
+        let methods = mb.build();
+        let mut inst = Instance::new(schema);
+        for i in 0..10 {
+            inst.insert_named("R", ["k".to_string(), format!("v{i}")])
+                .unwrap();
+        }
+        (inst, methods, Access::new(acc, binding(["k"])))
+    }
+
+    #[test]
+    fn exact_source_returns_sorted_matching_tuples() {
+        let (inst, methods, access) = setup();
+        let source = SimulatedSource::exact("s", inst, methods);
+        let resp = source.call(&access).unwrap();
+        assert_eq!(resp.len(), 10);
+        let mut sorted = resp.tuples().to_vec();
+        sorted.sort();
+        assert_eq!(resp.tuples(), sorted.as_slice());
+        let stats = source.stats();
+        assert_eq!(stats.source.calls, 1);
+        assert_eq!(stats.source.tuples_returned, 10);
+        assert_eq!(stats.source.retries, 0);
+        assert_eq!(stats.source.failures, 0);
+        source.reset_stats();
+        assert_eq!(source.stats(), BackendStats::default());
+    }
+
+    #[test]
+    fn latency_model_is_deterministic_and_recorded() {
+        let (inst, methods, access) = setup();
+        let source = SimulatedSource::exact("s", inst, methods).with_latency(LatencyModel {
+            base_micros: 100,
+            jitter_micros: 50,
+            seed: 7,
+            sleep: false,
+        });
+        source.call(&access).unwrap();
+        let first = source.stats().simulated_latency_micros;
+        assert!((100..150).contains(&first));
+        source.reset_stats();
+        source.call(&access).unwrap();
+        // Same access, same deterministic latency.
+        assert_eq!(source.stats().simulated_latency_micros, first);
+    }
+
+    #[test]
+    fn flaky_model_counts_retries_separately_from_calls() {
+        let (inst, methods, access) = setup();
+        // Every access is flaky, fails twice, and three retries are allowed:
+        // each call succeeds after two absorbed failures.
+        let source = SimulatedSource::exact("s", inst, methods).with_flaky(FlakyModel {
+            period: 1,
+            fail_attempts: 2,
+            retries: 3,
+        });
+        let resp = source.call(&access).unwrap();
+        assert_eq!(resp.len(), 10);
+        let stats = source.stats().source;
+        assert_eq!(stats.calls, 1);
+        assert_eq!(stats.retries, 2);
+        assert_eq!(stats.failures, 0);
+    }
+
+    #[test]
+    fn flaky_model_exhausting_retries_fails_the_call() {
+        let (inst, methods, access) = setup();
+        let source = SimulatedSource::exact("s", inst, methods).with_flaky(FlakyModel {
+            period: 1,
+            fail_attempts: 5,
+            retries: 1,
+        });
+        let err = source.call(&access).unwrap_err();
+        assert!(matches!(err, SourceError::Unavailable { .. }));
+        let stats = source.stats().source;
+        assert_eq!(stats.calls, 0);
+        assert_eq!(stats.failures, 1);
+        assert_eq!(stats.retries, 1);
+        // The outcome is deterministic: calling again fails identically.
+        assert!(source.call(&access).is_err());
+    }
+
+    #[test]
+    fn paged_source_counts_pages_and_returns_everything() {
+        let (inst, methods, access) = setup();
+        let source = SimulatedSource::exact("s", inst, methods)
+            .with_paging(3)
+            .with_latency(LatencyModel::recorded(10));
+        let resp = source.call(&access).unwrap();
+        assert_eq!(resp.len(), 10);
+        let stats = source.stats();
+        // 10 tuples in pages of 3 → 4 pages, each a 10µs round trip.
+        assert_eq!(stats.pages_fetched, 4);
+        assert_eq!(stats.simulated_latency_micros, 40);
+    }
+
+    #[test]
+    fn policy_source_adapts_deep_web_source() {
+        let (inst, methods, access) = setup();
+        let inner = DeepWebSource::new(inst, methods, ResponsePolicy::FirstK(4));
+        let source = PolicySource::new("policy", inner);
+        let resp = source.call(&access).unwrap();
+        assert_eq!(resp.len(), 4);
+        assert_eq!(source.name(), "policy");
+        assert_eq!(source.stats().source.calls, 1);
+        source.reset_stats();
+        assert_eq!(source.stats().source.calls, 0);
+    }
+
+    #[test]
+    fn backend_stats_merge_and_diff() {
+        let a = BackendStats {
+            source: SourceStats {
+                calls: 3,
+                retries: 1,
+                failures: 0,
+                tuples_returned: 12,
+            },
+            pages_fetched: 2,
+            simulated_latency_micros: 100,
+        };
+        let b = a.merged(&a);
+        assert_eq!(b.source.calls, 6);
+        assert_eq!(b.pages_fetched, 4);
+        assert_eq!(b.since(&a), a);
+    }
+}

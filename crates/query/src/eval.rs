@@ -277,9 +277,10 @@ pub fn holds_cq_with_extra(
     find_homomorphism_with_extra(query.atoms(), store, extra, &Valuation::new()).is_some()
 }
 
-/// Evaluates a Boolean positive query over a fact store (via its UCQ form).
+/// Evaluates a Boolean positive query over a fact store (via its cached UCQ
+/// form).
 pub fn holds_pq(query: &PositiveQuery, store: &FactStore) -> bool {
-    query.to_ucq().iter().any(|cq| holds_cq(cq, store))
+    query.ucq().iter().any(|cq| holds_cq(cq, store))
 }
 
 /// Evaluates a Boolean positive query over `store` plus `extra` facts.
@@ -289,7 +290,7 @@ pub fn holds_pq_with_extra(
     extra: &[(RelationId, Tuple)],
 ) -> bool {
     query
-        .to_ucq()
+        .ucq()
         .iter()
         .any(|cq| holds_cq_with_extra(cq, store, extra))
 }
@@ -310,7 +311,7 @@ pub fn answers_cq(query: &ConjunctiveQuery, store: &FactStore) -> Vec<Tuple> {
 /// answers).
 pub fn answers_pq(query: &PositiveQuery, store: &FactStore) -> Vec<Tuple> {
     let mut out: Vec<Tuple> = query
-        .to_ucq()
+        .ucq()
         .iter()
         .flat_map(|cq| answers_cq(cq, store))
         .collect();

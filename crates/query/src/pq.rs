@@ -2,7 +2,7 @@
 
 use std::collections::{HashMap, HashSet};
 use std::fmt;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use accrel_schema::{RelationId, Schema, SchemaError, Value};
 
@@ -149,13 +149,35 @@ impl PqFormula {
 
 /// A positive existential query: a [`PqFormula`] plus free variables and a
 /// variable-name table, over a schema.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// The DNF expansion of the formula is exponential in the worst case, and
+/// the decision procedures of `accrel-core` consult it repeatedly (most
+/// notably `certain::is_certain` inside truncation replays). The expansion
+/// is therefore computed once per query and cached behind a [`OnceLock`];
+/// [`PositiveQuery::ucq`] borrows the cached slice, [`PositiveQuery::to_ucq`]
+/// clones it for callers that need ownership. The cache is ignored by
+/// equality and survives `Clone`.
+#[derive(Debug, Clone)]
 pub struct PositiveQuery {
     schema: Arc<Schema>,
     formula: PqFormula,
     free_vars: Vec<VarId>,
     var_names: Vec<String>,
+    /// Lazily-computed UCQ expansion of `formula`.
+    expanded: OnceLock<Vec<ConjunctiveQuery>>,
 }
+
+impl PartialEq for PositiveQuery {
+    fn eq(&self, other: &Self) -> bool {
+        // The `expanded` cache is derived state and excluded from equality.
+        self.schema == other.schema
+            && self.formula == other.formula
+            && self.free_vars == other.free_vars
+            && self.var_names == other.var_names
+    }
+}
+
+impl Eq for PositiveQuery {}
 
 impl PositiveQuery {
     /// Creates a positive query from raw parts. Prefer [`PqBuilder`].
@@ -170,6 +192,7 @@ impl PositiveQuery {
             formula,
             free_vars,
             var_names,
+            expanded: OnceLock::new(),
         }
     }
 
@@ -185,6 +208,7 @@ impl PositiveQuery {
             formula: PqFormula::And(cq.atoms().iter().cloned().map(PqFormula::Atom).collect()),
             free_vars: cq.free_vars().to_vec(),
             var_names: cq.var_names().to_vec(),
+            expanded: OnceLock::new(),
         }
     }
 
@@ -228,26 +252,36 @@ impl PositiveQuery {
         self.formula.constants()
     }
 
-    /// Converts the query to a union of conjunctive queries, sharing this
-    /// query's variable names and free variables.
+    /// The query as a union of conjunctive queries, sharing this query's
+    /// variable names and free variables. The expansion is computed on first
+    /// use and cached for the lifetime of the query, so truncation replays
+    /// and repeated certainty checks never re-expand the DNF.
+    pub fn ucq(&self) -> &[ConjunctiveQuery] {
+        self.expanded.get_or_init(|| {
+            self.formula
+                .to_dnf()
+                .into_iter()
+                .map(|atoms| {
+                    ConjunctiveQuery::new(
+                        self.schema.clone(),
+                        atoms,
+                        self.free_vars.clone(),
+                        self.var_names.clone(),
+                    )
+                })
+                .collect()
+        })
+    }
+
+    /// Converts the query to an owned union of conjunctive queries (a clone
+    /// of the cached [`PositiveQuery::ucq`] expansion).
     pub fn to_ucq(&self) -> Vec<ConjunctiveQuery> {
-        self.formula
-            .to_dnf()
-            .into_iter()
-            .map(|atoms| {
-                ConjunctiveQuery::new(
-                    self.schema.clone(),
-                    atoms,
-                    self.free_vars.clone(),
-                    self.var_names.clone(),
-                )
-            })
-            .collect()
+        self.ucq().to_vec()
     }
 
     /// Validates every disjunct against the schema.
     pub fn validate(&self) -> Result<(), SchemaError> {
-        for cq in self.to_ucq() {
+        for cq in self.ucq() {
             cq.validate()?;
         }
         Ok(())
@@ -265,6 +299,7 @@ impl PositiveQuery {
                 .filter(|v| !mapping.contains_key(v))
                 .collect(),
             var_names: self.var_names.clone(),
+            expanded: OnceLock::new(),
         }
     }
 
@@ -381,6 +416,7 @@ impl PqBuilder {
             formula,
             free_vars: self.free_vars,
             var_names: self.var_names,
+            expanded: OnceLock::new(),
         }
     }
 }
@@ -528,6 +564,32 @@ mod tests {
         assert!(shown.contains("∨"));
         assert!(shown.contains("∧"));
         assert!(shown.contains("T(x, c)"));
+    }
+
+    #[test]
+    fn ucq_expansion_is_cached_and_ignored_by_equality() {
+        let s = schema();
+        let mut b = PositiveQuery::builder(s.clone());
+        let x = b.var("x");
+        let rx = b.atom("R", vec![Term::Var(x)]).unwrap();
+        let sx = b.atom("S", vec![Term::Var(x)]).unwrap();
+        let q = b.build(rx.or(sx));
+        // The same slice is returned on every call (no re-expansion).
+        let first = q.ucq().as_ptr();
+        let second = q.ucq().as_ptr();
+        assert_eq!(first, second);
+        assert_eq!(q.ucq().len(), 2);
+        // An identical query whose cache is still cold compares equal.
+        let mut b2 = PositiveQuery::builder(s);
+        let x2 = b2.var("x");
+        let rx2 = b2.atom("R", vec![Term::Var(x2)]).unwrap();
+        let sx2 = b2.atom("S", vec![Term::Var(x2)]).unwrap();
+        let cold = b2.build(rx2.or(sx2));
+        assert_eq!(q, cold);
+        // Clones carry the cached expansion.
+        let cloned = q.clone();
+        assert_eq!(cloned.ucq().len(), 2);
+        assert_eq!(cloned, q);
     }
 
     #[test]

@@ -45,11 +45,23 @@ impl Query {
         matches!(self, Query::Cq(_))
     }
 
-    /// Normalises the query to a union of conjunctive queries.
+    /// Normalises the query to an owned union of conjunctive queries.
+    /// Prefer [`Query::ucq`] on hot paths: it borrows the cached expansion
+    /// instead of cloning it.
     pub fn to_ucq(&self) -> Vec<ConjunctiveQuery> {
         match self {
             Query::Cq(q) => vec![q.clone()],
             Query::Pq(q) => q.to_ucq(),
+        }
+    }
+
+    /// The query as a borrowed union of conjunctive queries: a CQ is viewed
+    /// as a one-element slice, a PQ borrows its cached DNF expansion (see
+    /// [`PositiveQuery::ucq`]).
+    pub fn ucq(&self) -> &[ConjunctiveQuery] {
+        match self {
+            Query::Cq(q) => std::slice::from_ref(q),
+            Query::Pq(q) => q.ucq(),
         }
     }
 

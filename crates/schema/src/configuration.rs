@@ -38,13 +38,17 @@ impl Configuration {
         Self { store }
     }
 
-    /// Builds a configuration directly from a list of facts.
+    /// Builds a configuration directly from a list of facts (bulk-loaded).
     pub fn from_facts<I: IntoIterator<Item = Fact>>(schema: Arc<Schema>, facts: I) -> Result<Self> {
         let mut conf = Configuration::empty(schema);
-        for (rel, t) in facts {
-            conf.insert(rel, t)?;
-        }
+        conf.extend_facts(facts)?;
         Ok(conf)
+    }
+
+    /// Bulk-loads facts into the configuration; returns how many were new.
+    /// See [`FactStore::extend_facts`] for the batching behaviour.
+    pub fn extend_facts<I: IntoIterator<Item = Fact>>(&mut self, facts: I) -> Result<usize> {
+        self.store.extend_facts(facts)
     }
 
     /// The schema of the configuration.

@@ -92,6 +92,12 @@ pub fn generate_workload(spec: &WorkloadSpec, rng: &mut StdRng) -> Workload {
 
 /// Generates a random configuration with `facts` facts over the workload's
 /// schema and constant pool.
+///
+/// Facts are drawn in batches sized to the remaining deficit and bulk-loaded
+/// through [`Configuration::extend_facts`] (reserve + batched index build),
+/// which is what makes the 10⁴–10⁵-fact E5 / federation fixtures affordable
+/// to seed. The RNG stream consumed per candidate fact is identical to the
+/// historical one-at-a-time loop, so every seeded workload is unchanged.
 pub fn generate_configuration(
     workload: &Workload,
     facts: usize,
@@ -102,25 +108,26 @@ pub fn generate_configuration(
     if relation_count == 0 {
         return conf;
     }
-    let mut inserted = 0usize;
+    let max_attempts = facts * 10 + 10;
     let mut attempts = 0usize;
-    while inserted < facts && attempts < facts * 10 + 10 {
-        attempts += 1;
-        let rel_index = rng.gen_range(0..relation_count);
-        let (rel_id, rel) = workload
-            .schema
-            .relations_with_ids()
-            .nth(rel_index)
-            .expect("index in range");
-        let tuple: Vec<Value> = (0..rel.arity())
-            .map(|_| workload.constants[rng.gen_range(0..workload.constants.len())].clone())
+    while conf.len() < facts && attempts < max_attempts {
+        let chunk = (facts - conf.len()).min(max_attempts - attempts);
+        let batch: Vec<(accrel_schema::RelationId, accrel_schema::Tuple)> = (0..chunk)
+            .map(|_| {
+                attempts += 1;
+                let rel_index = rng.gen_range(0..relation_count);
+                let (rel_id, rel) = workload
+                    .schema
+                    .relations_with_ids()
+                    .nth(rel_index)
+                    .expect("index in range");
+                let values: Vec<Value> = (0..rel.arity())
+                    .map(|_| workload.constants[rng.gen_range(0..workload.constants.len())].clone())
+                    .collect();
+                (rel_id, accrel_schema::Tuple::new(values))
+            })
             .collect();
-        if conf
-            .insert(rel_id, accrel_schema::Tuple::new(tuple))
-            .unwrap_or(false)
-        {
-            inserted += 1;
-        }
+        let _ = conf.extend_facts(batch);
     }
     conf
 }

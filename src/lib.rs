@@ -15,6 +15,7 @@
 //! | [`access`] | `accrel-access` | access methods, bindings, responses, access paths, truncation |
 //! | [`core`] | `accrel-core` | immediate & long-term relevance, containment under access limitations, reductions, critical tuples |
 //! | [`engine`] | `accrel-engine` | simulated deep-Web sources and the relevance-guided federated engine |
+//! | [`federation`] | `accrel-federation` | concurrent federation runtime: pluggable simulated sources, batch scheduler, parallel relevance sweeps |
 //! | [`workloads`] | `accrel-workloads` | tiling encodings, random generators, synthetic scenarios |
 //!
 //! The [`prelude`] pulls in the names used by the examples and most
@@ -55,6 +56,7 @@
 pub use accrel_access as access;
 pub use accrel_core as core;
 pub use accrel_engine as engine;
+pub use accrel_federation as federation;
 pub use accrel_query as query;
 pub use accrel_schema as schema;
 pub use accrel_workloads as workloads;
@@ -69,6 +71,10 @@ pub mod prelude {
     };
     pub use accrel_engine::{
         DeepWebSource, EngineOptions, FederatedEngine, ResponsePolicy, Strategy,
+    };
+    pub use accrel_federation::{
+        parallel_relevance_sweep, BatchOptions, BatchScheduler, Federation, FlakyModel,
+        LatencyModel, PolicySource, SimulatedSource, Source, SpeculationMode,
     };
     pub use accrel_query::{
         certain, ConjunctiveQuery, PositiveQuery, PqFormula, Query, Term, VarId,

@@ -35,6 +35,11 @@ fn example_bank_federation_runs() {
 }
 
 #[test]
+fn example_federated_sweep_runs() {
+    run_example("federated_sweep");
+}
+
+#[test]
 fn example_relevance_vs_containment_runs() {
     run_example("relevance_vs_containment");
 }

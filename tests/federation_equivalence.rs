@@ -1,0 +1,203 @@
+//! Scheduler-equivalence grid: batched parallel runs must report the same
+//! final configuration, certain-answer verdict, answers, access sequence and
+//! relevance-verdict log as the sequential `FederatedEngine`, across every
+//! strategy, both deterministic response policies (`Exact`, `FirstK`), and
+//! several batch sizes.
+//!
+//! The sequential side runs against a plain `DeepWebSource`; the batched
+//! side runs against a `Federation` wrapping an identically-configured
+//! source behind the `PolicySource` adapter. Both policies answer a given
+//! access with a deterministic response, which is the precondition of the
+//! scheduler's determinism invariant (see `accrel_federation::scheduler`).
+
+use accrel::engine::scenarios::{bank_scenario, bank_scenario_negative, Scenario};
+use accrel::prelude::*;
+use accrel::workloads::random::{
+    generate_configuration, generate_instance, generate_query, generate_workload, WorkloadSpec,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A scenario generated from the random-workload generators: a hidden
+/// instance, a conjunctive query and a small initial configuration.
+fn random_scenario(seed: u64) -> Scenario {
+    let spec = WorkloadSpec {
+        relations: 3,
+        arity: 2,
+        domains: 2,
+        constants: 10,
+        dependent_fraction: 0.5,
+    };
+    let workload = generate_workload(&spec, &mut StdRng::seed_from_u64(seed));
+    let mut rng = StdRng::seed_from_u64(seed + 1);
+    let instance = generate_instance(&workload, 40, &mut rng);
+    let query = generate_query(&workload, true, 3, 3, &mut rng);
+    let initial = generate_configuration(&workload, 4, &mut rng);
+    Scenario {
+        name: format!("random-{seed}"),
+        description: "randomly generated equivalence scenario".to_string(),
+        schema: workload.schema.clone(),
+        methods: workload.methods,
+        instance,
+        query,
+        initial_configuration: initial,
+        expected_answer: false,
+    }
+}
+
+fn engine_options() -> EngineOptions {
+    // A shallow budget and an access cap keep the LTR-guided grid cells
+    // affordable; equivalence is budget-independent since both sides share
+    // the options.
+    EngineOptions {
+        max_accesses: 12,
+        budget: SearchBudget::shallow(),
+        ..EngineOptions::default()
+    }
+}
+
+fn assert_equivalent(scenario: &Scenario, policy: &ResponsePolicy, batch_size: usize) {
+    let sequential_source = DeepWebSource::new(
+        scenario.instance.clone(),
+        scenario.methods.clone(),
+        policy.clone(),
+    );
+    let federation = Federation::single(PolicySource::new(
+        "grid",
+        DeepWebSource::new(
+            scenario.instance.clone(),
+            scenario.methods.clone(),
+            policy.clone(),
+        ),
+    ));
+    for strategy in Strategy::all() {
+        sequential_source.reset_stats();
+        let sequential = FederatedEngine::new(&sequential_source, scenario.query.clone(), strategy)
+            .with_options(engine_options())
+            .run(&scenario.initial_configuration);
+        federation.reset_stats();
+        let batched = BatchScheduler::new(&federation, scenario.query.clone(), strategy)
+            .with_options(BatchOptions {
+                engine: engine_options(),
+                batch_size,
+                workers: 3,
+                speculation: SpeculationMode::CachedOnly,
+            })
+            .run(&scenario.initial_configuration);
+        let cell = format!(
+            "scenario={} strategy={} policy={policy:?} batch={batch_size}",
+            scenario.name,
+            strategy.name()
+        );
+        assert_eq!(
+            batched.access_sequence, sequential.access_sequence,
+            "access sequence diverged: {cell}"
+        );
+        assert_eq!(batched.certain, sequential.certain, "verdict: {cell}");
+        assert_eq!(batched.answers, sequential.answers, "answers: {cell}");
+        assert_eq!(
+            batched.relevance_verdicts, sequential.relevance_verdicts,
+            "relevance verdict log diverged: {cell}"
+        );
+        assert_eq!(
+            batched.accesses_made, sequential.accesses_made,
+            "accesses made: {cell}"
+        );
+        assert!(
+            batched
+                .final_configuration
+                .same_facts(&sequential.final_configuration),
+            "final configurations differ: {cell}"
+        );
+    }
+}
+
+#[test]
+fn bank_grid_matches_sequential_engine() {
+    let scenario = bank_scenario();
+    for policy in [ResponsePolicy::Exact, ResponsePolicy::FirstK(2)] {
+        for batch_size in [1, 4, 8] {
+            assert_equivalent(&scenario, &policy, batch_size);
+        }
+    }
+}
+
+#[test]
+fn negative_bank_grid_matches_sequential_engine() {
+    let scenario = bank_scenario_negative();
+    for policy in [ResponsePolicy::Exact, ResponsePolicy::FirstK(3)] {
+        for batch_size in [1, 4] {
+            assert_equivalent(&scenario, &policy, batch_size);
+        }
+    }
+}
+
+#[test]
+fn random_workload_grid_matches_sequential_engine() {
+    for seed in [11, 29] {
+        let scenario = random_scenario(seed);
+        for policy in [ResponsePolicy::Exact, ResponsePolicy::FirstK(2)] {
+            for batch_size in [1, 4] {
+                assert_equivalent(&scenario, &policy, batch_size);
+            }
+        }
+    }
+}
+
+#[test]
+fn multi_source_federation_matches_single_source() {
+    // Splitting the bank's Web forms across two providers must not change
+    // the run at all — routing is invisible to the engine semantics.
+    let scenario = bank_scenario();
+    let split = Federation::builder(scenario.methods.clone())
+        .source(
+            SimulatedSource::exact(
+                "employees-and-offices",
+                scenario.instance.clone(),
+                scenario.methods.clone(),
+            ),
+            &["EmpOffAcc", "OfficeInfoAcc"],
+        )
+        .unwrap()
+        .source(
+            SimulatedSource::exact(
+                "approvals-and-managers",
+                scenario.instance.clone(),
+                scenario.methods.clone(),
+            )
+            .with_latency(LatencyModel::recorded(15)),
+            &["StateApprAcc", "EmpManAcc"],
+        )
+        .unwrap()
+        .build()
+        .unwrap();
+    let single = Federation::single(SimulatedSource::exact(
+        "monolith",
+        scenario.instance.clone(),
+        scenario.methods.clone(),
+    ));
+    for strategy in [Strategy::Exhaustive, Strategy::Hybrid] {
+        let options = BatchOptions {
+            engine: engine_options(),
+            batch_size: 4,
+            workers: 2,
+            speculation: SpeculationMode::CachedOnly,
+        };
+        split.reset_stats();
+        let a = BatchScheduler::new(&split, scenario.query.clone(), strategy)
+            .with_options(options.clone())
+            .run(&scenario.initial_configuration);
+        single.reset_stats();
+        let b = BatchScheduler::new(&single, scenario.query.clone(), strategy)
+            .with_options(options)
+            .run(&scenario.initial_configuration);
+        assert_eq!(a.access_sequence, b.access_sequence);
+        assert_eq!(a.certain, b.certain);
+        assert!(a.final_configuration.same_facts(&b.final_configuration));
+    }
+    // Both providers saw traffic on the exhaustive/hybrid runs.
+    let per_source = split.per_source_stats();
+    assert_eq!(per_source.len(), 2);
+    assert!(per_source.iter().all(|(_, s)| s.source.calls > 0));
+    assert!(per_source[1].1.simulated_latency_micros > 0);
+}

@@ -139,6 +139,41 @@ impl Access {
         Ok(())
     }
 
+    /// A deterministic 64-bit hash of the access (method id + binding
+    /// values), stable across processes, runs and call orders.
+    ///
+    /// This is the seed material for everything that must behave
+    /// deterministically *per access* regardless of execution order: the
+    /// federation backends' latency jitter and flakiness windows, and the
+    /// engine's hash-seeded sound-sampling response policy. It deliberately
+    /// does not use `std::hash::Hasher` (whose output is not guaranteed
+    /// stable across releases).
+    pub fn stable_hash(&self) -> u64 {
+        // FNV-1a over the method id and the rendered binding values, with a
+        // rotation between values so permuted bindings hash apart.
+        let mut h = 0xcbf2_9ce4_8422_2325u64 ^ u64::from(self.method.0);
+        for v in self.binding.values() {
+            let bytes = v.to_string();
+            for b in bytes.as_bytes() {
+                h ^= u64::from(*b);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            h = h.rotate_left(7);
+        }
+        h
+    }
+
+    /// [`Access::stable_hash`] mixed with `salt` and finalized with
+    /// SplitMix64 — the shared recipe for deriving decorrelated per-access
+    /// streams (latency jitter per trip, flakiness windows, sampling RNG
+    /// seeds) from one access.
+    pub fn stable_hash_seeded(&self, salt: u64) -> u64 {
+        let mut z = (self.stable_hash() ^ salt).wrapping_add(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
     /// Pretty-prints the access using method and relation names, e.g.
     /// `EmpOffAcc: Employee(12345, ?, ?, ?, ?)`.
     pub fn display_with(&self, methods: &AccessMethods) -> String {
@@ -252,6 +287,32 @@ mod tests {
         assert!(access.check_arity(&methods).is_err());
         let ok = Access::new(emp_off, binding(["a"]));
         assert!(ok.check_arity(&methods).is_ok());
+    }
+
+    #[test]
+    fn stable_hash_distinguishes_methods_and_bindings() {
+        let (_, methods) = setup();
+        let emp_off = methods.by_name("EmpOffAcc").unwrap();
+        let mgr = methods.by_name("MgrFree").unwrap();
+        let a = Access::new(emp_off, binding(["e1"]));
+        // Equal accesses hash equal; the hash is a pure function.
+        assert_eq!(
+            a.stable_hash(),
+            Access::new(emp_off, binding(["e1"])).stable_hash()
+        );
+        // Different method, binding value, or binding order hash apart.
+        assert_ne!(
+            a.stable_hash(),
+            Access::new(mgr, binding(["e1"])).stable_hash()
+        );
+        assert_ne!(
+            a.stable_hash(),
+            Access::new(emp_off, binding(["e2"])).stable_hash()
+        );
+        assert_ne!(
+            Access::new(emp_off, binding(["x", "y"])).stable_hash(),
+            Access::new(emp_off, binding(["y", "x"])).stable_hash()
+        );
     }
 
     #[test]

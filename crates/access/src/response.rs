@@ -129,6 +129,13 @@ impl FromIterator<Tuple> for Response {
 /// with the returned tuples and leaves every other relation unchanged. The
 /// access must be well-formed at `conf` and the response must match the
 /// binding; both are checked.
+///
+/// With the copy-on-write sharded store the successor is an O(relations)
+/// snapshot of `conf` that physically shares every *other* relation's shard
+/// with its predecessor: only the accessed relation's columns (plus the
+/// adom cache, plus the interner when the response carries new values) are
+/// copied, so the engine loop's per-round cost is proportional to the
+/// touched relation, not the configuration.
 pub fn apply_access(
     conf: &Configuration,
     access: &Access,
@@ -138,7 +145,7 @@ pub fn apply_access(
     access.well_formed(conf, methods)?;
     response.validate(access, methods)?;
     let m = methods.get(access.method())?;
-    let mut next = conf.clone();
+    let mut next = conf.snapshot();
     for t in response.tuples() {
         next.insert(m.relation(), t.clone())
             .map_err(AccessError::from)?;

@@ -15,18 +15,32 @@
 //! ```text
 //! cargo run -p accrel-bench --bin harness --release -- --smoke
 //! ```
+//!
+//! With `--million` only the million-fact sweeps run (the E5
+//! data-complexity point and the F1 federation sweep at 10⁶ facts), written
+//! as JSON to `BENCH_million.json` by default — the basis of the
+//! non-blocking `million_fact` CI job, which diffs the output against the
+//! committed `BENCH_million_baseline.json`.
 
 use std::process::ExitCode;
 
 use accrel_bench::runner;
 
+#[derive(PartialEq)]
+enum Mode {
+    Full,
+    Smoke,
+    Million,
+}
+
 fn main() -> ExitCode {
-    let mut smoke = false;
+    let mut mode = Mode::Full;
     let mut out_path: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
-            "--smoke" => smoke = true,
+            "--smoke" => mode = Mode::Smoke,
+            "--million" => mode = Mode::Million,
             "--out" => match args.next() {
                 Some(p) => out_path = Some(p),
                 None => {
@@ -35,10 +49,12 @@ fn main() -> ExitCode {
                 }
             },
             "--help" | "-h" => {
-                println!("usage: harness [--smoke] [--out <path>]");
+                println!("usage: harness [--smoke | --million] [--out <path>]");
                 println!();
                 println!("  --smoke       run each experiment fixture once and write JSON");
-                println!("  --out <path>  JSON output path for --smoke (default BENCH_smoke.json)");
+                println!("  --million     run only the 10^6-fact E5/F1 sweeps and write JSON");
+                println!("  --out <path>  JSON output path (default BENCH_smoke.json /");
+                println!("                BENCH_million.json)");
                 return ExitCode::SUCCESS;
             }
             other => {
@@ -47,11 +63,16 @@ fn main() -> ExitCode {
             }
         }
     }
-    if out_path.is_some() && !smoke {
-        eprintln!("error: --out only applies to --smoke runs");
+    if out_path.is_some() && mode == Mode::Full {
+        eprintln!("error: --out only applies to --smoke / --million runs");
         return ExitCode::FAILURE;
     }
-    let out_path = out_path.unwrap_or_else(|| String::from("BENCH_smoke.json"));
+    let out_path = out_path.unwrap_or_else(|| {
+        String::from(match mode {
+            Mode::Million => "BENCH_million.json",
+            _ => "BENCH_smoke.json",
+        })
+    });
 
     println!("# accrel experiment harness\n");
     println!(
@@ -61,17 +82,22 @@ fn main() -> ExitCode {
          relevance pruning).\n"
     );
 
-    let tables = if smoke {
-        runner::run_smoke()
-    } else {
-        runner::run_all()
+    let tables = match mode {
+        Mode::Smoke => runner::run_smoke(),
+        Mode::Million => runner::run_million(),
+        Mode::Full => runner::run_all(),
     };
     for table in &tables {
         println!("{}", table.to_markdown());
     }
 
-    if smoke {
-        let json = runner::tables_to_json("smoke", &tables);
+    if mode != Mode::Full {
+        let label = if mode == Mode::Million {
+            "million"
+        } else {
+            "smoke"
+        };
+        let json = runner::tables_to_json(label, &tables);
         if let Err(e) = std::fs::write(&out_path, json) {
             eprintln!("error: failed to write {out_path}: {e}");
             return ExitCode::FAILURE;

@@ -10,7 +10,9 @@ use accrel_core::{
 use accrel_engine::{
     DeepWebSource, EngineOptions, FederatedEngine, RelevanceKind, ResponsePolicy, Strategy,
 };
-use accrel_federation::{parallel_relevance_sweep, BatchOptions, BatchScheduler, SpeculationMode};
+use accrel_federation::{
+    parallel_relevance_sweep_report, BatchOptions, BatchScheduler, SpeculationMode,
+};
 use accrel_workloads::encodings::encoding_stats;
 use accrel_workloads::tiling::checkerboard;
 
@@ -401,6 +403,14 @@ pub fn e8_reductions(repeats: usize) -> Table {
 /// with the batch), plus a parallel immediate-relevance sweep over the
 /// fixture's candidate accesses at every worker count. Latencies are really
 /// slept, so the per-access wall time shows the batching payoff.
+///
+/// The hidden instance is generated **once** and shared by every batch-size
+/// run (sources are immutable; statistics are reset between runs) — at the
+/// 10⁶-fact scale of `run_all`, rebuilding it per batch size used to
+/// dominate the sweep. Each run's `shard copies` row reports the
+/// copy-on-write traffic of its configuration handle, and the sweep rows
+/// include the snapshot copy count, which stays zero: read-only workers
+/// share every shard of the million-fact configuration.
 pub fn f1_federation_sweep(
     facts: usize,
     max_accesses: usize,
@@ -408,8 +418,9 @@ pub fn f1_federation_sweep(
     sweep_workers: &[usize],
 ) -> Table {
     let mut rows = Vec::new();
+    let slept = fixtures::federation_fixture(facts, 100, true);
     for &batch_size in batch_sizes {
-        let fixture = fixtures::federation_fixture(facts, 100, true);
+        slept.federation.reset_stats();
         let options = BatchOptions {
             engine: EngineOptions {
                 max_accesses,
@@ -421,13 +432,10 @@ pub fn f1_federation_sweep(
             speculation: SpeculationMode::CachedOnly,
         };
         let start = Instant::now();
-        let report = BatchScheduler::new(
-            &fixture.federation,
-            fixture.query.clone(),
-            Strategy::Exhaustive,
-        )
-        .with_options(options)
-        .run(&fixture.initial);
+        let report =
+            BatchScheduler::new(&slept.federation, slept.query.clone(), Strategy::Exhaustive)
+                .with_options(options)
+                .run(&slept.initial);
         let wall = start.elapsed().as_secs_f64() * 1e6;
         let series = "E5 federation (exhaustive)";
         rows.push(Row::new(
@@ -454,14 +462,20 @@ pub fn f1_federation_sweep(
             "source calls",
             report.source_stats.calls as f64,
         ));
+        rows.push(Row::new(
+            series,
+            batch_size,
+            "shard copies",
+            report.shard_copies as f64,
+        ));
     }
     // Parallel relevance sweep over the candidate accesses of the seed
-    // configuration (latencies are irrelevant here: the sweep runs the IR
-    // decision procedure, not source calls).
-    let fixture = fixtures::federation_fixture(facts, 0, false);
-    let methods = fixture.federation.methods().clone();
+    // configuration. The slept fixture is reused — the sweep runs the IR
+    // decision procedure, never a source call, so the latency models are
+    // irrelevant and a second hidden-instance build would be pure waste.
+    let methods = slept.federation.methods().clone();
     let candidates = well_formed_accesses(
-        &fixture.initial,
+        &slept.initial,
         &methods,
         &EnumerationOptions {
             guessable_values: Vec::new(),
@@ -471,9 +485,9 @@ pub fn f1_federation_sweep(
     let budget = accrel_core::SearchBudget::default();
     for &workers in sweep_workers {
         let start = Instant::now();
-        let verdicts = parallel_relevance_sweep(
-            &fixture.query,
-            &fixture.initial,
+        let report = parallel_relevance_sweep_report(
+            &slept.query,
+            &slept.initial,
             &candidates,
             &methods,
             RelevanceKind::Immediate,
@@ -486,7 +500,13 @@ pub fn f1_federation_sweep(
             "IR sweep",
             workers,
             "checks",
-            verdicts.len() as f64,
+            report.verdicts.len() as f64,
+        ));
+        rows.push(Row::new(
+            "IR sweep",
+            workers,
+            "snapshot shard copies",
+            report.worker_shard_copies as f64,
         ));
     }
     Table {
@@ -499,34 +519,48 @@ pub fn f1_federation_sweep(
     }
 }
 
-/// Runs every experiment at harness scale and returns the tables.
+/// Runs every experiment at harness scale and returns the tables. The E5
+/// and F1 sweeps reach 10⁶ facts — the copy-on-write sharded store keeps
+/// the bulk load (one `extend_facts` pass) and the per-round configuration
+/// growth affordable at that size.
 pub fn run_all() -> Vec<Table> {
     vec![
         e1_immediate(&[1, 2, 3, 4, 5, 6], 5),
         e2_ltr_independent(&[1, 2, 3, 4, 5], 3),
         e3_dependent_cq(&[1, 2, 3, 4], 3),
         e4_dependent_pq(&[1, 2, 3, 4], 3),
-        e5_data_complexity(&[10, 100, 1_000, 10_000, 100_000], 3),
+        e5_data_complexity(&[10, 100, 1_000, 10_000, 100_000, 1_000_000], 3),
         e6_tractable_cases(&[10, 100, 1000], 5),
         e7_engine_ablation(),
         e8_reductions(3),
-        f1_federation_sweep(10_000, 96, &[1, 2, 4, 8, 16, 32], &[1, 2, 4, 8]),
+        f1_federation_sweep(1_000_000, 96, &[1, 2, 4, 8, 16, 32], &[1, 2, 4, 8]),
     ]
 }
 
 /// Runs every experiment once at the smallest fixture size — a CI smoke pass
-/// that records the perf trajectory without criterion statistics.
+/// that records the perf trajectory without criterion statistics. E5 tops
+/// out at 10⁵ facts here (10⁶ is the `run_million` job's scale).
 pub fn run_smoke() -> Vec<Table> {
     vec![
         e1_immediate(&[1, 2], 1),
         e2_ltr_independent(&[1, 2], 1),
         e3_dependent_cq(&[1, 2], 1),
         e4_dependent_pq(&[1, 2], 1),
-        e5_data_complexity(&[10, 50, 10_000], 1),
+        e5_data_complexity(&[10, 50, 100_000], 1),
         e6_tractable_cases(&[10, 100], 1),
         e7_engine_ablation(),
         e8_reductions(1),
         f1_federation_sweep(10_000, 48, &[1, 4, 16], &[1, 2, 4]),
+    ]
+}
+
+/// The million-fact job: the E5 data-complexity point and the F1 federation
+/// sweep at 10⁶ facts, once each — the non-blocking CI step compares the
+/// resulting JSON against `BENCH_million_baseline.json` and uploads it.
+pub fn run_million() -> Vec<Table> {
+    vec![
+        e5_data_complexity(&[1_000_000], 1),
+        f1_federation_sweep(1_000_000, 48, &[8], &[4, 8]),
     ]
 }
 
@@ -665,5 +699,16 @@ mod tests {
         assert_eq!(checks.len(), 2);
         assert!(checks[0] > 0.0);
         assert_eq!(checks[0], checks[1]);
+        // Copy-on-write observability: the batched runs report their shard
+        // copies; the read-only sweep snapshots report exactly zero.
+        assert!(table.rows.iter().any(|r| r.metric == "shard copies"));
+        let snapshot_copies: Vec<f64> = table
+            .rows
+            .iter()
+            .filter(|r| r.metric == "snapshot shard copies")
+            .map(|r| r.value)
+            .collect();
+        assert_eq!(snapshot_copies.len(), 2);
+        assert!(snapshot_copies.iter().all(|&c| c == 0.0));
     }
 }

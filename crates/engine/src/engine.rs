@@ -156,6 +156,13 @@ pub struct RunReport {
     pub source_stats: SourceStats,
     /// Batched-execution statistics (all zero for the sequential engine).
     pub batch_stats: BatchStats,
+    /// Copy-on-write shard copies the run's configuration handle performed:
+    /// the engine snapshots the initial configuration in O(relations) and a
+    /// growing round copies only the touched relation's shard (plus the
+    /// adom cache, plus the interner when the response carried new values).
+    /// Zero for runs whose responses never grew the configuration — and for
+    /// read-only snapshot consumers such as the parallel sweep workers.
+    pub shard_copies: u64,
     /// The final configuration.
     pub final_configuration: Configuration,
 }
@@ -197,7 +204,8 @@ impl<'a> FederatedEngine<'a> {
     /// are byte-for-byte those of the historical re-enumerating loop.
     pub fn run(&self, initial: &Configuration) -> RunReport {
         let methods = self.source.methods();
-        let mut conf = initial.clone();
+        let mut conf = initial.snapshot();
+        let copies_before = conf.shard_copies();
         let mut accesses_made = 0usize;
         let mut accesses_skipped = 0usize;
         let mut tuples_retrieved = 0usize;
@@ -272,6 +280,7 @@ impl<'a> FederatedEngine<'a> {
             relevance_verdicts: oracle.take_log(),
             source_stats: self.source.stats().since(&stats_before),
             batch_stats: BatchStats::default(),
+            shard_copies: conf.shard_copies() - copies_before,
             final_configuration: conf,
         }
     }

@@ -15,7 +15,7 @@
 
 use std::collections::{HashMap, HashSet};
 
-use accrel_access::{Access, AccessMethods};
+use accrel_access::{Access, AccessMethods, AccessMode};
 use accrel_core::{is_immediately_relevant, is_long_term_relevant, SearchBudget};
 use accrel_query::Query;
 use accrel_schema::{Configuration, RelationId};
@@ -48,14 +48,20 @@ pub struct VerdictRecord {
 /// it.
 #[derive(Debug, Clone)]
 enum DepSet {
-    /// The verdict only inspected these relations (Boolean-query immediate
-    /// relevance: the witness search reads tuples of the query's relations
-    /// and nothing else).
+    /// The verdict only inspected these relations. Boolean-query immediate
+    /// relevance qualifies (the witness search reads tuples of the query's
+    /// relations and nothing else), and so does Boolean-query long-term
+    /// relevance when **every** access method is independent: the ΣP2
+    /// procedure of Section 4 draws configuration facts exclusively through
+    /// the query's atoms (any value may be guessed, so the global active
+    /// domain never gates a witness), hence growth of an unmentioned
+    /// relation cannot flip the verdict.
     Relations(HashSet<RelationId>),
-    /// The verdict consulted the whole configuration (long-term relevance
-    /// reads the global active domain; the Proposition 2.2 reduction of
-    /// non-Boolean queries instantiates heads with constants from any
-    /// relation). Invalidated by any growth.
+    /// The verdict consulted the whole configuration (dependent-access
+    /// long-term relevance reads the global active domain to decide which
+    /// accesses are unlockable; the Proposition 2.2 reduction of non-Boolean
+    /// queries instantiates heads with constants from any relation).
+    /// Invalidated by any growth.
     All,
 }
 
@@ -158,6 +164,28 @@ impl<'a> RelevanceOracle<'a> {
         }
     }
 
+    /// The dependency-set index for long-term-relevance verdicts. With
+    /// dependent methods in play the witness search consults the global
+    /// active domain, so the verdict conservatively depends on every
+    /// relation; when every method is independent (and the query is
+    /// Boolean, so no head-instantiation reduction runs), the independent
+    /// ΣP2 procedure reads the configuration only through the query's own
+    /// atoms — responses that grow other relations leave the verdict
+    /// valid, so cached verdicts (and with them the scheduler's
+    /// `CachedOnly` batches) survive those rounds.
+    fn ltr_dep(&self) -> usize {
+        let all_independent = self
+            .methods
+            .methods()
+            .iter()
+            .all(|m| m.mode() == AccessMode::Independent);
+        if self.query.is_boolean() && all_independent {
+            1
+        } else {
+            0
+        }
+    }
+
     fn check(&mut self, kind: RelevanceKind, access: &Access, conf: &Configuration) -> bool {
         let run = |query: &Query,
                    methods: &AccessMethods,
@@ -182,7 +210,7 @@ impl<'a> RelevanceOracle<'a> {
         let verdict = run(self.query, self.methods, &self.budget, access, conf);
         let dep = match kind {
             RelevanceKind::Immediate => self.ir_dep(),
-            RelevanceKind::LongTerm => 0,
+            RelevanceKind::LongTerm => self.ltr_dep(),
         };
         let map = match kind {
             RelevanceKind::Immediate => &mut self.cache.immediate,
@@ -218,8 +246,10 @@ impl<'a> RelevanceOracle<'a> {
         self.check(RelevanceKind::Immediate, access, conf)
     }
 
-    /// Long-term-relevance check, via the cache when enabled. LTR verdicts
-    /// consult the global active domain, so they depend on every relation.
+    /// Long-term-relevance check, via the cache when enabled. Dependent-
+    /// access LTR verdicts consult the global active domain and so depend on
+    /// every relation; all-independent Boolean verdicts depend only on the
+    /// query's relations (see [`DepSet`]).
     pub fn check_ltr(&mut self, access: &Access, conf: &Configuration) -> bool {
         self.check(RelevanceKind::LongTerm, access, conf)
     }
@@ -245,6 +275,13 @@ impl<'a> RelevanceOracle<'a> {
     /// Takes the ordered log of decision-procedure invocations.
     pub fn take_log(&mut self) -> Vec<VerdictRecord> {
         std::mem::take(&mut self.log)
+    }
+
+    /// The relations named by the dependency set an LTR verdict would be
+    /// cached under right now — exposed so tests and the scheduler's
+    /// instrumentation can observe the invalidation granularity.
+    pub fn ltr_dep_is_global(&self) -> bool {
+        matches!(self.cache.deps[self.ltr_dep()], DepSet::All)
     }
 
     /// Picks the next access to execute from `candidates` (in candidate
@@ -292,5 +329,126 @@ impl<'a> RelevanceOracle<'a> {
                 None
             }
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use accrel_access::{binding, AccessMethods, AccessMode};
+    use accrel_query::{ConjunctiveQuery, Term};
+    use accrel_schema::Schema;
+    use std::sync::Arc;
+
+    /// Schema with a query relation R and an unrelated relation S; the
+    /// query is Boolean over R alone.
+    fn setup(
+        independent: bool,
+    ) -> (
+        Arc<Schema>,
+        AccessMethods,
+        Query,
+        Configuration,
+        Access,
+        RelationId,
+        RelationId,
+    ) {
+        let mut b = Schema::builder();
+        let d = b.domain("D").unwrap();
+        b.relation("R", &[("a", d), ("b", d)]).unwrap();
+        b.relation("S", &[("a", d)]).unwrap();
+        let schema = b.build();
+        let mode = if independent {
+            AccessMode::Independent
+        } else {
+            AccessMode::Dependent
+        };
+        let mut mb = AccessMethods::builder(schema.clone());
+        let r_acc = mb.add("RAcc", "R", &["a"], mode).unwrap();
+        mb.add("SAcc", "S", &["a"], mode).unwrap();
+        let methods = mb.build();
+        let mut qb = ConjunctiveQuery::builder(schema.clone());
+        let x = qb.var("x");
+        qb.atom("R", vec![Term::constant("k"), Term::Var(x)])
+            .unwrap();
+        let query: Query = qb.build().into();
+        let mut conf = Configuration::empty(schema.clone());
+        conf.insert_named("R", ["seed", "v"]).unwrap();
+        let r = schema.relation_by_name("R").unwrap();
+        let s = schema.relation_by_name("S").unwrap();
+        let access = Access::new(r_acc, binding(["k"]));
+        (schema, methods, query, conf, access, r, s)
+    }
+
+    #[test]
+    fn independent_ltr_verdicts_survive_unrelated_growth() {
+        let (_, methods, query, mut conf, access, r, s) = setup(true);
+        let options = EngineOptions::default();
+        let mut oracle = RelevanceOracle::new(&query, &methods, &options);
+        assert!(!oracle.ltr_dep_is_global());
+        let first = oracle.check_ltr(&access, &conf);
+        assert_eq!(oracle.misses(), 1);
+        // A response growing S (not mentioned by the query) must not flush
+        // the verdict: the re-check is a cache hit with the same answer.
+        conf.insert_named("S", ["unrelated"]).unwrap();
+        oracle.invalidate(s);
+        assert_eq!(oracle.check_ltr(&access, &conf), first);
+        assert_eq!(oracle.hits(), 1);
+        assert_eq!(oracle.misses(), 1);
+        // Growth of the query's own relation still invalidates.
+        conf.insert_named("R", ["k2", "w"]).unwrap();
+        oracle.invalidate(r);
+        let _ = oracle.check_ltr(&access, &conf);
+        assert_eq!(oracle.misses(), 2);
+    }
+
+    #[test]
+    fn dependent_ltr_verdicts_stay_globally_invalidated() {
+        let (_, methods, query, conf, access, _, s) = setup(false);
+        let options = EngineOptions::default();
+        let mut oracle = RelevanceOracle::new(&query, &methods, &options);
+        assert!(oracle.ltr_dep_is_global());
+        // Make the access well-formed for the dependent mode check.
+        let mut conf = conf;
+        conf.insert_named("R", ["k", "x"]).unwrap();
+        let _ = oracle.check_ltr(&access, &conf);
+        assert_eq!(oracle.misses(), 1);
+        // Any growth — the dependent witness search reads the global active
+        // domain — flushes the verdict.
+        conf.insert_named("S", ["unlocks-something"]).unwrap();
+        oracle.invalidate(s);
+        let _ = oracle.check_ltr(&access, &conf);
+        assert_eq!(oracle.misses(), 2);
+        assert_eq!(oracle.hits(), 0);
+    }
+
+    #[test]
+    fn independent_verdicts_match_fresh_oracle_after_unrelated_growth() {
+        // The refinement must be *sound*: the cached verdict after growing
+        // an unmentioned relation equals what a fresh (uncached) check
+        // computes on the grown configuration, for every candidate binding.
+        let (_, methods, query, mut conf, _, _, s) = setup(true);
+        let options = EngineOptions::default();
+        let r_acc = methods.by_name("RAcc").unwrap();
+        let bindings = ["k", "seed", "zz"];
+        let mut oracle = RelevanceOracle::new(&query, &methods, &options);
+        for b in bindings {
+            let _ = oracle.check_ltr(&Access::new(r_acc, binding([b])), &conf);
+        }
+        conf.insert_named("S", ["later"]).unwrap();
+        oracle.invalidate(s);
+        for b in bindings {
+            let access = Access::new(r_acc, binding([b]));
+            let cached = oracle.check_ltr(&access, &conf);
+            let fresh = accrel_core::is_long_term_relevant(
+                &query,
+                &conf,
+                &access,
+                &methods,
+                &options.budget,
+            );
+            assert_eq!(cached, fresh, "binding {b}");
+        }
+        assert_eq!(oracle.hits(), bindings.len());
     }
 }

@@ -18,12 +18,21 @@ use rand::{Rng, SeedableRng};
 pub enum ResponsePolicy {
     /// Return every matching tuple (`I(Bind, R)`).
     Exact,
-    /// Return each matching tuple independently with the given probability
-    /// (deterministic per seed).
+    /// Return each matching tuple independently with the given probability.
+    ///
+    /// The sample is drawn from an RNG seeded per access
+    /// (`Access::stable_hash` mixed with `seed`, like the federation
+    /// backends' latency/flakiness models), so the response to a given
+    /// access is a deterministic function of the access alone — the same
+    /// subset comes back no matter when, how often, or on which thread the
+    /// access is executed. That order-insensitivity is what admits
+    /// `SoundSample` into the batch scheduler's sequential-equivalence
+    /// guarantee (see `accrel-federation`'s scheduler docs).
     SoundSample {
         /// Probability of including each matching tuple.
         probability: f64,
-        /// RNG seed, so runs are reproducible.
+        /// Seed mixed into every per-access hash, so distinct sources (or
+        /// reruns with a different seed) sample differently.
         seed: u64,
     },
     /// Return at most the first `k` matching tuples (in sorted order).
@@ -87,23 +96,17 @@ pub struct DeepWebSource {
     methods: AccessMethods,
     policy: ResponsePolicy,
     stats: RefCell<SourceStats>,
-    rng: RefCell<StdRng>,
 }
 
 impl DeepWebSource {
     /// Creates a source over `instance` with the given access methods and
     /// response policy.
     pub fn new(instance: Instance, methods: AccessMethods, policy: ResponsePolicy) -> Self {
-        let seed = match &policy {
-            ResponsePolicy::SoundSample { seed, .. } => *seed,
-            _ => 0,
-        };
         Self {
             instance,
             methods,
             policy,
             stats: RefCell::new(SourceStats::default()),
-            rng: RefCell::new(StdRng::seed_from_u64(seed)),
         }
     }
 
@@ -142,15 +145,17 @@ impl DeepWebSource {
                 tuples.truncate(*k);
                 tuples
             }
-            ResponsePolicy::SoundSample { probability, .. } => {
-                let mut rng = self.rng.borrow_mut();
+            ResponsePolicy::SoundSample { probability, seed } => {
+                // Hash-seeded per access: the sample (and its order) is a
+                // pure function of (access, seed), never of call order.
+                let mut rng = StdRng::seed_from_u64(access.stable_hash_seeded(*seed));
                 let mut kept: Vec<_> = tuples
                     .iter()
                     .filter(|_| rng.gen::<f64>() < *probability)
                     .cloned()
                     .collect();
                 // Sound responses may also come back in any order.
-                kept.shuffle(&mut *rng);
+                kept.shuffle(&mut rng);
                 kept
             }
         };
@@ -230,6 +235,43 @@ mod tests {
         a.sort();
         b.sort();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sound_sample_is_order_insensitive_per_access() {
+        // The sample is hash-seeded per access: interleaving other calls
+        // (or repeating the access) never changes its response — the
+        // precondition for sampled runs entering the batch scheduler's
+        // sequential-equivalence guarantee.
+        let policy = ResponsePolicy::SoundSample {
+            probability: 0.5,
+            seed: 7,
+        };
+        let (source, access) = setup(policy.clone());
+        let mut baseline: Vec<_> = source.call(&access).unwrap().tuples().to_vec();
+        baseline.sort();
+        // Same source, later in the call stream: identical sample.
+        let mut again: Vec<_> = source.call(&access).unwrap().tuples().to_vec();
+        again.sort();
+        assert_eq!(again, baseline);
+        // A fresh source where a *different* access is drawn first still
+        // answers `access` identically, and the response is shuffled
+        // identically too (full byte-equality, not just set-equality).
+        let (source2, access2) = setup(policy.clone());
+        let other = Access::new(access2.method(), binding(["other"]));
+        let _ = source2.call(&other).unwrap();
+        assert_eq!(
+            source2.call(&access2).unwrap().tuples(),
+            source.call(&access).unwrap().tuples()
+        );
+        // A different seed draws a different stream for the same access.
+        let (source3, access3) = setup(ResponsePolicy::SoundSample {
+            probability: 0.5,
+            seed: 8,
+        });
+        let mut reseeded: Vec<_> = source3.call(&access3).unwrap().tuples().to_vec();
+        reseeded.sort();
+        assert_ne!(reseeded, baseline);
     }
 
     #[test]

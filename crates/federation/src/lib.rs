@@ -18,7 +18,10 @@
 //!   answers and final configuration (see the [`scheduler`] module docs for
 //!   the determinism invariant).
 //! * [`parallel_relevance_sweep`] — fan-out evaluation of the (pure)
-//!   relevance decision procedures across worker threads.
+//!   relevance decision procedures across worker threads, each holding an
+//!   O(relations) copy-on-write snapshot of the configuration
+//!   ([`parallel_relevance_sweep_report`] additionally reports that no
+//!   worker copied a shard).
 //!
 //! Garrison & Lee-style actor simulations motivate the backend models:
 //! heterogeneous latency/failure behaviour makes the runtime measurable
@@ -37,4 +40,4 @@ pub use error::{FederationError, SourceError};
 pub use federation::{Federation, FederationBuilder};
 pub use scheduler::{BatchOptions, BatchScheduler, SpeculationMode};
 pub use source::{BackendStats, FlakyModel, LatencyModel, PolicySource, SimulatedSource, Source};
-pub use sweep::parallel_relevance_sweep;
+pub use sweep::{parallel_relevance_sweep, parallel_relevance_sweep_report, SweepReport};

@@ -19,15 +19,14 @@
 //! regardless of which worker finished first.
 //!
 //! Consequently, for sources whose response to an access is a deterministic
-//! function of the access alone (every [`crate::SimulatedSource`], and
-//! [`crate::PolicySource`] under the `Exact` / `FirstK` policies), a batched
-//! run reports the **same** `access_sequence`, relevance-verdict log,
-//! certain-answer verdict, answers and final configuration as the
+//! function of the access alone — every [`crate::SimulatedSource`], and
+//! [`crate::PolicySource`] under **all** engine policies (`Exact`, `FirstK`,
+//! and `SoundSample`, which samples from an RNG hash-seeded per access) — a
+//! batched run reports the **same** `access_sequence`, relevance-verdict
+//! log, certain-answer verdict, answers and final configuration as the
 //! sequential engine, for every strategy — only the wall-clock and the
-//! per-source call counts (speculative prefetches) differ. Order-sensitive
-//! policies (`SoundSample` draws from one shared RNG stream) keep soundness
-//! but not byte-equality; the equivalence tests pin the deterministic
-//! policies.
+//! per-source call counts (speculative prefetches) differ. The equivalence
+//! grid in `tests/federation_equivalence.rs` pins all three policies.
 //!
 //! Mispredicted prefetches are not discarded: a deterministic response
 //! fetched early stays valid, so it is kept in the response cache until the
@@ -123,7 +122,8 @@ impl<'a> BatchScheduler<'a> {
     /// returning the same responses.
     pub fn run(&self, initial: &Configuration) -> RunReport {
         let methods = self.federation.methods();
-        let mut conf = initial.clone();
+        let mut conf = initial.snapshot();
+        let copies_before = conf.shard_copies();
         let mut accesses_made = 0usize;
         let mut accesses_skipped = 0usize;
         let mut tuples_retrieved = 0usize;
@@ -222,6 +222,7 @@ impl<'a> BatchScheduler<'a> {
             relevance_verdicts: oracle.take_log(),
             source_stats: self.federation.stats().since(&stats_before).source,
             batch_stats,
+            shard_copies: conf.shard_copies() - copies_before,
             final_configuration: conf,
         }
     }

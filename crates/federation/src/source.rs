@@ -22,8 +22,11 @@
 //! in sorted order, which is what lets the batch scheduler promise
 //! sequential-equivalent semantics under concurrency (see
 //! `crate::scheduler`). [`PolicySource`] adapts the single-threaded
-//! [`DeepWebSource`] (with its `ResponsePolicy`, including sound-sampling)
-//! behind a mutex for federations that want the engine crate's policies.
+//! [`DeepWebSource`] behind a mutex for federations that want the engine
+//! crate's policies — all of which, since sound-sampling became hash-seeded
+//! per access (the same [`Access::stable_hash`] the backend models draw
+//! their jitter and flakiness from), answer a given access deterministically
+//! regardless of call order.
 
 use std::sync::Mutex;
 use std::time::Duration;
@@ -129,7 +132,7 @@ impl LatencyModel {
         if self.jitter_micros == 0 {
             return self.base_micros;
         }
-        let h = splitmix(access_hash(access) ^ self.seed ^ trip.wrapping_mul(0x9e37));
+        let h = access.stable_hash_seeded(self.seed ^ trip.wrapping_mul(0x9e37));
         self.base_micros + h % self.jitter_micros
     }
 }
@@ -155,33 +158,12 @@ impl FlakyModel {
         if self.period == 0 {
             return 0;
         }
-        if splitmix(access_hash(access)) % self.period == 0 {
+        if access.stable_hash_seeded(0) % self.period == 0 {
             self.fail_attempts
         } else {
             0
         }
     }
-}
-
-/// A deterministic 64-bit hash of an access (method id + binding values).
-fn access_hash(access: &Access) -> u64 {
-    let mut h = 0xcbf2_9ce4_8422_2325u64 ^ u64::from(access.method().0);
-    for v in access.binding().values() {
-        let bytes = v.to_string();
-        for b in bytes.as_bytes() {
-            h ^= u64::from(*b);
-            h = h.wrapping_mul(0x0000_0100_0000_01b3);
-        }
-        h = h.rotate_left(7);
-    }
-    h
-}
-
-fn splitmix(mut z: u64) -> u64 {
-    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-    z ^ (z >> 31)
 }
 
 #[derive(Debug, Default)]
@@ -322,10 +304,10 @@ impl Source for SimulatedSource {
 }
 
 /// Adapts the engine crate's single-threaded [`DeepWebSource`] — and with it
-/// every [`accrel_engine::ResponsePolicy`], including the order-sensitive
-/// sound-sampling one — behind a mutex. Calls serialise on the lock, so this
-/// adapter gains no concurrency; it exists so federations can mix policy
-/// sources with the simulated backends.
+/// every [`accrel_engine::ResponsePolicy`], sound-sampling included (now
+/// hash-seeded per access, hence order-insensitive) — behind a mutex. Calls
+/// serialise on the lock, so this adapter gains no concurrency; it exists so
+/// federations can mix policy sources with the simulated backends.
 #[derive(Debug)]
 pub struct PolicySource {
     name: String,

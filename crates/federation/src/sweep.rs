@@ -6,8 +6,16 @@
 //! the sequential order. [`parallel_relevance_sweep`] partitions the
 //! candidates into contiguous chunks across `std::thread::scope` workers
 //! and returns the verdict vector aligned with the input — the harness uses
-//! it to measure relevance-check throughput across worker counts on the
-//! 10⁴-fact E5 configurations.
+//! it to measure relevance-check throughput across worker counts on the E5
+//! configurations (10⁴ facts in smoke, 10⁶ in the full harness).
+//!
+//! Each worker operates on its **own O(relations) snapshot** of the
+//! configuration ([`accrel_schema::Configuration::snapshot`]): with the
+//! copy-on-write sharded store, snapshotting a million-fact configuration
+//! per worker costs a handful of `Arc` bumps, and since the checks only
+//! read, no worker ever triggers a shard copy —
+//! [`SweepReport::worker_shard_copies`] stays zero, which the tests pin
+//! down.
 
 use accrel_access::{Access, AccessMethods};
 use accrel_core::{is_immediately_relevant, is_long_term_relevant, SearchBudget};
@@ -48,9 +56,87 @@ where
         .collect()
 }
 
+/// Outcome of a [`parallel_relevance_sweep_report`] run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SweepReport {
+    /// The relevance verdicts, aligned with the candidate slice.
+    pub verdicts: Vec<bool>,
+    /// Number of worker snapshots taken (one per spawned worker chunk).
+    pub snapshots: usize,
+    /// Copy-on-write shard copies performed across all worker snapshots.
+    /// The sweep only reads, so this is zero — reported rather than assumed,
+    /// and surfaced as a harness metric so structural sharing stays
+    /// observable.
+    pub worker_shard_copies: u64,
+}
+
 /// Computes the `kind` relevance verdict of every access in `candidates`
-/// at `conf`, fanning the checks out over at most `workers` scoped threads.
-/// The result is aligned with `candidates` and independent of `workers`.
+/// at `conf`, fanning the checks out over at most `workers` scoped threads,
+/// each holding its own copy-on-write snapshot of `conf`. The verdicts are
+/// aligned with `candidates` and independent of `workers`.
+pub fn parallel_relevance_sweep_report(
+    query: &Query,
+    conf: &Configuration,
+    candidates: &[Access],
+    methods: &AccessMethods,
+    kind: RelevanceKind,
+    budget: &SearchBudget,
+    workers: usize,
+) -> SweepReport {
+    // Force the query's cached UCQ expansion before fanning out, so worker
+    // threads share it instead of racing to build it.
+    let _ = query.ucq();
+    let check = |snap: &Configuration, access: &Access| match kind {
+        RelevanceKind::Immediate => is_immediately_relevant(query, snap, access, methods),
+        RelevanceKind::LongTerm => is_long_term_relevant(query, snap, access, methods, budget),
+    };
+    let workers = workers.max(1).min(candidates.len().max(1));
+    if workers <= 1 {
+        let snap = conf.snapshot();
+        let before = snap.shard_copies();
+        let verdicts = candidates.iter().map(|a| check(&snap, a)).collect();
+        return SweepReport {
+            verdicts,
+            snapshots: 1,
+            worker_shard_copies: snap.shard_copies() - before,
+        };
+    }
+    let mut results: Vec<Option<bool>> = Vec::with_capacity(candidates.len());
+    results.resize_with(candidates.len(), || None);
+    let chunk = candidates.len().div_ceil(workers);
+    let mut copies: Vec<u64> = Vec::new();
+    let mut snapshots = 0usize;
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for (chunk_items, out) in candidates.chunks(chunk).zip(results.chunks_mut(chunk)) {
+            // The snapshot is O(relations); the worker owns it outright.
+            let snap = conf.snapshot();
+            snapshots += 1;
+            let check = &check;
+            handles.push(scope.spawn(move || {
+                let before = snap.shard_copies();
+                for (item, slot) in chunk_items.iter().zip(out) {
+                    *slot = Some(check(&snap, item));
+                }
+                snap.shard_copies() - before
+            }));
+        }
+        for handle in handles {
+            copies.push(handle.join().expect("sweep worker panicked"));
+        }
+    });
+    SweepReport {
+        verdicts: results
+            .into_iter()
+            .map(|r| r.expect("every slot written by its worker"))
+            .collect(),
+        snapshots,
+        worker_shard_copies: copies.into_iter().sum(),
+    }
+}
+
+/// [`parallel_relevance_sweep_report`] returning the verdicts alone (the
+/// historical signature).
 pub fn parallel_relevance_sweep(
     query: &Query,
     conf: &Configuration,
@@ -60,13 +146,8 @@ pub fn parallel_relevance_sweep(
     budget: &SearchBudget,
     workers: usize,
 ) -> Vec<bool> {
-    // Force the query's cached UCQ expansion before fanning out, so worker
-    // threads share it instead of racing to build it.
-    let _ = query.ucq();
-    parallel_map(candidates, workers, |access| match kind {
-        RelevanceKind::Immediate => is_immediately_relevant(query, conf, access, methods),
-        RelevanceKind::LongTerm => is_long_term_relevant(query, conf, access, methods, budget),
-    })
+    parallel_relevance_sweep_report(query, conf, candidates, methods, kind, budget, workers)
+        .verdicts
 }
 
 #[cfg(test)]
@@ -141,5 +222,34 @@ mod tests {
         // The bank scenario always has at least one long-term relevant
         // access at the start (the chase can begin).
         assert!(verdicts.iter().any(|&v| v));
+    }
+
+    #[test]
+    fn read_only_worker_snapshots_never_copy_shards() {
+        let scenario = bank_scenario();
+        let mut conf = scenario.initial_configuration.clone();
+        conf.insert_named("Employee", ["e-x", "teller", "L", "F", "off-9"])
+            .unwrap();
+        let candidates =
+            well_formed_accesses(&conf, &scenario.methods, &EnumerationOptions::default());
+        let budget = accrel_core::SearchBudget::shallow();
+        for workers in [1, 3, 5] {
+            let report = parallel_relevance_sweep_report(
+                &scenario.query,
+                &conf,
+                &candidates,
+                &scenario.methods,
+                RelevanceKind::Immediate,
+                &budget,
+                workers,
+            );
+            assert_eq!(report.verdicts.len(), candidates.len());
+            assert!(report.snapshots >= 1);
+            assert!(report.snapshots <= workers);
+            assert_eq!(
+                report.worker_shard_copies, 0,
+                "read-only sweep copied a shard at workers={workers}"
+            );
+        }
     }
 }

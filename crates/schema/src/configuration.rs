@@ -20,6 +20,14 @@ use crate::Result;
 /// i.e. simply a finite set of well-typed facts. Configurations grow
 /// monotonically as accesses are performed; `accrel-access` implements the
 /// successor-configuration semantics.
+///
+/// Cloning a configuration is **O(relations)**, not O(facts): the underlying
+/// [`FactStore`] shares its relation shards, interner and active-domain
+/// cache copy-on-write (see the `store` module docs). [`Configuration::snapshot`]
+/// is the intention-revealing name for that cheap clone; speculative workers
+/// and engine rounds snapshot instead of deep-copying, and
+/// [`Configuration::shard_copies`] exposes how many shards a handle has
+/// actually had to copy.
 #[derive(Clone, Debug)]
 pub struct Configuration {
     store: FactStore,
@@ -64,6 +72,22 @@ impl Configuration {
     /// Mutable access to the underlying fact store.
     pub fn store_mut(&mut self) -> &mut FactStore {
         &mut self.store
+    }
+
+    /// An O(relations) copy-on-write snapshot of the configuration.
+    ///
+    /// Identical to `clone()`; the name documents intent at call sites that
+    /// hand a configuration to a worker: the snapshot shares every shard
+    /// with `self` until one side mutates, so read-only snapshots cost
+    /// nothing beyond the per-shard `Arc` bumps.
+    pub fn snapshot(&self) -> Configuration {
+        self.clone()
+    }
+
+    /// How many copy-on-write shard copies this handle has performed (see
+    /// [`FactStore::shard_copies`]). Zero for handles that only read.
+    pub fn shard_copies(&self) -> u64 {
+        self.store.shard_copies()
     }
 
     /// Inserts a fact, checking arity.

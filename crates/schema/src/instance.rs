@@ -104,6 +104,10 @@ impl Instance {
     }
 
     /// The configuration containing every fact of the instance (total view).
+    ///
+    /// O(relations): the returned configuration shares the instance's
+    /// copy-on-write shards until either side mutates — cheap even for
+    /// million-fact instances.
     pub fn full_configuration(&self) -> Configuration {
         Configuration::from_store(self.store.clone())
     }

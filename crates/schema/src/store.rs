@@ -1,22 +1,44 @@
 //! The shared fact-store representation used by instances and configurations.
 //!
-//! `FactStore` is interned and indexed:
+//! `FactStore` is interned, indexed and **sharded behind copy-on-write
+//! handles**:
 //!
 //! * every [`Value`] is mapped to a dense [`ValueId`] by a per-store
 //!   [`ValueInterner`]; tuples are stored columnar per relation (one
 //!   `Vec<ValueId>` per attribute), so scans compare `u32`s;
-//! * each relation keeps a `rows_by_key` hash map from the interned row to
-//!   its row index, giving O(1) membership and duplicate detection;
-//! * each (relation, attribute) pair keeps a value → row-ids index powering
-//!   [`FactStore::matching`] and the binding-compatible candidate scans of
-//!   the homomorphism searches ([`FactStore::candidates`]);
+//! * each relation's columnar storage — columns, materialised tuples,
+//!   `rows_by_key` membership map and per-(relation, attribute) value → row
+//!   indexes — lives in one *shard* behind an `Arc`
+//!   ([`FactStore::candidates`] and [`FactStore::matching`] read through
+//!   it);
 //! * the active domain (`Adom(Conf)` in the paper) is maintained
-//!   incrementally as a reference-counted `(ValueId, DomainId)` map, so
-//!   [`FactStore::active_domain`] never rescans the facts and
-//!   [`FactStore::adom_contains`] is a hash probe.
+//!   incrementally as a reference-counted `(ValueId, DomainId)` map — its
+//!   own `Arc`-backed shard — so [`FactStore::active_domain`] never rescans
+//!   the facts and [`FactStore::adom_contains`] is a hash probe;
+//! * the interner is a third `Arc`-backed shard.
 //!
-//! Invariants (checked by the property tests in `tests/properties.rs`
-//! against a naive scan oracle):
+//! # Copy-on-write semantics
+//!
+//! Cloning a `FactStore` (and therefore a [`crate::Configuration`]) is
+//! **O(relations)**: it bumps one `Arc` per relation shard plus two more for
+//! the interner and the active-domain cache. Clones share every shard until
+//! one of them mutates; the first mutation of a *shared* shard copies that
+//! shard alone (`Arc::make_mut`), leaving every other shard shared. This is
+//! what lets the engine loop, the batch scheduler and the parallel sweep
+//! workers snapshot million-fact configurations for free: read-only
+//! snapshots never copy anything, and a growing engine round pays for the
+//! accessed relation's shard (plus the adom map, plus the interner if the
+//! response carried genuinely new values) — never for the whole store.
+//!
+//! Every actual shard copy is counted in [`FactStore::shard_copies`] (the
+//! counter is inherited by clones, so a run's copies are the difference of
+//! two readings). Structural sharing is observable through
+//! [`FactStore::shares_relation_shard`] / [`FactStore::shares_adom_shard`] /
+//! [`FactStore::shares_interner`], which the oracle-grid tests in
+//! `tests/properties.rs` pin down.
+//!
+//! # Invariants (checked by the property tests in `tests/properties.rs`
+//! against a naive scan oracle)
 //!
 //! * `matching` returns exactly the tuples whose projection on the binding
 //!   positions equals the binding, in a deterministic row order (insertion
@@ -25,7 +47,16 @@
 //! * `active_domain` equals the set of `(value, domain)` pairs occurring in
 //!   any fact;
 //! * removal keeps all indexes consistent (rows are swap-removed; posting
-//!   lists are patched in place).
+//!   lists are patched in place), **including on a shard shared with other
+//!   clones** — the mutating handle copies first, the sharing handles are
+//!   never disturbed;
+//! * interning values that are already known never copies the interner
+//!   shard; inserting a fact that is already present never copies any
+//!   shard;
+//! * a clone diverges from its origin exactly as a naive deep copy would:
+//!   after any interleaving of inserts and removals on either handle, each
+//!   handle's facts, indexes and adom refcounts equal those of an
+//!   independently rebuilt store.
 
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::fmt;
@@ -43,10 +74,11 @@ use crate::Result;
 /// A ground fact: a relation together with a tuple of values.
 pub type Fact = (RelationId, Tuple);
 
-/// Columnar storage for one relation: interned columns, materialised tuples,
-/// row membership and per-attribute indexes.
+/// Columnar storage for one relation — the unit of copy-on-write sharing:
+/// interned columns, materialised tuples, row membership and per-attribute
+/// indexes.
 #[derive(Clone, Debug, Default)]
-struct RelationColumns {
+struct RelationShard {
     /// One column per attribute; `columns[c][r]` is the id at position `c`
     /// of row `r`.
     columns: Vec<Vec<ValueId>>,
@@ -58,7 +90,7 @@ struct RelationColumns {
     indexes: Vec<HashMap<ValueId, Vec<usize>>>,
 }
 
-impl RelationColumns {
+impl RelationShard {
     fn with_arity(arity: usize) -> Self {
         Self {
             columns: vec![Vec::new(); arity],
@@ -73,22 +105,28 @@ impl RelationColumns {
     }
 }
 
+/// Reference-counted active domain: how many attribute occurrences of
+/// `(value, domain)` the store currently holds.
+type AdomCache = HashMap<(ValueId, DomainId), u32>;
+
 /// A set of ground facts over a schema, organised per relation.
 ///
 /// `FactStore` is the common substrate behind both [`crate::Instance`] (the
 /// full, virtual database) and [`crate::Configuration`] (the facts learnt so
 /// far). It enforces arity consistency on insertion and offers the lookups
 /// the decision procedures need: membership, per-relation scans, index-backed
-/// binding-compatible scans and cached active-domain computation.
+/// binding-compatible scans and cached active-domain computation. See the
+/// module docs for the copy-on-write sharding contract.
 #[derive(Clone)]
 pub struct FactStore {
     schema: Arc<Schema>,
-    interner: ValueInterner,
-    relations: Vec<RelationColumns>,
-    /// Reference-counted active domain: how many attribute occurrences of
-    /// `(value, domain)` the store currently holds.
-    adom: HashMap<(ValueId, DomainId), u32>,
+    interner: Arc<ValueInterner>,
+    relations: Vec<Arc<RelationShard>>,
+    adom: Arc<AdomCache>,
     len: usize,
+    /// Cumulative count of shards this handle actually copied on first
+    /// write (inherited by clones; diff two readings to scope a run).
+    shard_copies: u64,
 }
 
 impl FactStore {
@@ -97,14 +135,15 @@ impl FactStore {
         let relations = schema
             .relations()
             .iter()
-            .map(|r| RelationColumns::with_arity(r.arity()))
+            .map(|r| Arc::new(RelationShard::with_arity(r.arity())))
             .collect();
         Self {
             schema,
-            interner: ValueInterner::new(),
+            interner: Arc::new(ValueInterner::new()),
             relations,
-            adom: HashMap::new(),
+            adom: Arc::new(AdomCache::new()),
             len: 0,
+            shard_copies: 0,
         }
     }
 
@@ -115,36 +154,111 @@ impl FactStore {
 
     /// The store's value interner (read-only).
     pub fn interner(&self) -> &ValueInterner {
-        &self.interner
+        self.interner.as_ref()
+    }
+
+    /// How many shard copies this handle has performed so far (the
+    /// copy-on-write cost actually paid). Clones inherit the counter, so
+    /// the copies attributable to a run are
+    /// `after.shard_copies() - before.shard_copies()` on the same handle
+    /// lineage. Read-only handles — snapshots that never mutate — never
+    /// advance it.
+    pub fn shard_copies(&self) -> u64 {
+        self.shard_copies
+    }
+
+    /// Whether `self` and `other` still share `relation`'s columnar shard
+    /// (no copy-on-write divergence has happened there yet).
+    pub fn shares_relation_shard(&self, other: &FactStore, relation: RelationId) -> bool {
+        match (
+            self.relations.get(relation.index()),
+            other.relations.get(relation.index()),
+        ) {
+            (Some(a), Some(b)) => Arc::ptr_eq(a, b),
+            _ => false,
+        }
+    }
+
+    /// Whether `self` and `other` still share the active-domain shard.
+    pub fn shares_adom_shard(&self, other: &FactStore) -> bool {
+        Arc::ptr_eq(&self.adom, &other.adom)
+    }
+
+    /// Whether `self` and `other` still share the interner shard.
+    pub fn shares_interner(&self, other: &FactStore) -> bool {
+        Arc::ptr_eq(&self.interner, &other.interner)
+    }
+
+    /// Mutable access to one relation shard, copying it first if it is
+    /// shared with another handle (copy-on-write).
+    fn shard_mut(&mut self, index: usize) -> &mut RelationShard {
+        let arc = &mut self.relations[index];
+        if Arc::strong_count(arc) > 1 {
+            self.shard_copies += 1;
+        }
+        Arc::make_mut(arc)
+    }
+
+    /// Mutable access to the adom shard, copying it first if shared.
+    fn adom_mut(&mut self) -> &mut AdomCache {
+        if Arc::strong_count(&self.adom) > 1 {
+            self.shard_copies += 1;
+        }
+        Arc::make_mut(&mut self.adom)
+    }
+
+    /// Interns `v`, copying the interner shard only when the value is
+    /// genuinely new *and* the shard is shared.
+    fn intern_value(&mut self, v: &Value) -> ValueId {
+        if let Some(id) = self.interner.lookup(v) {
+            return id;
+        }
+        if Arc::strong_count(&self.interner) > 1 {
+            self.shard_copies += 1;
+        }
+        Arc::make_mut(&mut self.interner).intern(v)
     }
 
     /// Inserts a fact, checking relation id and arity.
     ///
     /// Returns `Ok(true)` if the fact was new, `Ok(false)` if it was already
-    /// present.
+    /// present. A duplicate insertion is read-only: no shard is copied.
     pub fn insert(&mut self, relation: RelationId, t: Tuple) -> Result<bool> {
-        let arity = self.schema.arity(relation)?;
-        if t.arity() != arity {
+        let schema = self.schema.clone();
+        let rel = schema.relation(relation)?;
+        if t.arity() != rel.arity() {
             return Err(SchemaError::ArityMismatch {
                 relation,
-                expected: arity,
+                expected: rel.arity(),
                 actual: t.arity(),
             });
         }
-        let key: Box<[ValueId]> = t.iter().map(|v| self.interner.intern(v)).collect();
-        let rel = self.schema.relation(relation)?;
-        let store = &mut self.relations[relation.index()];
-        if store.rows_by_key.contains_key(&key) {
+        let key: Box<[ValueId]> = t.iter().map(|v| self.intern_value(v)).collect();
+        if self.relations[relation.index()]
+            .rows_by_key
+            .contains_key(&key)
+        {
             return Ok(false);
         }
-        let row = store.len();
-        for (c, &id) in key.iter().enumerate() {
-            store.columns[c].push(id);
-            store.indexes[c].entry(id).or_default().push(row);
-            *self.adom.entry((id, rel.domain_at(c))).or_insert(0) += 1;
+        let adom_incs: Vec<(ValueId, DomainId)> = key
+            .iter()
+            .enumerate()
+            .map(|(c, &id)| (id, rel.domain_at(c)))
+            .collect();
+        {
+            let shard = self.shard_mut(relation.index());
+            let row = shard.len();
+            for (c, &id) in key.iter().enumerate() {
+                shard.columns[c].push(id);
+                shard.indexes[c].entry(id).or_default().push(row);
+            }
+            shard.tuples.push(t);
+            shard.rows_by_key.insert(key, row);
         }
-        store.tuples.push(t);
-        store.rows_by_key.insert(key, row);
+        let adom = self.adom_mut();
+        for (id, domain) in adom_incs {
+            *adom.entry((id, domain)).or_insert(0) += 1;
+        }
         self.len += 1;
         Ok(true)
     }
@@ -166,9 +280,12 @@ impl FactStore {
     /// Removes a fact; returns whether it was present.
     ///
     /// The removed row is swap-removed: the last row takes its index and
-    /// every affected index entry is patched in place.
+    /// every affected index entry is patched in place — on this handle's
+    /// copy of the shard only, so clones sharing the shard are undisturbed.
+    /// A miss (absent fact, unknown value, wrong arity) is read-only.
     pub fn remove(&mut self, relation: RelationId, t: &Tuple) -> bool {
-        let Ok(rel) = self.schema.relation(relation) else {
+        let schema = self.schema.clone();
+        let Ok(rel) = schema.relation(relation) else {
             return false;
         };
         if t.arity() != rel.arity() {
@@ -181,57 +298,70 @@ impl FactStore {
                 None => return false,
             }
         }
-        let store = &mut self.relations[relation.index()];
-        let Some(row) = store.rows_by_key.remove(key.as_slice()) else {
+        if !self.relations[relation.index()]
+            .rows_by_key
+            .contains_key(key.as_slice())
+        {
             return false;
-        };
-        let last = store.len() - 1;
-        // Detach the removed row from its posting lists and the adom counts.
-        for (c, &id) in key.iter().enumerate() {
-            if let Some(list) = store.indexes[c].get_mut(&id) {
-                if let Some(pos) = list.iter().position(|&r| r == row) {
-                    list.swap_remove(pos);
-                }
-                if list.is_empty() {
-                    store.indexes[c].remove(&id);
-                }
-            }
-            let domain = rel.domain_at(c);
-            if let Some(count) = self.adom.get_mut(&(id, domain)) {
-                *count -= 1;
-                if *count == 0 {
-                    self.adom.remove(&(id, domain));
-                }
-            }
         }
-        // Move the last row into the hole and patch its bookkeeping.
-        if row != last {
-            let moved: Vec<ValueId> = (0..rel.arity()).map(|c| store.columns[c][last]).collect();
-            for (c, &id) in moved.iter().enumerate() {
-                if let Some(list) = store.indexes[c].get_mut(&id) {
-                    if let Some(pos) = list.iter().position(|&r| r == last) {
-                        list[pos] = row;
+        {
+            let shard = self.shard_mut(relation.index());
+            let row = shard
+                .rows_by_key
+                .remove(key.as_slice())
+                .expect("presence checked above");
+            let last = shard.len() - 1;
+            // Detach the removed row from its posting lists.
+            for (c, &id) in key.iter().enumerate() {
+                if let Some(list) = shard.indexes[c].get_mut(&id) {
+                    if let Some(pos) = list.iter().position(|&r| r == row) {
+                        list.swap_remove(pos);
+                    }
+                    if list.is_empty() {
+                        shard.indexes[c].remove(&id);
                     }
                 }
             }
-            if let Some(slot) = store.rows_by_key.get_mut(moved.as_slice()) {
-                *slot = row;
+            // Move the last row into the hole and patch its bookkeeping.
+            if row != last {
+                let moved: Vec<ValueId> =
+                    (0..rel.arity()).map(|c| shard.columns[c][last]).collect();
+                for (c, &id) in moved.iter().enumerate() {
+                    if let Some(list) = shard.indexes[c].get_mut(&id) {
+                        if let Some(pos) = list.iter().position(|&r| r == last) {
+                            list[pos] = row;
+                        }
+                    }
+                }
+                if let Some(slot) = shard.rows_by_key.get_mut(moved.as_slice()) {
+                    *slot = row;
+                }
+            }
+            for c in 0..rel.arity() {
+                shard.columns[c].swap_remove(row);
+            }
+            shard.tuples.swap_remove(row);
+        }
+        let adom = self.adom_mut();
+        for (c, &id) in key.iter().enumerate() {
+            let entry = (id, rel.domain_at(c));
+            if let Some(count) = adom.get_mut(&entry) {
+                *count -= 1;
+                if *count == 0 {
+                    adom.remove(&entry);
+                }
             }
         }
-        for c in 0..rel.arity() {
-            store.columns[c].swap_remove(row);
-        }
-        store.tuples.swap_remove(row);
         self.len -= 1;
         true
     }
 
     /// Membership test.
     pub fn contains(&self, relation: RelationId, t: &Tuple) -> bool {
-        let Some(store) = self.relations.get(relation.index()) else {
+        let Some(shard) = self.relations.get(relation.index()) else {
             return false;
         };
-        if t.arity() != store.columns.len() {
+        if t.arity() != shard.columns.len() {
             return false;
         }
         let mut key = Vec::with_capacity(t.arity());
@@ -241,7 +371,7 @@ impl FactStore {
                 None => return false,
             }
         }
-        store.rows_by_key.contains_key(key.as_slice())
+        shard.rows_by_key.contains_key(key.as_slice())
     }
 
     /// Membership test for a [`Fact`].
@@ -262,7 +392,7 @@ impl FactStore {
     pub fn relation_len(&self, relation: RelationId) -> usize {
         self.relations
             .get(relation.index())
-            .map(RelationColumns::len)
+            .map(|s| s.len())
             .unwrap_or(0)
     }
 
@@ -278,8 +408,8 @@ impl FactStore {
 
     /// Iterates over every fact in the store.
     pub fn facts(&self) -> impl Iterator<Item = Fact> + '_ {
-        self.relations.iter().enumerate().flat_map(|(i, store)| {
-            store
+        self.relations.iter().enumerate().flat_map(|(i, shard)| {
+            shard
                 .tuples
                 .iter()
                 .map(move |t| (RelationId(i as u32), t.clone()))
@@ -312,12 +442,13 @@ impl FactStore {
     /// to avoid linear scans: the most selective per-attribute posting list
     /// is enumerated and the remaining constraints are checked columnar.
     pub fn candidates(&self, relation: RelationId, constraints: &[(usize, &Value)]) -> Vec<&Tuple> {
-        let Some(store) = self.relations.get(relation.index()) else {
+        let Some(shard) = self.relations.get(relation.index()) else {
             return Vec::new();
         };
-        let arity = store.columns.len();
+        let shard = shard.as_ref();
+        let arity = shard.columns.len();
         if constraints.is_empty() {
-            return store.tuples.iter().collect();
+            return shard.tuples.iter().collect();
         }
         // Resolve constraint values; an un-interned value or an out-of-range
         // position can never match.
@@ -334,7 +465,7 @@ impl FactStore {
         // Most selective posting list first.
         let mut best: Option<&Vec<usize>> = None;
         for &(pos, id) in &resolved {
-            match store.indexes[pos].get(&id) {
+            match shard.indexes[pos].get(&id) {
                 Some(list) => {
                     if best.map(|b| list.len() < b.len()).unwrap_or(true) {
                         best = Some(list);
@@ -350,33 +481,48 @@ impl FactStore {
             .filter(|&row| {
                 resolved
                     .iter()
-                    .all(|&(pos, id)| store.columns[pos][row] == id)
+                    .all(|&(pos, id)| shard.columns[pos][row] == id)
             })
             .collect();
         // Posting lists are patched on removal, so row order inside a list
         // is not sorted; sort for deterministic iteration downstream.
         hits.sort_unstable();
-        hits.into_iter().map(|row| &store.tuples[row]).collect()
+        hits.into_iter().map(|row| &shard.tuples[row]).collect()
     }
 
     /// Returns `true` if every fact of `self` is also in `other`.
     pub fn is_subset_of(&self, other: &FactStore) -> bool {
-        self.relations.iter().enumerate().all(|(i, store)| {
-            store
-                .tuples
-                .iter()
-                .all(|t| other.contains(RelationId(i as u32), t))
+        self.relations.iter().enumerate().all(|(i, shard)| {
+            // Shared shards are trivially subsets of themselves.
+            other
+                .relations
+                .get(i)
+                .map(|o| Arc::ptr_eq(shard, o))
+                .unwrap_or(false)
+                || shard
+                    .tuples
+                    .iter()
+                    .all(|t| other.contains(RelationId(i as u32), t))
         })
     }
 
     /// Adds every fact of `other` into `self`.
     pub fn extend_from(&mut self, other: &FactStore) {
-        for (i, store) in other.relations.iter().enumerate() {
+        for (i, shard) in other.relations.iter().enumerate() {
             let rel = RelationId(i as u32);
             if i >= self.relations.len() {
                 break;
             }
-            for t in &store.tuples {
+            if self
+                .relations
+                .get(i)
+                .map(|s| Arc::ptr_eq(s, shard))
+                .unwrap_or(false)
+            {
+                // Shared shard: every fact is already present.
+                continue;
+            }
+            for t in &shard.tuples {
                 let _ = self.insert(rel, t.clone());
             }
         }
@@ -389,14 +535,16 @@ impl FactStore {
     /// one validation pass *before* any relation is touched (so an invalid
     /// fact leaves the stored facts unchanged), rows are grouped per
     /// relation, and each relation's columns, tuple vector and row-key map
-    /// are reserved to their final size before the indexes are built. This
-    /// is the seeding path for the 10⁴–10⁵-fact configurations of the E5 /
-    /// federation sweeps.
+    /// are reserved to their final size before the indexes are built. Each
+    /// touched relation's shard is copied at most once (and not at all when
+    /// every grouped row is a duplicate). This is the seeding path for the
+    /// 10⁴–10⁶-fact configurations of the E5 / federation sweeps.
     pub fn extend_facts<I: IntoIterator<Item = Fact>>(&mut self, facts: I) -> Result<usize> {
+        let schema = self.schema.clone();
         // Validation + interning pass; nothing is stored yet.
         let mut grouped: Vec<Vec<(Box<[ValueId]>, Tuple)>> = vec![Vec::new(); self.relations.len()];
         for (relation, t) in facts {
-            let arity = self.schema.arity(relation)?;
+            let arity = schema.arity(relation)?;
             if t.arity() != arity {
                 return Err(SchemaError::ArityMismatch {
                     relation,
@@ -404,7 +552,7 @@ impl FactStore {
                     actual: t.arity(),
                 });
             }
-            let key: Box<[ValueId]> = t.iter().map(|v| self.interner.intern(v)).collect();
+            let key: Box<[ValueId]> = t.iter().map(|v| self.intern_value(v)).collect();
             grouped[relation.index()].push((key, t));
         }
         // Build pass: reserve per relation, then insert with index updates.
@@ -413,29 +561,45 @@ impl FactStore {
             if rows.is_empty() {
                 continue;
             }
-            let rel = self
-                .schema
+            // Copy-on-write guard: leave a fully-duplicate batch's shard
+            // shared.
+            if rows
+                .iter()
+                .all(|(key, _)| self.relations[i].rows_by_key.contains_key(key))
+            {
+                continue;
+            }
+            let rel = schema
                 .relation(RelationId(i as u32))
                 .expect("relation validated above");
-            let store = &mut self.relations[i];
-            store.rows_by_key.reserve(rows.len());
-            store.tuples.reserve(rows.len());
-            for column in &mut store.columns {
-                column.reserve(rows.len());
+            let mut adom_incs: Vec<(ValueId, DomainId)> = Vec::new();
+            {
+                let shard = self.shard_mut(i);
+                shard.rows_by_key.reserve(rows.len());
+                shard.tuples.reserve(rows.len());
+                for column in &mut shard.columns {
+                    column.reserve(rows.len());
+                }
+                for (key, t) in rows.drain(..) {
+                    if shard.rows_by_key.contains_key(&key) {
+                        continue;
+                    }
+                    let row = shard.tuples.len();
+                    for (c, &id) in key.iter().enumerate() {
+                        shard.columns[c].push(id);
+                        shard.indexes[c].entry(id).or_default().push(row);
+                        adom_incs.push((id, rel.domain_at(c)));
+                    }
+                    shard.tuples.push(t);
+                    shard.rows_by_key.insert(key, row);
+                    inserted += 1;
+                }
             }
-            for (key, t) in rows.drain(..) {
-                if store.rows_by_key.contains_key(&key) {
-                    continue;
+            if !adom_incs.is_empty() {
+                let adom = self.adom_mut();
+                for (id, domain) in adom_incs {
+                    *adom.entry((id, domain)).or_insert(0) += 1;
                 }
-                let row = store.tuples.len();
-                for (c, &id) in key.iter().enumerate() {
-                    store.columns[c].push(id);
-                    store.indexes[c].entry(id).or_default().push(row);
-                    *self.adom.entry((id, rel.domain_at(c))).or_insert(0) += 1;
-                }
-                store.tuples.push(t);
-                store.rows_by_key.insert(key, row);
-                inserted += 1;
             }
         }
         self.len += inserted;
@@ -790,5 +954,88 @@ mod tests {
         // One distinct value, interned once.
         assert_eq!(store.interner().len(), 1);
         assert_eq!(store.all_values(), vec![Value::sym("v")]);
+    }
+
+    #[test]
+    fn clones_share_every_shard_until_first_write() {
+        let schema = small_schema();
+        let r = schema.relation_by_name("R").unwrap();
+        let s = schema.relation_by_name("S").unwrap();
+        let mut store = FactStore::new(schema);
+        store.insert(r, tuple(["a", "1"])).unwrap();
+        store.insert_named("S", ["z"]).unwrap();
+        let base_copies = store.shard_copies();
+        let mut clone = store.clone();
+        assert!(store.shares_relation_shard(&clone, r));
+        assert!(store.shares_relation_shard(&clone, s));
+        assert!(store.shares_adom_shard(&clone));
+        assert!(store.shares_interner(&clone));
+        // The clone inherits the counter; sharing cost nothing.
+        assert_eq!(clone.shard_copies(), base_copies);
+        // Mutating R in the clone diverges R (and the adom + interner, which
+        // see a new value) but leaves S shared.
+        clone.insert(r, tuple(["new", "9"])).unwrap();
+        assert!(!store.shares_relation_shard(&clone, r));
+        assert!(store.shares_relation_shard(&clone, s));
+        assert!(!store.shares_adom_shard(&clone));
+        assert!(!store.shares_interner(&clone));
+        assert!(clone.shard_copies() > base_copies);
+        // The original handle never copied anything.
+        assert_eq!(store.shard_copies(), base_copies);
+        // The original is undisturbed.
+        assert!(!store.contains(r, &tuple(["new", "9"])));
+        assert!(clone.contains(r, &tuple(["new", "9"])));
+    }
+
+    #[test]
+    fn duplicate_insert_and_known_values_do_not_copy_shards() {
+        let schema = small_schema();
+        let r = schema.relation_by_name("R").unwrap();
+        let mut store = FactStore::new(schema);
+        store.insert(r, tuple(["a", "1"])).unwrap();
+        let mut clone = store.clone();
+        let copies = clone.shard_copies();
+        // Re-inserting an existing fact is read-only: everything stays
+        // shared.
+        assert!(!clone.insert(r, tuple(["a", "1"])).unwrap());
+        assert_eq!(clone.shard_copies(), copies);
+        assert!(store.shares_relation_shard(&clone, r));
+        assert!(store.shares_adom_shard(&clone));
+        assert!(store.shares_interner(&clone));
+        // Inserting a new fact built from already-known values copies the
+        // relation and adom shards but not the interner.
+        assert!(clone.insert(r, tuple(["1", "a"])).unwrap());
+        assert!(!store.shares_relation_shard(&clone, r));
+        assert!(!store.shares_adom_shard(&clone));
+        assert!(store.shares_interner(&clone));
+    }
+
+    #[test]
+    fn removal_miss_on_shared_shard_is_read_only() {
+        let schema = small_schema();
+        let r = schema.relation_by_name("R").unwrap();
+        let mut store = FactStore::new(schema);
+        store.insert(r, tuple(["a", "1"])).unwrap();
+        let mut clone = store.clone();
+        assert!(!clone.remove(r, &tuple(["ghost", "1"])));
+        assert!(!clone.remove(r, &tuple(["a", "x"])));
+        assert!(store.shares_relation_shard(&clone, r));
+        assert!(store.shares_adom_shard(&clone));
+    }
+
+    #[test]
+    fn fully_duplicate_bulk_load_keeps_shards_shared() {
+        let schema = small_schema();
+        let r = schema.relation_by_name("R").unwrap();
+        let mut store = FactStore::new(schema);
+        store.insert(r, tuple(["a", "1"])).unwrap();
+        store.insert(r, tuple(["b", "2"])).unwrap();
+        let mut clone = store.clone();
+        let inserted = clone
+            .extend_facts(vec![(r, tuple(["a", "1"])), (r, tuple(["b", "2"]))])
+            .unwrap();
+        assert_eq!(inserted, 0);
+        assert!(store.shares_relation_shard(&clone, r));
+        assert!(store.shares_adom_shard(&clone));
     }
 }

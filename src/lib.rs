@@ -73,8 +73,9 @@ pub mod prelude {
         DeepWebSource, EngineOptions, FederatedEngine, ResponsePolicy, Strategy,
     };
     pub use accrel_federation::{
-        parallel_relevance_sweep, BatchOptions, BatchScheduler, Federation, FlakyModel,
-        LatencyModel, PolicySource, SimulatedSource, Source, SpeculationMode,
+        parallel_relevance_sweep, parallel_relevance_sweep_report, BatchOptions, BatchScheduler,
+        Federation, FlakyModel, LatencyModel, PolicySource, SimulatedSource, Source,
+        SpeculationMode, SweepReport,
     };
     pub use accrel_query::{
         certain, ConjunctiveQuery, PositiveQuery, PqFormula, Query, Term, VarId,

@@ -1,14 +1,18 @@
 //! Scheduler-equivalence grid: batched parallel runs must report the same
 //! final configuration, certain-answer verdict, answers, access sequence and
 //! relevance-verdict log as the sequential `FederatedEngine`, across every
-//! strategy, both deterministic response policies (`Exact`, `FirstK`), and
-//! several batch sizes.
+//! strategy, every response policy (`Exact`, `FirstK`, and `SoundSample`,
+//! which is hash-seeded per access and therefore order-insensitive), and
+//! several batch sizes — all over the copy-on-write sharded store, whose
+//! snapshots both sides grow independently.
 //!
 //! The sequential side runs against a plain `DeepWebSource`; the batched
 //! side runs against a `Federation` wrapping an identically-configured
-//! source behind the `PolicySource` adapter. Both policies answer a given
-//! access with a deterministic response, which is the precondition of the
-//! scheduler's determinism invariant (see `accrel_federation::scheduler`).
+//! source behind the `PolicySource` adapter. Every policy answers a given
+//! access with a deterministic response — `SoundSample` draws its subset
+//! from an RNG seeded by `Access::stable_hash` — which is the precondition
+//! of the scheduler's determinism invariant (see
+//! `accrel_federation::scheduler`).
 
 use accrel::engine::scenarios::{bank_scenario, bank_scenario_negative, Scenario};
 use accrel::prelude::*;
@@ -115,7 +119,14 @@ fn assert_equivalent(scenario: &Scenario, policy: &ResponsePolicy, batch_size: u
 #[test]
 fn bank_grid_matches_sequential_engine() {
     let scenario = bank_scenario();
-    for policy in [ResponsePolicy::Exact, ResponsePolicy::FirstK(2)] {
+    for policy in [
+        ResponsePolicy::Exact,
+        ResponsePolicy::FirstK(2),
+        ResponsePolicy::SoundSample {
+            probability: 0.7,
+            seed: 17,
+        },
+    ] {
         for batch_size in [1, 4, 8] {
             assert_equivalent(&scenario, &policy, batch_size);
         }
@@ -125,7 +136,14 @@ fn bank_grid_matches_sequential_engine() {
 #[test]
 fn negative_bank_grid_matches_sequential_engine() {
     let scenario = bank_scenario_negative();
-    for policy in [ResponsePolicy::Exact, ResponsePolicy::FirstK(3)] {
+    for policy in [
+        ResponsePolicy::Exact,
+        ResponsePolicy::FirstK(3),
+        ResponsePolicy::SoundSample {
+            probability: 0.5,
+            seed: 3,
+        },
+    ] {
         for batch_size in [1, 4] {
             assert_equivalent(&scenario, &policy, batch_size);
         }
@@ -136,7 +154,14 @@ fn negative_bank_grid_matches_sequential_engine() {
 fn random_workload_grid_matches_sequential_engine() {
     for seed in [11, 29] {
         let scenario = random_scenario(seed);
-        for policy in [ResponsePolicy::Exact, ResponsePolicy::FirstK(2)] {
+        for policy in [
+            ResponsePolicy::Exact,
+            ResponsePolicy::FirstK(2),
+            ResponsePolicy::SoundSample {
+                probability: 0.6,
+                seed,
+            },
+        ] {
             for batch_size in [1, 4] {
                 assert_equivalent(&scenario, &policy, batch_size);
             }

@@ -305,6 +305,210 @@ fn cached_active_domain_agrees_with_scan_oracle_after_inserts_and_removals() {
     }
 }
 
+/// Naive deep-copy oracle for the copy-on-write store: rebuild an
+/// independent store holding exactly the same facts, sharing nothing.
+fn deep_copy_oracle(store: &accrel::schema::FactStore) -> accrel::schema::FactStore {
+    let mut copy = accrel::schema::FactStore::new(store.schema().clone());
+    for (rel, t) in store.facts() {
+        copy.insert(rel, t).expect("oracle facts are well-typed");
+    }
+    copy
+}
+
+/// Asserts two stores agree observationally: same facts, same active
+/// domain, and same index-backed matching results for every probe drawn
+/// from the workload pool.
+fn assert_stores_agree(
+    a: &accrel::schema::FactStore,
+    b: &accrel::schema::FactStore,
+    workload: &Workload,
+    context: &str,
+) {
+    assert_eq!(a.len(), b.len(), "len diverged: {context}");
+    assert_eq!(a.sorted_facts(), b.sorted_facts(), "facts: {context}");
+    assert_eq!(a.active_domain(), b.active_domain(), "adom: {context}");
+    for (rel, relation) in workload.schema.relations_with_ids() {
+        assert_eq!(
+            a.relation_len(rel),
+            b.relation_len(rel),
+            "relation len: {context}"
+        );
+        for value in workload.constants.iter().take(4) {
+            for pos in 0..relation.arity() {
+                let sorted = |mut v: Vec<accrel::schema::Tuple>| {
+                    v.sort();
+                    v
+                };
+                assert_eq!(
+                    sorted(a.matching(rel, &[pos], std::slice::from_ref(value))),
+                    sorted(b.matching(rel, &[pos], std::slice::from_ref(value))),
+                    "matching diverged: {context}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn cow_clone_then_mutate_diverges_like_a_deep_copy() {
+    // Oracle grid for the copy-on-write shards: mutate a clone and its
+    // origin with different interleavings of inserts and removals; both
+    // handles must behave exactly like independently deep-copied stores.
+    for (seed, _, facts) in cases() {
+        let (workload, _, conf) = workload_and_query(seed, 1, facts + 5);
+        let original = conf.store().clone();
+        let mut clone = original.clone();
+        let mut oracle_original = deep_copy_oracle(&original);
+        let mut oracle_clone = deep_copy_oracle(&original);
+        let mut original = original;
+
+        // Mutate the clone: remove every other fact, insert fresh ones.
+        let victims: Vec<_> = oracle_clone.facts().step_by(2).collect();
+        for (rel, t) in &victims {
+            assert_eq!(clone.remove(*rel, t), oracle_clone.remove(*rel, t));
+        }
+        let mut rng = StdRng::seed_from_u64(seed + 101);
+        let extra = generate_configuration(&workload, 6, &mut rng);
+        for (rel, t) in extra.facts() {
+            assert_eq!(
+                clone.insert(rel, t.clone()).unwrap(),
+                oracle_clone.insert(rel, t).unwrap()
+            );
+        }
+        // Mutate the original differently: insert a disjoint batch.
+        let mut rng = StdRng::seed_from_u64(seed + 202);
+        let other = generate_configuration(&workload, 4, &mut rng);
+        for (rel, t) in other.facts() {
+            assert_eq!(
+                original.insert(rel, t.clone()).unwrap(),
+                oracle_original.insert(rel, t).unwrap()
+            );
+        }
+
+        let ctx = format!("seed={seed} facts={facts}");
+        assert_stores_agree(&clone, &oracle_clone, &workload, &format!("clone {ctx}"));
+        assert_stores_agree(
+            &original,
+            &oracle_original,
+            &workload,
+            &format!("original {ctx}"),
+        );
+    }
+}
+
+#[test]
+fn cow_unmutated_shards_stay_pointer_equal_across_clones() {
+    for (seed, _, facts) in cases() {
+        let (workload, _, conf) = workload_and_query(seed, 1, facts + 5);
+        let base = conf.store();
+        let mut clone = base.clone();
+        // A fresh clone shares every shard with its origin.
+        for (rel, _) in workload.schema.relations_with_ids() {
+            assert!(
+                base.shares_relation_shard(&clone, rel),
+                "fresh clone must share relation shards at seed={seed}"
+            );
+        }
+        assert!(base.shares_adom_shard(&clone));
+        assert!(base.shares_interner(&clone));
+        // Insert one fact into exactly one relation of the clone: only that
+        // relation's shard (plus adom, plus interner for the new value)
+        // diverges.
+        let (target, target_rel) = workload
+            .schema
+            .relations_with_ids()
+            .next()
+            .expect("workload has relations");
+        let fresh_tuple = accrel::schema::Tuple::new(
+            (0..target_rel.arity())
+                .map(|i| Value::sym(format!("cow-fresh-{seed}-{i}")))
+                .collect(),
+        );
+        assert!(clone.insert(target, fresh_tuple).unwrap());
+        for (rel, _) in workload.schema.relations_with_ids() {
+            if rel == target {
+                assert!(
+                    !base.shares_relation_shard(&clone, rel),
+                    "mutated shard must diverge at seed={seed}"
+                );
+            } else {
+                assert!(
+                    base.shares_relation_shard(&clone, rel),
+                    "untouched shard {rel:?} must stay shared at seed={seed}"
+                );
+            }
+        }
+        assert!(!base.shares_adom_shard(&clone));
+        assert!(!base.shares_interner(&clone));
+        // The origin handle performed no copy; the clone performed some.
+        assert_eq!(base.shard_copies(), 0, "read-only origin at seed={seed}");
+        assert!(clone.shard_copies() > 0);
+    }
+}
+
+#[test]
+fn cow_adom_and_indexes_survive_swap_removal_on_a_shared_shard() {
+    // Swap-patch removal on a clone whose shards are still shared: the
+    // clone's refcounted adom cache and posting lists must match the scan
+    // oracles, and the sharing origin must be byte-identical to before.
+    for (seed, _, facts) in cases() {
+        let (_, _, conf) = workload_and_query(seed, 1, facts + 6);
+        let original = conf.store().clone();
+        let before_facts = original.sorted_facts();
+        let before_adom = adom_oracle(&original);
+        let mut clone = original.clone();
+        let victims: Vec<_> = clone.facts().step_by(2).collect();
+        for (rel, t) in victims {
+            assert!(clone.remove(rel, &t), "removal failed at seed={seed}");
+            // The clone's maintained adom equals the rescan oracle after
+            // every swap-removal...
+            assert_eq!(
+                clone.active_domain(),
+                adom_oracle(&clone),
+                "clone adom diverged at seed={seed}"
+            );
+            // ...and the origin never moves.
+            assert_eq!(
+                original.sorted_facts(),
+                before_facts,
+                "origin facts disturbed at seed={seed}"
+            );
+        }
+        assert_eq!(adom_oracle(&original), before_adom);
+        // Swap-patched posting lists on the clone still answer matching
+        // correctly (checked against the naive scan oracle).
+        for (rel, relation) in conf.schema().relations_with_ids() {
+            for pos in 0..relation.arity() {
+                for t in clone.tuples(rel).take(3).cloned().collect::<Vec<_>>() {
+                    let value = t.get(pos).unwrap().clone();
+                    let got = {
+                        let mut v = clone.matching(rel, &[pos], std::slice::from_ref(&value));
+                        v.sort();
+                        v
+                    };
+                    assert_eq!(
+                        got,
+                        matching_oracle(&clone, rel, &[pos], std::slice::from_ref(&value)),
+                        "post-removal matching at seed={seed}"
+                    );
+                }
+            }
+        }
+        // Reinsertion on the diverged shard works and is invisible to the
+        // origin.
+        let readd: Vec<_> = before_facts
+            .iter()
+            .filter(|f| !clone.contains_fact(f))
+            .cloned()
+            .collect();
+        for (rel, t) in readd {
+            assert!(clone.insert(rel, t).unwrap());
+        }
+        assert_eq!(clone.sorted_facts(), before_facts);
+        assert_eq!(original.sorted_facts(), before_facts);
+    }
+}
+
 #[test]
 fn index_backed_candidates_agree_with_membership_semantics() {
     for (seed, _, facts) in cases() {

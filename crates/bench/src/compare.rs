@@ -122,14 +122,29 @@ mod tests {
 
     #[test]
     fn tolerates_baselines_predating_new_keys() {
-        // The baseline predates the F1 federation sweep; its rows must be
-        // ignored rather than failing the comparison.
+        // The baseline predates the F1 federation sweep and the F2 async
+        // sweep; their rows must be ignored rather than failing the
+        // comparison.
         let baseline = vec![row("E1", "CQ", "1", "median µs", 10.0)];
         let fresh = vec![
             row("E1", "CQ", "1", "median µs", 11.0),
             row("F1", "E5 federation (exhaustive)", "4", "µs/access", 120.0),
             row("F1", "E5 federation (exhaustive)", "4", "mean batch", 3.5),
             row("F1", "IR sweep", "2", "sweep µs", 900.0),
+            row(
+                "F2",
+                "E5 async federation (exhaustive)",
+                "4",
+                "virtual µs/access",
+                60.0,
+            ),
+            row(
+                "F2",
+                "E5 async federation (exhaustive)",
+                "4",
+                "wall µs/access",
+                9.0,
+            ),
         ];
         let report = compare_rows(&baseline, &fresh, 2.0);
         assert_eq!(report.compared, 1);

@@ -2,7 +2,7 @@
 
 use accrel_access::{binding, Access, AccessMethods, AccessMode};
 use accrel_core::SearchBudget;
-use accrel_federation::{Federation, LatencyModel, SimulatedSource};
+use accrel_federation::{AsyncFederation, Federation, LatencyModel, SimulatedSource};
 use accrel_query::{ConjunctiveQuery, Query, Term};
 use accrel_schema::{Configuration, Schema, Value};
 use accrel_workloads::random::{
@@ -257,11 +257,29 @@ pub struct FederationFixture {
     pub initial: Configuration,
 }
 
-/// Builds the F1 fixture at `facts` hidden facts. `latency_micros` is the
-/// per-round-trip base latency of the simulated providers; pass
-/// `sleep = true` for throughput measurements (the latencies are actually
-/// slept) and `false` for pure-semantics tests.
-pub fn federation_fixture(facts: usize, latency_micros: u64, sleep: bool) -> FederationFixture {
+/// The shared E5-style federation world: a dependent 4-relation workload, a
+/// bulk-seeded hidden instance, the fixed three-atom chain query and a
+/// deterministic seed configuration. Build it **once** per harness scale
+/// and derive both the F1 (threaded) and F2 (async) fixtures from it —
+/// at 10⁶ facts the hidden-instance generation dominates everything else.
+#[derive(Debug)]
+pub struct FederationWorld {
+    facts: usize,
+    workload: Workload,
+    instance: accrel_schema::Instance,
+    query: Query,
+    initial: Configuration,
+}
+
+impl FederationWorld {
+    /// The hidden-instance size this world was built at.
+    pub fn facts(&self) -> usize {
+        self.facts
+    }
+}
+
+/// Builds the E5 federation world at `facts` hidden facts.
+pub fn federation_world(facts: usize) -> FederationWorld {
     let spec = WorkloadSpec {
         relations: 4,
         arity: 2,
@@ -291,7 +309,22 @@ pub fn federation_fixture(facts: usize, latency_micros: u64, sleep: bool) -> Fed
         instance.facts().take(32.min(facts)),
     )
     .expect("sampled facts are well-typed");
-    // Two providers with different latency profiles, splitting the methods.
+    FederationWorld {
+        facts,
+        workload,
+        instance,
+        query,
+        initial,
+    }
+}
+
+/// The two E5 providers with distinct latency profiles, splitting the
+/// methods: provider A fast, provider B slower and paged.
+fn federation_providers(
+    world: &FederationWorld,
+    latency_micros: u64,
+    sleep: bool,
+) -> (SimulatedSource, SimulatedSource) {
     let latency_a = LatencyModel {
         base_micros: latency_micros,
         jitter_micros: latency_micros / 2,
@@ -304,13 +337,39 @@ pub fn federation_fixture(facts: usize, latency_micros: u64, sleep: bool) -> Fed
         seed: 11,
         sleep,
     };
-    let provider_a =
-        SimulatedSource::exact("provider-a", instance.clone(), workload.methods.clone())
-            .with_latency(latency_a);
-    let provider_b = SimulatedSource::exact("provider-b", instance, workload.methods.clone())
-        .with_latency(latency_b)
-        .with_paging(64);
-    let federation = Federation::builder(workload.methods.clone())
+    let provider_a = SimulatedSource::exact(
+        "provider-a",
+        world.instance.clone(),
+        world.workload.methods.clone(),
+    )
+    .with_latency(latency_a);
+    let provider_b = SimulatedSource::exact(
+        "provider-b",
+        world.instance.clone(),
+        world.workload.methods.clone(),
+    )
+    .with_latency(latency_b)
+    .with_paging(64);
+    (provider_a, provider_b)
+}
+
+/// Builds the F1 fixture at `facts` hidden facts. `latency_micros` is the
+/// per-round-trip base latency of the simulated providers; pass
+/// `sleep = true` for throughput measurements (the latencies are actually
+/// slept) and `false` for pure-semantics tests.
+pub fn federation_fixture(facts: usize, latency_micros: u64, sleep: bool) -> FederationFixture {
+    federation_fixture_from(&federation_world(facts), latency_micros, sleep)
+}
+
+/// [`federation_fixture`] over an already-built world (so F1 and F2 share
+/// one hidden-instance build per harness scale).
+pub fn federation_fixture_from(
+    world: &FederationWorld,
+    latency_micros: u64,
+    sleep: bool,
+) -> FederationFixture {
+    let (provider_a, provider_b) = federation_providers(world, latency_micros, sleep);
+    let federation = Federation::builder(world.workload.methods.clone())
         .source(provider_a, &["acc0", "acc1"])
         .expect("provider-a methods exist")
         .source(provider_b, &["acc2", "acc3"])
@@ -319,8 +378,50 @@ pub fn federation_fixture(facts: usize, latency_micros: u64, sleep: bool) -> Fed
         .expect("every method routed");
     FederationFixture {
         federation,
-        query,
-        initial,
+        query: world.query.clone(),
+        initial: world.initial.clone(),
+    }
+}
+
+/// F2: the same two-provider E5 world behind an [`AsyncFederation`] — the
+/// providers' latency models elapse on the shared virtual clock, so the
+/// async sweep measures simulated makespan with zero real sleeps.
+#[derive(Debug)]
+pub struct AsyncFederationFixture {
+    /// The assembled async federation (two latency-modelled providers over
+    /// one virtual clock).
+    pub federation: AsyncFederation,
+    /// The fixed three-atom chain query of E5.
+    pub query: Query,
+    /// The seed configuration (a sample of the hidden instance).
+    pub initial: Configuration,
+}
+
+/// Builds the F2 fixture at `facts` hidden facts: identical content and
+/// latency distributions to [`federation_fixture`] (with `sleep = false` —
+/// the async runtime never sleeps for real).
+pub fn async_federation_fixture(facts: usize, latency_micros: u64) -> AsyncFederationFixture {
+    async_federation_fixture_from(&federation_world(facts), latency_micros)
+}
+
+/// [`async_federation_fixture`] over an already-built world (so F1 and F2
+/// share one hidden-instance build per harness scale).
+pub fn async_federation_fixture_from(
+    world: &FederationWorld,
+    latency_micros: u64,
+) -> AsyncFederationFixture {
+    let (provider_a, provider_b) = federation_providers(world, latency_micros, false);
+    let federation = AsyncFederation::builder(world.workload.methods.clone())
+        .simulated(provider_a, &["acc0", "acc1"])
+        .expect("provider-a methods exist")
+        .simulated(provider_b, &["acc2", "acc3"])
+        .expect("provider-b methods exist")
+        .build()
+        .expect("every method routed");
+    AsyncFederationFixture {
+        federation,
+        query: world.query.clone(),
+        initial: world.initial.clone(),
     }
 }
 

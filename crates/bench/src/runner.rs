@@ -11,7 +11,8 @@ use accrel_engine::{
     DeepWebSource, EngineOptions, FederatedEngine, RelevanceKind, ResponsePolicy, Strategy,
 };
 use accrel_federation::{
-    parallel_relevance_sweep_report, BatchOptions, BatchScheduler, SpeculationMode,
+    parallel_relevance_sweep_report, AsyncBatchOptions, AsyncBatchScheduler, BatchOptions,
+    BatchScheduler, SpeculationMode,
 };
 use accrel_workloads::encodings::encoding_stats;
 use accrel_workloads::tiling::checkerboard;
@@ -404,21 +405,23 @@ pub fn e8_reductions(repeats: usize) -> Table {
 /// fixture's candidate accesses at every worker count. Latencies are really
 /// slept, so the per-access wall time shows the batching payoff.
 ///
-/// The hidden instance is generated **once** and shared by every batch-size
-/// run (sources are immutable; statistics are reset between runs) — at the
-/// 10⁶-fact scale of `run_all`, rebuilding it per batch size used to
-/// dominate the sweep. Each run's `shard copies` row reports the
-/// copy-on-write traffic of its configuration handle, and the sweep rows
-/// include the snapshot copy count, which stays zero: read-only workers
-/// share every shard of the million-fact configuration.
+/// The hidden instance is generated **once** per harness scale — callers
+/// build a [`fixtures::FederationWorld`] and F1 and F2 both derive their
+/// fixtures from it (sources are immutable; statistics are reset between
+/// runs) — at the 10⁶-fact scale of `run_all`, rebuilding it per batch size
+/// (or per table) used to dominate the sweep. Each run's `shard copies` row
+/// reports the copy-on-write traffic of its configuration handle, and the
+/// sweep rows include the snapshot copy count, which stays zero: read-only
+/// workers share every shard of the million-fact configuration.
 pub fn f1_federation_sweep(
-    facts: usize,
+    world: &fixtures::FederationWorld,
     max_accesses: usize,
     batch_sizes: &[usize],
     sweep_workers: &[usize],
 ) -> Table {
+    let facts = world.facts();
     let mut rows = Vec::new();
-    let slept = fixtures::federation_fixture(facts, 100, true);
+    let slept = fixtures::federation_fixture_from(world, 100, true);
     for &batch_size in batch_sizes {
         slept.federation.reset_stats();
         let options = BatchOptions {
@@ -519,11 +522,100 @@ pub fn f1_federation_sweep(
     }
 }
 
+/// F2 — the async federation sweep: the same exhaustive E5 federation run
+/// as F1, executed by the `AsyncBatchScheduler` on the hand-rolled
+/// mini-executor, swept over the **in-flight limit** at a fixed batch size.
+/// Latencies elapse on the shared virtual clock, so the headline metric is
+/// `virtual µs/access` — the simulated makespan per access, which shrinks
+/// as the in-flight limit lets more round trips overlap — measured with
+/// zero real sleeps (the `wall µs/access` row shows the scheduler's true
+/// CPU cost stays flat).
+pub fn f2_async_sweep(
+    world: &fixtures::FederationWorld,
+    max_accesses: usize,
+    batch_size: usize,
+    in_flight_limits: &[usize],
+) -> Table {
+    let facts = world.facts();
+    let mut rows = Vec::new();
+    let fixture = fixtures::async_federation_fixture_from(world, 100);
+    for &in_flight in in_flight_limits {
+        fixture.federation.reset_stats();
+        let virtual_before = fixture.federation.clock().now_micros();
+        let options = AsyncBatchOptions {
+            engine: EngineOptions {
+                max_accesses,
+                stop_when_certain: false,
+                ..EngineOptions::default()
+            },
+            batch_size,
+            in_flight,
+            speculation: SpeculationMode::CachedOnly,
+        };
+        let start = Instant::now();
+        let report = AsyncBatchScheduler::new(
+            &fixture.federation,
+            fixture.query.clone(),
+            Strategy::Exhaustive,
+        )
+        .with_options(options)
+        .run(&fixture.initial);
+        let wall = start.elapsed().as_secs_f64() * 1e6;
+        let virtual_elapsed = fixture.federation.clock().now_micros() - virtual_before;
+        let series = "E5 async federation (exhaustive)";
+        rows.push(Row::new(
+            series,
+            in_flight,
+            "virtual µs/access",
+            virtual_elapsed as f64 / report.accesses_made.max(1) as f64,
+        ));
+        rows.push(Row::new(
+            series,
+            in_flight,
+            "wall µs/access",
+            wall / report.accesses_made.max(1) as f64,
+        ));
+        rows.push(Row::new(
+            series,
+            in_flight,
+            "accesses",
+            report.accesses_made as f64,
+        ));
+        rows.push(Row::new(
+            series,
+            in_flight,
+            "mean batch",
+            report.batch_stats.mean_batch(),
+        ));
+        rows.push(Row::new(
+            series,
+            in_flight,
+            "source calls",
+            report.source_stats.calls as f64,
+        ));
+        rows.push(Row::new(
+            series,
+            in_flight,
+            "shard copies",
+            report.shard_copies as f64,
+        ));
+    }
+    Table {
+        id: "F2".to_string(),
+        title: format!(
+            "Async federation sweep at {facts} facts: virtual-clock throughput vs in-flight \
+             limit (batch size {batch_size}, no real sleeps)"
+        ),
+        rows,
+    }
+}
+
 /// Runs every experiment at harness scale and returns the tables. The E5
 /// and F1 sweeps reach 10⁶ facts — the copy-on-write sharded store keeps
 /// the bulk load (one `extend_facts` pass) and the per-round configuration
 /// growth affordable at that size.
 pub fn run_all() -> Vec<Table> {
+    let world = fixtures::federation_world(1_000_000);
     vec![
         e1_immediate(&[1, 2, 3, 4, 5, 6], 5),
         e2_ltr_independent(&[1, 2, 3, 4, 5], 3),
@@ -533,7 +625,8 @@ pub fn run_all() -> Vec<Table> {
         e6_tractable_cases(&[10, 100, 1000], 5),
         e7_engine_ablation(),
         e8_reductions(3),
-        f1_federation_sweep(1_000_000, 96, &[1, 2, 4, 8, 16, 32], &[1, 2, 4, 8]),
+        f1_federation_sweep(&world, 96, &[1, 2, 4, 8, 16, 32], &[1, 2, 4, 8]),
+        f2_async_sweep(&world, 96, 16, &[1, 2, 4, 8, 16]),
     ]
 }
 
@@ -541,6 +634,7 @@ pub fn run_all() -> Vec<Table> {
 /// that records the perf trajectory without criterion statistics. E5 tops
 /// out at 10⁵ facts here (10⁶ is the `run_million` job's scale).
 pub fn run_smoke() -> Vec<Table> {
+    let world = fixtures::federation_world(10_000);
     vec![
         e1_immediate(&[1, 2], 1),
         e2_ltr_independent(&[1, 2], 1),
@@ -550,17 +644,22 @@ pub fn run_smoke() -> Vec<Table> {
         e6_tractable_cases(&[10, 100], 1),
         e7_engine_ablation(),
         e8_reductions(1),
-        f1_federation_sweep(10_000, 48, &[1, 4, 16], &[1, 2, 4]),
+        f1_federation_sweep(&world, 48, &[1, 4, 16], &[1, 2, 4]),
+        f2_async_sweep(&world, 48, 16, &[1, 2, 4, 8]),
     ]
 }
 
-/// The million-fact job: the E5 data-complexity point and the F1 federation
-/// sweep at 10⁶ facts, once each — the non-blocking CI step compares the
-/// resulting JSON against `BENCH_million_baseline.json` and uploads it.
+/// The million-fact job: the E5 data-complexity point plus the F1 (threaded)
+/// and F2 (async, virtual-clock) federation sweeps at 10⁶ facts, once each —
+/// the non-blocking CI step compares the resulting JSON against
+/// `BENCH_million_baseline.json` (which may predate F2; missing rows are
+/// ignored by `bench_compare`) and uploads it.
 pub fn run_million() -> Vec<Table> {
+    let world = fixtures::federation_world(1_000_000);
     vec![
         e5_data_complexity(&[1_000_000], 1),
-        f1_federation_sweep(1_000_000, 48, &[8], &[4, 8]),
+        f1_federation_sweep(&world, 48, &[8], &[4, 8]),
+        f2_async_sweep(&world, 48, 16, &[4, 8]),
     ]
 }
 
@@ -676,7 +775,7 @@ mod tests {
     fn federation_sweep_reports_effective_batching() {
         // A scaled-down F1 (10³ facts to keep the test quick): batch size 4
         // must report a mean batch above 1 on the exhaustive run.
-        let table = f1_federation_sweep(1_000, 24, &[1, 4], &[1, 2]);
+        let table = f1_federation_sweep(&fixtures::federation_world(1_000), 24, &[1, 4], &[1, 2]);
         assert_eq!(table.id, "F1");
         let mean_batch_at = |batch: &str| {
             table
@@ -710,5 +809,41 @@ mod tests {
             .collect();
         assert_eq!(snapshot_copies.len(), 2);
         assert!(snapshot_copies.iter().all(|&c| c == 0.0));
+    }
+
+    /// Acceptance pin: at the 10⁴-fact E5 fixture, raising the in-flight
+    /// limit must shrink the virtual-clock makespan per access — throughput
+    /// scales with the limit, with zero real sleeps anywhere in the run
+    /// (the whole sweep takes wall milliseconds despite simulating
+    /// 100–200µs round trips).
+    #[test]
+    fn async_sweep_throughput_scales_with_in_flight_limit() {
+        let table = f2_async_sweep(&fixtures::federation_world(10_000), 48, 16, &[1, 4]);
+        assert_eq!(table.id, "F2");
+        let metric_at = |metric: &str, in_flight: &str| {
+            table
+                .rows
+                .iter()
+                .find(|r| r.metric == metric && r.parameter == in_flight)
+                .map(|r| r.value)
+                .unwrap_or_else(|| panic!("row {metric}@{in_flight} present"))
+        };
+        // The run itself is identical at every limit (same merge loop, same
+        // deterministic sources) — only the simulated makespan moves.
+        assert_eq!(metric_at("accesses", "1"), metric_at("accesses", "4"));
+        assert!(metric_at("accesses", "1") > 0.0);
+        assert_eq!(
+            metric_at("source calls", "1"),
+            metric_at("source calls", "4")
+        );
+        let serial = metric_at("virtual µs/access", "1");
+        let overlapped = metric_at("virtual µs/access", "4");
+        assert!(serial > 0.0);
+        assert!(
+            overlapped < serial,
+            "virtual µs/access must drop when 4 calls overlap: {overlapped} vs {serial}"
+        );
+        // Batching is effective, so there is something to overlap.
+        assert!(metric_at("mean batch", "4") > 1.0);
     }
 }

@@ -95,7 +95,8 @@ impl Default for EngineOptions {
 }
 
 /// Statistics about batched execution. Zero for the sequential engine; the
-/// batch scheduler of `accrel-federation` fills them in.
+/// schedulers of `accrel-federation` — threaded `BatchScheduler` and async
+/// `AsyncBatchScheduler` alike, which share one merge loop — fill them in.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct BatchStats {
     /// Number of batches issued to the sources.
@@ -108,7 +109,8 @@ pub struct BatchStats {
     /// Prefetched responses never consumed by the merge loop (speculation
     /// waste).
     pub speculative_wasted: usize,
-    /// Worker threads the scheduler was allowed to use per batch.
+    /// The scheduler's per-batch concurrency limit: worker threads for the
+    /// threaded scheduler, the in-flight future cap for the async one.
     pub workers: usize,
 }
 

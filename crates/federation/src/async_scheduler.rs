@@ -1,0 +1,495 @@
+//! The async batch scheduler: the threaded [`BatchScheduler`]'s merge loop,
+//! with batches realised as concurrently-polled futures on the hand-rolled
+//! mini-executor instead of scoped worker threads.
+//!
+//! # Determinism invariant, inherited
+//!
+//! [`AsyncBatchScheduler::run`] executes the *same*
+//! [`MergePlan`](crate::scheduler) merge loop as the threaded scheduler —
+//! not equivalent code, the same function. Concurrency enters only inside
+//! the `fetch` callback: a predicted batch's accesses are spawned as tasks
+//! on a fresh [`Executor`] over the federation's shared [`VirtualClock`],
+//! gated by a FIFO [`Semaphore`] of `in_flight` permits, and driven to
+//! completion before the merge loop consumes a single response. Responses
+//! are collected by *batch position*, never completion order, so for
+//! sources whose response is a deterministic function of the access — every
+//! adapter in this crate — an async run reports the same `access_sequence`,
+//! relevance-verdict log, answers and final configuration as the threaded
+//! scheduler and the sequential engine (pinned by the async grid in
+//! `tests/federation_equivalence.rs`).
+//!
+//! What changes is the *cost model*: simulated round trips are awaited on
+//! the virtual clock, so a batch's virtual makespan is its critical path
+//! under the in-flight limit — `clock().now_micros()` before and after a
+//! run measures exactly the latency-overlap payoff the paper's high-latency
+//! deep-Web setting is about, with zero real sleeps and zero extra threads.
+//! The F2 harness sweep reports this throughput-vs-in-flight curve.
+
+use accrel_access::{Access, Response};
+use accrel_engine::{EngineOptions, RunReport, Strategy};
+use accrel_query::Query;
+use accrel_schema::Configuration;
+
+use crate::async_federation::AsyncFederation;
+use crate::error::SourceError;
+use crate::executor::{Executor, Semaphore};
+use crate::scheduler::{MergePlan, SpeculationMode};
+
+/// Options of an async batched run.
+#[derive(Debug, Clone)]
+pub struct AsyncBatchOptions {
+    /// The sequential engine options (access cap, budget, relevance cache).
+    pub engine: EngineOptions,
+    /// Maximum accesses prefetched per batch (1 disables speculation).
+    pub batch_size: usize,
+    /// Maximum source calls in flight at once within a batch (the async
+    /// analogue of worker threads; reported in
+    /// [`accrel_engine::BatchStats::workers`]).
+    pub in_flight: usize,
+    /// How follow-up accesses are predicted.
+    pub speculation: SpeculationMode,
+}
+
+impl Default for AsyncBatchOptions {
+    fn default() -> Self {
+        Self {
+            engine: EngineOptions::default(),
+            batch_size: 8,
+            in_flight: 4,
+            speculation: SpeculationMode::CachedOnly,
+        }
+    }
+}
+
+/// A federated engine executing relevance-verified batches as concurrently
+/// awaited futures while preserving the sequential engine's semantics (see
+/// the module documentation).
+#[derive(Debug)]
+pub struct AsyncBatchScheduler<'a> {
+    federation: &'a AsyncFederation,
+    query: Query,
+    strategy: Strategy,
+    options: AsyncBatchOptions,
+}
+
+impl<'a> AsyncBatchScheduler<'a> {
+    /// Creates a scheduler for `query` over `federation` using `strategy`.
+    pub fn new(federation: &'a AsyncFederation, query: Query, strategy: Strategy) -> Self {
+        Self {
+            federation,
+            query,
+            strategy,
+            options: AsyncBatchOptions::default(),
+        }
+    }
+
+    /// Replaces the run options.
+    pub fn with_options(mut self, options: AsyncBatchOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Runs the batched engine from `initial`. Everything in the report
+    /// matches the threaded [`crate::BatchScheduler`] (and therefore the
+    /// sequential engine) against sources returning the same responses;
+    /// only the wall clock and the federation's *virtual* clock tell the
+    /// runs apart.
+    pub fn run(&self, initial: &Configuration) -> RunReport {
+        let stats_before = self.federation.stats();
+        let plan = MergePlan {
+            query: &self.query,
+            strategy: self.strategy,
+            engine: &self.options.engine,
+            batch_size: self.options.batch_size,
+            speculation: self.options.speculation,
+            workers: self.options.in_flight.max(1),
+        };
+        let mut report = plan.run(self.federation.methods(), initial, |batch| {
+            fetch_batch_async(self.federation, batch, self.options.in_flight)
+        });
+        report.source_stats = self.federation.stats().since(&stats_before).source;
+        report
+    }
+
+    /// Runs every strategy on the same initial configuration (resetting the
+    /// federation's statistics between runs), mirroring
+    /// [`crate::BatchScheduler::compare_strategies`].
+    pub fn compare_strategies(
+        federation: &'a AsyncFederation,
+        query: &Query,
+        initial: &Configuration,
+        options: &AsyncBatchOptions,
+    ) -> Vec<RunReport> {
+        Strategy::all()
+            .into_iter()
+            .map(|strategy| {
+                federation.reset_stats();
+                AsyncBatchScheduler::new(federation, query.clone(), strategy)
+                    .with_options(options.clone())
+                    .run(initial)
+            })
+            .collect()
+    }
+}
+
+/// Issues every access of `batch` against the federation as tasks of a
+/// fresh mini-executor over the federation's clock, at most `in_flight`
+/// awaiting a source at once (FIFO semaphore, so the admission order is the
+/// batch order). The result vector is aligned with `batch` — task
+/// completion order never shows, exactly like the threaded `fetch_batch`.
+pub(crate) fn fetch_batch_async(
+    federation: &AsyncFederation,
+    batch: &[Access],
+    in_flight: usize,
+) -> Vec<Result<Response, SourceError>> {
+    let executor = Executor::new(federation.clock().clone());
+    let gate = Semaphore::new(in_flight);
+    let handles: Vec<_> = batch
+        .iter()
+        .map(|access| {
+            let access = access.clone();
+            let gate = gate.clone();
+            executor.spawn(async move {
+                let _permit = gate.acquire().await;
+                federation.call(access).await
+            })
+        })
+        .collect();
+    let stuck = executor.run();
+    // `AsyncSource`'s suspension contract: call futures only wait on the
+    // shared virtual clock, so a fully-advanced run leaves nothing pending.
+    assert_eq!(
+        stuck, 0,
+        "async source futures may only suspend on the federation's \
+         VirtualClock (see the AsyncSource suspension contract)"
+    );
+    handles
+        .into_iter()
+        .map(|h| h.take().expect("batch task completed"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::async_source::BlockingSource;
+    use crate::scheduler::{BatchOptions, BatchScheduler};
+    use crate::source::{FlakyModel, LatencyModel, SimulatedSource};
+    use crate::Federation;
+    use accrel_core::SearchBudget;
+    use accrel_engine::scenarios::bank_scenario;
+    use accrel_engine::{DeepWebSource, FederatedEngine, ResponsePolicy};
+
+    fn bank_source(scenario: &accrel_engine::scenarios::Scenario) -> SimulatedSource {
+        SimulatedSource::exact("bank", scenario.instance.clone(), scenario.methods.clone())
+            .with_latency(LatencyModel {
+                base_micros: 100,
+                jitter_micros: 40,
+                seed: 5,
+                sleep: false,
+            })
+            .with_paging(2)
+    }
+
+    #[test]
+    fn async_run_matches_sequential_engine_for_every_strategy() {
+        let scenario = bank_scenario();
+        let sequential_source = DeepWebSource::new(
+            scenario.instance.clone(),
+            scenario.methods.clone(),
+            ResponsePolicy::Exact,
+        );
+        let federation = AsyncFederation::single_simulated(bank_source(&scenario));
+        for strategy in Strategy::all() {
+            let sequential =
+                FederatedEngine::new(&sequential_source, scenario.query.clone(), strategy)
+                    .run(&scenario.initial_configuration);
+            federation.reset_stats();
+            let batched = AsyncBatchScheduler::new(&federation, scenario.query.clone(), strategy)
+                .with_options(AsyncBatchOptions {
+                    batch_size: 4,
+                    in_flight: 3,
+                    ..AsyncBatchOptions::default()
+                })
+                .run(&scenario.initial_configuration);
+            assert_eq!(batched.access_sequence, sequential.access_sequence);
+            assert_eq!(batched.certain, sequential.certain);
+            assert_eq!(batched.answers, sequential.answers);
+            assert_eq!(batched.relevance_verdicts, sequential.relevance_verdicts);
+            assert!(batched
+                .final_configuration
+                .same_facts(&sequential.final_configuration));
+        }
+        // The simulated latencies elapsed on the virtual clock.
+        assert!(federation.clock().now_micros() > 0);
+    }
+
+    #[test]
+    fn higher_in_flight_limits_shrink_the_virtual_makespan() {
+        let scenario = bank_scenario();
+        let mut elapsed = Vec::new();
+        for in_flight in [1usize, 4] {
+            let federation = AsyncFederation::single_simulated(bank_source(&scenario));
+            let before = federation.clock().now_micros();
+            let report =
+                AsyncBatchScheduler::new(&federation, scenario.query.clone(), Strategy::Exhaustive)
+                    .with_options(AsyncBatchOptions {
+                        batch_size: 8,
+                        in_flight,
+                        ..AsyncBatchOptions::default()
+                    })
+                    .run(&scenario.initial_configuration);
+            assert!(report.certain);
+            elapsed.push((report, federation.clock().now_micros() - before));
+        }
+        let (serial_report, serial_micros) = &elapsed[0];
+        let (overlapped_report, overlapped_micros) = &elapsed[1];
+        // Same run, same simulated work...
+        assert_eq!(
+            serial_report.access_sequence,
+            overlapped_report.access_sequence
+        );
+        assert_eq!(
+            serial_report.source_stats.calls,
+            overlapped_report.source_stats.calls
+        );
+        // ...but overlapping the round trips compresses virtual time.
+        assert!(
+            overlapped_micros < serial_micros,
+            "in-flight 4 ({overlapped_micros}µs) must beat in-flight 1 ({serial_micros}µs)"
+        );
+    }
+
+    #[test]
+    fn eager_speculation_preserves_equivalence_async() {
+        let scenario = bank_scenario();
+        let engine_options = EngineOptions {
+            max_accesses: 12,
+            budget: SearchBudget::shallow(),
+            ..EngineOptions::default()
+        };
+        let sequential_source = DeepWebSource::new(
+            scenario.instance.clone(),
+            scenario.methods.clone(),
+            ResponsePolicy::Exact,
+        );
+        let federation = AsyncFederation::single_simulated(bank_source(&scenario));
+        for strategy in [Strategy::LtrGuided, Strategy::Hybrid] {
+            let sequential =
+                FederatedEngine::new(&sequential_source, scenario.query.clone(), strategy)
+                    .with_options(engine_options.clone())
+                    .run(&scenario.initial_configuration);
+            federation.reset_stats();
+            let batched = AsyncBatchScheduler::new(&federation, scenario.query.clone(), strategy)
+                .with_options(AsyncBatchOptions {
+                    engine: engine_options.clone(),
+                    batch_size: 3,
+                    in_flight: 2,
+                    speculation: SpeculationMode::Eager,
+                })
+                .run(&scenario.initial_configuration);
+            assert_eq!(batched.access_sequence, sequential.access_sequence);
+            assert_eq!(batched.relevance_verdicts, sequential.relevance_verdicts);
+            assert!(batched
+                .final_configuration
+                .same_facts(&sequential.final_configuration));
+        }
+    }
+
+    /// Satellite: a flaky async source exhausting its retries must surface
+    /// the same calls/retries/failures split as the threaded path — pinned
+    /// against `Federation::per_source_stats`.
+    #[test]
+    fn flaky_retry_exhaustion_reports_identical_stats_to_the_threaded_path() {
+        let scenario = bank_scenario();
+        let flaky = FlakyModel {
+            // Every access is flaky and fails more often than the source
+            // retries: every call ends in an ultimate failure.
+            period: 1,
+            fail_attempts: 3,
+            retries: 1,
+        };
+        let build = || {
+            SimulatedSource::exact(
+                "flaky-bank",
+                scenario.instance.clone(),
+                scenario.methods.clone(),
+            )
+            .with_latency(LatencyModel::recorded(50))
+            .with_flaky(flaky.clone())
+        };
+        let threaded_federation = Federation::single(build());
+        let threaded = BatchScheduler::new(
+            &threaded_federation,
+            scenario.query.clone(),
+            Strategy::Exhaustive,
+        )
+        .with_options(BatchOptions {
+            batch_size: 4,
+            workers: 2,
+            ..BatchOptions::default()
+        })
+        .run(&scenario.initial_configuration);
+
+        let async_federation = AsyncFederation::single_simulated(build());
+        let asynced = AsyncBatchScheduler::new(
+            &async_federation,
+            scenario.query.clone(),
+            Strategy::Exhaustive,
+        )
+        .with_options(AsyncBatchOptions {
+            batch_size: 4,
+            in_flight: 2,
+            ..AsyncBatchOptions::default()
+        })
+        .run(&scenario.initial_configuration);
+
+        // Every call failed on both paths, and the split is identical.
+        assert_eq!(threaded.source_stats, asynced.source_stats);
+        assert_eq!(threaded.access_sequence, asynced.access_sequence);
+        assert!(asynced.source_stats.failures > 0);
+        assert_eq!(asynced.source_stats.calls, 0);
+        let threaded_per_source = threaded_federation.per_source_stats();
+        let async_per_source = async_federation.per_source_stats();
+        assert_eq!(threaded_per_source, async_per_source);
+        assert_eq!(
+            async_per_source[0].1.source.retries,
+            async_per_source[0].1.source.failures * flaky.retries
+        );
+    }
+
+    /// Partially-absorbed flakiness (retries suffice) also matches.
+    #[test]
+    fn absorbed_retries_report_identical_stats_to_the_threaded_path() {
+        let scenario = bank_scenario();
+        let build = || {
+            SimulatedSource::exact(
+                "mostly-fine",
+                scenario.instance.clone(),
+                scenario.methods.clone(),
+            )
+            .with_flaky(FlakyModel {
+                period: 2,
+                fail_attempts: 1,
+                retries: 2,
+            })
+        };
+        let threaded_federation = Federation::single(build());
+        let threaded = BatchScheduler::new(
+            &threaded_federation,
+            scenario.query.clone(),
+            Strategy::Hybrid,
+        )
+        .run(&scenario.initial_configuration);
+        let async_federation = AsyncFederation::single_simulated(build());
+        let asynced =
+            AsyncBatchScheduler::new(&async_federation, scenario.query.clone(), Strategy::Hybrid)
+                .run(&scenario.initial_configuration);
+        assert!(threaded.certain && asynced.certain);
+        assert_eq!(threaded.source_stats, asynced.source_stats);
+        assert_eq!(
+            threaded_federation.per_source_stats(),
+            async_federation.per_source_stats()
+        );
+        assert_eq!(asynced.source_stats.failures, 0);
+        assert!(asynced.source_stats.retries > 0);
+    }
+
+    /// Satellite: dropping the executor mid-batch (what dropping a
+    /// scheduler mid-run amounts to — the batch futures die with it) leaks
+    /// no tasks or timers and leaves the federation consistent for the next
+    /// run.
+    #[test]
+    fn dropping_the_executor_mid_batch_leaks_nothing_and_stays_consistent() {
+        let scenario = bank_scenario();
+        let federation = AsyncFederation::single_simulated(bank_source(&scenario));
+        let methods = federation.methods().clone();
+        let batch: Vec<Access> = accrel_access::enumerate::well_formed_accesses(
+            &scenario.initial_configuration,
+            &methods,
+            &accrel_access::enumerate::EnumerationOptions::default(),
+        );
+        assert!(batch.len() > 1);
+        {
+            let executor = Executor::new(federation.clock().clone());
+            let gate = Semaphore::new(2);
+            let fed = &federation;
+            let _handles: Vec<_> = batch
+                .iter()
+                .map(|access| {
+                    let access = access.clone();
+                    let gate = gate.clone();
+                    executor.spawn(async move {
+                        let _permit = gate.acquire().await;
+                        fed.call(access).await
+                    })
+                })
+                .collect();
+            // A few steps in: in-flight calls are parked on the clock.
+            executor.run_until_stalled();
+            assert!(executor.pending_tasks() > 0);
+            assert!(federation.clock().timer_count() > 0);
+            // Abandon the batch mid-flight.
+        }
+        // Cancelled sleeps deregistered their timers: nothing leaked.
+        assert_eq!(federation.clock().timer_count(), 0);
+        // The federation remains fully usable and deterministic: a fresh
+        // run equals the sequential engine despite the aborted batch.
+        federation.reset_stats();
+        let sequential_source = DeepWebSource::new(
+            scenario.instance.clone(),
+            scenario.methods.clone(),
+            ResponsePolicy::Exact,
+        );
+        let sequential =
+            FederatedEngine::new(&sequential_source, scenario.query.clone(), Strategy::Hybrid)
+                .run(&scenario.initial_configuration);
+        let rerun = AsyncBatchScheduler::new(&federation, scenario.query.clone(), Strategy::Hybrid)
+            .run(&scenario.initial_configuration);
+        assert_eq!(rerun.access_sequence, sequential.access_sequence);
+        assert!(rerun
+            .final_configuration
+            .same_facts(&sequential.final_configuration));
+    }
+
+    #[test]
+    fn blocking_sources_work_and_leave_the_clock_untouched() {
+        let scenario = bank_scenario();
+        let federation = AsyncFederation::single(BlockingSource::new(SimulatedSource::exact(
+            "bank",
+            scenario.instance.clone(),
+            scenario.methods.clone(),
+        )));
+        let report =
+            AsyncBatchScheduler::new(&federation, scenario.query.clone(), Strategy::Exhaustive)
+                .run(&scenario.initial_configuration);
+        assert!(report.certain);
+        assert_eq!(federation.clock().now_micros(), 0);
+        assert!(report.source_stats.calls >= report.accesses_made);
+    }
+
+    #[test]
+    fn compare_strategies_resets_stats_between_runs() {
+        let scenario = bank_scenario();
+        let federation = AsyncFederation::single_simulated(bank_source(&scenario));
+        let reports = AsyncBatchScheduler::compare_strategies(
+            &federation,
+            &scenario.query,
+            &scenario.initial_configuration,
+            &AsyncBatchOptions {
+                engine: EngineOptions {
+                    max_accesses: 12,
+                    budget: SearchBudget::shallow(),
+                    ..EngineOptions::default()
+                },
+                ..AsyncBatchOptions::default()
+            },
+        );
+        assert_eq!(reports.len(), Strategy::all().len());
+        for report in &reports {
+            assert_eq!(report.batch_stats.workers, 4);
+            assert!(report.accesses_made <= 12);
+            assert_eq!(report.access_sequence.len(), report.accesses_made);
+        }
+    }
+}

@@ -23,6 +23,29 @@
 //!   ([`parallel_relevance_sweep_report`] additionally reports that no
 //!   worker copied a shard).
 //!
+//! ## The async runtime
+//!
+//! High-latency sources want overlapping in-flight accesses, not more
+//! threads. The [`executor`] module is a hand-rolled, dependency-free
+//! single-threaded mini-executor ([`Executor`]) over a deterministic
+//! [`VirtualClock`] timer wheel — latency models elapse as awaited virtual
+//! sleeps, so throughput experiments need no real time at all. On top of
+//! it:
+//!
+//! * [`AsyncSource`] — the async twin of [`Source`];
+//!   [`AsyncSimulatedSource`] replays a [`SimulatedSource`]'s
+//!   latency/flaky-retry/paging models as awaitable state machines (one
+//!   virtual round trip per await), and [`BlockingSource`] lifts any sync
+//!   source (e.g. [`PolicySource`]) into a one-poll future.
+//! * [`AsyncFederation`] — the routing registry over async sources, owning
+//!   the shared virtual clock.
+//! * [`AsyncBatchScheduler`] — the *same* merge loop as [`BatchScheduler`]
+//!   (shared, not copied), with batches realised as concurrently-polled
+//!   futures capped by a FIFO [`Semaphore`] of `in_flight` permits; its
+//!   sequential equivalence is pinned by the async grid in
+//!   `tests/federation_equivalence.rs`, and `clock().now_micros()` measures
+//!   a run's simulated makespan (the F2 harness sweep).
+//!
 //! Garrison & Lee-style actor simulations motivate the backend models:
 //! heterogeneous latency/failure behaviour makes the runtime measurable
 //! without leaving the deterministic, offline test environment.
@@ -30,13 +53,21 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod async_federation;
+mod async_scheduler;
+mod async_source;
 mod error;
+pub mod executor;
 mod federation;
 pub mod scheduler;
 mod source;
 mod sweep;
 
+pub use async_federation::{AsyncFederation, AsyncFederationBuilder};
+pub use async_scheduler::{AsyncBatchOptions, AsyncBatchScheduler};
+pub use async_source::{AsyncSimulatedSource, AsyncSource, BlockingSource, SourceFuture};
 pub use error::{FederationError, SourceError};
+pub use executor::{Executor, JoinHandle, Semaphore, Sleep, VirtualClock};
 pub use federation::{Federation, FederationBuilder};
 pub use scheduler::{BatchOptions, BatchScheduler, SpeculationMode};
 pub use source::{BackendStats, FlakyModel, LatencyModel, PolicySource, SimulatedSource, Source};

@@ -37,7 +37,7 @@ use std::collections::{BTreeSet, HashMap};
 
 use accrel_access::enumerate::EnumerationOptions;
 use accrel_access::frontier::AccessFrontier;
-use accrel_access::{apply_access, Access, Response};
+use accrel_access::{apply_access, Access, AccessMethods, Response};
 use accrel_engine::{
     BatchStats, EngineOptions, RelevanceKind, RelevanceOracle, RunReport, Strategy,
 };
@@ -121,7 +121,84 @@ impl<'a> BatchScheduler<'a> {
     /// matches what [`accrel_engine::FederatedEngine::run`] would report against sources
     /// returning the same responses.
     pub fn run(&self, initial: &Configuration) -> RunReport {
-        let methods = self.federation.methods();
+        let stats_before = self.federation.stats();
+        let plan = MergePlan {
+            query: &self.query,
+            strategy: self.strategy,
+            engine: &self.options.engine,
+            batch_size: self.options.batch_size,
+            speculation: self.options.speculation,
+            workers: self.options.workers.max(1),
+        };
+        let mut report = plan.run(self.federation.methods(), initial, |batch| {
+            fetch_batch(self.federation, batch, self.options.workers)
+        });
+        report.source_stats = self.federation.stats().since(&stats_before).source;
+        report
+    }
+
+    /// Runs every strategy on the same initial configuration (resetting the
+    /// federation's statistics between runs), mirroring
+    /// [`accrel_engine::FederatedEngine::compare_strategies`].
+    pub fn compare_strategies(
+        federation: &'a Federation,
+        query: &Query,
+        initial: &Configuration,
+        options: &BatchOptions,
+    ) -> Vec<RunReport> {
+        Strategy::all()
+            .into_iter()
+            .map(|strategy| {
+                federation.reset_stats();
+                BatchScheduler::new(federation, query.clone(), strategy)
+                    .with_options(options.clone())
+                    .run(initial)
+            })
+            .collect()
+    }
+}
+
+/// The strategy-faithful merge loop, shared verbatim by the threaded
+/// [`BatchScheduler`] and the async
+/// [`crate::AsyncBatchScheduler`]: round structure, candidate ordering,
+/// oracle selection, batch prediction and response merging are this one
+/// implementation — the two schedulers differ *only* in the `fetch`
+/// callback that realises a predicted batch (scoped worker threads vs
+/// concurrently-polled futures on the mini-executor). That sharing is what
+/// upgrades "the async scheduler behaves like the threaded one" from a
+/// property to be tested into one that holds by construction (the
+/// equivalence grid still pins it).
+pub(crate) struct MergePlan<'q> {
+    /// The query under evaluation.
+    pub(crate) query: &'q Query,
+    /// The access-selection strategy.
+    pub(crate) strategy: Strategy,
+    /// The sequential engine options.
+    pub(crate) engine: &'q EngineOptions,
+    /// Maximum accesses prefetched per batch.
+    pub(crate) batch_size: usize,
+    /// How follow-up accesses are predicted.
+    pub(crate) speculation: SpeculationMode,
+    /// Reported in [`BatchStats::workers`]: worker threads for the threaded
+    /// scheduler, the in-flight limit for the async one.
+    pub(crate) workers: usize,
+}
+
+impl MergePlan<'_> {
+    /// Runs the merge loop from `initial`, realising each predicted batch
+    /// through `fetch` (which must return responses aligned with the batch
+    /// slice). The returned report's `source_stats` are left at their
+    /// default — the caller attributes source traffic, since only it knows
+    /// which registry served the calls.
+    pub(crate) fn run<F>(
+        &self,
+        methods: &AccessMethods,
+        initial: &Configuration,
+        mut fetch: F,
+    ) -> RunReport
+    where
+        F: FnMut(&[Access]) -> Vec<Result<Response, SourceError>>,
+    {
         let mut conf = initial.snapshot();
         let copies_before = conf.shard_copies();
         let mut accesses_made = 0usize;
@@ -129,8 +206,7 @@ impl<'a> BatchScheduler<'a> {
         let mut tuples_retrieved = 0usize;
         let mut rounds = 0usize;
         let mut access_sequence: Vec<Access> = Vec::new();
-        let mut oracle = RelevanceOracle::new(&self.query, methods, &self.options.engine);
-        let stats_before = self.federation.stats();
+        let mut oracle = RelevanceOracle::new(self.query, methods, self.engine);
 
         let enum_options = EnumerationOptions {
             guessable_values: self.guessable_pool(initial),
@@ -140,19 +216,19 @@ impl<'a> BatchScheduler<'a> {
         let mut pending: BTreeSet<Access> = BTreeSet::new();
         let mut prefetched: HashMap<Access, Result<Response, SourceError>> = HashMap::new();
         let mut batch_stats = BatchStats {
-            workers: self.options.workers.max(1),
+            workers: self.workers.max(1),
             ..BatchStats::default()
         };
 
         loop {
             rounds += 1;
-            if self.options.engine.stop_when_certain
+            if self.engine.stop_when_certain
                 && self.query.is_boolean()
-                && certain::is_certain(&self.query, &conf)
+                && certain::is_certain(self.query, &conf)
             {
                 break;
             }
-            if accesses_made >= self.options.engine.max_accesses {
+            if accesses_made >= self.engine.max_accesses {
                 break;
             }
             pending.extend(frontier.refresh(&conf, methods));
@@ -170,7 +246,6 @@ impl<'a> BatchScheduler<'a> {
 
             if !prefetched.contains_key(&access) {
                 let allowance = self
-                    .options
                     .engine
                     .max_accesses
                     .saturating_sub(accesses_made)
@@ -180,7 +255,8 @@ impl<'a> BatchScheduler<'a> {
                 batch_stats.batches += 1;
                 batch_stats.max_batch = batch_stats.max_batch.max(batch.len());
                 batch_stats.batched_calls += batch.len();
-                let responses = fetch_batch(self.federation, &batch, self.options.workers);
+                let responses = fetch(&batch);
+                debug_assert_eq!(responses.len(), batch.len(), "fetch must align with batch");
                 for (a, r) in batch.into_iter().zip(responses) {
                     prefetched.insert(a, r);
                 }
@@ -210,8 +286,8 @@ impl<'a> BatchScheduler<'a> {
         batch_stats.speculative_wasted = prefetched.len();
         RunReport {
             strategy: self.strategy,
-            certain: certain::is_certain(&self.query, &conf),
-            answers: certain::certain_answers(&self.query, &conf),
+            certain: certain::is_certain(self.query, &conf),
+            answers: certain::certain_answers(self.query, &conf),
             accesses_made,
             accesses_skipped,
             tuples_retrieved,
@@ -220,31 +296,11 @@ impl<'a> BatchScheduler<'a> {
             relevance_cache_misses: oracle.misses(),
             access_sequence,
             relevance_verdicts: oracle.take_log(),
-            source_stats: self.federation.stats().since(&stats_before).source,
+            source_stats: Default::default(),
             batch_stats,
             shard_copies: conf.shard_copies() - copies_before,
             final_configuration: conf,
         }
-    }
-
-    /// Runs every strategy on the same initial configuration (resetting the
-    /// federation's statistics between runs), mirroring
-    /// [`accrel_engine::FederatedEngine::compare_strategies`].
-    pub fn compare_strategies(
-        federation: &'a Federation,
-        query: &Query,
-        initial: &Configuration,
-        options: &BatchOptions,
-    ) -> Vec<RunReport> {
-        Strategy::all()
-            .into_iter()
-            .map(|strategy| {
-                federation.reset_stats();
-                BatchScheduler::new(federation, query.clone(), strategy)
-                    .with_options(options.clone())
-                    .run(initial)
-            })
-            .collect()
     }
 
     /// The batch the strategy would execute next if every response were
@@ -260,12 +316,12 @@ impl<'a> BatchScheduler<'a> {
         prefetched: &HashMap<Access, Result<Response, SourceError>>,
         allowance: usize,
     ) -> Vec<Access> {
-        let limit = self.options.batch_size.min(allowance).max(1);
+        let limit = self.batch_size.min(allowance).max(1);
         let mut batch = vec![first.clone()];
         if limit == 1 {
             return batch;
         }
-        match self.options.speculation {
+        match self.speculation {
             SpeculationMode::Eager => {
                 self.predict_eager(&mut batch, conf, pending, oracle, prefetched, limit)
             }
@@ -388,7 +444,7 @@ impl<'a> BatchScheduler<'a> {
     /// The pool of guessable values for independent accesses — identical to
     /// the sequential engine's pool so enumeration agrees.
     fn guessable_pool(&self, initial: &Configuration) -> Vec<Value> {
-        let mut pool = self.options.engine.guessable_values.clone();
+        let mut pool = self.engine.guessable_values.clone();
         for c in self.query.constants() {
             if !pool.contains(&c) {
                 pool.push(c);

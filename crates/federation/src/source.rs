@@ -33,7 +33,7 @@ use std::time::Duration;
 
 use accrel_access::{Access, AccessMethods, Response};
 use accrel_engine::{DeepWebSource, SourceStats};
-use accrel_schema::Instance;
+use accrel_schema::{Instance, Tuple};
 
 use crate::error::SourceError;
 
@@ -222,18 +222,14 @@ impl SimulatedSource {
     pub fn hidden_instance(&self) -> &Instance {
         &self.instance
     }
-}
 
-impl Source for SimulatedSource {
-    fn name(&self) -> &str {
-        &self.name
-    }
-
-    fn methods(&self) -> &AccessMethods {
-        &self.methods
-    }
-
-    fn call(&self, access: &Access) -> Result<Response, SourceError> {
+    /// Resolves everything about one call — response content, planned
+    /// failures, page count and the per-trip latencies — *without* touching
+    /// the statistics or sleeping. The sync [`Source::call`] and the async
+    /// adapter (`crate::AsyncSimulatedSource`) both execute the same plan;
+    /// they differ only in how the round trips are realised (one
+    /// `thread::sleep` versus awaited virtual-clock sleeps per trip).
+    pub(crate) fn plan_call(&self, access: &Access) -> Result<CallPlan, SourceError> {
         let exact =
             Response::exact(access, &self.methods, &self.instance).map_err(SourceError::Access)?;
         let mut tuples: Vec<_> = exact.tuples().to_vec();
@@ -254,39 +250,105 @@ impl Source for SimulatedSource {
             None => 1,
         };
         let trips = failed_attempts as u64 + if succeeds { pages as u64 } else { 0 };
-        let mut latency_micros = 0u64;
+        let mut trip_micros = Vec::new();
         if let Some(latency) = &self.latency {
-            for trip in 0..trips {
-                latency_micros += latency.trip_micros(access, trip);
-            }
+            trip_micros.extend((0..trips).map(|trip| latency.trip_micros(access, trip)));
         }
+        Ok(CallPlan {
+            tuples,
+            succeeds,
+            failed_attempts,
+            allowed_retries,
+            pages,
+            paged: self.page_size.is_some(),
+            trip_micros,
+        })
+    }
 
-        {
-            let mut state = self.state.lock().expect("source state poisoned");
-            state.stats.simulated_latency_micros += latency_micros;
-            if succeeds {
-                state.stats.source.calls += 1;
-                state.stats.source.retries += failed_attempts;
-                state.stats.source.tuples_returned += tuples.len();
-                if self.page_size.is_some() {
-                    state.stats.pages_fetched += pages;
-                }
-            } else {
-                state.stats.source.retries += allowed_retries;
-                state.stats.source.failures += 1;
+    /// Records a planned call's statistics (exactly once per call, whether
+    /// the round trips were slept or awaited).
+    pub(crate) fn commit_plan(&self, plan: &CallPlan) {
+        let mut state = self.state.lock().expect("source state poisoned");
+        state.stats.simulated_latency_micros += plan.total_latency_micros();
+        if plan.succeeds {
+            state.stats.source.calls += 1;
+            state.stats.source.retries += plan.failed_attempts;
+            state.stats.source.tuples_returned += plan.tuples.len();
+            if plan.paged {
+                state.stats.pages_fetched += plan.pages;
             }
+        } else {
+            state.stats.source.retries += plan.allowed_retries;
+            state.stats.source.failures += 1;
         }
-        // Sleep outside the state lock so concurrent calls overlap.
+    }
+
+    /// The [`SourceError::Unavailable`] a failed plan surfaces as.
+    pub(crate) fn unavailable(&self, plan: &CallPlan) -> SourceError {
+        SourceError::Unavailable {
+            source: self.name.clone(),
+            reason: format!(
+                "transient failure persisted through {} retries",
+                plan.allowed_retries
+            ),
+        }
+    }
+}
+
+/// The fully-resolved outcome of one simulated call: what will be returned,
+/// whether the flaky model lets it succeed, and the latency of every
+/// simulated round trip (failed attempts first, then one per page). The
+/// models shape cost, never content, so the plan is a pure function of the
+/// access.
+#[derive(Debug, Clone)]
+pub(crate) struct CallPlan {
+    /// The exact matching tuples, sorted.
+    pub(crate) tuples: Vec<Tuple>,
+    /// Whether the call ultimately succeeds (retries absorb the failures).
+    pub(crate) succeeds: bool,
+    /// Failed attempts actually performed (≤ `allowed_retries + 1`).
+    pub(crate) failed_attempts: usize,
+    /// Retries the source was willing to perform.
+    pub(crate) allowed_retries: usize,
+    /// Pages of the successful response.
+    pub(crate) pages: usize,
+    /// Whether the source pages at all (for the pages-fetched counter).
+    pub(crate) paged: bool,
+    /// Per-round-trip latency, in microseconds (empty without a latency
+    /// model).
+    pub(crate) trip_micros: Vec<u64>,
+}
+
+impl CallPlan {
+    /// Total simulated latency across every round trip.
+    pub(crate) fn total_latency_micros(&self) -> u64 {
+        self.trip_micros.iter().sum()
+    }
+}
+
+impl Source for SimulatedSource {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn methods(&self) -> &AccessMethods {
+        &self.methods
+    }
+
+    fn call(&self, access: &Access) -> Result<Response, SourceError> {
+        let plan = self.plan_call(access)?;
+        self.commit_plan(&plan);
+        // Sleep outside the state lock so concurrent calls overlap. The
+        // threaded path realises the whole plan as one sleep; the async
+        // adapter awaits the same trips one by one on the virtual clock.
+        let latency_micros = plan.total_latency_micros();
         if latency_micros > 0 && self.latency.as_ref().map(|l| l.sleep).unwrap_or(false) {
             std::thread::sleep(Duration::from_micros(latency_micros));
         }
-        if !succeeds {
-            return Err(SourceError::Unavailable {
-                source: self.name.clone(),
-                reason: format!("transient failure persisted through {allowed_retries} retries"),
-            });
+        if !plan.succeeds {
+            return Err(self.unavailable(&plan));
         }
-        Ok(Response::new(tuples))
+        Ok(Response::new(plan.tuples))
     }
 
     fn stats(&self) -> BackendStats {

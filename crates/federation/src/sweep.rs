@@ -74,6 +74,13 @@ pub struct SweepReport {
 /// at `conf`, fanning the checks out over at most `workers` scoped threads,
 /// each holding its own copy-on-write snapshot of `conf`. The verdicts are
 /// aligned with `candidates` and independent of `workers`.
+///
+/// Worker-count edge cases are explicit: `workers == 0` is promoted to 1
+/// (a sweep cannot run on no workers), and both 0 and 1 take the in-thread
+/// sequential path — one snapshot, no spawned threads — whose output the
+/// regression tests pin byte-for-byte against the direct decision-procedure
+/// loop. An empty candidate slice returns an empty report without
+/// snapshotting at all.
 pub fn parallel_relevance_sweep_report(
     query: &Query,
     conf: &Configuration,
@@ -90,7 +97,15 @@ pub fn parallel_relevance_sweep_report(
         RelevanceKind::Immediate => is_immediately_relevant(query, snap, access, methods),
         RelevanceKind::LongTerm => is_long_term_relevant(query, snap, access, methods, budget),
     };
-    let workers = workers.max(1).min(candidates.len().max(1));
+    if candidates.is_empty() {
+        return SweepReport {
+            verdicts: Vec::new(),
+            snapshots: 0,
+            worker_shard_copies: 0,
+        };
+    }
+    // 0 workers is promoted to 1; never more workers than candidates.
+    let workers = workers.clamp(1, candidates.len());
     if workers <= 1 {
         let snap = conf.snapshot();
         let before = snap.shard_copies();
@@ -198,6 +213,70 @@ mod tests {
                     access,
                     &scenario.methods
                 )
+            );
+        }
+    }
+
+    /// Regression (worker-count edge cases): a 1-worker sweep — and a
+    /// 0-worker sweep, which is promoted to 1 — must equal the plain
+    /// sequential decision-procedure loop, verdict for verdict, and report
+    /// exactly one snapshot with zero shard copies.
+    #[test]
+    fn zero_and_one_worker_sweeps_equal_the_sequential_loop() {
+        let scenario = bank_scenario();
+        let mut conf = scenario.initial_configuration.clone();
+        conf.insert_named("Employee", ["e-x", "teller", "L", "F", "off-9"])
+            .unwrap();
+        let candidates =
+            well_formed_accesses(&conf, &scenario.methods, &EnumerationOptions::default());
+        assert!(candidates.len() > 1);
+        let budget = accrel_core::SearchBudget::default();
+        let sequential: Vec<bool> = candidates
+            .iter()
+            .map(|a| {
+                accrel_core::is_immediately_relevant(&scenario.query, &conf, a, &scenario.methods)
+            })
+            .collect();
+        for workers in [0usize, 1] {
+            let report = parallel_relevance_sweep_report(
+                &scenario.query,
+                &conf,
+                &candidates,
+                &scenario.methods,
+                RelevanceKind::Immediate,
+                &budget,
+                workers,
+            );
+            assert_eq!(report.verdicts, sequential, "workers={workers}");
+            assert_eq!(report.snapshots, 1, "workers={workers}");
+            assert_eq!(report.worker_shard_copies, 0, "workers={workers}");
+        }
+    }
+
+    /// Regression: an empty candidate slice yields an empty report (no
+    /// snapshot, no threads) at every worker count, including 0.
+    #[test]
+    fn empty_candidate_sweeps_are_empty_reports() {
+        let scenario = bank_scenario();
+        let budget = accrel_core::SearchBudget::shallow();
+        for workers in [0usize, 1, 4] {
+            let report = parallel_relevance_sweep_report(
+                &scenario.query,
+                &scenario.initial_configuration,
+                &[],
+                &scenario.methods,
+                RelevanceKind::LongTerm,
+                &budget,
+                workers,
+            );
+            assert_eq!(
+                report,
+                SweepReport {
+                    verdicts: Vec::new(),
+                    snapshots: 0,
+                    worker_shard_copies: 0
+                },
+                "workers={workers}"
             );
         }
     }

@@ -15,7 +15,7 @@
 //! | [`access`] | `accrel-access` | access methods, bindings, responses, access paths, truncation |
 //! | [`core`] | `accrel-core` | immediate & long-term relevance, containment under access limitations, reductions, critical tuples |
 //! | [`engine`] | `accrel-engine` | simulated deep-Web sources and the relevance-guided federated engine |
-//! | [`federation`] | `accrel-federation` | concurrent federation runtime: pluggable simulated sources, batch scheduler, parallel relevance sweeps |
+//! | [`federation`] | `accrel-federation` | concurrent federation runtime: pluggable simulated sources, batch scheduler, parallel relevance sweeps; the async runtime (virtual-clock mini-executor, `AsyncSource` adapters, `AsyncFederation`, `AsyncBatchScheduler`) |
 //! | [`workloads`] | `accrel-workloads` | tiling encodings, random generators, synthetic scenarios |
 //!
 //! The [`prelude`] pulls in the names used by the examples and most
@@ -73,9 +73,11 @@ pub mod prelude {
         DeepWebSource, EngineOptions, FederatedEngine, ResponsePolicy, Strategy,
     };
     pub use accrel_federation::{
-        parallel_relevance_sweep, parallel_relevance_sweep_report, BatchOptions, BatchScheduler,
-        Federation, FlakyModel, LatencyModel, PolicySource, SimulatedSource, Source,
-        SpeculationMode, SweepReport,
+        parallel_relevance_sweep, parallel_relevance_sweep_report, AsyncBatchOptions,
+        AsyncBatchScheduler, AsyncFederation, AsyncSimulatedSource, AsyncSource, BatchOptions,
+        BatchScheduler, BlockingSource, Executor, Federation, FlakyModel, LatencyModel,
+        PolicySource, Semaphore, SimulatedSource, Source, SpeculationMode, SweepReport,
+        VirtualClock,
     };
     pub use accrel_query::{
         certain, ConjunctiveQuery, PositiveQuery, PqFormula, Query, Term, VarId,

@@ -40,6 +40,11 @@ fn example_federated_sweep_runs() {
 }
 
 #[test]
+fn example_async_federation_runs() {
+    run_example("async_federation");
+}
+
+#[test]
 fn example_relevance_vs_containment_runs() {
     run_example("relevance_vs_containment");
 }

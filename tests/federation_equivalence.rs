@@ -13,6 +13,15 @@
 //! from an RNG seeded by `Access::stable_hash` — which is the precondition
 //! of the scheduler's determinism invariant (see
 //! `accrel_federation::scheduler`).
+//!
+//! Every grid cell additionally runs the **async** scheduler
+//! (`AsyncBatchScheduler` over an `AsyncFederation` wrapping the same
+//! policy source behind the `BlockingSource` bridge) and requires it to
+//! reproduce the threaded scheduler's — and hence the sequential engine's —
+//! `access_sequence`, verdict log, answers and final configuration
+//! byte-for-byte, at an in-flight limit distinct from the threaded worker
+//! count, so cross-runtime equivalence is pinned over the full
+//! bank+random × strategies × Exact/FirstK/SoundSample × batch-size grid.
 
 use accrel::engine::scenarios::{bank_scenario, bank_scenario_negative, Scenario};
 use accrel::prelude::*;
@@ -74,6 +83,14 @@ fn assert_equivalent(scenario: &Scenario, policy: &ResponsePolicy, batch_size: u
             policy.clone(),
         ),
     ));
+    let async_federation = AsyncFederation::single(BlockingSource::new(PolicySource::new(
+        "grid-async",
+        DeepWebSource::new(
+            scenario.instance.clone(),
+            scenario.methods.clone(),
+            policy.clone(),
+        ),
+    )));
     for strategy in Strategy::all() {
         sequential_source.reset_stats();
         let sequential = FederatedEngine::new(&sequential_source, scenario.query.clone(), strategy)
@@ -85,6 +102,15 @@ fn assert_equivalent(scenario: &Scenario, policy: &ResponsePolicy, batch_size: u
                 engine: engine_options(),
                 batch_size,
                 workers: 3,
+                speculation: SpeculationMode::CachedOnly,
+            })
+            .run(&scenario.initial_configuration);
+        async_federation.reset_stats();
+        let asynced = AsyncBatchScheduler::new(&async_federation, scenario.query.clone(), strategy)
+            .with_options(AsyncBatchOptions {
+                engine: engine_options(),
+                batch_size,
+                in_flight: 2,
                 speculation: SpeculationMode::CachedOnly,
             })
             .run(&scenario.initial_configuration);
@@ -112,6 +138,36 @@ fn assert_equivalent(scenario: &Scenario, policy: &ResponsePolicy, batch_size: u
                 .final_configuration
                 .same_facts(&sequential.final_configuration),
             "final configurations differ: {cell}"
+        );
+        // Cross-runtime: the async scheduler reproduces the threaded
+        // scheduler cell for cell (and therefore the sequential engine).
+        assert_eq!(
+            asynced.access_sequence, batched.access_sequence,
+            "async access sequence diverged: {cell}"
+        );
+        assert_eq!(asynced.certain, batched.certain, "async verdict: {cell}");
+        assert_eq!(asynced.answers, batched.answers, "async answers: {cell}");
+        assert_eq!(
+            asynced.relevance_verdicts, batched.relevance_verdicts,
+            "async relevance verdict log diverged: {cell}"
+        );
+        assert_eq!(
+            asynced.accesses_made, batched.accesses_made,
+            "async accesses made: {cell}"
+        );
+        assert_eq!(
+            asynced.batch_stats.batches, batched.batch_stats.batches,
+            "async batch structure diverged: {cell}"
+        );
+        assert_eq!(
+            asynced.batch_stats.batched_calls, batched.batch_stats.batched_calls,
+            "async batched calls diverged: {cell}"
+        );
+        assert!(
+            asynced
+                .final_configuration
+                .same_facts(&batched.final_configuration),
+            "async final configuration differs: {cell}"
         );
     }
 }
@@ -225,4 +281,103 @@ fn multi_source_federation_matches_single_source() {
     assert_eq!(per_source.len(), 2);
     assert!(per_source.iter().all(|(_, s)| s.source.calls > 0));
     assert!(per_source[1].1.simulated_latency_micros > 0);
+}
+
+#[test]
+fn async_multi_source_federation_matches_threaded_and_advances_virtual_time() {
+    // The bank's Web forms split across two *async* providers with latency,
+    // flakiness and paging: cost models must not change semantics, and the
+    // simulated latencies must elapse on the shared virtual clock instead
+    // of wall time.
+    let scenario = bank_scenario();
+    // One provider-pair recipe feeds both federations, so "identically
+    // shaped" holds by construction rather than by duplicated literals
+    // (latencies recorded, not slept — the async side awaits them
+    // virtually).
+    let build_hr = || {
+        SimulatedSource::exact(
+            "hr-portal",
+            scenario.instance.clone(),
+            scenario.methods.clone(),
+        )
+        .with_latency(LatencyModel {
+            base_micros: 120,
+            jitter_micros: 40,
+            seed: 1,
+            sleep: false,
+        })
+        .with_paging(2)
+    };
+    let build_compliance = || {
+        SimulatedSource::exact(
+            "compliance-portal",
+            scenario.instance.clone(),
+            scenario.methods.clone(),
+        )
+        .with_latency(LatencyModel {
+            base_micros: 400,
+            jitter_micros: 100,
+            seed: 2,
+            sleep: false,
+        })
+        .with_flaky(FlakyModel {
+            period: 3,
+            fail_attempts: 1,
+            retries: 2,
+        })
+    };
+    let async_split = AsyncFederation::builder(scenario.methods.clone())
+        .simulated(build_hr(), &["EmpOffAcc", "OfficeInfoAcc"])
+        .unwrap()
+        .simulated(build_compliance(), &["StateApprAcc", "EmpManAcc"])
+        .unwrap()
+        .build()
+        .unwrap();
+    let threaded_split = Federation::builder(scenario.methods.clone())
+        .source(build_hr(), &["EmpOffAcc", "OfficeInfoAcc"])
+        .unwrap()
+        .source(build_compliance(), &["StateApprAcc", "EmpManAcc"])
+        .unwrap()
+        .build()
+        .unwrap();
+
+    for strategy in [Strategy::Exhaustive, Strategy::Hybrid] {
+        threaded_split.reset_stats();
+        let threaded = BatchScheduler::new(&threaded_split, scenario.query.clone(), strategy)
+            .with_options(BatchOptions {
+                engine: engine_options(),
+                batch_size: 4,
+                workers: 2,
+                speculation: SpeculationMode::CachedOnly,
+            })
+            .run(&scenario.initial_configuration);
+        async_split.reset_stats();
+        let virtual_before = async_split.clock().now_micros();
+        let asynced = AsyncBatchScheduler::new(&async_split, scenario.query.clone(), strategy)
+            .with_options(AsyncBatchOptions {
+                engine: engine_options(),
+                batch_size: 4,
+                in_flight: 3,
+                speculation: SpeculationMode::CachedOnly,
+            })
+            .run(&scenario.initial_configuration);
+        assert_eq!(asynced.access_sequence, threaded.access_sequence);
+        assert_eq!(asynced.certain, threaded.certain);
+        assert_eq!(asynced.relevance_verdicts, threaded.relevance_verdicts);
+        assert!(asynced
+            .final_configuration
+            .same_facts(&threaded.final_configuration));
+        // Per-run and per-source stats agree between the runtimes...
+        assert_eq!(asynced.source_stats, threaded.source_stats);
+        assert_eq!(
+            async_split.per_source_stats(),
+            threaded_split.per_source_stats()
+        );
+        // ...and the async run's latency elapsed on the virtual clock.
+        assert!(async_split.clock().now_micros() > virtual_before);
+    }
+    let per_source = async_split.per_source_stats();
+    assert!(per_source.iter().all(|(_, s)| s.source.calls > 0));
+    assert!(per_source[0].1.pages_fetched > 0);
+    assert!(per_source[1].1.source.retries > 0);
 }

@@ -1,6 +1,6 @@
 //! Enumeration of the well-formed accesses available at a configuration.
 //!
-//! The federated engine and the exhaustive ("Li [18]"-style) baseline need
+//! The federated engine and the exhaustive ("Li \[18\]"-style) baseline need
 //! to enumerate candidate accesses. For dependent methods the candidate
 //! bindings range over the configuration's active domain restricted to the
 //! input attributes' abstract domains; for independent methods the value

@@ -4,10 +4,11 @@
 //!
 //! Rows are matched by `(table id, series, parameter, metric)`. Rows present
 //! on only one side are ignored — experiments grow over time, so a fresh
-//! document with new tables (e.g. the `F1` federation sweep) still compares
-//! cleanly against a baseline that predates those keys. Only timing metrics
-//! (`µs` in the metric name) are regression-checked; counters are semantic
-//! diffs, not perf regressions.
+//! document with new tables (e.g. the `F1` federation sweep, the `F2` async
+//! sweep, or the `F3` multi-tenant serving sweep) still compares cleanly
+//! against a baseline that predates those keys. Only timing metrics (`µs`
+//! in the metric name) are regression-checked; counters are semantic diffs,
+//! not perf regressions.
 
 use std::collections::BTreeMap;
 
@@ -152,6 +153,41 @@ mod tests {
         // And symmetrically: a baseline row the fresh run dropped is skipped.
         let report = compare_rows(&fresh, &baseline, 2.0);
         assert_eq!(report.compared, 1);
+    }
+
+    #[test]
+    fn tolerates_baselines_predating_the_serving_sweep() {
+        // A baseline recorded before the F3 multi-tenant serving table
+        // existed: every F3 row is one-sided and must be skipped, while the
+        // shared E-rows still compare.
+        let serving = "E5 serving (exhaustive, dedup)";
+        let baseline = vec![row("E1", "CQ", "1", "median µs", 10.0)];
+        let fresh = vec![
+            row("E1", "CQ", "1", "median µs", 12.0),
+            row("F3", serving, "4", "virtual µs/access", 40.0),
+            row("F3", serving, "4", "p50 session µs", 800.0),
+            row("F3", serving, "4", "p95 session µs", 950.0),
+            row("F3", serving, "4", "wire calls", 12.0),
+            row("F3", serving, "4", "session calls", 48.0),
+        ];
+        let report = compare_rows(&baseline, &fresh, 2.0);
+        assert_eq!(report.compared, 1);
+        assert!(report.regressions.is_empty());
+
+        // Once both sides carry F3, its timing rows (and only those) are
+        // regression-checked like any other table's.
+        let aged = vec![
+            row("F3", serving, "4", "p95 session µs", 100.0),
+            row("F3", serving, "4", "wire calls", 12.0),
+        ];
+        let regressed = vec![
+            row("F3", serving, "4", "p95 session µs", 500.0),
+            row("F3", serving, "4", "wire calls", 48.0),
+        ];
+        let report = compare_rows(&aged, &regressed, 2.0);
+        assert_eq!(report.compared, 1, "counter rows are not timing rows");
+        assert_eq!(report.regressions.len(), 1);
+        assert_eq!(report.regressions[0].key.3, "p95 session µs");
     }
 
     #[test]

@@ -614,15 +614,13 @@ mod tests {
             fixture.query.clone(),
             accrel_engine::Strategy::Exhaustive,
         )
-        .with_options(accrel_federation::BatchOptions {
-            engine: accrel_engine::EngineOptions {
-                max_accesses: 8,
-                stop_when_certain: false,
-                ..accrel_engine::EngineOptions::default()
-            },
+        .with_options(accrel_engine::RunOptions {
+            max_accesses: 8,
+            stop_when_certain: false,
             batch_size: 4,
             workers: 2,
             speculation: accrel_federation::SpeculationMode::CachedOnly,
+            ..accrel_engine::RunOptions::default()
         })
         .run(&fixture.initial);
         assert_eq!(report.accesses_made, 8);

@@ -8,11 +8,12 @@ use accrel_core::{
     is_contained, is_immediately_relevant, is_long_term_relevant, ltr_independent, reductions,
 };
 use accrel_engine::{
-    DeepWebSource, EngineOptions, FederatedEngine, RelevanceKind, ResponsePolicy, Strategy,
+    compare_strategies, DeepWebSource, RelevanceKind, ResponsePolicy, RunOptions, RunRequest,
+    Sequential, SpeculationMode, Strategy,
 };
 use accrel_federation::{
-    parallel_relevance_sweep_report, AsyncBatchOptions, AsyncBatchScheduler, BatchOptions,
-    BatchScheduler, SpeculationMode,
+    parallel_relevance_sweep_report, AsyncBatchScheduler, BatchScheduler, QuerySessionRegistry,
+    ServingOptions,
 };
 use accrel_workloads::encodings::encoding_stats;
 use accrel_workloads::tiling::checkerboard;
@@ -309,12 +310,11 @@ pub fn e7_engine_ablation() -> Table {
             scenario.methods.clone(),
             ResponsePolicy::Exact,
         );
-        let options = EngineOptions::default();
-        let reports = FederatedEngine::compare_strategies(
-            &source,
-            &scenario.query,
+        let request = RunRequest::new(scenario.query.clone());
+        let reports = compare_strategies(
+            &Sequential::new(&source),
+            &request,
             &scenario.initial_configuration,
-            &options,
         );
         for report in reports {
             let series = format!("{} / {}", scenario.name, report.strategy.name());
@@ -424,15 +424,13 @@ pub fn f1_federation_sweep(
     let slept = fixtures::federation_fixture_from(world, 100, true);
     for &batch_size in batch_sizes {
         slept.federation.reset_stats();
-        let options = BatchOptions {
-            engine: EngineOptions {
-                max_accesses,
-                stop_when_certain: false,
-                ..EngineOptions::default()
-            },
+        let options = RunOptions {
+            max_accesses,
+            stop_when_certain: false,
             batch_size,
             workers: batch_size.min(8),
             speculation: SpeculationMode::CachedOnly,
+            ..RunOptions::default()
         };
         let start = Instant::now();
         let report =
@@ -542,15 +540,13 @@ pub fn f2_async_sweep(
     for &in_flight in in_flight_limits {
         fixture.federation.reset_stats();
         let virtual_before = fixture.federation.clock().now_micros();
-        let options = AsyncBatchOptions {
-            engine: EngineOptions {
-                max_accesses,
-                stop_when_certain: false,
-                ..EngineOptions::default()
-            },
+        let options = RunOptions {
+            max_accesses,
+            stop_when_certain: false,
             batch_size,
-            in_flight,
+            workers: in_flight,
             speculation: SpeculationMode::CachedOnly,
+            ..RunOptions::default()
         };
         let start = Instant::now();
         let report = AsyncBatchScheduler::new(
@@ -610,6 +606,94 @@ pub fn f2_async_sweep(
     }
 }
 
+/// F3 — the multi-tenant serving sweep: `n` identical exhaustive sessions
+/// admitted concurrently over one shared async E5 federation, with
+/// cross-session access deduplication and verdict sharing on. Each session
+/// count gets a fresh fixture (fresh virtual clock, fresh registry), so the
+/// rows are directly comparable. The headline metric is `virtual µs/access`
+/// — simulated makespan divided by the *total* accesses applied across
+/// sessions — which must fall as sessions share wire calls; `wire calls`
+/// vs `session calls` shows the deduplication directly (wire calls grow
+/// sublinearly in the session count), and the p50/p95 rows report the
+/// per-session virtual-latency distribution under contention.
+pub fn f3_serving_sweep(
+    world: &fixtures::FederationWorld,
+    max_accesses: usize,
+    session_counts: &[usize],
+) -> Table {
+    let facts = world.facts();
+    let mut rows = Vec::new();
+    for &sessions in session_counts {
+        let fixture = fixtures::async_federation_fixture_from(world, 100);
+        let registry = QuerySessionRegistry::with_options(
+            &fixture.federation,
+            ServingOptions {
+                max_sessions: sessions,
+                max_in_flight_accesses: 32,
+                dedup: true,
+                share_verdicts: true,
+            },
+        );
+        let requests: Vec<RunRequest> = (0..sessions)
+            .map(|_| {
+                RunRequest::new(fixture.query.clone())
+                    .with_strategy(Strategy::Exhaustive)
+                    .with_options(RunOptions {
+                        max_accesses,
+                        stop_when_certain: false,
+                        batch_size: 16,
+                        workers: 8,
+                        speculation: SpeculationMode::CachedOnly,
+                        ..RunOptions::default()
+                    })
+            })
+            .collect();
+        let start = Instant::now();
+        let report = registry.serve(&requests, &fixture.initial);
+        let wall = start.elapsed().as_secs_f64() * 1e6;
+        let series = "E5 serving (exhaustive, dedup)";
+        rows.push(Row::new(
+            series,
+            sessions,
+            "virtual µs/access",
+            report.makespan_micros as f64 / report.total_accesses().max(1) as f64,
+        ));
+        rows.push(Row::new(
+            series,
+            sessions,
+            "p50 session µs",
+            report.latency_percentile(0.5) as f64,
+        ));
+        rows.push(Row::new(
+            series,
+            sessions,
+            "p95 session µs",
+            report.latency_percentile(0.95) as f64,
+        ));
+        rows.push(Row::new(
+            series,
+            sessions,
+            "wire calls",
+            report.wire_calls as f64,
+        ));
+        rows.push(Row::new(
+            series,
+            sessions,
+            "session calls",
+            report.session_calls() as f64,
+        ));
+        rows.push(Row::new(series, sessions, "wall µs", wall));
+    }
+    Table {
+        id: "F3".to_string(),
+        title: format!(
+            "Multi-tenant serving at {facts} facts: aggregate throughput and per-session \
+             latency vs session count (dedup + shared verdicts)"
+        ),
+        rows,
+    }
+}
+
 /// Runs every experiment at harness scale and returns the tables. The E5
 /// and F1 sweeps reach 10⁶ facts — the copy-on-write sharded store keeps
 /// the bulk load (one `extend_facts` pass) and the per-round configuration
@@ -627,6 +711,7 @@ pub fn run_all() -> Vec<Table> {
         e8_reductions(3),
         f1_federation_sweep(&world, 96, &[1, 2, 4, 8, 16, 32], &[1, 2, 4, 8]),
         f2_async_sweep(&world, 96, 16, &[1, 2, 4, 8, 16]),
+        f3_serving_sweep(&world, 96, &[1, 4, 16, 64]),
     ]
 }
 
@@ -646,20 +731,22 @@ pub fn run_smoke() -> Vec<Table> {
         e8_reductions(1),
         f1_federation_sweep(&world, 48, &[1, 4, 16], &[1, 2, 4]),
         f2_async_sweep(&world, 48, 16, &[1, 2, 4, 8]),
+        f3_serving_sweep(&world, 48, &[1, 4, 16]),
     ]
 }
 
-/// The million-fact job: the E5 data-complexity point plus the F1 (threaded)
-/// and F2 (async, virtual-clock) federation sweeps at 10⁶ facts, once each —
-/// the non-blocking CI step compares the resulting JSON against
-/// `BENCH_million_baseline.json` (which may predate F2; missing rows are
-/// ignored by `bench_compare`) and uploads it.
+/// The million-fact job: the E5 data-complexity point plus the F1
+/// (threaded), F2 (async, virtual-clock) and F3 (multi-tenant serving)
+/// sweeps at 10⁶ facts, once each — the non-blocking CI step compares the
+/// resulting JSON against `BENCH_million_baseline.json` (which may predate
+/// F2/F3; missing rows are ignored by `bench_compare`) and uploads it.
 pub fn run_million() -> Vec<Table> {
     let world = fixtures::federation_world(1_000_000);
     vec![
         e5_data_complexity(&[1_000_000], 1),
         f1_federation_sweep(&world, 48, &[8], &[4, 8]),
         f2_async_sweep(&world, 48, 16, &[4, 8]),
+        f3_serving_sweep(&world, 48, &[1, 4, 16, 64]),
     ]
 }
 
@@ -845,5 +932,35 @@ mod tests {
         );
         // Batching is effective, so there is something to overlap.
         assert!(metric_at("mean batch", "4") > 1.0);
+    }
+
+    /// Acceptance pin: with deduplication on, identical concurrent sessions
+    /// share wire calls — so aggregate throughput (virtual µs per applied
+    /// access) improves with the session count while wire calls grow
+    /// sublinearly.
+    #[test]
+    fn serving_sweep_shares_wire_calls_across_sessions() {
+        let table = f3_serving_sweep(&fixtures::federation_world(1_000), 24, &[1, 4]);
+        assert_eq!(table.id, "F3");
+        let metric_at = |metric: &str, sessions: &str| {
+            table
+                .rows
+                .iter()
+                .find(|r| r.metric == metric && r.parameter == sessions)
+                .map(|r| r.value)
+                .unwrap_or_else(|| panic!("row {metric}@{sessions} present"))
+        };
+        // Four identical sessions ask for 4× the accesses…
+        assert_eq!(
+            metric_at("session calls", "4"),
+            4.0 * metric_at("session calls", "1")
+        );
+        // …but dedup keeps the wire traffic sublinear, so the simulated
+        // makespan per applied access falls.
+        assert!(metric_at("wire calls", "4") < 4.0 * metric_at("wire calls", "1"));
+        assert!(metric_at("virtual µs/access", "4") < metric_at("virtual µs/access", "1"));
+        // Percentiles are ordered and populated.
+        assert!(metric_at("p50 session µs", "4") <= metric_at("p95 session µs", "4"));
+        assert!(metric_at("p50 session µs", "1") > 0.0);
     }
 }

@@ -17,10 +17,10 @@ use std::collections::BTreeSet;
 use accrel_access::enumerate::EnumerationOptions;
 use accrel_access::frontier::AccessFrontier;
 use accrel_access::{apply_access, Access};
-use accrel_core::SearchBudget;
 use accrel_query::{certain, Query};
 use accrel_schema::{Configuration, Tuple, Value};
 
+use crate::options::RunOptions;
 use crate::relevance::{RelevanceOracle, VerdictRecord};
 use crate::source::{DeepWebSource, SourceStats};
 
@@ -57,39 +57,6 @@ impl Strategy {
             Strategy::IrGuided => "ir-guided",
             Strategy::LtrGuided => "ltr-guided",
             Strategy::Hybrid => "hybrid",
-        }
-    }
-}
-
-/// Options controlling an engine run.
-#[derive(Debug, Clone)]
-pub struct EngineOptions {
-    /// Maximum number of accesses the engine may execute before giving up.
-    pub max_accesses: usize,
-    /// Extra values independent accesses may guess (e.g. query constants).
-    pub guessable_values: Vec<Value>,
-    /// Budget for the long-term-relevance checks.
-    pub budget: SearchBudget,
-    /// Stop as soon as the query is certain (for Boolean queries) — when
-    /// `false` the engine keeps going until no candidate access remains,
-    /// which is useful for non-Boolean queries where more answers may
-    /// appear.
-    pub stop_when_certain: bool,
-    /// Cache relevance verdicts between rounds, invalidating by the
-    /// relations each verdict inspected. Disable to force every candidate to
-    /// be re-checked every round (the pre-incremental behaviour; the access
-    /// sequences executed must not change).
-    pub use_relevance_cache: bool,
-}
-
-impl Default for EngineOptions {
-    fn default() -> Self {
-        Self {
-            max_accesses: 10_000,
-            guessable_values: Vec::new(),
-            budget: SearchBudget::default(),
-            stop_when_certain: true,
-            use_relevance_cache: true,
         }
     }
 }
@@ -147,6 +114,11 @@ pub struct RunReport {
     pub relevance_cache_hits: usize,
     /// Relevance verdicts that had to run a decision procedure.
     pub relevance_cache_misses: usize,
+    /// Of the per-run cache misses, how many were answered from the
+    /// cross-session [`crate::relevance::SharedVerdictCache`] instead of
+    /// running a decision procedure. Always zero outside the serving layer
+    /// of `accrel-federation`.
+    pub relevance_shared_hits: usize,
     /// The accesses executed, in execution order (for comparing cached and
     /// uncached runs).
     pub access_sequence: Vec<Access>,
@@ -176,7 +148,7 @@ pub struct FederatedEngine<'a> {
     source: &'a DeepWebSource,
     query: Query,
     strategy: Strategy,
-    options: EngineOptions,
+    options: RunOptions,
 }
 
 impl<'a> FederatedEngine<'a> {
@@ -186,12 +158,12 @@ impl<'a> FederatedEngine<'a> {
             source,
             query,
             strategy,
-            options: EngineOptions::default(),
+            options: RunOptions::default(),
         }
     }
 
     /// Replaces the run options.
-    pub fn with_options(mut self, options: EngineOptions) -> Self {
+    pub fn with_options(mut self, options: RunOptions) -> Self {
         self.options = options;
         self
     }
@@ -278,6 +250,7 @@ impl<'a> FederatedEngine<'a> {
             rounds,
             relevance_cache_hits: oracle.hits(),
             relevance_cache_misses: oracle.misses(),
+            relevance_shared_hits: oracle.shared_hits(),
             access_sequence,
             relevance_verdicts: oracle.take_log(),
             source_stats: self.source.stats().since(&stats_before),
@@ -285,25 +258,6 @@ impl<'a> FederatedEngine<'a> {
             shard_copies: conf.shard_copies() - copies_before,
             final_configuration: conf,
         }
-    }
-
-    /// Runs every strategy on the same initial configuration and returns the
-    /// reports (resetting the source statistics between runs).
-    pub fn compare_strategies(
-        source: &'a DeepWebSource,
-        query: &Query,
-        initial: &Configuration,
-        options: &EngineOptions,
-    ) -> Vec<RunReport> {
-        Strategy::all()
-            .into_iter()
-            .map(|strategy| {
-                source.reset_stats();
-                FederatedEngine::new(source, query.clone(), strategy)
-                    .with_options(options.clone())
-                    .run(initial)
-            })
-            .collect()
     }
 
     /// The pool of guessable values for independent accesses: caller-provided
@@ -328,8 +282,10 @@ impl<'a> FederatedEngine<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::run::{compare_strategies, RunRequest, Sequential};
     use crate::scenarios;
     use crate::source::ResponsePolicy;
+    use accrel_core::SearchBudget;
 
     #[test]
     fn exhaustive_engine_answers_the_bank_query() {
@@ -356,12 +312,11 @@ mod tests {
             scenario.methods.clone(),
             ResponsePolicy::Exact,
         );
-        let options = EngineOptions::default();
-        let reports = FederatedEngine::compare_strategies(
-            &source,
-            &scenario.query,
+        let request = RunRequest::new(scenario.query.clone());
+        let reports = compare_strategies(
+            &Sequential::new(&source),
+            &request,
             &scenario.initial_configuration,
-            &options,
         );
         let exhaustive = reports
             .iter()
@@ -399,26 +354,25 @@ mod tests {
             // A shallow budget and a tight access cap keep the *uncached*
             // runs affordable; the property under test (identical access
             // sequences) is budget-independent since both sides share it.
-            let cached = EngineOptions {
+            let cached = RunOptions {
                 max_accesses: 12,
                 budget: SearchBudget::shallow(),
-                ..EngineOptions::default()
+                ..RunOptions::default()
             };
-            let uncached = EngineOptions {
+            let uncached = RunOptions {
                 use_relevance_cache: false,
                 ..cached.clone()
             };
-            let with_cache = FederatedEngine::compare_strategies(
-                &source,
-                &scenario.query,
+            let executor = Sequential::new(&source);
+            let with_cache = compare_strategies(
+                &executor,
+                &RunRequest::new(scenario.query.clone()).with_options(cached),
                 &scenario.initial_configuration,
-                &cached,
             );
-            let without_cache = FederatedEngine::compare_strategies(
-                &source,
-                &scenario.query,
+            let without_cache = compare_strategies(
+                &executor,
+                &RunRequest::new(scenario.query.clone()).with_options(uncached),
                 &scenario.initial_configuration,
-                &uncached,
             );
             for (c, u) in with_cache.iter().zip(&without_cache) {
                 assert_eq!(c.strategy, u.strategy);
@@ -463,9 +417,9 @@ mod tests {
             scenario.methods.clone(),
             ResponsePolicy::Exact,
         );
-        let options = EngineOptions {
+        let options = RunOptions {
             max_accesses: 1,
-            ..EngineOptions::default()
+            ..RunOptions::default()
         };
         let engine = FederatedEngine::new(&source, scenario.query.clone(), Strategy::Exhaustive)
             .with_options(options);

@@ -33,10 +33,16 @@
 #![forbid(unsafe_code)]
 
 mod engine;
+pub mod options;
 pub mod relevance;
+pub mod run;
 pub mod scenarios;
 mod source;
 
-pub use engine::{BatchStats, EngineOptions, FederatedEngine, RunReport, Strategy};
-pub use relevance::{RelevanceKind, RelevanceOracle, VerdictRecord};
+pub use engine::{BatchStats, FederatedEngine, RunReport, Strategy};
+#[allow(deprecated)]
+pub use options::EngineOptions;
+pub use options::{RunOptions, SpeculationMode};
+pub use relevance::{RelevanceKind, RelevanceOracle, SharedVerdictCache, VerdictRecord};
+pub use run::{compare_strategies, Executor, RunRequest, Sequential};
 pub use source::{DeepWebSource, ResponsePolicy, SourceStats};

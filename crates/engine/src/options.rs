@@ -1,0 +1,167 @@
+//! The unified run options.
+//!
+//! Historically every execution layer grew its own option struct: the
+//! sequential engine had `EngineOptions`, the threaded batch scheduler
+//! nested it inside `BatchOptions { engine, batch_size, workers, .. }`, and
+//! the async scheduler nested it again inside `AsyncBatchOptions` with the
+//! worker knob renamed `in_flight`. The three overlapped almost entirely and
+//! clamped degenerate values (`workers == 0`, `batch_size == 0`)
+//! inconsistently at their call sites. [`RunOptions`] replaces all three:
+//! one flat struct carrying both the semantic knobs (access cap, budget,
+//! relevance cache) and the execution knobs (batch size, concurrency,
+//! speculation), with [`RunOptions::normalize`] as the single place
+//! degenerate values are clamped. Executors that have no use for a knob
+//! simply ignore it — the sequential engine reads none of the batching
+//! fields.
+//!
+//! The old names survive as `#[deprecated]` type aliases (here and in
+//! `accrel-federation`) so downstream code migrates on its own schedule.
+
+use accrel_core::SearchBudget;
+use accrel_schema::Value;
+
+/// How a scheduler predicts the follow-up accesses of a batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SpeculationMode {
+    /// Predict only from verdicts already in the relevance cache: free (no
+    /// extra decision-procedure invocations) and never mispredicts while the
+    /// cache stays valid, but guided strategies only form large batches in
+    /// rounds whose verdicts are already warm. Exhaustive batches are always
+    /// full since they need no verdicts.
+    CachedOnly,
+    /// Run the decision procedures speculatively on a scratch copy of the
+    /// oracle (discarded afterwards, so the authoritative verdict log is
+    /// untouched). Buys relevance-verified batches for the guided strategies
+    /// at the price of duplicated checks — worth it exactly when source
+    /// latency dominates check cost.
+    Eager,
+}
+
+/// Options controlling a run, shared by every [`crate::Executor`]
+/// implementation (sequential engine, threaded and async batch schedulers,
+/// and the serving layer of `accrel-federation`).
+#[derive(Debug, Clone)]
+pub struct RunOptions {
+    /// Maximum number of accesses the engine may execute before giving up.
+    pub max_accesses: usize,
+    /// Extra values independent accesses may guess (e.g. query constants).
+    pub guessable_values: Vec<Value>,
+    /// Budget for the long-term-relevance checks.
+    pub budget: SearchBudget,
+    /// Stop as soon as the query is certain (for Boolean queries) — when
+    /// `false` the engine keeps going until no candidate access remains,
+    /// which is useful for non-Boolean queries where more answers may
+    /// appear.
+    pub stop_when_certain: bool,
+    /// Cache relevance verdicts between rounds, invalidating by the
+    /// relations each verdict inspected. Disable to force every candidate to
+    /// be re-checked every round (the pre-incremental behaviour; the access
+    /// sequences executed must not change).
+    pub use_relevance_cache: bool,
+    /// Maximum accesses prefetched per batch (1 disables speculation).
+    /// Ignored by the sequential engine.
+    pub batch_size: usize,
+    /// Per-batch concurrency: worker threads for the threaded scheduler, the
+    /// in-flight future cap for the async one and the serving layer. Ignored
+    /// by the sequential engine.
+    pub workers: usize,
+    /// How follow-up accesses are predicted. Ignored by the sequential
+    /// engine.
+    pub speculation: SpeculationMode,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        Self {
+            max_accesses: 10_000,
+            guessable_values: Vec::new(),
+            budget: SearchBudget::default(),
+            stop_when_certain: true,
+            use_relevance_cache: true,
+            batch_size: 8,
+            workers: 4,
+            speculation: SpeculationMode::CachedOnly,
+        }
+    }
+}
+
+impl RunOptions {
+    /// A copy with every degenerate execution knob clamped to its smallest
+    /// meaningful value: `workers == 0` and `batch_size == 0` both become 1.
+    ///
+    /// This is the **single** clamping point — schedulers and sweeps used to
+    /// each promote zero workers differently (`max(1)` here,
+    /// `clamp(1, n)` there); every execution layer now normalizes through
+    /// this method (or [`RunOptions::clamp_workers`] when a task count
+    /// bounds the useful concurrency) so the promotion is pinned in one
+    /// place.
+    pub fn normalize(&self) -> RunOptions {
+        RunOptions {
+            batch_size: self.batch_size.max(1),
+            workers: self.workers.max(1),
+            ..self.clone()
+        }
+    }
+
+    /// The effective concurrency for `tasks` work items: at least one
+    /// worker, never more workers than items (and still one worker when
+    /// there is no work, so degenerate inputs stay well-defined).
+    pub fn clamp_workers(workers: usize, tasks: usize) -> usize {
+        workers.max(1).min(tasks.max(1))
+    }
+}
+
+/// The historical name of the sequential engine's options.
+#[deprecated(since = "0.1.0", note = "renamed to `RunOptions`")]
+pub type EngineOptions = RunOptions;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Satellite regression: the `workers == 0` promotion (and the
+    /// `batch_size == 0` one) is centralized here — schedulers and sweeps
+    /// must all see the same clamp.
+    #[test]
+    fn normalize_promotes_zero_knobs_to_one() {
+        let zeroed = RunOptions {
+            workers: 0,
+            batch_size: 0,
+            ..RunOptions::default()
+        };
+        let normal = zeroed.normalize();
+        assert_eq!(normal.workers, 1);
+        assert_eq!(normal.batch_size, 1);
+        // Non-degenerate values pass through untouched.
+        let kept = RunOptions {
+            workers: 7,
+            batch_size: 3,
+            ..RunOptions::default()
+        }
+        .normalize();
+        assert_eq!((kept.workers, kept.batch_size), (7, 3));
+        assert_eq!(kept.max_accesses, RunOptions::default().max_accesses);
+    }
+
+    #[test]
+    fn clamp_workers_promotes_zero_and_caps_at_task_count() {
+        assert_eq!(RunOptions::clamp_workers(0, 5), 1);
+        assert_eq!(RunOptions::clamp_workers(1, 5), 1);
+        assert_eq!(RunOptions::clamp_workers(8, 3), 3);
+        assert_eq!(RunOptions::clamp_workers(3, 3), 3);
+        // No work still yields a well-defined single worker.
+        assert_eq!(RunOptions::clamp_workers(4, 0), 1);
+        assert_eq!(RunOptions::clamp_workers(0, 0), 1);
+    }
+
+    #[test]
+    fn deprecated_alias_still_constructs() {
+        #[allow(deprecated)]
+        let options = EngineOptions {
+            max_accesses: 12,
+            ..Default::default()
+        };
+        assert_eq!(options.max_accesses, 12);
+        assert_eq!(options.batch_size, 8);
+    }
+}

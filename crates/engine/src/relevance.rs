@@ -14,13 +14,15 @@
 //! compare these logs between sequential and batched runs.
 
 use std::collections::{HashMap, HashSet};
+use std::sync::{Arc, Mutex};
 
 use accrel_access::{Access, AccessMethods, AccessMode};
 use accrel_core::{is_immediately_relevant, is_long_term_relevant, SearchBudget};
 use accrel_query::Query;
 use accrel_schema::{Configuration, RelationId};
 
-use crate::engine::{EngineOptions, Strategy};
+use crate::engine::Strategy;
+use crate::options::RunOptions;
 
 /// Which relevance check a verdict belongs to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -109,6 +111,108 @@ impl RelevanceCache {
     }
 }
 
+/// The key a shared verdict is stored under: which query/option class asked,
+/// which check ran, on which access, at which *versions* of the relations
+/// the verdict depends on (relation → fact count at check time).
+type SharedKey = (u64, RelevanceKind, Access, Vec<(RelationId, usize)>);
+
+#[derive(Debug, Default)]
+struct SharedVerdictState {
+    verdicts: HashMap<SharedKey, bool>,
+    hits: u64,
+    misses: u64,
+}
+
+/// A cross-session relevance-verdict cache: verdicts outlive the
+/// [`RelevanceOracle`] (and hence the run) that computed them, so concurrent
+/// or consecutive sessions asking the same question skip the decision
+/// procedure. Cloning shares the underlying store.
+///
+/// Keys are version-stamped rather than explicitly invalidated: alongside
+/// the `(class, kind, access)` triple, the key records the **fact count of
+/// every relation the verdict's dependency set names** at check time.
+/// Configurations only grow, so within one deterministic trajectory a
+/// relation's count identifies its contents; growth of a dep relation
+/// changes the key (the stale verdict is simply never probed again), while
+/// growth elsewhere leaves the key — and the verdict — intact. That realises
+/// "invalidate only on relevant growth" without any invalidation traffic.
+///
+/// The `class` discriminant must fold in everything else the verdict is a
+/// function of — query, strategy, options, and the initial configuration —
+/// so that only sessions following the *same* growth trajectory share
+/// entries; the serving layer derives it from the request + initial
+/// fingerprint.
+#[derive(Debug, Clone, Default)]
+pub struct SharedVerdictCache {
+    inner: Arc<Mutex<SharedVerdictState>>,
+}
+
+impl SharedVerdictCache {
+    /// An empty shared cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of verdicts currently stored.
+    pub fn len(&self) -> usize {
+        self.inner
+            .lock()
+            .expect("verdict cache poisoned")
+            .verdicts
+            .len()
+    }
+
+    /// Whether the cache holds no verdicts.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lookups answered from the cache, across all sessions.
+    pub fn hits(&self) -> u64 {
+        self.inner.lock().expect("verdict cache poisoned").hits
+    }
+
+    /// Lookups that missed (and were then published by the asker).
+    pub fn misses(&self) -> u64 {
+        self.inner.lock().expect("verdict cache poisoned").misses
+    }
+
+    fn lookup(
+        &self,
+        class: u64,
+        kind: RelevanceKind,
+        access: &Access,
+        dep_counts: &[(RelationId, usize)],
+    ) -> Option<bool> {
+        let mut state = self.inner.lock().expect("verdict cache poisoned");
+        let key = (class, kind, access.clone(), dep_counts.to_vec());
+        match state.verdicts.get(&key) {
+            Some(&verdict) => {
+                state.hits += 1;
+                Some(verdict)
+            }
+            None => {
+                state.misses += 1;
+                None
+            }
+        }
+    }
+
+    fn publish(
+        &self,
+        class: u64,
+        kind: RelevanceKind,
+        access: Access,
+        dep_counts: Vec<(RelationId, usize)>,
+        verdict: bool,
+    ) {
+        let mut state = self.inner.lock().expect("verdict cache poisoned");
+        state
+            .verdicts
+            .insert((class, kind, access, dep_counts), verdict);
+    }
+}
+
 /// The relevance-decision engine of one run: answers "is this access
 /// relevant at this configuration" through the incremental cache, applies
 /// the [`Strategy`] selection rules, and logs every decision-procedure
@@ -120,13 +224,15 @@ pub struct RelevanceOracle<'a> {
     budget: SearchBudget,
     use_cache: bool,
     cache: RelevanceCache,
+    shared: Option<(u64, SharedVerdictCache)>,
+    shared_hits: usize,
     log: Vec<VerdictRecord>,
     record: bool,
 }
 
 impl<'a> RelevanceOracle<'a> {
     /// Creates an oracle for `query` over `methods` under the run options.
-    pub fn new(query: &'a Query, methods: &'a AccessMethods, options: &EngineOptions) -> Self {
+    pub fn new(query: &'a Query, methods: &'a AccessMethods, options: &RunOptions) -> Self {
         let query_relations: HashSet<RelationId> = query
             .ucq()
             .iter()
@@ -138,9 +244,24 @@ impl<'a> RelevanceOracle<'a> {
             budget: options.budget.clone(),
             use_cache: options.use_relevance_cache,
             cache: RelevanceCache::new(query_relations),
+            shared: None,
+            shared_hits: 0,
             log: Vec::new(),
             record: true,
         }
+    }
+
+    /// Attaches a cross-session [`SharedVerdictCache`]: per-run cache misses
+    /// probe it before running a decision procedure, and publish their
+    /// result into it afterwards. `class` must identify the verdict class —
+    /// everything besides `(kind, access, dep versions)` that the verdict
+    /// depends on (query, strategy, options, initial configuration); the
+    /// serving layer hashes the request for this. Only effective while the
+    /// per-run cache is enabled (the uncached mode exists to reproduce the
+    /// pre-incremental engine exactly, so it bypasses sharing too).
+    pub fn with_shared_cache(mut self, class: u64, cache: SharedVerdictCache) -> Self {
+        self.shared = Some((class, cache));
+        self
     }
 
     /// A scratch copy for speculative look-ahead: shares the cached verdicts
@@ -207,10 +328,22 @@ impl<'a> RelevanceOracle<'a> {
             return verdict;
         }
         self.cache.misses += 1;
-        let verdict = run(self.query, self.methods, &self.budget, access, conf);
         let dep = match kind {
             RelevanceKind::Immediate => self.ir_dep(),
             RelevanceKind::LongTerm => self.ltr_dep(),
+        };
+        let verdict = if let Some((class, shared)) = &self.shared {
+            let counts = self.dep_counts(dep, conf);
+            if let Some(verdict) = shared.lookup(*class, kind, access, &counts) {
+                self.shared_hits += 1;
+                verdict
+            } else {
+                let verdict = run(self.query, self.methods, &self.budget, access, conf);
+                shared.publish(*class, kind, access.clone(), counts, verdict);
+                verdict
+            }
+        } else {
+            run(self.query, self.methods, &self.budget, access, conf)
         };
         let map = match kind {
             RelevanceKind::Immediate => &mut self.cache.immediate,
@@ -249,7 +382,7 @@ impl<'a> RelevanceOracle<'a> {
     /// Long-term-relevance check, via the cache when enabled. Dependent-
     /// access LTR verdicts consult the global active domain and so depend on
     /// every relation; all-independent Boolean verdicts depend only on the
-    /// query's relations (see [`DepSet`]).
+    /// query's relations (see the crate-private `DepSet`).
     pub fn check_ltr(&mut self, access: &Access, conf: &Configuration) -> bool {
         self.check(RelevanceKind::LongTerm, access, conf)
     }
@@ -270,6 +403,34 @@ impl<'a> RelevanceOracle<'a> {
     /// Verdicts that ran a decision procedure so far.
     pub fn misses(&self) -> usize {
         self.cache.misses
+    }
+
+    /// Of the misses, how many were answered by the attached
+    /// [`SharedVerdictCache`] instead of a decision procedure. Zero when no
+    /// shared cache is attached.
+    pub fn shared_hits(&self) -> usize {
+        self.shared_hits
+    }
+
+    /// The version stamp a verdict with dependency-set index `dep` carries
+    /// in the shared cache: the current fact count of every relation the
+    /// dependency set names, sorted by relation id. Growth of any stamped
+    /// relation changes the stamp (and so retires the entry); growth
+    /// elsewhere leaves it probeable.
+    fn dep_counts(&self, dep: usize, conf: &Configuration) -> Vec<(RelationId, usize)> {
+        let mut counts: Vec<(RelationId, usize)> = match &self.cache.deps[dep] {
+            DepSet::Relations(set) => set
+                .iter()
+                .map(|&rel| (rel, conf.store().relation_len(rel)))
+                .collect(),
+            DepSet::All => conf
+                .schema()
+                .relations_with_ids()
+                .map(|(rel, _)| (rel, conf.store().relation_len(rel)))
+                .collect(),
+        };
+        counts.sort_unstable();
+        counts
     }
 
     /// Takes the ordered log of decision-procedure invocations.
@@ -383,7 +544,7 @@ mod tests {
     #[test]
     fn independent_ltr_verdicts_survive_unrelated_growth() {
         let (_, methods, query, mut conf, access, r, s) = setup(true);
-        let options = EngineOptions::default();
+        let options = RunOptions::default();
         let mut oracle = RelevanceOracle::new(&query, &methods, &options);
         assert!(!oracle.ltr_dep_is_global());
         let first = oracle.check_ltr(&access, &conf);
@@ -405,7 +566,7 @@ mod tests {
     #[test]
     fn dependent_ltr_verdicts_stay_globally_invalidated() {
         let (_, methods, query, conf, access, _, s) = setup(false);
-        let options = EngineOptions::default();
+        let options = RunOptions::default();
         let mut oracle = RelevanceOracle::new(&query, &methods, &options);
         assert!(oracle.ltr_dep_is_global());
         // Make the access well-formed for the dependent mode check.
@@ -428,7 +589,7 @@ mod tests {
         // an unmentioned relation equals what a fresh (uncached) check
         // computes on the grown configuration, for every candidate binding.
         let (_, methods, query, mut conf, _, _, s) = setup(true);
-        let options = EngineOptions::default();
+        let options = RunOptions::default();
         let r_acc = methods.by_name("RAcc").unwrap();
         let bindings = ["k", "seed", "zz"];
         let mut oracle = RelevanceOracle::new(&query, &methods, &options);
@@ -450,5 +611,55 @@ mod tests {
             assert_eq!(cached, fresh, "binding {b}");
         }
         assert_eq!(oracle.hits(), bindings.len());
+    }
+
+    #[test]
+    fn shared_cache_answers_a_second_oracle_without_reprocedure() {
+        let (_, methods, query, conf, access, _, _) = setup(true);
+        let options = RunOptions::default();
+        let shared = SharedVerdictCache::new();
+        assert!(shared.is_empty());
+        let mut first =
+            RelevanceOracle::new(&query, &methods, &options).with_shared_cache(42, shared.clone());
+        let verdict = first.check_ltr(&access, &conf);
+        assert_eq!(first.shared_hits(), 0);
+        assert_eq!((shared.len(), shared.hits(), shared.misses()), (1, 0, 1));
+        // A fresh oracle of the same class at the same configuration gets
+        // the verdict from the shared cache — its per-run miss still counts
+        // (the per-run cache was cold) but no procedure runs, and the log
+        // entry is identical to the first oracle's.
+        let mut second =
+            RelevanceOracle::new(&query, &methods, &options).with_shared_cache(42, shared.clone());
+        assert_eq!(second.check_ltr(&access, &conf), verdict);
+        assert_eq!(second.misses(), 1);
+        assert_eq!(second.shared_hits(), 1);
+        assert_eq!(shared.hits(), 1);
+        assert_eq!(first.take_log(), second.take_log());
+        // A different class never shares.
+        let mut other =
+            RelevanceOracle::new(&query, &methods, &options).with_shared_cache(7, shared.clone());
+        let _ = other.check_ltr(&access, &conf);
+        assert_eq!(other.shared_hits(), 0);
+        assert_eq!(shared.len(), 2);
+    }
+
+    #[test]
+    fn shared_cache_entries_retire_on_dep_relation_growth() {
+        let (_, methods, query, mut conf, access, _, _) = setup(true);
+        let options = RunOptions::default();
+        let shared = SharedVerdictCache::new();
+        let mut oracle =
+            RelevanceOracle::new(&query, &methods, &options).with_shared_cache(1, shared.clone());
+        let _ = oracle.check_ltr(&access, &conf);
+        assert_eq!(shared.len(), 1);
+        // Growing the query's relation changes the version stamp: a fresh
+        // same-class oracle misses the shared cache and publishes under the
+        // new stamp instead of reading the stale verdict.
+        conf.insert_named("R", ["k9", "w9"]).unwrap();
+        let mut regrown =
+            RelevanceOracle::new(&query, &methods, &options).with_shared_cache(1, shared.clone());
+        let _ = regrown.check_ltr(&access, &conf);
+        assert_eq!(regrown.shared_hits(), 0);
+        assert_eq!(shared.len(), 2);
     }
 }

@@ -1,6 +1,7 @@
-//! The async batch scheduler: the threaded [`BatchScheduler`]'s merge loop,
-//! with batches realised as concurrently-polled futures on the hand-rolled
-//! mini-executor instead of scoped worker threads.
+//! The async batch scheduler: the threaded
+//! [`BatchScheduler`](crate::BatchScheduler)'s merge loop, with batches
+//! realised as concurrently-polled futures on the hand-rolled mini-executor
+//! instead of scoped worker threads.
 //!
 //! # Determinism invariant, inherited
 //!
@@ -8,15 +9,16 @@
 //! [`MergePlan`](crate::scheduler) merge loop as the threaded scheduler —
 //! not equivalent code, the same function. Concurrency enters only inside
 //! the `fetch` callback: a predicted batch's accesses are spawned as tasks
-//! on a fresh [`Executor`] over the federation's shared [`VirtualClock`],
-//! gated by a FIFO [`Semaphore`] of `in_flight` permits, and driven to
-//! completion before the merge loop consumes a single response. Responses
-//! are collected by *batch position*, never completion order, so for
-//! sources whose response is a deterministic function of the access — every
-//! adapter in this crate — an async run reports the same `access_sequence`,
-//! relevance-verdict log, answers and final configuration as the threaded
-//! scheduler and the sequential engine (pinned by the async grid in
-//! `tests/federation_equivalence.rs`).
+//! on a fresh [`Executor`] over the federation's shared
+//! [`VirtualClock`](crate::VirtualClock), gated by a FIFO [`Semaphore`] of
+//! `workers` permits (the in-flight cap),
+//! and driven to completion before the merge loop consumes a single
+//! response. Responses are collected by *batch position*, never completion
+//! order, so for sources whose response is a deterministic function of the
+//! access — every adapter in this crate — an async run reports the same
+//! `access_sequence`, relevance-verdict log, answers and final
+//! configuration as the threaded scheduler and the sequential engine
+//! (pinned by the executor grid in `tests/federation_equivalence.rs`).
 //!
 //! What changes is the *cost model*: simulated round trips are awaited on
 //! the virtual clock, so a batch's virtual makespan is its critical path
@@ -26,50 +28,37 @@
 //! The F2 harness sweep reports this throughput-vs-in-flight curve.
 
 use accrel_access::{Access, Response};
-use accrel_engine::{EngineOptions, RunReport, Strategy};
+use accrel_engine::{RunOptions, RunReport, RunRequest, Strategy};
 use accrel_query::Query;
 use accrel_schema::Configuration;
 
 use crate::async_federation::AsyncFederation;
 use crate::error::SourceError;
 use crate::executor::{Executor, Semaphore};
-use crate::scheduler::{MergePlan, SpeculationMode};
+use crate::scheduler::MergePlan;
 
-/// Options of an async batched run.
-#[derive(Debug, Clone)]
-pub struct AsyncBatchOptions {
-    /// The sequential engine options (access cap, budget, relevance cache).
-    pub engine: EngineOptions,
-    /// Maximum accesses prefetched per batch (1 disables speculation).
-    pub batch_size: usize,
-    /// Maximum source calls in flight at once within a batch (the async
-    /// analogue of worker threads; reported in
-    /// [`accrel_engine::BatchStats::workers`]).
-    pub in_flight: usize,
-    /// How follow-up accesses are predicted.
-    pub speculation: SpeculationMode,
-}
-
-impl Default for AsyncBatchOptions {
-    fn default() -> Self {
-        Self {
-            engine: EngineOptions::default(),
-            batch_size: 8,
-            in_flight: 4,
-            speculation: SpeculationMode::CachedOnly,
-        }
-    }
-}
+/// The historical name of the async scheduler's options; the `engine`
+/// nesting is gone and the `in_flight` knob is [`RunOptions::workers`].
+#[deprecated(
+    since = "0.1.0",
+    note = "renamed to `RunOptions` (in_flight is now `workers`)"
+)]
+pub type AsyncBatchOptions = RunOptions;
 
 /// A federated engine executing relevance-verified batches as concurrently
 /// awaited futures while preserving the sequential engine's semantics (see
 /// the module documentation).
+///
+/// The API is construction-only: build with [`AsyncBatchScheduler::new`] /
+/// [`AsyncBatchScheduler::with_options`], then [`AsyncBatchScheduler::run`].
+/// For running the same request under every strategy use
+/// [`accrel_engine::compare_strategies`] with the [`Async`] executor.
 #[derive(Debug)]
 pub struct AsyncBatchScheduler<'a> {
     federation: &'a AsyncFederation,
     query: Query,
     strategy: Strategy,
-    options: AsyncBatchOptions,
+    options: RunOptions,
 }
 
 impl<'a> AsyncBatchScheduler<'a> {
@@ -79,12 +68,12 @@ impl<'a> AsyncBatchScheduler<'a> {
             federation,
             query,
             strategy,
-            options: AsyncBatchOptions::default(),
+            options: RunOptions::default(),
         }
     }
 
     /// Replaces the run options.
-    pub fn with_options(mut self, options: AsyncBatchOptions) -> Self {
+    pub fn with_options(mut self, options: RunOptions) -> Self {
         self.options = options;
         self
     }
@@ -96,39 +85,48 @@ impl<'a> AsyncBatchScheduler<'a> {
     /// runs apart.
     pub fn run(&self, initial: &Configuration) -> RunReport {
         let stats_before = self.federation.stats();
+        let options = self.options.normalize();
         let plan = MergePlan {
             query: &self.query,
             strategy: self.strategy,
-            engine: &self.options.engine,
-            batch_size: self.options.batch_size,
-            speculation: self.options.speculation,
-            workers: self.options.in_flight.max(1),
+            options: &options,
+            shared: None,
         };
         let mut report = plan.run(self.federation.methods(), initial, |batch| {
-            fetch_batch_async(self.federation, batch, self.options.in_flight)
+            fetch_batch_async(self.federation, batch, options.workers)
         });
         report.source_stats = self.federation.stats().since(&stats_before).source;
         report
     }
+}
 
-    /// Runs every strategy on the same initial configuration (resetting the
-    /// federation's statistics between runs), mirroring
-    /// [`crate::BatchScheduler::compare_strategies`].
-    pub fn compare_strategies(
-        federation: &'a AsyncFederation,
-        query: &Query,
-        initial: &Configuration,
-        options: &AsyncBatchOptions,
-    ) -> Vec<RunReport> {
-        Strategy::all()
-            .into_iter()
-            .map(|strategy| {
-                federation.reset_stats();
-                AsyncBatchScheduler::new(federation, query.clone(), strategy)
-                    .with_options(options.clone())
-                    .run(initial)
-            })
-            .collect()
+/// The async batch executor: a [`RunRequest`] handed to an
+/// [`AsyncBatchScheduler`] over an [`AsyncFederation`] on the virtual clock.
+#[derive(Debug, Clone, Copy)]
+pub struct Async<'a> {
+    federation: &'a AsyncFederation,
+}
+
+impl<'a> Async<'a> {
+    /// An async executor over `federation`.
+    pub fn new(federation: &'a AsyncFederation) -> Self {
+        Self { federation }
+    }
+}
+
+impl accrel_engine::Executor for Async<'_> {
+    fn name(&self) -> &'static str {
+        "async"
+    }
+
+    fn execute(&self, request: &RunRequest, initial: &Configuration) -> RunReport {
+        AsyncBatchScheduler::new(self.federation, request.query.clone(), request.strategy)
+            .with_options(request.options.clone())
+            .run(initial)
+    }
+
+    fn reset_stats(&self) {
+        self.federation.reset_stats();
     }
 }
 
@@ -173,7 +171,7 @@ pub(crate) fn fetch_batch_async(
 mod tests {
     use super::*;
     use crate::async_source::BlockingSource;
-    use crate::scheduler::{BatchOptions, BatchScheduler};
+    use crate::scheduler::BatchScheduler;
     use crate::source::{FlakyModel, LatencyModel, SimulatedSource};
     use crate::Federation;
     use accrel_core::SearchBudget;
@@ -206,10 +204,10 @@ mod tests {
                     .run(&scenario.initial_configuration);
             federation.reset_stats();
             let batched = AsyncBatchScheduler::new(&federation, scenario.query.clone(), strategy)
-                .with_options(AsyncBatchOptions {
+                .with_options(RunOptions {
                     batch_size: 4,
-                    in_flight: 3,
-                    ..AsyncBatchOptions::default()
+                    workers: 3,
+                    ..RunOptions::default()
                 })
                 .run(&scenario.initial_configuration);
             assert_eq!(batched.access_sequence, sequential.access_sequence);
@@ -233,10 +231,10 @@ mod tests {
             let before = federation.clock().now_micros();
             let report =
                 AsyncBatchScheduler::new(&federation, scenario.query.clone(), Strategy::Exhaustive)
-                    .with_options(AsyncBatchOptions {
+                    .with_options(RunOptions {
                         batch_size: 8,
-                        in_flight,
-                        ..AsyncBatchOptions::default()
+                        workers: in_flight,
+                        ..RunOptions::default()
                     })
                     .run(&scenario.initial_configuration);
             assert!(report.certain);
@@ -263,10 +261,10 @@ mod tests {
     #[test]
     fn eager_speculation_preserves_equivalence_async() {
         let scenario = bank_scenario();
-        let engine_options = EngineOptions {
+        let engine_options = RunOptions {
             max_accesses: 12,
             budget: SearchBudget::shallow(),
-            ..EngineOptions::default()
+            ..RunOptions::default()
         };
         let sequential_source = DeepWebSource::new(
             scenario.instance.clone(),
@@ -281,11 +279,11 @@ mod tests {
                     .run(&scenario.initial_configuration);
             federation.reset_stats();
             let batched = AsyncBatchScheduler::new(&federation, scenario.query.clone(), strategy)
-                .with_options(AsyncBatchOptions {
-                    engine: engine_options.clone(),
+                .with_options(RunOptions {
                     batch_size: 3,
-                    in_flight: 2,
-                    speculation: SpeculationMode::Eager,
+                    workers: 2,
+                    speculation: accrel_engine::SpeculationMode::Eager,
+                    ..engine_options.clone()
                 })
                 .run(&scenario.initial_configuration);
             assert_eq!(batched.access_sequence, sequential.access_sequence);
@@ -324,10 +322,10 @@ mod tests {
             scenario.query.clone(),
             Strategy::Exhaustive,
         )
-        .with_options(BatchOptions {
+        .with_options(RunOptions {
             batch_size: 4,
             workers: 2,
-            ..BatchOptions::default()
+            ..RunOptions::default()
         })
         .run(&scenario.initial_configuration);
 
@@ -337,10 +335,10 @@ mod tests {
             scenario.query.clone(),
             Strategy::Exhaustive,
         )
-        .with_options(AsyncBatchOptions {
+        .with_options(RunOptions {
             batch_size: 4,
-            in_flight: 2,
-            ..AsyncBatchOptions::default()
+            workers: 2,
+            ..RunOptions::default()
         })
         .run(&scenario.initial_configuration);
 
@@ -472,18 +470,15 @@ mod tests {
     fn compare_strategies_resets_stats_between_runs() {
         let scenario = bank_scenario();
         let federation = AsyncFederation::single_simulated(bank_source(&scenario));
-        let reports = AsyncBatchScheduler::compare_strategies(
-            &federation,
-            &scenario.query,
+        let request = RunRequest::new(scenario.query.clone()).with_options(RunOptions {
+            max_accesses: 12,
+            budget: SearchBudget::shallow(),
+            ..RunOptions::default()
+        });
+        let reports = accrel_engine::compare_strategies(
+            &Async::new(&federation),
+            &request,
             &scenario.initial_configuration,
-            &AsyncBatchOptions {
-                engine: EngineOptions {
-                    max_accesses: 12,
-                    budget: SearchBudget::shallow(),
-                    ..EngineOptions::default()
-                },
-                ..AsyncBatchOptions::default()
-            },
         );
         assert_eq!(reports.len(), Strategy::all().len());
         for report in &reports {

@@ -27,12 +27,13 @@
 
 use std::future::Future;
 use std::pin::Pin;
+use std::sync::Mutex;
 
 use accrel_access::{Access, AccessMethods, Response};
 
 use crate::error::SourceError;
 use crate::executor::VirtualClock;
-use crate::source::{BackendStats, SimulatedSource, Source};
+use crate::source::{BackendStats, LatencyModel, SimulatedSource, Source};
 
 /// The boxed future of one async source call. Not `Send`: the mini-executor
 /// is single-threaded, so futures never cross threads (the *sources* are
@@ -134,16 +135,37 @@ impl AsyncSource for AsyncSimulatedSource {
 
 /// Lifts any synchronous [`Source`] into an [`AsyncSource`] whose futures
 /// complete in one poll (the inner call runs on first poll, not at
-/// creation) and never touch the virtual clock.
+/// creation) and never touch the virtual clock — unless a virtual latency
+/// is attached with [`BlockingSource::with_virtual_latency`], in which case
+/// each call first awaits one modelled round trip on the shared clock.
+/// Injected latency matters to the serving layer: a source that completes
+/// on its first poll never lets two sessions overlap in virtual time, so
+/// cross-session deduplication would have nothing to merge.
 #[derive(Debug)]
 pub struct BlockingSource<S: Source> {
     inner: S,
+    latency: Option<(LatencyModel, VirtualClock)>,
+    injected_micros: Mutex<u64>,
 }
 
 impl<S: Source> BlockingSource<S> {
     /// Wraps `inner`.
     pub fn new(inner: S) -> Self {
-        Self { inner }
+        Self {
+            inner,
+            latency: None,
+            injected_micros: Mutex::new(0),
+        }
+    }
+
+    /// Attaches a per-call virtual round trip drawn from `latency` and
+    /// awaited on `clock` (share the clock of the federation / executor
+    /// that will drive the calls). The injected latency is reported via
+    /// [`BackendStats::simulated_latency_micros`]; the model's `sleep` flag
+    /// is ignored — the wait is always virtual.
+    pub fn with_virtual_latency(mut self, latency: LatencyModel, clock: VirtualClock) -> Self {
+        self.latency = Some((latency, clock));
+        self
     }
 
     /// The wrapped synchronous source.
@@ -162,14 +184,26 @@ impl<S: Source> AsyncSource for BlockingSource<S> {
     }
 
     fn call(&self, access: Access) -> SourceFuture<'_> {
-        Box::pin(async move { self.inner.call(&access) })
+        Box::pin(async move {
+            if let Some((model, clock)) = &self.latency {
+                let micros = model.trip_micros(&access, 0);
+                if micros > 0 {
+                    *self.injected_micros.lock().unwrap() += micros;
+                    clock.sleep(micros).await;
+                }
+            }
+            self.inner.call(&access)
+        })
     }
 
     fn stats(&self) -> BackendStats {
-        self.inner.stats()
+        let mut stats = self.inner.stats();
+        stats.simulated_latency_micros += *self.injected_micros.lock().unwrap();
+        stats
     }
 
     fn reset_stats(&self) {
+        *self.injected_micros.lock().unwrap() = 0;
         self.inner.reset_stats()
     }
 }
@@ -276,5 +310,23 @@ mod tests {
         assert_eq!(bridged.stats().source.calls, 1);
         bridged.reset_stats();
         assert_eq!(bridged.stats().source.calls, 0);
+    }
+
+    #[test]
+    fn blocking_source_with_virtual_latency_advances_the_clock() {
+        let (inst, methods, access) = setup();
+        let inner = PolicySource::new(
+            "policy",
+            DeepWebSource::new(inst, methods, ResponsePolicy::Exact),
+        );
+        let clock = VirtualClock::new();
+        let bridged = BlockingSource::new(inner)
+            .with_virtual_latency(LatencyModel::recorded(250), clock.clone());
+        let resp = drive(&clock, bridged.call(access)).unwrap();
+        assert_eq!(resp.len(), 10);
+        assert_eq!(clock.now_micros(), 250);
+        assert_eq!(bridged.stats().simulated_latency_micros, 250);
+        bridged.reset_stats();
+        assert_eq!(bridged.stats().simulated_latency_micros, 0);
     }
 }

@@ -340,8 +340,8 @@ impl<'env> Executor<'env> {
 }
 
 /// A handle to a spawned task's result. This runtime has no blocking
-/// `join`: drive the executor ([`Executor::run`]) and then [`take`]
-/// (`JoinHandle::take`) the value.
+/// `join`: drive the executor ([`Executor::run`]) and then
+/// [`take`](JoinHandle::take) the value.
 #[derive(Debug)]
 pub struct JoinHandle<T> {
     cell: Rc<RefCell<Option<T>>>,
@@ -500,6 +500,37 @@ impl Drop for Permit {
     }
 }
 
+/// Yields the current task once: pending on the first poll (immediately
+/// re-waking itself, which re-queues the task at the *back* of the strict
+/// FIFO ready queue), ready on the second. Awaiting it between units of work
+/// is therefore a round-robin fairness point: every other ready task gets a
+/// poll before this one resumes. The serving layer yields between a
+/// session's batches so concurrent sessions interleave on the virtual
+/// clock.
+pub fn yield_now() -> YieldNow {
+    YieldNow { yielded: false }
+}
+
+/// The future returned by [`yield_now`].
+#[derive(Debug)]
+pub struct YieldNow {
+    yielded: bool,
+}
+
+impl Future for YieldNow {
+    type Output = ();
+
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        if self.yielded {
+            Poll::Ready(())
+        } else {
+            self.yielded = true;
+            cx.waker().wake_by_ref();
+            Poll::Pending
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -515,29 +546,6 @@ mod tests {
         fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
             *self.slot.borrow_mut() = Some(cx.waker().clone());
             Poll::Pending
-        }
-    }
-
-    /// Yields once: pending on the first poll (re-waking itself), ready on
-    /// the second.
-    struct YieldOnce {
-        yielded: bool,
-    }
-
-    fn yield_now() -> YieldOnce {
-        YieldOnce { yielded: false }
-    }
-
-    impl Future for YieldOnce {
-        type Output = ();
-        fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
-            if self.yielded {
-                Poll::Ready(())
-            } else {
-                self.yielded = true;
-                cx.waker().wake_by_ref();
-                Poll::Pending
-            }
         }
     }
 

@@ -41,10 +41,31 @@
 //!   the shared virtual clock.
 //! * [`AsyncBatchScheduler`] — the *same* merge loop as [`BatchScheduler`]
 //!   (shared, not copied), with batches realised as concurrently-polled
-//!   futures capped by a FIFO [`Semaphore`] of `in_flight` permits; its
+//!   futures capped by a FIFO [`Semaphore`] of `workers` permits; its
 //!   sequential equivalence is pinned by the async grid in
 //!   `tests/federation_equivalence.rs`, and `clock().now_micros()` measures
 //!   a run's simulated makespan (the F2 harness sweep).
+//!
+//! ## The serving layer
+//!
+//! [`serving`] stacks a multi-tenant front end on the async runtime: a
+//! [`QuerySessionRegistry`] admits many concurrent query sessions over one
+//! shared [`AsyncFederation`], deduplicates identical in-flight accesses
+//! across sessions (two sessions wanting the same access share one wire
+//! call), and persists relevance verdicts across sessions through a shared
+//! [`accrel_engine::SharedVerdictCache`]. The F3 harness table measures its
+//! aggregate throughput and per-session latency percentiles against session
+//! count.
+//!
+//! ## Executors
+//!
+//! All execution layers answer the same [`accrel_engine::RunRequest`]
+//! through the [`accrel_engine::Executor`] trait: the engine crate's
+//! [`accrel_engine::Sequential`], this crate's [`Threaded`] (scoped-thread
+//! batches over a [`Federation`]), [`Async`] (virtual-clock futures over an
+//! [`AsyncFederation`]) and [`Serving`] (one session on
+//! the multi-tenant registry). The equivalence grid iterates executors, not
+//! bespoke scheduler APIs.
 //!
 //! Garrison & Lee-style actor simulations motivate the backend models:
 //! heterogeneous latency/failure behaviour makes the runtime measurable
@@ -60,15 +81,26 @@ mod error;
 pub mod executor;
 mod federation;
 pub mod scheduler;
+pub mod serving;
 mod source;
 mod sweep;
 
 pub use async_federation::{AsyncFederation, AsyncFederationBuilder};
-pub use async_scheduler::{AsyncBatchOptions, AsyncBatchScheduler};
+#[allow(deprecated)]
+pub use async_scheduler::AsyncBatchOptions;
+pub use async_scheduler::{Async, AsyncBatchScheduler};
 pub use async_source::{AsyncSimulatedSource, AsyncSource, BlockingSource, SourceFuture};
 pub use error::{FederationError, SourceError};
-pub use executor::{Executor, JoinHandle, Semaphore, Sleep, VirtualClock};
+pub use executor::{yield_now, Executor, JoinHandle, Semaphore, Sleep, VirtualClock, YieldNow};
 pub use federation::{Federation, FederationBuilder};
-pub use scheduler::{BatchOptions, BatchScheduler, SpeculationMode};
+#[allow(deprecated)]
+pub use scheduler::BatchOptions;
+pub use scheduler::{BatchScheduler, Threaded};
+pub use serving::{QuerySessionRegistry, Serving, ServingOptions, ServingReport, SessionReport};
 pub use source::{BackendStats, FlakyModel, LatencyModel, PolicySource, SimulatedSource, Source};
 pub use sweep::{parallel_relevance_sweep, parallel_relevance_sweep_report, SweepReport};
+
+/// Re-exported from `accrel-engine` so existing
+/// `accrel_federation::SpeculationMode` imports keep compiling now that the
+/// speculation knob lives on [`accrel_engine::RunOptions`].
+pub use accrel_engine::SpeculationMode;

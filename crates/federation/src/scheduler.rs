@@ -32,14 +32,28 @@
 //! fetched early stays valid, so it is kept in the response cache until the
 //! merge loop selects its access (or the run ends, which is the only way a
 //! prefetch is wasted — reported in [`BatchStats::speculative_wasted`]).
+//!
+//! # The sans-IO merge loop
+//!
+//! The loop itself is the crate-private `MergeLoop` state machine:
+//! `MergeLoop::step` advances rounds until it either finishes
+//! (`MergeStep::Done`) or needs responses for a predicted batch
+//! (`MergeStep::Fetch`), which the caller realises however it likes —
+//! scoped worker threads here, concurrently polled futures in
+//! [`crate::AsyncBatchScheduler`], dedup-shared futures in the serving
+//! layer — and hands back via `MergeLoop::supply`. Keeping the loop free
+//! of I/O is what lets three execution models share one implementation,
+//! so their equivalence holds by construction.
 
 use std::collections::{BTreeSet, HashMap};
 
 use accrel_access::enumerate::EnumerationOptions;
 use accrel_access::frontier::AccessFrontier;
 use accrel_access::{apply_access, Access, AccessMethods, Response};
+use accrel_engine::relevance::SharedVerdictCache;
 use accrel_engine::{
-    BatchStats, EngineOptions, RelevanceKind, RelevanceOracle, RunReport, Strategy,
+    BatchStats, RelevanceKind, RelevanceOracle, RunOptions, RunReport, RunRequest, SpeculationMode,
+    Strategy,
 };
 use accrel_query::{certain, Query};
 use accrel_schema::{Configuration, Value};
@@ -47,56 +61,25 @@ use accrel_schema::{Configuration, Value};
 use crate::error::SourceError;
 use crate::federation::Federation;
 
-/// How the scheduler predicts the follow-up accesses of a batch.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum SpeculationMode {
-    /// Predict only from verdicts already in the relevance cache: free (no
-    /// extra decision-procedure invocations) and never mispredicts while the
-    /// cache stays valid, but guided strategies only form large batches in
-    /// rounds whose verdicts are already warm. Exhaustive batches are always
-    /// full since they need no verdicts.
-    CachedOnly,
-    /// Run the decision procedures speculatively on a scratch copy of the
-    /// oracle (discarded afterwards, so the authoritative verdict log is
-    /// untouched). Buys relevance-verified batches for the guided strategies
-    /// at the price of duplicated checks — worth it exactly when source
-    /// latency dominates check cost.
-    Eager,
-}
-
-/// Options of a batched run.
-#[derive(Debug, Clone)]
-pub struct BatchOptions {
-    /// The sequential engine options (access cap, budget, relevance cache).
-    pub engine: EngineOptions,
-    /// Maximum accesses prefetched per batch (1 disables speculation).
-    pub batch_size: usize,
-    /// Maximum worker threads issuing one batch's source calls.
-    pub workers: usize,
-    /// How follow-up accesses are predicted.
-    pub speculation: SpeculationMode,
-}
-
-impl Default for BatchOptions {
-    fn default() -> Self {
-        Self {
-            engine: EngineOptions::default(),
-            batch_size: 8,
-            workers: 4,
-            speculation: SpeculationMode::CachedOnly,
-        }
-    }
-}
+/// The historical name of the threaded scheduler's options; the `engine`
+/// nesting is gone — the engine fields live directly on [`RunOptions`].
+#[deprecated(since = "0.1.0", note = "renamed to `RunOptions` (now flat)")]
+pub type BatchOptions = RunOptions;
 
 /// A federated engine that executes relevance-verified batches of accesses
 /// concurrently while preserving the sequential engine's semantics (see the
 /// module documentation for the determinism invariant).
+///
+/// The API is construction-only: build with [`BatchScheduler::new`] /
+/// [`BatchScheduler::with_options`], then [`BatchScheduler::run`]. For
+/// running the same request under every strategy use
+/// [`accrel_engine::compare_strategies`] with the [`Threaded`] executor.
 #[derive(Debug)]
 pub struct BatchScheduler<'a> {
     federation: &'a Federation,
     query: Query,
     strategy: Strategy,
-    options: BatchOptions,
+    options: RunOptions,
 }
 
 impl<'a> BatchScheduler<'a> {
@@ -106,12 +89,12 @@ impl<'a> BatchScheduler<'a> {
             federation,
             query,
             strategy,
-            options: BatchOptions::default(),
+            options: RunOptions::default(),
         }
     }
 
     /// Replaces the run options.
-    pub fn with_options(mut self, options: BatchOptions) -> Self {
+    pub fn with_options(mut self, options: RunOptions) -> Self {
         self.options = options;
         self
     }
@@ -122,184 +105,257 @@ impl<'a> BatchScheduler<'a> {
     /// returning the same responses.
     pub fn run(&self, initial: &Configuration) -> RunReport {
         let stats_before = self.federation.stats();
+        let options = self.options.normalize();
         let plan = MergePlan {
             query: &self.query,
             strategy: self.strategy,
-            engine: &self.options.engine,
-            batch_size: self.options.batch_size,
-            speculation: self.options.speculation,
-            workers: self.options.workers.max(1),
+            options: &options,
+            shared: None,
         };
         let mut report = plan.run(self.federation.methods(), initial, |batch| {
-            fetch_batch(self.federation, batch, self.options.workers)
+            fetch_batch(self.federation, batch, options.workers)
         });
         report.source_stats = self.federation.stats().since(&stats_before).source;
         report
     }
+}
 
-    /// Runs every strategy on the same initial configuration (resetting the
-    /// federation's statistics between runs), mirroring
-    /// [`accrel_engine::FederatedEngine::compare_strategies`].
-    pub fn compare_strategies(
-        federation: &'a Federation,
-        query: &Query,
-        initial: &Configuration,
-        options: &BatchOptions,
-    ) -> Vec<RunReport> {
-        Strategy::all()
-            .into_iter()
-            .map(|strategy| {
-                federation.reset_stats();
-                BatchScheduler::new(federation, query.clone(), strategy)
-                    .with_options(options.clone())
-                    .run(initial)
-            })
-            .collect()
+/// The threaded batch executor: a [`RunRequest`] handed to a
+/// [`BatchScheduler`] over a [`Federation`] of thread-safe sources.
+#[derive(Debug, Clone, Copy)]
+pub struct Threaded<'a> {
+    federation: &'a Federation,
+}
+
+impl<'a> Threaded<'a> {
+    /// A threaded executor over `federation`.
+    pub fn new(federation: &'a Federation) -> Self {
+        Self { federation }
     }
 }
 
-/// The strategy-faithful merge loop, shared verbatim by the threaded
-/// [`BatchScheduler`] and the async
-/// [`crate::AsyncBatchScheduler`]: round structure, candidate ordering,
-/// oracle selection, batch prediction and response merging are this one
-/// implementation — the two schedulers differ *only* in the `fetch`
-/// callback that realises a predicted batch (scoped worker threads vs
-/// concurrently-polled futures on the mini-executor). That sharing is what
-/// upgrades "the async scheduler behaves like the threaded one" from a
-/// property to be tested into one that holds by construction (the
-/// equivalence grid still pins it).
-pub(crate) struct MergePlan<'q> {
-    /// The query under evaluation.
-    pub(crate) query: &'q Query,
-    /// The access-selection strategy.
-    pub(crate) strategy: Strategy,
-    /// The sequential engine options.
-    pub(crate) engine: &'q EngineOptions,
-    /// Maximum accesses prefetched per batch.
-    pub(crate) batch_size: usize,
-    /// How follow-up accesses are predicted.
-    pub(crate) speculation: SpeculationMode,
-    /// Reported in [`BatchStats::workers`]: worker threads for the threaded
-    /// scheduler, the in-flight limit for the async one.
-    pub(crate) workers: usize,
+impl accrel_engine::Executor for Threaded<'_> {
+    fn name(&self) -> &'static str {
+        "threaded"
+    }
+
+    fn execute(&self, request: &RunRequest, initial: &Configuration) -> RunReport {
+        BatchScheduler::new(self.federation, request.query.clone(), request.strategy)
+            .with_options(request.options.clone())
+            .run(initial)
+    }
+
+    fn reset_stats(&self) {
+        self.federation.reset_stats();
+    }
 }
 
-impl MergePlan<'_> {
-    /// Runs the merge loop from `initial`, realising each predicted batch
-    /// through `fetch` (which must return responses aligned with the batch
-    /// slice). The returned report's `source_stats` are left at their
-    /// default — the caller attributes source traffic, since only it knows
-    /// which registry served the calls.
-    pub(crate) fn run<F>(
-        &self,
-        methods: &AccessMethods,
-        initial: &Configuration,
-        mut fetch: F,
-    ) -> RunReport
-    where
-        F: FnMut(&[Access]) -> Vec<Result<Response, SourceError>>,
-    {
-        let mut conf = initial.snapshot();
-        let copies_before = conf.shard_copies();
-        let mut accesses_made = 0usize;
-        let mut accesses_skipped = 0usize;
-        let mut tuples_retrieved = 0usize;
-        let mut rounds = 0usize;
-        let mut access_sequence: Vec<Access> = Vec::new();
-        let mut oracle = RelevanceOracle::new(self.query, methods, self.engine);
+/// What a [`MergeLoop::step`] asks of its driver.
+pub(crate) enum MergeStep {
+    /// Call the sources for this predicted batch and hand the responses back
+    /// through [`MergeLoop::supply`], then step again.
+    Fetch(Vec<Access>),
+    /// The run is over; take the report with [`MergeLoop::into_report`].
+    Done,
+}
 
+/// The strategy-faithful merge loop as a sans-IO state machine, shared
+/// verbatim by the threaded [`BatchScheduler`], the async
+/// [`crate::AsyncBatchScheduler`] and the serving layer's sessions: round
+/// structure, candidate ordering, oracle selection, batch prediction and
+/// response merging are this one implementation — the drivers differ *only*
+/// in how they realise a [`MergeStep::Fetch`]. That sharing is what upgrades
+/// "the concurrent schedulers behave like the sequential engine" from a
+/// property to be tested into one that holds by construction (the
+/// equivalence grids still pin it).
+pub(crate) struct MergeLoop<'q> {
+    query: &'q Query,
+    strategy: Strategy,
+    options: RunOptions,
+    methods: &'q AccessMethods,
+    conf: Configuration,
+    copies_before: u64,
+    accesses_made: usize,
+    accesses_skipped: usize,
+    tuples_retrieved: usize,
+    rounds: usize,
+    access_sequence: Vec<Access>,
+    oracle: RelevanceOracle<'q>,
+    frontier: AccessFrontier,
+    pending: BTreeSet<Access>,
+    prefetched: HashMap<Access, Result<Response, SourceError>>,
+    batch_stats: BatchStats,
+    /// The access selected when the last `Fetch` was returned; consumed at
+    /// the top of the next `step` once its response has been supplied.
+    awaiting: Option<Access>,
+}
+
+impl<'q> MergeLoop<'q> {
+    /// A merge loop for `query` from `initial`. `shared` optionally attaches
+    /// a cross-session [`SharedVerdictCache`] under the given verdict class
+    /// (see the serving layer). Options are normalized on entry.
+    pub(crate) fn new(
+        query: &'q Query,
+        strategy: Strategy,
+        options: &RunOptions,
+        methods: &'q AccessMethods,
+        initial: &Configuration,
+        shared: Option<(u64, SharedVerdictCache)>,
+    ) -> Self {
+        let options = options.normalize();
+        let conf = initial.snapshot();
+        let copies_before = conf.shard_copies();
+        let mut oracle = RelevanceOracle::new(query, methods, &options);
+        if let Some((class, cache)) = shared {
+            oracle = oracle.with_shared_cache(class, cache);
+        }
         let enum_options = EnumerationOptions {
-            guessable_values: self.guessable_pool(initial),
+            guessable_values: guessable_pool(query, &options, initial),
             max_accesses: usize::MAX,
         };
-        let mut frontier = AccessFrontier::new(methods, enum_options);
-        let mut pending: BTreeSet<Access> = BTreeSet::new();
-        let mut prefetched: HashMap<Access, Result<Response, SourceError>> = HashMap::new();
-        let mut batch_stats = BatchStats {
-            workers: self.workers.max(1),
+        let frontier = AccessFrontier::new(methods, enum_options);
+        let batch_stats = BatchStats {
+            workers: options.workers,
             ..BatchStats::default()
         };
+        Self {
+            query,
+            strategy,
+            options,
+            methods,
+            conf,
+            copies_before,
+            accesses_made: 0,
+            accesses_skipped: 0,
+            tuples_retrieved: 0,
+            rounds: 0,
+            access_sequence: Vec::new(),
+            oracle,
+            frontier,
+            pending: BTreeSet::new(),
+            prefetched: HashMap::new(),
+            batch_stats,
+            awaiting: None,
+        }
+    }
 
+    /// Advances the loop: consumes the previously awaited response (if a
+    /// `Fetch` was outstanding), then runs rounds until the next batch is
+    /// needed or the run finishes. Round counting is identical to the
+    /// sequential engine's — the `Fetch` boundary falls where the historical
+    /// in-line loop called the sources, mid-round.
+    pub(crate) fn step(&mut self) -> MergeStep {
+        if let Some(access) = self.awaiting.take() {
+            self.consume(access);
+        }
         loop {
-            rounds += 1;
-            if self.engine.stop_when_certain
+            self.rounds += 1;
+            if self.options.stop_when_certain
                 && self.query.is_boolean()
-                && certain::is_certain(self.query, &conf)
+                && certain::is_certain(self.query, &self.conf)
             {
-                break;
+                return MergeStep::Done;
             }
-            if accesses_made >= self.engine.max_accesses {
-                break;
+            if self.accesses_made >= self.options.max_accesses {
+                return MergeStep::Done;
             }
-            pending.extend(frontier.refresh(&conf, methods));
-            if pending.is_empty() {
-                break;
+            let fresh = self.frontier.refresh(&self.conf, self.methods);
+            self.pending.extend(fresh);
+            if self.pending.is_empty() {
+                return MergeStep::Done;
             }
             let selected = {
-                let candidates: Vec<&Access> = pending.iter().collect();
-                oracle.select(self.strategy, &candidates, &conf, &mut accesses_skipped)
+                let candidates: Vec<&Access> = self.pending.iter().collect();
+                self.oracle.select(
+                    self.strategy,
+                    &candidates,
+                    &self.conf,
+                    &mut self.accesses_skipped,
+                )
             };
             let Some(access) = selected else {
-                break;
+                return MergeStep::Done;
             };
-            pending.remove(&access);
+            self.pending.remove(&access);
 
-            if !prefetched.contains_key(&access) {
+            if !self.prefetched.contains_key(&access) {
                 let allowance = self
-                    .engine
+                    .options
                     .max_accesses
-                    .saturating_sub(accesses_made)
+                    .saturating_sub(self.accesses_made)
                     .max(1);
-                let batch =
-                    self.predict_batch(&access, &conf, &pending, &oracle, &prefetched, allowance);
-                batch_stats.batches += 1;
-                batch_stats.max_batch = batch_stats.max_batch.max(batch.len());
-                batch_stats.batched_calls += batch.len();
-                let responses = fetch(&batch);
-                debug_assert_eq!(responses.len(), batch.len(), "fetch must align with batch");
-                for (a, r) in batch.into_iter().zip(responses) {
-                    prefetched.insert(a, r);
-                }
+                let batch = self.predict_batch(&access, allowance);
+                self.batch_stats.batches += 1;
+                self.batch_stats.max_batch = self.batch_stats.max_batch.max(batch.len());
+                self.batch_stats.batched_calls += batch.len();
+                self.awaiting = Some(access);
+                return MergeStep::Fetch(batch);
             }
-            let response = prefetched
-                .remove(&access)
-                .expect("selected access was fetched above");
-            let Ok(response) = response else {
-                // Failed calls consume the candidate without a response —
-                // the sequential engine's behaviour.
-                continue;
-            };
-            tuples_retrieved += response.len();
-            accesses_made += 1;
-            access_sequence.push(access.clone());
-            let before = conf.len();
-            if let Ok(next) = apply_access(&conf, &access, &response, methods) {
-                conf = next;
-            }
-            if conf.len() > before {
-                if let Ok(m) = methods.get(access.method()) {
-                    oracle.invalidate(m.relation());
-                }
+            self.consume(access);
+        }
+    }
+
+    /// Hands the responses of a `Fetch`'s batch back to the loop (aligned
+    /// with the batch slice).
+    pub(crate) fn supply(
+        &mut self,
+        batch: Vec<Access>,
+        responses: Vec<Result<Response, SourceError>>,
+    ) {
+        debug_assert_eq!(responses.len(), batch.len(), "fetch must align with batch");
+        for (a, r) in batch.into_iter().zip(responses) {
+            self.prefetched.insert(a, r);
+        }
+    }
+
+    /// Applies the response of the selected access: failed calls consume the
+    /// candidate without a response (the sequential engine's behaviour);
+    /// successful ones grow the configuration and invalidate the verdicts
+    /// that inspected the grown relation.
+    fn consume(&mut self, access: Access) {
+        let response = self
+            .prefetched
+            .remove(&access)
+            .expect("selected access was fetched by the driver");
+        let Ok(response) = response else {
+            return;
+        };
+        self.tuples_retrieved += response.len();
+        self.accesses_made += 1;
+        self.access_sequence.push(access.clone());
+        let before = self.conf.len();
+        if let Ok(next) = apply_access(&self.conf, &access, &response, self.methods) {
+            self.conf = next;
+        }
+        if self.conf.len() > before {
+            if let Ok(m) = self.methods.get(access.method()) {
+                self.oracle.invalidate(m.relation());
             }
         }
+    }
 
-        batch_stats.speculative_wasted = prefetched.len();
+    /// Finishes the run and produces the report. `source_stats` are left at
+    /// their default — the driver attributes source traffic, since only it
+    /// knows which registry served the calls.
+    pub(crate) fn into_report(mut self) -> RunReport {
+        self.batch_stats.speculative_wasted = self.prefetched.len();
         RunReport {
             strategy: self.strategy,
-            certain: certain::is_certain(self.query, &conf),
-            answers: certain::certain_answers(self.query, &conf),
-            accesses_made,
-            accesses_skipped,
-            tuples_retrieved,
-            rounds,
-            relevance_cache_hits: oracle.hits(),
-            relevance_cache_misses: oracle.misses(),
-            access_sequence,
-            relevance_verdicts: oracle.take_log(),
+            certain: certain::is_certain(self.query, &self.conf),
+            answers: certain::certain_answers(self.query, &self.conf),
+            accesses_made: self.accesses_made,
+            accesses_skipped: self.accesses_skipped,
+            tuples_retrieved: self.tuples_retrieved,
+            rounds: self.rounds,
+            relevance_cache_hits: self.oracle.hits(),
+            relevance_cache_misses: self.oracle.misses(),
+            relevance_shared_hits: self.oracle.shared_hits(),
+            access_sequence: self.access_sequence,
+            relevance_verdicts: self.oracle.take_log(),
             source_stats: Default::default(),
-            batch_stats,
-            shard_copies: conf.shard_copies() - copies_before,
-            final_configuration: conf,
+            batch_stats: self.batch_stats,
+            shard_copies: self.conf.shard_copies() - self.copies_before,
+            final_configuration: self.conf,
         }
     }
 
@@ -307,27 +363,15 @@ impl MergePlan<'_> {
     /// empty: the selected access plus up to `batch_size - 1` follow-ups.
     /// Accesses whose responses are already cached are skipped — their round
     /// trip is already paid for.
-    fn predict_batch(
-        &self,
-        first: &Access,
-        conf: &Configuration,
-        pending: &BTreeSet<Access>,
-        oracle: &RelevanceOracle<'_>,
-        prefetched: &HashMap<Access, Result<Response, SourceError>>,
-        allowance: usize,
-    ) -> Vec<Access> {
-        let limit = self.batch_size.min(allowance).max(1);
+    fn predict_batch(&self, first: &Access, allowance: usize) -> Vec<Access> {
+        let limit = self.options.batch_size.min(allowance).max(1);
         let mut batch = vec![first.clone()];
         if limit == 1 {
             return batch;
         }
-        match self.speculation {
-            SpeculationMode::Eager => {
-                self.predict_eager(&mut batch, conf, pending, oracle, prefetched, limit)
-            }
-            SpeculationMode::CachedOnly => {
-                self.predict_cached(&mut batch, pending, oracle, prefetched, limit)
-            }
+        match self.options.speculation {
+            SpeculationMode::Eager => self.predict_eager(&mut batch, limit),
+            SpeculationMode::CachedOnly => self.predict_cached(&mut batch, limit),
         }
         batch
     }
@@ -335,28 +379,20 @@ impl MergePlan<'_> {
     /// Eager prediction: replay the strategy's selection on a scratch oracle
     /// (new verdicts computed, then discarded) over the remaining pending
     /// candidates.
-    fn predict_eager(
-        &self,
-        batch: &mut Vec<Access>,
-        conf: &Configuration,
-        pending: &BTreeSet<Access>,
-        oracle: &RelevanceOracle<'_>,
-        prefetched: &HashMap<Access, Result<Response, SourceError>>,
-        limit: usize,
-    ) {
-        let mut scratch = oracle.scratch();
-        let mut rest = pending.clone();
+    fn predict_eager(&self, batch: &mut Vec<Access>, limit: usize) {
+        let mut scratch = self.oracle.scratch();
+        let mut rest = self.pending.clone();
         let mut skipped = 0usize;
         while batch.len() < limit {
             let next = {
                 let candidates: Vec<&Access> = rest.iter().collect();
-                scratch.select(self.strategy, &candidates, conf, &mut skipped)
+                scratch.select(self.strategy, &candidates, &self.conf, &mut skipped)
             };
             let Some(next) = next else {
                 break;
             };
             rest.remove(&next);
-            if !prefetched.contains_key(&next) {
+            if !self.prefetched.contains_key(&next) {
                 batch.push(next);
             }
         }
@@ -366,22 +402,15 @@ impl MergePlan<'_> {
     /// using cached verdicts alone, stopping at the first candidate whose
     /// needed verdict is unknown (the strategy's next pick cannot be
     /// anticipated past it without running a decision procedure).
-    fn predict_cached(
-        &self,
-        batch: &mut Vec<Access>,
-        pending: &BTreeSet<Access>,
-        oracle: &RelevanceOracle<'_>,
-        prefetched: &HashMap<Access, Result<Response, SourceError>>,
-        limit: usize,
-    ) {
+    fn predict_cached(&self, batch: &mut Vec<Access>, limit: usize) {
         let push = |batch: &mut Vec<Access>, a: &Access| {
-            if !prefetched.contains_key(a) && !batch.contains(a) {
+            if !self.prefetched.contains_key(a) && !batch.contains(a) {
                 batch.push(a.clone());
             }
         };
         match self.strategy {
             Strategy::Exhaustive => {
-                for a in pending {
+                for a in &self.pending {
                     if batch.len() >= limit {
                         break;
                     }
@@ -394,11 +423,11 @@ impl MergePlan<'_> {
                 } else {
                     RelevanceKind::LongTerm
                 };
-                for a in pending {
+                for a in &self.pending {
                     if batch.len() >= limit {
                         break;
                     }
-                    match oracle.peek(kind, a) {
+                    match self.oracle.peek(kind, a) {
                         Some(true) => push(batch, a),
                         Some(false) => {}
                         None => break,
@@ -411,11 +440,11 @@ impl MergePlan<'_> {
                 // fallback, which sequentially only runs when every IR
                 // verdict is false).
                 let mut all_ir_known_false = true;
-                for a in pending {
+                for a in &self.pending {
                     if batch.len() >= limit {
                         return;
                     }
-                    match oracle.peek(RelevanceKind::Immediate, a) {
+                    match self.oracle.peek(RelevanceKind::Immediate, a) {
                         Some(true) => {
                             all_ir_known_false = false;
                             push(batch, a);
@@ -427,11 +456,11 @@ impl MergePlan<'_> {
                 if !all_ir_known_false {
                     return;
                 }
-                for a in pending {
+                for a in &self.pending {
                     if batch.len() >= limit {
                         break;
                     }
-                    match oracle.peek(RelevanceKind::LongTerm, a) {
+                    match self.oracle.peek(RelevanceKind::LongTerm, a) {
                         Some(true) => push(batch, a),
                         Some(false) => {}
                         None => break,
@@ -440,24 +469,67 @@ impl MergePlan<'_> {
             }
         }
     }
+}
 
-    /// The pool of guessable values for independent accesses — identical to
-    /// the sequential engine's pool so enumeration agrees.
-    fn guessable_pool(&self, initial: &Configuration) -> Vec<Value> {
-        let mut pool = self.engine.guessable_values.clone();
-        for c in self.query.constants() {
-            if !pool.contains(&c) {
-                pool.push(c);
-            }
+/// The synchronous driver of a [`MergeLoop`]: realises each `Fetch` through
+/// a blocking callback. Both in-process schedulers are thin wrappers over
+/// this.
+pub(crate) struct MergePlan<'q> {
+    /// The query under evaluation.
+    pub(crate) query: &'q Query,
+    /// The access-selection strategy.
+    pub(crate) strategy: Strategy,
+    /// The run options.
+    pub(crate) options: &'q RunOptions,
+    /// Optional cross-session verdict sharing (class, cache).
+    pub(crate) shared: Option<(u64, SharedVerdictCache)>,
+}
+
+impl MergePlan<'_> {
+    /// Runs the merge loop from `initial`, realising each predicted batch
+    /// through `fetch` (which must return responses aligned with the batch
+    /// slice).
+    pub(crate) fn run<F>(
+        &self,
+        methods: &AccessMethods,
+        initial: &Configuration,
+        mut fetch: F,
+    ) -> RunReport
+    where
+        F: FnMut(&[Access]) -> Vec<Result<Response, SourceError>>,
+    {
+        let mut merge = MergeLoop::new(
+            self.query,
+            self.strategy,
+            self.options,
+            methods,
+            initial,
+            self.shared.clone(),
+        );
+        while let MergeStep::Fetch(batch) = merge.step() {
+            let responses = fetch(&batch);
+            merge.supply(batch, responses);
         }
-        for v in initial.all_values() {
-            if !pool.contains(&v) {
-                pool.push(v);
-            }
-        }
-        pool.sort();
-        pool
+        merge.into_report()
     }
+}
+
+/// The pool of guessable values for independent accesses — identical to the
+/// sequential engine's pool so enumeration agrees.
+fn guessable_pool(query: &Query, options: &RunOptions, initial: &Configuration) -> Vec<Value> {
+    let mut pool = options.guessable_values.clone();
+    for c in query.constants() {
+        if !pool.contains(&c) {
+            pool.push(c);
+        }
+    }
+    for v in initial.all_values() {
+        if !pool.contains(&v) {
+            pool.push(v);
+        }
+    }
+    pool.sort();
+    pool
 }
 
 /// Issues every access of `batch` against the federation across at most
@@ -517,10 +589,10 @@ mod tests {
                     .run(&scenario.initial_configuration);
             federation.reset_stats();
             let batched = BatchScheduler::new(&federation, scenario.query.clone(), strategy)
-                .with_options(BatchOptions {
+                .with_options(RunOptions {
                     batch_size: 4,
                     workers: 3,
-                    ..BatchOptions::default()
+                    ..RunOptions::default()
                 })
                 .run(&scenario.initial_configuration);
             assert_eq!(batched.access_sequence, sequential.access_sequence);
@@ -559,10 +631,10 @@ mod tests {
     #[test]
     fn eager_speculation_preserves_equivalence() {
         let (federation, scenario) = bank_federation();
-        let engine_options = EngineOptions {
+        let engine_options = RunOptions {
             max_accesses: 12,
             budget: accrel_core::SearchBudget::shallow(),
-            ..EngineOptions::default()
+            ..RunOptions::default()
         };
         let sequential_source = DeepWebSource::new(
             scenario.instance.clone(),
@@ -576,11 +648,11 @@ mod tests {
                     .run(&scenario.initial_configuration);
             federation.reset_stats();
             let batched = BatchScheduler::new(&federation, scenario.query.clone(), strategy)
-                .with_options(BatchOptions {
-                    engine: engine_options.clone(),
+                .with_options(RunOptions {
                     batch_size: 3,
                     workers: 2,
                     speculation: SpeculationMode::Eager,
+                    ..engine_options.clone()
                 })
                 .run(&scenario.initial_configuration);
             assert_eq!(batched.access_sequence, sequential.access_sequence);
@@ -596,10 +668,10 @@ mod tests {
     fn batch_size_one_disables_speculation() {
         let (federation, scenario) = bank_federation();
         let report = BatchScheduler::new(&federation, scenario.query.clone(), Strategy::Exhaustive)
-            .with_options(BatchOptions {
+            .with_options(RunOptions {
                 batch_size: 1,
                 workers: 1,
-                ..BatchOptions::default()
+                ..RunOptions::default()
             })
             .run(&scenario.initial_configuration);
         assert!(report.certain);
@@ -612,18 +684,38 @@ mod tests {
     fn access_cap_bounds_prefetching_too() {
         let (federation, scenario) = bank_federation();
         let report = BatchScheduler::new(&federation, scenario.query.clone(), Strategy::Exhaustive)
-            .with_options(BatchOptions {
-                engine: EngineOptions {
-                    max_accesses: 2,
-                    ..EngineOptions::default()
-                },
+            .with_options(RunOptions {
+                max_accesses: 2,
                 batch_size: 16,
                 workers: 4,
                 speculation: SpeculationMode::CachedOnly,
+                ..RunOptions::default()
             })
             .run(&scenario.initial_configuration);
         assert_eq!(report.accesses_made, 2);
         // No batch may prefetch past the remaining access allowance.
         assert!(report.batch_stats.batched_calls <= 2 + report.batch_stats.speculative_wasted);
+    }
+
+    #[test]
+    fn threaded_executor_runs_requests_and_zero_workers_normalize() {
+        let (federation, scenario) = bank_federation();
+        let executor = Threaded::new(&federation);
+        use accrel_engine::Executor as _;
+        assert_eq!(executor.name(), "threaded");
+        // Regression for the centralized clamp: a zero-worker, zero-batch
+        // request normalizes to 1/1 instead of panicking or dividing by
+        // zero, and still answers the query.
+        let request = RunRequest::new(scenario.query.clone())
+            .with_strategy(Strategy::Exhaustive)
+            .with_options(RunOptions {
+                workers: 0,
+                batch_size: 0,
+                ..RunOptions::default()
+            });
+        let report = executor.execute(&request, &scenario.initial_configuration);
+        assert!(report.certain);
+        assert_eq!(report.batch_stats.workers, 1);
+        assert_eq!(report.batch_stats.max_batch, 1);
     }
 }

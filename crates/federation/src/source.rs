@@ -128,7 +128,7 @@ impl LatencyModel {
         }
     }
 
-    fn trip_micros(&self, access: &Access, trip: u64) -> u64 {
+    pub(crate) fn trip_micros(&self, access: &Access, trip: u64) -> u64 {
         if self.jitter_micros == 0 {
             return self.base_micros;
         }

@@ -19,7 +19,7 @@
 
 use accrel_access::{Access, AccessMethods};
 use accrel_core::{is_immediately_relevant, is_long_term_relevant, SearchBudget};
-use accrel_engine::RelevanceKind;
+use accrel_engine::{RelevanceKind, RunOptions};
 use accrel_query::Query;
 use accrel_schema::Configuration;
 
@@ -33,7 +33,7 @@ where
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
-    let workers = workers.max(1).min(items.len().max(1));
+    let workers = RunOptions::clamp_workers(workers, items.len());
     if workers <= 1 {
         return items.iter().map(f).collect();
     }
@@ -104,8 +104,9 @@ pub fn parallel_relevance_sweep_report(
             worker_shard_copies: 0,
         };
     }
-    // 0 workers is promoted to 1; never more workers than candidates.
-    let workers = workers.clamp(1, candidates.len());
+    // 0 workers is promoted to 1; never more workers than candidates. The
+    // clamp is the engine-wide one, so every layer agrees on the edge cases.
+    let workers = RunOptions::clamp_workers(workers, candidates.len());
     if workers <= 1 {
         let snap = conf.snapshot();
         let before = snap.shard_copies();

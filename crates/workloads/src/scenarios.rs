@@ -172,7 +172,7 @@ pub fn star_scenario(branches: usize) -> Scenario {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use accrel_engine::{DeepWebSource, EngineOptions, FederatedEngine, ResponsePolicy, Strategy};
+    use accrel_engine::{DeepWebSource, FederatedEngine, ResponsePolicy, RunOptions, Strategy};
     use accrel_query::certain;
 
     #[test]
@@ -221,7 +221,7 @@ mod tests {
         let s = star_scenario(4);
         let source =
             DeepWebSource::new(s.instance.clone(), s.methods.clone(), ResponsePolicy::Exact);
-        let options = EngineOptions::default();
+        let options = RunOptions::default();
         let exhaustive = FederatedEngine::new(&source, s.query.clone(), Strategy::Exhaustive)
             .with_options(options.clone())
             .run(&s.initial_configuration);

@@ -1,8 +1,8 @@
 //! The bank scenario of Section 1 on the **async** federation runtime: the
 //! four Web forms split across two simulated providers whose latency,
 //! failure and paging models elapse on a deterministic virtual clock — no
-//! real sleeps, no worker threads — executed by the `AsyncBatchScheduler`
-//! at several in-flight limits.
+//! real sleeps, no worker threads — executed by the `Async` executor
+//! answering one `RunRequest` at several in-flight (`workers`) limits.
 //!
 //! ```text
 //! cargo run --example async_federation
@@ -63,16 +63,16 @@ fn main() {
     for in_flight in [1usize, 4, 8] {
         // A fresh federation per limit so each virtual clock starts at zero.
         let federation = build_federation();
+        let request = RunRequest::new(scenario.query.clone())
+            .with_strategy(Strategy::Exhaustive)
+            .with_options(RunOptions {
+                batch_size: 8,
+                workers: in_flight,
+                speculation: SpeculationMode::CachedOnly,
+                ..RunOptions::default()
+            });
         let start = std::time::Instant::now();
-        let report =
-            AsyncBatchScheduler::new(&federation, scenario.query.clone(), Strategy::Exhaustive)
-                .with_options(AsyncBatchOptions {
-                    batch_size: 8,
-                    in_flight,
-                    speculation: SpeculationMode::CachedOnly,
-                    ..AsyncBatchOptions::default()
-                })
-                .run(&scenario.initial_configuration);
+        let report = Async::new(&federation).execute(&request, &scenario.initial_configuration);
         let wall = start.elapsed();
         let virtual_micros = federation.clock().now_micros();
         assert!(report.certain, "the bank query is answerable");
@@ -114,7 +114,7 @@ fn main() {
 
     // The executor is reusable directly for ad-hoc concurrent calls.
     let federation = build_federation();
-    let executor = Executor::new(federation.clock().clone());
+    let executor = accrel::prelude::internals::Executor::new(federation.clock().clone());
     let candidates = accrel::access::enumerate::well_formed_accesses(
         &scenario.initial_configuration,
         &scenario.methods,

@@ -24,15 +24,14 @@ fn main() {
         scenario.methods.clone(),
         ResponsePolicy::Exact,
     );
-    let options = EngineOptions::default();
+    let request = RunRequest::new(scenario.query.clone());
 
     println!("| strategy    | answered | accesses | skipped | tuples |");
     println!("|-------------|----------|----------|---------|--------|");
-    for report in FederatedEngine::compare_strategies(
-        &source,
-        &scenario.query,
+    for report in compare_strategies(
+        &Sequential::new(&source),
+        &request,
         &scenario.initial_configuration,
-        &options,
     ) {
         println!(
             "| {:<11} | {:<8} | {:<8} | {:<7} | {:<6} |",

@@ -56,17 +56,19 @@ fn main() {
     println!("query: {}", scenario.query);
     println!("federation: {} sources\n", federation.source_count());
 
+    let executor = Threaded::new(&federation);
     for (batch_size, workers) in [(1, 1), (8, 4)] {
-        federation.reset_stats();
-        let start = std::time::Instant::now();
-        let report = BatchScheduler::new(&federation, scenario.query.clone(), Strategy::Exhaustive)
-            .with_options(BatchOptions {
+        executor.reset_stats();
+        let request = RunRequest::new(scenario.query.clone())
+            .with_strategy(Strategy::Exhaustive)
+            .with_options(RunOptions {
                 batch_size,
                 workers,
                 speculation: SpeculationMode::CachedOnly,
-                ..BatchOptions::default()
-            })
-            .run(&scenario.initial_configuration);
+                ..RunOptions::default()
+            });
+        let start = std::time::Instant::now();
+        let report = executor.execute(&request, &scenario.initial_configuration);
         let wall = start.elapsed();
         assert!(report.certain, "the bank query is answerable");
         println!(
@@ -97,7 +99,7 @@ fn main() {
         &scenario.methods,
         &accrel::access::enumerate::EnumerationOptions::default(),
     );
-    let verdicts = parallel_relevance_sweep(
+    let verdicts = accrel::prelude::internals::parallel_relevance_sweep(
         &scenario.query,
         &scenario.initial_configuration,
         &candidates,

@@ -14,12 +14,14 @@
 //! | [`query`] | `accrel-query` | CQs, positive queries, evaluation, certain answers, classical containment |
 //! | [`access`] | `accrel-access` | access methods, bindings, responses, access paths, truncation |
 //! | [`core`] | `accrel-core` | immediate & long-term relevance, containment under access limitations, reductions, critical tuples |
-//! | [`engine`] | `accrel-engine` | simulated deep-Web sources and the relevance-guided federated engine |
-//! | [`federation`] | `accrel-federation` | concurrent federation runtime: pluggable simulated sources, batch scheduler, parallel relevance sweeps; the async runtime (virtual-clock mini-executor, `AsyncSource` adapters, `AsyncFederation`, `AsyncBatchScheduler`) |
+//! | [`engine`] | `accrel-engine` | simulated deep-Web sources, the relevance-guided federated engine, and the unified `RunRequest`/`Executor` run API |
+//! | [`federation`] | `accrel-federation` | concurrent federation runtime: pluggable simulated sources, the `Threaded`/`Async` executors, parallel relevance sweeps, the virtual-clock mini-executor, and the multi-tenant `serving` layer |
 //! | [`workloads`] | `accrel-workloads` | tiling encodings, random generators, synthetic scenarios |
 //!
-//! The [`prelude`] pulls in the names used by the examples and most
-//! downstream code.
+//! The [`prelude`] pulls in the end-user surface — build a
+//! [`prelude::RunRequest`], pick an executor, run it; the machinery those
+//! executors are made of (stores, oracles, frontier types, the
+//! mini-executor) lives in [`prelude::internals`].
 //!
 //! ```
 //! use accrel::prelude::*;
@@ -61,28 +63,108 @@ pub use accrel_query as query;
 pub use accrel_schema as schema;
 pub use accrel_workloads as workloads;
 
-/// The names used by the examples and most downstream code.
+// Compile-check the README's code blocks as doctests.
+#[cfg(doctest)]
+#[doc = include_str!("../README.md")]
+struct ReadmeDoctests;
+
+/// The end-user surface: schema/query/access building blocks, the paper's
+/// relevance procedures, and the unified run API — a
+/// [`RunRequest`](prelude::RunRequest) executed by any
+/// [`Executor`](prelude::Executor) (sequential, threaded, async, or the
+/// multi-tenant serving layer).
+///
+/// The machinery behind these (stores, oracles, frontier types, the
+/// virtual-clock mini-executor) is one level down, in
+/// [`internals`](prelude::internals).
 pub mod prelude {
+    /// Building accesses and access-method registries, and applying
+    /// responses to configurations (paper §2).
     pub use accrel_access::{
         apply_access, binding, Access, AccessMethods, AccessMode, AccessPath, Binding, Response,
     };
+    /// The paper's decision procedures: immediate / long-term relevance and
+    /// containment under access limitations, with their search budget.
     pub use accrel_core::{
         is_contained, is_immediately_relevant, is_long_term_relevant, SearchBudget,
     };
+    /// Ready-made scenarios, including the paper's §1 bank/loan example.
+    pub use accrel_engine::scenarios::{bank_scenario, bank_scenario_negative, Scenario};
+    /// The deprecated name of [`RunOptions`] (kept so downstream code
+    /// migrates on its own schedule).
+    #[allow(deprecated)]
+    pub use accrel_engine::EngineOptions;
+    /// The sequential engine and the unified run API: build a
+    /// [`RunRequest`], hand it to any [`Executor`] ([`Sequential`] here;
+    /// [`Threaded`] / [`Async`] / [`Serving`] below), get a `RunReport` —
+    /// or sweep every strategy at once with [`compare_strategies`].
     pub use accrel_engine::{
-        DeepWebSource, EngineOptions, FederatedEngine, ResponsePolicy, Strategy,
+        compare_strategies, DeepWebSource, Executor, FederatedEngine, ResponsePolicy, RunOptions,
+        RunReport, RunRequest, Sequential, SpeculationMode, Strategy,
     };
+    /// The federation runtimes and their executors: thread-pooled batches
+    /// ([`Threaded`] / [`BatchScheduler`] over a [`Federation`]),
+    /// virtual-clock futures ([`Async`] / [`AsyncBatchScheduler`] over an
+    /// [`AsyncFederation`]), and the backend cost models they simulate.
     pub use accrel_federation::{
-        parallel_relevance_sweep, parallel_relevance_sweep_report, AsyncBatchOptions,
-        AsyncBatchScheduler, AsyncFederation, AsyncSimulatedSource, AsyncSource, BatchOptions,
-        BatchScheduler, BlockingSource, Executor, Federation, FlakyModel, LatencyModel,
-        PolicySource, Semaphore, SimulatedSource, Source, SpeculationMode, SweepReport,
-        VirtualClock,
+        Async, AsyncBatchScheduler, AsyncFederation, AsyncSimulatedSource, AsyncSource,
+        BatchScheduler, BlockingSource, Federation, FlakyModel, LatencyModel, PolicySource,
+        SimulatedSource, Source, Threaded,
     };
+    /// The deprecated names of [`RunOptions`] used by the threaded / async
+    /// schedulers before the options were unified.
+    #[allow(deprecated)]
+    pub use accrel_federation::{AsyncBatchOptions, BatchOptions};
+    /// The multi-tenant serving layer: a [`QuerySessionRegistry`] admits
+    /// concurrent query sessions over one shared federation, deduplicating
+    /// in-flight accesses and sharing relevance verdicts across them.
+    pub use accrel_federation::{
+        QuerySessionRegistry, Serving, ServingOptions, ServingReport, SessionReport,
+    };
+    /// Query construction and certain-answer evaluation (paper §2).
     pub use accrel_query::{
         certain, ConjunctiveQuery, PositiveQuery, PqFormula, Query, Term, VarId,
     };
+    /// Schemas, instances and configurations — the data model everything
+    /// else ranges over.
     pub use accrel_schema::{tuple, Configuration, Instance, Schema, Tuple, Value};
+    /// Random workload generation for equivalence grids and benchmarks.
+    pub use accrel_workloads::random::{
+        generate_configuration, generate_instance, generate_query, generate_workload, WorkloadSpec,
+    };
+
+    /// The machinery the executors are made of. Reach for these when
+    /// building a new execution layer or instrumenting an existing one —
+    /// ordinary query answering only needs the parent [`prelude`](super).
+    pub mod internals {
+        /// Incremental access enumeration: the frontier the merge loop
+        /// refreshes each round, and the underlying enumerator.
+        pub use accrel_access::enumerate::{well_formed_accesses, EnumerationOptions};
+        pub use accrel_access::frontier::AccessFrontier;
+        /// The relevance oracle driving access selection, its verdict log,
+        /// and the cross-session shared verdict cache of the serving layer.
+        pub use accrel_engine::relevance::{
+            RelevanceKind, RelevanceOracle, SharedVerdictCache, VerdictRecord,
+        };
+        /// Per-run statistics types surfaced inside `RunReport`.
+        pub use accrel_engine::{BatchStats, SourceStats};
+        /// The single-threaded virtual-clock mini-executor the async
+        /// runtime and the serving layer run on. (`Executor` here is the
+        /// task runtime — the *run API* trait of the same name lives in the
+        /// parent prelude.)
+        pub use accrel_federation::executor::{
+            yield_now, Executor, JoinHandle, Semaphore, Sleep, VirtualClock, YieldNow,
+        };
+        /// Parallel relevance sweeps over copy-on-write snapshots.
+        pub use accrel_federation::{
+            parallel_relevance_sweep, parallel_relevance_sweep_report, SweepReport,
+        };
+        /// Backend statistics and error types of the federation runtime.
+        pub use accrel_federation::{BackendStats, FederationError, SourceError, SourceFuture};
+        /// Fact storage: the copy-on-write sharded store behind
+        /// `Configuration`, and its identifiers.
+        pub use accrel_schema::{FactStore, RelationId};
+    }
 }
 
 #[cfg(test)]
@@ -103,5 +185,14 @@ mod tests {
         let q: Query = qb.build().into();
         assert!(!certain::is_certain(&q, &conf));
         assert_eq!(SearchBudget::default(), SearchBudget::default());
+    }
+
+    #[test]
+    fn internals_reexports_are_usable() {
+        use super::prelude::internals;
+        let clock = internals::VirtualClock::new();
+        assert_eq!(clock.now_micros(), 0);
+        let cache = internals::SharedVerdictCache::new();
+        assert!(cache.is_empty());
     }
 }

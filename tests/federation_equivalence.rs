@@ -1,33 +1,22 @@
-//! Scheduler-equivalence grid: batched parallel runs must report the same
-//! final configuration, certain-answer verdict, answers, access sequence and
-//! relevance-verdict log as the sequential `FederatedEngine`, across every
-//! strategy, every response policy (`Exact`, `FirstK`, and `SoundSample`,
-//! which is hash-seeded per access and therefore order-insensitive), and
-//! several batch sizes — all over the copy-on-write sharded store, whose
-//! snapshots both sides grow independently.
+//! Executor-equivalence grid: every executor answering a [`RunRequest`] —
+//! [`Threaded`] (scoped-thread batches), [`Async`] (virtual-clock futures)
+//! and [`Serving`] (a single session on the multi-tenant registry) — must
+//! report the same final configuration, certain-answer verdict, answers,
+//! access sequence and relevance-verdict log as the [`Sequential`] executor,
+//! across every strategy, every response policy (`Exact`, `FirstK`, and
+//! `SoundSample`, which is hash-seeded per access and therefore
+//! order-insensitive), and several batch sizes — all over the copy-on-write
+//! sharded store, whose snapshots every side grows independently.
 //!
-//! The sequential side runs against a plain `DeepWebSource`; the batched
-//! side runs against a `Federation` wrapping an identically-configured
-//! source behind the `PolicySource` adapter. Every policy answers a given
-//! access with a deterministic response — `SoundSample` draws its subset
-//! from an RNG seeded by `Access::stable_hash` — which is the precondition
-//! of the scheduler's determinism invariant (see
-//! `accrel_federation::scheduler`).
-//!
-//! Every grid cell additionally runs the **async** scheduler
-//! (`AsyncBatchScheduler` over an `AsyncFederation` wrapping the same
-//! policy source behind the `BlockingSource` bridge) and requires it to
-//! reproduce the threaded scheduler's — and hence the sequential engine's —
-//! `access_sequence`, verdict log, answers and final configuration
-//! byte-for-byte, at an in-flight limit distinct from the threaded worker
-//! count, so cross-runtime equivalence is pinned over the full
-//! bank+random × strategies × Exact/FirstK/SoundSample × batch-size grid.
+//! The sequential side runs against a plain `DeepWebSource`; each
+//! concurrent executor runs against its own federation wrapping an
+//! identically-configured source behind the `PolicySource` adapter. Every
+//! policy answers a given access with a deterministic response —
+//! `SoundSample` draws its subset from an RNG seeded by
+//! `Access::stable_hash` — which is the precondition of the schedulers'
+//! determinism invariant (see `accrel_federation::scheduler`).
 
-use accrel::engine::scenarios::{bank_scenario, bank_scenario_negative, Scenario};
 use accrel::prelude::*;
-use accrel::workloads::random::{
-    generate_configuration, generate_instance, generate_query, generate_workload, WorkloadSpec,
-};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -58,15 +47,26 @@ fn random_scenario(seed: u64) -> Scenario {
     }
 }
 
-fn engine_options() -> EngineOptions {
+fn run_options() -> RunOptions {
     // A shallow budget and an access cap keep the LTR-guided grid cells
-    // affordable; equivalence is budget-independent since both sides share
-    // the options.
-    EngineOptions {
+    // affordable; equivalence is budget-independent since every executor
+    // shares the options.
+    RunOptions {
         max_accesses: 12,
         budget: SearchBudget::shallow(),
-        ..EngineOptions::default()
+        ..RunOptions::default()
     }
+}
+
+fn policy_source(scenario: &Scenario, policy: &ResponsePolicy, name: &'static str) -> PolicySource {
+    PolicySource::new(
+        name,
+        DeepWebSource::new(
+            scenario.instance.clone(),
+            scenario.methods.clone(),
+            policy.clone(),
+        ),
+    )
 }
 
 fn assert_equivalent(scenario: &Scenario, policy: &ResponsePolicy, batch_size: usize) {
@@ -75,99 +75,69 @@ fn assert_equivalent(scenario: &Scenario, policy: &ResponsePolicy, batch_size: u
         scenario.methods.clone(),
         policy.clone(),
     );
-    let federation = Federation::single(PolicySource::new(
-        "grid",
-        DeepWebSource::new(
-            scenario.instance.clone(),
-            scenario.methods.clone(),
-            policy.clone(),
-        ),
-    ));
-    let async_federation = AsyncFederation::single(BlockingSource::new(PolicySource::new(
-        "grid-async",
-        DeepWebSource::new(
-            scenario.instance.clone(),
-            scenario.methods.clone(),
-            policy.clone(),
-        ),
-    )));
+    let federation = Federation::single(policy_source(scenario, policy, "grid"));
+    let async_federation =
+        AsyncFederation::single(BlockingSource::new(policy_source(scenario, policy, "grid")));
+    let serving_federation =
+        AsyncFederation::single(BlockingSource::new(policy_source(scenario, policy, "grid")));
+
+    let sequential_exec = Sequential::new(&sequential_source);
+    let threaded = Threaded::new(&federation);
+    let asynced = Async::new(&async_federation);
+    let serving = Serving::new(&serving_federation);
+    // The grid iterates executors, not bespoke scheduler APIs: everything
+    // that implements `Executor` must answer the same request identically.
+    let executors: Vec<&dyn Executor> = vec![&threaded, &asynced, &serving];
+
     for strategy in Strategy::all() {
-        sequential_source.reset_stats();
-        let sequential = FederatedEngine::new(&sequential_source, scenario.query.clone(), strategy)
-            .with_options(engine_options())
-            .run(&scenario.initial_configuration);
-        federation.reset_stats();
-        let batched = BatchScheduler::new(&federation, scenario.query.clone(), strategy)
-            .with_options(BatchOptions {
-                engine: engine_options(),
+        let request = RunRequest::new(scenario.query.clone())
+            .with_strategy(strategy)
+            .with_options(RunOptions {
                 batch_size,
                 workers: 3,
-                speculation: SpeculationMode::CachedOnly,
-            })
-            .run(&scenario.initial_configuration);
-        async_federation.reset_stats();
-        let asynced = AsyncBatchScheduler::new(&async_federation, scenario.query.clone(), strategy)
-            .with_options(AsyncBatchOptions {
-                engine: engine_options(),
-                batch_size,
-                in_flight: 2,
-                speculation: SpeculationMode::CachedOnly,
-            })
-            .run(&scenario.initial_configuration);
-        let cell = format!(
-            "scenario={} strategy={} policy={policy:?} batch={batch_size}",
-            scenario.name,
+                ..run_options()
+            });
+        sequential_exec.reset_stats();
+        let sequential = sequential_exec.execute(&request, &scenario.initial_configuration);
+        let mut batch_structure: Vec<(usize, usize)> = Vec::new();
+        for executor in &executors {
+            executor.reset_stats();
+            let report = executor.execute(&request, &scenario.initial_configuration);
+            let cell = format!(
+                "executor={} scenario={} strategy={} policy={policy:?} batch={batch_size}",
+                executor.name(),
+                scenario.name,
+                strategy.name()
+            );
+            assert_eq!(
+                report.access_sequence, sequential.access_sequence,
+                "access sequence diverged: {cell}"
+            );
+            assert_eq!(report.certain, sequential.certain, "verdict: {cell}");
+            assert_eq!(report.answers, sequential.answers, "answers: {cell}");
+            assert_eq!(
+                report.relevance_verdicts, sequential.relevance_verdicts,
+                "relevance verdict log diverged: {cell}"
+            );
+            assert_eq!(
+                report.accesses_made, sequential.accesses_made,
+                "accesses made: {cell}"
+            );
+            assert!(
+                report
+                    .final_configuration
+                    .same_facts(&sequential.final_configuration),
+                "final configurations differ: {cell}"
+            );
+            batch_structure.push((report.batch_stats.batches, report.batch_stats.batched_calls));
+        }
+        // The concurrent executors share one merge loop, so their batch
+        // structure agrees too (the sequential engine has no batches).
+        assert!(
+            batch_structure.windows(2).all(|w| w[0] == w[1]),
+            "batch structure diverged across executors: {batch_structure:?} \
+             (strategy={}, policy={policy:?}, batch={batch_size})",
             strategy.name()
-        );
-        assert_eq!(
-            batched.access_sequence, sequential.access_sequence,
-            "access sequence diverged: {cell}"
-        );
-        assert_eq!(batched.certain, sequential.certain, "verdict: {cell}");
-        assert_eq!(batched.answers, sequential.answers, "answers: {cell}");
-        assert_eq!(
-            batched.relevance_verdicts, sequential.relevance_verdicts,
-            "relevance verdict log diverged: {cell}"
-        );
-        assert_eq!(
-            batched.accesses_made, sequential.accesses_made,
-            "accesses made: {cell}"
-        );
-        assert!(
-            batched
-                .final_configuration
-                .same_facts(&sequential.final_configuration),
-            "final configurations differ: {cell}"
-        );
-        // Cross-runtime: the async scheduler reproduces the threaded
-        // scheduler cell for cell (and therefore the sequential engine).
-        assert_eq!(
-            asynced.access_sequence, batched.access_sequence,
-            "async access sequence diverged: {cell}"
-        );
-        assert_eq!(asynced.certain, batched.certain, "async verdict: {cell}");
-        assert_eq!(asynced.answers, batched.answers, "async answers: {cell}");
-        assert_eq!(
-            asynced.relevance_verdicts, batched.relevance_verdicts,
-            "async relevance verdict log diverged: {cell}"
-        );
-        assert_eq!(
-            asynced.accesses_made, batched.accesses_made,
-            "async accesses made: {cell}"
-        );
-        assert_eq!(
-            asynced.batch_stats.batches, batched.batch_stats.batches,
-            "async batch structure diverged: {cell}"
-        );
-        assert_eq!(
-            asynced.batch_stats.batched_calls, batched.batch_stats.batched_calls,
-            "async batched calls diverged: {cell}"
-        );
-        assert!(
-            asynced
-                .final_configuration
-                .same_facts(&batched.final_configuration),
-            "async final configuration differs: {cell}"
         );
     }
 }
@@ -258,20 +228,19 @@ fn multi_source_federation_matches_single_source() {
         scenario.methods.clone(),
     ));
     for strategy in [Strategy::Exhaustive, Strategy::Hybrid] {
-        let options = BatchOptions {
-            engine: engine_options(),
-            batch_size: 4,
-            workers: 2,
-            speculation: SpeculationMode::CachedOnly,
-        };
-        split.reset_stats();
-        let a = BatchScheduler::new(&split, scenario.query.clone(), strategy)
-            .with_options(options.clone())
-            .run(&scenario.initial_configuration);
-        single.reset_stats();
-        let b = BatchScheduler::new(&single, scenario.query.clone(), strategy)
-            .with_options(options)
-            .run(&scenario.initial_configuration);
+        let request = RunRequest::new(scenario.query.clone())
+            .with_strategy(strategy)
+            .with_options(RunOptions {
+                batch_size: 4,
+                workers: 2,
+                ..run_options()
+            });
+        let split_exec = Threaded::new(&split);
+        let single_exec = Threaded::new(&single);
+        split_exec.reset_stats();
+        let a = split_exec.execute(&request, &scenario.initial_configuration);
+        single_exec.reset_stats();
+        let b = single_exec.execute(&request, &scenario.initial_configuration);
         assert_eq!(a.access_sequence, b.access_sequence);
         assert_eq!(a.certain, b.certain);
         assert!(a.final_configuration.same_facts(&b.final_configuration));
@@ -341,26 +310,21 @@ fn async_multi_source_federation_matches_threaded_and_advances_virtual_time() {
         .build()
         .unwrap();
 
+    let threaded_exec = Threaded::new(&threaded_split);
+    let async_exec = Async::new(&async_split);
     for strategy in [Strategy::Exhaustive, Strategy::Hybrid] {
-        threaded_split.reset_stats();
-        let threaded = BatchScheduler::new(&threaded_split, scenario.query.clone(), strategy)
-            .with_options(BatchOptions {
-                engine: engine_options(),
+        let request = RunRequest::new(scenario.query.clone())
+            .with_strategy(strategy)
+            .with_options(RunOptions {
                 batch_size: 4,
-                workers: 2,
-                speculation: SpeculationMode::CachedOnly,
-            })
-            .run(&scenario.initial_configuration);
-        async_split.reset_stats();
+                workers: 3,
+                ..run_options()
+            });
+        threaded_exec.reset_stats();
+        let threaded = threaded_exec.execute(&request, &scenario.initial_configuration);
+        async_exec.reset_stats();
         let virtual_before = async_split.clock().now_micros();
-        let asynced = AsyncBatchScheduler::new(&async_split, scenario.query.clone(), strategy)
-            .with_options(AsyncBatchOptions {
-                engine: engine_options(),
-                batch_size: 4,
-                in_flight: 3,
-                speculation: SpeculationMode::CachedOnly,
-            })
-            .run(&scenario.initial_configuration);
+        let asynced = async_exec.execute(&request, &scenario.initial_configuration);
         assert_eq!(asynced.access_sequence, threaded.access_sequence);
         assert_eq!(asynced.certain, threaded.certain);
         assert_eq!(asynced.relevance_verdicts, threaded.relevance_verdicts);

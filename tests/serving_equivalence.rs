@@ -1,0 +1,200 @@
+//! Serving-vs-sequential grid: N concurrent sessions admitted by a
+//! [`QuerySessionRegistry`] over one shared federation must each report
+//! byte-for-byte what N independent sequential runs report — same access
+//! sequence, same certain-answer verdict, same answers, same relevance
+//! verdict log, same final configuration — while cross-session access
+//! dedup makes the *aggregate* backend traffic strictly smaller than the
+//! sum of what the sessions observed.
+//!
+//! The serving side wraps a `DeepWebSource` (behind the `PolicySource`
+//! adapter) in a [`BlockingSource`] with a 100µs virtual round trip, so
+//! admitted sessions genuinely overlap in flight on the virtual clock;
+//! the sequential side runs the plain engine against a separately-built,
+//! identically-configured source.
+
+use accrel::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A scenario generated from the random-workload generators (same recipe
+/// as the executor-equivalence grid).
+fn random_scenario(seed: u64) -> Scenario {
+    let spec = WorkloadSpec {
+        relations: 3,
+        arity: 2,
+        domains: 2,
+        constants: 10,
+        dependent_fraction: 0.5,
+    };
+    let workload = generate_workload(&spec, &mut StdRng::seed_from_u64(seed));
+    let mut rng = StdRng::seed_from_u64(seed + 1);
+    let instance = generate_instance(&workload, 40, &mut rng);
+    let query = generate_query(&workload, true, 3, 3, &mut rng);
+    let initial = generate_configuration(&workload, 4, &mut rng);
+    Scenario {
+        name: format!("random-{seed}"),
+        description: "randomly generated serving scenario".to_string(),
+        schema: workload.schema.clone(),
+        methods: workload.methods,
+        instance,
+        query,
+        initial_configuration: initial,
+        expected_answer: false,
+    }
+}
+
+fn run_options() -> RunOptions {
+    RunOptions {
+        max_accesses: 12,
+        budget: SearchBudget::shallow(),
+        batch_size: 4,
+        workers: 3,
+        ..RunOptions::default()
+    }
+}
+
+/// The scenario behind an async federation whose deterministic source
+/// answers after a 100µs virtual round trip, so sessions overlap.
+fn async_federation_for(scenario: &Scenario, policy: &ResponsePolicy) -> AsyncFederation {
+    let methods = scenario.methods.clone();
+    let builder = AsyncFederation::builder(methods.clone());
+    let clock = builder.clock().clone();
+    let source = BlockingSource::new(PolicySource::new(
+        "serving-grid",
+        DeepWebSource::new(scenario.instance.clone(), methods.clone(), policy.clone()),
+    ))
+    .with_virtual_latency(LatencyModel::recorded(100), clock);
+    let names: Vec<&str> = methods.iter().map(|(_, m)| m.name()).collect();
+    builder.source(source, &names).unwrap().build().unwrap()
+}
+
+fn assert_sessions_match_sequential(scenario: &Scenario, policy: &ResponsePolicy, sessions: usize) {
+    let federation = async_federation_for(scenario, policy);
+    let registry = QuerySessionRegistry::new(&federation);
+    for strategy in Strategy::all() {
+        let request = RunRequest::new(scenario.query.clone())
+            .with_strategy(strategy)
+            .with_options(run_options());
+        let requests: Vec<RunRequest> = (0..sessions).map(|_| request.clone()).collect();
+        federation.reset_stats();
+        let served = registry.serve(&requests, &scenario.initial_configuration);
+        assert_eq!(served.sessions.len(), sessions);
+
+        // One sequential run on a separately-built source is the oracle
+        // every session must reproduce.
+        let sequential_source = DeepWebSource::new(
+            scenario.instance.clone(),
+            scenario.methods.clone(),
+            policy.clone(),
+        );
+        let sequential =
+            Sequential::new(&sequential_source).execute(&request, &scenario.initial_configuration);
+        for s in &served.sessions {
+            let cell = format!(
+                "session={} of {sessions} scenario={} strategy={} policy={policy:?}",
+                s.session,
+                scenario.name,
+                strategy.name()
+            );
+            assert_eq!(
+                s.report.access_sequence, sequential.access_sequence,
+                "access sequence diverged: {cell}"
+            );
+            assert_eq!(s.report.certain, sequential.certain, "verdict: {cell}");
+            assert_eq!(s.report.answers, sequential.answers, "answers: {cell}");
+            assert_eq!(
+                s.report.relevance_verdicts, sequential.relevance_verdicts,
+                "relevance verdict log diverged: {cell}"
+            );
+            assert_eq!(
+                s.report.accesses_made, sequential.accesses_made,
+                "accesses made: {cell}"
+            );
+            assert!(
+                s.report
+                    .final_configuration
+                    .same_facts(&sequential.final_configuration),
+                "final configurations differ: {cell}"
+            );
+        }
+        // The wire-call ledger balances regardless of session count.
+        assert_eq!(
+            served.wire_calls + served.joined_calls,
+            served.session_calls(),
+            "wire + joined must equal what the sessions observed"
+        );
+    }
+}
+
+#[test]
+fn bank_serving_grid_matches_sequential() {
+    let scenario = bank_scenario();
+    for policy in [
+        ResponsePolicy::Exact,
+        ResponsePolicy::FirstK(2),
+        ResponsePolicy::SoundSample {
+            probability: 0.7,
+            seed: 17,
+        },
+    ] {
+        for sessions in [1, 4, 16] {
+            assert_sessions_match_sequential(&scenario, &policy, sessions);
+        }
+    }
+}
+
+#[test]
+fn random_serving_grid_matches_sequential() {
+    for seed in [11, 29] {
+        let scenario = random_scenario(seed);
+        for policy in [
+            ResponsePolicy::Exact,
+            ResponsePolicy::FirstK(2),
+            ResponsePolicy::SoundSample {
+                probability: 0.6,
+                seed,
+            },
+        ] {
+            for sessions in [1, 4] {
+                assert_sessions_match_sequential(&scenario, &policy, sessions);
+            }
+        }
+    }
+}
+
+#[test]
+fn dedup_strictly_reduces_aggregate_backend_traffic() {
+    // Identical overlapping sessions must share wire calls: the aggregate
+    // backend counters (each wire call counted once) stay strictly below
+    // the sum of the per-session views.
+    let scenario = bank_scenario();
+    let federation = async_federation_for(&scenario, &ResponsePolicy::Exact);
+    let registry = QuerySessionRegistry::new(&federation);
+    let requests: Vec<RunRequest> = (0..4)
+        .map(|_| {
+            RunRequest::new(scenario.query.clone())
+                .with_strategy(Strategy::Exhaustive)
+                .with_options(run_options())
+        })
+        .collect();
+    let report = registry.serve(&requests, &scenario.initial_configuration);
+    let session_sum: usize = report.sessions.iter().map(|s| s.stats.calls).sum();
+    assert!(
+        report.aggregate.source.calls < session_sum,
+        "dedup must strictly reduce aggregate calls: aggregate={} session-sum={session_sum}",
+        report.aggregate.source.calls
+    );
+    assert!(report.joined_calls > 0, "overlapping sessions must share");
+    assert_eq!(report.aggregate.source.calls, report.wire_calls);
+    // The fractional attribution re-partitions the wire calls exactly.
+    let fractional: f64 = report
+        .sessions
+        .iter()
+        .map(|s| s.stats.fractional_calls)
+        .sum();
+    assert!(
+        (fractional - report.wire_calls as f64).abs() < 1e-6,
+        "fractional shares must sum to the wire calls: {fractional} vs {}",
+        report.wire_calls
+    );
+}

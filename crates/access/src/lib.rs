@@ -35,7 +35,7 @@ pub use error::AccessError;
 pub use frontier::AccessFrontier;
 pub use method::{AccessMethod, AccessMethodId, AccessMethods, AccessMethodsBuilder, AccessMode};
 pub use path::{AccessPath, PathStep};
-pub use response::{apply_access, Response};
+pub use response::{apply_access, apply_access_in_place, Response};
 
 /// Result alias for fallible access-level operations.
 pub type Result<T> = std::result::Result<T, AccessError>;

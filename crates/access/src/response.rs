@@ -153,6 +153,33 @@ pub fn apply_access(
     Ok(next)
 }
 
+/// The in-place variant of [`apply_access`]: grows `conf` itself instead of
+/// producing a successor snapshot, with identical well-formedness and
+/// validation semantics.
+///
+/// This is the speculation building block: under an open trail mark (see
+/// [`accrel_schema::FactStore::begin_trail`]) every inserted response tuple
+/// records an undo entry, so a tentative "what if this access had been
+/// made?" probe mutates the live store and rolls back allocation-free — no
+/// snapshot, no discarded shard copies. Callers that need a *persistent*
+/// successor (or hand configurations across threads) keep using
+/// [`apply_access`].
+pub fn apply_access_in_place(
+    conf: &mut Configuration,
+    access: &Access,
+    response: &Response,
+    methods: &AccessMethods,
+) -> Result<()> {
+    access.well_formed(conf, methods)?;
+    response.validate(access, methods)?;
+    let m = methods.get(access.method())?;
+    for t in response.tuples() {
+        conf.insert(m.relation(), t.clone())
+            .map_err(AccessError::from)?;
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -231,6 +258,30 @@ mod tests {
         // Not well-formed before seeding.
         let empty = Configuration::empty(inst.schema().clone());
         assert!(apply_access(&empty, &access, &resp, &methods).is_err());
+    }
+
+    #[test]
+    fn in_place_apply_matches_snapshot_apply_and_rolls_back_under_a_trail() {
+        let (schema, methods, inst) = setup();
+        let acm = methods.by_name("EmpOffAcc").unwrap();
+        let access = Access::new(acm, binding(["e1"]));
+        let mut conf = Configuration::empty(schema);
+        conf.insert_named("Seed", ["e1"]).unwrap();
+        let resp = Response::exact(&access, &methods, &inst).unwrap();
+        let next = apply_access(&conf, &access, &resp, &methods).unwrap();
+        // Speculative probe: same successor facts observed inside, nothing
+        // left behind after the guard pops the trail.
+        let before = conf.sorted_facts();
+        let inside = conf.speculate(|c| {
+            apply_access_in_place(c, &access, &resp, &methods).unwrap();
+            c.sorted_facts()
+        });
+        assert_eq!(inside, next.sorted_facts());
+        assert_eq!(conf.sorted_facts(), before);
+        // And the same validation errors as the snapshot variant.
+        let empty_schema = inst.schema().clone();
+        let mut empty = Configuration::empty(empty_schema);
+        assert!(apply_access_in_place(&mut empty, &access, &resp, &methods).is_err());
     }
 
     #[test]

@@ -126,6 +126,52 @@ fn bench(c: &mut Criterion) {
                 })
             },
         );
+        // Speculative churn, the two ways: `snapshot_speculate` is the
+        // historical pattern (clone the store, insert k tentative facts,
+        // drop the clone — every iteration pays a full shard copy of the
+        // 10⁵/10⁶-row relation), `trail_speculate` is the trail-backed
+        // replacement (insert k under a trail mark on the live store, undo —
+        // allocation-free apart from the undo entries). Same observable
+        // effect, so the gap between the rows is the price of snapshotting.
+        let speculative: Vec<(Value, Value)> = (0..8)
+            .map(|i| {
+                (
+                    Value::sym(format!("spec-a{i}")),
+                    Value::sym(format!("spec-b{i}")),
+                )
+            })
+            .collect();
+        group.bench_with_input(
+            BenchmarkId::new("snapshot_speculate", facts),
+            &store,
+            |b, s| {
+                b.iter(|| {
+                    let mut snap = s.clone();
+                    for (a, bb) in &speculative {
+                        snap.insert_named("R", [a.clone(), bb.clone()])
+                            .expect("well-typed");
+                    }
+                    black_box(snap.len())
+                })
+            },
+        );
+        let mut live = store.clone();
+        group.bench_with_input(
+            BenchmarkId::new("trail_speculate", facts),
+            &speculative,
+            |b, speculative| {
+                b.iter(|| {
+                    let len = live.speculate(|s| {
+                        for (a, bb) in speculative {
+                            s.insert_named("R", [a.clone(), bb.clone()])
+                                .expect("well-typed");
+                        }
+                        s.len()
+                    });
+                    black_box(len)
+                })
+            },
+        );
     }
     group.finish();
 }

@@ -42,7 +42,7 @@ mod search;
 pub use budget::SearchBudget;
 pub use containment::{is_contained, ContainmentOutcome, NonContainmentWitness};
 pub use ir::{is_immediately_relevant, IrWitness};
-pub use ltr_dependent::is_ltr_dependent;
+pub use ltr_dependent::{is_ltr_dependent, is_ltr_dependent_trailed};
 pub use ltr_independent::is_ltr_independent;
 
 use accrel_access::{Access, AccessMethods, AccessMode};
@@ -71,6 +71,30 @@ pub fn is_long_term_relevant(
         ltr_independent::is_ltr_independent_budgeted(query, conf, access, methods, budget)
     } else {
         ltr_dependent::is_ltr_dependent(query, conf, access, methods, budget)
+    }
+}
+
+/// The trail-backed variant of [`is_long_term_relevant`] for callers that
+/// own their configuration mutably (the engine loop, the batch scheduler's
+/// eager predictor): the dependent-access witness search speculates on the
+/// live store under a trail mark instead of snapshotting it, and `conf` is
+/// restored byte-for-byte before returning. The independent-access
+/// procedure is read-only and dispatches unchanged.
+pub fn is_long_term_relevant_trailed(
+    query: &Query,
+    conf: &mut Configuration,
+    access: &Access,
+    methods: &AccessMethods,
+    budget: &SearchBudget,
+) -> bool {
+    if methods
+        .methods()
+        .iter()
+        .all(|m| m.mode() == AccessMode::Independent)
+    {
+        ltr_independent::is_ltr_independent_budgeted(query, conf, access, methods, budget)
+    } else {
+        ltr_dependent::is_ltr_dependent_trailed(query, conf, access, methods, budget)
     }
 }
 

@@ -41,6 +41,11 @@ use crate::search;
 /// Decides long-term relevance of `access` for `query` at `conf` when
 /// dependent access methods are in play (the access itself may be of either
 /// mode). Non-Boolean queries go through the Proposition 2.2 reduction.
+///
+/// This immutable entry point runs the witness search on a private
+/// copy-on-write snapshot of `conf`; callers that own their configuration
+/// mutably should prefer [`is_ltr_dependent_trailed`], which speculates on
+/// the live store under a trail mark and copies no shards at all.
 pub fn is_ltr_dependent(
     query: &Query,
     conf: &Configuration,
@@ -48,10 +53,26 @@ pub fn is_ltr_dependent(
     methods: &AccessMethods,
     budget: &SearchBudget,
 ) -> bool {
+    let mut scratch = conf.snapshot();
+    is_ltr_dependent_trailed(query, &mut scratch, access, methods, budget)
+}
+
+/// The trail-backed variant of [`is_ltr_dependent`]: witness condition B's
+/// truncation replays mutate `conf` in place under a trail mark and are
+/// undone exactly, so no configuration snapshot (and, once the store is
+/// unshared, no copy-on-write shard copy) is ever made. `conf` is returned
+/// to its byte-for-byte pre-call state before every return.
+pub fn is_ltr_dependent_trailed(
+    query: &Query,
+    conf: &mut Configuration,
+    access: &Access,
+    methods: &AccessMethods,
+    budget: &SearchBudget,
+) -> bool {
     if !query.is_boolean() {
         return reductions::boolean_instances(query, conf)
             .iter()
-            .any(|q| is_ltr_dependent(q, conf, access, methods, budget));
+            .any(|q| is_ltr_dependent_trailed(q, conf, access, methods, budget));
     }
     if !access.is_well_formed(conf, methods) {
         return false;
@@ -138,7 +159,7 @@ pub fn is_ltr_dependent(
 fn disjunct_witness(
     query: &Query,
     disjunct: &ConjunctiveQuery,
-    conf: &Configuration,
+    conf: &mut Configuration,
     access: &Access,
     access_relation: RelationId,
     input_positions: &[usize],
@@ -226,9 +247,12 @@ fn disjunct_witness(
 
             // Witness condition B: replay the planned accesses without the
             // initial one; the truncation keeps the longest well-formed
-            // prefix. The query must be false on what it reaches.
-            let truncated_conf = replay_truncation(conf, &plan, methods);
-            if !certain::is_certain(query, &truncated_conf) {
+            // prefix. The query must be false on what it reaches. The
+            // replay speculates on the live store under a trail mark — the
+            // certainty check runs inside the scope and every inserted
+            // response tuple is undone on exit, replacing the per-plan
+            // snapshot this path used to discard.
+            if replay_truncation_uncertain(query, conf, &plan, methods) {
                 return true;
             }
 
@@ -301,21 +325,27 @@ fn break_access_exists(
 
 /// Replays the planned accesses from `conf` without the initial access,
 /// keeping the maximal well-formed prefix (the truncation semantics), and
-/// returns the configuration reached.
-fn replay_truncation(
-    conf: &Configuration,
+/// reports whether the query is *not* certain on the configuration reached.
+/// The replay mutates `conf` in place under a trail mark and is undone
+/// before returning — allocation-free speculation instead of a discarded
+/// snapshot.
+fn replay_truncation_uncertain(
+    query: &Query,
+    conf: &mut Configuration,
     plan: &search::FactPlan,
     methods: &AccessMethods,
-) -> Configuration {
+) -> bool {
     let path = plan.to_path(methods);
-    let mut current = conf.clone();
-    for step in path.steps() {
-        match accrel_access::apply_access(&current, &step.access, &step.response, methods) {
-            Ok(next) => current = next,
-            Err(_) => break,
+    conf.speculate(|current| {
+        for step in path.steps() {
+            if accrel_access::apply_access_in_place(current, &step.access, &step.response, methods)
+                .is_err()
+            {
+                break;
+            }
         }
-    }
-    current
+        !certain::is_certain(query, current)
+    })
 }
 
 #[cfg(test)]

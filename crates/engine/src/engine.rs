@@ -16,9 +16,9 @@ use std::collections::BTreeSet;
 
 use accrel_access::enumerate::EnumerationOptions;
 use accrel_access::frontier::AccessFrontier;
-use accrel_access::{apply_access, Access};
+use accrel_access::{apply_access_in_place, Access};
 use accrel_query::{certain, Query};
-use accrel_schema::{Configuration, Tuple, Value};
+use accrel_schema::{Configuration, TrailOps, Tuple, Value};
 
 use crate::options::RunOptions;
 use crate::relevance::{RelevanceOracle, VerdictRecord};
@@ -79,6 +79,12 @@ pub struct BatchStats {
     /// The scheduler's per-batch concurrency limit: worker threads for the
     /// threaded scheduler, the in-flight future cap for the async one.
     pub workers: usize,
+    /// Copy-on-write shard copies performed *inside* the scheduler's
+    /// speculative prediction regions (eager look-ahead). With trail-backed
+    /// speculation this is zero: tentative responses mutate the live store
+    /// under a trail mark and are undone in place instead of being replayed
+    /// on snapshots.
+    pub speculative_shard_copies: u64,
 }
 
 impl BatchStats {
@@ -137,6 +143,13 @@ pub struct RunReport {
     /// Zero for runs whose responses never grew the configuration — and for
     /// read-only snapshot consumers such as the parallel sweep workers.
     pub shard_copies: u64,
+    /// Trail activity of the run's configuration handle: undo entries pushed
+    /// by speculative probes (tentative-response replays in relevance
+    /// checks, the batch scheduler's eager look-ahead) and entries undone
+    /// when those probes rolled back. Every speculation that would
+    /// historically have cloned shards shows up here instead of in
+    /// [`RunReport::shard_copies`].
+    pub trail_ops: TrailOps,
     /// The final configuration.
     pub final_configuration: Configuration,
 }
@@ -179,7 +192,12 @@ impl<'a> FederatedEngine<'a> {
     pub fn run(&self, initial: &Configuration) -> RunReport {
         let methods = self.source.methods();
         let mut conf = initial.snapshot();
+        // The loop owns its working copy outright: detaching the (small)
+        // initial shards now means trail-backed relevance probes never pay
+        // a lazy copy-on-write detach mid-speculation.
+        conf.own_all_shards();
         let copies_before = conf.shard_copies();
+        let trail_before = conf.trail_ops();
         let mut accesses_made = 0usize;
         let mut accesses_skipped = 0usize;
         let mut tuples_retrieved = 0usize;
@@ -215,7 +233,10 @@ impl<'a> FederatedEngine<'a> {
             }
             let selected = {
                 let candidates: Vec<&Access> = pending.iter().collect();
-                oracle.select(self.strategy, &candidates, &conf, &mut accesses_skipped)
+                // The engine owns `conf`, so relevance checks speculate on
+                // the live store under trail marks — zero shard copies per
+                // tentative-response probe.
+                oracle.select_trailed(self.strategy, &candidates, &mut conf, &mut accesses_skipped)
             };
             let Some(access) = selected else {
                 break;
@@ -228,9 +249,10 @@ impl<'a> FederatedEngine<'a> {
             accesses_made += 1;
             access_sequence.push(access.clone());
             let before = conf.len();
-            if let Ok(next) = apply_access(&conf, &access, &response, methods) {
-                conf = next;
-            }
+            // The loop exclusively owns `conf` (shards detached up front),
+            // so responses grow it in place — no per-round snapshot that is
+            // immediately dropped.
+            let _ = apply_access_in_place(&mut conf, &access, &response, methods);
             if conf.len() > before {
                 // The response grew exactly one relation (its method's);
                 // drop the verdicts that inspected it.
@@ -256,6 +278,7 @@ impl<'a> FederatedEngine<'a> {
             source_stats: self.source.stats().since(&stats_before),
             batch_stats: BatchStats::default(),
             shard_copies: conf.shard_copies() - copies_before,
+            trail_ops: conf.trail_ops().since(trail_before),
             final_configuration: conf,
         }
     }

@@ -40,9 +40,11 @@ pub mod scenarios;
 mod source;
 
 pub use engine::{BatchStats, FederatedEngine, RunReport, Strategy};
-#[allow(deprecated)]
-pub use options::EngineOptions;
 pub use options::{RunOptions, SpeculationMode};
 pub use relevance::{RelevanceKind, RelevanceOracle, SharedVerdictCache, VerdictRecord};
 pub use run::{compare_strategies, Executor, RunRequest, Sequential};
 pub use source::{DeepWebSource, ResponsePolicy, SourceStats};
+
+/// The historical name of the sequential engine's options.
+#[deprecated(since = "0.1.0", note = "renamed to `RunOptions`")]
+pub type EngineOptions = RunOptions;

@@ -14,8 +14,10 @@
 //! simply ignore it — the sequential engine reads none of the batching
 //! fields.
 //!
-//! The old names survive as `#[deprecated]` type aliases (here and in
-//! `accrel-federation`) so downstream code migrates on its own schedule.
+//! The old names survive as `#[deprecated]` type aliases at the crate roots
+//! (`accrel_engine::EngineOptions`, `accrel_federation::BatchOptions` /
+//! `AsyncBatchOptions`) so downstream code migrates on its own schedule;
+//! nothing inside the workspace uses them.
 
 use accrel_core::SearchBudget;
 use accrel_schema::Value;
@@ -111,10 +113,6 @@ impl RunOptions {
     }
 }
 
-/// The historical name of the sequential engine's options.
-#[deprecated(since = "0.1.0", note = "renamed to `RunOptions`")]
-pub type EngineOptions = RunOptions;
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -156,8 +154,10 @@ mod tests {
 
     #[test]
     fn deprecated_alias_still_constructs() {
+        // The alias lives at the crate root (the one place allowed to carry
+        // it); this is deliberately the only use site in the crate.
         #[allow(deprecated)]
-        let options = EngineOptions {
+        let options = crate::EngineOptions {
             max_accesses: 12,
             ..Default::default()
         };

@@ -17,7 +17,9 @@ use std::collections::{HashMap, HashSet};
 use std::sync::{Arc, Mutex};
 
 use accrel_access::{Access, AccessMethods, AccessMode};
-use accrel_core::{is_immediately_relevant, is_long_term_relevant, SearchBudget};
+use accrel_core::{
+    is_immediately_relevant, is_long_term_relevant, is_long_term_relevant_trailed, SearchBudget,
+};
 use accrel_query::Query;
 use accrel_schema::{Configuration, RelationId};
 
@@ -213,6 +215,54 @@ impl SharedVerdictCache {
     }
 }
 
+/// How a relevance check reaches the configuration it decides over.
+///
+/// `Shared` is the original read-only path: the dependent-access witness
+/// search snapshots the configuration internally before replaying tentative
+/// responses. `Owned` is the trail-backed path for callers that hold the
+/// configuration mutably (the sequential engine loop, the batch scheduler's
+/// eager predictor): tentative responses are applied to the live store under
+/// a trail mark and undone in place, so a speculative probe performs zero
+/// shard copies. Both paths compute identical verdicts — only the mutation
+/// mechanics differ — so they share one caching body in
+/// [`RelevanceOracle::check_at`].
+enum ConfAccess<'c> {
+    Shared(&'c Configuration),
+    Owned(&'c mut Configuration),
+}
+
+impl ConfAccess<'_> {
+    fn as_ref(&self) -> &Configuration {
+        match self {
+            ConfAccess::Shared(c) => c,
+            ConfAccess::Owned(c) => c,
+        }
+    }
+
+    fn run(
+        &mut self,
+        kind: RelevanceKind,
+        query: &Query,
+        methods: &AccessMethods,
+        budget: &SearchBudget,
+        access: &Access,
+    ) -> bool {
+        match (kind, self) {
+            // Immediate relevance never mutates: both paths are the same
+            // read-only witness search.
+            (RelevanceKind::Immediate, conf) => {
+                is_immediately_relevant(query, conf.as_ref(), access, methods)
+            }
+            (RelevanceKind::LongTerm, ConfAccess::Shared(conf)) => {
+                is_long_term_relevant(query, conf, access, methods, budget)
+            }
+            (RelevanceKind::LongTerm, ConfAccess::Owned(conf)) => {
+                is_long_term_relevant_trailed(query, conf, access, methods, budget)
+            }
+        }
+    }
+}
+
 /// The relevance-decision engine of one run: answers "is this access
 /// relevant at this configuration" through the incremental cache, applies
 /// the [`Strategy`] selection rules, and logs every decision-procedure
@@ -308,16 +358,16 @@ impl<'a> RelevanceOracle<'a> {
     }
 
     fn check(&mut self, kind: RelevanceKind, access: &Access, conf: &Configuration) -> bool {
-        let run = |query: &Query,
-                   methods: &AccessMethods,
-                   budget: &SearchBudget,
-                   access: &Access,
-                   conf: &Configuration| match kind {
-            RelevanceKind::Immediate => is_immediately_relevant(query, conf, access, methods),
-            RelevanceKind::LongTerm => is_long_term_relevant(query, conf, access, methods, budget),
-        };
+        self.check_at(kind, access, ConfAccess::Shared(conf))
+    }
+
+    /// The one caching body behind every check variant: per-run cache probe,
+    /// shared-cache probe, decision-procedure invocation, publication, and
+    /// logging. The [`ConfAccess`] argument decides only *how* the procedure
+    /// touches the configuration (snapshot-replay vs trail-speculate).
+    fn check_at(&mut self, kind: RelevanceKind, access: &Access, mut conf: ConfAccess<'_>) -> bool {
         if !self.use_cache {
-            return run(self.query, self.methods, &self.budget, access, conf);
+            return conf.run(kind, self.query, self.methods, &self.budget, access);
         }
         let map = match kind {
             RelevanceKind::Immediate => &self.cache.immediate,
@@ -332,18 +382,18 @@ impl<'a> RelevanceOracle<'a> {
             RelevanceKind::Immediate => self.ir_dep(),
             RelevanceKind::LongTerm => self.ltr_dep(),
         };
-        let verdict = if let Some((class, shared)) = &self.shared {
-            let counts = self.dep_counts(dep, conf);
-            if let Some(verdict) = shared.lookup(*class, kind, access, &counts) {
+        let verdict = if let Some((class, shared)) = self.shared.clone() {
+            let counts = self.dep_counts(dep, conf.as_ref());
+            if let Some(verdict) = shared.lookup(class, kind, access, &counts) {
                 self.shared_hits += 1;
                 verdict
             } else {
-                let verdict = run(self.query, self.methods, &self.budget, access, conf);
-                shared.publish(*class, kind, access.clone(), counts, verdict);
+                let verdict = conf.run(kind, self.query, self.methods, &self.budget, access);
+                shared.publish(class, kind, access.clone(), counts, verdict);
                 verdict
             }
         } else {
-            run(self.query, self.methods, &self.budget, access, conf)
+            conf.run(kind, self.query, self.methods, &self.budget, access)
         };
         let map = match kind {
             RelevanceKind::Immediate => &mut self.cache.immediate,
@@ -385,6 +435,24 @@ impl<'a> RelevanceOracle<'a> {
     /// query's relations (see the crate-private `DepSet`).
     pub fn check_ltr(&mut self, access: &Access, conf: &Configuration) -> bool {
         self.check(RelevanceKind::LongTerm, access, conf)
+    }
+
+    /// Trail-backed [`Self::check_ir`] for callers that own the
+    /// configuration mutably. Immediate relevance is read-only, so this is
+    /// behaviourally identical to `check_ir`; it exists so trailed call
+    /// sites read uniformly.
+    pub fn check_ir_trailed(&mut self, access: &Access, conf: &mut Configuration) -> bool {
+        self.check_at(RelevanceKind::Immediate, access, ConfAccess::Owned(conf))
+    }
+
+    /// Trail-backed [`Self::check_ltr`]: the dependent-access witness search
+    /// replays tentative responses on the live store under a trail mark
+    /// instead of snapshotting it, and restores `conf` byte-for-byte before
+    /// returning. Caching, shared-cache probing, and verdict logging are the
+    /// exact same code path as `check_ltr` — the verdicts (and the verdict
+    /// log) are identical.
+    pub fn check_ltr_trailed(&mut self, access: &Access, conf: &mut Configuration) -> bool {
+        self.check_at(RelevanceKind::LongTerm, access, ConfAccess::Owned(conf))
     }
 
     /// Drops every cached verdict that inspected `relation` (call after a
@@ -455,11 +523,45 @@ impl<'a> RelevanceOracle<'a> {
         conf: &Configuration,
         skipped: &mut usize,
     ) -> Option<Access> {
+        self.select_with(strategy, candidates, skipped, |oracle, kind, a| {
+            oracle.check_at(kind, a, ConfAccess::Shared(conf))
+        })
+    }
+
+    /// Trail-backed [`Self::select`]: identical selection rules and skip
+    /// accounting, but relevance checks speculate on the live `conf` under
+    /// trail marks instead of snapshotting it — the selection performs zero
+    /// shard copies and leaves `conf` byte-for-byte unchanged.
+    pub fn select_trailed(
+        &mut self,
+        strategy: Strategy,
+        candidates: &[&Access],
+        conf: &mut Configuration,
+        skipped: &mut usize,
+    ) -> Option<Access> {
+        self.select_with(strategy, candidates, skipped, |oracle, kind, a| {
+            oracle.check_at(kind, a, ConfAccess::Owned(&mut *conf))
+        })
+    }
+
+    /// The one selection body behind [`Self::select`] and
+    /// [`Self::select_trailed`]: `check` closes over how the configuration
+    /// is reached.
+    fn select_with<F>(
+        &mut self,
+        strategy: Strategy,
+        candidates: &[&Access],
+        skipped: &mut usize,
+        mut check: F,
+    ) -> Option<Access>
+    where
+        F: FnMut(&mut Self, RelevanceKind, &Access) -> bool,
+    {
         match strategy {
             Strategy::Exhaustive => candidates.first().map(|a| (*a).clone()),
             Strategy::IrGuided => {
                 for a in candidates {
-                    if self.check_ir(a, conf) {
+                    if check(self, RelevanceKind::Immediate, a) {
                         return Some((*a).clone());
                     }
                     *skipped += 1;
@@ -468,7 +570,7 @@ impl<'a> RelevanceOracle<'a> {
             }
             Strategy::LtrGuided => {
                 for a in candidates {
-                    if self.check_ltr(a, conf) {
+                    if check(self, RelevanceKind::LongTerm, a) {
                         return Some((*a).clone());
                     }
                     *skipped += 1;
@@ -477,12 +579,12 @@ impl<'a> RelevanceOracle<'a> {
             }
             Strategy::Hybrid => {
                 for a in candidates {
-                    if self.check_ir(a, conf) {
+                    if check(self, RelevanceKind::Immediate, a) {
                         return Some((*a).clone());
                     }
                 }
                 for a in candidates {
-                    if self.check_ltr(a, conf) {
+                    if check(self, RelevanceKind::LongTerm, a) {
                         return Some((*a).clone());
                     }
                     *skipped += 1;
@@ -641,6 +743,51 @@ mod tests {
         let _ = other.check_ltr(&access, &conf);
         assert_eq!(other.shared_hits(), 0);
         assert_eq!(shared.len(), 2);
+    }
+
+    #[test]
+    fn trailed_checks_match_snapshot_checks_and_leave_no_trace() {
+        // Dependent methods force the mutating LTR witness search — the
+        // interesting case for trail-backed speculation.
+        let (_, methods, query, conf, access, _, _) = setup(false);
+        let options = RunOptions::default();
+        let mut conf = conf;
+        conf.insert_named("R", ["k", "x"]).unwrap();
+        let mut snapshot_oracle = RelevanceOracle::new(&query, &methods, &options);
+        let mut trailed_oracle = RelevanceOracle::new(&query, &methods, &options);
+        let expected_ir = snapshot_oracle.check_ir(&access, &conf);
+        let expected_ltr = snapshot_oracle.check_ltr(&access, &conf);
+        let before = conf.sorted_facts();
+        let copies_before = conf.shard_copies();
+        assert_eq!(
+            trailed_oracle.check_ir_trailed(&access, &mut conf),
+            expected_ir
+        );
+        assert_eq!(
+            trailed_oracle.check_ltr_trailed(&access, &mut conf),
+            expected_ltr
+        );
+        // Same verdict log, restored store, and — the point — no shard
+        // copies spent on the speculation.
+        assert_eq!(snapshot_oracle.take_log(), trailed_oracle.take_log());
+        assert_eq!(conf.sorted_facts(), before);
+        assert_eq!(conf.shard_copies(), copies_before);
+        // Selection agrees too, strategy by strategy.
+        for strategy in Strategy::all() {
+            let candidates = [&access];
+            let (mut s1, mut s2) = (0usize, 0usize);
+            let picked = snapshot_oracle
+                .scratch()
+                .select(strategy, &candidates, &conf, &mut s1);
+            let picked_trailed =
+                trailed_oracle
+                    .scratch()
+                    .select_trailed(strategy, &candidates, &mut conf, &mut s2);
+            assert_eq!(picked, picked_trailed, "strategy {strategy:?}");
+            assert_eq!(s1, s2, "strategy {strategy:?}");
+        }
+        assert_eq!(conf.sorted_facts(), before);
+        assert_eq!(conf.shard_copies(), copies_before);
     }
 
     #[test]

@@ -37,14 +37,6 @@ use crate::error::SourceError;
 use crate::executor::{Executor, Semaphore};
 use crate::scheduler::MergePlan;
 
-/// The historical name of the async scheduler's options; the `engine`
-/// nesting is gone and the `in_flight` knob is [`RunOptions::workers`].
-#[deprecated(
-    since = "0.1.0",
-    note = "renamed to `RunOptions` (in_flight is now `workers`)"
-)]
-pub type AsyncBatchOptions = RunOptions;
-
 /// A federated engine executing relevance-verified batches as concurrently
 /// awaited futures while preserving the sequential engine's semantics (see
 /// the module documentation).

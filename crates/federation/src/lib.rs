@@ -86,15 +86,11 @@ mod source;
 mod sweep;
 
 pub use async_federation::{AsyncFederation, AsyncFederationBuilder};
-#[allow(deprecated)]
-pub use async_scheduler::AsyncBatchOptions;
 pub use async_scheduler::{Async, AsyncBatchScheduler};
 pub use async_source::{AsyncSimulatedSource, AsyncSource, BlockingSource, SourceFuture};
 pub use error::{FederationError, SourceError};
 pub use executor::{yield_now, Executor, JoinHandle, Semaphore, Sleep, VirtualClock, YieldNow};
 pub use federation::{Federation, FederationBuilder};
-#[allow(deprecated)]
-pub use scheduler::BatchOptions;
 pub use scheduler::{BatchScheduler, Threaded};
 pub use serving::{QuerySessionRegistry, Serving, ServingOptions, ServingReport, SessionReport};
 pub use source::{BackendStats, FlakyModel, LatencyModel, PolicySource, SimulatedSource, Source};
@@ -104,3 +100,18 @@ pub use sweep::{parallel_relevance_sweep, parallel_relevance_sweep_report, Sweep
 /// `accrel_federation::SpeculationMode` imports keep compiling now that the
 /// speculation knob lives on [`accrel_engine::RunOptions`].
 pub use accrel_engine::SpeculationMode;
+
+/// The historical name of the threaded scheduler's options; the `engine`
+/// nesting is gone — the engine fields live directly on
+/// [`accrel_engine::RunOptions`].
+#[deprecated(since = "0.1.0", note = "renamed to `RunOptions` (now flat)")]
+pub type BatchOptions = accrel_engine::RunOptions;
+
+/// The historical name of the async scheduler's options; the `engine`
+/// nesting is gone and the `in_flight` knob is
+/// [`accrel_engine::RunOptions::workers`].
+#[deprecated(
+    since = "0.1.0",
+    note = "renamed to `RunOptions` (in_flight is now `workers`)"
+)]
+pub type AsyncBatchOptions = accrel_engine::RunOptions;

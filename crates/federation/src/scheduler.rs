@@ -49,22 +49,17 @@ use std::collections::{BTreeSet, HashMap};
 
 use accrel_access::enumerate::EnumerationOptions;
 use accrel_access::frontier::AccessFrontier;
-use accrel_access::{apply_access, Access, AccessMethods, Response};
+use accrel_access::{apply_access_in_place, Access, AccessMethods, Response};
 use accrel_engine::relevance::SharedVerdictCache;
 use accrel_engine::{
     BatchStats, RelevanceKind, RelevanceOracle, RunOptions, RunReport, RunRequest, SpeculationMode,
     Strategy,
 };
 use accrel_query::{certain, Query};
-use accrel_schema::{Configuration, Value};
+use accrel_schema::{Configuration, TrailOps, Value};
 
 use crate::error::SourceError;
 use crate::federation::Federation;
-
-/// The historical name of the threaded scheduler's options; the `engine`
-/// nesting is gone — the engine fields live directly on [`RunOptions`].
-#[deprecated(since = "0.1.0", note = "renamed to `RunOptions` (now flat)")]
-pub type BatchOptions = RunOptions;
 
 /// A federated engine that executes relevance-verified batches of accesses
 /// concurrently while preserving the sequential engine's semantics (see the
@@ -175,6 +170,7 @@ pub(crate) struct MergeLoop<'q> {
     methods: &'q AccessMethods,
     conf: Configuration,
     copies_before: u64,
+    trail_before: TrailOps,
     accesses_made: usize,
     accesses_skipped: usize,
     tuples_retrieved: usize,
@@ -203,8 +199,14 @@ impl<'q> MergeLoop<'q> {
         shared: Option<(u64, SharedVerdictCache)>,
     ) -> Self {
         let options = options.normalize();
-        let conf = initial.snapshot();
+        let mut conf = initial.snapshot();
+        // Own the working copy outright: the merge loop speculates on its
+        // live store under trail marks, and detaching the (small) initial
+        // shards up front keeps those probes free of lazy copy-on-write
+        // detaches.
+        conf.own_all_shards();
         let copies_before = conf.shard_copies();
+        let trail_before = conf.trail_ops();
         let mut oracle = RelevanceOracle::new(query, methods, &options);
         if let Some((class, cache)) = shared {
             oracle = oracle.with_shared_cache(class, cache);
@@ -225,6 +227,7 @@ impl<'q> MergeLoop<'q> {
             methods,
             conf,
             copies_before,
+            trail_before,
             accesses_made: 0,
             accesses_skipped: 0,
             tuples_retrieved: 0,
@@ -266,10 +269,13 @@ impl<'q> MergeLoop<'q> {
             }
             let selected = {
                 let candidates: Vec<&Access> = self.pending.iter().collect();
-                self.oracle.select(
+                // The loop owns `conf`: relevance checks speculate on the
+                // live store under trail marks, exactly as the sequential
+                // engine does.
+                self.oracle.select_trailed(
                     self.strategy,
                     &candidates,
-                    &self.conf,
+                    &mut self.conf,
                     &mut self.accesses_skipped,
                 )
             };
@@ -284,7 +290,10 @@ impl<'q> MergeLoop<'q> {
                     .max_accesses
                     .saturating_sub(self.accesses_made)
                     .max(1);
+                let copies_at_predict = self.conf.shard_copies();
                 let batch = self.predict_batch(&access, allowance);
+                self.batch_stats.speculative_shard_copies +=
+                    self.conf.shard_copies() - copies_at_predict;
                 self.batch_stats.batches += 1;
                 self.batch_stats.max_batch = self.batch_stats.max_batch.max(batch.len());
                 self.batch_stats.batched_calls += batch.len();
@@ -324,9 +333,10 @@ impl<'q> MergeLoop<'q> {
         self.accesses_made += 1;
         self.access_sequence.push(access.clone());
         let before = self.conf.len();
-        if let Ok(next) = apply_access(&self.conf, &access, &response, self.methods) {
-            self.conf = next;
-        }
+        // The merge loop exclusively owns its configuration (shards
+        // detached up front), so responses grow it in place — no per-round
+        // snapshot that is immediately dropped.
+        let _ = apply_access_in_place(&mut self.conf, &access, &response, self.methods);
         if self.conf.len() > before {
             if let Ok(m) = self.methods.get(access.method()) {
                 self.oracle.invalidate(m.relation());
@@ -355,6 +365,7 @@ impl<'q> MergeLoop<'q> {
             source_stats: Default::default(),
             batch_stats: self.batch_stats,
             shard_copies: self.conf.shard_copies() - self.copies_before,
+            trail_ops: self.conf.trail_ops().since(self.trail_before),
             final_configuration: self.conf,
         }
     }
@@ -363,7 +374,7 @@ impl<'q> MergeLoop<'q> {
     /// empty: the selected access plus up to `batch_size - 1` follow-ups.
     /// Accesses whose responses are already cached are skipped — their round
     /// trip is already paid for.
-    fn predict_batch(&self, first: &Access, allowance: usize) -> Vec<Access> {
+    fn predict_batch(&mut self, first: &Access, allowance: usize) -> Vec<Access> {
         let limit = self.options.batch_size.min(allowance).max(1);
         let mut batch = vec![first.clone()];
         if limit == 1 {
@@ -378,15 +389,20 @@ impl<'q> MergeLoop<'q> {
 
     /// Eager prediction: replay the strategy's selection on a scratch oracle
     /// (new verdicts computed, then discarded) over the remaining pending
-    /// candidates.
-    fn predict_eager(&self, batch: &mut Vec<Access>, limit: usize) {
+    /// candidates. The replays speculate on the live configuration under
+    /// trail marks — historically each tentative-response probe here cloned
+    /// the touched shards, which at million-fact configurations made eager
+    /// speculation cost more than it saved; now the whole prediction
+    /// performs zero shard copies (pinned by
+    /// [`BatchStats::speculative_shard_copies`]).
+    fn predict_eager(&mut self, batch: &mut Vec<Access>, limit: usize) {
         let mut scratch = self.oracle.scratch();
         let mut rest = self.pending.clone();
         let mut skipped = 0usize;
         while batch.len() < limit {
             let next = {
                 let candidates: Vec<&Access> = rest.iter().collect();
-                scratch.select(self.strategy, &candidates, &self.conf, &mut skipped)
+                scratch.select_trailed(self.strategy, &candidates, &mut self.conf, &mut skipped)
             };
             let Some(next) = next else {
                 break;

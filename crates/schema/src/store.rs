@@ -37,6 +37,28 @@
 //! [`FactStore::shares_interner`], which the oracle-grid tests in
 //! `tests/properties.rs` pin down.
 //!
+//! # Trail-based speculation
+//!
+//! Snapshots are the right tool when two handles need to *diverge* (a
+//! scheduler handing a configuration to worker threads). They are the wrong
+//! tool for **speculation** — mutate, look, roll back — because every
+//! speculative mutation pays a shard copy that is immediately discarded. The
+//! trail layer is the classic constraint-search alternative: between
+//! [`FactStore::begin_trail`] and [`FactStore::undo_to`] every successful
+//! `insert` / `remove` / `extend_facts` row pushes one undo entry, and
+//! undoing replays the entries in LIFO order, reversing row placement,
+//! per-attribute posting lists, `rows_by_key` slots and adom refcounts
+//! *exactly* (the interner is append-only and deliberately not rolled back —
+//! a spuriously-known value is semantically invisible). The scoped
+//! [`FactStore::speculate`] guard pops the trail even on panic.
+//!
+//! The trail is **single-owner by construction**: it lives behind `&mut
+//! self`, clones never inherit open trail state (a clone starts a fresh
+//! lineage with an empty trail), and cross-thread hand-off keeps using
+//! snapshots. Trail traffic is observable through [`FactStore::trail_ops`]
+//! (pushed/undone counters, inherited by clones exactly like
+//! `shard_copies`).
+//!
 //! # Invariants (checked by the property tests in `tests/properties.rs`
 //! against a naive scan oracle)
 //!
@@ -103,11 +125,99 @@ impl RelationShard {
     fn len(&self) -> usize {
         self.tuples.len()
     }
+
+    /// Swaps rows `a` and `b`, patching columns, tuples, both `rows_by_key`
+    /// slots and every affected posting-list entry. Used by trail undo to
+    /// restore the exact row layout a swap-removal disturbed.
+    fn swap_rows(&mut self, a: usize, b: usize) {
+        if a == b {
+            return;
+        }
+        let arity = self.columns.len();
+        for c in 0..arity {
+            self.columns[c].swap(a, b);
+            // After the swap the id now at `a` came from `b` and vice
+            // versa; repoint their posting-list entries unless the ids are
+            // equal (then both rows are already in the same list).
+            let id_a = self.columns[c][a];
+            let id_b = self.columns[c][b];
+            if id_a != id_b {
+                if let Some(list) = self.indexes[c].get_mut(&id_a) {
+                    if let Some(pos) = list.iter().position(|&r| r == b) {
+                        list[pos] = a;
+                    }
+                }
+                if let Some(list) = self.indexes[c].get_mut(&id_b) {
+                    if let Some(pos) = list.iter().position(|&r| r == a) {
+                        list[pos] = b;
+                    }
+                }
+            }
+        }
+        self.tuples.swap(a, b);
+        for row in [a, b] {
+            let key: Box<[ValueId]> = (0..arity).map(|c| self.columns[c][row]).collect();
+            self.rows_by_key.insert(key, row);
+        }
+    }
 }
 
 /// Reference-counted active domain: how many attribute occurrences of
 /// `(value, domain)` the store currently holds.
 type AdomCache = HashMap<(ValueId, DomainId), u32>;
+
+/// One reversible mutation recorded on the trail.
+#[derive(Debug)]
+enum TrailEntry {
+    /// A successful insert; undone by removing the row, which LIFO replay
+    /// guarantees is the relation's last row again at undo time.
+    Inserted {
+        relation: RelationId,
+        key: Box<[ValueId]>,
+    },
+    /// A successful removal; undone by re-appending the tuple and swapping
+    /// it back into its original row, restoring the exact pre-removal
+    /// layout.
+    Removed {
+        relation: RelationId,
+        key: Box<[ValueId]>,
+        tuple: Tuple,
+        row: usize,
+    },
+}
+
+/// A position on the trail returned by [`FactStore::begin_trail`]; feed it
+/// back to [`FactStore::undo_to`] to roll every later mutation back. Marks
+/// nest: undoing to an outer mark also cancels any inner speculation opened
+/// after it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TrailMark {
+    pos: usize,
+    open: u32,
+}
+
+/// Cumulative trail traffic of a store handle: how many undo entries were
+/// pushed and how many were undone. Inherited by clones (like
+/// `shard_copies`), so a run's speculation volume is the difference of two
+/// readings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TrailOps {
+    /// Undo entries recorded under an open trail.
+    pub pushed: u64,
+    /// Undo entries replayed by `undo_to` (including guard auto-pops).
+    pub undone: u64,
+}
+
+impl TrailOps {
+    /// Entry-wise difference against an earlier reading of the same handle
+    /// lineage (saturating, so mixed-up readings never underflow).
+    pub fn since(&self, earlier: TrailOps) -> TrailOps {
+        TrailOps {
+            pushed: self.pushed.saturating_sub(earlier.pushed),
+            undone: self.undone.saturating_sub(earlier.undone),
+        }
+    }
+}
 
 /// A set of ground facts over a schema, organised per relation.
 ///
@@ -117,7 +227,6 @@ type AdomCache = HashMap<(ValueId, DomainId), u32>;
 /// the decision procedures need: membership, per-relation scans, index-backed
 /// binding-compatible scans and cached active-domain computation. See the
 /// module docs for the copy-on-write sharding contract.
-#[derive(Clone)]
 pub struct FactStore {
     schema: Arc<Schema>,
     interner: Arc<ValueInterner>,
@@ -127,6 +236,32 @@ pub struct FactStore {
     /// Cumulative count of shards this handle actually copied on first
     /// write (inherited by clones; diff two readings to scope a run).
     shard_copies: u64,
+    /// Undo entries of the currently-open speculation (empty when no trail
+    /// is open).
+    trail: Vec<TrailEntry>,
+    /// How many `begin_trail` marks are currently open.
+    trail_open: u32,
+    /// Cumulative trail traffic (inherited by clones; diff two readings).
+    trail_ops: TrailOps,
+}
+
+impl Clone for FactStore {
+    /// O(relations): bumps one `Arc` per shard. The clone inherits the
+    /// `shard_copies` / `trail_ops` counters but **not** any open trail —
+    /// undo obligations are single-owner and stay with the original handle.
+    fn clone(&self) -> Self {
+        Self {
+            schema: self.schema.clone(),
+            interner: self.interner.clone(),
+            relations: self.relations.clone(),
+            adom: self.adom.clone(),
+            len: self.len,
+            shard_copies: self.shard_copies,
+            trail: Vec::new(),
+            trail_open: 0,
+            trail_ops: self.trail_ops,
+        }
+    }
 }
 
 impl FactStore {
@@ -144,6 +279,9 @@ impl FactStore {
             adom: Arc::new(AdomCache::new()),
             len: 0,
             shard_copies: 0,
+            trail: Vec::new(),
+            trail_open: 0,
+            trail_ops: TrailOps::default(),
         }
     }
 
@@ -165,6 +303,152 @@ impl FactStore {
     /// advance it.
     pub fn shard_copies(&self) -> u64 {
         self.shard_copies
+    }
+
+    /// Cumulative trail traffic of this handle lineage (see [`TrailOps`]).
+    pub fn trail_ops(&self) -> TrailOps {
+        self.trail_ops
+    }
+
+    /// Detaches every shard this handle still shares with other clones —
+    /// relation shards, the adom cache and the interner — so the handle
+    /// exclusively owns its storage. Cost is one deep copy of whatever was
+    /// still shared (bounded by the current fact count), paid now instead
+    /// of lazily at first write; an explicit detach is not a copy-on-write
+    /// divergence, so [`FactStore::shard_copies`] does not advance. Long
+    /// -running owners (engine loops that speculate on their live store)
+    /// call this once up front so later trail probes never hit a shared
+    /// shard.
+    pub fn own_all_shards(&mut self) {
+        for shard in &mut self.relations {
+            Arc::make_mut(shard);
+        }
+        Arc::make_mut(&mut self.adom);
+        Arc::make_mut(&mut self.interner);
+    }
+
+    /// Whether a trail is currently open (mutations are being recorded).
+    pub fn trail_is_active(&self) -> bool {
+        self.trail_open > 0
+    }
+
+    /// Opens a speculation scope: every later successful mutation records an
+    /// undo entry until [`FactStore::undo_to`] is called with the returned
+    /// mark. Marks nest; prefer the scoped [`FactStore::speculate`] unless
+    /// the rollback point has to outlive a closure.
+    pub fn begin_trail(&mut self) -> TrailMark {
+        self.trail_open += 1;
+        TrailMark {
+            pos: self.trail.len(),
+            open: self.trail_open,
+        }
+    }
+
+    /// Rolls the store back to `mark`, replaying the undo entries recorded
+    /// after it in LIFO order: facts, row layout, per-attribute posting
+    /// lists, `rows_by_key` slots and adom refcounts are restored exactly
+    /// (the append-only interner is not rolled back). Undoing to an outer
+    /// mark also cancels any speculation nested after it.
+    pub fn undo_to(&mut self, mark: TrailMark) {
+        while self.trail.len() > mark.pos {
+            let entry = self.trail.pop().expect("len checked above");
+            self.undo_entry(entry);
+            self.trail_ops.undone += 1;
+        }
+        self.trail_open = self.trail_open.min(mark.open.saturating_sub(1));
+    }
+
+    /// Runs `f` under a trail mark and undoes everything it did before
+    /// returning — even on panic (the rollback lives in a drop guard). This
+    /// is the speculation primitive: probe the store as if the mutation had
+    /// happened, observe, leave no trace.
+    pub fn speculate<R>(&mut self, f: impl FnOnce(&mut FactStore) -> R) -> R {
+        struct Guard<'a> {
+            store: &'a mut FactStore,
+            mark: TrailMark,
+        }
+        impl Drop for Guard<'_> {
+            fn drop(&mut self) {
+                self.store.undo_to(self.mark);
+            }
+        }
+        let mark = self.begin_trail();
+        let guard = Guard { store: self, mark };
+        f(guard.store)
+    }
+
+    /// Reverses one trail entry. Mutates through the copy-on-write
+    /// accessors, so an undo on a shard that was cloned mid-speculation
+    /// still detaches correctly instead of disturbing the clone.
+    fn undo_entry(&mut self, entry: TrailEntry) {
+        let schema = self.schema.clone();
+        match entry {
+            TrailEntry::Inserted { relation, key } => {
+                let rel = schema.relation(relation).expect("recorded on insert");
+                {
+                    let shard = self.shard_mut(relation.index());
+                    let row = shard
+                        .rows_by_key
+                        .remove(&key)
+                        .expect("trail entry matches a stored row");
+                    debug_assert_eq!(row, shard.len() - 1, "LIFO undo targets the last row");
+                    for (c, &id) in key.iter().enumerate() {
+                        if let Some(list) = shard.indexes[c].get_mut(&id) {
+                            if let Some(pos) = list.iter().position(|&r| r == row) {
+                                list.swap_remove(pos);
+                            }
+                            if list.is_empty() {
+                                shard.indexes[c].remove(&id);
+                            }
+                        }
+                        shard.columns[c].pop();
+                    }
+                    shard.tuples.pop();
+                }
+                let adom = self.adom_mut();
+                for (c, &id) in key.iter().enumerate() {
+                    let entry = (id, rel.domain_at(c));
+                    if let Some(count) = adom.get_mut(&entry) {
+                        *count -= 1;
+                        if *count == 0 {
+                            adom.remove(&entry);
+                        }
+                    }
+                }
+                self.len -= 1;
+            }
+            TrailEntry::Removed {
+                relation,
+                key,
+                tuple,
+                row,
+            } => {
+                let rel = schema.relation(relation).expect("recorded on removal");
+                let adom_incs: Vec<(ValueId, DomainId)> = key
+                    .iter()
+                    .enumerate()
+                    .map(|(c, &id)| (id, rel.domain_at(c)))
+                    .collect();
+                {
+                    let shard = self.shard_mut(relation.index());
+                    let appended = shard.len();
+                    for (c, &id) in key.iter().enumerate() {
+                        shard.columns[c].push(id);
+                        shard.indexes[c].entry(id).or_default().push(appended);
+                    }
+                    shard.tuples.push(tuple);
+                    shard.rows_by_key.insert(key, appended);
+                    // The removal swap-moved the then-last row into `row`;
+                    // swap back so the pre-removal row layout is exact.
+                    shard.swap_rows(row, appended);
+                }
+                let adom = self.adom_mut();
+                for (id, domain) in adom_incs {
+                    *adom.entry((id, domain)).or_insert(0) += 1;
+                }
+                self.len += 1;
+            }
+        }
     }
 
     /// Whether `self` and `other` still share `relation`'s columnar shard
@@ -245,6 +529,7 @@ impl FactStore {
             .enumerate()
             .map(|(c, &id)| (id, rel.domain_at(c)))
             .collect();
+        let trail_key = (self.trail_open > 0).then(|| key.clone());
         {
             let shard = self.shard_mut(relation.index());
             let row = shard.len();
@@ -260,6 +545,10 @@ impl FactStore {
             *adom.entry((id, domain)).or_insert(0) += 1;
         }
         self.len += 1;
+        if let Some(key) = trail_key {
+            self.trail.push(TrailEntry::Inserted { relation, key });
+            self.trail_ops.pushed += 1;
+        }
         Ok(true)
     }
 
@@ -304,12 +593,14 @@ impl FactStore {
         {
             return false;
         }
+        let removed_row;
         {
             let shard = self.shard_mut(relation.index());
             let row = shard
                 .rows_by_key
                 .remove(key.as_slice())
                 .expect("presence checked above");
+            removed_row = row;
             let last = shard.len() - 1;
             // Detach the removed row from its posting lists.
             for (c, &id) in key.iter().enumerate() {
@@ -353,6 +644,15 @@ impl FactStore {
             }
         }
         self.len -= 1;
+        if self.trail_open > 0 {
+            self.trail.push(TrailEntry::Removed {
+                relation,
+                key: key.into_boxed_slice(),
+                tuple: t.clone(),
+                row: removed_row,
+            });
+            self.trail_ops.pushed += 1;
+        }
         true
     }
 
@@ -572,7 +872,9 @@ impl FactStore {
             let rel = schema
                 .relation(RelationId(i as u32))
                 .expect("relation validated above");
+            let record = self.trail_open > 0;
             let mut adom_incs: Vec<(ValueId, DomainId)> = Vec::new();
+            let mut trail_keys: Vec<Box<[ValueId]>> = Vec::new();
             {
                 let shard = self.shard_mut(i);
                 shard.rows_by_key.reserve(rows.len());
@@ -590,10 +892,18 @@ impl FactStore {
                         shard.indexes[c].entry(id).or_default().push(row);
                         adom_incs.push((id, rel.domain_at(c)));
                     }
+                    if record {
+                        trail_keys.push(key.clone());
+                    }
                     shard.tuples.push(t);
                     shard.rows_by_key.insert(key, row);
                     inserted += 1;
                 }
+            }
+            let relation = RelationId(i as u32);
+            for key in trail_keys {
+                self.trail.push(TrailEntry::Inserted { relation, key });
+                self.trail_ops.pushed += 1;
             }
             if !adom_incs.is_empty() {
                 let adom = self.adom_mut();
@@ -1021,6 +1331,124 @@ mod tests {
         assert!(!clone.remove(r, &tuple(["a", "x"])));
         assert!(store.shares_relation_shard(&clone, r));
         assert!(store.shares_adom_shard(&clone));
+    }
+
+    #[test]
+    fn trail_undo_restores_inserts_and_removals_exactly() {
+        let schema = small_schema();
+        let r = schema.relation_by_name("R").unwrap();
+        let mut store = FactStore::new(schema);
+        store.insert(r, tuple(["a", "1"])).unwrap();
+        store.insert(r, tuple(["b", "2"])).unwrap();
+        store.insert(r, tuple(["c", "1"])).unwrap();
+        let before = store.sorted_facts();
+        let before_adom = store.active_domain();
+        let mark = store.begin_trail();
+        assert!(store.trail_is_active());
+        assert!(store.remove(r, &tuple(["a", "1"])));
+        assert!(store.insert(r, tuple(["d", "9"])).unwrap());
+        assert!(store.insert(r, tuple(["e", "1"])).unwrap());
+        assert!(store.remove(r, &tuple(["b", "2"])));
+        store.undo_to(mark);
+        assert!(!store.trail_is_active());
+        assert_eq!(store.sorted_facts(), before);
+        assert_eq!(store.active_domain(), before_adom);
+        // Row layout is restored exactly, not just set-equal.
+        assert_eq!(
+            store.tuples(r).cloned().collect::<Vec<_>>(),
+            vec![tuple(["a", "1"]), tuple(["b", "2"]), tuple(["c", "1"])]
+        );
+        assert_eq!(
+            store.trail_ops(),
+            TrailOps {
+                pushed: 4,
+                undone: 4
+            }
+        );
+    }
+
+    #[test]
+    fn trail_records_only_effective_mutations() {
+        let schema = small_schema();
+        let r = schema.relation_by_name("R").unwrap();
+        let mut store = FactStore::new(schema);
+        store.insert(r, tuple(["a", "1"])).unwrap();
+        let mark = store.begin_trail();
+        // A duplicate insert and a removal miss are read-only: no entries.
+        assert!(!store.insert(r, tuple(["a", "1"])).unwrap());
+        assert!(!store.remove(r, &tuple(["ghost", "1"])));
+        assert_eq!(store.trail_ops(), TrailOps::default());
+        store.undo_to(mark);
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn speculate_auto_pops_and_nested_marks_unwind_in_order() {
+        let schema = small_schema();
+        let r = schema.relation_by_name("R").unwrap();
+        let mut store = FactStore::new(schema);
+        store.insert(r, tuple(["a", "1"])).unwrap();
+        let seen = store.speculate(|s| {
+            s.insert(r, tuple(["x", "7"])).unwrap();
+            let inner = s.begin_trail();
+            s.insert(r, tuple(["y", "8"])).unwrap();
+            let with_both = s.len();
+            s.undo_to(inner);
+            (with_both, s.len())
+        });
+        assert_eq!(seen, (3, 2));
+        assert_eq!(store.len(), 1);
+        assert!(!store.trail_is_active());
+        assert!(!store.contains(r, &tuple(["x", "7"])));
+    }
+
+    #[test]
+    fn trailed_bulk_load_is_undone_per_row() {
+        let schema = small_schema();
+        let r = schema.relation_by_name("R").unwrap();
+        let s = schema.relation_by_name("S").unwrap();
+        let mut store = FactStore::new(schema);
+        store.insert(r, tuple(["a", "1"])).unwrap();
+        let before = store.sorted_facts();
+        let mark = store.begin_trail();
+        let inserted = store
+            .extend_facts(vec![
+                (r, tuple(["a", "1"])), // duplicate: not recorded
+                (r, tuple(["b", "2"])),
+                (s, tuple(["z"])),
+            ])
+            .unwrap();
+        assert_eq!(inserted, 2);
+        assert_eq!(store.trail_ops().pushed, 2);
+        store.undo_to(mark);
+        assert_eq!(store.sorted_facts(), before);
+        assert_eq!(store.relation_len(s), 0);
+    }
+
+    #[test]
+    fn clones_do_not_inherit_open_trails_but_inherit_counters() {
+        let schema = small_schema();
+        let r = schema.relation_by_name("R").unwrap();
+        let mut store = FactStore::new(schema);
+        store.insert(r, tuple(["a", "1"])).unwrap();
+        let mark = store.begin_trail();
+        store.insert(r, tuple(["b", "2"])).unwrap();
+        let clone = store.clone();
+        // The clone sees the speculative fact but owes no undo for it.
+        assert!(clone.contains(r, &tuple(["b", "2"])));
+        assert!(!clone.trail_is_active());
+        assert_eq!(clone.trail_ops().pushed, 1);
+        store.undo_to(mark);
+        // Undo detaches the store's shard; the clone keeps the fact.
+        assert!(!store.contains(r, &tuple(["b", "2"])));
+        assert!(clone.contains(r, &tuple(["b", "2"])));
+        assert_eq!(
+            store.trail_ops(),
+            TrailOps {
+                pushed: 1,
+                undone: 1
+            }
+        );
     }
 
     #[test]

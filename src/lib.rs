@@ -92,8 +92,8 @@ pub mod prelude {
     pub use accrel_engine::scenarios::{bank_scenario, bank_scenario_negative, Scenario};
     /// The deprecated name of [`RunOptions`] (kept so downstream code
     /// migrates on its own schedule).
-    #[allow(deprecated)]
-    pub use accrel_engine::EngineOptions;
+    #[deprecated(since = "0.1.0", note = "renamed to `RunOptions`")]
+    pub type EngineOptions = accrel_engine::RunOptions;
     /// The sequential engine and the unified run API: build a
     /// [`RunRequest`], hand it to any [`Executor`] ([`Sequential`] here;
     /// [`Threaded`] / [`Async`] / [`Serving`] below), get a `RunReport` —
@@ -111,10 +111,17 @@ pub mod prelude {
         BatchScheduler, BlockingSource, Federation, FlakyModel, LatencyModel, PolicySource,
         SimulatedSource, Source, Threaded,
     };
-    /// The deprecated names of [`RunOptions`] used by the threaded / async
-    /// schedulers before the options were unified.
-    #[allow(deprecated)]
-    pub use accrel_federation::{AsyncBatchOptions, BatchOptions};
+    /// The deprecated name of [`RunOptions`] used by the threaded scheduler
+    /// before the options were unified.
+    #[deprecated(since = "0.1.0", note = "renamed to `RunOptions` (now flat)")]
+    pub type BatchOptions = accrel_engine::RunOptions;
+    /// The deprecated name of [`RunOptions`] used by the async scheduler
+    /// before the options were unified.
+    #[deprecated(
+        since = "0.1.0",
+        note = "renamed to `RunOptions` (in_flight is now `workers`)"
+    )]
+    pub type AsyncBatchOptions = accrel_engine::RunOptions;
     /// The multi-tenant serving layer: a [`QuerySessionRegistry`] admits
     /// concurrent query sessions over one shared federation, deduplicating
     /// in-flight accesses and sharing relevance verdicts across them.

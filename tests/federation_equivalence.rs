@@ -196,6 +196,123 @@ fn random_workload_grid_matches_sequential_engine() {
 }
 
 #[test]
+fn eager_trail_speculation_matches_cached_only_and_sequential() {
+    // Eager speculation drives its scratch relevance probes through the
+    // configuration's trail (mutate, test, undo) instead of snapshot
+    // clones. Prediction is an optimisation, never a semantic knob: for
+    // every scenario, policy and guided strategy the Eager run must be
+    // byte-for-byte the CachedOnly and sequential runs — and its probes
+    // must never force a copy-on-write shard copy, while leaving trail-op
+    // evidence that speculation actually happened.
+    let scenarios = [
+        bank_scenario(),
+        bank_scenario_negative(),
+        random_scenario(11),
+    ];
+    let mut eager_pushed_total = 0u64;
+    for scenario in &scenarios {
+        for policy in [
+            ResponsePolicy::Exact,
+            ResponsePolicy::SoundSample {
+                probability: 0.7,
+                seed: 17,
+            },
+        ] {
+            let sequential_source = DeepWebSource::new(
+                scenario.instance.clone(),
+                scenario.methods.clone(),
+                policy.clone(),
+            );
+            let sequential_exec = Sequential::new(&sequential_source);
+            let federation = Federation::single(policy_source(scenario, &policy, "grid"));
+            let threaded = Threaded::new(&federation);
+            for strategy in [Strategy::LtrGuided, Strategy::Hybrid] {
+                let request = |speculation| {
+                    RunRequest::new(scenario.query.clone())
+                        .with_strategy(strategy)
+                        .with_options(RunOptions {
+                            batch_size: 3,
+                            workers: 2,
+                            speculation,
+                            ..run_options()
+                        })
+                };
+                sequential_exec.reset_stats();
+                let sequential = sequential_exec.execute(
+                    &request(SpeculationMode::CachedOnly),
+                    &scenario.initial_configuration,
+                );
+                threaded.reset_stats();
+                let cached = threaded.execute(
+                    &request(SpeculationMode::CachedOnly),
+                    &scenario.initial_configuration,
+                );
+                threaded.reset_stats();
+                let eager = threaded.execute(
+                    &request(SpeculationMode::Eager),
+                    &scenario.initial_configuration,
+                );
+                let cell = format!(
+                    "scenario={} strategy={} policy={policy:?}",
+                    scenario.name,
+                    strategy.name()
+                );
+                for (mode, report) in [("cached", &cached), ("eager", &eager)] {
+                    assert_eq!(
+                        report.access_sequence, sequential.access_sequence,
+                        "access sequence diverged ({mode}): {cell}"
+                    );
+                    assert_eq!(
+                        report.relevance_verdicts, sequential.relevance_verdicts,
+                        "relevance verdict log diverged ({mode}): {cell}"
+                    );
+                    assert_eq!(
+                        report.certain, sequential.certain,
+                        "verdict ({mode}): {cell}"
+                    );
+                    assert_eq!(
+                        report.answers, sequential.answers,
+                        "answers ({mode}): {cell}"
+                    );
+                    assert!(
+                        report
+                            .final_configuration
+                            .same_facts(&sequential.final_configuration),
+                        "final configurations differ ({mode}): {cell}"
+                    );
+                    // Trail speculation is always balanced: every entry a
+                    // run pushed was undone before the report was cut.
+                    assert_eq!(
+                        report.trail_ops.pushed, report.trail_ops.undone,
+                        "unbalanced trail ({mode}): {cell}"
+                    );
+                }
+                assert_eq!(
+                    sequential.trail_ops.pushed, sequential.trail_ops.undone,
+                    "unbalanced trail (sequential): {cell}"
+                );
+                // The whole point of the trail: speculative probing without
+                // a single shard copy, under either prediction mode.
+                assert_eq!(
+                    cached.batch_stats.speculative_shard_copies, 0,
+                    "cached prediction copied shards: {cell}"
+                );
+                assert_eq!(
+                    eager.batch_stats.speculative_shard_copies, 0,
+                    "eager speculation copied shards: {cell}"
+                );
+                eager_pushed_total += eager.trail_ops.pushed;
+            }
+        }
+    }
+    // Somewhere in the grid the guided strategies really did speculate.
+    assert!(
+        eager_pushed_total > 0,
+        "no trail entries were pushed anywhere in the eager grid"
+    );
+}
+
+#[test]
 fn multi_source_federation_matches_single_source() {
     // Splitting the bank's Web forms across two providers must not change
     // the run at all — routing is invisible to the engine semantics.

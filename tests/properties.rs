@@ -510,6 +510,141 @@ fn cow_adom_and_indexes_survive_swap_removal_on_a_shared_shard() {
 }
 
 #[test]
+fn trail_undo_restores_the_store_byte_for_byte_on_the_oracle_grid() {
+    // Speculative churn under a trail mark — insert a fresh batch, remove a
+    // deterministic sample of the survivors — then undo. The store must be
+    // observationally identical to an untouched deep copy: same facts, same
+    // per-attribute index answers, same refcounted active domain.
+    for (seed, _, facts) in cases() {
+        let (workload, _, conf) = workload_and_query(seed, 1, facts + 6);
+        let mut store = conf.store().clone();
+        let untouched = deep_copy_oracle(&store);
+        let ops_before = store.trail_ops();
+        let mut rng = StdRng::seed_from_u64(seed + 301);
+        let extra = generate_configuration(&workload, 6, &mut rng);
+
+        let mark = store.begin_trail();
+        let mut pushed = 0u64;
+        for (rel, t) in extra.facts() {
+            if store.insert(rel, t).unwrap() {
+                pushed += 1;
+            }
+        }
+        let victims: Vec<_> = store.facts().step_by(2).take(5).collect();
+        for (rel, t) in victims {
+            assert!(store.remove(rel, &t), "removal failed at seed={seed}");
+            pushed += 1;
+        }
+        store.undo_to(mark);
+
+        let ctx = format!("trail undo at seed={seed} facts={facts}");
+        assert_stores_agree(&store, &untouched, &workload, &ctx);
+        assert_eq!(store.active_domain(), adom_oracle(&store), "{ctx}");
+        for d in 0..workload.schema.domain_count() {
+            let d = accrel::schema::DomainId(d as u32);
+            assert_eq!(
+                store.values_of_domain(d),
+                untouched.values_of_domain(d),
+                "{ctx}"
+            );
+        }
+        // Every speculative mutation was recorded and reversed.
+        let ops = store.trail_ops().since(ops_before);
+        assert_eq!(ops.pushed, pushed, "{ctx}");
+        assert_eq!(ops.undone, pushed, "{ctx}");
+        assert!(!store.trail_is_active(), "{ctx}");
+    }
+}
+
+#[test]
+fn trail_undo_of_removals_on_shared_cow_shards_leaves_both_handles_intact() {
+    // Remove-then-undo on a clone whose shards are still shared with its
+    // origin: the undo must restore the clone through the copy-on-write
+    // accessors (detaching, never writing through), so the origin is
+    // byte-for-byte undisturbed and the clone equals a deep copy.
+    for (seed, _, facts) in cases() {
+        let (workload, _, conf) = workload_and_query(seed, 1, facts + 6);
+        let original = conf.store().clone();
+        let before_facts = original.sorted_facts();
+        let before_adom = adom_oracle(&original);
+        let copies_before = original.shard_copies();
+        let mut clone = original.clone();
+
+        let mark = clone.begin_trail();
+        let victims: Vec<_> = clone.facts().step_by(2).collect();
+        for (rel, t) in victims {
+            assert!(clone.remove(rel, &t), "removal failed at seed={seed}");
+        }
+        let mut rng = StdRng::seed_from_u64(seed + 404);
+        let extra = generate_configuration(&workload, 4, &mut rng);
+        for (rel, t) in extra.facts() {
+            let _ = clone.insert(rel, t);
+        }
+        clone.undo_to(mark);
+
+        let ctx = format!("shared-shard undo at seed={seed} facts={facts}");
+        assert_eq!(original.sorted_facts(), before_facts, "{ctx}");
+        assert_eq!(adom_oracle(&original), before_adom, "{ctx}");
+        assert_eq!(
+            original.shard_copies(),
+            copies_before,
+            "read-only origin: {ctx}"
+        );
+        assert_stores_agree(&clone, &deep_copy_oracle(&original), &workload, &ctx);
+        assert_eq!(clone.active_domain(), adom_oracle(&clone), "{ctx}");
+    }
+}
+
+#[test]
+fn nested_trail_marks_undo_inside_out_and_outer_undo_cancels_inner() {
+    for (seed, _, facts) in cases() {
+        let (workload, _, conf) = workload_and_query(seed, 1, facts + 5);
+        let mut store = conf.store().clone();
+        let untouched = deep_copy_oracle(&store);
+        let mut rng = StdRng::seed_from_u64(seed + 505);
+        let batch_a = generate_configuration(&workload, 3, &mut rng);
+        let batch_b = generate_configuration(&workload, 3, &mut rng);
+
+        // Inside-out: undoing the inner mark restores the outer speculative
+        // state; undoing the outer mark restores the original.
+        let outer = store.begin_trail();
+        for (rel, t) in batch_a.facts() {
+            let _ = store.insert(rel, t);
+        }
+        let after_a = store.sorted_facts();
+        let inner = store.begin_trail();
+        for (rel, t) in batch_b.facts() {
+            let _ = store.insert(rel, t);
+        }
+        let victim = store.facts().next();
+        if let Some((rel, t)) = victim {
+            assert!(store.remove(rel, &t));
+        }
+        store.undo_to(inner);
+        assert_eq!(store.sorted_facts(), after_a, "inner undo at seed={seed}");
+        store.undo_to(outer);
+        let ctx = format!("outer undo at seed={seed} facts={facts}");
+        assert_stores_agree(&store, &untouched, &workload, &ctx);
+        assert!(!store.trail_is_active(), "{ctx}");
+
+        // Outer-first: undoing the outer mark with the inner still open
+        // cancels the whole nested speculation in one sweep.
+        let outer = store.begin_trail();
+        for (rel, t) in batch_a.facts() {
+            let _ = store.insert(rel, t);
+        }
+        let _inner = store.begin_trail();
+        for (rel, t) in batch_b.facts() {
+            let _ = store.insert(rel, t);
+        }
+        store.undo_to(outer);
+        let ctx = format!("outer-first undo at seed={seed} facts={facts}");
+        assert_stores_agree(&store, &untouched, &workload, &ctx);
+        assert!(!store.trail_is_active(), "{ctx}");
+    }
+}
+
+#[test]
 fn index_backed_candidates_agree_with_membership_semantics() {
     for (seed, _, facts) in cases() {
         let (workload, _, conf) = workload_and_query(seed, 1, facts + 4);

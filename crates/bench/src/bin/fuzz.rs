@@ -1,0 +1,75 @@
+//! Differential scenario fuzzer driver: random chaos-federation scenarios
+//! (schema × query × response policy × churn script) run through the
+//! threaded, async and serving executors and diffed against the sequential
+//! oracle. Any divergence is shrunk to a minimal reproducing case and
+//! printed; the process exits non-zero so CI can gate on it.
+//!
+//! ```text
+//! cargo run --release -p accrel-bench --bin fuzz -- --seeds 25
+//! cargo run --release -p accrel-bench --bin fuzz -- --seeds 100 --base-seed 4242
+//! ```
+
+use std::process::ExitCode;
+
+use accrel_workloads::differential;
+
+fn main() -> ExitCode {
+    let mut seeds = 25usize;
+    let mut base_seed = 0u64;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--seeds" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) => seeds = n,
+                None => return usage("--seeds takes a count"),
+            },
+            "--base-seed" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) => base_seed = n,
+                None => return usage("--base-seed takes a u64"),
+            },
+            "--help" | "-h" => return usage(""),
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    println!("# accrel differential fuzzer: {seeds} seeds from base {base_seed}\n");
+    let summary = differential::fuzz(base_seed, seeds);
+    println!(
+        "cases run      : {}\nchurn events   : {}\nfailovers      : {}\nbreaker trips  : {}",
+        summary.cases, summary.churn_events, summary.failovers, summary.breaker_trips
+    );
+
+    if summary.failures.is_empty() {
+        println!(
+            "\nall {} cases agree with the sequential oracle",
+            summary.cases
+        );
+        return ExitCode::SUCCESS;
+    }
+    for failure in &summary.failures {
+        println!(
+            "\nseed {} diverged ({:?} differs under {:?}); minimal reproducing case:\n{}",
+            failure.seed, failure.divergence.field, failure.divergence.executor, failure.minimal
+        );
+    }
+    eprintln!(
+        "\n{} of {} cases diverged",
+        summary.failures.len(),
+        summary.cases
+    );
+    ExitCode::FAILURE
+}
+
+fn usage(error: &str) -> ExitCode {
+    if !error.is_empty() {
+        eprintln!("error: {error}\n");
+    }
+    println!("usage: fuzz [--seeds <count>] [--base-seed <u64>]");
+    println!("  --seeds <count>    number of consecutive seeds to run (default 25)");
+    println!("  --base-seed <u64>  first seed of the sweep (default 0)");
+    if error.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -245,6 +245,42 @@ mod tests {
     }
 
     #[test]
+    fn tolerates_baselines_predating_the_chaos_sweep() {
+        // A baseline recorded before the F4 chaos sweep existed: every F4
+        // row is one-sided and must be skipped, while shared rows still
+        // compare. Within F4 only the wall-time row is ever a timing row —
+        // `answers unchanged`, the failover rate and the breaker ledger are
+        // semantic counters, never perf regressions.
+        let baseline = vec![row("E1", "CQ", "1", "median µs", 10.0)];
+        let fresh = vec![
+            row("E1", "CQ", "1", "median µs", 12.0),
+            row("F4", "killed primary", "10000", "answers unchanged", 1.0),
+            row("F4", "killed primary", "10000", "failover rate", 0.6),
+            row("F4", "killed primary", "10000", "dead skips", 14.0),
+            row("F4", "flaky primary", "10000", "breaker trips", 1.0),
+            row("F4", "flaky primary", "10000", "wall µs/access", 85.0),
+        ];
+        let report = compare_rows(&baseline, &fresh, 2.0);
+        assert_eq!(report.compared, 1);
+        assert!(report.regressions.is_empty());
+
+        // Once both sides carry F4, its wall-time row (and only that row)
+        // is regression-checked.
+        let aged = vec![
+            row("F4", "flaky primary", "10000", "wall µs/access", 40.0),
+            row("F4", "flaky primary", "10000", "breaker trips", 1.0),
+        ];
+        let regressed = vec![
+            row("F4", "flaky primary", "10000", "wall µs/access", 400.0),
+            row("F4", "flaky primary", "10000", "breaker trips", 9.0),
+        ];
+        let report = compare_rows(&aged, &regressed, 2.0);
+        assert_eq!(report.compared, 1, "counter rows are not timing rows");
+        assert_eq!(report.regressions.len(), 1);
+        assert_eq!(report.regressions[0].key.3, "wall µs/access");
+    }
+
+    #[test]
     fn counters_and_noise_floors_are_not_regressions() {
         let baseline = vec![
             row("E5", "configuration facts", "10", "count", 10.0),

@@ -2,7 +2,9 @@
 
 use accrel_access::{binding, Access, AccessMethods, AccessMode};
 use accrel_core::SearchBudget;
-use accrel_federation::{AsyncFederation, Federation, LatencyModel, SimulatedSource};
+use accrel_federation::{
+    AsyncFederation, ChaosOptions, ChurnScript, Federation, LatencyModel, SimulatedSource,
+};
 use accrel_query::{ConjunctiveQuery, Query, Term};
 use accrel_schema::{Configuration, Schema, Value};
 use accrel_workloads::random::{
@@ -381,6 +383,47 @@ pub fn federation_fixture_from(
         query: world.query.clone(),
         initial: world.initial.clone(),
     }
+}
+
+/// F4: the E5 world behind a primary/replica federation with a churn script
+/// attached. Unlike the F1 split (provider A and B each own half the
+/// methods), both providers here hold the **identical** hidden instance and
+/// answer every method exactly, so replica failover preserves responses
+/// byte-for-byte — the property the F4 sweep pins by diffing a churned run
+/// against the chaos-free sequential oracle. The sync federation paces its
+/// chaos clock `pace_micros_per_call` per wire call.
+pub fn chaos_federation_fixture_from(
+    world: &FederationWorld,
+    script: ChurnScript,
+    pace_micros_per_call: u64,
+) -> FederationFixture {
+    let methods = world.workload.methods.clone();
+    let names: Vec<&str> = methods.iter().map(|(_, m)| m.name()).collect();
+    let primary = SimulatedSource::exact("provider-a", world.instance.clone(), methods.clone());
+    let replica = SimulatedSource::exact("provider-b", world.instance.clone(), methods.clone());
+    let federation = Federation::builder(methods.clone())
+        .source(primary, &names)
+        .expect("primary serves every method")
+        .replica(replica, &names)
+        .expect("replica serves every method")
+        .with_chaos(ChaosOptions::scripted(script, pace_micros_per_call))
+        .build()
+        .expect("every method routed");
+    FederationFixture {
+        federation,
+        query: world.query.clone(),
+        initial: world.initial.clone(),
+    }
+}
+
+/// The chaos-free sequential oracle over the same E5 world: what every F4
+/// churned run must still answer byte-for-byte.
+pub fn world_oracle_source(world: &FederationWorld) -> accrel_engine::DeepWebSource {
+    accrel_engine::DeepWebSource::new(
+        world.instance.clone(),
+        world.workload.methods.clone(),
+        accrel_engine::ResponsePolicy::Exact,
+    )
 }
 
 /// F2: the same two-provider E5 world behind an [`AsyncFederation`] — the

@@ -8,12 +8,12 @@ use accrel_core::{
     is_contained, is_immediately_relevant, is_long_term_relevant, ltr_independent, reductions,
 };
 use accrel_engine::{
-    compare_strategies, DeepWebSource, RelevanceKind, ResponsePolicy, RunOptions, RunRequest,
-    Sequential, SpeculationMode, Strategy,
+    compare_strategies, DeepWebSource, Executor, RelevanceKind, ResponsePolicy, RunOptions,
+    RunRequest, Sequential, SpeculationMode, Strategy,
 };
 use accrel_federation::{
-    parallel_relevance_sweep_report, AsyncBatchScheduler, BatchScheduler, QuerySessionRegistry,
-    ServingOptions,
+    parallel_relevance_sweep_report, AsyncBatchScheduler, BatchScheduler, ChurnScript, FlakyModel,
+    QuerySessionRegistry, ServingOptions,
 };
 use accrel_workloads::encodings::encoding_stats;
 use accrel_workloads::tiling::checkerboard;
@@ -864,6 +864,128 @@ pub fn f3_serving_sweep(
     }
 }
 
+/// F4 — the answers-unchanged-under-churn sweep: the E5 world behind a
+/// primary/replica federation, run under two churn regimes (a mid-run kill
+/// of the primary; a mid-run flip of the primary into retry-exhausting
+/// flakiness) and diffed against the chaos-free sequential oracle. The
+/// headline row per regime is `answers unchanged` — 1.0 exactly when the
+/// access sequence, answers, certain-verdict and final configuration are
+/// byte-for-byte the oracle's — alongside the failover rate and the breaker
+/// ledger (trips, open-circuit skips, dead-source skips) that show the
+/// resilience machinery actually engaged rather than the script never
+/// firing.
+pub fn f4_chaos_sweep(world: &fixtures::FederationWorld, max_accesses: usize) -> Table {
+    let facts = world.facts();
+    let mut rows = Vec::new();
+    let oracle_source = fixtures::world_oracle_source(world);
+    let regimes: [(&str, ChurnScript); 2] = [
+        (
+            "killed primary",
+            ChurnScript::builder().kill(40, "provider-a").build(),
+        ),
+        (
+            "flaky primary",
+            ChurnScript::builder()
+                .set_flaky(
+                    40,
+                    "provider-a",
+                    Some(FlakyModel {
+                        period: 1,
+                        fail_attempts: 4,
+                        retries: 1,
+                    }),
+                )
+                .build(),
+        ),
+    ];
+    for (series, script) in regimes {
+        let fixture = fixtures::chaos_federation_fixture_from(world, script, 5);
+        let options = RunOptions {
+            max_accesses,
+            stop_when_certain: false,
+            batch_size: 8,
+            workers: 4,
+            speculation: SpeculationMode::CachedOnly,
+            ..RunOptions::default()
+        };
+        let start = Instant::now();
+        let report = BatchScheduler::new(
+            &fixture.federation,
+            fixture.query.clone(),
+            Strategy::Exhaustive,
+        )
+        .with_options(options.clone())
+        .run(&fixture.initial);
+        let wall = start.elapsed().as_secs_f64() * 1e6;
+        let request = RunRequest::new(fixture.query.clone())
+            .with_strategy(Strategy::Exhaustive)
+            .with_options(options);
+        let oracle = Sequential::new(&oracle_source).execute(&request, &fixture.initial);
+        let unchanged = report.access_sequence == oracle.access_sequence
+            && report.answers == oracle.answers
+            && report.certain == oracle.certain
+            && report
+                .final_configuration
+                .same_facts(&oracle.final_configuration);
+        rows.push(Row::new(
+            series,
+            facts,
+            "answers unchanged",
+            if unchanged { 1.0 } else { 0.0 },
+        ));
+        rows.push(Row::new(
+            series,
+            facts,
+            "accesses",
+            report.accesses_made as f64,
+        ));
+        rows.push(Row::new(
+            series,
+            facts,
+            "failover rate",
+            report.chaos.failovers as f64 / report.accesses_made.max(1) as f64,
+        ));
+        rows.push(Row::new(
+            series,
+            facts,
+            "churn events",
+            report.chaos.churn_events as f64,
+        ));
+        rows.push(Row::new(
+            series,
+            facts,
+            "breaker trips",
+            report.chaos.breaker_trips as f64,
+        ));
+        rows.push(Row::new(
+            series,
+            facts,
+            "open-circuit skips",
+            report.chaos.short_circuited as f64,
+        ));
+        rows.push(Row::new(
+            series,
+            facts,
+            "dead skips",
+            report.chaos.dead_skips as f64,
+        ));
+        rows.push(Row::new(
+            series,
+            facts,
+            "wall µs/access",
+            wall / report.accesses_made.max(1) as f64,
+        ));
+    }
+    Table {
+        id: "F4".to_string(),
+        title: format!(
+            "Chaos sweep at {facts} facts: answers unchanged under primary churn \
+             (replica failover + circuit breakers)"
+        ),
+        rows,
+    }
+}
+
 /// Runs every experiment at harness scale and returns the tables. The E5
 /// and F1 sweeps reach 10⁶ facts — the copy-on-write sharded store keeps
 /// the bulk load (one `extend_facts` pass) and the per-round configuration
@@ -883,6 +1005,7 @@ pub fn run_all() -> Vec<Table> {
         f1_federation_sweep(&world, 96, &[1, 2, 4, 8, 16, 32], &[1, 2, 4, 8]),
         f2_async_sweep(&world, 96, 16, &[1, 2, 4, 8, 16]),
         f3_serving_sweep(&world, 96, &[1, 4, 16, 64]),
+        f4_chaos_sweep(&world, 96),
     ]
 }
 
@@ -904,6 +1027,7 @@ pub fn run_smoke() -> Vec<Table> {
         f1_federation_sweep(&world, 48, &[1, 4, 16], &[1, 2, 4]),
         f2_async_sweep(&world, 48, 16, &[1, 2, 4, 8]),
         f3_serving_sweep(&world, 48, &[1, 4, 16]),
+        f4_chaos_sweep(&world, 48),
     ]
 }
 
@@ -920,6 +1044,7 @@ pub fn run_million() -> Vec<Table> {
         f1_federation_sweep(&world, 48, &[8], &[4, 8]),
         f2_async_sweep(&world, 48, 16, &[4, 8]),
         f3_serving_sweep(&world, 48, &[1, 4, 16, 64]),
+        f4_chaos_sweep(&world, 48),
     ]
 }
 
@@ -1105,6 +1230,41 @@ mod tests {
         );
         // Batching is effective, so there is something to overlap.
         assert!(metric_at("mean batch", "4") > 1.0);
+    }
+
+    /// Acceptance pin: the F4 chaos sweep reports `answers unchanged = 1`
+    /// under every churn regime — and the churn genuinely engaged (events
+    /// fired, the killed run failed over past a dead source, the flaky run
+    /// tripped breakers), so the 1.0 is not a vacuous no-churn pass.
+    #[test]
+    fn chaos_sweep_answers_survive_churn() {
+        let table = f4_chaos_sweep(&fixtures::federation_world(1_000), 24);
+        assert_eq!(table.id, "F4");
+        let metric_of = |series: &str, metric: &str| {
+            table
+                .rows
+                .iter()
+                .find(|r| r.series == series && r.metric == metric)
+                .map(|r| r.value)
+                .unwrap_or_else(|| panic!("row {series}/{metric} present"))
+        };
+        for series in ["killed primary", "flaky primary"] {
+            assert_eq!(
+                metric_of(series, "answers unchanged"),
+                1.0,
+                "{series}: churn must not change answers"
+            );
+            assert!(
+                metric_of(series, "churn events") > 0.0,
+                "{series}: the script must fire"
+            );
+            assert!(
+                metric_of(series, "failover rate") > 0.0,
+                "{series}: failed primary calls must fail over"
+            );
+        }
+        assert!(metric_of("killed primary", "dead skips") > 0.0);
+        assert!(metric_of("flaky primary", "breaker trips") > 0.0);
     }
 
     /// Acceptance pin: with deduplication on, identical concurrent sessions

@@ -98,6 +98,55 @@ impl BatchStats {
     }
 }
 
+/// Resilience statistics of a run executed against a federation with a
+/// chaos controller attached (source churn, circuit breakers, replica
+/// failover — see `accrel-federation`'s `chaos` module). All zero for the
+/// sequential engine and for federations without chaos: answers never
+/// depend on these counters, only the cost/robustness accounting does.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ChaosStats {
+    /// Churn-script events applied during the run (kills, revivals, model
+    /// swaps).
+    pub churn_events: usize,
+    /// Calls answered by a non-primary replica because the primary was dead
+    /// or open-circuit.
+    pub failovers: usize,
+    /// Replica attempts skipped because the target source was deregistered
+    /// (killed) at the time of the call.
+    pub dead_skips: usize,
+    /// Replica attempts skipped by an open circuit breaker (the breaker
+    /// absorbed the call instead of letting it fail again).
+    pub short_circuited: usize,
+    /// Circuit-breaker trips (Closed→Open transitions, including a HalfOpen
+    /// probe failing back to Open).
+    pub breaker_trips: usize,
+}
+
+impl ChaosStats {
+    /// The activity accumulated since `earlier` (field-wise difference of
+    /// two snapshots of the same monotone counters).
+    pub fn since(&self, earlier: &ChaosStats) -> ChaosStats {
+        ChaosStats {
+            churn_events: self.churn_events.saturating_sub(earlier.churn_events),
+            failovers: self.failovers.saturating_sub(earlier.failovers),
+            dead_skips: self.dead_skips.saturating_sub(earlier.dead_skips),
+            short_circuited: self.short_circuited.saturating_sub(earlier.short_circuited),
+            breaker_trips: self.breaker_trips.saturating_sub(earlier.breaker_trips),
+        }
+    }
+
+    /// Field-wise sum (for aggregating across sessions or federations).
+    pub fn merged(&self, other: &ChaosStats) -> ChaosStats {
+        ChaosStats {
+            churn_events: self.churn_events + other.churn_events,
+            failovers: self.failovers + other.failovers,
+            dead_skips: self.dead_skips + other.dead_skips,
+            short_circuited: self.short_circuited + other.short_circuited,
+            breaker_trips: self.breaker_trips + other.breaker_trips,
+        }
+    }
+}
+
 /// The outcome of an engine run.
 #[derive(Debug, Clone)]
 pub struct RunReport {
@@ -136,6 +185,10 @@ pub struct RunReport {
     pub source_stats: SourceStats,
     /// Batched-execution statistics (all zero for the sequential engine).
     pub batch_stats: BatchStats,
+    /// Resilience statistics (churn events, failovers, breaker activity)
+    /// attributable to this run. All zero unless the run executed against a
+    /// federation with a chaos controller attached.
+    pub chaos: ChaosStats,
     /// Copy-on-write shard copies the run's configuration handle performed:
     /// the engine snapshots the initial configuration in O(relations) and a
     /// growing round copies only the touched relation's shard (plus the
@@ -277,6 +330,7 @@ impl<'a> FederatedEngine<'a> {
             relevance_verdicts: oracle.take_log(),
             source_stats: self.source.stats().since(&stats_before),
             batch_stats: BatchStats::default(),
+            chaos: ChaosStats::default(),
             shard_copies: conf.shard_copies() - copies_before,
             trail_ops: conf.trail_ops().since(trail_before),
             final_configuration: conf,

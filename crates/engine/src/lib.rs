@@ -39,7 +39,7 @@ pub mod run;
 pub mod scenarios;
 mod source;
 
-pub use engine::{BatchStats, FederatedEngine, RunReport, Strategy};
+pub use engine::{BatchStats, ChaosStats, FederatedEngine, RunReport, Strategy};
 pub use options::{RunOptions, SpeculationMode};
 pub use relevance::{RelevanceKind, RelevanceOracle, SharedVerdictCache, VerdictRecord};
 pub use run::{compare_strategies, Executor, RunRequest, Sequential};

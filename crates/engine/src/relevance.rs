@@ -179,6 +179,39 @@ impl SharedVerdictCache {
         self.inner.lock().expect("verdict cache poisoned").misses
     }
 
+    /// Inserts a verdict directly under its full version-stamped key,
+    /// without touching the hit/miss counters. This is the warm-start path:
+    /// a journal replay (see `accrel-federation`'s `journal` module) seeds a
+    /// fresh process's cache with the verdicts an earlier run computed, so
+    /// the next session answers them as shared hits instead of re-running
+    /// decision procedures.
+    pub fn insert(
+        &self,
+        class: u64,
+        kind: RelevanceKind,
+        access: Access,
+        dep_counts: Vec<(RelationId, usize)>,
+        verdict: bool,
+    ) {
+        self.publish(class, kind, access, dep_counts, verdict);
+    }
+
+    /// A snapshot of every stored verdict with its full key — `(class, kind,
+    /// access, dep-relation version stamps, verdict)` — in unspecified
+    /// order. This is what a journal serialises; pair with
+    /// [`SharedVerdictCache::insert`] to rebuild the cache elsewhere.
+    #[allow(clippy::type_complexity)]
+    pub fn entries(&self) -> Vec<(u64, RelevanceKind, Access, Vec<(RelationId, usize)>, bool)> {
+        let state = self.inner.lock().expect("verdict cache poisoned");
+        state
+            .verdicts
+            .iter()
+            .map(|((class, kind, access, deps), &verdict)| {
+                (*class, *kind, access.clone(), deps.clone(), verdict)
+            })
+            .collect()
+    }
+
     fn lookup(
         &self,
         class: u64,

@@ -3,7 +3,7 @@
 use std::cell::RefCell;
 
 use accrel_access::{Access, AccessMethods, Response};
-use accrel_schema::Instance;
+use accrel_schema::{Instance, Tuple};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
@@ -14,7 +14,7 @@ use rand::{Rng, SeedableRng};
 /// tuples may come back, possibly a different one each time); `Exact`
 /// models the classical assumption of Li & Chang / Calì & Martinenghi,
 /// while the other policies exercise the weaker contract.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum ResponsePolicy {
     /// Return every matching tuple (`I(Bind, R)`).
     Exact,
@@ -40,6 +40,42 @@ pub enum ResponsePolicy {
         /// Maximum number of tuples returned per access.
         usize,
     ),
+}
+
+impl ResponsePolicy {
+    /// Applies this policy to the *sorted* exact answer of `access`,
+    /// returning the tuples the source actually hands back.
+    ///
+    /// This is the single selection routine behind every policy-aware
+    /// source ([`DeepWebSource`] here, `SimulatedSource::with_policy` in
+    /// `accrel-federation`): any two sources holding the same hidden
+    /// instance and the same policy (same `SoundSample` seed) answer each
+    /// access byte-for-byte identically — the property replica failover
+    /// relies on. The selection is a pure function of `(access, policy,
+    /// tuples)`; callers must pass the tuples sorted so that `FirstK` and
+    /// the `SoundSample` RNG walk see a canonical order.
+    pub fn apply(&self, access: &Access, mut tuples: Vec<Tuple>) -> Vec<Tuple> {
+        match self {
+            ResponsePolicy::Exact => tuples,
+            ResponsePolicy::FirstK(k) => {
+                tuples.truncate(*k);
+                tuples
+            }
+            ResponsePolicy::SoundSample { probability, seed } => {
+                // Hash-seeded per access: the sample (and its order) is a
+                // pure function of (access, seed), never of call order.
+                let mut rng = StdRng::seed_from_u64(access.stable_hash_seeded(*seed));
+                let mut kept: Vec<_> = tuples
+                    .iter()
+                    .filter(|_| rng.gen::<f64>() < *probability)
+                    .cloned()
+                    .collect();
+                // Sound responses may also come back in any order.
+                kept.shuffle(&mut rng);
+                kept
+            }
+        }
+    }
 }
 
 /// Cumulative statistics about the calls made to a source.
@@ -139,26 +175,7 @@ impl DeepWebSource {
         let exact = Response::exact(access, &self.methods, &self.instance)?;
         let mut tuples: Vec<_> = exact.tuples().to_vec();
         tuples.sort();
-        let selected = match &self.policy {
-            ResponsePolicy::Exact => tuples,
-            ResponsePolicy::FirstK(k) => {
-                tuples.truncate(*k);
-                tuples
-            }
-            ResponsePolicy::SoundSample { probability, seed } => {
-                // Hash-seeded per access: the sample (and its order) is a
-                // pure function of (access, seed), never of call order.
-                let mut rng = StdRng::seed_from_u64(access.stable_hash_seeded(*seed));
-                let mut kept: Vec<_> = tuples
-                    .iter()
-                    .filter(|_| rng.gen::<f64>() < *probability)
-                    .cloned()
-                    .collect();
-                // Sound responses may also come back in any order.
-                kept.shuffle(&mut rng);
-                kept
-            }
-        };
+        let selected = self.policy.apply(access, tuples);
         let mut stats = self.stats.borrow_mut();
         stats.calls += 1;
         stats.tuples_returned += selected.len();

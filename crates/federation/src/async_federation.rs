@@ -13,22 +13,26 @@ use accrel_access::{Access, AccessMethodId, AccessMethods};
 use accrel_schema::Schema;
 
 use crate::async_source::{AsyncSimulatedSource, AsyncSource, SourceFuture};
+use crate::chaos::{ChaosController, ChaosOptions, Gate, ModelSwap};
 use crate::error::{FederationError, SourceError};
 use crate::executor::VirtualClock;
 use crate::source::{BackendStats, SimulatedSource};
 
 /// A registry of autonomous *async* sources sharing one access-method
 /// registry and one virtual clock, with a total routing from methods to
-/// sources. Mirrors [`crate::Federation`] member for member; the runtime
-/// difference is that [`AsyncFederation::call`] hands back a future to be
-/// polled alongside other in-flight accesses instead of blocking a worker
-/// thread.
+/// *ordered replica sets* of sources. Mirrors [`crate::Federation`] member
+/// for member; the runtime difference is that [`AsyncFederation::call`]
+/// hands back a future to be polled alongside other in-flight accesses
+/// instead of blocking a worker thread. An attached [`ChaosController`]
+/// fires its churn script against the federation's own virtual clock, so
+/// chaotic async runs are fully deterministic (no pace heuristic needed).
 pub struct AsyncFederation {
     methods: AccessMethods,
     clock: VirtualClock,
     sources: Vec<Box<dyn AsyncSource>>,
-    /// Method index → source index.
-    route: Vec<usize>,
+    /// Method index → ordered replica set (source indices, primary first).
+    route: Vec<Vec<usize>>,
+    chaos: Option<ChaosController>,
 }
 
 impl std::fmt::Debug for AsyncFederation {
@@ -54,7 +58,8 @@ impl AsyncFederation {
             methods,
             clock: VirtualClock::new(),
             sources: Vec::new(),
-            route: vec![None; method_count],
+            route: vec![Vec::new(); method_count],
+            chaos: None,
         }
     }
 
@@ -66,7 +71,8 @@ impl AsyncFederation {
             methods,
             clock: VirtualClock::new(),
             sources: vec![Box::new(source)],
-            route: vec![0; method_count],
+            route: vec![vec![0]; method_count],
+            chaos: None,
         }
     }
 
@@ -80,7 +86,8 @@ impl AsyncFederation {
             methods,
             sources: vec![Box::new(AsyncSimulatedSource::new(source, clock.clone()))],
             clock,
-            route: vec![0; method_count],
+            route: vec![vec![0]; method_count],
+            chaos: None,
         }
     }
 
@@ -104,27 +111,77 @@ impl AsyncFederation {
         self.sources.len()
     }
 
-    /// The source serving `method`.
+    /// The primary source serving `method`.
     pub fn source_for(&self, method: AccessMethodId) -> Option<&dyn AsyncSource> {
         self.route
             .get(method.index())
+            .and_then(|r| r.first())
             .map(|&i| self.sources[i].as_ref())
     }
 
-    /// Routes an access to its serving source and starts it; the returned
-    /// future resolves once the source's simulated round trips elapse on
-    /// the shared clock.
+    /// The chaos controller, when one is attached.
+    pub fn chaos(&self) -> Option<&ChaosController> {
+        self.chaos.as_ref()
+    }
+
+    /// Routes an access along its replica set and starts it; the returned
+    /// future resolves once the serving source's simulated round trips
+    /// elapse on the shared clock. With a chaos controller attached the
+    /// future walks the route exactly like [`crate::Federation::call`]
+    /// (tick due churn events, skip dead / open-circuit replicas, feed
+    /// breaker outcomes, count failovers), awaiting each attempted replica
+    /// in order.
     pub fn call(&self, access: Access) -> SourceFuture<'_> {
-        match self.source_for(access.method()) {
-            Some(source) => source.call(access),
-            None => {
-                let err = SourceError::Unavailable {
-                    source: "<federation>".to_string(),
-                    reason: format!("no source serves {}", access.method()),
-                };
-                Box::pin(async move { Err(err) })
+        let Some(route) = self
+            .route
+            .get(access.method().index())
+            .filter(|r| !r.is_empty())
+        else {
+            let err = SourceError::Unavailable {
+                source: "<federation>".to_string(),
+                reason: format!("no source serves {}", access.method()),
+            };
+            return Box::pin(async move { Err(err) });
+        };
+        let Some(chaos) = &self.chaos else {
+            return self.sources[route[0]].call(access);
+        };
+        Box::pin(async move {
+            for (idx, swap) in chaos.on_call() {
+                match swap {
+                    ModelSwap::Latency(l) => self.sources[idx].set_latency(l),
+                    ModelSwap::Flaky(f) => self.sources[idx].set_flaky(f),
+                }
             }
-        }
+            let mut last_err: Option<SourceError> = None;
+            for (position, &source_idx) in route.iter().enumerate() {
+                match chaos.gate(source_idx) {
+                    Gate::Dead | Gate::Open => continue,
+                    Gate::Allow => {}
+                }
+                match self.sources[source_idx].call(access.clone()).await {
+                    Ok(response) => {
+                        chaos.record(source_idx, true);
+                        if position > 0 {
+                            chaos.note_failover();
+                        }
+                        return Ok(response);
+                    }
+                    Err(SourceError::Access(e)) => return Err(SourceError::Access(e)),
+                    Err(err) => {
+                        chaos.record(source_idx, false);
+                        last_err = Some(err);
+                    }
+                }
+            }
+            Err(last_err.unwrap_or_else(|| SourceError::Unavailable {
+                source: "<federation>".to_string(),
+                reason: format!(
+                    "every replica of {} is dead or open-circuit",
+                    access.method()
+                ),
+            }))
+        })
     }
 
     /// Aggregate statistics across every source.
@@ -157,7 +214,8 @@ pub struct AsyncFederationBuilder {
     methods: AccessMethods,
     clock: VirtualClock,
     sources: Vec<Box<dyn AsyncSource>>,
-    route: Vec<Option<usize>>,
+    route: Vec<Vec<usize>>,
+    chaos: Option<ChaosOptions>,
 }
 
 impl std::fmt::Debug for AsyncFederationBuilder {
@@ -180,12 +238,11 @@ impl AsyncFederationBuilder {
         &self.clock
     }
 
-    /// Registers `source` as the server of the named methods. The source
-    /// must range over the same schema instance as the federation.
-    pub fn source(
+    fn register(
         mut self,
-        source: impl AsyncSource + 'static,
+        source: Box<dyn AsyncSource>,
         method_names: &[&str],
+        primary: bool,
     ) -> Result<Self, FederationError> {
         if !Arc::ptr_eq(source.methods().schema(), self.methods.schema()) {
             return Err(FederationError::SchemaMismatch {
@@ -199,15 +256,37 @@ impl AsyncFederationBuilder {
                 .by_name(name)
                 .map_err(|_| FederationError::UnknownMethod((*name).to_string()))?;
             let slot = &mut self.route[id.index()];
-            if slot.is_some() {
+            if primary && !slot.is_empty() {
                 return Err(FederationError::DuplicateRoute {
                     method: (*name).to_string(),
                 });
             }
-            *slot = Some(index);
+            slot.push(index);
         }
-        self.sources.push(Box::new(source));
+        self.sources.push(source);
         Ok(self)
+    }
+
+    /// Registers `source` as the primary server of the named methods. The
+    /// source must range over the same schema instance as the federation.
+    pub fn source(
+        self,
+        source: impl AsyncSource + 'static,
+        method_names: &[&str],
+    ) -> Result<Self, FederationError> {
+        self.register(Box::new(source), method_names, true)
+    }
+
+    /// Registers `source` as a fallback replica of the named methods,
+    /// appended to the end of each method's replica set. Replicas are only
+    /// consulted under an attached chaos controller, when every
+    /// earlier-listed replica is dead, open-circuit or failing.
+    pub fn replica(
+        self,
+        source: impl AsyncSource + 'static,
+        method_names: &[&str],
+    ) -> Result<Self, FederationError> {
+        self.register(Box::new(source), method_names, false)
     }
 
     /// Registers a [`SimulatedSource`] wrapped over the federation's clock
@@ -221,13 +300,37 @@ impl AsyncFederationBuilder {
         self.source(AsyncSimulatedSource::new(source, clock), method_names)
     }
 
+    /// Registers a [`SimulatedSource`] as a fallback replica, wrapped over
+    /// the federation's clock (the async counterpart of
+    /// [`crate::FederationBuilder::replica`]).
+    pub fn simulated_replica(
+        self,
+        source: SimulatedSource,
+        method_names: &[&str],
+    ) -> Result<Self, FederationError> {
+        let clock = self.clock.clone();
+        self.replica(AsyncSimulatedSource::new(source, clock), method_names)
+    }
+
+    /// Attaches a chaos controller driven by the federation's own virtual
+    /// clock. Because the executor advances that clock as awaited latencies
+    /// elapse, `options.pace_micros_per_call` is forced to zero here: churn
+    /// events fire when virtual time genuinely reaches them, not on a
+    /// per-call pace heuristic (that heuristic exists only for the sync
+    /// [`crate::Federation`], which has no executor clock).
+    pub fn with_chaos(mut self, mut options: ChaosOptions) -> Self {
+        options.pace_micros_per_call = 0;
+        self.chaos = Some(options);
+        self
+    }
+
     /// Finalises the federation; every method must have a serving source.
     pub fn build(self) -> Result<AsyncFederation, FederationError> {
         let unrouted: Vec<String> = self
             .route
             .iter()
             .enumerate()
-            .filter(|(_, slot)| slot.is_none())
+            .filter(|(_, slot)| slot.is_empty())
             .map(|(i, _)| {
                 self.methods
                     .get(AccessMethodId(i as u32))
@@ -238,15 +341,19 @@ impl AsyncFederationBuilder {
         if !unrouted.is_empty() {
             return Err(FederationError::UnroutedMethods(unrouted));
         }
+        let chaos = match self.chaos {
+            Some(options) => {
+                let names: Vec<&str> = self.sources.iter().map(|s| s.name()).collect();
+                Some(ChaosController::new(&options, &names, self.clock.clone())?)
+            }
+            None => None,
+        };
         Ok(AsyncFederation {
             methods: self.methods,
             clock: self.clock,
             sources: self.sources,
-            route: self
-                .route
-                .into_iter()
-                .map(|s| s.expect("checked"))
-                .collect(),
+            route: self.route,
+            chaos,
         })
     }
 }

@@ -77,6 +77,7 @@ impl<'a> AsyncBatchScheduler<'a> {
     /// runs apart.
     pub fn run(&self, initial: &Configuration) -> RunReport {
         let stats_before = self.federation.stats();
+        let chaos_before = self.federation.chaos().map(|c| c.stats());
         let options = self.options.normalize();
         let plan = MergePlan {
             query: &self.query,
@@ -88,6 +89,9 @@ impl<'a> AsyncBatchScheduler<'a> {
             fetch_batch_async(self.federation, batch, options.workers)
         });
         report.source_stats = self.federation.stats().since(&stats_before).source;
+        if let (Some(chaos), Some(before)) = (self.federation.chaos(), chaos_before) {
+            report.chaos = chaos.stats().since(&before);
+        }
         report
     }
 }

@@ -73,6 +73,17 @@ pub trait AsyncSource: Send + Sync {
     fn stats(&self) -> BackendStats;
     /// Resets the statistics (and any per-run simulation counters).
     fn reset_stats(&self);
+    /// Swaps the source's latency model mid-run (`None` removes it).
+    /// Default no-op, mirroring [`Source::set_latency`]; the adapters
+    /// forward to the wrapped synchronous source.
+    fn set_latency(&self, latency: Option<LatencyModel>) {
+        let _ = latency;
+    }
+    /// Swaps the source's transient-failure model mid-run (`None` removes
+    /// it). Default no-op, mirroring [`Source::set_flaky`].
+    fn set_flaky(&self, flaky: Option<crate::source::FlakyModel>) {
+        let _ = flaky;
+    }
 }
 
 /// [`SimulatedSource`] with its round trips awaited on a [`VirtualClock`]
@@ -130,6 +141,14 @@ impl AsyncSource for AsyncSimulatedSource {
 
     fn reset_stats(&self) {
         Source::reset_stats(&self.inner)
+    }
+
+    fn set_latency(&self, latency: Option<LatencyModel>) {
+        Source::set_latency(&self.inner, latency)
+    }
+
+    fn set_flaky(&self, flaky: Option<crate::source::FlakyModel>) {
+        Source::set_flaky(&self.inner, flaky)
     }
 }
 
@@ -205,6 +224,14 @@ impl<S: Source> AsyncSource for BlockingSource<S> {
     fn reset_stats(&self) {
         *self.injected_micros.lock().unwrap() = 0;
         self.inner.reset_stats()
+    }
+
+    fn set_latency(&self, latency: Option<LatencyModel>) {
+        self.inner.set_latency(latency)
+    }
+
+    fn set_flaky(&self, flaky: Option<crate::source::FlakyModel>) {
+        self.inner.set_flaky(flaky)
     }
 }
 

@@ -58,6 +58,11 @@ pub enum FederationError {
         /// The names of the unrouted methods.
         Vec<String>,
     ),
+    /// A chaos churn script named a source not registered in the federation.
+    UnknownSource(
+        /// The unknown source name.
+        String,
+    ),
 }
 
 impl fmt::Display for FederationError {
@@ -72,6 +77,9 @@ impl fmt::Display for FederationError {
             }
             FederationError::UnroutedMethods(names) => {
                 write!(f, "methods with no serving source: {}", names.join(", "))
+            }
+            FederationError::UnknownSource(name) => {
+                write!(f, "churn script names unregistered source `{name}`")
             }
         }
     }

@@ -88,6 +88,21 @@ impl VirtualClock {
         self.lock().timers.len()
     }
 
+    /// Advances virtual time by `micros` *without* waking any timer — the
+    /// synchronous chaos pacing hook (`crate::chaos`): threaded federations
+    /// have no executor draining this clock, so the chaos controller ticks
+    /// it forward a fixed pace per wire attempt to give churn scripts a
+    /// timeline. Panics if a timer is pending (an async run owns the clock;
+    /// skipping its deadlines would deadlock the executor).
+    pub fn advance_micros(&self, micros: u64) {
+        let mut inner = self.lock();
+        assert!(
+            inner.timers.is_empty(),
+            "advance_micros on a clock with pending timers (owned by an executor)"
+        );
+        inner.now_micros = inner.now_micros.saturating_add(micros);
+    }
+
     /// A future that completes once virtual time has advanced `micros`
     /// microseconds past the moment of this call. A zero-length sleep is
     /// ready on first poll and never registers a timer.

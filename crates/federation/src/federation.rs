@@ -5,19 +5,24 @@ use std::sync::Arc;
 use accrel_access::{Access, AccessMethodId, AccessMethods, Response};
 use accrel_schema::Schema;
 
+use crate::chaos::{ChaosController, ChaosOptions, Gate, ModelSwap};
 use crate::error::{FederationError, SourceError};
+use crate::executor::VirtualClock;
 use crate::source::{BackendStats, Source};
 
 /// A registry of autonomous sources sharing one access-method registry,
-/// with a total routing from methods to sources. This is the "many Web
-/// forms, many providers" layer the paper's federated-engine motivation
-/// assumes: the engine still reasons over a single `ACS`, but each access
-/// is answered by the provider that owns the form.
+/// with a total routing from methods to *ordered replica sets* of sources.
+/// This is the "many Web forms, many providers" layer the paper's
+/// federated-engine motivation assumes: the engine still reasons over a
+/// single `ACS`, but each access is answered by the provider that owns the
+/// form — or, when a [`ChaosController`] marks the primary dead or
+/// open-circuit, by the next replica in its route (see [`crate::chaos`]).
 pub struct Federation {
     methods: AccessMethods,
     sources: Vec<Box<dyn Source>>,
-    /// Method index → source index.
-    route: Vec<usize>,
+    /// Method index → ordered replica set (source indices, primary first).
+    route: Vec<Vec<usize>>,
+    chaos: Option<ChaosController>,
 }
 
 impl std::fmt::Debug for Federation {
@@ -40,7 +45,8 @@ impl Federation {
         FederationBuilder {
             methods,
             sources: Vec::new(),
-            route: vec![None; method_count],
+            route: vec![Vec::new(); method_count],
+            chaos: None,
         }
     }
 
@@ -51,7 +57,8 @@ impl Federation {
         Federation {
             methods,
             sources: vec![Box::new(source)],
-            route: vec![0; method_count],
+            route: vec![vec![0]; method_count],
+            chaos: None,
         }
     }
 
@@ -70,22 +77,85 @@ impl Federation {
         self.sources.len()
     }
 
-    /// The source serving `method`.
+    /// The primary source serving `method` (replicas, if any, sit behind
+    /// it in the route — see [`Federation::replicas_for`]).
     pub fn source_for(&self, method: AccessMethodId) -> Option<&dyn Source> {
         self.route
             .get(method.index())
+            .and_then(|r| r.first())
             .map(|&i| self.sources[i].as_ref())
     }
 
-    /// Routes an access to its serving source and executes it.
+    /// The full ordered replica set serving `method`, primary first.
+    pub fn replicas_for(&self, method: AccessMethodId) -> Vec<&dyn Source> {
+        self.route
+            .get(method.index())
+            .map(|r| r.iter().map(|&i| self.sources[i].as_ref()).collect())
+            .unwrap_or_default()
+    }
+
+    /// The chaos controller, when one is attached.
+    pub fn chaos(&self) -> Option<&ChaosController> {
+        self.chaos.as_ref()
+    }
+
+    /// Routes an access along its replica set and executes it.
+    ///
+    /// Without a chaos controller this is a plain dispatch to the primary.
+    /// With one, each wire call first ticks the controller (pace clock +
+    /// due churn events, forwarding model swaps to the targeted sources),
+    /// then walks the route in order: dead and open-circuit replicas are
+    /// skipped, a failing replica (retry exhaustion) feeds its breaker and
+    /// the walk moves on, and the first successful response is returned —
+    /// counted as a failover when it came from a non-primary position.
+    /// Access-layer errors ([`SourceError::Access`]) abort immediately: a
+    /// malformed access fails identically on every replica.
     pub fn call(&self, access: &Access) -> Result<Response, SourceError> {
-        let source = self
-            .source_for(access.method())
+        let route = self
+            .route
+            .get(access.method().index())
+            .filter(|r| !r.is_empty())
             .ok_or_else(|| SourceError::Unavailable {
                 source: "<federation>".to_string(),
                 reason: format!("no source serves {}", access.method()),
             })?;
-        source.call(access)
+        let Some(chaos) = &self.chaos else {
+            return self.sources[route[0]].call(access);
+        };
+        for (idx, swap) in chaos.on_call() {
+            match swap {
+                ModelSwap::Latency(l) => self.sources[idx].set_latency(l),
+                ModelSwap::Flaky(f) => self.sources[idx].set_flaky(f),
+            }
+        }
+        let mut last_err: Option<SourceError> = None;
+        for (position, &source_idx) in route.iter().enumerate() {
+            match chaos.gate(source_idx) {
+                Gate::Dead | Gate::Open => continue,
+                Gate::Allow => {}
+            }
+            match self.sources[source_idx].call(access) {
+                Ok(response) => {
+                    chaos.record(source_idx, true);
+                    if position > 0 {
+                        chaos.note_failover();
+                    }
+                    return Ok(response);
+                }
+                Err(SourceError::Access(e)) => return Err(SourceError::Access(e)),
+                Err(err) => {
+                    chaos.record(source_idx, false);
+                    last_err = Some(err);
+                }
+            }
+        }
+        Err(last_err.unwrap_or_else(|| SourceError::Unavailable {
+            source: "<federation>".to_string(),
+            reason: format!(
+                "every replica of {} is dead or open-circuit",
+                access.method()
+            ),
+        }))
     }
 
     /// Aggregate statistics across every source.
@@ -95,11 +165,23 @@ impl Federation {
             .fold(BackendStats::default(), |acc, s| acc.merged(&s.stats()))
     }
 
-    /// Per-source statistics, in registration order.
+    /// Per-source statistics, in registration order. With a chaos
+    /// controller attached, each entry also carries the source's breaker
+    /// accounting ([`BackendStats::breaker_trips`] /
+    /// [`BackendStats::short_circuited`]).
     pub fn per_source_stats(&self) -> Vec<(String, BackendStats)> {
         self.sources
             .iter()
-            .map(|s| (s.name().to_string(), s.stats()))
+            .enumerate()
+            .map(|(i, s)| {
+                let mut stats = s.stats();
+                if let Some(chaos) = &self.chaos {
+                    let (trips, short_circuited) = chaos.per_source(i);
+                    stats.breaker_trips = trips;
+                    stats.short_circuited = short_circuited;
+                }
+                (s.name().to_string(), stats)
+            })
             .collect()
     }
 
@@ -115,7 +197,8 @@ impl Federation {
 pub struct FederationBuilder {
     methods: AccessMethods,
     sources: Vec<Box<dyn Source>>,
-    route: Vec<Option<usize>>,
+    route: Vec<Vec<usize>>,
+    chaos: Option<ChaosOptions>,
 }
 
 impl std::fmt::Debug for FederationBuilder {
@@ -132,13 +215,12 @@ impl std::fmt::Debug for FederationBuilder {
 }
 
 impl FederationBuilder {
-    /// Registers `source` as the server of the named methods. The source
-    /// must range over the same schema instance as the federation.
-    pub fn source(
-        mut self,
+    fn register(
+        &mut self,
         source: impl Source + 'static,
         method_names: &[&str],
-    ) -> Result<Self, FederationError> {
+        primary: bool,
+    ) -> Result<(), FederationError> {
         if !Arc::ptr_eq(source.methods().schema(), self.methods.schema()) {
             return Err(FederationError::SchemaMismatch {
                 source: source.name().to_string(),
@@ -150,16 +232,52 @@ impl FederationBuilder {
                 .methods
                 .by_name(name)
                 .map_err(|_| FederationError::UnknownMethod((*name).to_string()))?;
-            let slot = &mut self.route[id.index()];
-            if slot.is_some() {
+            let route = &mut self.route[id.index()];
+            if primary && !route.is_empty() {
                 return Err(FederationError::DuplicateRoute {
                     method: (*name).to_string(),
                 });
             }
-            *slot = Some(index);
+            route.push(index);
         }
         self.sources.push(Box::new(source));
+        Ok(())
+    }
+
+    /// Registers `source` as the *primary* server of the named methods (at
+    /// most one primary per method). The source must range over the same
+    /// schema instance as the federation.
+    pub fn source(
+        mut self,
+        source: impl Source + 'static,
+        method_names: &[&str],
+    ) -> Result<Self, FederationError> {
+        self.register(source, method_names, true)?;
         Ok(self)
+    }
+
+    /// Registers `source` as a *replica* of the named methods: it is
+    /// appended to each method's ordered route and only answers when every
+    /// provider before it is dead or open-circuit (which requires a chaos
+    /// controller — without one, replicas are never consulted). For the
+    /// sequential-equivalence guarantee to survive failover, a replica must
+    /// answer every access byte-for-byte like its primary: same hidden
+    /// instance, same `ResponsePolicy` (same seed) — see [`crate::chaos`].
+    pub fn replica(
+        mut self,
+        source: impl Source + 'static,
+        method_names: &[&str],
+    ) -> Result<Self, FederationError> {
+        self.register(source, method_names, false)?;
+        Ok(self)
+    }
+
+    /// Attaches a chaos layer (churn script, circuit breakers, failover
+    /// accounting). The script's source names are resolved at
+    /// [`FederationBuilder::build`] time.
+    pub fn with_chaos(mut self, options: ChaosOptions) -> Self {
+        self.chaos = Some(options);
+        self
     }
 
     /// Finalises the federation; every method must have a serving source.
@@ -168,7 +286,7 @@ impl FederationBuilder {
             .route
             .iter()
             .enumerate()
-            .filter(|(_, slot)| slot.is_none())
+            .filter(|(_, route)| route.is_empty())
             .map(|(i, _)| {
                 self.methods
                     .get(AccessMethodId(i as u32))
@@ -179,14 +297,20 @@ impl FederationBuilder {
         if !unrouted.is_empty() {
             return Err(FederationError::UnroutedMethods(unrouted));
         }
+        let chaos = match &self.chaos {
+            Some(options) => {
+                let names: Vec<&str> = self.sources.iter().map(|s| s.name()).collect();
+                // The sync federation has no executor-driven clock: the
+                // controller owns a private clock advanced by the pace.
+                Some(ChaosController::new(options, &names, VirtualClock::new())?)
+            }
+            None => None,
+        };
         Ok(Federation {
             methods: self.methods,
             sources: self.sources,
-            route: self
-                .route
-                .into_iter()
-                .map(|s| s.expect("checked"))
-                .collect(),
+            route: self.route,
+            chaos,
         })
     }
 }

@@ -77,9 +77,11 @@
 mod async_federation;
 mod async_scheduler;
 mod async_source;
+pub mod chaos;
 mod error;
 pub mod executor;
 mod federation;
+pub mod journal;
 pub mod scheduler;
 pub mod serving;
 mod source;
@@ -88,9 +90,14 @@ mod sweep;
 pub use async_federation::{AsyncFederation, AsyncFederationBuilder};
 pub use async_scheduler::{Async, AsyncBatchScheduler};
 pub use async_source::{AsyncSimulatedSource, AsyncSource, BlockingSource, SourceFuture};
+pub use chaos::{
+    BreakerOptions, BreakerState, ChaosController, ChaosOptions, ChurnAction, ChurnEvent,
+    ChurnScript, ChurnScriptBuilder, CircuitBreaker,
+};
 pub use error::{FederationError, SourceError};
 pub use executor::{yield_now, Executor, JoinHandle, Semaphore, Sleep, VirtualClock, YieldNow};
 pub use federation::{Federation, FederationBuilder};
+pub use journal::RunJournal;
 pub use scheduler::{BatchScheduler, Threaded};
 pub use serving::{QuerySessionRegistry, Serving, ServingOptions, ServingReport, SessionReport};
 pub use source::{BackendStats, FlakyModel, LatencyModel, PolicySource, SimulatedSource, Source};

@@ -100,6 +100,7 @@ impl<'a> BatchScheduler<'a> {
     /// returning the same responses.
     pub fn run(&self, initial: &Configuration) -> RunReport {
         let stats_before = self.federation.stats();
+        let chaos_before = self.federation.chaos().map(|c| c.stats());
         let options = self.options.normalize();
         let plan = MergePlan {
             query: &self.query,
@@ -111,6 +112,9 @@ impl<'a> BatchScheduler<'a> {
             fetch_batch(self.federation, batch, options.workers)
         });
         report.source_stats = self.federation.stats().since(&stats_before).source;
+        if let (Some(chaos), Some(before)) = (self.federation.chaos(), chaos_before) {
+            report.chaos = chaos.stats().since(&before);
+        }
         report
     }
 }
@@ -363,6 +367,7 @@ impl<'q> MergeLoop<'q> {
             access_sequence: self.access_sequence,
             relevance_verdicts: self.oracle.take_log(),
             source_stats: Default::default(),
+            chaos: Default::default(),
             batch_stats: self.batch_stats,
             shard_copies: self.conf.shard_copies() - self.copies_before,
             trail_ops: self.conf.trail_ops().since(self.trail_before),

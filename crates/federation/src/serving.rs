@@ -47,7 +47,7 @@ use std::task::{Context, Poll, Waker};
 
 use accrel_access::{Access, Response};
 use accrel_engine::relevance::SharedVerdictCache;
-use accrel_engine::{RunReport, RunRequest, SourceStats};
+use accrel_engine::{ChaosStats, RunReport, RunRequest, SourceStats};
 use accrel_schema::Configuration;
 
 use crate::async_federation::AsyncFederation;
@@ -128,6 +128,14 @@ pub struct ServingReport {
     /// exactly once (deduplication makes this strictly less than the sum of
     /// per-session calls whenever sessions overlapped on an access).
     pub aggregate: BackendStats,
+    /// Per-source backend traffic of the whole serve, in registration order
+    /// — wire calls *and* the retry/failure split each backend absorbed or
+    /// surfaced, so a flaky replica's churn is visible per source rather
+    /// than folded into the aggregate.
+    pub per_source: Vec<(String, BackendStats)>,
+    /// Chaos traffic of the whole serve (all zeros without an attached
+    /// [`crate::ChaosController`]).
+    pub chaos: ChaosStats,
     /// Wire calls actually dialed (equals `aggregate.source.calls +
     /// aggregate.source.failures` for these sources; kept separately so the
     /// invariant is checkable).
@@ -188,10 +196,22 @@ impl<'a> QuerySessionRegistry<'a> {
 
     /// A registry over `federation` with explicit options.
     pub fn with_options(federation: &'a AsyncFederation, options: ServingOptions) -> Self {
+        Self::with_verdicts(federation, options, SharedVerdictCache::new())
+    }
+
+    /// A registry over `federation` whose cross-session verdict cache starts
+    /// from `verdicts` instead of empty — the warm-start path for a cache
+    /// restored by [`crate::RunJournal::replay`], so a fresh process serves
+    /// its first session with the previous process's verdicts already hot.
+    pub fn with_verdicts(
+        federation: &'a AsyncFederation,
+        options: ServingOptions,
+        verdicts: SharedVerdictCache,
+    ) -> Self {
         Self {
             federation,
             options,
-            verdicts: SharedVerdictCache::new(),
+            verdicts,
         }
     }
 
@@ -212,6 +232,8 @@ impl<'a> QuerySessionRegistry<'a> {
     /// yields between batches, so admitted sessions interleave round-robin.
     pub fn serve(&self, requests: &[RunRequest], initial: &Configuration) -> ServingReport {
         let stats_before = self.federation.stats();
+        let per_source_before = self.federation.per_source_stats();
+        let chaos_before = self.federation.chaos().map(|c| c.stats());
         let clock = self.federation.clock().clone();
         let start = clock.now_micros();
         let methods = self.federation.methods();
@@ -287,9 +309,22 @@ impl<'a> QuerySessionRegistry<'a> {
             debug_assert_eq!(table.joined_calls, joined_calls);
             debug_assert!(table.in_flight.is_empty(), "in-flight table drained");
         }
+        let per_source = self
+            .federation
+            .per_source_stats()
+            .into_iter()
+            .zip(per_source_before)
+            .map(|((name, after), (_, before))| (name, after.since(&before)))
+            .collect();
+        let chaos = match (self.federation.chaos(), chaos_before) {
+            (Some(controller), Some(before)) => controller.stats().since(&before),
+            _ => ChaosStats::default(),
+        };
         ServingReport {
             sessions,
             aggregate: self.federation.stats().since(&stats_before),
+            per_source,
+            chaos,
             wire_calls,
             joined_calls,
             makespan_micros: clock.now_micros() - start,
@@ -327,8 +362,11 @@ impl accrel_engine::Executor for Serving<'_> {
     }
 
     fn execute(&self, request: &RunRequest, initial: &Configuration) -> RunReport {
-        let mut report = self.registry.serve(std::slice::from_ref(request), initial);
-        report.sessions.remove(0).report
+        let mut serve = self.registry.serve(std::slice::from_ref(request), initial);
+        let mut report = serve.sessions.remove(0).report;
+        // A single-session serve's chaos traffic is the session's.
+        report.chaos = serve.chaos;
+        report
     }
 
     fn reset_stats(&self) {
@@ -339,10 +377,21 @@ impl accrel_engine::Executor for Serving<'_> {
 /// The verdict class of a request: sessions share verdicts only when their
 /// initial configuration, query, strategy and options all agree (a coarser
 /// key would let a deep-budget verdict leak into a shallow-budget run).
+///
+/// Every ingredient must render deterministically **across processes** — a
+/// journal replay (see the `journal` module) rebuilds the cache in a fresh
+/// process and only hits when it derives the same class. The query is
+/// therefore hashed through its `Display` form plus an id-ordered walk of
+/// its schema, never through `Debug` (whose embedded `HashMap`s iterate in
+/// a per-process random order).
 fn verdict_class(request: &RunRequest, initial: &Configuration) -> u64 {
     let mut h = DefaultHasher::new();
     initial.fingerprint().hash(&mut h);
-    format!("{:?}", request.query).hash(&mut h);
+    request.query.to_string().hash(&mut h);
+    for (rel, relation) in request.query.schema().relations_with_ids() {
+        rel.0.hash(&mut h);
+        format!("{relation:?}").hash(&mut h);
+    }
     format!("{:?}", request.strategy).hash(&mut h);
     format!("{:?}", request.options).hash(&mut h);
     h.finish()

@@ -52,6 +52,18 @@ pub trait Source: Send + Sync {
     fn stats(&self) -> BackendStats;
     /// Resets the statistics (and any per-run simulation counters).
     fn reset_stats(&self);
+    /// Swaps the source's latency model mid-run (`None` removes it). The
+    /// default is a no-op: only simulated backends have a model to swap;
+    /// churn scripts degrade real sources by other means. Cost-only — a
+    /// swap never changes response content.
+    fn set_latency(&self, latency: Option<LatencyModel>) {
+        let _ = latency;
+    }
+    /// Swaps the source's transient-failure model mid-run (`None` removes
+    /// it). Default no-op, like [`Source::set_latency`].
+    fn set_flaky(&self, flaky: Option<FlakyModel>) {
+        let _ = flaky;
+    }
 }
 
 /// Backend statistics: the engine-level [`SourceStats`] plus simulation
@@ -64,6 +76,13 @@ pub struct BackendStats {
     pub pages_fetched: usize,
     /// Total simulated latency attributed to this source, in microseconds.
     pub simulated_latency_micros: u64,
+    /// Circuit-breaker trips charged to this source (zero without a chaos
+    /// controller — see `crate::chaos`; filled in by the federation's
+    /// `per_source_stats`, not by the source itself).
+    pub breaker_trips: usize,
+    /// Calls this source never saw because its breaker was open at the time
+    /// (zero without a chaos controller).
+    pub short_circuited: usize,
 }
 
 impl BackendStats {
@@ -74,6 +93,8 @@ impl BackendStats {
             pages_fetched: self.pages_fetched + other.pages_fetched,
             simulated_latency_micros: self.simulated_latency_micros
                 + other.simulated_latency_micros,
+            breaker_trips: self.breaker_trips + other.breaker_trips,
+            short_circuited: self.short_circuited + other.short_circuited,
         }
     }
 
@@ -85,6 +106,8 @@ impl BackendStats {
             simulated_latency_micros: self
                 .simulated_latency_micros
                 .saturating_sub(earlier.simulated_latency_micros),
+            breaker_trips: self.breaker_trips.saturating_sub(earlier.breaker_trips),
+            short_circuited: self.short_circuited.saturating_sub(earlier.short_circuited),
         }
     }
 }
@@ -169,18 +192,25 @@ impl FlakyModel {
 #[derive(Debug, Default)]
 struct BackendState {
     stats: BackendStats,
+    // Cost models live behind the state lock so churn scripts can swap them
+    // mid-run (`Source::set_latency` / `Source::set_flaky`) while calls are
+    // in flight on other threads.
+    latency: Option<LatencyModel>,
+    flaky: Option<FlakyModel>,
 }
 
 /// A thread-safe simulated source over a hidden instance, composing the
-/// latency / flaky / paged backend models. Responses are always the exact
-/// matching tuples in sorted order — the models shape cost, not content.
+/// latency / flaky / paged backend models. Responses are the exact matching
+/// tuples in sorted order — optionally narrowed by a
+/// [`ResponsePolicy`](accrel_engine::ResponsePolicy)
+/// ([`SimulatedSource::with_policy`]), whose selection is a pure function of
+/// the access — so the models shape cost, never nondeterminism.
 #[derive(Debug)]
 pub struct SimulatedSource {
     name: String,
     instance: Instance,
     methods: AccessMethods,
-    latency: Option<LatencyModel>,
-    flaky: Option<FlakyModel>,
+    policy: Option<accrel_engine::ResponsePolicy>,
     page_size: Option<usize>,
     state: Mutex<BackendState>,
 }
@@ -192,22 +222,35 @@ impl SimulatedSource {
             name: name.into(),
             instance,
             methods,
-            latency: None,
-            flaky: None,
+            policy: None,
             page_size: None,
             state: Mutex::new(BackendState::default()),
         }
     }
 
     /// Attaches a latency model.
-    pub fn with_latency(mut self, latency: LatencyModel) -> Self {
-        self.latency = Some(latency);
+    pub fn with_latency(self, latency: LatencyModel) -> Self {
+        self.state.lock().expect("source state poisoned").latency = Some(latency);
         self
     }
 
     /// Attaches a transient-failure model.
-    pub fn with_flaky(mut self, flaky: FlakyModel) -> Self {
-        self.flaky = Some(flaky);
+    pub fn with_flaky(self, flaky: FlakyModel) -> Self {
+        self.state.lock().expect("source state poisoned").flaky = Some(flaky);
+        self
+    }
+
+    /// Answers accesses through `policy` instead of exactly. The selection
+    /// is [`ResponsePolicy::apply`](accrel_engine::ResponsePolicy::apply) —
+    /// the same routine [`DeepWebSource`]
+    /// runs — so a `SimulatedSource` and a `DeepWebSource` over the same
+    /// hidden instance with the same policy (same `SoundSample` seed) answer
+    /// every access byte-for-byte identically. That makes policy-equipped
+    /// simulated sources interchangeable *replicas* of each other and of the
+    /// sequential oracle, which is what replica failover (`crate::chaos`)
+    /// needs to keep the sequential-equivalence guarantee intact.
+    pub fn with_policy(mut self, policy: accrel_engine::ResponsePolicy) -> Self {
+        self.policy = Some(policy);
         self
     }
 
@@ -234,13 +277,22 @@ impl SimulatedSource {
             Response::exact(access, &self.methods, &self.instance).map_err(SourceError::Access)?;
         let mut tuples: Vec<_> = exact.tuples().to_vec();
         tuples.sort();
+        if let Some(policy) = &self.policy {
+            tuples = policy.apply(access, tuples);
+        }
 
-        let planned_failures = self
-            .flaky
+        // Snapshot the (swappable) cost models once, so one plan is computed
+        // against one consistent model pair even if a churn event lands
+        // mid-call.
+        let (latency, flaky) = {
+            let state = self.state.lock().expect("source state poisoned");
+            (state.latency.clone(), state.flaky.clone())
+        };
+        let planned_failures = flaky
             .as_ref()
             .map(|f| f.planned_failures(access))
             .unwrap_or(0);
-        let allowed_retries = self.flaky.as_ref().map(|f| f.retries).unwrap_or(0);
+        let allowed_retries = flaky.as_ref().map(|f| f.retries).unwrap_or(0);
         let succeeds = planned_failures <= allowed_retries;
         let failed_attempts = planned_failures.min(allowed_retries + 1);
         // Round trips: every failed attempt is one; the successful attempt
@@ -251,7 +303,7 @@ impl SimulatedSource {
         };
         let trips = failed_attempts as u64 + if succeeds { pages as u64 } else { 0 };
         let mut trip_micros = Vec::new();
-        if let Some(latency) = &self.latency {
+        if let Some(latency) = &latency {
             trip_micros.extend((0..trips).map(|trip| latency.trip_micros(access, trip)));
         }
         Ok(CallPlan {
@@ -262,6 +314,7 @@ impl SimulatedSource {
             pages,
             paged: self.page_size.is_some(),
             trip_micros,
+            sleep: latency.map(|l| l.sleep).unwrap_or(false),
         })
     }
 
@@ -317,6 +370,9 @@ pub(crate) struct CallPlan {
     /// Per-round-trip latency, in microseconds (empty without a latency
     /// model).
     pub(crate) trip_micros: Vec<u64>,
+    /// Whether the latency model in force asked for real sleeps (snapshotted
+    /// with the model, so a mid-call swap cannot split the decision).
+    pub(crate) sleep: bool,
 }
 
 impl CallPlan {
@@ -342,7 +398,7 @@ impl Source for SimulatedSource {
         // threaded path realises the whole plan as one sleep; the async
         // adapter awaits the same trips one by one on the virtual clock.
         let latency_micros = plan.total_latency_micros();
-        if latency_micros > 0 && self.latency.as_ref().map(|l| l.sleep).unwrap_or(false) {
+        if latency_micros > 0 && plan.sleep {
             std::thread::sleep(Duration::from_micros(latency_micros));
         }
         if !plan.succeeds {
@@ -362,6 +418,14 @@ impl Source for SimulatedSource {
     fn reset_stats(&self) {
         let mut state = self.state.lock().expect("source state poisoned");
         state.stats = BackendStats::default();
+    }
+
+    fn set_latency(&self, latency: Option<LatencyModel>) {
+        self.state.lock().expect("source state poisoned").latency = latency;
+    }
+
+    fn set_flaky(&self, flaky: Option<FlakyModel>) {
+        self.state.lock().expect("source state poisoned").flaky = flaky;
     }
 }
 
@@ -550,6 +614,8 @@ mod tests {
             },
             pages_fetched: 2,
             simulated_latency_micros: 100,
+            breaker_trips: 0,
+            short_circuited: 0,
         };
         let b = a.merged(&a);
         assert_eq!(b.source.calls, 6);

@@ -1,0 +1,533 @@
+//! The differential scenario fuzzer: random chaos scenarios checked
+//! against the sequential oracle, with shrinking.
+//!
+//! Each [`FuzzCase`] is derived from a single `u64` seed and fully
+//! determines a scenario: a random schema/instance/query workload, a
+//! response policy, a strategy, and a churn script that kills, revives and
+//! degrades the primary provider mid-run while a replica stands by. The
+//! fuzzer runs the scenario through every concurrent execution layer —
+//! threaded, async and serving — and compares each report field-by-field
+//! against the sequential engine ([`run_case`]). Because replica failover
+//! is supposed to *hide* churn (replicas answer under the same
+//! [`ResponsePolicy`] seed, so a failed-over access returns byte-for-byte
+//! the primary's response), any divergence is a bug in the resilience
+//! layer, and [`shrink`] reduces the failing case greedily — dropping
+//! churn events, then halving the data knobs — to a minimal reproducible
+//! case whose seed and script print via `Display`.
+//!
+//! The generator keeps scenarios *sound by construction*: only the primary
+//! provider is ever killed or made flaky, so at most one replica of the
+//! pair is degraded at any time and the merge loop never observes an
+//! ultimate failure (which the sans-IO loop would silently drop,
+//! legitimately diverging from the oracle). The
+//! `unsound_replica` flag deliberately breaks that soundness — the replica
+//! answers under a perturbed policy — to prove the harness catches real
+//! divergence (see `tests/chaos_equivalence.rs`).
+
+use std::fmt;
+
+use accrel_core::SearchBudget;
+use accrel_engine::{
+    ChaosStats, DeepWebSource, Executor as _, FederatedEngine, ResponsePolicy, RunOptions,
+    RunReport, RunRequest, Strategy,
+};
+use accrel_federation::{
+    AsyncBatchScheduler, AsyncFederation, BatchScheduler, ChaosOptions, ChurnScript, Federation,
+    FlakyModel, LatencyModel, Serving, SimulatedSource,
+};
+use accrel_query::Query;
+use accrel_schema::{Configuration, Instance};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::random::{
+    generate_configuration, generate_cq, generate_instance, generate_workload, Workload,
+    WorkloadSpec,
+};
+
+/// The primary provider's name in every generated scenario.
+pub const PRIMARY: &str = "provider-a";
+/// The standby replica's name in every generated scenario.
+pub const REPLICA: &str = "provider-b";
+
+/// Virtual microseconds the sync federation's chaos clock self-advances per
+/// wire call (async federations pace on their executor clock instead).
+const SYNC_PACE_MICROS: u64 = 7;
+
+/// A fully-determined fuzz scenario. [`FuzzCase::from_seed`] derives every
+/// knob from the seed; [`shrink`] mutates the knobs (and the script)
+/// directly, so a shrunk case remains reproducible from its printed form.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FuzzCase {
+    /// Seed of the workload generators (schema, instance, query).
+    pub seed: u64,
+    /// Constant-pool size of the generated workload.
+    pub constants: usize,
+    /// Facts in the hidden instance.
+    pub facts: usize,
+    /// Atoms in the generated conjunctive query.
+    pub atoms: usize,
+    /// The access-selection strategy under test.
+    pub strategy: Strategy,
+    /// The response policy both providers answer under.
+    pub policy: ResponsePolicy,
+    /// The churn script fired against the providers.
+    pub script: ChurnScript,
+    /// When set, the replica answers under a *perturbed* policy — an
+    /// injected unsoundness the fuzzer must catch as divergence.
+    pub unsound_replica: bool,
+}
+
+impl fmt::Display for FuzzCase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "FuzzCase {{ seed: {}, constants: {}, facts: {}, atoms: {}, \
+             strategy: {:?}, policy: {:?}, unsound_replica: {} }}",
+            self.seed,
+            self.constants,
+            self.facts,
+            self.atoms,
+            self.strategy,
+            self.policy,
+            self.unsound_replica
+        )?;
+        for event in self.script.events() {
+            writeln!(f, "  @{}µs {:?}", event.at_micros, event.action)?;
+        }
+        Ok(())
+    }
+}
+
+impl FuzzCase {
+    /// Derives a scenario from `seed`. Same seed, same case — including a
+    /// byte-identical churn script (pinned by the determinism test).
+    pub fn from_seed(seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed_cafe_d00d_f00d);
+        let constants = rng.gen_range(3..8);
+        let facts = rng.gen_range(6..29);
+        let atoms = rng.gen_range(1..4);
+        let strategy = Strategy::all()[rng.gen_range(0..Strategy::all().len())];
+        let policy = match rng.gen_range(0..3) {
+            0 => ResponsePolicy::Exact,
+            1 => ResponsePolicy::FirstK(rng.gen_range(1..5)),
+            _ => ResponsePolicy::SoundSample {
+                probability: 0.3 + 0.5 * rng.gen::<f64>(),
+                seed: rng.gen(),
+            },
+        };
+        let script = generate_script(&mut rng);
+        Self {
+            seed,
+            constants,
+            facts,
+            atoms,
+            strategy,
+            policy,
+            script,
+            unsound_replica: false,
+        }
+    }
+
+    /// The policy the replica answers under: the primary's, unless the case
+    /// injects unsoundness.
+    fn replica_policy(&self) -> ResponsePolicy {
+        if !self.unsound_replica {
+            return self.policy.clone();
+        }
+        match &self.policy {
+            ResponsePolicy::Exact => ResponsePolicy::FirstK(1),
+            ResponsePolicy::FirstK(k) => ResponsePolicy::FirstK(k.saturating_sub(1)),
+            ResponsePolicy::SoundSample { probability, seed } => ResponsePolicy::SoundSample {
+                probability: *probability,
+                seed: seed.wrapping_add(1),
+            },
+        }
+    }
+
+    /// Materialises the workload data: schema+methods, hidden instance,
+    /// initial configuration and query. Pure function of the case's knobs.
+    pub fn materialize(&self) -> (Workload, Instance, Configuration, Query) {
+        let spec = WorkloadSpec {
+            relations: 3,
+            arity: 2,
+            domains: 2,
+            constants: self.constants.max(2),
+            dependent_fraction: 0.5,
+        };
+        let mut rng = StdRng::seed_from_u64(self.seed ^ 0xda7a_5a17_0000_0001);
+        let workload = generate_workload(&spec, &mut rng);
+        let instance = generate_instance(&workload, self.facts.max(1), &mut rng);
+        let initial = generate_configuration(&workload, (self.facts / 6).max(1), &mut rng);
+        let query: Query = generate_cq(
+            &workload,
+            self.atoms.max(1),
+            self.atoms.max(1) + 1,
+            0.7,
+            &mut rng,
+        )
+        .into();
+        (workload, instance, initial, query)
+    }
+
+    /// The run options every layer (and the oracle) executes under.
+    pub fn options(&self) -> RunOptions {
+        RunOptions {
+            max_accesses: 16,
+            budget: SearchBudget::shallow(),
+            batch_size: 3,
+            workers: 2,
+            ..RunOptions::default()
+        }
+    }
+}
+
+/// Generates a churn script that only ever degrades the primary (so the
+/// standby replica is always healthy and failover can hide every failure):
+/// kills and revives alternate on the primary, flaky/latency swaps target
+/// the primary, and the replica only ever receives harmless latency swaps.
+fn generate_script(rng: &mut StdRng) -> ChurnScript {
+    let mut builder = ChurnScript::builder();
+    let mut at = 0u64;
+    let mut primary_alive = true;
+    for _ in 0..rng.gen_range(0..6) {
+        at += rng.gen_range(5u64..80);
+        if primary_alive {
+            match rng.gen_range(0..4) {
+                0 => {
+                    builder = builder.kill(at, PRIMARY);
+                    primary_alive = false;
+                }
+                1 => {
+                    let flaky = (rng.gen::<f64>() < 0.7).then(|| FlakyModel {
+                        period: rng.gen_range(1..4),
+                        fail_attempts: rng.gen_range(1..5),
+                        retries: rng.gen_range(0..3),
+                    });
+                    builder = builder.set_flaky(at, PRIMARY, flaky);
+                }
+                2 => {
+                    let latency = (rng.gen::<f64>() < 0.7)
+                        .then(|| LatencyModel::recorded(rng.gen_range(10u64..200)));
+                    builder = builder.set_latency(at, PRIMARY, latency);
+                }
+                _ => {
+                    builder = builder.set_latency(
+                        at,
+                        REPLICA,
+                        Some(LatencyModel::recorded(rng.gen_range(10u64..200))),
+                    );
+                }
+            }
+        } else if rng.gen::<f64>() < 0.6 {
+            builder = builder.revive(at, PRIMARY);
+            primary_alive = true;
+        } else {
+            builder = builder.set_latency(at, REPLICA, None);
+        }
+    }
+    builder.build()
+}
+
+/// Where a concurrent layer diverged from the sequential oracle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Divergence {
+    /// The diverging execution layer (`"threaded"`, `"async"`, `"serving"`).
+    pub executor: &'static str,
+    /// The first report field that differed.
+    pub field: &'static str,
+}
+
+/// Outcome of running one case through every layer.
+#[derive(Debug)]
+pub struct CaseOutcome {
+    /// The first divergence found, if any.
+    pub divergence: Option<Divergence>,
+    /// Chaos traffic summed across the three concurrent layers.
+    pub chaos: ChaosStats,
+    /// The sequential oracle's report (the ground truth the layers were
+    /// compared against).
+    pub oracle: RunReport,
+}
+
+/// Compares a concurrent layer's report against the oracle, field by field,
+/// in the order the sequential-equivalence invariant lists them.
+fn first_differing_field(report: &RunReport, oracle: &RunReport) -> Option<&'static str> {
+    if report.access_sequence != oracle.access_sequence {
+        return Some("access_sequence");
+    }
+    if report.relevance_verdicts != oracle.relevance_verdicts {
+        return Some("relevance_verdicts");
+    }
+    if report.certain != oracle.certain {
+        return Some("certain");
+    }
+    if report.answers != oracle.answers {
+        return Some("answers");
+    }
+    if !report
+        .final_configuration
+        .same_facts(&oracle.final_configuration)
+    {
+        return Some("final_configuration");
+    }
+    None
+}
+
+/// Runs `case` through the sequential oracle and the three concurrent
+/// layers (threaded, async, serving), each over a primary+replica pair
+/// under the case's churn script, and reports the first divergence.
+pub fn run_case(case: &FuzzCase) -> CaseOutcome {
+    let (workload, instance, initial, query) = case.materialize();
+    let methods = workload.methods.clone();
+    let names: Vec<&str> = methods.iter().map(|(_, m)| m.name()).collect();
+    let options = case.options();
+
+    let oracle_source = DeepWebSource::new(instance.clone(), methods.clone(), case.policy.clone());
+    let oracle = FederatedEngine::new(&oracle_source, query.clone(), case.strategy)
+        .with_options(options.clone())
+        .run(&initial);
+
+    // Both providers carry a (virtual) latency model from the start: the
+    // async federations' chaos clocks only advance as awaited latencies
+    // elapse, so latency-free sources would never reach any script deadline.
+    let primary = || {
+        SimulatedSource::exact(PRIMARY, instance.clone(), methods.clone())
+            .with_policy(case.policy.clone())
+            .with_latency(LatencyModel::recorded(15))
+    };
+    let replica = || {
+        SimulatedSource::exact(REPLICA, instance.clone(), methods.clone())
+            .with_policy(case.replica_policy())
+            .with_latency(LatencyModel::recorded(25))
+    };
+
+    let mut chaos = ChaosStats::default();
+    let mut divergence = None;
+
+    // Threaded: the sync federation paces the chaos clock per wire call.
+    let threaded_federation = Federation::builder(methods.clone())
+        .source(primary(), &names)
+        .expect("primary registers")
+        .replica(replica(), &names)
+        .expect("replica registers")
+        .with_chaos(ChaosOptions::scripted(
+            case.script.clone(),
+            SYNC_PACE_MICROS,
+        ))
+        .build()
+        .expect("federation builds");
+    let threaded = BatchScheduler::new(&threaded_federation, query.clone(), case.strategy)
+        .with_options(options.clone())
+        .run(&initial);
+    chaos = chaos.merged(&threaded.chaos);
+    if divergence.is_none() {
+        divergence = first_differing_field(&threaded, &oracle).map(|field| Divergence {
+            executor: "threaded",
+            field,
+        });
+    }
+
+    // Async: the chaos script fires on the federation's executor clock.
+    let async_federation = AsyncFederation::builder(methods.clone())
+        .simulated(primary(), &names)
+        .expect("primary registers")
+        .simulated_replica(replica(), &names)
+        .expect("replica registers")
+        .with_chaos(ChaosOptions::scripted(case.script.clone(), 0))
+        .build()
+        .expect("federation builds");
+    let asynced = AsyncBatchScheduler::new(&async_federation, query.clone(), case.strategy)
+        .with_options(options.clone())
+        .run(&initial);
+    chaos = chaos.merged(&asynced.chaos);
+    if divergence.is_none() {
+        divergence = first_differing_field(&asynced, &oracle).map(|field| Divergence {
+            executor: "async",
+            field,
+        });
+    }
+
+    // Serving: one session on the multi-tenant registry, same chaos.
+    let serving_federation = AsyncFederation::builder(methods.clone())
+        .simulated(primary(), &names)
+        .expect("primary registers")
+        .simulated_replica(replica(), &names)
+        .expect("replica registers")
+        .with_chaos(ChaosOptions::scripted(case.script.clone(), 0))
+        .build()
+        .expect("federation builds");
+    let serving = Serving::new(&serving_federation);
+    let request = RunRequest::new(query)
+        .with_strategy(case.strategy)
+        .with_options(options);
+    let served = serving.execute(&request, &initial);
+    chaos = chaos.merged(&served.chaos);
+    if divergence.is_none() {
+        divergence = first_differing_field(&served, &oracle).map(|field| Divergence {
+            executor: "serving",
+            field,
+        });
+    }
+
+    CaseOutcome {
+        divergence,
+        chaos,
+        oracle,
+    }
+}
+
+/// Greedily shrinks a diverging case to a minimal one that still diverges:
+/// first drop churn events one at a time, then halve the data knobs
+/// (constants, facts, atoms). Returns the case unchanged if it does not
+/// diverge to begin with.
+pub fn shrink(case: &FuzzCase) -> FuzzCase {
+    let mut current = case.clone();
+    if run_case(&current).divergence.is_none() {
+        return current;
+    }
+    loop {
+        let mut improved = false;
+        for i in 0..current.script.len() {
+            let candidate = FuzzCase {
+                script: current.script.without_event(i),
+                ..current.clone()
+            };
+            if run_case(&candidate).divergence.is_some() {
+                current = candidate;
+                improved = true;
+                break;
+            }
+        }
+        if improved {
+            continue;
+        }
+        for mutate in [
+            |c: &FuzzCase| FuzzCase {
+                constants: (c.constants / 2).max(2),
+                ..c.clone()
+            },
+            |c: &FuzzCase| FuzzCase {
+                facts: (c.facts / 2).max(1),
+                ..c.clone()
+            },
+            |c: &FuzzCase| FuzzCase {
+                atoms: (c.atoms / 2).max(1),
+                ..c.clone()
+            },
+        ] {
+            let candidate = mutate(&current);
+            if candidate != current && run_case(&candidate).divergence.is_some() {
+                current = candidate;
+                improved = true;
+                break;
+            }
+        }
+        if !improved {
+            return current;
+        }
+    }
+}
+
+/// A confirmed, shrunk divergence.
+#[derive(Debug)]
+pub struct FuzzFailure {
+    /// The original seed that produced the divergence.
+    pub seed: u64,
+    /// The shrunk minimal case (print it — it reproduces the bug).
+    pub minimal: FuzzCase,
+    /// Where the minimal case diverges.
+    pub divergence: Divergence,
+}
+
+/// Aggregate outcome of a fuzz sweep.
+#[derive(Debug, Default)]
+pub struct FuzzSummary {
+    /// Seeds run.
+    pub cases: usize,
+    /// Total churn events fired across every layer of every case.
+    pub churn_events: usize,
+    /// Total failovers across every layer of every case.
+    pub failovers: usize,
+    /// Total breaker trips across every layer of every case.
+    pub breaker_trips: usize,
+    /// Shrunk divergences (empty on a green sweep).
+    pub failures: Vec<FuzzFailure>,
+}
+
+/// Runs `count` seeded cases starting at `base_seed`, shrinking any
+/// divergence to a minimal reproducible case.
+pub fn fuzz(base_seed: u64, count: usize) -> FuzzSummary {
+    let mut summary = FuzzSummary::default();
+    for i in 0..count {
+        let seed = base_seed.wrapping_add(i as u64);
+        let case = FuzzCase::from_seed(seed);
+        let outcome = run_case(&case);
+        summary.cases += 1;
+        summary.churn_events += outcome.chaos.churn_events;
+        summary.failovers += outcome.chaos.failovers;
+        summary.breaker_trips += outcome.chaos.breaker_trips;
+        if let Some(divergence) = outcome.divergence {
+            let minimal = shrink(&case);
+            summary.failures.push(FuzzFailure {
+                seed,
+                minimal,
+                divergence,
+            });
+        }
+    }
+    summary
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_yields_byte_identical_case_and_verdicts() {
+        for seed in [0u64, 1, 7, 42] {
+            let a = FuzzCase::from_seed(seed);
+            let b = FuzzCase::from_seed(seed);
+            assert_eq!(a, b, "seed {seed} must regenerate the same case");
+            assert_eq!(a.script, b.script);
+            let ra = run_case(&a);
+            let rb = run_case(&b);
+            assert_eq!(ra.divergence, rb.divergence);
+            assert_eq!(
+                ra.oracle.relevance_verdicts, rb.oracle.relevance_verdicts,
+                "seed {seed} must reproduce the verdict log"
+            );
+            assert_eq!(ra.oracle.access_sequence, rb.oracle.access_sequence);
+        }
+    }
+
+    #[test]
+    fn sound_cases_never_diverge() {
+        let summary = fuzz(1000, 10);
+        assert_eq!(summary.cases, 10);
+        assert!(
+            summary.failures.is_empty(),
+            "sound scenarios diverged: {:?}",
+            summary.failures
+        );
+    }
+
+    #[test]
+    fn generated_scripts_only_degrade_the_primary() {
+        use accrel_federation::ChurnAction;
+        for seed in 0..50u64 {
+            let case = FuzzCase::from_seed(seed);
+            for event in case.script.events() {
+                match &event.action {
+                    ChurnAction::Kill(name) | ChurnAction::Revive(name) => {
+                        assert_eq!(name, PRIMARY, "only the primary may die (seed {seed})");
+                    }
+                    ChurnAction::SetFlaky(name, _) => {
+                        assert_eq!(name, PRIMARY, "only the primary may flake (seed {seed})");
+                    }
+                    ChurnAction::SetLatency(_, _) => {}
+                }
+            }
+        }
+    }
+}

@@ -16,11 +16,16 @@
 //!   scaling experiments (E1, E2, E5) and the property-based tests;
 //! * [`scenarios`] — synthetic deep-Web scenarios (chains and stars of
 //!   dependent sources) complementing the bank scenario of
-//!   `accrel-engine`, used by the engine ablation (E7).
+//!   `accrel-engine`, used by the engine ablation (E7);
+//! * [`differential`] — the chaos scenario fuzzer: seeded random
+//!   schema/query/policy/churn-script tuples run through every concurrent
+//!   execution layer and compared against the sequential oracle, with
+//!   greedy shrinking of any divergence to a minimal reproducible case.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod differential;
 pub mod encodings;
 pub mod random;
 pub mod scenarios;

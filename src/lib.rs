@@ -122,6 +122,13 @@ pub mod prelude {
         note = "renamed to `RunOptions` (in_flight is now `workers`)"
     )]
     pub type AsyncBatchOptions = accrel_engine::RunOptions;
+    /// The chaos layer: deterministic churn scripts, per-source circuit
+    /// breakers and replica failover over either federation runtime, plus
+    /// the replayable run journal.
+    pub use accrel_federation::{
+        BreakerOptions, BreakerState, ChaosOptions, ChurnAction, ChurnEvent, ChurnScript,
+        ChurnScriptBuilder, RunJournal,
+    };
     /// The multi-tenant serving layer: a [`QuerySessionRegistry`] admits
     /// concurrent query sessions over one shared federation, deduplicating
     /// in-flight accesses and sharing relevance verdicts across them.
@@ -154,7 +161,7 @@ pub mod prelude {
             RelevanceKind, RelevanceOracle, SharedVerdictCache, VerdictRecord,
         };
         /// Per-run statistics types surfaced inside `RunReport`.
-        pub use accrel_engine::{BatchStats, SourceStats};
+        pub use accrel_engine::{BatchStats, ChaosStats, SourceStats};
         /// The single-threaded virtual-clock mini-executor the async
         /// runtime and the serving layer run on. (`Executor` here is the
         /// task runtime — the *run API* trait of the same name lives in the
@@ -168,6 +175,9 @@ pub mod prelude {
         };
         /// Backend statistics and error types of the federation runtime.
         pub use accrel_federation::{BackendStats, FederationError, SourceError, SourceFuture};
+        /// The chaos controller and breaker state machine behind the
+        /// prelude-level churn scripts.
+        pub use accrel_federation::{ChaosController, CircuitBreaker};
         /// Fact storage: the copy-on-write sharded store behind
         /// `Configuration`, and its identifiers.
         pub use accrel_schema::{FactStore, RelationId};

@@ -53,3 +53,8 @@ fn example_relevance_vs_containment_runs() {
 fn example_tiling_workloads_runs() {
     run_example("tiling_workloads");
 }
+
+#[test]
+fn example_chaos_federation_runs() {
+    run_example("chaos_federation");
+}

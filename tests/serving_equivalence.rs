@@ -163,6 +163,56 @@ fn random_serving_grid_matches_sequential() {
 }
 
 #[test]
+fn per_source_traffic_in_the_serving_report_balances_the_aggregate() {
+    use accrel::prelude::internals::{ChaosStats, SourceStats};
+
+    // A flaky backend whose failures are all absorbed by retries: the serve
+    // still matches the oracle elsewhere, and the new per-source ledger must
+    // expose the retry traffic that the aggregate alone would hide.
+    let scenario = bank_scenario();
+    let flaky = SimulatedSource::exact(
+        "flaky-bank",
+        scenario.instance.clone(),
+        scenario.methods.clone(),
+    )
+    .with_flaky(FlakyModel {
+        period: 2,
+        fail_attempts: 1,
+        retries: 3,
+    });
+    let federation = AsyncFederation::single_simulated(flaky);
+    let registry = QuerySessionRegistry::new(&federation);
+    let requests: Vec<RunRequest> = (0..2)
+        .map(|_| {
+            RunRequest::new(scenario.query.clone())
+                .with_strategy(Strategy::Exhaustive)
+                .with_options(run_options())
+        })
+        .collect();
+    let report = registry.serve(&requests, &scenario.initial_configuration);
+
+    assert_eq!(report.per_source.len(), 1);
+    let (name, stats) = &report.per_source[0];
+    assert_eq!(name, "flaky-bank");
+    assert!(
+        stats.source.retries > 0,
+        "flaky calls must surface as retries"
+    );
+    assert_eq!(
+        stats.source.failures, 0,
+        "every transient failure is absorbed by the retry budget"
+    );
+    // The per-source views partition the aggregate exactly.
+    let summed = report
+        .per_source
+        .iter()
+        .fold(SourceStats::default(), |acc, (_, s)| acc.merged(&s.source));
+    assert_eq!(summed, report.aggregate.source);
+    // No chaos controller attached: the chaos ledger stays all-zero.
+    assert_eq!(report.chaos, ChaosStats::default());
+}
+
+#[test]
 fn dedup_strictly_reduces_aggregate_backend_traffic() {
     // Identical overlapping sessions must share wire calls: the aggregate
     // backend counters (each wire call counted once) stay strictly below

@@ -4,9 +4,15 @@
 //! oracle. Any divergence is shrunk to a minimal reproducing case and
 //! printed; the process exits non-zero so CI can gate on it.
 //!
+//! With `--invalidation-seeds <N>` the sweep additionally diffs **exact
+//! read-set invalidation** against the relation-level baseline on each
+//! case (identical observable run, verdict-log subsequence, never more
+//! re-checks or evictions).
+//!
 //! ```text
 //! cargo run --release -p accrel-bench --bin fuzz -- --seeds 25
 //! cargo run --release -p accrel-bench --bin fuzz -- --seeds 100 --base-seed 4242
+//! cargo run --release -p accrel-bench --bin fuzz -- --seeds 25 --invalidation-seeds 25
 //! ```
 
 use std::process::ExitCode;
@@ -16,6 +22,7 @@ use accrel_workloads::differential;
 fn main() -> ExitCode {
     let mut seeds = 25usize;
     let mut base_seed = 0u64;
+    let mut invalidation_seeds = 0usize;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -26,6 +33,10 @@ fn main() -> ExitCode {
             "--base-seed" => match args.next().and_then(|v| v.parse().ok()) {
                 Some(n) => base_seed = n,
                 None => return usage("--base-seed takes a u64"),
+            },
+            "--invalidation-seeds" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) => invalidation_seeds = n,
+                None => return usage("--invalidation-seeds takes a count"),
             },
             "--help" | "-h" => return usage(""),
             other => return usage(&format!("unknown argument `{other}`")),
@@ -39,34 +50,70 @@ fn main() -> ExitCode {
         summary.cases, summary.churn_events, summary.failovers, summary.breaker_trips
     );
 
+    let mut failed = false;
     if summary.failures.is_empty() {
         println!(
             "\nall {} cases agree with the sequential oracle",
             summary.cases
         );
-        return ExitCode::SUCCESS;
-    }
-    for failure in &summary.failures {
-        println!(
-            "\nseed {} diverged ({:?} differs under {:?}); minimal reproducing case:\n{}",
-            failure.seed, failure.divergence.field, failure.divergence.executor, failure.minimal
+    } else {
+        for failure in &summary.failures {
+            println!(
+                "\nseed {} diverged ({:?} differs under {:?}); minimal reproducing case:\n{}",
+                failure.seed,
+                failure.divergence.field,
+                failure.divergence.executor,
+                failure.minimal
+            );
+        }
+        eprintln!(
+            "\n{} of {} cases diverged",
+            summary.failures.len(),
+            summary.cases
         );
+        failed = true;
     }
-    eprintln!(
-        "\n{} of {} cases diverged",
-        summary.failures.len(),
-        summary.cases
-    );
-    ExitCode::FAILURE
+
+    if invalidation_seeds > 0 {
+        println!(
+            "\n# invalidation differential: {invalidation_seeds} seeds from base {base_seed} \
+             (exact read-set vs relation-level)"
+        );
+        let inv = differential::fuzz_invalidation(base_seed, invalidation_seeds);
+        println!(
+            "cases run      : {}\nexact misses   : {}\nbaseline misses: {}",
+            inv.cases, inv.exact_misses, inv.relation_misses
+        );
+        if inv.failures.is_empty() {
+            println!(
+                "all {} cases: exact invalidation matches the relation-level baseline \
+                 (and never re-checks more)",
+                inv.cases
+            );
+        } else {
+            for (seed, field) in &inv.failures {
+                eprintln!("seed {seed}: invalidation invariant `{field}` broken");
+            }
+            failed = true;
+        }
+    }
+
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
 }
 
 fn usage(error: &str) -> ExitCode {
     if !error.is_empty() {
         eprintln!("error: {error}\n");
     }
-    println!("usage: fuzz [--seeds <count>] [--base-seed <u64>]");
-    println!("  --seeds <count>    number of consecutive seeds to run (default 25)");
-    println!("  --base-seed <u64>  first seed of the sweep (default 0)");
+    println!("usage: fuzz [--seeds <count>] [--base-seed <u64>] [--invalidation-seeds <count>]");
+    println!("  --seeds <count>               number of consecutive seeds to run (default 25)");
+    println!("  --base-seed <u64>             first seed of the sweep (default 0)");
+    println!("  --invalidation-seeds <count>  also diff exact read-set invalidation against");
+    println!("                                the relation-level baseline over <count> seeds");
     if error.is_empty() {
         ExitCode::SUCCESS
     } else {

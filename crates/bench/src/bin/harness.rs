@@ -31,6 +31,7 @@ enum Mode {
     Full,
     Smoke,
     Million,
+    CheckInvalidation,
 }
 
 fn main() -> ExitCode {
@@ -41,6 +42,7 @@ fn main() -> ExitCode {
         match arg.as_str() {
             "--smoke" => mode = Mode::Smoke,
             "--million" => mode = Mode::Million,
+            "--check-invalidation" => mode = Mode::CheckInvalidation,
             "--out" => match args.next() {
                 Some(p) => out_path = Some(p),
                 None => {
@@ -49,10 +51,16 @@ fn main() -> ExitCode {
                 }
             },
             "--help" | "-h" => {
-                println!("usage: harness [--smoke | --million] [--out <path>]");
+                println!(
+                    "usage: harness [--smoke | --million | --check-invalidation] [--out <path>]"
+                );
                 println!();
                 println!("  --smoke       run each experiment fixture once and write JSON");
                 println!("  --million     run only the 10^6-fact E5/F1 sweeps and write JSON");
+                println!("  --check-invalidation");
+                println!("                assert exact read-set invalidation re-runs strictly");
+                println!("                fewer decision procedures per round than the");
+                println!("                relation-level baseline on the dependent E5 workload");
                 println!("  --out <path>  JSON output path (default BENCH_smoke.json /");
                 println!("                BENCH_million.json)");
                 return ExitCode::SUCCESS;
@@ -63,9 +71,24 @@ fn main() -> ExitCode {
             }
         }
     }
-    if out_path.is_some() && mode == Mode::Full {
+    if out_path.is_some() && (mode == Mode::Full || mode == Mode::CheckInvalidation) {
         eprintln!("error: --out only applies to --smoke / --million runs");
         return ExitCode::FAILURE;
+    }
+    if mode == Mode::CheckInvalidation {
+        return match runner::check_invalidation_savings() {
+            Ok((exact, relation)) => {
+                println!(
+                    "exact read-set invalidation: {exact} decision procedures re-run vs \
+                     {relation} relation-level — saving intact"
+                );
+                ExitCode::SUCCESS
+            }
+            Err(message) => {
+                eprintln!("error: {message}");
+                ExitCode::FAILURE
+            }
+        };
     }
     let out_path = out_path.unwrap_or_else(|| {
         String::from(match mode {
@@ -86,6 +109,7 @@ fn main() -> ExitCode {
         Mode::Smoke => runner::run_smoke(),
         Mode::Million => runner::run_million(),
         Mode::Full => runner::run_all(),
+        Mode::CheckInvalidation => unreachable!("handled above"),
     };
     for table in &tables {
         println!("{}", table.to_markdown());

@@ -281,6 +281,45 @@ mod tests {
     }
 
     #[test]
+    fn tolerates_baselines_predating_the_invalidation_series() {
+        // A baseline recorded before the F1 invalidation series existed:
+        // its rows are one-sided and must be skipped, while shared rows
+        // still compare. `re-checks/round` and `evictions` are semantic
+        // counters — they are never timing-regression-checked; only the
+        // series' wall-time row is.
+        let exact = "E5 federation (invalidation, exact)";
+        let relation = "E5 federation (invalidation, relation-level)";
+        let baseline = vec![row("E1", "CQ", "1", "median µs", 10.0)];
+        let fresh = vec![
+            row("E1", "CQ", "1", "median µs", 11.0),
+            row("F1", exact, "4", "re-checks/round", 90.0),
+            row("F1", exact, "4", "evictions", 120.0),
+            row("F1", exact, "4", "wall µs/access", 150.0),
+            row("F1", relation, "4", "re-checks/round", 115.0),
+            row("F1", relation, "4", "evictions", 180.0),
+            row("F1", relation, "4", "wall µs/access", 140.0),
+        ];
+        let report = compare_rows(&baseline, &fresh, 2.0);
+        assert_eq!(report.compared, 1);
+        assert!(report.regressions.is_empty());
+
+        // Once both sides carry the series, only its wall-time rows are
+        // regression-checked; a counter jump is a semantic diff, not perf.
+        let aged = vec![
+            row("F1", exact, "4", "wall µs/access", 100.0),
+            row("F1", exact, "4", "re-checks/round", 90.0),
+        ];
+        let regressed = vec![
+            row("F1", exact, "4", "wall µs/access", 500.0),
+            row("F1", exact, "4", "re-checks/round", 300.0),
+        ];
+        let report = compare_rows(&aged, &regressed, 2.0);
+        assert_eq!(report.compared, 1, "counter rows are not timing rows");
+        assert_eq!(report.regressions.len(), 1);
+        assert_eq!(report.regressions[0].key.3, "wall µs/access");
+    }
+
+    #[test]
     fn counters_and_noise_floors_are_not_regressions() {
         let baseline = vec![
             row("E5", "configuration facts", "10", "count", 10.0),

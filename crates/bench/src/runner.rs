@@ -8,8 +8,8 @@ use accrel_core::{
     is_contained, is_immediately_relevant, is_long_term_relevant, ltr_independent, reductions,
 };
 use accrel_engine::{
-    compare_strategies, DeepWebSource, Executor, RelevanceKind, ResponsePolicy, RunOptions,
-    RunRequest, Sequential, SpeculationMode, Strategy,
+    compare_strategies, DeepWebSource, Executor, InvalidationMode, RelevanceKind, ResponsePolicy,
+    RunOptions, RunRequest, Sequential, SpeculationMode, Strategy,
 };
 use accrel_federation::{
     parallel_relevance_sweep_report, AsyncBatchScheduler, BatchScheduler, ChurnScript, FlakyModel,
@@ -627,6 +627,56 @@ pub fn f1_federation_sweep(
             report.trail_ops.undone as f64,
         ));
     }
+    // Exact read-set invalidation against its relation-level baseline on a
+    // **relevance-guided** growing run (the exhaustive strategy never
+    // consults the oracle; the E5 workload is fully dependent, so every
+    // response grows a relation other verdicts depend on). The headline
+    // metric is **re-checks/round** — decision procedures re-run per growth
+    // round after cache invalidation. Exact invalidation only re-verifies a
+    // verdict when a response inserted a pair its procedure actually read,
+    // so its row must never exceed the relation-level one; the answers are
+    // pinned byte-for-byte by the equivalence suite and the differential
+    // fuzzer.
+    for (mode_label, invalidation) in [
+        ("exact", InvalidationMode::Exact),
+        ("relation-level", InvalidationMode::RelationLevel),
+    ] {
+        slept.federation.reset_stats();
+        let inv_batch = 4usize;
+        let options = RunOptions {
+            max_accesses: max_accesses.min(24),
+            stop_when_certain: false,
+            batch_size: inv_batch,
+            workers: inv_batch,
+            invalidation,
+            budget: accrel_core::SearchBudget::shallow(),
+            ..RunOptions::default()
+        };
+        let start = Instant::now();
+        let report = BatchScheduler::new(&slept.federation, slept.query.clone(), Strategy::Hybrid)
+            .with_options(options)
+            .run(&slept.initial);
+        let wall = start.elapsed().as_secs_f64() * 1e6;
+        let series = format!("E5 federation (invalidation, {mode_label})");
+        rows.push(Row::new(
+            series.clone(),
+            inv_batch,
+            "re-checks/round",
+            report.relevance_cache_misses as f64 / report.rounds.max(1) as f64,
+        ));
+        rows.push(Row::new(
+            series.clone(),
+            inv_batch,
+            "evictions",
+            report.evictions as f64,
+        ));
+        rows.push(Row::new(
+            series,
+            inv_batch,
+            "wall µs/access",
+            wall / report.accesses_made.max(1) as f64,
+        ));
+    }
     // Parallel relevance sweep over the candidate accesses of the seed
     // configuration. The slept fixture is reused — the sweep runs the IR
     // decision procedure, never a source call, so the latency models are
@@ -1029,6 +1079,46 @@ pub fn run_smoke() -> Vec<Table> {
         f3_serving_sweep(&world, 48, &[1, 4, 16]),
         f4_chaos_sweep(&world, 48),
     ]
+}
+
+/// The non-blocking CI assertion behind `harness --check-invalidation`: on
+/// the dependent-method bank scenario under the hybrid strategy — the
+/// workload whose value-specific reads give exact invalidation the most to
+/// keep — the exact mode must re-run **strictly fewer** decision procedures
+/// than the relation-level baseline (the answers are pinned identical by
+/// the equivalence suite; this guards the saving itself). Returns the
+/// `(exact, relation-level)` total re-check pair, or an error when the
+/// saving vanished.
+pub fn check_invalidation_savings() -> Result<(usize, usize), String> {
+    let scenario = accrel_engine::scenarios::bank_scenario();
+    let source = DeepWebSource::new(
+        scenario.instance.clone(),
+        scenario.methods.clone(),
+        ResponsePolicy::Exact,
+    );
+    let mut per_mode = Vec::new();
+    for invalidation in [InvalidationMode::Exact, InvalidationMode::RelationLevel] {
+        let options = RunOptions {
+            stop_when_certain: false,
+            invalidation,
+            ..RunOptions::default()
+        };
+        let report =
+            accrel_engine::FederatedEngine::new(&source, scenario.query.clone(), Strategy::Hybrid)
+                .with_options(options)
+                .run(&scenario.initial_configuration);
+        per_mode.push(report.relevance_cache_misses);
+    }
+    let (exact, relation) = (per_mode[0], per_mode[1]);
+    if exact < relation {
+        Ok((exact, relation))
+    } else {
+        Err(format!(
+            "exact read-set invalidation no longer saves re-checks on the dependent-method \
+             bank workload: {exact} decision procedures re-run (exact) vs {relation} \
+             (relation-level)"
+        ))
+    }
 }
 
 /// The million-fact job: the E5 data-complexity point plus the F1

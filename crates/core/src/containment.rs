@@ -119,7 +119,7 @@ fn disjunct_non_containment(
     budget: &SearchBudget,
 ) -> Option<NonContainmentWitness> {
     let mut fresh = FreshSupply::above(
-        conf.all_values()
+        conf.all_values_untracked()
             .iter()
             .chain(disjunct.constants().iter().collect::<Vec<_>>()),
     );

@@ -199,7 +199,7 @@ fn disjunct_witness(
 
     // Ground the witness: unbound variables get distinct fresh values, and
     // the atoms charged to the access become the increasing response.
-    let mut fresh = FreshSupply::above(conf.all_values().iter());
+    let mut fresh = FreshSupply::above(conf.all_values_untracked().iter());
     let mut full: HashMap<VarId, Value> = valuation.as_map().clone();
     for v in disjunct.variables() {
         full.entry(v).or_insert_with(|| fresh.next_value());

@@ -93,7 +93,7 @@ pub fn is_ltr_dependent_trailed(
     // on the input positions and fresh values on the output positions. Its
     // values are offered to the valuation enumeration and to producibility.
     let mut fresh = FreshSupply::above(
-        conf.all_values()
+        conf.all_values_untracked()
             .iter()
             .chain(query.constants().iter().collect::<Vec<_>>()),
     );

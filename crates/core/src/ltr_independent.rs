@@ -239,7 +239,7 @@ fn disjunct_has_witness(
         access_relation,
         input_positions,
         methods,
-        fresh: FreshSupply::above(conf.all_values().iter()),
+        fresh: FreshSupply::above(conf.all_values_untracked().iter()),
     };
     // Leaf budget: the search is complete relative to it (same contract as
     // the valuation cap of the dependent procedures).

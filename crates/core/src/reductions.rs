@@ -78,7 +78,7 @@ fn head_substitutions(
     if free.is_empty() {
         return vec![HashMap::new()];
     }
-    let mut fresh = FreshSupply::above(conf.all_values().iter());
+    let mut fresh = FreshSupply::above(conf.all_values_untracked().iter());
     let adom = conf.active_domain();
     // Candidate values per head position: configuration constants of the
     // position's domain plus one fresh constant specific to that position.

@@ -1,11 +1,15 @@
 //! The relevance-guided federated query engine.
 //!
 //! [`FederatedEngine::run`] is *incremental*: relevance verdicts are cached
-//! per candidate access together with the set of relations the verdict
-//! inspected, and are invalidated only when a response actually adds facts
-//! to one of those relations. Rounds whose responses were empty (Boolean
-//! probes that missed, exhausted accesses) re-use every verdict from the
-//! previous round instead of re-running the decision procedures. Cache
+//! per candidate access together with the exact set of `(relation, value)`
+//! pairs the decision procedure consulted (see
+//! [`accrel_schema::ReadSet`]), and are evicted only when a committed
+//! insert event touches a pair the verdict read — or, under
+//! [`crate::InvalidationMode::RelationLevel`], when a response adds facts
+//! to a relation in the verdict's coarse dependency set. Rounds whose
+//! responses were empty (Boolean probes that missed, exhausted accesses) or
+//! merely duplicated known facts re-use every verdict from the previous
+//! round instead of re-running the decision procedures. Cache
 //! traffic is reported in [`RunReport::relevance_cache_hits`] /
 //! [`RunReport::relevance_cache_misses`], and
 //! [`RunReport::access_sequence`] records the executed accesses in order so
@@ -174,6 +178,16 @@ pub struct RunReport {
     /// running a decision procedure. Always zero outside the serving layer
     /// of `accrel-federation`.
     pub relevance_shared_hits: usize,
+    /// Total `(relation, value)`-grade read-set entries recorded across the
+    /// run's decision-procedure invocations. Zero under
+    /// [`crate::InvalidationMode::RelationLevel`] or with the cache off.
+    pub reads_tracked: usize,
+    /// Cached relevance verdicts evicted by growing responses — per touched
+    /// read under exact invalidation, per dep relation under relation-level.
+    pub evictions: usize,
+    /// Insert events drained by exact invalidation (one per committed
+    /// response row; zero under relation-level invalidation).
+    pub events_drained: usize,
     /// The accesses executed, in execution order (for comparing cached and
     /// uncached runs).
     pub access_sequence: Vec<Access>,
@@ -249,6 +263,9 @@ impl<'a> FederatedEngine<'a> {
         // initial shards now means trail-backed relevance probes never pay
         // a lazy copy-on-write detach mid-speculation.
         conf.own_all_shards();
+        // Committed inserts queue invalidation events for the oracle;
+        // speculative (trailed) inserts roll back without queueing.
+        conf.set_event_capture(true);
         let copies_before = conf.shard_copies();
         let trail_before = conf.trail_ops();
         let mut accesses_made = 0usize;
@@ -308,10 +325,14 @@ impl<'a> FederatedEngine<'a> {
             let _ = apply_access_in_place(&mut conf, &access, &response, methods);
             if conf.len() > before {
                 // The response grew exactly one relation (its method's);
-                // drop the verdicts that inspected it.
+                // drain its insert events and drop the verdicts they touch.
                 if let Ok(m) = methods.get(access.method()) {
-                    oracle.invalidate(m.relation());
+                    oracle.observe_growth(&mut conf, m.relation());
                 }
+            } else {
+                // A fully-duplicate response inserted nothing, queued no
+                // events, and must evict nothing.
+                debug_assert_eq!(conf.pending_events(), 0);
             }
         }
 
@@ -326,6 +347,9 @@ impl<'a> FederatedEngine<'a> {
             relevance_cache_hits: oracle.hits(),
             relevance_cache_misses: oracle.misses(),
             relevance_shared_hits: oracle.shared_hits(),
+            reads_tracked: oracle.reads_tracked(),
+            evictions: oracle.evictions(),
+            events_drained: oracle.events_drained(),
             access_sequence,
             relevance_verdicts: oracle.take_log(),
             source_stats: self.source.stats().since(&stats_before),

@@ -40,7 +40,7 @@ pub mod scenarios;
 mod source;
 
 pub use engine::{BatchStats, ChaosStats, FederatedEngine, RunReport, Strategy};
-pub use options::{RunOptions, SpeculationMode};
+pub use options::{InvalidationMode, RunOptions, SpeculationMode};
 pub use relevance::{RelevanceKind, RelevanceOracle, SharedVerdictCache, VerdictRecord};
 pub use run::{compare_strategies, Executor, RunRequest, Sequential};
 pub use source::{DeepWebSource, ResponsePolicy, SourceStats};

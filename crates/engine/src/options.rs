@@ -39,6 +39,26 @@ pub enum SpeculationMode {
     Eager,
 }
 
+/// How cached relevance verdicts are invalidated when a response grows the
+/// configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum InvalidationMode {
+    /// Exact read-set invalidation: every computed verdict records the
+    /// `(relation, value)` pairs its decision procedure actually consulted;
+    /// committed inserts become events drained to fixpoint after each
+    /// growing response, and a verdict is evicted only when an event
+    /// touches a pair it read. Verdicts computed this way are re-run
+    /// strictly less often than under relation-level invalidation, with
+    /// identical access sequences, answers and final configurations.
+    #[default]
+    Exact,
+    /// Legacy relation-level invalidation: each verdict carries a coarse
+    /// relation dependency set (global for dependent-method LTR) and any
+    /// growth of a dep relation evicts it. Kept as the differential
+    /// baseline.
+    RelationLevel,
+}
+
 /// Options controlling a run, shared by every [`crate::Executor`]
 /// implementation (sequential engine, threaded and async batch schedulers,
 /// and the serving layer of `accrel-federation`).
@@ -70,6 +90,9 @@ pub struct RunOptions {
     /// How follow-up accesses are predicted. Ignored by the sequential
     /// engine.
     pub speculation: SpeculationMode,
+    /// How cached verdicts are invalidated on growth. Only meaningful while
+    /// `use_relevance_cache` is on.
+    pub invalidation: InvalidationMode,
 }
 
 impl Default for RunOptions {
@@ -83,6 +106,7 @@ impl Default for RunOptions {
             batch_size: 8,
             workers: 4,
             speculation: SpeculationMode::CachedOnly,
+            invalidation: InvalidationMode::default(),
         }
     }
 }

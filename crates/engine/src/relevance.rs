@@ -21,10 +21,10 @@ use accrel_core::{
     is_immediately_relevant, is_long_term_relevant, is_long_term_relevant_trailed, SearchBudget,
 };
 use accrel_query::Query;
-use accrel_schema::{Configuration, RelationId};
+use accrel_schema::{Configuration, InsertEvent, ReadSet, RelationId, ValueInterner};
 
 use crate::engine::Strategy;
-use crate::options::RunOptions;
+use crate::options::{InvalidationMode, RunOptions};
 
 /// Which relevance check a verdict belongs to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -78,13 +78,25 @@ impl DepSet {
     }
 }
 
+/// One cached verdict: the answer, its coarse relation-level dependency-set
+/// index, and — when the verdict was computed under a read recorder — the
+/// exact [`ReadSet`] its decision procedure consulted. Verdicts without a
+/// read set (shared-cache hits, checks over a borrowed configuration) fall
+/// back to the coarse dep set under exact invalidation.
+#[derive(Debug, Clone)]
+struct CachedVerdict {
+    verdict: bool,
+    dep: usize,
+    reads: Option<ReadSet>,
+}
+
 /// The incremental relevance-verdict cache. One map per check kind, keyed by
 /// the access alone, so cache hits are probed by reference without cloning
 /// the access.
 #[derive(Debug, Default, Clone)]
 struct RelevanceCache {
-    immediate: HashMap<Access, (bool, usize)>,
-    long_term: HashMap<Access, (bool, usize)>,
+    immediate: HashMap<Access, CachedVerdict>,
+    long_term: HashMap<Access, CachedVerdict>,
     /// Dependency sets, interned: 0 = All, 1 = the query's relations.
     deps: Vec<DepSet>,
     hits: usize,
@@ -102,14 +114,49 @@ impl RelevanceCache {
         }
     }
 
-    /// Drops every verdict whose dependency set contains `relation` (called
-    /// when a response added at least one fact to that relation).
-    fn invalidate(&mut self, relation: RelationId) {
+    /// Drops every verdict whose coarse dependency set contains `relation`
+    /// (relation-level invalidation; ignores read sets). Returns how many
+    /// verdicts were evicted.
+    fn invalidate(&mut self, relation: RelationId) -> usize {
+        let before = self.immediate.len() + self.long_term.len();
         let deps = &self.deps;
         self.immediate
-            .retain(|_, (_, dep)| !deps[*dep].touched_by(relation));
+            .retain(|_, c| !deps[c.dep].touched_by(relation));
+        let deps = &self.deps;
         self.long_term
-            .retain(|_, (_, dep)| !deps[*dep].touched_by(relation));
+            .retain(|_, c| !deps[c.dep].touched_by(relation));
+        before - (self.immediate.len() + self.long_term.len())
+    }
+
+    /// Drops every verdict whose recorded read set is touched by `event`
+    /// (exact invalidation; verdicts without a read set fall back to their
+    /// coarse dependency set). Returns how many verdicts were evicted.
+    ///
+    /// The coarse dependency set and the read set are *both* sound
+    /// over-approximations of "this growth could flip the verdict" — the
+    /// first by the relation-level argument on `DepSet`, the second because
+    /// the decision procedure is a deterministic function of its recorded
+    /// reads — so a verdict needs eviction only when **both** fire. Taking
+    /// the intersection also pins the ordering invariant the differential
+    /// fuzzer checks: exact-mode evictions are a subset of relation-level
+    /// evictions at every growth point, never a superset (a read set may
+    /// name active-domain probes the coarse `Relations` set deliberately
+    /// excludes).
+    fn evict_touched(&mut self, event: &InsertEvent, interner: &ValueInterner) -> usize {
+        let before = self.immediate.len() + self.long_term.len();
+        let deps = &self.deps;
+        let keep = |c: &CachedVerdict| {
+            if !deps[c.dep].touched_by(event.relation) {
+                return true;
+            }
+            match &c.reads {
+                Some(rs) => !rs.touched_by(event, interner),
+                None => false,
+            }
+        };
+        self.immediate.retain(|_, c| keep(c));
+        self.long_term.retain(|_, c| keep(c));
+        before - (self.immediate.len() + self.long_term.len())
     }
 }
 
@@ -120,7 +167,14 @@ type SharedKey = (u64, RelevanceKind, Access, Vec<(RelationId, usize)>);
 
 #[derive(Debug, Default)]
 struct SharedVerdictState {
-    verdicts: HashMap<SharedKey, bool>,
+    /// Verdict plus the exact read set the publishing run recorded (when it
+    /// ran under exact invalidation over an owned configuration). Restoring
+    /// the read set on a hit is what lets a warm-started run evict the
+    /// verdict at exactly the same growth points as the run that published
+    /// it — without it the warm run falls back to coarse eviction,
+    /// re-checks at version stamps the publisher never reached, and the
+    /// zero-re-run warm-start guarantee breaks.
+    verdicts: HashMap<SharedKey, (bool, Option<ReadSet>)>,
     hits: u64,
     misses: u64,
 }
@@ -192,22 +246,39 @@ impl SharedVerdictCache {
         access: Access,
         dep_counts: Vec<(RelationId, usize)>,
         verdict: bool,
+        reads: Option<ReadSet>,
     ) {
-        self.publish(class, kind, access, dep_counts, verdict);
+        self.publish(class, kind, access, dep_counts, verdict, reads);
     }
 
     /// A snapshot of every stored verdict with its full key — `(class, kind,
-    /// access, dep-relation version stamps, verdict)` — in unspecified
-    /// order. This is what a journal serialises; pair with
+    /// access, dep-relation version stamps, verdict, recorded reads)` — in
+    /// unspecified order. This is what a journal serialises; pair with
     /// [`SharedVerdictCache::insert`] to rebuild the cache elsewhere.
     #[allow(clippy::type_complexity)]
-    pub fn entries(&self) -> Vec<(u64, RelevanceKind, Access, Vec<(RelationId, usize)>, bool)> {
+    pub fn entries(
+        &self,
+    ) -> Vec<(
+        u64,
+        RelevanceKind,
+        Access,
+        Vec<(RelationId, usize)>,
+        bool,
+        Option<ReadSet>,
+    )> {
         let state = self.inner.lock().expect("verdict cache poisoned");
         state
             .verdicts
             .iter()
-            .map(|((class, kind, access, deps), &verdict)| {
-                (*class, *kind, access.clone(), deps.clone(), verdict)
+            .map(|((class, kind, access, deps), (verdict, reads))| {
+                (
+                    *class,
+                    *kind,
+                    access.clone(),
+                    deps.clone(),
+                    *verdict,
+                    reads.clone(),
+                )
             })
             .collect()
     }
@@ -218,13 +289,16 @@ impl SharedVerdictCache {
         kind: RelevanceKind,
         access: &Access,
         dep_counts: &[(RelationId, usize)],
-    ) -> Option<bool> {
+    ) -> Option<(bool, Option<ReadSet>)> {
         let mut state = self.inner.lock().expect("verdict cache poisoned");
-        let key = (class, kind, access.clone(), dep_counts.to_vec());
+        let mut counts = dep_counts.to_vec();
+        counts.sort_unstable();
+        let key = (class, kind, access.clone(), counts);
         match state.verdicts.get(&key) {
-            Some(&verdict) => {
+            Some((verdict, reads)) => {
+                let found = (*verdict, reads.clone());
                 state.hits += 1;
-                Some(verdict)
+                Some(found)
             }
             None => {
                 state.misses += 1;
@@ -238,13 +312,20 @@ impl SharedVerdictCache {
         class: u64,
         kind: RelevanceKind,
         access: Access,
-        dep_counts: Vec<(RelationId, usize)>,
+        mut dep_counts: Vec<(RelationId, usize)>,
         verdict: bool,
+        reads: Option<ReadSet>,
     ) {
+        // Canonical key order. The oracle sorts its stamps before calling
+        // in, but journal replays hand [`SharedVerdictCache::insert`]
+        // whatever order the serialised entry kept — a process that stamped
+        // `[(R,3),(S,1)]` would never probe an entry another process stored
+        // as `[(S,1),(R,3)]`, silently forfeiting every warm-start hit.
+        dep_counts.sort_unstable();
         let mut state = self.inner.lock().expect("verdict cache poisoned");
         state
             .verdicts
-            .insert((class, kind, access, dep_counts), verdict);
+            .insert((class, kind, access, dep_counts), (verdict, reads));
     }
 }
 
@@ -294,6 +375,35 @@ impl ConfAccess<'_> {
             }
         }
     }
+
+    /// Runs the decision procedure like [`ConfAccess::run`], additionally
+    /// recording the exact store reads it performs when `track` is set and
+    /// the caller owns the configuration. Returns the verdict together with
+    /// the recorded [`ReadSet`] (`None` when tracking was off or impossible
+    /// — the `Shared` path holds the configuration immutably and cannot
+    /// install a recorder, so its verdicts keep the coarse dependency set).
+    fn run_recorded(
+        &mut self,
+        kind: RelevanceKind,
+        query: &Query,
+        methods: &AccessMethods,
+        budget: &SearchBudget,
+        access: &Access,
+        track: bool,
+    ) -> (bool, Option<ReadSet>) {
+        let track = track && matches!(self, ConfAccess::Owned(_));
+        if track {
+            if let ConfAccess::Owned(conf) = self {
+                conf.begin_read_tracking();
+            }
+        }
+        let verdict = self.run(kind, query, methods, budget, access);
+        let reads = match self {
+            ConfAccess::Owned(conf) if track => Some(conf.take_read_set()),
+            _ => None,
+        };
+        (verdict, reads)
+    }
 }
 
 /// The relevance-decision engine of one run: answers "is this access
@@ -311,6 +421,10 @@ pub struct RelevanceOracle<'a> {
     shared_hits: usize,
     log: Vec<VerdictRecord>,
     record: bool,
+    invalidation: InvalidationMode,
+    evictions: usize,
+    events_drained: usize,
+    reads_tracked: usize,
 }
 
 impl<'a> RelevanceOracle<'a> {
@@ -331,6 +445,10 @@ impl<'a> RelevanceOracle<'a> {
             shared_hits: 0,
             log: Vec::new(),
             record: true,
+            invalidation: options.invalidation,
+            evictions: 0,
+            events_drained: 0,
+            reads_tracked: 0,
         }
     }
 
@@ -350,10 +468,17 @@ impl<'a> RelevanceOracle<'a> {
     /// A scratch copy for speculative look-ahead: shares the cached verdicts
     /// accumulated so far but records nothing, so predictions leave the
     /// authoritative verdict log and counters untouched.
+    ///
+    /// The cross-session cache handle is dropped too: a scratch that kept
+    /// the parent's [`SharedVerdictCache`] leaked speculative probes into it
+    /// — every Eager prediction bumped the shared hit/miss counters and
+    /// published verdicts the authoritative run never logged, so journals
+    /// replayed a cache the run had not actually built.
     pub fn scratch(&self) -> RelevanceOracle<'a> {
         let mut copy = self.clone();
         copy.record = false;
         copy.log = Vec::new();
+        copy.shared = None;
         copy
     }
 
@@ -406,33 +531,54 @@ impl<'a> RelevanceOracle<'a> {
             RelevanceKind::Immediate => &self.cache.immediate,
             RelevanceKind::LongTerm => &self.cache.long_term,
         };
-        if let Some(&(verdict, _)) = map.get(access) {
+        if let Some(cached) = map.get(access) {
             self.cache.hits += 1;
-            return verdict;
+            return cached.verdict;
         }
         self.cache.misses += 1;
         let dep = match kind {
             RelevanceKind::Immediate => self.ir_dep(),
             RelevanceKind::LongTerm => self.ltr_dep(),
         };
-        let verdict = if let Some((class, shared)) = self.shared.clone() {
+        // Exact invalidation records the store reads of every procedure run
+        // over an owned configuration; the dep-count stamps below are read
+        // *before* the recorder is installed, so version probing never
+        // pollutes the read set.
+        let track =
+            self.invalidation == InvalidationMode::Exact && matches!(conf, ConfAccess::Owned(_));
+        let (verdict, reads) = if let Some((class, shared)) = self.shared.clone() {
             let counts = self.dep_counts(dep, conf.as_ref());
-            if let Some(verdict) = shared.lookup(class, kind, access, &counts) {
+            if let Some((verdict, reads)) = shared.lookup(class, kind, access, &counts) {
                 self.shared_hits += 1;
-                verdict
+                // The publishing run's read set rides along with the
+                // verdict, so a warm-started run evicts it at exactly the
+                // same growth points the publisher would have.
+                (verdict, reads)
             } else {
-                let verdict = conf.run(kind, self.query, self.methods, &self.budget, access);
-                shared.publish(class, kind, access.clone(), counts, verdict);
-                verdict
+                let (verdict, reads) =
+                    conf.run_recorded(kind, self.query, self.methods, &self.budget, access, track);
+                self.reads_tracked += reads.as_ref().map_or(0, ReadSet::len);
+                shared.publish(class, kind, access.clone(), counts, verdict, reads.clone());
+                (verdict, reads)
             }
         } else {
-            conf.run(kind, self.query, self.methods, &self.budget, access)
+            let (verdict, reads) =
+                conf.run_recorded(kind, self.query, self.methods, &self.budget, access, track);
+            self.reads_tracked += reads.as_ref().map_or(0, ReadSet::len);
+            (verdict, reads)
         };
         let map = match kind {
             RelevanceKind::Immediate => &mut self.cache.immediate,
             RelevanceKind::LongTerm => &mut self.cache.long_term,
         };
-        map.insert(access.clone(), (verdict, dep));
+        map.insert(
+            access.clone(),
+            CachedVerdict {
+                verdict,
+                dep,
+                reads,
+            },
+        );
         if self.record {
             self.log.push(VerdictRecord {
                 access: access.clone(),
@@ -454,7 +600,7 @@ impl<'a> RelevanceOracle<'a> {
             RelevanceKind::Immediate => &self.cache.immediate,
             RelevanceKind::LongTerm => &self.cache.long_term,
         };
-        map.get(access).map(|&(verdict, _)| verdict)
+        map.get(access).map(|c| c.verdict)
     }
 
     /// Immediate-relevance check, via the cache when enabled.
@@ -488,11 +634,49 @@ impl<'a> RelevanceOracle<'a> {
         self.check_at(RelevanceKind::LongTerm, access, ConfAccess::Owned(conf))
     }
 
-    /// Drops every cached verdict that inspected `relation` (call after a
-    /// response added facts to it).
+    /// Drops every cached verdict whose *coarse* dependency set contains
+    /// `relation` (call after a response added facts to it). This is the
+    /// relation-level path; the engine loops go through
+    /// [`Self::observe_growth`], which dispatches on the configured
+    /// [`InvalidationMode`].
     pub fn invalidate(&mut self, relation: RelationId) {
         if self.use_cache {
-            self.cache.invalidate(relation);
+            self.evictions += self.cache.invalidate(relation);
+        }
+    }
+
+    /// Reacts to a response that grew the configuration: drains the insert
+    /// events the store captured and, under [`InvalidationMode::Exact`],
+    /// evicts exactly the cached verdicts whose recorded reads an event
+    /// touches. Under [`InvalidationMode::RelationLevel`] the events are
+    /// discarded and every verdict depending on `relation` (the accessed
+    /// method's output relation) is evicted, reproducing the legacy
+    /// behaviour verdict-for-verdict.
+    pub fn observe_growth(&mut self, conf: &mut Configuration, relation: RelationId) {
+        match self.invalidation {
+            InvalidationMode::RelationLevel => {
+                let _ = conf.take_events();
+                self.invalidate(relation);
+            }
+            InvalidationMode::Exact => {
+                if !self.use_cache {
+                    let _ = conf.take_events();
+                    return;
+                }
+                // Drain to fixpoint: eviction itself inserts nothing, but a
+                // caller interleaving inserts with observe_growth calls must
+                // never leave a queued event unapplied.
+                loop {
+                    let events = conf.take_events();
+                    if events.is_empty() {
+                        break;
+                    }
+                    for event in &events {
+                        self.events_drained += 1;
+                        self.evictions += self.cache.evict_touched(event, conf.store().interner());
+                    }
+                }
+            }
         }
     }
 
@@ -511,6 +695,24 @@ impl<'a> RelevanceOracle<'a> {
     /// shared cache is attached.
     pub fn shared_hits(&self) -> usize {
         self.shared_hits
+    }
+
+    /// Total `(relation, value)`-grade read-set entries recorded across the
+    /// verdicts computed so far. Zero under relation-level invalidation or
+    /// when every check ran over a borrowed configuration.
+    pub fn reads_tracked(&self) -> usize {
+        self.reads_tracked
+    }
+
+    /// Cached verdicts evicted by configuration growth so far (both modes).
+    pub fn evictions(&self) -> usize {
+        self.evictions
+    }
+
+    /// Insert events drained by [`Self::observe_growth`] under exact
+    /// invalidation so far.
+    pub fn events_drained(&self) -> usize {
+        self.events_drained
     }
 
     /// The version stamp a verdict with dependency-set index `dep` carries

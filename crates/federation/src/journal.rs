@@ -33,7 +33,7 @@ use std::path::Path;
 use accrel_access::{Access, AccessMethodId, Binding};
 use accrel_engine::relevance::{RelevanceKind, SharedVerdictCache, VerdictRecord};
 use accrel_engine::RunReport;
-use accrel_schema::{RelationId, Value};
+use accrel_schema::{DomainId, ReadSet, RelationId, Value, ValueId};
 
 /// One run as read back from a journal: the executed access sequence and
 /// the relevance verdict log, byte-for-byte what the live run reported.
@@ -132,6 +132,103 @@ fn parse_access(tokens: &[&str]) -> Option<Access> {
     Some(Access::new(AccessMethodId(method), Binding::new(values?)))
 }
 
+/// Serialises a shared entry's recorded read set as ` R<n> <token>*` (or
+/// ` R-` when the publishing run attached none). Tokens are one per read:
+/// `a`/`z` for the whole-store / whole-adom flags, `l<rel>` for relation
+/// scans, `p<rel>,<vid>` for key probes, `d<dom>` for domain enumerations,
+/// `q<vid>,<dom>` for adom membership, and `u<rel>,<value>` /
+/// `w<dom>,<value>` for probes whose value the interner did not know at
+/// read time. Sorted for deterministic output.
+fn write_reads(out: &mut String, reads: Option<&ReadSet>) {
+    let Some(rs) = reads else {
+        out.push_str(" R-");
+        return;
+    };
+    let mut tokens: Vec<String> = Vec::new();
+    if rs.all {
+        tokens.push("a".into());
+    }
+    if rs.adom_all {
+        tokens.push("z".into());
+    }
+    for rel in &rs.relations {
+        tokens.push(format!("l{}", rel.index()));
+    }
+    for (rel, vid) in &rs.pairs {
+        tokens.push(format!("p{},{}", rel.index(), vid.0));
+    }
+    for dom in &rs.adom_domains {
+        tokens.push(format!("d{}", dom.0));
+    }
+    for (vid, dom) in &rs.adom_pairs {
+        tokens.push(format!("q{},{}", vid.0, dom.0));
+    }
+    for (rel, value) in &rs.unknown_values {
+        let mut v = String::new();
+        write_value(&mut v, value);
+        tokens.push(format!("u{},{}", rel.index(), v.trim_start()));
+    }
+    for (value, dom) in &rs.adom_unknown {
+        let mut v = String::new();
+        write_value(&mut v, value);
+        tokens.push(format!("w{},{}", dom.0, v.trim_start()));
+    }
+    tokens.sort_unstable();
+    let _ = write!(out, " R{}", tokens.len());
+    for t in &tokens {
+        out.push(' ');
+        out.push_str(t);
+    }
+}
+
+/// Parses the ` R…` section written by [`write_reads`], returning the read
+/// set and how many tokens it consumed. Lines from journals written before
+/// read sets existed carry no `R` token; callers treat that as `None`.
+fn parse_reads(tokens: &[&str]) -> Option<(Option<ReadSet>, usize)> {
+    let first = tokens.first()?;
+    if *first == "R-" {
+        return Some((None, 1));
+    }
+    let n: usize = first.strip_prefix('R')?.parse().ok()?;
+    let body = tokens.get(1..1 + n)?;
+    let mut rs = ReadSet::default();
+    for t in body {
+        let (tag, rest) = t.split_at_checked(1)?;
+        match tag {
+            "a" if rest.is_empty() => rs.all = true,
+            "z" if rest.is_empty() => rs.adom_all = true,
+            "l" => {
+                rs.relations.insert(RelationId(rest.parse().ok()?));
+            }
+            "p" => {
+                let (r, v) = rest.split_once(',')?;
+                rs.pairs
+                    .insert((RelationId(r.parse().ok()?), ValueId(v.parse().ok()?)));
+            }
+            "d" => {
+                rs.adom_domains.insert(DomainId(rest.parse().ok()?));
+            }
+            "q" => {
+                let (v, d) = rest.split_once(',')?;
+                rs.adom_pairs
+                    .insert((ValueId(v.parse().ok()?), DomainId(d.parse().ok()?)));
+            }
+            "u" => {
+                let (r, v) = rest.split_once(',')?;
+                rs.unknown_values
+                    .insert((RelationId(r.parse().ok()?), parse_value(v)?));
+            }
+            "w" => {
+                let (d, v) = rest.split_once(',')?;
+                rs.adom_unknown
+                    .insert((parse_value(v)?, DomainId(d.parse().ok()?)));
+            }
+            _ => return None,
+        }
+    }
+    Some((Some(rs), 1 + n))
+}
+
 fn kind_tag(kind: RelevanceKind) -> &'static str {
     match kind {
         RelevanceKind::Immediate => "I",
@@ -175,10 +272,12 @@ impl RunJournal {
     /// Serialises every entry of `cache` as journal lines.
     pub fn serialize_cache(cache: &SharedVerdictCache) -> String {
         let mut entries = cache.entries();
-        // Deterministic output: sort by the full key's debug-stable fields.
+        // Deterministic output: sort by the full key's debug-stable fields
+        // (the key is unique per (class, kind, access, deps), so the read
+        // set never needs to participate).
         entries.sort_by(|a, b| (a.0, a.1, &a.2, &a.3, a.4).cmp(&(b.0, b.1, &b.2, &b.3, b.4)));
         let mut out = String::new();
-        for (class, kind, access, deps, verdict) in entries {
+        for (class, kind, access, deps, verdict, reads) in entries {
             let _ = write!(
                 out,
                 "shared {class:x} {} {} {}",
@@ -189,6 +288,7 @@ impl RunJournal {
             for (relation, count) in &deps {
                 let _ = write!(out, " r{}:{}", relation.index(), count);
             }
+            write_reads(&mut out, reads.as_ref());
             write_access(&mut out, &access);
             out.push('\n');
         }
@@ -263,8 +363,9 @@ impl RunJournal {
                 access,
                 deps,
                 verdict,
+                reads,
             } => {
-                cache.insert(class, kind, access, deps, verdict);
+                cache.insert(class, kind, access, deps, verdict, reads.map(|r| *r));
                 summary.verdicts_restored += 1;
             }
             Record::Access(_) | Record::Verdict(_) => {}
@@ -312,6 +413,9 @@ enum Record {
         access: Access,
         deps: Vec<(RelationId, usize)>,
         verdict: bool,
+        // Boxed: a `ReadSet` is several hundred bytes of hash sets, and
+        // most journal lines are plain `access`/`verdict` records.
+        reads: Option<Box<ReadSet>>,
     },
 }
 
@@ -344,13 +448,22 @@ impl Record {
                         Some((RelationId(rel.parse().ok()?), count.parse().ok()?))
                     })
                     .collect();
-                let access = parse_access(tokens.get(5 + ndeps..)?)?;
+                let rest = tokens.get(5 + ndeps..)?;
+                // Journals written before read sets existed jump straight to
+                // the access (`m…`); treat those entries as read-set-free.
+                let (reads, consumed) = if rest.first().is_some_and(|t| t.starts_with('R')) {
+                    parse_reads(rest)?
+                } else {
+                    (None, 0)
+                };
+                let access = parse_access(rest.get(consumed..)?)?;
                 Some(Record::Shared {
                     class,
                     kind,
                     access,
                     deps: deps?,
                     verdict,
+                    reads: reads.map(Box::new),
                 })
             }
             _ => None,
@@ -401,12 +514,34 @@ mod tests {
     fn cache_entries_round_trip_through_a_file() {
         let cache = SharedVerdictCache::new();
         let access = Access::new(AccessMethodId(1), binding(["x"]));
+        // One entry with an exact read set exercising every token kind
+        // (including values with characters the escaper must handle), one
+        // without.
+        let mut reads = ReadSet::default();
+        reads.relations.insert(RelationId(1));
+        reads.pairs.insert((RelationId(0), ValueId(7)));
+        reads
+            .unknown_values
+            .insert((RelationId(2), Value::sym("odd value,with comma")));
+        reads.adom_all = true;
+        reads.adom_domains.insert(DomainId(0));
+        reads.adom_pairs.insert((ValueId(3), DomainId(1)));
+        reads.adom_unknown.insert((Value::int(-9), DomainId(2)));
         cache.insert(
             0xdead_beef,
             RelevanceKind::LongTerm,
             access.clone(),
             vec![(RelationId(0), 12), (RelationId(2), 3)],
             true,
+            Some(reads),
+        );
+        cache.insert(
+            0xdead_beef,
+            RelevanceKind::Immediate,
+            access.clone(),
+            vec![(RelationId(0), 12)],
+            false,
+            None,
         );
         let dir = std::env::temp_dir().join(format!("accrel-journal-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
@@ -414,14 +549,52 @@ mod tests {
         RunJournal::write_to(&path, &[], &cache).unwrap();
         let restored = SharedVerdictCache::new();
         let summary = RunJournal::replay(&path, &restored).unwrap();
-        assert_eq!(summary.verdicts_restored, 1);
+        assert_eq!(summary.verdicts_restored, 2);
         assert_eq!(summary.skipped_lines, 0);
         let mut want = cache.entries();
         let mut got = restored.entries();
-        want.sort_by(|a, b| a.2.cmp(&b.2));
-        got.sort_by(|a, b| a.2.cmp(&b.2));
+        want.sort_by(|a, b| (a.1, &a.2).cmp(&(b.1, &b.2)));
+        got.sort_by(|a, b| (a.1, &a.2).cmp(&(b.1, &b.2)));
         assert_eq!(want, got);
         std::fs::remove_file(&path).ok();
+    }
+
+    /// Satellite regression (cross-process dep-version ordering): two
+    /// processes may enumerate a verdict's dependency relations in different
+    /// orders — e.g. a journal written from an older HashMap-ordered
+    /// snapshot. Publishing and probing must canonicalise the stamp, so an
+    /// entry inserted with reversed dep order is still found by a lookup
+    /// using sorted order (and vice versa).
+    #[test]
+    fn shared_keys_canonicalise_dep_version_order() {
+        let cache = SharedVerdictCache::new();
+        let access = Access::new(AccessMethodId(0), binding(["k"]));
+        // Deliberately unsorted, as a foreign journal might carry it.
+        cache.insert(
+            9,
+            RelevanceKind::LongTerm,
+            access.clone(),
+            vec![(RelationId(2), 3), (RelationId(0), 12)],
+            true,
+            None,
+        );
+        let entries = cache.entries();
+        assert_eq!(entries.len(), 1);
+        assert_eq!(
+            entries[0].3,
+            vec![(RelationId(0), 12), (RelationId(2), 3)],
+            "stored stamp must be in canonical (sorted) order"
+        );
+        // Re-inserting under the sorted order must overwrite, not duplicate.
+        cache.insert(
+            9,
+            RelevanceKind::LongTerm,
+            access,
+            vec![(RelationId(0), 12), (RelationId(2), 3)],
+            true,
+            None,
+        );
+        assert_eq!(cache.len(), 1);
     }
 
     #[test]

@@ -106,7 +106,7 @@ pub use sweep::{parallel_relevance_sweep, parallel_relevance_sweep_report, Sweep
 /// Re-exported from `accrel-engine` so existing
 /// `accrel_federation::SpeculationMode` imports keep compiling now that the
 /// speculation knob lives on [`accrel_engine::RunOptions`].
-pub use accrel_engine::SpeculationMode;
+pub use accrel_engine::{InvalidationMode, SpeculationMode};
 
 /// The historical name of the threaded scheduler's options; the `engine`
 /// nesting is gone — the engine fields live directly on

@@ -5,9 +5,11 @@
 //! [`BatchScheduler::run`] executes the *same* round structure as the
 //! sequential [`accrel_engine::FederatedEngine`]: every round it refreshes the incremental
 //! access frontier, asks the shared [`RelevanceOracle`] which access the
-//! strategy would execute next, applies that access's response, and
-//! invalidates cached verdicts by relation — the identical code path, with
-//! identical candidate ordering (the sorted pending set). Concurrency enters
+//! strategy would execute next, applies that access's response, and evicts
+//! cached verdicts through the oracle's growth observer (exact read-set
+//! events by default, per-relation under
+//! [`accrel_engine::InvalidationMode::RelationLevel`]) — the identical code
+//! path, with identical candidate ordering (the sorted pending set). Concurrency enters
 //! *only* through speculative response prefetching: before calling the
 //! source for the selected access, the scheduler predicts the accesses the
 //! strategy would pick next if every response were empty (from cached
@@ -209,6 +211,9 @@ impl<'q> MergeLoop<'q> {
         // shards up front keeps those probes free of lazy copy-on-write
         // detaches.
         conf.own_all_shards();
+        // Committed inserts queue invalidation events for the oracle;
+        // speculative (trailed) inserts roll back without queueing.
+        conf.set_event_capture(true);
         let copies_before = conf.shard_copies();
         let trail_before = conf.trail_ops();
         let mut oracle = RelevanceOracle::new(query, methods, &options);
@@ -343,8 +348,12 @@ impl<'q> MergeLoop<'q> {
         let _ = apply_access_in_place(&mut self.conf, &access, &response, self.methods);
         if self.conf.len() > before {
             if let Ok(m) = self.methods.get(access.method()) {
-                self.oracle.invalidate(m.relation());
+                self.oracle.observe_growth(&mut self.conf, m.relation());
             }
+        } else {
+            // A fully-duplicate response inserted nothing, queued no events,
+            // and must evict nothing.
+            debug_assert_eq!(self.conf.pending_events(), 0);
         }
     }
 
@@ -364,6 +373,9 @@ impl<'q> MergeLoop<'q> {
             relevance_cache_hits: self.oracle.hits(),
             relevance_cache_misses: self.oracle.misses(),
             relevance_shared_hits: self.oracle.shared_hits(),
+            reads_tracked: self.oracle.reads_tracked(),
+            evictions: self.oracle.evictions(),
+            events_drained: self.oracle.events_drained(),
             access_sequence: self.access_sequence,
             relevance_verdicts: self.oracle.take_log(),
             source_stats: Default::default(),

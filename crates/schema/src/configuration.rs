@@ -7,7 +7,7 @@ use std::sync::Arc;
 use crate::domain::DomainId;
 use crate::relation::RelationId;
 use crate::schema::Schema;
-use crate::store::{Fact, FactStore, TrailMark, TrailOps};
+use crate::store::{Fact, FactStore, InsertEvent, ReadSet, TrailMark, TrailOps};
 use crate::tuple::Tuple;
 use crate::value::Value;
 use crate::Result;
@@ -136,6 +136,33 @@ impl Configuration {
         f(guard.conf)
     }
 
+    /// Installs a read recorder on the underlying store (see
+    /// [`FactStore::begin_read_tracking`]).
+    pub fn begin_read_tracking(&mut self) {
+        self.store.begin_read_tracking()
+    }
+
+    /// Uninstalls the read recorder and returns the recorded [`ReadSet`].
+    pub fn take_read_set(&mut self) -> ReadSet {
+        self.store.take_read_set()
+    }
+
+    /// Enables or disables [`InsertEvent`] capture on the committed insert
+    /// paths (see [`FactStore::set_event_capture`]).
+    pub fn set_event_capture(&mut self, enabled: bool) {
+        self.store.set_event_capture(enabled)
+    }
+
+    /// Drains the insert events captured since the last call.
+    pub fn take_events(&mut self) -> Vec<InsertEvent> {
+        self.store.take_events()
+    }
+
+    /// How many insert events are queued.
+    pub fn pending_events(&self) -> usize {
+        self.store.pending_events()
+    }
+
     /// Inserts a fact, checking arity.
     pub fn insert(&mut self, relation: RelationId, t: Tuple) -> Result<bool> {
         self.store.insert(relation, t)
@@ -201,6 +228,13 @@ impl Configuration {
     /// All values appearing in the configuration, sorted and deduplicated.
     pub fn all_values(&self) -> Vec<Value> {
         self.store.all_values()
+    }
+
+    /// Like [`Configuration::all_values`] but never recorded under a read
+    /// recorder — for fresh-value seeding only (see
+    /// [`FactStore::all_values_untracked`]).
+    pub fn all_values_untracked(&self) -> Vec<Value> {
+        self.store.all_values_untracked()
     }
 
     /// Tuples of `relation` matching `binding` on `positions`.

@@ -82,7 +82,7 @@
 
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::fmt;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 use crate::domain::DomainId;
 use crate::error::SchemaError;
@@ -219,6 +219,138 @@ impl TrailOps {
     }
 }
 
+/// The exact set of store reads performed while a read recorder was
+/// installed (see [`FactStore::begin_read_tracking`]).
+///
+/// Every read API classifies itself into the *coarsest class whose answer
+/// could change under monotone growth*: a constrained index probe depends
+/// only on rows of one relation carrying one value id, a full scan depends
+/// on the whole relation, an active-domain probe depends on one
+/// `(value, domain)` pair *entering* the domain, and so on. A decision
+/// procedure is a deterministic function of its reads, so a cached verdict
+/// stays valid as long as no [`InsertEvent`] can change the answer of any
+/// recorded read — [`ReadSet::touched_by`] is that test. Probes for values
+/// the interner did not know at read time are kept symbolically and
+/// resolved against the (append-only) interner at event-drain time.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ReadSet {
+    /// Reads whose answer can change under *any* growth (`len`,
+    /// `is_subset_of`, whole-store fact dumps).
+    pub all: bool,
+    /// Full scans of single relations (unconstrained `candidates`,
+    /// `tuples`, `relation_len`).
+    pub relations: HashSet<RelationId>,
+    /// Constrained probes: the answer changes only if an inserted row of
+    /// the relation carries the value id.
+    pub pairs: HashSet<(RelationId, ValueId)>,
+    /// Probes against values unknown to the interner at read time.
+    pub unknown_values: HashSet<(RelationId, Value)>,
+    /// Whole-active-domain reads (`active_domain`, `all_values`).
+    pub adom_all: bool,
+    /// Per-abstract-domain active-domain reads (`values_of_domain`).
+    pub adom_domains: HashSet<DomainId>,
+    /// Point active-domain membership probes (`adom_contains`).
+    pub adom_pairs: HashSet<(ValueId, DomainId)>,
+    /// Point active-domain probes against values unknown at read time.
+    pub adom_unknown: HashSet<(Value, DomainId)>,
+}
+
+impl ReadSet {
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        !self.all
+            && !self.adom_all
+            && self.relations.is_empty()
+            && self.pairs.is_empty()
+            && self.unknown_values.is_empty()
+            && self.adom_domains.is_empty()
+            && self.adom_pairs.is_empty()
+            && self.adom_unknown.is_empty()
+    }
+
+    /// Number of recorded read entries (each coarse flag counts as one).
+    pub fn len(&self) -> usize {
+        usize::from(self.all)
+            + usize::from(self.adom_all)
+            + self.relations.len()
+            + self.pairs.len()
+            + self.unknown_values.len()
+            + self.adom_domains.len()
+            + self.adom_pairs.len()
+            + self.adom_unknown.len()
+    }
+
+    /// Could `event` change the answer of any recorded read?
+    ///
+    /// Active-domain reads trigger only on values *newly* entering the
+    /// domain (growth is monotone, so a positive membership probe can never
+    /// flip). Unknown-value probes are resolved against `interner` now: the
+    /// interner is append-only, so a value that was unknown at read time
+    /// and is known now was interned by a later insert.
+    pub fn touched_by(&self, event: &InsertEvent, interner: &ValueInterner) -> bool {
+        if self.all {
+            return true;
+        }
+        if self.relations.contains(&event.relation) {
+            return true;
+        }
+        for &(id, domain, newly_in_adom) in &event.values {
+            if self.pairs.contains(&(event.relation, id)) {
+                return true;
+            }
+            if newly_in_adom
+                && (self.adom_all
+                    || self.adom_domains.contains(&domain)
+                    || self.adom_pairs.contains(&(id, domain)))
+            {
+                return true;
+            }
+        }
+        for (rel, v) in &self.unknown_values {
+            if *rel == event.relation {
+                if let Some(id) = interner.lookup(v) {
+                    if event.values.iter().any(|&(i, _, _)| i == id) {
+                        return true;
+                    }
+                }
+            }
+        }
+        for (v, d) in &self.adom_unknown {
+            if let Some(id) = interner.lookup(v) {
+                if event
+                    .values
+                    .iter()
+                    .any(|&(i, dd, newly)| newly && i == id && dd == *d)
+                {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+}
+
+/// One committed (non-speculative) row insertion, captured on the store's
+/// insert paths while event capture is enabled
+/// ([`FactStore::set_event_capture`]). Events are the propagation currency
+/// of exact invalidation: the engine drains them after each growing
+/// response and evicts exactly the cached verdicts whose [`ReadSet`] is
+/// [touched](ReadSet::touched_by).
+///
+/// Capture assumes monotone growth (the engine loops never remove facts);
+/// trailed speculative inserts are rolled back and deliberately emit no
+/// events, and duplicate inserts return before any mutation and therefore
+/// emit none either.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InsertEvent {
+    /// The relation the row was inserted into.
+    pub relation: RelationId,
+    /// One entry per attribute position of the inserted row: the value id,
+    /// the position's abstract domain, and whether that `(value, domain)`
+    /// pair was newly added to the active domain by this row.
+    pub values: Vec<(ValueId, DomainId, bool)>,
+}
+
 /// A set of ground facts over a schema, organised per relation.
 ///
 /// `FactStore` is the common substrate behind both [`crate::Instance`] (the
@@ -243,12 +375,21 @@ pub struct FactStore {
     trail_open: u32,
     /// Cumulative trail traffic (inherited by clones; diff two readings).
     trail_ops: TrailOps,
+    /// Read recorder installed by `begin_read_tracking` (`None` when not
+    /// recording). Behind a mutex because the read APIs take `&self`; the
+    /// lock is uncontended (recording is single-owner like the trail).
+    recording: Option<Mutex<ReadSet>>,
+    /// Whether committed inserts are captured as [`InsertEvent`]s.
+    events_enabled: bool,
+    /// Captured growth events awaiting [`FactStore::take_events`].
+    events: Vec<InsertEvent>,
 }
 
 impl Clone for FactStore {
     /// O(relations): bumps one `Arc` per shard. The clone inherits the
-    /// `shard_copies` / `trail_ops` counters but **not** any open trail —
-    /// undo obligations are single-owner and stay with the original handle.
+    /// `shard_copies` / `trail_ops` counters but **not** any open trail,
+    /// read recorder or event queue — those are single-owner and stay with
+    /// the original handle.
     fn clone(&self) -> Self {
         Self {
             schema: self.schema.clone(),
@@ -260,6 +401,9 @@ impl Clone for FactStore {
             trail: Vec::new(),
             trail_open: 0,
             trail_ops: self.trail_ops,
+            recording: None,
+            events_enabled: false,
+            events: Vec::new(),
         }
     }
 }
@@ -282,6 +426,9 @@ impl FactStore {
             trail: Vec::new(),
             trail_open: 0,
             trail_ops: TrailOps::default(),
+            recording: None,
+            events_enabled: false,
+            events: Vec::new(),
         }
     }
 
@@ -308,6 +455,81 @@ impl FactStore {
     /// Cumulative trail traffic of this handle lineage (see [`TrailOps`]).
     pub fn trail_ops(&self) -> TrailOps {
         self.trail_ops
+    }
+
+    /// Installs a fresh read recorder: every later read API call classifies
+    /// itself into the [`ReadSet`] until [`FactStore::take_read_set`]
+    /// uninstalls it. Like the trail, the recorder is single-owner and not
+    /// inherited by clones. Installing over an existing recorder discards
+    /// the old one.
+    pub fn begin_read_tracking(&mut self) {
+        self.recording = Some(Mutex::new(ReadSet::default()));
+    }
+
+    /// Uninstalls the read recorder and returns what it saw (empty if no
+    /// recorder was installed).
+    pub fn take_read_set(&mut self) -> ReadSet {
+        match self.recording.take() {
+            Some(m) => match m.into_inner() {
+                Ok(rs) => rs,
+                Err(poisoned) => poisoned.into_inner(),
+            },
+            None => ReadSet::default(),
+        }
+    }
+
+    /// Whether a read recorder is currently installed.
+    pub fn is_read_tracking(&self) -> bool {
+        self.recording.is_some()
+    }
+
+    /// Records a read under the installed recorder, if any.
+    #[inline]
+    fn rec(&self, f: impl FnOnce(&mut ReadSet)) {
+        if let Some(m) = &self.recording {
+            if let Ok(mut rs) = m.lock() {
+                f(&mut rs);
+            }
+        }
+    }
+
+    /// Records the membership probe an insert path performs for `key` in
+    /// `relation` (the `Ok(false)`-vs-`Ok(true)` branch is a read).
+    #[inline]
+    fn rec_key_probe(&self, relation: RelationId, key: &[ValueId]) {
+        match key.first() {
+            Some(&id) => self.rec(|rs| {
+                rs.pairs.insert((relation, id));
+            }),
+            None => self.rec(|rs| {
+                rs.relations.insert(relation);
+            }),
+        }
+    }
+
+    /// Enables or disables [`InsertEvent`] capture on the committed insert
+    /// paths. Disabling clears any queued events. Event capture assumes
+    /// monotone growth; it is not inherited by clones.
+    pub fn set_event_capture(&mut self, enabled: bool) {
+        self.events_enabled = enabled;
+        if !enabled {
+            self.events.clear();
+        }
+    }
+
+    /// Whether insert events are being captured.
+    pub fn event_capture_enabled(&self) -> bool {
+        self.events_enabled
+    }
+
+    /// Drains the queued insert events.
+    pub fn take_events(&mut self) -> Vec<InsertEvent> {
+        std::mem::take(&mut self.events)
+    }
+
+    /// How many insert events are queued.
+    pub fn pending_events(&self) -> usize {
+        self.events.len()
     }
 
     /// Detaches every shard this handle still shares with other clones —
@@ -518,6 +740,9 @@ impl FactStore {
             });
         }
         let key: Box<[ValueId]> = t.iter().map(|v| self.intern_value(v)).collect();
+        // The duplicate check below is a read: a recorded procedure branches
+        // on whether the row was already present.
+        self.rec_key_probe(relation, &key);
         if self.relations[relation.index()]
             .rows_by_key
             .contains_key(&key)
@@ -530,6 +755,15 @@ impl FactStore {
             .map(|(c, &id)| (id, rel.domain_at(c)))
             .collect();
         let trail_key = (self.trail_open > 0).then(|| key.clone());
+        // Newly-in-adom flags must be read before the refcounts advance;
+        // speculative (trailed) inserts roll back and emit no event.
+        let event = (self.events_enabled && self.trail_open == 0).then(|| InsertEvent {
+            relation,
+            values: adom_incs
+                .iter()
+                .map(|&(id, d)| (id, d, !self.adom.contains_key(&(id, d))))
+                .collect(),
+        });
         {
             let shard = self.shard_mut(relation.index());
             let row = shard.len();
@@ -548,6 +782,9 @@ impl FactStore {
         if let Some(key) = trail_key {
             self.trail.push(TrailEntry::Inserted { relation, key });
             self.trail_ops.pushed += 1;
+        }
+        if let Some(event) = event {
+            self.events.push(event);
         }
         Ok(true)
     }
@@ -668,9 +905,17 @@ impl FactStore {
         for v in t.iter() {
             match self.interner.lookup(v) {
                 Some(id) => key.push(id),
-                None => return false,
+                None => {
+                    // An unknown value may be interned by a later insert;
+                    // keep the probe symbolic.
+                    self.rec(|rs| {
+                        rs.unknown_values.insert((relation, v.clone()));
+                    });
+                    return false;
+                }
             }
         }
+        self.rec_key_probe(relation, &key);
         shard.rows_by_key.contains_key(key.as_slice())
     }
 
@@ -682,6 +927,9 @@ impl FactStore {
     /// All tuples of one relation, in row order (insertion order until a
     /// removal swap-moves the last row into the removed slot).
     pub fn tuples(&self, relation: RelationId) -> impl Iterator<Item = &Tuple> {
+        self.rec(|rs| {
+            rs.relations.insert(relation);
+        });
         self.relations
             .get(relation.index())
             .into_iter()
@@ -690,6 +938,9 @@ impl FactStore {
 
     /// Number of tuples in one relation.
     pub fn relation_len(&self, relation: RelationId) -> usize {
+        self.rec(|rs| {
+            rs.relations.insert(relation);
+        });
         self.relations
             .get(relation.index())
             .map(|s| s.len())
@@ -698,16 +949,19 @@ impl FactStore {
 
     /// Total number of facts in the store.
     pub fn len(&self) -> usize {
+        self.rec(|rs| rs.all = true);
         self.len
     }
 
     /// Whether the store holds no facts.
     pub fn is_empty(&self) -> bool {
+        self.rec(|rs| rs.all = true);
         self.len == 0
     }
 
     /// Iterates over every fact in the store.
     pub fn facts(&self) -> impl Iterator<Item = Fact> + '_ {
+        self.rec(|rs| rs.all = true);
         self.relations.iter().enumerate().flat_map(|(i, shard)| {
             shard
                 .tuples
@@ -748,6 +1002,9 @@ impl FactStore {
         let shard = shard.as_ref();
         let arity = shard.columns.len();
         if constraints.is_empty() {
+            self.rec(|rs| {
+                rs.relations.insert(relation);
+            });
             return shard.tuples.iter().collect();
         }
         // Resolve constraint values; an un-interned value or an out-of-range
@@ -759,9 +1016,21 @@ impl FactStore {
             }
             match self.interner.lookup(v) {
                 Some(id) => resolved.push((pos, id)),
-                None => return Vec::new(),
+                None => {
+                    // The value may be interned by a later insert; keep the
+                    // probe symbolic so such an insert re-triggers it.
+                    self.rec(|rs| {
+                        rs.unknown_values.insert((relation, v.clone()));
+                    });
+                    return Vec::new();
+                }
             }
         }
+        // A row changing this probe's answer must carry every constraint
+        // value, so recording one of them is a sound trigger.
+        self.rec(|rs| {
+            rs.pairs.insert((relation, resolved[0].1));
+        });
         // Most selective posting list first.
         let mut best: Option<&Vec<usize>> = None;
         for &(pos, id) in &resolved {
@@ -792,6 +1061,8 @@ impl FactStore {
 
     /// Returns `true` if every fact of `self` is also in `other`.
     pub fn is_subset_of(&self, other: &FactStore) -> bool {
+        self.rec(|rs| rs.all = true);
+        other.rec(|rs| rs.all = true);
         self.relations.iter().enumerate().all(|(i, shard)| {
             // Shared shards are trivially subsets of themselves.
             other
@@ -861,6 +1132,14 @@ impl FactStore {
             if rows.is_empty() {
                 continue;
             }
+            // Per-row duplicate checks are reads; record them even when the
+            // whole batch turns out to be duplicates.
+            if self.recording.is_some() {
+                let relation = RelationId(i as u32);
+                for (key, _) in rows.iter() {
+                    self.rec_key_probe(relation, key);
+                }
+            }
             // Copy-on-write guard: leave a fully-duplicate batch's shard
             // shared.
             if rows
@@ -873,8 +1152,10 @@ impl FactStore {
                 .relation(RelationId(i as u32))
                 .expect("relation validated above");
             let record = self.trail_open > 0;
+            let capture = self.events_enabled && self.trail_open == 0;
             let mut adom_incs: Vec<(ValueId, DomainId)> = Vec::new();
             let mut trail_keys: Vec<Box<[ValueId]>> = Vec::new();
+            let mut event_keys: Vec<Box<[ValueId]>> = Vec::new();
             {
                 let shard = self.shard_mut(i);
                 shard.rows_by_key.reserve(rows.len());
@@ -895,6 +1176,9 @@ impl FactStore {
                     if record {
                         trail_keys.push(key.clone());
                     }
+                    if capture {
+                        event_keys.push(key.clone());
+                    }
                     shard.tuples.push(t);
                     shard.rows_by_key.insert(key, row);
                     inserted += 1;
@@ -904,6 +1188,20 @@ impl FactStore {
             for key in trail_keys {
                 self.trail.push(TrailEntry::Inserted { relation, key });
                 self.trail_ops.pushed += 1;
+            }
+            // Events read the newly-in-adom flags before the refcounts
+            // advance below (pairs introduced by earlier rows of the same
+            // batch are conservatively flagged newly as well).
+            for key in event_keys {
+                let values = key
+                    .iter()
+                    .enumerate()
+                    .map(|(c, &id)| {
+                        let d = rel.domain_at(c);
+                        (id, d, !self.adom.contains_key(&(id, d)))
+                    })
+                    .collect();
+                self.events.push(InsertEvent { relation, values });
             }
             if !adom_incs.is_empty() {
                 let adom = self.adom_mut();
@@ -922,6 +1220,7 @@ impl FactStore {
     ///
     /// Served from the maintained cache — no fact is rescanned.
     pub fn active_domain(&self) -> HashSet<(Value, DomainId)> {
+        self.rec(|rs| rs.adom_all = true);
         self.adom
             .keys()
             .map(|&(id, d)| (self.interner.resolve(id).clone(), d))
@@ -930,20 +1229,34 @@ impl FactStore {
 
     /// Number of distinct `(value, domain)` pairs in the active domain.
     pub fn active_domain_len(&self) -> usize {
+        self.rec(|rs| rs.adom_all = true);
         self.adom.len()
     }
 
     /// Is `(value, domain)` in the active domain? A pair of hash probes.
     pub fn adom_contains(&self, value: &Value, domain: DomainId) -> bool {
-        self.interner
-            .lookup(value)
-            .map(|id| self.adom.contains_key(&(id, domain)))
-            .unwrap_or(false)
+        match self.interner.lookup(value) {
+            Some(id) => {
+                self.rec(|rs| {
+                    rs.adom_pairs.insert((id, domain));
+                });
+                self.adom.contains_key(&(id, domain))
+            }
+            None => {
+                self.rec(|rs| {
+                    rs.adom_unknown.insert((value.clone(), domain));
+                });
+                false
+            }
+        }
     }
 
     /// The values of the active domain restricted to one abstract domain,
     /// sorted for deterministic iteration.
     pub fn values_of_domain(&self, domain: DomainId) -> Vec<Value> {
+        self.rec(|rs| {
+            rs.adom_domains.insert(domain);
+        });
         let mut vals: Vec<Value> = self
             .adom
             .keys()
@@ -957,6 +1270,17 @@ impl FactStore {
     /// All values appearing anywhere in the store (regardless of domain),
     /// sorted and deduplicated.
     pub fn all_values(&self) -> Vec<Value> {
+        self.rec(|rs| rs.adom_all = true);
+        self.all_values_untracked()
+    }
+
+    /// Like [`FactStore::all_values`] but never recorded, even under an
+    /// installed read recorder. For *fresh-value seeding only*: the decision
+    /// procedures seed a `FreshSupply` above every known value, and verdicts
+    /// are invariant under renaming of fresh values, so this read does not
+    /// have to participate in invalidation (recording it would make every
+    /// verdict depend on the whole active domain).
+    pub fn all_values_untracked(&self) -> Vec<Value> {
         let ids: HashSet<ValueId> = self.adom.keys().map(|&(id, _)| id).collect();
         let mut vals: Vec<Value> = ids
             .into_iter()

@@ -28,8 +28,8 @@ use std::fmt;
 
 use accrel_core::SearchBudget;
 use accrel_engine::{
-    ChaosStats, DeepWebSource, Executor as _, FederatedEngine, ResponsePolicy, RunOptions,
-    RunReport, RunRequest, Strategy,
+    ChaosStats, DeepWebSource, Executor as _, FederatedEngine, InvalidationMode, ResponsePolicy,
+    RunOptions, RunReport, RunRequest, Strategy, VerdictRecord,
 };
 use accrel_federation::{
     AsyncBatchScheduler, AsyncFederation, BatchScheduler, ChaosOptions, ChurnScript, Federation,
@@ -377,6 +377,172 @@ pub fn run_case(case: &FuzzCase) -> CaseOutcome {
     }
 }
 
+/// Where an exact-invalidation run broke faith with its relation-level
+/// baseline (see [`run_invalidation_case`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InvalidationDivergence {
+    /// Which invariant failed.
+    pub field: &'static str,
+}
+
+/// Outcome of the invalidation differential on one case.
+#[derive(Debug)]
+pub struct InvalidationOutcome {
+    /// The first broken invariant, if any.
+    pub divergence: Option<InvalidationDivergence>,
+    /// Decision procedures run under exact read-set invalidation.
+    pub exact_misses: usize,
+    /// Decision procedures run under relation-level invalidation.
+    pub relation_misses: usize,
+    /// Verdicts evicted under exact invalidation.
+    pub exact_evictions: usize,
+    /// Verdicts evicted under relation-level invalidation.
+    pub relation_evictions: usize,
+}
+
+/// Whether `needle` is an (ordered, not necessarily contiguous) subsequence
+/// of `hay`.
+fn is_subsequence(needle: &[VerdictRecord], hay: &[VerdictRecord]) -> bool {
+    let mut it = hay.iter();
+    needle.iter().all(|n| it.any(|h| h == n))
+}
+
+/// The second fuzzer mode: diffs **exact read-set invalidation** against the
+/// **relation-level baseline** on the case's random schema × query × policy
+/// workload. Exact invalidation only ever *keeps* verdicts the coarse scheme
+/// would have evicted — and every kept verdict is sound (its decision
+/// procedure read nothing the growth touched) — so the two runs must agree
+/// on everything observable:
+///
+/// * identical access sequence, certainty, answers and final configuration;
+/// * the exact run's verdict log is a *subsequence* of the baseline's (the
+///   re-checks it skips are the only difference);
+/// * the exact run never runs more procedures or evicts more verdicts;
+/// * the threaded scheduler under the case's churn script, running exact
+///   invalidation, still matches the sequential exact run byte-for-byte.
+pub fn run_invalidation_case(case: &FuzzCase) -> InvalidationOutcome {
+    let (workload, instance, initial, query) = case.materialize();
+    let methods = workload.methods.clone();
+    let names: Vec<&str> = methods.iter().map(|(_, m)| m.name()).collect();
+    let exact_options = RunOptions {
+        invalidation: InvalidationMode::Exact,
+        ..case.options()
+    };
+    let relation_options = RunOptions {
+        invalidation: InvalidationMode::RelationLevel,
+        ..case.options()
+    };
+
+    let source = DeepWebSource::new(instance.clone(), methods.clone(), case.policy.clone());
+    let exact = FederatedEngine::new(&source, query.clone(), case.strategy)
+        .with_options(exact_options.clone())
+        .run(&initial);
+    let relation = FederatedEngine::new(&source, query.clone(), case.strategy)
+        .with_options(relation_options)
+        .run(&initial);
+
+    let mut divergence = None;
+    let mut diverge = |field: &'static str, broken: bool| {
+        if broken && divergence.is_none() {
+            divergence = Some(InvalidationDivergence { field });
+        }
+    };
+    diverge(
+        "access_sequence",
+        exact.access_sequence != relation.access_sequence,
+    );
+    diverge("certain", exact.certain != relation.certain);
+    diverge("answers", exact.answers != relation.answers);
+    diverge(
+        "final_configuration",
+        !exact
+            .final_configuration
+            .same_facts(&relation.final_configuration),
+    );
+    diverge(
+        "verdict_log_subsequence",
+        !is_subsequence(&exact.relevance_verdicts, &relation.relevance_verdicts),
+    );
+    diverge(
+        "misses_exceed_baseline",
+        exact.relevance_cache_misses > relation.relevance_cache_misses,
+    );
+    diverge(
+        "evictions_exceed_baseline",
+        exact.evictions > relation.evictions,
+    );
+
+    // Executor invariance under the new default: the threaded scheduler,
+    // churned by the case's script, must still match the sequential exact
+    // run field-for-field.
+    let federation = Federation::builder(methods.clone())
+        .source(
+            SimulatedSource::exact(PRIMARY, instance.clone(), methods.clone())
+                .with_policy(case.policy.clone())
+                .with_latency(LatencyModel::recorded(15)),
+            &names,
+        )
+        .expect("primary registers")
+        .replica(
+            SimulatedSource::exact(REPLICA, instance, methods.clone())
+                .with_policy(case.policy.clone())
+                .with_latency(LatencyModel::recorded(25)),
+            &names,
+        )
+        .expect("replica registers")
+        .with_chaos(ChaosOptions::scripted(
+            case.script.clone(),
+            SYNC_PACE_MICROS,
+        ))
+        .build()
+        .expect("federation builds");
+    let threaded = BatchScheduler::new(&federation, query, case.strategy)
+        .with_options(exact_options)
+        .run(&initial);
+    if divergence.is_none() {
+        divergence =
+            first_differing_field(&threaded, &exact).map(|field| InvalidationDivergence { field });
+    }
+
+    InvalidationOutcome {
+        divergence,
+        exact_misses: exact.relevance_cache_misses,
+        relation_misses: relation.relevance_cache_misses,
+        exact_evictions: exact.evictions,
+        relation_evictions: relation.evictions,
+    }
+}
+
+/// Aggregate outcome of an invalidation-differential sweep.
+#[derive(Debug, Default)]
+pub struct InvalidationSummary {
+    /// Seeds run.
+    pub cases: usize,
+    /// `(seed, broken invariant)` per diverging case.
+    pub failures: Vec<(u64, &'static str)>,
+    /// Decision procedures run across all cases, exact mode.
+    pub exact_misses: usize,
+    /// Decision procedures run across all cases, relation-level mode.
+    pub relation_misses: usize,
+}
+
+/// Runs `count` seeded invalidation differentials starting at `base_seed`.
+pub fn fuzz_invalidation(base_seed: u64, count: usize) -> InvalidationSummary {
+    let mut summary = InvalidationSummary::default();
+    for i in 0..count {
+        let seed = base_seed.wrapping_add(i as u64);
+        let case = FuzzCase::from_seed(seed);
+        let outcome = run_invalidation_case(&case);
+        summary.cases += 1;
+        summary.exact_misses += outcome.exact_misses;
+        summary.relation_misses += outcome.relation_misses;
+        if let Some(divergence) = outcome.divergence {
+            summary.failures.push((seed, divergence.field));
+        }
+    }
+    summary
+}
+
 /// Greedily shrinks a diverging case to a minimal one that still diverges:
 /// first drop churn events one at a time, then halve the data knobs
 /// (constants, facts, atoms). Returns the case unchanged if it does not
@@ -510,6 +676,21 @@ mod tests {
             "sound scenarios diverged: {:?}",
             summary.failures
         );
+    }
+
+    #[test]
+    fn exact_invalidation_agrees_with_relation_level_baseline() {
+        let summary = fuzz_invalidation(2000, 8);
+        assert_eq!(summary.cases, 8);
+        assert!(
+            summary.failures.is_empty(),
+            "exact invalidation diverged from the relation-level baseline: {:?}",
+            summary.failures
+        );
+        // Across the sweep the exact mode must never run more procedures
+        // than the baseline (per-case this is already an invariant; the
+        // aggregate is the useful telemetry line).
+        assert!(summary.exact_misses <= summary.relation_misses);
     }
 
     #[test]

@@ -99,8 +99,8 @@ pub mod prelude {
     /// [`Threaded`] / [`Async`] / [`Serving`] below), get a `RunReport` —
     /// or sweep every strategy at once with [`compare_strategies`].
     pub use accrel_engine::{
-        compare_strategies, DeepWebSource, Executor, FederatedEngine, ResponsePolicy, RunOptions,
-        RunReport, RunRequest, Sequential, SpeculationMode, Strategy,
+        compare_strategies, DeepWebSource, Executor, FederatedEngine, InvalidationMode,
+        ResponsePolicy, RunOptions, RunReport, RunRequest, Sequential, SpeculationMode, Strategy,
     };
     /// The federation runtimes and their executors: thread-pooled batches
     /// ([`Threaded`] / [`BatchScheduler`] over a [`Federation`]),

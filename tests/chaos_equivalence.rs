@@ -207,3 +207,86 @@ fn journal_replay_warm_starts_the_shared_cache_across_processes() {
     std::fs::remove_file(&path).ok();
     std::fs::remove_dir(&dir).ok();
 }
+
+/// The warm-start invariant survives **eager speculation**: prediction
+/// probes run on scratch oracles whose shared-cache handle is detached, so
+/// they can neither publish speculative verdicts into the registry's
+/// `SharedVerdictCache` nor be answered from it. A regression here shows up
+/// twice: the live run's first serve would report shared hits from its own
+/// speculation (the cache must be cold), and the replayed child would
+/// break `shared_hits == cache_misses` because the journal carried probe
+/// verdicts the real run never checked.
+#[test]
+fn eager_speculation_probes_never_leak_into_the_shared_cache() {
+    let scenario = bank_scenario();
+    let eager = RunOptions {
+        speculation: SpeculationMode::Eager,
+        ..RunOptions::default()
+    };
+    let request = vec![RunRequest::new(scenario.query.clone()).with_options(eager)];
+
+    if let Ok(path) = std::env::var("ACCREL_EAGER_REPLAY_PATH") {
+        let restored = SharedVerdictCache::new();
+        let summary = accrel::federation::RunJournal::replay(&path, &restored).unwrap();
+        assert!(summary.verdicts_restored > 0, "journal held no verdicts");
+        let federation = AsyncFederation::single_simulated(SimulatedSource::exact(
+            "bank",
+            scenario.instance.clone(),
+            scenario.methods.clone(),
+        ));
+        let registry =
+            QuerySessionRegistry::with_verdicts(&federation, ServingOptions::default(), restored);
+        let report = registry.serve(&request, &scenario.initial_configuration);
+        let run = &report.sessions[0].report;
+        assert!(run.relevance_shared_hits > 0, "warm start had no effect");
+        assert_eq!(
+            run.relevance_shared_hits, run.relevance_cache_misses,
+            "every relevance check of the eager run must be a shared-cache \
+             hit — speculative probes must not have polluted the journal"
+        );
+        println!("CHILD-OK shared_hits={}", run.relevance_shared_hits);
+        return;
+    }
+
+    let federation = AsyncFederation::single_simulated(SimulatedSource::exact(
+        "bank",
+        scenario.instance.clone(),
+        scenario.methods.clone(),
+    ));
+    let registry = QuerySessionRegistry::new(&federation);
+    let live = registry.serve(&request, &scenario.initial_configuration);
+    let live_run = &live.sessions[0].report;
+    assert!(live_run.certain);
+    // The leak's most direct symptom: eager prediction probes publishing
+    // into the shared cache make the run's *own* later checks "shared
+    // hits" on a supposedly cold cache.
+    assert_eq!(
+        live_run.relevance_shared_hits, 0,
+        "a cold eager run answered checks from its own speculation probes"
+    );
+
+    let dir = std::env::temp_dir().join(format!("accrel-eager-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("eager_warm_start.journal");
+    accrel::federation::RunJournal::write_to(&path, &[live_run], registry.verdict_cache()).unwrap();
+
+    let exe = std::env::current_exe().unwrap();
+    let output = std::process::Command::new(exe)
+        .args([
+            "--exact",
+            "eager_speculation_probes_never_leak_into_the_shared_cache",
+            "--nocapture",
+        ])
+        .env("ACCREL_EAGER_REPLAY_PATH", &path)
+        .output()
+        .unwrap();
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(
+        output.status.success() && stdout.contains("CHILD-OK"),
+        "child replay failed\n--- stdout ---\n{stdout}\n--- stderr ---\n{}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+
+    std::fs::remove_file(&path).ok();
+    std::fs::remove_dir(&dir).ok();
+}

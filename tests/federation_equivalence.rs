@@ -312,6 +312,128 @@ fn eager_trail_speculation_matches_cached_only_and_sequential() {
     );
 }
 
+use accrel::prelude::internals::VerdictRecord;
+
+/// Whether `needle` is an (ordered, not necessarily contiguous) subsequence
+/// of `hay`.
+fn is_subsequence(needle: &[VerdictRecord], hay: &[VerdictRecord]) -> bool {
+    let mut it = hay.iter();
+    needle.iter().all(|n| it.any(|h| h == n))
+}
+
+#[test]
+fn exact_invalidation_matches_relation_level_across_the_executor_grid() {
+    // Exact read-set invalidation re-verifies a cached verdict only when a
+    // response actually inserted a pair the verdict's decision procedure
+    // read; relation-level invalidation drops every verdict whose coarse
+    // dependency set mentions the grown relation. Both are sound, so for
+    // every scenario and strategy:
+    //
+    // * within each mode, every executor is byte-for-byte the sequential
+    //   run (verdict log included);
+    // * across modes, the observable run — access sequence, certainty,
+    //   answers, final configuration — is identical;
+    // * the exact run's verdict log is a subsequence of the relation-level
+    //   log (the skipped re-checks are the only difference), and it never
+    //   runs more decision procedures.
+    let scenarios = [bank_scenario(), random_scenario(11)];
+    let mut rechecks_saved = 0usize;
+    for scenario in &scenarios {
+        let policy = ResponsePolicy::Exact;
+        let sequential_source = DeepWebSource::new(
+            scenario.instance.clone(),
+            scenario.methods.clone(),
+            policy.clone(),
+        );
+        let sequential_exec = Sequential::new(&sequential_source);
+        let federation = Federation::single(policy_source(scenario, &policy, "grid"));
+        let async_federation = AsyncFederation::single(BlockingSource::new(policy_source(
+            scenario, &policy, "grid",
+        )));
+        let threaded = Threaded::new(&federation);
+        let asynced = Async::new(&async_federation);
+        let executors: Vec<&dyn Executor> = vec![&threaded, &asynced];
+        for strategy in Strategy::all() {
+            let request = |invalidation| {
+                RunRequest::new(scenario.query.clone())
+                    .with_strategy(strategy)
+                    .with_options(RunOptions {
+                        batch_size: 4,
+                        workers: 2,
+                        invalidation,
+                        ..run_options()
+                    })
+            };
+            let mut by_mode = Vec::new();
+            for invalidation in [InvalidationMode::Exact, InvalidationMode::RelationLevel] {
+                let request = request(invalidation);
+                sequential_exec.reset_stats();
+                let sequential = sequential_exec.execute(&request, &scenario.initial_configuration);
+                for executor in &executors {
+                    executor.reset_stats();
+                    let report = executor.execute(&request, &scenario.initial_configuration);
+                    let cell = format!(
+                        "executor={} scenario={} strategy={} mode={invalidation:?}",
+                        executor.name(),
+                        scenario.name,
+                        strategy.name()
+                    );
+                    assert_eq!(
+                        report.access_sequence, sequential.access_sequence,
+                        "access sequence diverged: {cell}"
+                    );
+                    assert_eq!(
+                        report.relevance_verdicts, sequential.relevance_verdicts,
+                        "relevance verdict log diverged: {cell}"
+                    );
+                    assert_eq!(report.certain, sequential.certain, "verdict: {cell}");
+                    assert_eq!(report.answers, sequential.answers, "answers: {cell}");
+                    assert!(
+                        report
+                            .final_configuration
+                            .same_facts(&sequential.final_configuration),
+                        "final configurations differ: {cell}"
+                    );
+                }
+                by_mode.push(sequential);
+            }
+            let [exact, relation] = &by_mode[..] else {
+                unreachable!()
+            };
+            let cell = format!("scenario={} strategy={}", scenario.name, strategy.name());
+            assert_eq!(
+                exact.access_sequence, relation.access_sequence,
+                "invalidation mode changed the access sequence: {cell}"
+            );
+            assert_eq!(exact.certain, relation.certain, "verdict: {cell}");
+            assert_eq!(exact.answers, relation.answers, "answers: {cell}");
+            assert!(
+                exact
+                    .final_configuration
+                    .same_facts(&relation.final_configuration),
+                "invalidation mode changed the final configuration: {cell}"
+            );
+            assert!(
+                is_subsequence(&exact.relevance_verdicts, &relation.relevance_verdicts),
+                "exact verdict log is not a subsequence of the baseline: {cell}"
+            );
+            assert!(
+                exact.relevance_cache_misses <= relation.relevance_cache_misses,
+                "exact invalidation re-ran more procedures ({} > {}): {cell}",
+                exact.relevance_cache_misses,
+                relation.relevance_cache_misses
+            );
+            rechecks_saved += relation.relevance_cache_misses - exact.relevance_cache_misses;
+        }
+    }
+    // Somewhere in the grid exact invalidation actually kept a verdict the
+    // coarse scheme would have re-checked — the feature is not vacuous.
+    assert!(
+        rechecks_saved > 0,
+        "exact invalidation never skipped a re-check anywhere in the grid"
+    );
+}
+
 #[test]
 fn multi_source_federation_matches_single_source() {
     // Splitting the bank's Web forms across two providers must not change

@@ -645,6 +645,110 @@ fn nested_trail_marks_undo_inside_out_and_outer_undo_cancels_inner() {
 }
 
 #[test]
+fn duplicate_only_rounds_evict_nothing_and_leave_the_verdict_cache_intact() {
+    // Re-applying an already-applied response inserts zero facts: the store
+    // queues no insert events, the oracle drains nothing, and every cached
+    // verdict survives — re-checking the same accesses afterwards must be
+    // pure cache hits. (Exact read-set invalidation is the default; the
+    // duplicate round must be invisible to it.)
+    use accrel::access::apply_access_in_place;
+    use accrel::access::enumerate::{well_formed_accesses, EnumerationOptions};
+    use accrel::engine::{RelevanceOracle, RunOptions};
+
+    for seed in 0..6u64 {
+        let spec = WorkloadSpec {
+            relations: 3,
+            arity: 2,
+            domains: 2,
+            constants: 5,
+            dependent_fraction: 0.5,
+        };
+        let mut rng = StdRng::seed_from_u64(seed);
+        let workload = generate_workload(&spec, &mut rng);
+        let query = Query::Cq(generate_cq(&workload, 2, 3, 0.8, &mut rng));
+        let instance = accrel::workloads::random::generate_instance(&workload, 12, &mut rng);
+        let mut conf = generate_configuration(&workload, 4, &mut rng);
+        conf.set_event_capture(true);
+
+        let options = RunOptions::default();
+        let mut oracle = RelevanceOracle::new(&query, &workload.methods, &options);
+
+        // Warm the verdict cache over the current candidate set.
+        let candidates =
+            well_formed_accesses(&conf, &workload.methods, &EnumerationOptions::default());
+        for access in candidates.iter().take(8) {
+            let _ = oracle.check_ir(access, &conf);
+            let _ = oracle.check_ltr(access, &conf);
+        }
+
+        // Find an access whose exact response actually grows the
+        // configuration, apply it, and drain its events the way the engine
+        // does after a growing round.
+        let mut applied: Option<(Access, Response)> = None;
+        for access in &candidates {
+            let Ok(response) = Response::exact(access, &workload.methods, &instance) else {
+                continue;
+            };
+            let before = conf.len();
+            let _ = apply_access_in_place(&mut conf, access, &response, &workload.methods);
+            if conf.len() > before {
+                let relation = workload.methods.get(access.method()).unwrap().relation();
+                oracle.observe_growth(&mut conf, relation);
+                applied = Some((access.clone(), response));
+                break;
+            }
+            assert_eq!(conf.pending_events(), 0, "duplicate queued events");
+        }
+        let Some((access, response)) = applied else {
+            continue; // nothing grows at this seed; the grid covers others
+        };
+
+        // Re-warm so the cache holds verdicts again after the growth round.
+        for access in candidates.iter().take(8) {
+            let _ = oracle.check_ir(access, &conf);
+            let _ = oracle.check_ltr(access, &conf);
+        }
+        let evictions_before = oracle.evictions();
+        let drained_before = oracle.events_drained();
+        let misses_before = oracle.misses();
+
+        // The duplicate-only round: same access, same response, zero new
+        // facts. No events may queue, and draining must evict nothing.
+        let before = conf.len();
+        let _ = apply_access_in_place(&mut conf, &access, &response, &workload.methods);
+        assert_eq!(conf.len(), before, "duplicate response grew at seed={seed}");
+        assert_eq!(
+            conf.pending_events(),
+            0,
+            "duplicate response queued insert events at seed={seed}"
+        );
+        let relation = workload.methods.get(access.method()).unwrap().relation();
+        oracle.observe_growth(&mut conf, relation);
+        assert_eq!(
+            oracle.evictions(),
+            evictions_before,
+            "duplicate round evicted cached verdicts at seed={seed}"
+        );
+        assert_eq!(
+            oracle.events_drained(),
+            drained_before,
+            "duplicate round drained events at seed={seed}"
+        );
+
+        // Cache survival: the same checks are now pure hits.
+        for access in candidates.iter().take(8) {
+            let _ = oracle.check_ir(access, &conf);
+            let _ = oracle.check_ltr(access, &conf);
+        }
+        assert_eq!(
+            oracle.misses(),
+            misses_before,
+            "verdict cache lost entries across a duplicate-only round at seed={seed}"
+        );
+    }
+}
+
+#[test]
 fn index_backed_candidates_agree_with_membership_semantics() {
     for (seed, _, facts) in cases() {
         let (workload, _, conf) = workload_and_query(seed, 1, facts + 4);

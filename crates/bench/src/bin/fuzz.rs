@@ -4,8 +4,8 @@
 //! oracle. Any divergence is shrunk to a minimal reproducing case and
 //! printed; the process exits non-zero so CI can gate on it.
 //!
-//! With `--invalidation-seeds <N>` the sweep additionally diffs **exact
-//! read-set invalidation** against the relation-level baseline on each
+//! With `--invalidation-seeds <N>` the sweep additionally diffs **precise**
+//! and **exact read-set invalidation** against the relation-level baseline on each
 //! case (identical observable run, verdict-log subsequence, never more
 //! re-checks or evictions).
 //!
@@ -77,17 +77,17 @@ fn main() -> ExitCode {
     if invalidation_seeds > 0 {
         println!(
             "\n# invalidation differential: {invalidation_seeds} seeds from base {base_seed} \
-             (exact read-set vs relation-level)"
+             (precise vs exact read-set vs relation-level)"
         );
         let inv = differential::fuzz_invalidation(base_seed, invalidation_seeds);
         println!(
-            "cases run      : {}\nexact misses   : {}\nbaseline misses: {}",
-            inv.cases, inv.exact_misses, inv.relation_misses
+            "cases run      : {}\nprecise misses : {}\nexact misses   : {}\nbaseline misses: {}",
+            inv.cases, inv.precise_misses, inv.exact_misses, inv.relation_misses
         );
         if inv.failures.is_empty() {
             println!(
-                "all {} cases: exact invalidation matches the relation-level baseline \
-                 (and never re-checks more)",
+                "all {} cases: precise and exact invalidation match the relation-level \
+                 baseline (and never re-check more)",
                 inv.cases
             );
         } else {

@@ -6,7 +6,7 @@ use accrel_federation::{
     AsyncFederation, ChaosOptions, ChurnScript, Federation, LatencyModel, SimulatedSource,
 };
 use accrel_query::{ConjunctiveQuery, Query, Term};
-use accrel_schema::{Configuration, Schema, Value};
+use accrel_schema::{Configuration, Instance, Schema, Value};
 use accrel_workloads::random::{
     generate_configuration, generate_instance, generate_query, generate_workload, Workload,
     WorkloadSpec,
@@ -382,6 +382,113 @@ pub fn federation_fixture_from(
         federation,
         query: world.query.clone(),
         initial: world.initial.clone(),
+    }
+}
+
+/// The adom-flooding chain behind `harness --check-invalidation`.
+///
+/// A three-atom chain query `R0(x,y) ∧ R1(y,z) ∧ R2(z,w)` over two
+/// domains: the key domain `B` (integers) types only the head variable
+/// `x`, the link domain `A` (symbols) types `y`, `z`, `w`. The hidden
+/// `R0` is **empty** — the query is never certain — and `R1`/`R2` are
+/// fully present in the seed configuration, so no query relation ever
+/// grows. All growth comes from the feeder chain `Feed(i, i+1)` over
+/// increasing integer keys of `B`: every feeder access delivers exactly
+/// one fresh value, flooding the active domain while every relation the
+/// decision procedures scan stays static.
+///
+/// The verdicts at stake are the dead-end candidates: `Dead(k, v)` maps
+/// `B` keys to a third domain `C` that **no access method consumes**, so
+/// an `accD` access is long-term irrelevant — its fresh outputs unlock
+/// no break access (condition A) and replaying any production plan
+/// without it still certifies the query (condition B). Proving that
+/// requires exhausting the witness search, and the pool of dead
+/// candidates grows with every feeder value.
+///
+/// The domain split is what separates the three invalidation modes.
+/// Relation-level eviction fires on every response (dependent dep-sets
+/// are global), so each feed re-proves every dead verdict. Coarse adom
+/// recording (`Exact` mode) stamps `adom_all` on the failed witness
+/// searches, so each fresh value re-proves them all too — the wash this
+/// fixture exists to expose. Per-domain prefix reads survive: the
+/// backtracking search puts `x` at the top of its DFS, the `A`-typed
+/// subtree below it exhausts the valuation budget, and the visited
+/// prefix of `B`'s sorted candidate list stays short — a fresh integer
+/// sorts **above** it, so precise-mode verdicts are untouched. (`A`'s
+/// full-domain reads are real but `A` never grows.)
+#[derive(Debug, Clone)]
+pub struct FloodFixture {
+    /// The chain query (never certain: hidden `R0` is empty).
+    pub query: Query,
+    /// The access methods (all dependent, keyed on the first column).
+    pub methods: AccessMethods,
+    /// The hidden instance: the feeder chain plus the static links.
+    pub instance: Instance,
+    /// The seed configuration: the first feeder link and all links.
+    pub initial: Configuration,
+}
+
+/// Builds the [`FloodFixture`] with `feed_len` feeder links and `links`
+/// static `A`-domain link facts in `R1`/`R2`.
+pub fn adom_flooding_chain(feed_len: i64, links: usize) -> FloodFixture {
+    let mut b = Schema::builder();
+    let key = b.domain("B").unwrap();
+    let link = b.domain("A").unwrap();
+    let sink = b.domain("C").unwrap();
+    b.relation("R0", &[("k", key), ("a", link)]).unwrap();
+    b.relation("R1", &[("a", link), ("b", link)]).unwrap();
+    b.relation("R2", &[("a", link), ("b", link)]).unwrap();
+    b.relation("Feed", &[("k", key), ("v", key)]).unwrap();
+    b.relation("Dead", &[("k", key), ("v", sink)]).unwrap();
+    let schema = b.build();
+
+    // Method order is scan order: the dead-end candidates sort before the
+    // feeder, so every long-term-relevance scan re-proves each cached dead
+    // verdict (or hits its cache entry) before reaching the feed access it
+    // will execute.
+    let mut mb = AccessMethods::builder(schema.clone());
+    mb.add("acc0", "R0", &["k"], AccessMode::Dependent).unwrap();
+    mb.add("acc1", "R1", &["a"], AccessMode::Dependent).unwrap();
+    mb.add("acc2", "R2", &["a"], AccessMode::Dependent).unwrap();
+    mb.add("accD", "Dead", &["k"], AccessMode::Dependent)
+        .unwrap();
+    mb.add("accF", "Feed", &["k"], AccessMode::Dependent)
+        .unwrap();
+    let methods = mb.build();
+
+    let mut instance = Instance::new(schema.clone());
+    let mut initial = Configuration::empty(schema.clone());
+    for i in 0..feed_len {
+        instance.insert_named("Feed", [i, i + 1]).unwrap();
+    }
+    initial.insert_named("Feed", [0i64, 1]).unwrap();
+    // The link chain a00 -> a01 -> ... is both hidden and seeded: accesses
+    // on R1/R2 deliver facts the configuration already holds, so they never
+    // raise an insert event.
+    for i in 0..links {
+        let a = format!("a{i:02}");
+        let b = format!("a{:02}", i + 1);
+        instance.insert_named("R1", [a.clone(), b.clone()]).unwrap();
+        instance.insert_named("R2", [a.clone(), b.clone()]).unwrap();
+        initial.insert_named("R1", [a.clone(), b.clone()]).unwrap();
+        initial.insert_named("R2", [a, b]).unwrap();
+    }
+
+    let mut qb = ConjunctiveQuery::builder(schema);
+    let x = qb.var("x");
+    let y = qb.var("y");
+    let z = qb.var("z");
+    let w = qb.var("w");
+    qb.atom("R0", vec![Term::Var(x), Term::Var(y)]).unwrap();
+    qb.atom("R1", vec![Term::Var(y), Term::Var(z)]).unwrap();
+    qb.atom("R2", vec![Term::Var(z), Term::Var(w)]).unwrap();
+    let query: Query = qb.build().into();
+
+    FloodFixture {
+        query,
+        methods,
+        instance,
+        initial,
     }
 }
 

@@ -627,17 +627,19 @@ pub fn f1_federation_sweep(
             report.trail_ops.undone as f64,
         ));
     }
-    // Exact read-set invalidation against its relation-level baseline on a
+    // Read-set invalidation against its relation-level baseline on a
     // **relevance-guided** growing run (the exhaustive strategy never
     // consults the oracle; the E5 workload is fully dependent, so every
     // response grows a relation other verdicts depend on). The headline
     // metric is **re-checks/round** — decision procedures re-run per growth
     // round after cache invalidation. Exact invalidation only re-verifies a
-    // verdict when a response inserted a pair its procedure actually read,
-    // so its row must never exceed the relation-level one; the answers are
-    // pinned byte-for-byte by the equivalence suite and the differential
-    // fuzzer.
+    // verdict when a response inserted a pair its procedure actually read;
+    // precise invalidation further scopes the active-domain reads per
+    // domain and visited prefix, so the rows must order precise ≤ exact ≤
+    // relation-level; the answers are pinned byte-for-byte by the
+    // equivalence suite and the differential fuzzer.
     for (mode_label, invalidation) in [
+        ("precise", InvalidationMode::Precise),
         ("exact", InvalidationMode::Exact),
         ("relation-level", InvalidationMode::RelationLevel),
     ] {
@@ -1081,22 +1083,41 @@ pub fn run_smoke() -> Vec<Table> {
     ]
 }
 
-/// The non-blocking CI assertion behind `harness --check-invalidation`: on
-/// the dependent-method bank scenario under the hybrid strategy — the
-/// workload whose value-specific reads give exact invalidation the most to
-/// keep — the exact mode must re-run **strictly fewer** decision procedures
-/// than the relation-level baseline (the answers are pinned identical by
-/// the equivalence suite; this guards the saving itself). Returns the
-/// `(exact, relation-level)` total re-check pair, or an error when the
-/// saving vanished.
-pub fn check_invalidation_savings() -> Result<(usize, usize), String> {
+/// Per-mode re-check totals asserted by `harness --check-invalidation`
+/// (a blocking CI step).
+#[derive(Debug, Clone, Copy)]
+pub struct InvalidationSavings {
+    /// Bank workload total re-checks under exact read-set invalidation.
+    pub bank_exact: usize,
+    /// Bank workload total re-checks under the relation-level baseline.
+    pub bank_relation: usize,
+    /// E5 adom-flooding chain total re-checks under precise invalidation.
+    pub e5_precise: usize,
+    /// E5 adom-flooding chain total re-checks under exact invalidation.
+    pub e5_exact: usize,
+    /// E5 adom-flooding chain total re-checks under the baseline.
+    pub e5_relation: usize,
+}
+
+/// The CI assertion behind `harness --check-invalidation`, two workloads
+/// deep. On the dependent-method bank scenario — whose value-specific reads
+/// give exact invalidation the most to keep — the exact mode must re-run
+/// **strictly fewer** decision procedures than the relation-level baseline.
+/// On the E5 adom-flooding chain — where nearly every response introduces
+/// fresh values, so exact's coarse adom recording evicts almost everything
+/// and washes out against the baseline — the **precise** mode's per-domain
+/// prefix reads must still save strictly, with the re-check totals ordered
+/// precise ≤ exact ≤ relation-level. (The answers are pinned identical by
+/// the equivalence suite; this guards the savings themselves.) Returns an
+/// error when any saving vanished or the ordering broke.
+pub fn check_invalidation_savings() -> Result<InvalidationSavings, String> {
     let scenario = accrel_engine::scenarios::bank_scenario();
     let source = DeepWebSource::new(
         scenario.instance.clone(),
         scenario.methods.clone(),
         ResponsePolicy::Exact,
     );
-    let mut per_mode = Vec::new();
+    let mut bank = Vec::new();
     for invalidation in [InvalidationMode::Exact, InvalidationMode::RelationLevel] {
         let options = RunOptions {
             stop_when_certain: false,
@@ -1107,18 +1128,66 @@ pub fn check_invalidation_savings() -> Result<(usize, usize), String> {
             accrel_engine::FederatedEngine::new(&source, scenario.query.clone(), Strategy::Hybrid)
                 .with_options(options)
                 .run(&scenario.initial_configuration);
-        per_mode.push(report.relevance_cache_misses);
+        bank.push(report.relevance_cache_misses);
     }
-    let (exact, relation) = (per_mode[0], per_mode[1]);
-    if exact < relation {
-        Ok((exact, relation))
-    } else {
-        Err(format!(
+    let flood = fixtures::adom_flooding_chain(64, 12);
+    let flood_source = DeepWebSource::new(
+        flood.instance.clone(),
+        flood.methods.clone(),
+        ResponsePolicy::Exact,
+    );
+    let mut chain = Vec::new();
+    for invalidation in [
+        InvalidationMode::Precise,
+        InvalidationMode::Exact,
+        InvalidationMode::RelationLevel,
+    ] {
+        let options = RunOptions {
+            max_accesses: 60,
+            stop_when_certain: false,
+            invalidation,
+            budget: accrel_core::SearchBudget::shallow().with_max_valuations(600),
+            ..RunOptions::default()
+        };
+        let report = accrel_engine::FederatedEngine::new(
+            &flood_source,
+            flood.query.clone(),
+            Strategy::Hybrid,
+        )
+        .with_options(options)
+        .run(&flood.initial);
+        chain.push(report.relevance_cache_misses);
+    }
+    let savings = InvalidationSavings {
+        bank_exact: bank[0],
+        bank_relation: bank[1],
+        e5_precise: chain[0],
+        e5_exact: chain[1],
+        e5_relation: chain[2],
+    };
+    if savings.bank_exact >= savings.bank_relation {
+        return Err(format!(
             "exact read-set invalidation no longer saves re-checks on the dependent-method \
-             bank workload: {exact} decision procedures re-run (exact) vs {relation} \
-             (relation-level)"
-        ))
+             bank workload: {} decision procedures re-run (exact) vs {} (relation-level)",
+            savings.bank_exact, savings.bank_relation
+        ));
     }
+    if savings.e5_precise > savings.e5_exact || savings.e5_exact > savings.e5_relation {
+        return Err(format!(
+            "invalidation re-check totals out of order on the E5 adom-flooding chain: \
+             {} (precise) vs {} (exact) vs {} (relation-level) — precise ≤ exact ≤ \
+             relation-level must hold",
+            savings.e5_precise, savings.e5_exact, savings.e5_relation
+        ));
+    }
+    if savings.e5_precise >= savings.e5_relation {
+        return Err(format!(
+            "precise invalidation no longer saves re-checks on the E5 adom-flooding chain: \
+             {} decision procedures re-run (precise) vs {} (relation-level)",
+            savings.e5_precise, savings.e5_relation
+        ));
+    }
+    Ok(savings)
 }
 
 /// The million-fact job: the E5 data-complexity point plus the F1

@@ -125,7 +125,9 @@ fn disjunct_non_containment(
     );
     let valuations =
         search::enumerate_valuations(disjunct, conf, &[], &mut fresh, budget.max_valuations);
-    let base = conf.active_domain();
+    // The accessible pool over Adom(Conf); records only the membership,
+    // minimum and emptiness reads the planner actually performs.
+    let base = search::AdomPool::of(conf);
     // Generator chains depend only on domain sets; plan them once per shape
     // across all valuations of this disjunct.
     let mut chain_cache = search::ChainCache::new();
@@ -165,6 +167,7 @@ fn disjunct_non_containment(
                 &needed,
                 &base,
                 methods,
+                conf,
                 budget,
                 &mut plan_fresh,
                 alternative,

@@ -172,9 +172,12 @@ fn disjunct_witness(
     let schema = methods.schema();
     let valuations =
         search::enumerate_valuations(disjunct, conf, generic_extra, fresh, budget.max_valuations);
-    // Adom(Conf) is constant across valuations; compute it once. Chain
-    // discovery is memoised by domain-set across valuations too.
-    let conf_adom = conf.active_domain();
+    // The accessible-value pool over Adom(Conf) is constant across
+    // valuations; build it once (the pool records the membership, minimum
+    // and emptiness reads the planner actually performs, instead of a
+    // whole-active-domain read). Chain discovery is memoised by domain-set
+    // across valuations too.
+    let conf_pool = search::AdomPool::of(conf);
     let mut chain_cache = search::ChainCache::new();
 
     'next_valuation: for h in valuations {
@@ -205,19 +208,23 @@ fn disjunct_witness(
         // Values accessible once the initial access has returned: Adom(Conf)
         // plus every value of the initial response (first facts + generic
         // tuple).
-        let mut base = conf_adom.clone();
+        let mut base = conf_pool.clone();
         for (rel, tuple) in &first_facts {
             absorb(&mut base, schema, *rel, tuple);
         }
         if let Some(t) = generic_tuple {
             absorb(&mut base, schema, access_relation, t);
         }
-        // The (value, domain) pairs only the initial response provides.
-        let new_pairs: Vec<(Value, DomainId)> = base
+        // The (value, domain) pairs only the initial response provides. Only
+        // the overlay can contain them — Adom(Conf) pairs never pass the
+        // filter — and each candidate is a recorded point probe.
+        let mut new_pairs: Vec<(Value, DomainId)> = base
+            .overlay()
             .iter()
             .filter(|(v, d)| !conf.adom_contains(v, *d))
             .cloned()
             .collect();
+        new_pairs.sort();
 
         for alternative in 0..budget.max_chain_alternatives.max(1) {
             let mut plan_fresh = fresh.clone();
@@ -225,6 +232,7 @@ fn disjunct_witness(
                 &later_facts,
                 &base,
                 methods,
+                conf,
                 budget,
                 &mut plan_fresh,
                 alternative,
@@ -239,7 +247,7 @@ fn disjunct_witness(
             // Witness condition A: the truncation can be made to collapse to
             // Conf by inserting, right after the initial access, an access
             // that consumes a value only the initial response provides.
-            if !new_pairs.is_empty() && break_access_exists(&new_pairs, &conf_adom, methods) {
+            if !new_pairs.is_empty() && break_access_exists(&new_pairs, &conf_pool, conf, methods) {
                 // The query is not certain at Conf (checked by the caller),
                 // so the certain answers differ: witness found.
                 return true;
@@ -266,7 +274,7 @@ fn disjunct_witness(
 
 /// Adds the `(value, domain)` pairs of a fact to `pool`.
 fn absorb(
-    pool: &mut HashSet<(Value, DomainId)>,
+    pool: &mut search::AdomPool,
     schema: &accrel_schema::Schema,
     relation: RelationId,
     tuple: &Tuple,
@@ -274,7 +282,7 @@ fn absorb(
     if let Ok(rel) = schema.relation(relation) {
         for (p, v) in tuple.iter().enumerate() {
             if p < rel.arity() {
-                pool.insert((v.clone(), rel.domain_at(p)));
+                pool.insert(v.clone(), rel.domain_at(p));
             }
         }
     }
@@ -287,13 +295,14 @@ fn absorb(
 /// collapse to the starting configuration.
 fn break_access_exists(
     new_pairs: &[(Value, DomainId)],
-    conf_adom: &HashSet<(Value, DomainId)>,
+    conf_pool: &search::AdomPool,
+    conf: &Configuration,
     methods: &AccessMethods,
 ) -> bool {
     let schema = methods.schema();
-    let mut pool = conf_adom.clone();
-    for p in new_pairs {
-        pool.insert(p.clone());
+    let mut pool = conf_pool.clone();
+    for (v, d) in new_pairs {
+        pool.insert(v.clone(), *d);
     }
     let new_domains: HashSet<DomainId> = new_pairs.iter().map(|(_, d)| *d).collect();
     for (_, m) in methods.iter() {
@@ -307,8 +316,7 @@ fn break_access_exists(
                 fillable = false;
                 break;
             };
-            let has_value = pool.iter().any(|(_, pd)| *pd == d);
-            if !has_value {
+            if !pool.has_domain(conf, d) {
                 fillable = false;
                 break;
             }

@@ -79,18 +79,19 @@ fn head_substitutions(
         return vec![HashMap::new()];
     }
     let mut fresh = FreshSupply::above(conf.all_values_untracked().iter());
-    let adom = conf.active_domain();
     // Candidate values per head position: configuration constants of the
     // position's domain plus one fresh constant specific to that position.
+    // When the head domains are known, each position reads only its own
+    // domain (a per-domain walk for the recorder); only an untyped head
+    // falls back to a whole-active-domain read.
     let mut per_position: Vec<Vec<Value>> = Vec::with_capacity(free.len());
     for (i, _) in free.iter().enumerate() {
         let mut candidates: Vec<Value> = match &domains {
-            Some(ds) => adom
-                .iter()
-                .filter(|(_, d)| ds.get(i) == Some(d))
-                .map(|(v, _)| v.clone())
-                .collect(),
-            None => adom.iter().map(|(v, _)| v.clone()).collect(),
+            Some(ds) => match ds.get(i) {
+                Some(d) => conf.values_of_domain(*d),
+                None => Vec::new(),
+            },
+            None => conf.active_domain().into_iter().map(|(v, _)| v).collect(),
         };
         candidates.sort();
         candidates.dedup();

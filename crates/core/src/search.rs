@@ -32,6 +32,125 @@ use crate::budget::SearchBudget;
 /// the dependent-LTR search), together with the abstract domain it carries.
 pub(crate) type ExtraValue = (Value, DomainId);
 
+/// The accessible `(value, domain)` pool of a witness search: the
+/// configuration's active domain overlaid with the values an initial
+/// response or an already-planned fact has made accessible.
+///
+/// The pre-precise implementation materialised `conf.active_domain()` into a
+/// `HashSet` — a read of the *whole* active domain recorded as such, even
+/// though the producibility planner only ever asks three questions of it:
+/// "is this concrete pair accessible", "what is the least accessible value
+/// of domain `d`", and "is domain `d` populated at all". The pool answers
+/// exactly those questions and records exactly those reads: cold membership
+/// probes route through the recorded [`Configuration::adom_contains`],
+/// min/emptiness walks are recorded lazily at use time via
+/// [`Configuration::rec_adom_walk`] (a prefix read bounded by the returned
+/// minimum, or a whole-domain read when the domain was observed empty), and
+/// overlay hits touch the store not at all — every answer is stable under
+/// monotone growth of reads the pool did not record.
+///
+/// The pool holds no borrow of the configuration (the dependent-LTR search
+/// needs `&mut Configuration` for its trail-backed truncation replays while
+/// a pool is alive); callers pass the configuration to each probing method.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct AdomPool {
+    /// Minimum active-domain value per populated domain, snapshotted
+    /// untracked at construction (the configuration does not grow during a
+    /// witness search — trailed replays are undone before the pool is
+    /// consulted again).
+    base_mins: HashMap<DomainId, Value>,
+    /// Values made accessible on top of `Adom(Conf)` (response tuples,
+    /// generator-chain outputs). Membership here never touches the store.
+    overlay: HashSet<(Value, DomainId)>,
+}
+
+impl AdomPool {
+    /// The pool over `conf`'s active domain with an empty overlay.
+    pub(crate) fn of(conf: &Configuration) -> Self {
+        Self {
+            base_mins: conf.adom_domain_mins_untracked(),
+            overlay: HashSet::new(),
+        }
+    }
+
+    /// A detached pool holding exactly `pairs` (no backing configuration
+    /// side — membership and min probes see the overlay only).
+    #[cfg(test)]
+    pub(crate) fn from_pairs(pairs: HashSet<(Value, DomainId)>) -> Self {
+        Self {
+            base_mins: HashMap::new(),
+            overlay: pairs,
+        }
+    }
+
+    /// Makes `(value, domain)` accessible.
+    pub(crate) fn insert(&mut self, value: Value, domain: DomainId) {
+        self.overlay.insert((value, domain));
+    }
+
+    /// The overlay pairs — the values accessible beyond `Adom(Conf)`.
+    pub(crate) fn overlay(&self) -> &HashSet<(Value, DomainId)> {
+        &self.overlay
+    }
+
+    /// Is `(value, domain)` accessible? Overlay hits are free; everything
+    /// else is a recorded point probe of the active domain.
+    pub(crate) fn contains(&self, conf: &Configuration, value: &Value, domain: DomainId) -> bool {
+        if self.overlay.contains(&(value.clone(), domain)) {
+            return true;
+        }
+        conf.adom_contains(value, domain)
+    }
+
+    /// The least accessible value of `domain`, recording the walk: a prefix
+    /// read bounded by the returned minimum (only a value sorting strictly
+    /// below it changes the answer), or a whole-domain read when the domain
+    /// was observed empty.
+    pub(crate) fn min_value(&self, conf: &Configuration, domain: DomainId) -> Option<Value> {
+        let overlay_min = self
+            .overlay
+            .iter()
+            .filter(|(_, d)| *d == domain)
+            .map(|(v, _)| v)
+            .min();
+        let min = match (overlay_min, self.base_mins.get(&domain)) {
+            (Some(o), Some(b)) => Some(o.min(b)),
+            (Some(o), None) => Some(o),
+            (None, Some(b)) => Some(b),
+            (None, None) => None,
+        };
+        conf.rec_adom_walk(domain, min);
+        min.cloned()
+    }
+
+    /// Is any value of `domain` accessible? A positive answer is stable
+    /// under growth and records nothing; a negative one flips as soon as a
+    /// value enters the domain and records a whole-domain read.
+    pub(crate) fn has_domain(&self, conf: &Configuration, domain: DomainId) -> bool {
+        let populated =
+            self.base_mins.contains_key(&domain) || self.overlay.iter().any(|(_, d)| *d == domain);
+        if !populated {
+            conf.rec_adom_walk(domain, None);
+        }
+        populated
+    }
+
+    /// The set of populated domains. Presence is stable under growth;
+    /// absence is recorded as a whole-domain read for every schema domain
+    /// the pool observed empty.
+    pub(crate) fn domains(&self, conf: &Configuration) -> HashSet<DomainId> {
+        let mut populated: HashSet<DomainId> = self.base_mins.keys().copied().collect();
+        populated.extend(self.overlay.iter().map(|(_, d)| *d));
+        for i in 0..conf.schema().domains().len() {
+            let d = DomainId(i as u32);
+            if !populated.contains(&d) {
+                conf.rec_adom_walk(d, None);
+            }
+        }
+        populated
+    }
+}
+
 /// Enumerates candidate valuations of `cq`'s variables.
 ///
 /// Every variable may map to:
@@ -62,9 +181,13 @@ pub(crate) fn enumerate_valuations(
     // Candidate constants, grouped per domain once (the active domain is
     // served from the store's maintained cache); variables of the same
     // domain share the list instead of re-filtering and re-deduplicating it.
+    // The walk is untracked here: what the enumeration actually consulted is
+    // recorded per domain after the DFS — a whole-domain read only when some
+    // traversal ran off the natural end of a candidate list, a visited-prefix
+    // read when every traversal was cut early by `limit`.
     let mut by_domain: HashMap<DomainId, Vec<Value>> = HashMap::new();
     let mut untyped: Vec<Value> = Vec::new();
-    for (val, d) in conf.active_domain() {
+    for (val, d) in conf.active_domain_untracked() {
         by_domain.entry(d).or_default().push(val.clone());
         untyped.push(val);
     }
@@ -90,6 +213,19 @@ pub(crate) fn enumerate_valuations(
     let mut slot_values: HashMap<(Option<DomainId>, usize), Value> = HashMap::new();
     let mut out: Vec<HashMap<VarId, Value>> = Vec::new();
 
+    // Per-variable visit statistics for the read recorder: the highest
+    // candidate-list index the DFS entered, and whether some traversal ran
+    // off the natural end of the list (as opposed to being cut by `limit` —
+    // a limit-cut traversal never observed the end, so a prefix read
+    // suffices; a completed one observed "no further candidates", which a
+    // value sorting above everything visited would falsify).
+    #[derive(Default, Clone, Copy)]
+    struct VisitStats {
+        max_pos: Option<usize>,
+        completed: bool,
+    }
+    let mut stats: Vec<VisitStats> = vec![VisitStats::default(); vars.len()];
+
     // Depth-first enumeration with restricted-growth fresh-slot indices.
     #[allow(clippy::too_many_arguments)]
     fn go(
@@ -103,6 +239,7 @@ pub(crate) fn enumerate_valuations(
         current: &mut HashMap<VarId, Value>,
         out: &mut Vec<HashMap<VarId, Value>>,
         limit: usize,
+        stats: &mut [VisitStats],
     ) {
         if out.len() >= limit {
             return;
@@ -114,10 +251,13 @@ pub(crate) fn enumerate_valuations(
         let v = vars[idx];
         let dom = var_domains.get(&v).copied();
         // Constant choices.
-        for c in &constant_candidates[idx] {
+        for (pos, c) in constant_candidates[idx].iter().enumerate() {
             if out.len() >= limit {
+                // Cut before entering `pos`: the end of the list was never
+                // observed on this traversal.
                 return;
             }
+            stats[idx].max_pos = Some(stats[idx].max_pos.map_or(pos, |m| m.max(pos)));
             current.insert(v, c.clone());
             go(
                 idx + 1,
@@ -130,8 +270,15 @@ pub(crate) fn enumerate_valuations(
                 current,
                 out,
                 limit,
+                stats,
             );
         }
+        if out.len() >= limit {
+            // The cut coincided with the end of the list: still only a
+            // prefix was consulted before enumeration stopped.
+            return;
+        }
+        stats[idx].completed = true;
         // Fresh-null choices: reuse any already-open slot of this domain or
         // open the next one (restricted growth keeps patterns canonical).
         let open = *used_slots.get(&dom).unwrap_or(&0);
@@ -159,6 +306,7 @@ pub(crate) fn enumerate_valuations(
                 current,
                 out,
                 limit,
+                stats,
             );
             if bumped {
                 used_slots.insert(dom, open);
@@ -180,7 +328,41 @@ pub(crate) fn enumerate_valuations(
         &mut current,
         &mut out,
         limit,
+        &mut stats,
     );
+
+    // Record what the enumeration consulted. Candidate lists are sorted and
+    // deduplicated, so per typed domain the output is a function of either
+    // the visited prefix (every traversal limit-cut: only a value sorting
+    // strictly below the largest visited candidate changes the walk) or the
+    // whole domain (some traversal observed the natural end of the list).
+    // Untyped variables draw from every domain at once — global fallback.
+    let mut domain_reads: HashMap<DomainId, (Option<usize>, bool)> = HashMap::new();
+    let mut untyped_read = false;
+    for (i, v) in vars.iter().enumerate() {
+        match var_domains.get(v) {
+            Some(d) => {
+                let entry = domain_reads.entry(*d).or_insert((None, false));
+                if let Some(p) = stats[i].max_pos {
+                    entry.0 = Some(entry.0.map_or(p, |m: usize| m.max(p)));
+                }
+                entry.1 |= stats[i].completed;
+            }
+            None => untyped_read |= stats[i].max_pos.is_some() || stats[i].completed,
+        }
+    }
+    if untyped_read {
+        conf.rec_adom_global();
+    }
+    for (d, (max_pos, completed)) in domain_reads {
+        if completed {
+            conf.rec_adom_walk(d, None);
+        } else if let Some(p) = max_pos {
+            if let Some(list) = by_domain.get(&d) {
+                conf.rec_adom_walk(d, Some(&list[p]));
+            }
+        }
+    }
     out
 }
 
@@ -247,7 +429,8 @@ fn inputs_accessible(
     method_id: AccessMethodId,
     tuple: &Tuple,
     methods: &AccessMethods,
-    accessible: &HashSet<(Value, DomainId)>,
+    conf: &Configuration,
+    accessible: &AdomPool,
 ) -> bool {
     let Ok(m) = methods.get(method_id) else {
         return false;
@@ -261,7 +444,7 @@ fn inputs_accessible(
         let Ok(d) = schema.domain_of(m.relation(), p) else {
             return false;
         };
-        accessible.contains(&(v.clone(), d))
+        accessible.contains(conf, v, d)
     })
 }
 
@@ -271,7 +454,8 @@ fn missing_inputs(
     method_id: AccessMethodId,
     tuple: &Tuple,
     methods: &AccessMethods,
-    accessible: &HashSet<(Value, DomainId)>,
+    conf: &Configuration,
+    accessible: &AdomPool,
 ) -> Vec<(Value, DomainId)> {
     let Ok(m) = methods.get(method_id) else {
         return vec![(Value::fresh(u64::MAX), DomainId(u32::MAX))];
@@ -286,27 +470,22 @@ fn missing_inputs(
         let Ok(d) = schema.domain_of(m.relation(), p) else {
             continue;
         };
-        if !accessible.contains(&(v.clone(), d)) {
+        if !accessible.contains(conf, v, d) {
             out.push((v.clone(), d));
         }
     }
     out
 }
 
-/// Adds every `(value, domain)` pair of a fact to the accessible set.
-fn absorb_fact(
-    relation: RelationId,
-    tuple: &Tuple,
-    methods: &AccessMethods,
-    accessible: &mut HashSet<(Value, DomainId)>,
-) {
+/// Adds every `(value, domain)` pair of a fact to the accessible pool.
+fn absorb_fact(relation: RelationId, tuple: &Tuple, methods: &AccessMethods, pool: &mut AdomPool) {
     let schema = methods.schema();
     let Ok(rel) = schema.relation(relation) else {
         return;
     };
     for (p, v) in tuple.iter().enumerate() {
         if p < rel.arity() {
-            accessible.insert((v.clone(), rel.domain_at(p)));
+            pool.insert(v.clone(), rel.domain_at(p));
         }
     }
 }
@@ -431,7 +610,8 @@ fn materialise_chain(
     chain: &GeneratorChain,
     needed: &Value,
     target: DomainId,
-    accessible: &HashSet<(Value, DomainId)>,
+    conf: &Configuration,
+    accessible: &AdomPool,
     methods: &AccessMethods,
     fresh: &mut FreshSupply,
 ) -> Option<Vec<PlannedFact>> {
@@ -450,18 +630,10 @@ fn materialise_chain(
                 if m.mode() == AccessMode::Independent {
                     // Free guess: reuse an accessible value if there is one,
                     // otherwise invent a junk value.
-                    let candidate = pool
-                        .iter()
-                        .filter(|(_, pd)| *pd == d)
-                        .map(|(v, _)| v.clone())
-                        .min();
+                    let candidate = pool.min_value(conf, d);
                     values.push(candidate.unwrap_or_else(|| fresh.next_value()));
                 } else {
-                    let candidate = pool
-                        .iter()
-                        .filter(|(_, pd)| *pd == d)
-                        .map(|(v, _)| v.clone())
-                        .min()?;
+                    let candidate = pool.min_value(conf, d)?;
                     values.push(candidate);
                 }
             } else {
@@ -479,7 +651,7 @@ fn materialise_chain(
         }
         let tuple = Tuple::new(values);
         for (p, v) in tuple.iter().enumerate() {
-            pool.insert((v.clone(), rel.domain_at(p)));
+            pool.insert(v.clone(), rel.domain_at(p));
         }
         out.push(PlannedFact {
             relation: m.relation(),
@@ -503,10 +675,12 @@ type BestStuckChoice = (usize, AccessMethodId, Vec<(Value, DomainId)>);
 /// query). Generator-chain discovery is memoised in `chain_cache`, which
 /// callers share across every valuation of the same witness search. Returns
 /// `None` when some fact cannot be produced within the budget.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn plan_production(
     needed: &[(RelationId, Tuple)],
-    base: &HashSet<(Value, DomainId)>,
+    base: &AdomPool,
     methods: &AccessMethods,
+    conf: &Configuration,
     budget: &SearchBudget,
     fresh: &mut FreshSupply,
     alternative: usize,
@@ -528,7 +702,7 @@ pub(crate) fn plan_production(
                     .methods_for(rel)
                     .iter()
                     .copied()
-                    .find(|&mid| inputs_accessible(mid, &tuple, methods, &accessible));
+                    .find(|&mid| inputs_accessible(mid, &tuple, methods, conf, &accessible));
                 if let Some(mid) = method {
                     absorb_fact(rel, &tuple, methods, &mut accessible);
                     plan.ordered.push(PlannedFact {
@@ -551,7 +725,7 @@ pub(crate) fn plan_production(
         let mut best: Option<BestStuckChoice> = None;
         for (i, (rel, tuple)) in remaining.iter().enumerate() {
             for &mid in methods.methods_for(*rel) {
-                let missing = missing_inputs(mid, tuple, methods, &accessible);
+                let missing = missing_inputs(mid, tuple, methods, conf, &accessible);
                 // A fact on a relation without methods never gets here
                 // (methods_for is empty), handled below.
                 let better = match &best {
@@ -575,14 +749,13 @@ pub(crate) fn plan_production(
             return None;
         }
         for (value, domain) in missing {
-            let accessible_domains: HashSet<DomainId> =
-                accessible.iter().map(|(_, d)| *d).collect();
+            let accessible_domains = accessible.domains(conf);
             let chains = chain_cache.chains(domain, &accessible_domains, methods, budget);
             if chains.is_empty() {
                 return None;
             }
             let chain = chains[alternative % chains.len()].clone();
-            let aux = materialise_chain(&chain, &value, domain, &accessible, methods, fresh)?;
+            let aux = materialise_chain(&chain, &value, domain, conf, &accessible, methods, fresh)?;
             if plan.aux_count + aux.len() > budget.max_aux_facts {
                 return None;
             }
@@ -594,7 +767,7 @@ pub(crate) fn plan_production(
         }
         // Now the chosen fact must be producible; place it.
         let (rel, tuple) = remaining[idx].clone();
-        if !inputs_accessible(mid, &tuple, methods, &accessible) {
+        if !inputs_accessible(mid, &tuple, methods, conf, &accessible) {
             return None;
         }
         absorb_fact(rel, &tuple, methods, &mut accessible);
@@ -728,6 +901,8 @@ mod tests {
         let d = schema.domain_by_name("D").unwrap();
         let mut base = HashSet::new();
         base.insert((Value::sym("c"), d));
+        let base = AdomPool::from_pairs(base);
+        let empty_conf = Configuration::empty(schema.clone());
         let v = Value::fresh(100);
         let w = Value::fresh(101);
         let needed = vec![
@@ -739,6 +914,7 @@ mod tests {
             &needed,
             &base,
             &methods,
+            &empty_conf,
             &SearchBudget::default(),
             &mut fresh,
             0,
@@ -764,7 +940,8 @@ mod tests {
         // access on S can generate it.
         let (schema, methods) = two_domain_setup();
         let t = schema.relation_by_name("T").unwrap();
-        let base = HashSet::new();
+        let base = AdomPool::from_pairs(HashSet::new());
+        let empty_conf = Configuration::empty(schema.clone());
         let v = Value::fresh(100);
         let w = Value::fresh(101);
         let needed = vec![(t, Tuple::new(vec![v.clone(), w]))];
@@ -773,6 +950,7 @@ mod tests {
             &needed,
             &base,
             &methods,
+            &empty_conf,
             &SearchBudget::default(),
             &mut fresh,
             0,
@@ -803,8 +981,9 @@ mod tests {
         let mut fresh = FreshSupply::above([Value::fresh(1)].iter());
         let plan = plan_production(
             &needed,
-            &HashSet::new(),
+            &AdomPool::from_pairs(HashSet::new()),
             &methods,
+            &Configuration::empty(schema.clone()),
             &SearchBudget::default(),
             &mut fresh,
             0,
@@ -825,8 +1004,9 @@ mod tests {
         let mut fresh = FreshSupply::new();
         assert!(plan_production(
             &needed,
-            &HashSet::new(),
+            &AdomPool::from_pairs(HashSet::new()),
             &methods,
+            &Configuration::empty(schema.clone()),
             &SearchBudget::default(),
             &mut fresh,
             0,

@@ -43,14 +43,25 @@ pub enum SpeculationMode {
 /// configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum InvalidationMode {
+    /// Precise read-set invalidation: exact tracking (see
+    /// [`InvalidationMode::Exact`]) with the active-domain reads of the
+    /// witness searches recorded per domain and, where the backtracking
+    /// enumeration was cut off by its budget, per visited *prefix* of the
+    /// sorted candidate list — a new value evicts a verdict only when it
+    /// lands in a domain (and below a prefix bound) the verdict actually
+    /// consulted. Evictions are a subset of `Exact`'s, which are a subset of
+    /// `RelationLevel`'s, at identical access sequences, answers and final
+    /// configurations.
+    #[default]
+    Precise,
     /// Exact read-set invalidation: every computed verdict records the
     /// `(relation, value)` pairs its decision procedure actually consulted;
     /// committed inserts become events drained to fixpoint after each
     /// growing response, and a verdict is evicted only when an event
-    /// touches a pair it read. Verdicts computed this way are re-run
-    /// strictly less often than under relation-level invalidation, with
-    /// identical access sequences, answers and final configurations.
-    #[default]
+    /// touches a pair it read. Active-domain walks are recorded coarsely
+    /// (any new value anywhere touches them) — on adom-flooding workloads
+    /// this evicts nearly everything; [`InvalidationMode::Precise`] fixes
+    /// that. Kept as the intermediate differential baseline.
     Exact,
     /// Legacy relation-level invalidation: each verdict carries a coarse
     /// relation dependency set (global for dependent-method LTR) and any

@@ -21,7 +21,9 @@ use accrel_core::{
     is_immediately_relevant, is_long_term_relevant, is_long_term_relevant_trailed, SearchBudget,
 };
 use accrel_query::Query;
-use accrel_schema::{Configuration, InsertEvent, ReadSet, RelationId, ValueInterner};
+use accrel_schema::{
+    AdomPrecision, Configuration, InsertEvent, ReadSet, RelationId, ValueInterner,
+};
 
 use crate::engine::Strategy;
 use crate::options::{InvalidationMode, RunOptions};
@@ -377,11 +379,14 @@ impl ConfAccess<'_> {
     }
 
     /// Runs the decision procedure like [`ConfAccess::run`], additionally
-    /// recording the exact store reads it performs when `track` is set and
-    /// the caller owns the configuration. Returns the verdict together with
-    /// the recorded [`ReadSet`] (`None` when tracking was off or impossible
-    /// — the `Shared` path holds the configuration immutably and cannot
-    /// install a recorder, so its verdicts keep the coarse dependency set).
+    /// recording the store reads it performs when `track` carries an
+    /// [`AdomPrecision`] and the caller owns the configuration (`Coarse`
+    /// records every active-domain walk as a global read — exact mode;
+    /// `Precise` records walks per domain/visited prefix). Returns the
+    /// verdict together with the recorded [`ReadSet`] (`None` when tracking
+    /// was off or impossible — the `Shared` path holds the configuration
+    /// immutably and cannot install a recorder, so its verdicts keep the
+    /// coarse dependency set).
     fn run_recorded(
         &mut self,
         kind: RelevanceKind,
@@ -389,17 +394,20 @@ impl ConfAccess<'_> {
         methods: &AccessMethods,
         budget: &SearchBudget,
         access: &Access,
-        track: bool,
+        track: Option<AdomPrecision>,
     ) -> (bool, Option<ReadSet>) {
-        let track = track && matches!(self, ConfAccess::Owned(_));
-        if track {
+        let track = match self {
+            ConfAccess::Owned(_) => track,
+            ConfAccess::Shared(_) => None,
+        };
+        if let Some(precision) = track {
             if let ConfAccess::Owned(conf) = self {
-                conf.begin_read_tracking();
+                conf.begin_read_tracking_with(precision);
             }
         }
         let verdict = self.run(kind, query, methods, budget, access);
         let reads = match self {
-            ConfAccess::Owned(conf) if track => Some(conf.take_read_set()),
+            ConfAccess::Owned(conf) if track.is_some() => Some(conf.take_read_set()),
             _ => None,
         };
         (verdict, reads)
@@ -540,12 +548,17 @@ impl<'a> RelevanceOracle<'a> {
             RelevanceKind::Immediate => self.ir_dep(),
             RelevanceKind::LongTerm => self.ltr_dep(),
         };
-        // Exact invalidation records the store reads of every procedure run
-        // over an owned configuration; the dep-count stamps below are read
-        // *before* the recorder is installed, so version probing never
-        // pollutes the read set.
-        let track =
-            self.invalidation == InvalidationMode::Exact && matches!(conf, ConfAccess::Owned(_));
+        // Read-set invalidation records the store reads of every procedure
+        // run over an owned configuration (coarse adom recording for exact
+        // mode, per-domain/prefix recording for precise mode); the dep-count
+        // stamps below are read *before* the recorder is installed, so
+        // version probing never pollutes the read set.
+        let track = match self.invalidation {
+            InvalidationMode::Exact => Some(AdomPrecision::Coarse),
+            InvalidationMode::Precise => Some(AdomPrecision::Precise),
+            InvalidationMode::RelationLevel => None,
+        }
+        .filter(|_| matches!(conf, ConfAccess::Owned(_)));
         let (verdict, reads) = if let Some((class, shared)) = self.shared.clone() {
             let counts = self.dep_counts(dep, conf.as_ref());
             if let Some((verdict, reads)) = shared.lookup(class, kind, access, &counts) {
@@ -646,19 +659,21 @@ impl<'a> RelevanceOracle<'a> {
     }
 
     /// Reacts to a response that grew the configuration: drains the insert
-    /// events the store captured and, under [`InvalidationMode::Exact`],
-    /// evicts exactly the cached verdicts whose recorded reads an event
-    /// touches. Under [`InvalidationMode::RelationLevel`] the events are
-    /// discarded and every verdict depending on `relation` (the accessed
-    /// method's output relation) is evicted, reproducing the legacy
-    /// behaviour verdict-for-verdict.
+    /// events the store captured and, under [`InvalidationMode::Exact`] or
+    /// [`InvalidationMode::Precise`], evicts exactly the cached verdicts
+    /// whose recorded reads an event touches (the two modes share this
+    /// drain; they differ only in how finely the reads were recorded).
+    /// Under [`InvalidationMode::RelationLevel`] the events are discarded
+    /// and every verdict depending on `relation` (the accessed method's
+    /// output relation) is evicted, reproducing the legacy behaviour
+    /// verdict-for-verdict.
     pub fn observe_growth(&mut self, conf: &mut Configuration, relation: RelationId) {
         match self.invalidation {
             InvalidationMode::RelationLevel => {
                 let _ = conf.take_events();
                 self.invalidate(relation);
             }
-            InvalidationMode::Exact => {
+            InvalidationMode::Exact | InvalidationMode::Precise => {
                 if !self.use_cache {
                     let _ = conf.take_events();
                     return;

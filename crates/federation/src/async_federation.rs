@@ -362,8 +362,9 @@ impl AsyncFederationBuilder {
 mod tests {
     use super::*;
     use crate::async_source::BlockingSource;
+    use crate::chaos::{BreakerOptions, BreakerState, ChurnScript};
     use crate::executor::Executor;
-    use crate::source::LatencyModel;
+    use crate::source::{FlakyModel, LatencyModel};
     use accrel_access::{binding, AccessMode};
     use accrel_schema::{Instance, Schema};
 
@@ -419,6 +420,70 @@ mod tests {
         federation.reset_stats();
         assert_eq!(federation.stats().source.calls, 0);
         assert!(format!("{federation:?}").contains("r-provider"));
+    }
+
+    /// Satellite regression: the half-open probe slot is single-flight.
+    /// Two calls dispatched at the same virtual instant both find the
+    /// primary's breaker `HalfOpen`; before the probe-claim fix both flew a
+    /// probe (the derived `state()` cannot see the other call), doubling
+    /// wire traffic against a source still presumed sick.
+    #[test]
+    fn half_open_probe_is_single_flight_across_concurrent_calls() {
+        let (methods, inst) = setup();
+        let primary = SimulatedSource::exact("primary", inst.clone(), methods.clone())
+            .with_latency(LatencyModel::recorded(10))
+            .with_flaky(FlakyModel {
+                period: 1,
+                fail_attempts: 9,
+                retries: 0,
+            });
+        let backup = SimulatedSource::exact("backup", inst, methods.clone());
+        let federation = AsyncFederation::builder(methods.clone())
+            .simulated(primary, &["RAcc", "SAll"])
+            .unwrap()
+            .simulated_replica(backup, &["RAcc", "SAll"])
+            .unwrap()
+            .with_chaos(ChaosOptions {
+                script: ChurnScript::new(),
+                breaker: Some(BreakerOptions {
+                    trip_threshold: 1,
+                    cooldown_micros: 100,
+                }),
+                pace_micros_per_call: 0,
+            })
+            .build()
+            .unwrap();
+        let r_acc = methods.by_name("RAcc").unwrap();
+        let exec = Executor::new(federation.clock().clone());
+
+        // Trip the breaker: the primary fails once, the call fails over.
+        let first = exec.spawn(federation.call(Access::new(r_acc, binding(["k"]))));
+        assert_eq!(exec.run(), 0);
+        assert_eq!(first.take().unwrap().unwrap().len(), 1);
+        let chaos = federation.chaos().unwrap();
+        assert_eq!(chaos.breaker_state(0), Some(BreakerState::Open));
+
+        // Sit out the cooldown, then dispatch two calls concurrently. Both
+        // gate at the same virtual instant under a HalfOpen breaker: the
+        // first claims the probe (and awaits the primary's round trip), the
+        // second must short-circuit straight to the backup.
+        federation.clock().advance_micros(200);
+        assert_eq!(chaos.breaker_state(0), Some(BreakerState::HalfOpen));
+        let a = exec.spawn(federation.call(Access::new(r_acc, binding(["k"]))));
+        let b = exec.spawn(federation.call(Access::new(r_acc, binding(["k"]))));
+        assert_eq!(exec.run(), 0);
+        assert_eq!(a.take().unwrap().unwrap().len(), 1);
+        assert_eq!(b.take().unwrap().unwrap().len(), 1);
+
+        // The primary saw exactly two wire calls (both failed): the
+        // original trip and ONE half-open probe.
+        let per_source = federation.per_source_stats();
+        assert_eq!(per_source[0].0, "primary");
+        assert_eq!(per_source[0].1.source.failures, 2);
+        let stats = chaos.stats();
+        assert_eq!(stats.short_circuited, 1);
+        assert_eq!(stats.breaker_trips, 2); // initial trip + failed probe
+        assert_eq!(stats.failovers, 3); // every call was served by the backup
     }
 
     #[test]

@@ -91,6 +91,11 @@ pub struct CircuitBreaker {
     consecutive_failures: usize,
     /// `Some(t)` while tripped: the instant of the (latest) trip.
     opened_at: Option<u64>,
+    /// `Some(t)` while a HalfOpen probe claimed at `t` is still in flight.
+    /// Because `state()` is derived from timestamps, N concurrent callers at
+    /// the same virtual instant would all observe `HalfOpen` and all fly;
+    /// the claim slot serializes them — exactly one probe per cooldown.
+    probe_claimed_at: Option<u64>,
     trips: usize,
 }
 
@@ -104,6 +109,7 @@ impl CircuitBreaker {
             },
             consecutive_failures: 0,
             opened_at: None,
+            probe_claimed_at: None,
             trips: 0,
         }
     }
@@ -120,9 +126,32 @@ impl CircuitBreaker {
     }
 
     /// Whether a call may be attempted at `now` (`Closed` or a `HalfOpen`
-    /// probe).
+    /// probe). Read-only: does not claim the probe slot, so concurrent
+    /// callers may all see `true` — the serving path goes through
+    /// [`CircuitBreaker::try_claim_probe`] instead.
     pub fn allows(&self, now: u64) -> bool {
         self.state(now) != BreakerState::Open
+    }
+
+    /// Attempts to claim permission for a call at `now`. `Closed` always
+    /// allows; `Open` never does; `HalfOpen` hands out exactly **one** probe
+    /// slot per cooldown — the first caller claims it, every concurrent (or
+    /// later) caller is refused until the probe's outcome is recorded or the
+    /// claim itself ages out after another cooldown (probe lost in flight).
+    pub fn try_claim_probe(&mut self, now: u64) -> bool {
+        match self.state(now) {
+            BreakerState::Closed => true,
+            BreakerState::Open => false,
+            BreakerState::HalfOpen => {
+                let claim_free = self.probe_claimed_at.is_none_or(|claimed| {
+                    now >= claimed.saturating_add(self.options.cooldown_micros)
+                });
+                if claim_free {
+                    self.probe_claimed_at = Some(now);
+                }
+                claim_free
+            }
+        }
     }
 
     /// Records a successful call at `now`: resets the failure streak and —
@@ -130,6 +159,7 @@ impl CircuitBreaker {
     pub fn record_success(&mut self, _now: u64) {
         self.consecutive_failures = 0;
         self.opened_at = None;
+        self.probe_claimed_at = None;
     }
 
     /// Records an ultimate failure (retry exhaustion) at `now`. In `Closed`
@@ -151,6 +181,7 @@ impl CircuitBreaker {
             // A failure observed while Open (racing threads) keeps it open.
             BreakerState::Open => {}
         }
+        self.probe_claimed_at = None;
     }
 
     /// Closed→Open transitions so far (HalfOpen probes failing back to Open
@@ -502,11 +533,11 @@ impl ChaosController {
             inner.stats.dead_skips += 1;
             return Gate::Dead;
         }
-        let open = inner.slots[source]
+        let refused = inner.slots[source]
             .breaker
-            .as_ref()
-            .is_some_and(|b| !b.allows(now));
-        if open {
+            .as_mut()
+            .is_some_and(|b| !b.try_claim_probe(now));
+        if refused {
             inner.slots[source].short_circuited += 1;
             inner.stats.short_circuited += 1;
             return Gate::Open;
@@ -646,6 +677,46 @@ mod tests {
         b.record_failure(50); // racing observation while Open
         assert_eq!(b.trips(), 1);
         assert_eq!(b.state(100), BreakerState::HalfOpen);
+    }
+
+    #[test]
+    fn half_open_hands_out_exactly_one_probe_slot() {
+        let mut b = breaker(1, 100);
+        b.record_failure(0);
+        assert_eq!(b.state(100), BreakerState::HalfOpen);
+        // Two concurrent attempts at the same virtual instant: both would
+        // pass the read-only `allows`, but only the first claims the slot.
+        assert!(b.allows(100));
+        assert!(b.try_claim_probe(100));
+        assert!(b.allows(100));
+        assert!(!b.try_claim_probe(100));
+        // Later attempts inside the same window stay refused too.
+        assert!(!b.try_claim_probe(150));
+        // The probe's outcome frees the slot (success closes the circuit).
+        b.record_success(150);
+        assert_eq!(b.state(150), BreakerState::Closed);
+        assert!(b.try_claim_probe(150));
+    }
+
+    #[test]
+    fn a_lost_probe_claim_expires_after_another_cooldown() {
+        let mut b = breaker(1, 100);
+        b.record_failure(0);
+        assert!(b.try_claim_probe(100));
+        // No outcome ever recorded (probe lost in flight): the claim blocks
+        // further probes for one more cooldown, then ages out.
+        assert!(!b.try_claim_probe(199));
+        assert!(b.try_claim_probe(200));
+    }
+
+    #[test]
+    fn a_failed_probe_frees_the_slot_for_the_next_half_open_window() {
+        let mut b = breaker(1, 100);
+        b.record_failure(0);
+        assert!(b.try_claim_probe(100));
+        b.record_failure(100); // failed probe: re-open, cooldown restarts
+        assert!(!b.try_claim_probe(150)); // Open — not a claim question
+        assert!(b.try_claim_probe(200)); // next HalfOpen window, fresh slot
     }
 
     #[test]

@@ -27,7 +27,7 @@
 
 use std::fmt::Write as _;
 use std::fs::{File, OpenOptions};
-use std::io::{self, BufRead, BufReader, Write as _};
+use std::io::{self, Write as _};
 use std::path::Path;
 
 use accrel_access::{Access, AccessMethodId, Binding};
@@ -52,9 +52,12 @@ pub struct ReplaySummary {
     pub verdicts_restored: usize,
     /// Runs found in the journal.
     pub runs: usize,
-    /// Lines skipped because they were truncated or malformed (a crashed
-    /// appender leaves at most one).
+    /// Lines skipped because they were malformed.
     pub skipped_lines: usize,
+    /// The journal ended mid-record (no trailing newline — a crashed
+    /// appender). The partial final line was skipped, whether or not its
+    /// prefix happened to parse; everything before it replayed normally.
+    pub torn_tail: bool,
 }
 
 /// Reader/writer for the append-only run journal (see the module docs).
@@ -136,9 +139,13 @@ fn parse_access(tokens: &[&str]) -> Option<Access> {
 /// ` R-` when the publishing run attached none). Tokens are one per read:
 /// `a`/`z` for the whole-store / whole-adom flags, `l<rel>` for relation
 /// scans, `p<rel>,<vid>` for key probes, `d<dom>` for domain enumerations,
+/// `x<dom>,<value>` for visited-prefix domain reads (precise mode),
 /// `q<vid>,<dom>` for adom membership, and `u<rel>,<value>` /
 /// `w<dom>,<value>` for probes whose value the interner did not know at
-/// read time. Sorted for deterministic output.
+/// read time. Sorted for deterministic output. Legacy lines written before
+/// prefixes existed carry no `x` tokens and parse unchanged — sound,
+/// because those publishers recorded coarsely: any adom walk they performed
+/// shows up as the domain-unscoped `z` flag, which subsumes every prefix.
 fn write_reads(out: &mut String, reads: Option<&ReadSet>) {
     let Some(rs) = reads else {
         out.push_str(" R-");
@@ -159,6 +166,11 @@ fn write_reads(out: &mut String, reads: Option<&ReadSet>) {
     }
     for dom in &rs.adom_domains {
         tokens.push(format!("d{}", dom.0));
+    }
+    for (dom, bound) in &rs.adom_prefixes {
+        let mut v = String::new();
+        write_value(&mut v, bound);
+        tokens.push(format!("x{},{}", dom.0, v.trim_start()));
     }
     for (vid, dom) in &rs.adom_pairs {
         tokens.push(format!("q{},{}", vid.0, dom.0));
@@ -207,6 +219,11 @@ fn parse_reads(tokens: &[&str]) -> Option<(Option<ReadSet>, usize)> {
             }
             "d" => {
                 rs.adom_domains.insert(DomainId(rest.parse().ok()?));
+            }
+            "x" => {
+                let (d, v) = rest.split_once(',')?;
+                rs.adom_prefixes
+                    .insert(DomainId(d.parse().ok()?), parse_value(v)?);
             }
             "q" => {
                 let (v, d) = rest.split_once(',')?;
@@ -324,8 +341,9 @@ impl RunJournal {
         file.flush()
     }
 
-    /// Reads back every journaled run. Malformed lines are skipped, not
-    /// fatal (an interrupted append leaves at most one truncated tail line).
+    /// Reads back every journaled run. Malformed lines and a torn final
+    /// line are skipped, not fatal (an interrupted append leaves at most
+    /// one partial record, always last).
     pub fn read_runs(path: impl AsRef<Path>) -> io::Result<Vec<JournaledRun>> {
         let mut runs = Vec::new();
         Self::scan(path, |line| match line {
@@ -355,7 +373,7 @@ impl RunJournal {
     /// verdicts.
     pub fn replay(path: impl AsRef<Path>, cache: &SharedVerdictCache) -> io::Result<ReplaySummary> {
         let mut summary = ReplaySummary::default();
-        let skipped = Self::scan(path, |record| match record {
+        let stats = Self::scan(path, |record| match record {
             Record::RunStart => summary.runs += 1,
             Record::Shared {
                 class,
@@ -370,18 +388,31 @@ impl RunJournal {
             }
             Record::Access(_) | Record::Verdict(_) => {}
         })?;
-        summary.skipped_lines = skipped;
+        summary.skipped_lines = stats.skipped;
+        summary.torn_tail = stats.torn_tail;
         Ok(summary)
     }
 
     /// Parses the journal line by line, invoking `sink` per valid record;
-    /// returns the number of skipped (malformed) lines.
-    fn scan(path: impl AsRef<Path>, mut sink: impl FnMut(Record)) -> io::Result<usize> {
-        let reader = BufReader::new(File::open(path)?);
-        let mut skipped = 0usize;
-        let mut lines = reader.lines();
+    /// returns how many interior lines were skipped as malformed and
+    /// whether the final line was torn. A torn tail — the file does not end
+    /// in a newline, so the last append never completed — is *always*
+    /// skipped, even when its prefix happens to parse: a crash mid-append
+    /// can leave a record whose truncation is still token-valid but lies
+    /// about what the run did.
+    fn scan(path: impl AsRef<Path>, mut sink: impl FnMut(Record)) -> io::Result<ScanStats> {
+        let content = std::fs::read_to_string(path)?;
+        let mut stats = ScanStats::default();
+        let mut lines: Vec<&str> = content.split('\n').collect();
+        // A complete journal ends in '\n', so the split yields a trailing
+        // empty segment; anything else is the partial final record.
+        match lines.pop() {
+            Some("") | None => {}
+            Some(_) => stats.torn_tail = true,
+        }
+        let mut lines = lines.into_iter();
         match lines.next() {
-            Some(Ok(header)) if header == MAGIC => {}
+            Some(header) if header == MAGIC => {}
             _ => {
                 return Err(io::Error::new(
                     io::ErrorKind::InvalidData,
@@ -390,17 +421,23 @@ impl RunJournal {
             }
         }
         for line in lines {
-            let line = line?;
             if line.is_empty() {
                 continue;
             }
-            match Record::parse(&line) {
+            match Record::parse(line) {
                 Some(record) => sink(record),
-                None => skipped += 1,
+                None => stats.skipped += 1,
             }
         }
-        Ok(skipped)
+        Ok(stats)
     }
+}
+
+/// What [`RunJournal::scan`] observed beyond the records themselves.
+#[derive(Debug, Clone, Copy, Default)]
+struct ScanStats {
+    skipped: usize,
+    torn_tail: bool,
 }
 
 enum Record {
@@ -525,6 +562,9 @@ mod tests {
             .insert((RelationId(2), Value::sym("odd value,with comma")));
         reads.adom_all = true;
         reads.adom_domains.insert(DomainId(0));
+        reads
+            .adom_prefixes
+            .insert(DomainId(4), Value::sym("bound value"));
         reads.adom_pairs.insert((ValueId(3), DomainId(1)));
         reads.adom_unknown.insert((Value::int(-9), DomainId(2)));
         cache.insert(
@@ -602,6 +642,9 @@ mod tests {
         let dir = std::env::temp_dir().join(format!("accrel-journal-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("truncated.journal");
+        // The torn line's prefix still parses as a valid token — it must be
+        // dropped anyway, because a crash mid-append can truncate a record
+        // into a different but well-formed one.
         std::fs::write(
             &path,
             format!("{MAGIC}\nrun\naccess m0 s:ok\naccess m0 s:truncat"),
@@ -609,13 +652,114 @@ mod tests {
         .unwrap();
         let runs = RunJournal::read_runs(&path).unwrap();
         assert_eq!(runs.len(), 1);
-        // Both lines parse (the "truncation" here is still a valid token);
-        // now a genuinely malformed line:
-        std::fs::write(&path, format!("{MAGIC}\nrun\naccess m0 s:ok\naccess m0 q")).unwrap();
+        assert_eq!(runs[0].access_sequence.len(), 1, "torn tail must be cut");
         let cache = SharedVerdictCache::new();
+        let summary = RunJournal::replay(&path, &cache).unwrap();
+        assert!(summary.torn_tail);
+        assert_eq!(summary.skipped_lines, 0);
+        // A genuinely malformed *interior* line is counted as skipped; the
+        // newline-terminated tail is not torn.
+        std::fs::write(
+            &path,
+            format!("{MAGIC}\nrun\naccess m0 q\naccess m0 s:ok\n"),
+        )
+        .unwrap();
         let summary = RunJournal::replay(&path, &cache).unwrap();
         assert_eq!(summary.skipped_lines, 1);
         assert_eq!(summary.runs, 1);
+        assert!(!summary.torn_tail);
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// Satellite: a header-only journal with no trailing newline is a torn
+    /// header — not a valid journal at all.
+    #[test]
+    fn torn_header_is_an_error() {
+        let dir = std::env::temp_dir().join(format!("accrel-journal-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("torn_header.journal");
+        std::fs::write(&path, MAGIC).unwrap();
+        assert!(RunJournal::read_runs(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// Satellite: property grid for `R`-token escaping — read sets whose
+    /// values carry spaces, percent signs and newlines (the characters the
+    /// escaper rewrites) round-trip bit-for-bit through write/parse, for
+    /// every value-bearing token kind including the precise-mode prefix
+    /// entries.
+    #[test]
+    fn read_set_tokens_round_trip_awkward_values() {
+        let awkward = [
+            Value::sym("plain"),
+            Value::sym("with space"),
+            Value::sym("per%cent"),
+            Value::sym("new\nline"),
+            Value::sym("%20pre-escaped"),
+            Value::sym("comma,inside"),
+            Value::sym("  "),
+            Value::int(i64::MIN),
+            Value::fresh(u64::MAX),
+        ];
+        for (i, value) in awkward.iter().enumerate() {
+            for (j, other) in awkward.iter().enumerate() {
+                let mut rs = ReadSet::default();
+                rs.adom_prefixes.insert(DomainId(i as u32), value.clone());
+                rs.adom_prefixes
+                    .insert(DomainId(100 + j as u32), other.clone());
+                rs.unknown_values.insert((RelationId(1), value.clone()));
+                rs.adom_unknown.insert((other.clone(), DomainId(3)));
+                rs.adom_domains.insert(DomainId(7));
+                rs.pairs.insert((RelationId(0), ValueId(9)));
+                let mut out = String::new();
+                write_reads(&mut out, Some(&rs));
+                let tokens: Vec<&str> = out.trim_start().split(' ').collect();
+                let (parsed, consumed) = parse_reads(&tokens).expect("tokens must parse");
+                assert_eq!(consumed, tokens.len());
+                assert_eq!(parsed.as_ref(), Some(&rs), "case ({i}, {j})");
+            }
+        }
+        // The no-read-set marker round-trips too.
+        let mut out = String::new();
+        write_reads(&mut out, None);
+        assert_eq!(out, " R-");
+        assert_eq!(parse_reads(&["R-"]), Some((None, 1)));
+    }
+
+    /// Satellite: a legacy `shared` line written before read sets existed
+    /// (no `R` token at all) parses as reads-absent, and a coarse line from
+    /// the pre-prefix format (`z`, no `x` tokens) parses to the same coarse
+    /// read set it was written from — both stay sound under the precise
+    /// eviction rule because `adom_all` subsumes every prefix.
+    #[test]
+    fn legacy_shared_lines_parse_without_read_sets() {
+        let dir = std::env::temp_dir().join(format!("accrel-journal-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("legacy.journal");
+        std::fs::write(
+            &path,
+            format!("{MAGIC}\nshared 2a L t 1 r0:5 m1 s:x\nshared 2a I f 0 R2 l0 z m0 s:y\n"),
+        )
+        .unwrap();
+        let cache = SharedVerdictCache::new();
+        let summary = RunJournal::replay(&path, &cache).unwrap();
+        assert_eq!(summary.verdicts_restored, 2);
+        assert_eq!(summary.skipped_lines, 0);
+        assert!(!summary.torn_tail);
+        let entries = cache.entries();
+        let reads_absent = entries
+            .iter()
+            .find(|e| e.1 == RelevanceKind::LongTerm)
+            .unwrap();
+        assert_eq!(reads_absent.5, None, "pre-read-set line must carry None");
+        let coarse = entries
+            .iter()
+            .find(|e| e.1 == RelevanceKind::Immediate)
+            .unwrap();
+        let rs = coarse.5.as_ref().unwrap();
+        assert!(rs.adom_all, "coarse adom flag must survive");
+        assert!(rs.adom_prefixes.is_empty());
+        assert!(rs.relations.contains(&RelationId(0)));
         std::fs::remove_file(&path).ok();
     }
 

@@ -159,8 +159,11 @@ impl ServingReport {
     }
 
     /// The `p`-quantile (0.0 ≤ p ≤ 1.0) of per-session virtual latency, in
-    /// microseconds (nearest-rank on the sorted latencies; 0 with no
-    /// sessions).
+    /// microseconds (0 with no sessions). True nearest-rank: the smallest
+    /// latency at sorted rank `⌈p·n⌉` (1-based), so `p = 0.5` over an even
+    /// count picks the lower middle element rather than the
+    /// `round((n-1)·p)` interpolation this method used to apply, and
+    /// `p = 0.0` / `p = 1.0` are exactly the min / max.
     pub fn latency_percentile(&self, p: f64) -> u64 {
         let mut lat: Vec<u64> = self
             .sessions
@@ -171,8 +174,9 @@ impl ServingReport {
             return 0;
         }
         lat.sort_unstable();
-        let idx = ((lat.len() - 1) as f64 * p.clamp(0.0, 1.0)).round() as usize;
-        lat[idx]
+        let n = lat.len();
+        let rank = ((p.clamp(0.0, 1.0) * n as f64).ceil() as usize).max(1);
+        lat[rank.min(n) - 1]
     }
 }
 
@@ -753,6 +757,34 @@ mod tests {
         // Per-session latency percentiles are ordered and within makespan.
         assert!(report.latency_percentile(0.5) <= report.latency_percentile(0.95));
         assert!(report.latency_percentile(0.95) <= report.makespan_micros);
+    }
+
+    /// Satellite regression: `latency_percentile` is true nearest-rank. The
+    /// old `round((n-1)·p)` index made p=0.5 on small even counts jump to
+    /// the *upper* middle and let intermediate quantiles drift off-element;
+    /// nearest-rank pins p=0.0 to the min, p=1.0 to the max, and p=0.5 on
+    /// three sessions to exactly the middle latency.
+    #[test]
+    fn latency_percentiles_are_nearest_rank() {
+        let (federation, scenario) = bank_async_federation();
+        let registry = QuerySessionRegistry::new(&federation);
+        let report = registry.serve(
+            &identical_requests(&scenario, 3),
+            &scenario.initial_configuration,
+        );
+        let mut lat: Vec<u64> = report
+            .sessions
+            .iter()
+            .map(|s| s.stats.latency_micros)
+            .collect();
+        assert_eq!(lat.len(), 3);
+        lat.sort_unstable();
+        assert_eq!(report.latency_percentile(0.0), lat[0]);
+        assert_eq!(report.latency_percentile(0.5), lat[1]);
+        assert_eq!(report.latency_percentile(1.0), lat[2]);
+        // Out-of-range quantiles clamp to the extremes.
+        assert_eq!(report.latency_percentile(-1.0), lat[0]);
+        assert_eq!(report.latency_percentile(2.0), lat[2]);
     }
 
     #[test]

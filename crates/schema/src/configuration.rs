@@ -7,7 +7,7 @@ use std::sync::Arc;
 use crate::domain::DomainId;
 use crate::relation::RelationId;
 use crate::schema::Schema;
-use crate::store::{Fact, FactStore, InsertEvent, ReadSet, TrailMark, TrailOps};
+use crate::store::{AdomPrecision, Fact, FactStore, InsertEvent, ReadSet, TrailMark, TrailOps};
 use crate::tuple::Tuple;
 use crate::value::Value;
 use crate::Result;
@@ -142,6 +142,12 @@ impl Configuration {
         self.store.begin_read_tracking()
     }
 
+    /// Installs a read recorder with an explicit whole-adom-walk precision
+    /// (see [`FactStore::begin_read_tracking_with`] and [`AdomPrecision`]).
+    pub fn begin_read_tracking_with(&mut self, precision: AdomPrecision) {
+        self.store.begin_read_tracking_with(precision)
+    }
+
     /// Uninstalls the read recorder and returns the recorded [`ReadSet`].
     pub fn take_read_set(&mut self) -> ReadSet {
         self.store.take_read_set()
@@ -212,6 +218,32 @@ impl Configuration {
     /// cache.
     pub fn active_domain(&self) -> HashSet<(Value, DomainId)> {
         self.store.active_domain()
+    }
+
+    /// Like [`Configuration::active_domain`] but never recorded — for walk
+    /// sites that record what they consulted themselves via
+    /// [`Configuration::rec_adom_walk`] (see
+    /// [`FactStore::active_domain_untracked`]).
+    pub fn active_domain_untracked(&self) -> HashSet<(Value, DomainId)> {
+        self.store.active_domain_untracked()
+    }
+
+    /// The minimum active-domain value per populated abstract domain, never
+    /// recorded (see [`FactStore::adom_domain_mins_untracked`]).
+    pub fn adom_domain_mins_untracked(&self) -> std::collections::HashMap<DomainId, Value> {
+        self.store.adom_domain_mins_untracked()
+    }
+
+    /// Records a per-domain active-domain walk at the installed recorder's
+    /// precision (see [`FactStore::rec_adom_walk`]).
+    pub fn rec_adom_walk(&self, domain: DomainId, upto: Option<&Value>) {
+        self.store.rec_adom_walk(domain, upto)
+    }
+
+    /// Records an untyped whole-active-domain walk (see
+    /// [`FactStore::rec_adom_global`]).
+    pub fn rec_adom_global(&self) {
+        self.store.rec_adom_global()
     }
 
     /// Is `(value, domain)` in the active domain? A pair of hash probes —

@@ -219,6 +219,27 @@ impl TrailOps {
     }
 }
 
+/// How the read recorder classifies whole-active-domain walks (the
+/// `active_domain` / valuation-enumeration reads of the decision
+/// procedures).
+///
+/// Under [`AdomPrecision::Coarse`] every such walk is recorded as
+/// [`ReadSet::adom_all`] — any value entering any domain invalidates the
+/// verdict. Under [`AdomPrecision::Precise`] the instrumented walk sites
+/// ([`FactStore::rec_adom_walk`]) record the *domain* that was walked and,
+/// when the walk was cut early by a search budget, only the visited value
+/// *prefix* ([`ReadSet::adom_prefixes`]) — so growth in an unconsulted
+/// domain, or above the visited prefix, leaves the verdict cached.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AdomPrecision {
+    /// Whole-adom walks record `adom_all` (the conservative pre-precise
+    /// behaviour; what [`FactStore::begin_read_tracking`] installs).
+    #[default]
+    Coarse,
+    /// Whole-adom walks record per-domain and visited-prefix entries.
+    Precise,
+}
+
 /// The exact set of store reads performed while a read recorder was
 /// installed (see [`FactStore::begin_read_tracking`]).
 ///
@@ -247,8 +268,18 @@ pub struct ReadSet {
     pub unknown_values: HashSet<(RelationId, Value)>,
     /// Whole-active-domain reads (`active_domain`, `all_values`).
     pub adom_all: bool,
-    /// Per-abstract-domain active-domain reads (`values_of_domain`).
+    /// Per-abstract-domain active-domain reads (`values_of_domain`, and
+    /// precise-mode domain walks that ran to natural completion).
     pub adom_domains: HashSet<DomainId>,
+    /// Visited-prefix active-domain reads (precise mode only): the walk of
+    /// the domain was cut early by a search budget after visiting only the
+    /// values `≤ bound` in sorted order. A value entering the domain
+    /// *strictly below* the bound changes what the walk saw; a value at or
+    /// above it lands past the cut point and cannot (the bound value itself
+    /// was already part of the walk's view, whether it came from the active
+    /// domain or from caller-supplied extras). Subsumed by an
+    /// `adom_domains` entry for the same domain.
+    pub adom_prefixes: HashMap<DomainId, Value>,
     /// Point active-domain membership probes (`adom_contains`).
     pub adom_pairs: HashSet<(ValueId, DomainId)>,
     /// Point active-domain probes against values unknown at read time.
@@ -264,6 +295,7 @@ impl ReadSet {
             && self.pairs.is_empty()
             && self.unknown_values.is_empty()
             && self.adom_domains.is_empty()
+            && self.adom_prefixes.is_empty()
             && self.adom_pairs.is_empty()
             && self.adom_unknown.is_empty()
     }
@@ -276,8 +308,35 @@ impl ReadSet {
             + self.pairs.len()
             + self.unknown_values.len()
             + self.adom_domains.len()
+            + self.adom_prefixes.len()
             + self.adom_pairs.len()
             + self.adom_unknown.len()
+    }
+
+    /// Records a whole-domain active-domain walk: any value entering
+    /// `domain` invalidates.
+    pub fn record_adom_domain(&mut self, domain: DomainId) {
+        self.adom_domains.insert(domain);
+        self.adom_prefixes.remove(&domain);
+    }
+
+    /// Records a prefix-bounded active-domain walk of `domain`: only a value
+    /// entering the domain strictly below `bound` invalidates. Merging keeps
+    /// the widest bound; a whole-domain read of the same domain wins.
+    pub fn record_adom_prefix(&mut self, domain: DomainId, bound: &Value) {
+        if self.adom_domains.contains(&domain) {
+            return;
+        }
+        match self.adom_prefixes.entry(domain) {
+            std::collections::hash_map::Entry::Occupied(mut e) => {
+                if bound > e.get() {
+                    e.insert(bound.clone());
+                }
+            }
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(bound.clone());
+            }
+        }
     }
 
     /// Could `event` change the answer of any recorded read?
@@ -298,12 +357,18 @@ impl ReadSet {
             if self.pairs.contains(&(event.relation, id)) {
                 return true;
             }
-            if newly_in_adom
-                && (self.adom_all
+            if newly_in_adom {
+                if self.adom_all
                     || self.adom_domains.contains(&domain)
-                    || self.adom_pairs.contains(&(id, domain)))
-            {
-                return true;
+                    || self.adom_pairs.contains(&(id, domain))
+                {
+                    return true;
+                }
+                if let Some(bound) = self.adom_prefixes.get(&domain) {
+                    if interner.resolve(id) < bound {
+                        return true;
+                    }
+                }
             }
         }
         for (rel, v) in &self.unknown_values {
@@ -379,6 +444,10 @@ pub struct FactStore {
     /// recording). Behind a mutex because the read APIs take `&self`; the
     /// lock is uncontended (recording is single-owner like the trail).
     recording: Option<Mutex<ReadSet>>,
+    /// How the installed recorder classifies whole-adom walks (set by
+    /// [`FactStore::begin_read_tracking_with`]; meaningless while no
+    /// recorder is installed).
+    adom_precision: AdomPrecision,
     /// Whether committed inserts are captured as [`InsertEvent`]s.
     events_enabled: bool,
     /// Captured growth events awaiting [`FactStore::take_events`].
@@ -402,6 +471,7 @@ impl Clone for FactStore {
             trail_open: 0,
             trail_ops: self.trail_ops,
             recording: None,
+            adom_precision: AdomPrecision::Coarse,
             events_enabled: false,
             events: Vec::new(),
         }
@@ -427,6 +497,7 @@ impl FactStore {
             trail_open: 0,
             trail_ops: TrailOps::default(),
             recording: None,
+            adom_precision: AdomPrecision::Coarse,
             events_enabled: false,
             events: Vec::new(),
         }
@@ -463,7 +534,24 @@ impl FactStore {
     /// inherited by clones. Installing over an existing recorder discards
     /// the old one.
     pub fn begin_read_tracking(&mut self) {
+        self.begin_read_tracking_with(AdomPrecision::Coarse)
+    }
+
+    /// Like [`FactStore::begin_read_tracking`], additionally choosing how
+    /// whole-adom walks are classified (see [`AdomPrecision`]).
+    pub fn begin_read_tracking_with(&mut self, precision: AdomPrecision) {
+        self.adom_precision = precision;
         self.recording = Some(Mutex::new(ReadSet::default()));
+    }
+
+    /// The precision of the installed recorder ([`AdomPrecision::Coarse`]
+    /// when none is installed).
+    pub fn read_tracking_precision(&self) -> AdomPrecision {
+        if self.recording.is_some() {
+            self.adom_precision
+        } else {
+            AdomPrecision::Coarse
+        }
     }
 
     /// Uninstalls the read recorder and returns what it saw (empty if no
@@ -505,6 +593,36 @@ impl FactStore {
                 rs.relations.insert(relation);
             }),
         }
+    }
+
+    /// Records a walk over the active-domain values of one abstract domain
+    /// at the installed recorder's [`AdomPrecision`]. `upto` is `None` when
+    /// the walk consumed the domain's sorted value list to its natural end
+    /// (the walk *observed* the end of the list, so any value entering the
+    /// domain changes what it saw) and `Some(bound)` when the walk was cut
+    /// early by a search budget after visiting values `≤ bound` only (a
+    /// value entering strictly below the bound reorders the visited prefix;
+    /// one at or above it lands past the cut). Instrumented walk sites — the
+    /// valuation enumeration of the witness searches, the accessible-value
+    /// pools of the producibility planner — call this instead of
+    /// [`FactStore::active_domain`] so precise-mode verdicts survive growth
+    /// they never looked at. Under [`AdomPrecision::Coarse`] every walk
+    /// collapses to `adom_all`, reproducing the pre-precise read sets.
+    pub fn rec_adom_walk(&self, domain: DomainId, upto: Option<&Value>) {
+        match self.adom_precision {
+            AdomPrecision::Coarse => self.rec(|rs| rs.adom_all = true),
+            AdomPrecision::Precise => match upto {
+                None => self.rec(|rs| rs.record_adom_domain(domain)),
+                Some(bound) => self.rec(|rs| rs.record_adom_prefix(domain, bound)),
+            },
+        }
+    }
+
+    /// Records a walk over the *whole* active domain with no per-domain
+    /// structure (untyped variables drawing candidates from every domain at
+    /// once). Always `adom_all` — the sound fallback at either precision.
+    pub fn rec_adom_global(&self) {
+        self.rec(|rs| rs.adom_all = true);
     }
 
     /// Enables or disables [`InsertEvent`] capture on the committed insert
@@ -1221,10 +1339,43 @@ impl FactStore {
     /// Served from the maintained cache — no fact is rescanned.
     pub fn active_domain(&self) -> HashSet<(Value, DomainId)> {
         self.rec(|rs| rs.adom_all = true);
+        self.active_domain_untracked()
+    }
+
+    /// Like [`FactStore::active_domain`] but never recorded, even under an
+    /// installed read recorder. For callers that instrument their own walk
+    /// over the returned pairs and record what they actually consulted via
+    /// [`FactStore::rec_adom_walk`] — using the recorded accessor there
+    /// would pin every verdict to the whole active domain and defeat
+    /// precise invalidation.
+    pub fn active_domain_untracked(&self) -> HashSet<(Value, DomainId)> {
         self.adom
             .keys()
             .map(|&(id, d)| (self.interner.resolve(id).clone(), d))
             .collect()
+    }
+
+    /// The minimum active-domain value of every populated abstract domain,
+    /// never recorded. This is the summary the producibility planner's
+    /// accessible-value pool keeps: its only store-derived choices are "the
+    /// least value of domain `d`" and "is domain `d` populated", and the
+    /// pool records those as prefix / whole-domain walks at use time.
+    pub fn adom_domain_mins_untracked(&self) -> HashMap<DomainId, Value> {
+        let mut mins: HashMap<DomainId, Value> = HashMap::new();
+        for &(id, d) in self.adom.keys() {
+            let v = self.interner.resolve(id);
+            match mins.entry(d) {
+                std::collections::hash_map::Entry::Occupied(mut e) => {
+                    if v < e.get() {
+                        e.insert(v.clone());
+                    }
+                }
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(v.clone());
+                }
+            }
+        }
+        mins
     }
 
     /// Number of distinct `(value, domain)` pairs in the active domain.

@@ -390,10 +390,14 @@ pub struct InvalidationDivergence {
 pub struct InvalidationOutcome {
     /// The first broken invariant, if any.
     pub divergence: Option<InvalidationDivergence>,
-    /// Decision procedures run under exact read-set invalidation.
+    /// Decision procedures run under precise (per-domain) invalidation.
+    pub precise_misses: usize,
+    /// Decision procedures run under exact (coarse-adom) invalidation.
     pub exact_misses: usize,
     /// Decision procedures run under relation-level invalidation.
     pub relation_misses: usize,
+    /// Verdicts evicted under precise invalidation.
+    pub precise_evictions: usize,
     /// Verdicts evicted under exact invalidation.
     pub exact_evictions: usize,
     /// Verdicts evicted under relation-level invalidation.
@@ -407,23 +411,30 @@ fn is_subsequence(needle: &[VerdictRecord], hay: &[VerdictRecord]) -> bool {
     needle.iter().all(|n| it.any(|h| h == n))
 }
 
-/// The second fuzzer mode: diffs **exact read-set invalidation** against the
-/// **relation-level baseline** on the case's random schema × query × policy
-/// workload. Exact invalidation only ever *keeps* verdicts the coarse scheme
-/// would have evicted — and every kept verdict is sound (its decision
-/// procedure read nothing the growth touched) — so the two runs must agree
-/// on everything observable:
+/// The second fuzzer mode: diffs the three invalidation modes — **precise**
+/// (per-domain adom reads), **exact** (coarse `adom_all`) and the
+/// **relation-level baseline** — on the case's random schema × query ×
+/// policy workload. Each refinement only ever *keeps* verdicts the coarser
+/// scheme would have evicted — and every kept verdict is sound (its
+/// decision procedure read nothing the growth touched) — so the three runs
+/// must agree on everything observable:
 ///
 /// * identical access sequence, certainty, answers and final configuration;
-/// * the exact run's verdict log is a *subsequence* of the baseline's (the
-///   re-checks it skips are the only difference);
-/// * the exact run never runs more procedures or evicts more verdicts;
-/// * the threaded scheduler under the case's churn script, running exact
-///   invalidation, still matches the sequential exact run byte-for-byte.
+/// * each run's verdict log is a *subsequence* of the next-coarser run's
+///   (the re-checks it skips are the only difference): precise ⊆ exact ⊆
+///   relation-level;
+/// * misses and evictions are ordered precise ≤ exact ≤ relation-level;
+/// * the threaded scheduler under the case's churn script, running precise
+///   invalidation (the default), still matches the sequential precise run
+///   byte-for-byte.
 pub fn run_invalidation_case(case: &FuzzCase) -> InvalidationOutcome {
     let (workload, instance, initial, query) = case.materialize();
     let methods = workload.methods.clone();
     let names: Vec<&str> = methods.iter().map(|(_, m)| m.name()).collect();
+    let precise_options = RunOptions {
+        invalidation: InvalidationMode::Precise,
+        ..case.options()
+    };
     let exact_options = RunOptions {
         invalidation: InvalidationMode::Exact,
         ..case.options()
@@ -434,8 +445,11 @@ pub fn run_invalidation_case(case: &FuzzCase) -> InvalidationOutcome {
     };
 
     let source = DeepWebSource::new(instance.clone(), methods.clone(), case.policy.clone());
+    let precise = FederatedEngine::new(&source, query.clone(), case.strategy)
+        .with_options(precise_options.clone())
+        .run(&initial);
     let exact = FederatedEngine::new(&source, query.clone(), case.strategy)
-        .with_options(exact_options.clone())
+        .with_options(exact_options)
         .run(&initial);
     let relation = FederatedEngine::new(&source, query.clone(), case.strategy)
         .with_options(relation_options)
@@ -449,32 +463,44 @@ pub fn run_invalidation_case(case: &FuzzCase) -> InvalidationOutcome {
     };
     diverge(
         "access_sequence",
-        exact.access_sequence != relation.access_sequence,
+        precise.access_sequence != relation.access_sequence
+            || exact.access_sequence != relation.access_sequence,
     );
-    diverge("certain", exact.certain != relation.certain);
-    diverge("answers", exact.answers != relation.answers);
+    diverge(
+        "certain",
+        precise.certain != relation.certain || exact.certain != relation.certain,
+    );
+    diverge(
+        "answers",
+        precise.answers != relation.answers || exact.answers != relation.answers,
+    );
     diverge(
         "final_configuration",
-        !exact
+        !precise
             .final_configuration
-            .same_facts(&relation.final_configuration),
+            .same_facts(&relation.final_configuration)
+            || !exact
+                .final_configuration
+                .same_facts(&relation.final_configuration),
     );
     diverge(
         "verdict_log_subsequence",
-        !is_subsequence(&exact.relevance_verdicts, &relation.relevance_verdicts),
+        !is_subsequence(&precise.relevance_verdicts, &exact.relevance_verdicts)
+            || !is_subsequence(&exact.relevance_verdicts, &relation.relevance_verdicts),
     );
     diverge(
         "misses_exceed_baseline",
-        exact.relevance_cache_misses > relation.relevance_cache_misses,
+        precise.relevance_cache_misses > exact.relevance_cache_misses
+            || exact.relevance_cache_misses > relation.relevance_cache_misses,
     );
     diverge(
         "evictions_exceed_baseline",
-        exact.evictions > relation.evictions,
+        precise.evictions > exact.evictions || exact.evictions > relation.evictions,
     );
 
     // Executor invariance under the new default: the threaded scheduler,
-    // churned by the case's script, must still match the sequential exact
-    // run field-for-field.
+    // churned by the case's script, must still match the sequential
+    // precise run field-for-field.
     let federation = Federation::builder(methods.clone())
         .source(
             SimulatedSource::exact(PRIMARY, instance.clone(), methods.clone())
@@ -497,17 +523,19 @@ pub fn run_invalidation_case(case: &FuzzCase) -> InvalidationOutcome {
         .build()
         .expect("federation builds");
     let threaded = BatchScheduler::new(&federation, query, case.strategy)
-        .with_options(exact_options)
+        .with_options(precise_options)
         .run(&initial);
     if divergence.is_none() {
-        divergence =
-            first_differing_field(&threaded, &exact).map(|field| InvalidationDivergence { field });
+        divergence = first_differing_field(&threaded, &precise)
+            .map(|field| InvalidationDivergence { field });
     }
 
     InvalidationOutcome {
         divergence,
+        precise_misses: precise.relevance_cache_misses,
         exact_misses: exact.relevance_cache_misses,
         relation_misses: relation.relevance_cache_misses,
+        precise_evictions: precise.evictions,
         exact_evictions: exact.evictions,
         relation_evictions: relation.evictions,
     }
@@ -520,6 +548,8 @@ pub struct InvalidationSummary {
     pub cases: usize,
     /// `(seed, broken invariant)` per diverging case.
     pub failures: Vec<(u64, &'static str)>,
+    /// Decision procedures run across all cases, precise mode.
+    pub precise_misses: usize,
     /// Decision procedures run across all cases, exact mode.
     pub exact_misses: usize,
     /// Decision procedures run across all cases, relation-level mode.
@@ -534,6 +564,7 @@ pub fn fuzz_invalidation(base_seed: u64, count: usize) -> InvalidationSummary {
         let case = FuzzCase::from_seed(seed);
         let outcome = run_invalidation_case(&case);
         summary.cases += 1;
+        summary.precise_misses += outcome.precise_misses;
         summary.exact_misses += outcome.exact_misses;
         summary.relation_misses += outcome.relation_misses;
         if let Some(divergence) = outcome.divergence {

@@ -208,6 +208,95 @@ fn journal_replay_warm_starts_the_shared_cache_across_processes() {
     std::fs::remove_dir(&dir).ok();
 }
 
+/// The crash-recovery half of the journal acceptance criterion: a journal
+/// whose final append was cut mid-line — as a `kill -9` during a flush
+/// leaves it — still warm-starts a *separate process*. The child replay
+/// must flag the torn tail, restore every complete verdict line, and serve
+/// the journaled query with shared-cache hits; the torn record itself is
+/// dropped, never trusted.
+#[test]
+fn a_torn_journal_tail_still_warm_starts_across_processes() {
+    let scenario = bank_scenario();
+    let request = vec![RunRequest::new(scenario.query.clone())];
+
+    if let Ok(path) = std::env::var("ACCREL_TORN_JOURNAL_PATH") {
+        // Child process: the torn journal must replay, flag the tear, and
+        // still warm-start serving.
+        let restored = SharedVerdictCache::new();
+        let summary = accrel::federation::RunJournal::replay(&path, &restored).unwrap();
+        assert!(summary.torn_tail, "the tear must be reported");
+        assert_eq!(summary.skipped_lines, 0, "only the tail was damaged");
+        assert!(
+            summary.verdicts_restored > 0,
+            "the complete prefix held no verdicts"
+        );
+        let federation = AsyncFederation::single_simulated(SimulatedSource::exact(
+            "bank",
+            scenario.instance.clone(),
+            scenario.methods.clone(),
+        ));
+        let registry =
+            QuerySessionRegistry::with_verdicts(&federation, ServingOptions::default(), restored);
+        let report = registry.serve(&request, &scenario.initial_configuration);
+        let run = &report.sessions[0].report;
+        assert!(run.certain, "the served answer must be unaffected");
+        assert!(
+            run.relevance_shared_hits > 0,
+            "a torn tail must not void the warm start"
+        );
+        println!("CHILD-OK shared_hits={}", run.relevance_shared_hits);
+        return;
+    }
+
+    // Parent process: serve live, journal, then tear the final line as an
+    // interrupted append would.
+    let federation = AsyncFederation::single_simulated(SimulatedSource::exact(
+        "bank",
+        scenario.instance.clone(),
+        scenario.methods.clone(),
+    ));
+    let registry = QuerySessionRegistry::new(&federation);
+    let live = registry.serve(&request, &scenario.initial_configuration);
+    let live_run = &live.sessions[0].report;
+
+    let dir = std::env::temp_dir().join(format!("accrel-torn-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("torn.journal");
+    accrel::federation::RunJournal::write_to(&path, &[live_run], registry.verdict_cache()).unwrap();
+    let mut bytes = std::fs::read(&path).unwrap();
+    assert_eq!(bytes.pop(), Some(b'\n'), "a complete journal ends in \\n");
+    // Cut into the final record so its remnant is a non-empty torn line.
+    let cut = bytes
+        .iter()
+        .rposition(|&b| b == b'\n')
+        .expect("journal has more than one line")
+        + 2;
+    assert!(cut < bytes.len());
+    bytes.truncate(cut);
+    std::fs::write(&path, &bytes).unwrap();
+
+    // Re-execute this test in a child process that only sees the torn file.
+    let exe = std::env::current_exe().unwrap();
+    let output = std::process::Command::new(exe)
+        .args([
+            "--exact",
+            "a_torn_journal_tail_still_warm_starts_across_processes",
+            "--nocapture",
+        ])
+        .env("ACCREL_TORN_JOURNAL_PATH", &path)
+        .output()
+        .unwrap();
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(
+        output.status.success() && stdout.contains("CHILD-OK"),
+        "child replay of the torn journal failed\n--- stdout ---\n{stdout}\n--- stderr ---\n{}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+
+    std::fs::remove_file(&path).ok();
+    std::fs::remove_dir(&dir).ok();
+}
+
 /// The warm-start invariant survives **eager speculation**: prediction
 /// probes run on scratch oracles whose shared-cache handle is detached, so
 /// they can neither publish speculative verdicts into the registry's

@@ -323,19 +323,21 @@ fn is_subsequence(needle: &[VerdictRecord], hay: &[VerdictRecord]) -> bool {
 
 #[test]
 fn exact_invalidation_matches_relation_level_across_the_executor_grid() {
-    // Exact read-set invalidation re-verifies a cached verdict only when a
-    // response actually inserted a pair the verdict's decision procedure
-    // read; relation-level invalidation drops every verdict whose coarse
-    // dependency set mentions the grown relation. Both are sound, so for
-    // every scenario and strategy:
+    // Precise invalidation re-verifies a cached verdict only when a
+    // response inserted a value in a domain-and-prefix the verdict's
+    // decision procedure consulted; exact invalidation coarsens the adom
+    // reads to a whole-active-domain stamp; relation-level invalidation
+    // drops every verdict whose coarse dependency set mentions the grown
+    // relation. All three are sound, so for every scenario and strategy:
     //
     // * within each mode, every executor is byte-for-byte the sequential
     //   run (verdict log included);
     // * across modes, the observable run — access sequence, certainty,
     //   answers, final configuration — is identical;
-    // * the exact run's verdict log is a subsequence of the relation-level
-    //   log (the skipped re-checks are the only difference), and it never
-    //   runs more decision procedures.
+    // * each refinement's verdict log is a subsequence of the next-coarser
+    //   log (the skipped re-checks are the only difference): precise ⊆
+    //   exact ⊆ relation-level — and misses and evictions are ordered the
+    //   same way.
     let scenarios = [bank_scenario(), random_scenario(11)];
     let mut rechecks_saved = 0usize;
     for scenario in &scenarios {
@@ -365,7 +367,11 @@ fn exact_invalidation_matches_relation_level_across_the_executor_grid() {
                     })
             };
             let mut by_mode = Vec::new();
-            for invalidation in [InvalidationMode::Exact, InvalidationMode::RelationLevel] {
+            for invalidation in [
+                InvalidationMode::Precise,
+                InvalidationMode::Exact,
+                InvalidationMode::RelationLevel,
+            ] {
                 let request = request(invalidation);
                 sequential_exec.reset_stats();
                 let sequential = sequential_exec.execute(&request, &scenario.initial_configuration);
@@ -397,40 +403,55 @@ fn exact_invalidation_matches_relation_level_across_the_executor_grid() {
                 }
                 by_mode.push(sequential);
             }
-            let [exact, relation] = &by_mode[..] else {
+            let [precise, exact, relation] = &by_mode[..] else {
                 unreachable!()
             };
             let cell = format!("scenario={} strategy={}", scenario.name, strategy.name());
-            assert_eq!(
-                exact.access_sequence, relation.access_sequence,
-                "invalidation mode changed the access sequence: {cell}"
-            );
-            assert_eq!(exact.certain, relation.certain, "verdict: {cell}");
-            assert_eq!(exact.answers, relation.answers, "answers: {cell}");
+            for refined in [precise, exact] {
+                assert_eq!(
+                    refined.access_sequence, relation.access_sequence,
+                    "invalidation mode changed the access sequence: {cell}"
+                );
+                assert_eq!(refined.certain, relation.certain, "verdict: {cell}");
+                assert_eq!(refined.answers, relation.answers, "answers: {cell}");
+                assert!(
+                    refined
+                        .final_configuration
+                        .same_facts(&relation.final_configuration),
+                    "invalidation mode changed the final configuration: {cell}"
+                );
+            }
             assert!(
-                exact
-                    .final_configuration
-                    .same_facts(&relation.final_configuration),
-                "invalidation mode changed the final configuration: {cell}"
+                is_subsequence(&precise.relevance_verdicts, &exact.relevance_verdicts),
+                "precise verdict log is not a subsequence of the exact log: {cell}"
             );
             assert!(
                 is_subsequence(&exact.relevance_verdicts, &relation.relevance_verdicts),
                 "exact verdict log is not a subsequence of the baseline: {cell}"
             );
             assert!(
-                exact.relevance_cache_misses <= relation.relevance_cache_misses,
-                "exact invalidation re-ran more procedures ({} > {}): {cell}",
+                precise.relevance_cache_misses <= exact.relevance_cache_misses
+                    && exact.relevance_cache_misses <= relation.relevance_cache_misses,
+                "invalidation misses out of order ({} / {} / {}): {cell}",
+                precise.relevance_cache_misses,
                 exact.relevance_cache_misses,
                 relation.relevance_cache_misses
             );
-            rechecks_saved += relation.relevance_cache_misses - exact.relevance_cache_misses;
+            assert!(
+                precise.evictions <= exact.evictions && exact.evictions <= relation.evictions,
+                "invalidation evictions out of order ({} / {} / {}): {cell}",
+                precise.evictions,
+                exact.evictions,
+                relation.evictions
+            );
+            rechecks_saved += relation.relevance_cache_misses - precise.relevance_cache_misses;
         }
     }
-    // Somewhere in the grid exact invalidation actually kept a verdict the
-    // coarse scheme would have re-checked — the feature is not vacuous.
+    // Somewhere in the grid read-set invalidation actually kept a verdict
+    // the coarse scheme would have re-checked — the feature is not vacuous.
     assert!(
         rechecks_saved > 0,
-        "exact invalidation never skipped a re-check anywhere in the grid"
+        "read-set invalidation never skipped a re-check anywhere in the grid"
     );
 }
 
